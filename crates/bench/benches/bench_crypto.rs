@@ -1,0 +1,112 @@
+//! Crypto substrate micro-benchmarks: hashing, signatures, certificates,
+//! and the Figure 7 delegation-chain verification (EXP-S companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qos_crypto::sha256::sha256;
+use qos_crypto::{
+    CertificateAuthority, CommunityAuthorizationServer, DelegationChain, DistinguishedName,
+    KeyPair, Timestamp, Validity,
+};
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xABu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256(black_box(data)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_schnorr(c: &mut Criterion) {
+    let kp = KeyPair::from_seed(b"bench");
+    let msg = vec![7u8; 256];
+    let sig = kp.sign(&msg);
+    c.bench_function("schnorr/sign-256B", |b| {
+        b.iter(|| kp.sign(black_box(&msg)))
+    });
+    c.bench_function("schnorr/verify-256B", |b| {
+        b.iter(|| kp.public().verify(black_box(&msg), black_box(&sig)))
+    });
+}
+
+fn bench_certificates(c: &mut Criterion) {
+    let mut ca = CertificateAuthority::new(
+        DistinguishedName::authority("CA"),
+        KeyPair::from_seed(b"ca"),
+    );
+    let subject = KeyPair::from_seed(b"subject");
+    c.bench_function("cert/issue", |b| {
+        b.iter(|| {
+            ca.issue_identity(
+                DistinguishedName::user("Alice", "ANL"),
+                subject.public(),
+                Validity::unbounded(),
+            )
+        })
+    });
+    let cert = ca.issue_identity(
+        DistinguishedName::user("Alice", "ANL"),
+        subject.public(),
+        Validity::unbounded(),
+    );
+    let ca_pk = ca.public_key();
+    c.bench_function("cert/verify", |b| {
+        b.iter(|| black_box(&cert).verify_signature(ca_pk))
+    });
+}
+
+fn delegation_chain(depth: usize) -> (DelegationChain, qos_crypto::PublicKey, KeyPair) {
+    let mut cas = CommunityAuthorizationServer::new("ESnet", KeyPair::from_seed(b"cas"));
+    let proxy = KeyPair::from_seed(b"proxy");
+    let grant = cas.grant(
+        &DistinguishedName::user("Alice", "ANL"),
+        proxy.public(),
+        vec!["ESnet:member".into()],
+        Validity::unbounded(),
+    );
+    let mut chain = DelegationChain::new(grant);
+    let mut holder = proxy;
+    for i in 0..depth {
+        let next = KeyPair::from_seed(format!("bb-{i}").as_bytes());
+        chain = chain
+            .delegate(
+                &holder,
+                DistinguishedName::broker(&format!("domain-{i}")),
+                next.public(),
+                vec![],
+                Validity::unbounded(),
+            )
+            .unwrap();
+        holder = next;
+    }
+    (chain, cas.public_key(), holder)
+}
+
+fn bench_delegation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delegation/verify_chain");
+    for depth in [1usize, 3, 6, 10] {
+        let (chain, cas_pk, holder) = delegation_chain(depth);
+        let proof = holder.prove_possession(b"nonce");
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &chain, |b, chain| {
+            b.iter(|| {
+                chain
+                    .verify(cas_pk, Timestamp(0), b"nonce", black_box(&proof))
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_schnorr,
+    bench_certificates,
+    bench_delegation
+);
+criterion_main!(benches);

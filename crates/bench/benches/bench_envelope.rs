@@ -1,0 +1,189 @@
+//! Nested-envelope benchmarks (EXP-S / D1 ablation): per-hop wrap cost,
+//! destination verification versus depth, and codec round-trips.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qos_broker::Interval;
+use qos_core::envelope::SignedRar;
+use qos_core::trust::{verify_rar, KeySource};
+use qos_core::{RarId, ResSpec};
+use qos_crypto::{
+    CertificateAuthority, DistinguishedName, KeyPair, Timestamp, TrustPolicy, Validity,
+};
+use qos_policy::AttributeSet;
+use std::hint::black_box;
+
+struct World {
+    user: KeyPair,
+    user_cert: qos_crypto::Certificate,
+    keys: Vec<KeyPair>,
+    certs: Vec<qos_crypto::Certificate>,
+}
+
+fn world(hops: usize) -> World {
+    let mut ca = CertificateAuthority::new(
+        DistinguishedName::authority("CA"),
+        KeyPair::from_seed(b"ca"),
+    );
+    let user = KeyPair::from_seed(b"alice");
+    let user_cert = ca.issue_identity(
+        DistinguishedName::user("Alice", "ANL"),
+        user.public(),
+        Validity::unbounded(),
+    );
+    let keys: Vec<KeyPair> = (0..hops)
+        .map(|i| KeyPair::from_seed(format!("bb-{i}").as_bytes()))
+        .collect();
+    let certs = keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| {
+            ca.issue_identity(
+                DistinguishedName::broker(&format!("domain-{i}")),
+                k.public(),
+                Validity::unbounded(),
+            )
+        })
+        .collect();
+    World {
+        user,
+        user_cert,
+        keys,
+        certs,
+    }
+}
+
+fn build(w: &World, hops: usize) -> SignedRar {
+    let spec = ResSpec::new(
+        RarId(1),
+        DistinguishedName::user("Alice", "ANL"),
+        "domain-0",
+        &format!("domain-{hops}"),
+        7,
+        10_000_000,
+        Interval::starting_at(Timestamp(0), 3600),
+    );
+    let mut rar = SignedRar::user_request(
+        spec,
+        DistinguishedName::broker("domain-0"),
+        vec![],
+        &w.user,
+    );
+    let mut upstream = w.user_cert.clone();
+    for i in 0..hops {
+        rar = SignedRar::wrap(
+            rar,
+            upstream,
+            Some(DistinguishedName::broker(&format!("domain-{}", i + 1))),
+            vec![],
+            AttributeSet::new(),
+            DistinguishedName::broker(&format!("domain-{i}")),
+            &w.keys[i],
+        );
+        upstream = w.certs[i].clone();
+    }
+    rar
+}
+
+fn bench_wrap(c: &mut Criterion) {
+    let w = world(4);
+    let inner = build(&w, 3);
+    c.bench_function("envelope/wrap-one-hop", |b| {
+        b.iter(|| {
+            SignedRar::wrap(
+                black_box(inner.clone()),
+                w.certs[2].clone(),
+                Some(DistinguishedName::broker("domain-4")),
+                vec![],
+                AttributeSet::new(),
+                DistinguishedName::broker("domain-3"),
+                &w.keys[3],
+            )
+        })
+    });
+}
+
+fn bench_verify_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("envelope/verify-depth");
+    for hops in [1usize, 3, 6, 10] {
+        let w = world(hops);
+        let rar = build(&w, hops);
+        let peer_pk = w.keys[hops - 1].public();
+        let self_dn = DistinguishedName::broker(&format!("domain-{hops}"));
+        g.bench_with_input(BenchmarkId::from_parameter(hops), &rar, |b, rar| {
+            b.iter(|| {
+                verify_rar(
+                    black_box(rar),
+                    peer_pk,
+                    &self_dn,
+                    TrustPolicy {
+                        max_chain_depth: 64,
+                    },
+                    Timestamp(0),
+                    &KeySource::Introducers,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let w = world(5);
+    let rar = build(&w, 5);
+    let bytes = qos_wire::to_bytes(&rar);
+    c.bench_function("envelope/encode-5hop", |b| {
+        b.iter(|| qos_wire::to_bytes(black_box(&rar)))
+    });
+    c.bench_function("envelope/decode-5hop", |b| {
+        b.iter(|| qos_wire::from_bytes::<SignedRar>(black_box(&bytes)).unwrap())
+    });
+}
+
+/// D3 ablation: introducer-chain verification vs the "secure LDAP"
+/// certificate directory (§6.4's alternatives 1 and 2).
+fn bench_key_sources(c: &mut Criterion) {
+    use qos_crypto::CertificateDirectory;
+    let hops = 5;
+    let w = world(hops);
+    let rar = build(&w, hops);
+    let peer_pk = w.keys[hops - 1].public();
+    let self_dn = DistinguishedName::broker(&format!("domain-{hops}"));
+    let policy = TrustPolicy { max_chain_depth: 64 };
+
+    c.bench_function("envelope/keysource-introducers-5hop", |b| {
+        b.iter(|| {
+            verify_rar(
+                black_box(&rar),
+                peer_pk,
+                &self_dn,
+                policy,
+                Timestamp(0),
+                &KeySource::Introducers,
+            )
+            .unwrap()
+        })
+    });
+
+    let mut dir = CertificateDirectory::new();
+    dir.publish(w.user_cert.clone());
+    for cert in &w.certs {
+        dir.publish(cert.clone());
+    }
+    c.bench_function("envelope/keysource-directory-5hop", |b| {
+        b.iter(|| {
+            verify_rar(
+                black_box(&rar),
+                peer_pk,
+                &self_dn,
+                policy,
+                Timestamp(0),
+                &KeySource::Directory(&dir),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_wrap, bench_verify_depth, bench_codec, bench_key_sources);
+criterion_main!(benches);

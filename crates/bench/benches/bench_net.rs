@@ -1,0 +1,61 @@
+//! Data-plane benchmarks: token-bucket conformance and discrete-event
+//! packet-forwarding throughput (EXP-N companion).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qos_net::conditioner::{ExcessTreatment, TrafficProfile};
+use qos_net::flow::{FlowSpec, TrafficPattern};
+use qos_net::tbf::TokenBucket;
+use qos_net::{paper_topology, FlowId, Network, SimDuration, SimTime};
+use std::hint::black_box;
+
+const MBPS: u64 = 1_000_000;
+
+fn bench_token_bucket(c: &mut Criterion) {
+    c.bench_function("net/token-bucket-conform", |b| {
+        let mut tb = TokenBucket::new(10 * MBPS, 62_500);
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            now += SimDuration::from_micros(100);
+            black_box(tb.conform(now, 1250))
+        });
+    });
+}
+
+fn bench_packet_forwarding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net/forward-1s-of-traffic");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.throughput(Throughput::Elements(3000)); // ≈ packets per simulated second
+    g.bench_function("three-flows-40Mbps", |b| {
+        b.iter(|| {
+            let (topo, n) = paper_topology(100 * MBPS, SimDuration::from_millis(5));
+            let mut net = Network::new(topo);
+            for (id, rate) in [(1u64, 10 * MBPS), (2, 20 * MBPS), (3, 10 * MBPS)] {
+                net.add_flow(FlowSpec {
+                    id: FlowId(id),
+                    src: n["alice"],
+                    dst: n["charlie"],
+                    pattern: TrafficPattern::Cbr {
+                        rate_bps: rate,
+                        pkt_bytes: 1250,
+                    },
+                    start: SimTime::ZERO,
+                    stop: SimTime::ZERO + SimDuration::from_secs(1),
+                });
+            }
+            let first = net.first_router(n["alice"], n["charlie"]).unwrap();
+            net.install_flow_reservation(
+                first,
+                FlowId(1),
+                TrafficProfile::with_default_burst(10 * MBPS),
+                ExcessTreatment::Drop,
+            );
+            black_box(net.run_to_completion())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_token_bucket, bench_packet_forwarding);
+criterion_main!(benches);

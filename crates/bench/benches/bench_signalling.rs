@@ -1,0 +1,92 @@
+//! End-to-end signalling benchmarks: a full hop-by-hop reservation
+//! (crypto + policy + admission at every hop) versus path length, and
+//! tunnel sub-flow admission throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qos_core::drive::Mesh;
+use qos_core::scenario::{build_chain, ChainOptions};
+use qos_crypto::Timestamp;
+use qos_net::SimDuration;
+
+const MBPS: u64 = 1_000_000;
+
+fn mesh_of(n: usize) -> (Mesh, qos_core::scenario::Scenario) {
+    let mut s = build_chain(ChainOptions {
+        domains: n,
+        sla_rate_bps: 10_000_000 * MBPS,
+        local_capacity_bps: 100_000_000 * MBPS,
+        ..ChainOptions::default()
+    });
+    let mut mesh = Mesh::new();
+    let domains = s.domains.clone();
+    for node in s.nodes.drain(..) {
+        mesh.add_node(node);
+    }
+    for w in domains.windows(2) {
+        mesh.set_latency(&w[0], &w[1], SimDuration::from_millis(5));
+    }
+    (mesh, s)
+}
+
+fn bench_hop_by_hop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("signalling/hop-by-hop-reservation");
+    // Broker state (reservation tables, message logs) accumulates across
+    // iterations; keep the run short so later iterations stay comparable.
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for n in [3usize, 5, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let (mut mesh, mut s) = mesh_of(n);
+            let cert = s.users["alice"].cert.clone();
+            let mut flow = 0u64;
+            b.iter(|| {
+                flow += 1;
+                let spec = s.spec("alice", flow, MBPS, Timestamp(0), 3600);
+                // Signing happens user-side; include it, it is part of the
+                // end-to-end cost.
+                let rar = {
+                    let alice = &s.users["alice"];
+                    let node = mesh.node("domain-a");
+                    alice.sign_request(spec, node)
+                };
+                mesh.submit_in(SimDuration::ZERO, "domain-a", rar, cert.clone());
+                mesh.run_until_idle()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_tunnel_flows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("signalling/tunnel");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("subflow", |b| {
+        let (mut mesh, mut s) = mesh_of(5);
+        let spec = s
+            .spec("alice", 0, 1_000_000 * MBPS, Timestamp(0), 3600)
+            .as_tunnel();
+        let tunnel = spec.rar_id;
+        let cert = s.users["alice"].cert.clone();
+        let rar = {
+            let alice = &s.users["alice"];
+            let node = mesh.node("domain-a");
+            alice.sign_request(spec, node)
+        };
+        let dn = s.users["alice"].dn.clone();
+        mesh.submit_in(SimDuration::ZERO, "domain-a", rar, cert);
+        mesh.run_until_idle();
+        let mut flow = 0u64;
+        b.iter(|| {
+            flow += 1;
+            mesh.tunnel_flow_in(SimDuration::ZERO, "domain-a", tunnel, flow, 1000, dn.clone());
+            mesh.run_until_idle()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hop_by_hop, bench_tunnel_flows);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! EXP-S — the cost of the nested-envelope construction (D1 ablation):
+//! message size, build time, and full verification time versus path
+//! length, with and without capability delegation.
+//!
+//! Expected shape: size grows linearly in depth (certificates dominate);
+//! build adds one signature per hop; destination verification is linear
+//! in depth (one signature per layer plus the capability chain).
+
+use qos_bench::{table_header, table_row};
+use qos_core::envelope::SignedRar;
+use qos_core::trust::{verify_rar, KeySource};
+use qos_core::{RarId, ResSpec};
+use qos_broker::Interval;
+use qos_crypto::{
+    CertificateAuthority, DistinguishedName, KeyPair, Timestamp, TrustPolicy, Validity,
+};
+use qos_policy::AttributeSet;
+use std::time::Instant;
+
+fn domain(i: usize) -> String {
+    format!("domain-{i:02}")
+}
+
+fn main() {
+    println!("EXP-S: nested envelope cost vs path depth\n");
+    let widths = [8, 12, 14, 14, 16];
+    table_header(
+        &[
+            "hops",
+            "bytes",
+            "build(µs)",
+            "verify(µs)",
+            "verify sigs",
+        ],
+        &widths,
+    );
+
+    for hops in [1usize, 2, 3, 5, 8, 10] {
+        let mut ca = CertificateAuthority::new(
+            DistinguishedName::authority("CA"),
+            KeyPair::from_seed(b"ca"),
+        );
+        let user = KeyPair::from_seed(b"alice");
+        let user_cert = ca.issue_identity(
+            DistinguishedName::user("Alice", "ANL"),
+            user.public(),
+            Validity::unbounded(),
+        );
+        let keys: Vec<KeyPair> = (0..hops)
+            .map(|i| KeyPair::from_seed(domain(i).as_bytes()))
+            .collect();
+        let certs: Vec<_> = (0..hops)
+            .map(|i| {
+                ca.issue_identity(
+                    DistinguishedName::broker(&domain(i)),
+                    keys[i].public(),
+                    Validity::unbounded(),
+                )
+            })
+            .collect();
+
+        let spec = ResSpec::new(
+            RarId(1),
+            DistinguishedName::user("Alice", "ANL"),
+            &domain(0),
+            &domain(hops),
+            7,
+            10_000_000,
+            Interval::starting_at(Timestamp(0), 3600),
+        );
+
+        // Build: user layer + `hops` wraps.
+        let t0 = Instant::now();
+        let mut rar = SignedRar::user_request(
+            spec,
+            DistinguishedName::broker(&domain(0)),
+            vec![],
+            &user,
+        );
+        let mut upstream = user_cert;
+        for i in 0..hops {
+            rar = SignedRar::wrap(
+                rar,
+                upstream,
+                Some(DistinguishedName::broker(&domain(i + 1))),
+                vec![],
+                AttributeSet::new(),
+                DistinguishedName::broker(&domain(i)),
+                &keys[i],
+            );
+            upstream = certs[i].clone();
+        }
+        let build_us = t0.elapsed().as_secs_f64() * 1e6;
+        let bytes = rar.encoded_len();
+
+        // Destination verification (full transitive-trust walk).
+        let reps = 20;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            verify_rar(
+                &rar,
+                keys[hops - 1].public(),
+                &DistinguishedName::broker(&domain(hops)),
+                TrustPolicy {
+                    max_chain_depth: 64,
+                },
+                Timestamp(0),
+                &KeySource::Introducers,
+            )
+            .unwrap();
+        }
+        let verify_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+
+        table_row(
+            &[
+                hops.to_string(),
+                bytes.to_string(),
+                format!("{build_us:.0}"),
+                format!("{verify_us:.0}"),
+                (hops + 1).to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nexpected: bytes and verify time grow linearly with the hop\n\
+         count — the price of carrying the complete, individually signed\n\
+         history (and what buys path tracing + introducer-based trust).\n\
+         Absolute numbers use the 63-bit simulation-strength group; a\n\
+         production 2048-bit RSA deployment would scale each signature\n\
+         op by ~10³ while preserving the linear shape."
+    );
+}

@@ -1,0 +1,149 @@
+//! EXP-T — tunnel scalability: per-flow end-to-end reservations versus
+//! one aggregate tunnel plus end-domain-only sub-reservations.
+//!
+//! "If a set of applications creates many parallel flows between the
+//! same two end-domains, it is infeasible to negotiate an end-to-end
+//! reservation for each one."
+//!
+//! Expected shape: per-flow mode loads every transit broker with O(k)
+//! messages and costs 2×path RTT per flow; tunnel mode keeps transit
+//! load at O(1) (the setup) and each sub-flow costs one direct
+//! source↔destination round trip. The crossover is immediate (k > 1).
+
+use qos_bench::{mesh_from, table_header, table_row};
+use qos_core::node::Completion;
+use qos_core::scenario::{build_chain, ChainOptions};
+use qos_crypto::Timestamp;
+use qos_net::SimDuration;
+
+const MBPS: u64 = 1_000_000;
+const DOMAINS: usize = 5;
+
+/// (transit messages, total virtual ms, flows granted)
+fn per_flow_mode(k: usize) -> (u64, f64, usize) {
+    let mut s = build_chain(ChainOptions {
+        domains: DOMAINS,
+        sla_rate_bps: 10_000 * MBPS,
+        local_capacity_bps: 100_000 * MBPS,
+        ..ChainOptions::default()
+    });
+    let mut rars = Vec::new();
+    for i in 0..k {
+        let spec = s.spec("alice", i as u64 + 1, 5 * MBPS, Timestamp(0), 3600);
+        rars.push((
+            spec.rar_id,
+            s.users["alice"].sign_request(spec, &s.nodes[0]),
+        ));
+    }
+    let cert = s.users["alice"].cert.clone();
+    let transit: Vec<String> = s.domains[1..DOMAINS - 1].to_vec();
+    let mut mesh = mesh_from(&mut s, 5);
+    for (_, rar) in rars.iter() {
+        mesh.submit_in(SimDuration::ZERO, "domain-a", rar.clone(), cert.clone());
+    }
+    mesh.run_until_idle();
+    let granted = rars
+        .iter()
+        .filter(|(id, _)| {
+            matches!(
+                mesh.reservation_outcome("domain-a", *id),
+                Some((_, Completion::Reservation { result: Ok(_), .. }))
+            )
+        })
+        .count();
+    let transit_msgs: u64 = transit.iter().map(|d| mesh.node(d).counters().rx).sum();
+    (
+        transit_msgs,
+        mesh.now().as_secs_f64() * 1e3,
+        granted,
+    )
+}
+
+/// (transit messages, total virtual ms, flows granted)
+fn tunnel_mode(k: usize) -> (u64, f64, usize) {
+    let mut s = build_chain(ChainOptions {
+        domains: DOMAINS,
+        sla_rate_bps: 10_000 * MBPS,
+        local_capacity_bps: 100_000 * MBPS,
+        ..ChainOptions::default()
+    });
+    let spec = s
+        .spec("alice", 0, (k as u64).max(1) * 5 * MBPS, Timestamp(0), 3600)
+        .as_tunnel();
+    let tunnel_id = spec.rar_id;
+    let rar = s.users["alice"].sign_request(spec, &s.nodes[0]);
+    let cert = s.users["alice"].cert.clone();
+    let alice_dn = s.users["alice"].dn.clone();
+    let transit: Vec<String> = s.domains[1..DOMAINS - 1].to_vec();
+    let mut mesh = mesh_from(&mut s, 5);
+    mesh.submit_in(SimDuration::ZERO, "domain-a", rar, cert);
+    mesh.run_until_idle();
+    for flow in 0..k {
+        mesh.tunnel_flow_in(
+            SimDuration::ZERO,
+            "domain-a",
+            tunnel_id,
+            flow as u64 + 1,
+            5 * MBPS,
+            alice_dn.clone(),
+        );
+    }
+    mesh.run_until_idle();
+    let granted = mesh
+        .completions()
+        .iter()
+        .filter(|(_, _, c)| matches!(c, Completion::TunnelFlow { accepted: true, .. }))
+        .count();
+    let transit_msgs: u64 = transit.iter().map(|d| mesh.node(d).counters().rx).sum();
+    (transit_msgs, mesh.now().as_secs_f64() * 1e3, granted)
+}
+
+fn main() {
+    println!(
+        "EXP-T: per-flow reservations vs tunnel, {DOMAINS}-domain path, 5 ms hops\n"
+    );
+    let widths = [8, 10, 18, 14, 18, 14];
+    table_header(
+        &[
+            "flows",
+            "mode",
+            "transit msgs",
+            "granted",
+            "virtual time(ms)",
+            "msgs/flow",
+        ],
+        &widths,
+    );
+    for k in [1usize, 10, 100, 1000] {
+        let (tm, ms, granted) = per_flow_mode(k);
+        table_row(
+            &[
+                k.to_string(),
+                "per-flow".into(),
+                tm.to_string(),
+                granted.to_string(),
+                format!("{ms:.0}"),
+                format!("{:.1}", tm as f64 / k as f64),
+            ],
+            &widths,
+        );
+        let (tm, ms, granted) = tunnel_mode(k);
+        table_row(
+            &[
+                k.to_string(),
+                "tunnel".into(),
+                tm.to_string(),
+                granted.to_string(),
+                format!("{ms:.0}"),
+                format!("{:.1}", tm as f64 / k as f64),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nexpected: per-flow transit load = 2·(transit brokers)·k messages,\n\
+         growing linearly in k; tunnel transit load is a constant 6 (the\n\
+         single aggregate setup) regardless of k — the amortization that\n\
+         makes thousands of parallel flows feasible."
+    );
+}

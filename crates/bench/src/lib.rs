@@ -1,0 +1,53 @@
+//! Shared support for the experiment binaries and criterion benches.
+//!
+//! Each experiment binary regenerates one figure/claim of the paper
+//! (DESIGN.md §7 maps them); the `table` helpers print aligned rows that
+//! EXPERIMENTS.md records verbatim.
+
+use qos_core::drive::Mesh;
+use qos_core::scenario::Scenario;
+use qos_net::SimDuration;
+
+/// Move a scenario's brokers into a mesh with uniform hop latency.
+pub fn mesh_from(scenario: &mut Scenario, hop_latency_ms: u64) -> Mesh {
+    let mut mesh = Mesh::new();
+    let domains = scenario.domains.clone();
+    for node in scenario.nodes.drain(..) {
+        mesh.add_node(node);
+    }
+    for w in domains.windows(2) {
+        mesh.set_latency(&w[0], &w[1], SimDuration::from_millis(hop_latency_ms));
+    }
+    mesh
+}
+
+/// Print a header row followed by a separator.
+pub fn table_header(cols: &[&str], widths: &[usize]) {
+    let row: Vec<String> = cols
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", row.join("  "));
+    println!("{}", "-".repeat(row.join("  ").len()));
+}
+
+/// Print one aligned data row.
+pub fn table_row(cells: &[String], widths: &[usize]) {
+    let row: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", row.join("  "));
+}
+
+/// Megabits-per-second pretty printer.
+pub fn mbps(bps: u64) -> String {
+    format!("{:.1}", bps as f64 / 1e6)
+}
+
+/// Percentage pretty printer.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}

@@ -1,0 +1,467 @@
+//! The bandwidth broker's resource-management core.
+//!
+//! One [`BrokerCore`] per administrative domain. It owns three classes of
+//! reservation bookkeeping, all with advance-reservation semantics and a
+//! two-phase (hold → commit / release) life cycle:
+//!
+//! * **local capacity** — the domain's internal EF capacity;
+//! * **per-ingress SLAs** — how much EF the domain accepts from each
+//!   upstream peer (what the ingress aggregate policer is dimensioned
+//!   from);
+//! * **per-egress SLAs** — how much EF the domain may inject into each
+//!   downstream peer.
+//!
+//! The signalling protocol (crate `qos-core`) drives this core: it admits
+//! on request arrival, commits when the end-to-end approval propagates
+//! back, and releases on denial.
+
+use crate::billing::BillingLedger;
+use crate::reservations::{AdmissionError, Interval, ResState, ReservationId, ReservationTable};
+use crate::sla::Sla;
+use qos_crypto::Timestamp;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Where a reservation's traffic enters and leaves the domain.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PathSegment {
+    /// Upstream peer domain (None when this is the source domain).
+    pub ingress_peer: Option<String>,
+    /// Downstream peer domain (None when this is the destination domain).
+    pub egress_peer: Option<String>,
+}
+
+/// Why the broker refused a reservation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerError {
+    /// The domain-internal capacity check failed.
+    Local(AdmissionError),
+    /// The check against an SLA failed.
+    Sla {
+        /// Which peer's agreement.
+        peer: String,
+        /// Underlying admission failure.
+        source: AdmissionError,
+    },
+    /// No SLA exists with the named peer — the request cannot even be
+    /// considered ("a specific contract between peered domains comes into
+    /// place").
+    NoSla {
+        /// The unknown peer.
+        peer: String,
+    },
+    /// Unknown reservation id.
+    Unknown(ReservationId),
+}
+
+impl fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrokerError::Local(e) => write!(f, "local capacity: {e}"),
+            BrokerError::Sla { peer, source } => write!(f, "SLA with {peer}: {source}"),
+            BrokerError::NoSla { peer } => write!(f, "no SLA with peer domain {peer}"),
+            BrokerError::Unknown(id) => write!(f, "unknown reservation {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {}
+
+#[derive(Debug, Clone)]
+struct ResMeta {
+    interval: Interval,
+    rate_bps: u64,
+    segment: PathSegment,
+}
+
+/// A domain's bandwidth-broker resource core.
+pub struct BrokerCore {
+    domain: String,
+    local: ReservationTable,
+    ingress: HashMap<String, ReservationTable>,
+    egress: HashMap<String, ReservationTable>,
+    slas_in: HashMap<String, Sla>,
+    slas_out: HashMap<String, Sla>,
+    meta: HashMap<ReservationId, ResMeta>,
+    billing: BillingLedger,
+}
+
+impl BrokerCore {
+    /// A broker managing `local_capacity_bps` of internal EF capacity.
+    pub fn new(domain: &str, local_capacity_bps: u64) -> Self {
+        Self {
+            domain: domain.to_string(),
+            local: ReservationTable::new(local_capacity_bps),
+            ingress: HashMap::new(),
+            egress: HashMap::new(),
+            slas_in: HashMap::new(),
+            slas_out: HashMap::new(),
+            meta: HashMap::new(),
+            billing: BillingLedger::new(),
+        }
+    }
+
+    /// The domain this broker controls.
+    pub fn domain(&self) -> &str {
+        &self.domain
+    }
+
+    /// Register the SLA under which `sla.upstream` sends traffic *into*
+    /// this domain.
+    pub fn add_ingress_sla(&mut self, sla: Sla) {
+        debug_assert_eq!(sla.downstream, self.domain);
+        self.ingress.insert(
+            sla.upstream.clone(),
+            ReservationTable::new(sla.sls.committed_rate_bps),
+        );
+        self.slas_in.insert(sla.upstream.clone(), sla);
+    }
+
+    /// Register the SLA under which this domain sends traffic into
+    /// `sla.downstream`.
+    pub fn add_egress_sla(&mut self, sla: Sla) {
+        debug_assert_eq!(sla.upstream, self.domain);
+        self.egress.insert(
+            sla.downstream.clone(),
+            ReservationTable::new(sla.sls.committed_rate_bps),
+        );
+        self.slas_out.insert(sla.downstream.clone(), sla);
+    }
+
+    /// The SLA with the upstream peer `peer`, if any.
+    pub fn ingress_sla(&self, peer: &str) -> Option<&Sla> {
+        self.slas_in.get(peer)
+    }
+
+    /// The SLA with the downstream peer `peer`, if any.
+    pub fn egress_sla(&self, peer: &str) -> Option<&Sla> {
+        self.slas_out.get(peer)
+    }
+
+    /// Billing ledger access.
+    pub fn billing(&self) -> &BillingLedger {
+        &self.billing
+    }
+
+    /// Mutable billing ledger access.
+    pub fn billing_mut(&mut self) -> &mut BillingLedger {
+        &mut self.billing
+    }
+
+    /// Hold capacity for a reservation crossing this domain along
+    /// `segment`. All three checks (ingress SLA, local, egress SLA) must
+    /// pass; partial holds are rolled back.
+    pub fn hold(
+        &mut self,
+        id: ReservationId,
+        interval: Interval,
+        rate_bps: u64,
+        segment: PathSegment,
+    ) -> Result<(), BrokerError> {
+        // Ingress SLA check.
+        if let Some(peer) = &segment.ingress_peer {
+            let table = self
+                .ingress
+                .get_mut(peer)
+                .ok_or_else(|| BrokerError::NoSla { peer: peer.clone() })?;
+            table.hold(id, interval, rate_bps).map_err(|source| {
+                BrokerError::Sla {
+                    peer: peer.clone(),
+                    source,
+                }
+            })?;
+        }
+        // Local capacity check.
+        if let Err(e) = self.local.hold(id, interval, rate_bps) {
+            if let Some(peer) = &segment.ingress_peer {
+                let _ = self.ingress.get_mut(peer).unwrap().release(id);
+            }
+            return Err(BrokerError::Local(e));
+        }
+        // Egress SLA check.
+        if let Some(peer) = &segment.egress_peer {
+            let Some(table) = self.egress.get_mut(peer) else {
+                self.rollback_partial(id, &segment, /*egress_held=*/ false);
+                return Err(BrokerError::NoSla { peer: peer.clone() });
+            };
+            if let Err(source) = table.hold(id, interval, rate_bps) {
+                self.rollback_partial(id, &segment, false);
+                return Err(BrokerError::Sla {
+                    peer: peer.clone(),
+                    source,
+                });
+            }
+        }
+        self.meta.insert(
+            id,
+            ResMeta {
+                interval,
+                rate_bps,
+                segment,
+            },
+        );
+        Ok(())
+    }
+
+    fn rollback_partial(&mut self, id: ReservationId, segment: &PathSegment, egress_held: bool) {
+        let _ = self.local.release(id);
+        if let Some(peer) = &segment.ingress_peer {
+            if let Some(t) = self.ingress.get_mut(peer) {
+                let _ = t.release(id);
+            }
+        }
+        if egress_held {
+            if let Some(peer) = &segment.egress_peer {
+                if let Some(t) = self.egress.get_mut(peer) {
+                    let _ = t.release(id);
+                }
+            }
+        }
+    }
+
+    fn for_each_table(
+        &mut self,
+        id: ReservationId,
+        f: impl Fn(&mut ReservationTable, ReservationId) -> Result<(), AdmissionError>,
+    ) -> Result<(), BrokerError> {
+        let meta = self.meta.get(&id).ok_or(BrokerError::Unknown(id))?.clone();
+        f(&mut self.local, id).map_err(BrokerError::Local)?;
+        if let Some(peer) = &meta.segment.ingress_peer {
+            if let Some(t) = self.ingress.get_mut(peer) {
+                f(t, id).map_err(|source| BrokerError::Sla {
+                    peer: peer.clone(),
+                    source,
+                })?;
+            }
+        }
+        if let Some(peer) = &meta.segment.egress_peer {
+            if let Some(t) = self.egress.get_mut(peer) {
+                f(t, id).map_err(|source| BrokerError::Sla {
+                    peer: peer.clone(),
+                    source,
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Commit a held reservation (end-to-end approval arrived).
+    pub fn commit(&mut self, id: ReservationId) -> Result<(), BrokerError> {
+        self.for_each_table(id, |t, id| t.commit(id))
+    }
+
+    /// Release a reservation (denial downstream, cancellation, or expiry).
+    pub fn release(&mut self, id: ReservationId) -> Result<(), BrokerError> {
+        self.for_each_table(id, |t, id| t.release(id))
+    }
+
+    /// The reservation's current state (from the local table).
+    pub fn state(&self, id: ReservationId) -> Option<ResState> {
+        self.local.state(id)
+    }
+
+    /// Reservation parameters.
+    pub fn info(&self, id: ReservationId) -> Option<(Interval, u64, PathSegment)> {
+        self.meta
+            .get(&id)
+            .map(|m| (m.interval, m.rate_bps, m.segment.clone()))
+    }
+
+    /// Unreserved local capacity at `t` — the `Avail_BW` a policy file
+    /// compares against.
+    pub fn available_bw_at(&self, t: Timestamp) -> u64 {
+        self.local.available_at(t)
+    }
+
+    /// Sum of active reservations entering from `peer` at `t`: the
+    /// profile the ingress aggregate policer should be dimensioned to.
+    pub fn admitted_ingress_aggregate(&self, peer: &str, t: Timestamp) -> u64 {
+        self.ingress
+            .get(peer)
+            .map(|table| table.admitted_aggregate_at(t))
+            .unwrap_or(0)
+    }
+
+    /// Is `id` held/committed and active at `t`?
+    pub fn reservation_active_at(&self, id: ReservationId, t: Timestamp) -> bool {
+        self.local.active_at(id, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sla::Sls;
+    use qos_crypto::{CertificateAuthority, DistinguishedName, KeyPair, Validity};
+
+    const MBPS: u64 = 1_000_000;
+
+    fn sla(up: &str, down: &str, rate: u64) -> Sla {
+        let mut ca = CertificateAuthority::new(
+            DistinguishedName::authority("RootCA"),
+            KeyPair::from_seed(b"ca"),
+        );
+        let root = ca.self_signed();
+        let peer = ca.issue_identity(
+            DistinguishedName::broker(up),
+            KeyPair::from_seed(up.as_bytes()).public(),
+            Validity::unbounded(),
+        );
+        Sla {
+            upstream: up.into(),
+            downstream: down.into(),
+            sls: Sls::strict(rate),
+            peer_cert: peer,
+            ca_cert: root,
+            price_per_mbps_sec: 1,
+        }
+    }
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::new(Timestamp(a), Timestamp(b))
+    }
+
+    fn transit_broker() -> BrokerCore {
+        // Domain B: accepts ≤20 Mb/s from A, sends ≤15 Mb/s to C,
+        // 100 Mb/s internal.
+        let mut b = BrokerCore::new("domain-b", 100 * MBPS);
+        b.add_ingress_sla(sla("domain-a", "domain-b", 20 * MBPS));
+        b.add_egress_sla(sla("domain-b", "domain-c", 15 * MBPS));
+        b
+    }
+
+    fn transit_segment() -> PathSegment {
+        PathSegment {
+            ingress_peer: Some("domain-a".into()),
+            egress_peer: Some("domain-c".into()),
+        }
+    }
+
+    #[test]
+    fn admits_within_all_three_limits() {
+        let mut b = transit_broker();
+        assert!(b
+            .hold(ReservationId(1), iv(0, 100), 10 * MBPS, transit_segment())
+            .is_ok());
+        assert_eq!(b.state(ReservationId(1)), Some(ResState::Held));
+    }
+
+    #[test]
+    fn egress_sla_is_the_binding_constraint() {
+        let mut b = transit_broker();
+        // 16 Mb/s fits the 20 Mb/s ingress SLA and local capacity but not
+        // the 15 Mb/s egress SLA.
+        let err = b
+            .hold(ReservationId(1), iv(0, 100), 16 * MBPS, transit_segment())
+            .unwrap_err();
+        assert!(
+            matches!(err, BrokerError::Sla { ref peer, .. } if peer == "domain-c"),
+            "{err}"
+        );
+        // And the failed attempt must not leak held capacity.
+        assert!(b
+            .hold(ReservationId(2), iv(0, 100), 15 * MBPS, transit_segment())
+            .is_ok());
+    }
+
+    #[test]
+    fn unknown_peer_is_rejected() {
+        let mut b = transit_broker();
+        let err = b
+            .hold(
+                ReservationId(1),
+                iv(0, 100),
+                MBPS,
+                PathSegment {
+                    ingress_peer: Some("domain-x".into()),
+                    egress_peer: None,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BrokerError::NoSla {
+                peer: "domain-x".into()
+            }
+        );
+    }
+
+    #[test]
+    fn source_domain_needs_no_ingress_sla() {
+        let mut b = transit_broker();
+        assert!(b
+            .hold(
+                ReservationId(1),
+                iv(0, 100),
+                10 * MBPS,
+                PathSegment {
+                    ingress_peer: None,
+                    egress_peer: Some("domain-c".into()),
+                },
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn release_rolls_back_everywhere() {
+        let mut b = transit_broker();
+        b.hold(ReservationId(1), iv(0, 100), 15 * MBPS, transit_segment())
+            .unwrap();
+        // Egress SLA is now full.
+        assert!(b
+            .hold(ReservationId(2), iv(0, 100), MBPS, transit_segment())
+            .is_err());
+        b.release(ReservationId(1)).unwrap();
+        assert!(b
+            .hold(ReservationId(2), iv(0, 100), 15 * MBPS, transit_segment())
+            .is_ok());
+    }
+
+    #[test]
+    fn ingress_aggregate_tracks_active_reservations() {
+        let mut b = transit_broker();
+        b.hold(ReservationId(1), iv(0, 100), 10 * MBPS, transit_segment())
+            .unwrap();
+        b.hold(ReservationId(2), iv(50, 150), 5 * MBPS, transit_segment())
+            .unwrap();
+        assert_eq!(
+            b.admitted_ingress_aggregate("domain-a", Timestamp(10)),
+            10 * MBPS
+        );
+        assert_eq!(
+            b.admitted_ingress_aggregate("domain-a", Timestamp(60)),
+            15 * MBPS
+        );
+        assert_eq!(
+            b.admitted_ingress_aggregate("domain-a", Timestamp(120)),
+            5 * MBPS
+        );
+        assert_eq!(b.admitted_ingress_aggregate("nobody", Timestamp(10)), 0);
+    }
+
+    #[test]
+    fn available_bw_reflects_holds() {
+        let mut b = transit_broker();
+        assert_eq!(b.available_bw_at(Timestamp(10)), 100 * MBPS);
+        b.hold(ReservationId(1), iv(0, 100), 10 * MBPS, transit_segment())
+            .unwrap();
+        assert_eq!(b.available_bw_at(Timestamp(10)), 90 * MBPS);
+        assert_eq!(b.available_bw_at(Timestamp(200)), 100 * MBPS);
+    }
+
+    #[test]
+    fn commit_then_release_lifecycle() {
+        let mut b = transit_broker();
+        b.hold(ReservationId(1), iv(0, 100), MBPS, transit_segment())
+            .unwrap();
+        b.commit(ReservationId(1)).unwrap();
+        assert_eq!(b.state(ReservationId(1)), Some(ResState::Committed));
+        assert!(b.reservation_active_at(ReservationId(1), Timestamp(50)));
+        b.release(ReservationId(1)).unwrap();
+        assert!(!b.reservation_active_at(ReservationId(1), Timestamp(50)));
+        assert!(matches!(
+            b.commit(ReservationId(9)),
+            Err(BrokerError::Unknown(_))
+        ));
+    }
+}

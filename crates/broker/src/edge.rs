@@ -1,0 +1,128 @@
+//! Edge-router configuration commands.
+//!
+//! Brokers never touch packets; they *configure* the data plane ("A BB
+//! provides admission control and configures the edge routers", §2).
+//! [`EdgeCommand`] is that configuration interface, and [`EdgeControl`]
+//! is anything that can apply it — the live [`qos_net::Network`], or a
+//! [`CommandLog`] recorder in tests.
+
+use qos_net::conditioner::{ExcessTreatment, TrafficProfile};
+use qos_net::{FlowId, LinkId, Network, NodeId};
+
+/// One configuration command for the data plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdgeCommand {
+    /// Install per-flow classification + policing at a first-hop router.
+    InstallFlow {
+        /// Router to configure.
+        router: NodeId,
+        /// Flow to classify.
+        flow: FlowId,
+        /// Reserved profile.
+        profile: TrafficProfile,
+        /// Excess treatment for the flow's own out-of-profile packets.
+        excess: ExcessTreatment,
+    },
+    /// Remove a per-flow entry.
+    RemoveFlow {
+        /// Router to configure.
+        router: NodeId,
+        /// Flow to forget.
+        flow: FlowId,
+    },
+    /// Dimension the EF aggregate policer on a domain-ingress link.
+    SetIngressAggregate {
+        /// The interdomain link.
+        link: LinkId,
+        /// Aggregate profile (sum of admitted reservations).
+        profile: TrafficProfile,
+        /// Excess treatment per the SLA.
+        excess: ExcessTreatment,
+    },
+}
+
+/// Anything that can apply edge configuration.
+pub trait EdgeControl {
+    /// Apply one command.
+    fn apply(&mut self, cmd: EdgeCommand);
+}
+
+impl EdgeControl for Network {
+    fn apply(&mut self, cmd: EdgeCommand) {
+        match cmd {
+            EdgeCommand::InstallFlow {
+                router,
+                flow,
+                profile,
+                excess,
+            } => self.install_flow_reservation(router, flow, profile, excess),
+            EdgeCommand::RemoveFlow { router, flow } => {
+                self.remove_flow_reservation(router, flow);
+            }
+            EdgeCommand::SetIngressAggregate {
+                link,
+                profile,
+                excess,
+            } => self.configure_ingress_policer(link, profile, excess),
+        }
+    }
+}
+
+/// A recorder for tests and dry runs.
+#[derive(Debug, Default)]
+pub struct CommandLog {
+    /// Commands in application order.
+    pub commands: Vec<EdgeCommand>,
+}
+
+impl EdgeControl for CommandLog {
+    fn apply(&mut self, cmd: EdgeCommand) {
+        self.commands.push(cmd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_net::{paper_topology, SimDuration};
+
+    #[test]
+    fn commands_apply_to_live_network() {
+        let (topo, n) = paper_topology(100_000_000, SimDuration::from_millis(5));
+        let mut net = Network::new(topo);
+        let router = net.first_router(n["alice"], n["charlie"]).unwrap();
+        let profile = TrafficProfile::with_default_burst(10_000_000);
+        net.apply(EdgeCommand::InstallFlow {
+            router,
+            flow: FlowId(1),
+            profile,
+            excess: ExcessTreatment::Drop,
+        });
+        net.apply(EdgeCommand::RemoveFlow {
+            router,
+            flow: FlowId(1),
+        });
+        // Removing twice is harmless.
+        net.apply(EdgeCommand::RemoveFlow {
+            router,
+            flow: FlowId(1),
+        });
+    }
+
+    #[test]
+    fn command_log_records_in_order() {
+        let mut log = CommandLog::default();
+        let profile = TrafficProfile::with_default_burst(1);
+        log.apply(EdgeCommand::RemoveFlow {
+            router: NodeId(1),
+            flow: FlowId(2),
+        });
+        log.apply(EdgeCommand::SetIngressAggregate {
+            link: LinkId(3),
+            profile,
+            excess: ExcessTreatment::Downgrade,
+        });
+        assert_eq!(log.commands.len(), 2);
+        assert!(matches!(log.commands[0], EdgeCommand::RemoveFlow { .. }));
+    }
+}

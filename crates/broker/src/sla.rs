@@ -1,0 +1,128 @@
+//! Service level agreements between peered domains.
+//!
+//! §2 of the paper: "Whenever the network reservation end-points are in
+//! different domains, a specific contract between peered domains comes
+//! into place, used by BBs as input for their admission control
+//! procedures. A service level agreement (SLA) regulates the acceptance
+//! and the constraints of a given traffic profile. Service Level
+//! Specifications (SLS) are used to describe the appropriate QoS
+//! parameters."
+//!
+//! §6 extends the SLA with trust material: "we extend this agreement by
+//! adding information to facilitate the trust relationship between two
+//! peered BBs. This information includes the certificates of the peered
+//! BBs as well as the certificate of the issuing certificate authority,
+//! all used during the SSL handshake."
+
+use qos_crypto::Certificate;
+use qos_net::conditioner::ExcessTreatment;
+
+/// Service level specification: the QoS parameters an SLA commits to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sls {
+    /// Committed EF rate across the peering in bits/s.
+    pub committed_rate_bps: u64,
+    /// Burst tolerance in bytes.
+    pub burst_bytes: u64,
+    /// Treatment of out-of-profile EF traffic.
+    pub excess: ExcessTreatment,
+    /// Expected delivery ratio for in-profile traffic (a reliability
+    /// parameter the source BB may propagate downstream).
+    pub reliability: f64,
+}
+
+impl Sls {
+    /// An SLS with a 50 ms burst and drop excess treatment.
+    pub fn strict(committed_rate_bps: u64) -> Self {
+        Self {
+            committed_rate_bps,
+            burst_bytes: (committed_rate_bps / 8 / 20).max(3_000),
+            excess: ExcessTreatment::Drop,
+            reliability: 0.999,
+        }
+    }
+
+    /// Same profile but downgrading excess instead of dropping it.
+    pub fn lenient(committed_rate_bps: u64) -> Self {
+        Self {
+            excess: ExcessTreatment::Downgrade,
+            ..Self::strict(committed_rate_bps)
+        }
+    }
+}
+
+/// A bilateral agreement: `upstream` may inject EF traffic into
+/// `downstream` according to `sls`, with pinned trust material and a
+/// transit price for the transitive billing chain.
+#[derive(Debug, Clone)]
+pub struct Sla {
+    /// The sending (upstream) domain.
+    pub upstream: String,
+    /// The accepting (downstream) domain.
+    pub downstream: String,
+    /// QoS commitment.
+    pub sls: Sls,
+    /// The peer BB's identity certificate (pinned; exchanged when the SLA
+    /// was contracted, verified again during each channel handshake).
+    pub peer_cert: Certificate,
+    /// The certificate of the CA that issued the peer's certificate.
+    pub ca_cert: Certificate,
+    /// Transit price in micro-units per (Mb/s × second), for billing.
+    pub price_per_mbps_sec: u64,
+}
+
+impl Sla {
+    /// The cost of carrying `rate_bps` for `secs` under this agreement.
+    pub fn transit_cost(&self, rate_bps: u64, secs: u64) -> u64 {
+        // price × Mb/s × s, computed in u128 to avoid overflow.
+        let mbps_millis = rate_bps as u128; // bits/s
+        (self.price_per_mbps_sec as u128 * mbps_millis * secs as u128 / 1_000_000) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_crypto::{CertificateAuthority, DistinguishedName, KeyPair, Validity};
+
+    fn cert_pair() -> (Certificate, Certificate) {
+        let mut ca = CertificateAuthority::new(
+            DistinguishedName::authority("RootCA"),
+            KeyPair::from_seed(b"ca"),
+        );
+        let root = ca.self_signed();
+        let peer = ca.issue_identity(
+            DistinguishedName::broker("domain-b"),
+            KeyPair::from_seed(b"bb-b").public(),
+            Validity::unbounded(),
+        );
+        (peer, root)
+    }
+
+    #[test]
+    fn sls_constructors() {
+        let s = Sls::strict(10_000_000);
+        assert_eq!(s.committed_rate_bps, 10_000_000);
+        assert_eq!(s.excess, ExcessTreatment::Drop);
+        assert!(s.burst_bytes >= 3_000);
+        assert_eq!(Sls::lenient(1).excess, ExcessTreatment::Downgrade);
+    }
+
+    #[test]
+    fn transit_cost_scales_linearly() {
+        let (peer_cert, ca_cert) = cert_pair();
+        let sla = Sla {
+            upstream: "domain-a".into(),
+            downstream: "domain-b".into(),
+            sls: Sls::strict(100_000_000),
+            peer_cert,
+            ca_cert,
+            price_per_mbps_sec: 10,
+        };
+        // 10 Mb/s for 100 s at 10 per Mb/s-sec = 10 × 10 × 100.
+        assert_eq!(sla.transit_cost(10_000_000, 100), 10_000);
+        assert_eq!(sla.transit_cost(20_000_000, 100), 20_000);
+        assert_eq!(sla.transit_cost(10_000_000, 200), 20_000);
+        assert_eq!(sla.transit_cost(0, 100), 0);
+    }
+}

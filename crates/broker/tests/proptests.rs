@@ -1,0 +1,108 @@
+//! Property tests for admission control: the never-oversubscribe
+//! invariant under arbitrary hold/commit/release interleavings.
+
+use proptest::prelude::*;
+use qos_broker::{Interval, ReservationId, ReservationTable, ResState};
+use qos_crypto::Timestamp;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Hold { start: u64, len: u64, rate: u64 },
+    Commit(usize),
+    Release(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..1000, 1u64..200, 1u64..60).prop_map(|(start, len, rate)| Op::Hold {
+                start,
+                len,
+                rate
+            }),
+            (0usize..64).prop_map(Op::Commit),
+            (0usize..64).prop_map(Op::Release),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    /// At no instant does the sum of active reservations exceed capacity,
+    /// under any interleaving of holds, commits, and releases.
+    #[test]
+    fn never_oversubscribed(ops in arb_ops()) {
+        const CAPACITY: u64 = 100;
+        let mut table = ReservationTable::new(CAPACITY);
+        let mut ids: Vec<ReservationId> = Vec::new();
+        let mut next = 0u64;
+        for op in ops {
+            match op {
+                Op::Hold { start, len, rate } => {
+                    next += 1;
+                    let id = ReservationId(next);
+                    if table
+                        .hold(id, Interval::starting_at(Timestamp(start), len), rate)
+                        .is_ok()
+                    {
+                        ids.push(id);
+                    }
+                }
+                Op::Commit(i) => {
+                    if let Some(id) = ids.get(i) {
+                        let _ = table.commit(*id);
+                    }
+                }
+                Op::Release(i) => {
+                    if let Some(id) = ids.get(i) {
+                        let _ = table.release(*id);
+                    }
+                }
+            }
+            // Sweep the whole horizon: usage must respect capacity at
+            // every breakpoint.
+            for t in (0..1300).step_by(13) {
+                prop_assert!(
+                    table.usage_at(Timestamp(t)) <= CAPACITY,
+                    "oversubscribed at t={t}"
+                );
+            }
+        }
+    }
+
+    /// Released reservations stop counting; committed ones keep counting.
+    #[test]
+    fn release_frees_commit_retains(rate in 1u64..100, start in 0u64..100, len in 1u64..100) {
+        let mut t = ReservationTable::new(100);
+        let id = ReservationId(1);
+        t.hold(id, Interval::starting_at(Timestamp(start), len), rate).unwrap();
+        let mid = Timestamp(start + len / 2);
+        prop_assert_eq!(t.usage_at(mid), rate);
+        t.commit(id).unwrap();
+        prop_assert_eq!(t.usage_at(mid), rate);
+        prop_assert_eq!(t.state(id), Some(ResState::Committed));
+        t.release(id).unwrap();
+        prop_assert_eq!(t.usage_at(mid), 0);
+    }
+
+    /// `peak_usage` over an interval equals the max of `usage_at` sampled
+    /// at every breakpoint inside it.
+    #[test]
+    fn peak_usage_matches_pointwise_max(
+        entries in proptest::collection::vec((0u64..200, 1u64..100, 1u64..1000), 1..20),
+    ) {
+        let mut t = ReservationTable::new(u64::MAX);
+        for (i, (start, len, rate)) in entries.iter().enumerate() {
+            t.hold(
+                ReservationId(i as u64),
+                Interval::starting_at(Timestamp(*start), *len),
+                *rate,
+            )
+            .unwrap();
+        }
+        let window = Interval::new(Timestamp(0), Timestamp(400));
+        let peak = t.peak_usage(&window);
+        let pointwise = (0..400).map(|x| t.usage_at(Timestamp(x))).max().unwrap();
+        prop_assert_eq!(peak, pointwise);
+    }
+}

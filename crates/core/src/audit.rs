@@ -1,0 +1,227 @@
+//! Structured per-broker audit trail.
+//!
+//! The paper's signatures "allow for the tracking the path taken by a
+//! request"; operationally, each broker also wants a local record of what
+//! it decided and why. [`AuditLog`] is a bounded in-memory trail of the
+//! protocol steps a [`crate::node::BbNode`] takes — disabled by default,
+//! switched on per node for debugging, examples, and incident forensics.
+
+use crate::rar::RarId;
+use qos_crypto::Timestamp;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One audited protocol step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditEvent {
+    /// A request arrived (from a user or a peer).
+    RequestReceived {
+        /// The request.
+        rar_id: RarId,
+        /// `user` or the upstream peer domain.
+        from: String,
+        /// Envelope depth on arrival.
+        depth: usize,
+    },
+    /// The local PDP decided.
+    PolicyDecision {
+        /// The request.
+        rar_id: RarId,
+        /// `GRANT` or the denial reason.
+        decision: String,
+    },
+    /// Admission control held (or refused) capacity.
+    Admission {
+        /// The request.
+        rar_id: RarId,
+        /// Whether the hold succeeded.
+        ok: bool,
+        /// Rate involved (bits/s).
+        rate_bps: u64,
+    },
+    /// The request was wrapped and forwarded downstream.
+    Forwarded {
+        /// The request.
+        rar_id: RarId,
+        /// Next-hop peer domain.
+        to: String,
+    },
+    /// An approval was endorsed / originated here.
+    Approved {
+        /// The request.
+        rar_id: RarId,
+    },
+    /// A denial was issued or relayed here.
+    Denied {
+        /// The request.
+        rar_id: RarId,
+        /// The denying domain.
+        domain: String,
+        /// The reason.
+        reason: String,
+    },
+    /// A reservation was released (teardown or expiry).
+    Released {
+        /// The request.
+        rar_id: RarId,
+    },
+    /// A tunnel sub-flow was processed at this end.
+    TunnelFlow {
+        /// The tunnel.
+        tunnel: RarId,
+        /// The sub-flow.
+        flow: u64,
+        /// Accepted?
+        accepted: bool,
+    },
+}
+
+impl fmt::Display for AuditEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditEvent::RequestReceived { rar_id, from, depth } => {
+                write!(f, "request {rar_id:?} received from {from} (depth {depth})")
+            }
+            AuditEvent::PolicyDecision { rar_id, decision } => {
+                write!(f, "policy on {rar_id:?}: {decision}")
+            }
+            AuditEvent::Admission { rar_id, ok, rate_bps } => {
+                write!(f, "admission of {rar_id:?} @{rate_bps}bps: {}", if *ok { "held" } else { "refused" })
+            }
+            AuditEvent::Forwarded { rar_id, to } => write!(f, "{rar_id:?} forwarded to {to}"),
+            AuditEvent::Approved { rar_id } => write!(f, "{rar_id:?} approved"),
+            AuditEvent::Denied { rar_id, domain, reason } => {
+                write!(f, "{rar_id:?} denied by {domain}: {reason}")
+            }
+            AuditEvent::Released { rar_id } => write!(f, "{rar_id:?} released"),
+            AuditEvent::TunnelFlow { tunnel, flow, accepted } => {
+                write!(f, "tunnel {tunnel:?} flow {flow}: {}", if *accepted { "accepted" } else { "refused" })
+            }
+        }
+    }
+}
+
+/// A bounded audit trail (oldest entries evicted beyond the cap).
+#[derive(Debug)]
+pub struct AuditLog {
+    enabled: bool,
+    cap: usize,
+    events: VecDeque<(Timestamp, AuditEvent)>,
+}
+
+impl Default for AuditLog {
+    fn default() -> Self {
+        Self::new(4096)
+    }
+}
+
+impl AuditLog {
+    /// A disabled log with the given capacity.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            enabled: false,
+            cap: cap.max(1),
+            events: VecDeque::new(),
+        }
+    }
+
+    /// Turn recording on or off.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Is recording on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op while disabled).
+    pub fn record(&mut self, at: Timestamp, event: AuditEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+        }
+        self.events.push_back((at, event));
+    }
+
+    /// All recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(Timestamp, AuditEvent)> {
+        self.events.iter()
+    }
+
+    /// Recorded events for one request.
+    pub fn for_rar(&self, rar_id: RarId) -> Vec<&AuditEvent> {
+        self.events
+            .iter()
+            .map(|(_, e)| e)
+            .filter(|e| match e {
+                AuditEvent::RequestReceived { rar_id: id, .. }
+                | AuditEvent::PolicyDecision { rar_id: id, .. }
+                | AuditEvent::Admission { rar_id: id, .. }
+                | AuditEvent::Forwarded { rar_id: id, .. }
+                | AuditEvent::Approved { rar_id: id }
+                | AuditEvent::Denied { rar_id: id, .. }
+                | AuditEvent::Released { rar_id: id } => *id == rar_id,
+                AuditEvent::TunnelFlow { tunnel, .. } => *tunnel == rar_id,
+            })
+            .collect()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = AuditLog::new(8);
+        log.record(Timestamp(0), AuditEvent::Approved { rar_id: RarId(1) });
+        assert!(log.is_empty());
+        log.set_enabled(true);
+        log.record(Timestamp(1), AuditEvent::Approved { rar_id: RarId(1) });
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn bounded_eviction() {
+        let mut log = AuditLog::new(3);
+        log.set_enabled(true);
+        for i in 0..5 {
+            log.record(Timestamp(i), AuditEvent::Approved { rar_id: RarId(i) });
+        }
+        assert_eq!(log.len(), 3);
+        let first = log.events().next().unwrap();
+        assert_eq!(first.0, Timestamp(2), "oldest evicted");
+    }
+
+    #[test]
+    fn per_request_filter() {
+        let mut log = AuditLog::new(16);
+        log.set_enabled(true);
+        log.record(Timestamp(0), AuditEvent::Approved { rar_id: RarId(1) });
+        log.record(Timestamp(1), AuditEvent::Approved { rar_id: RarId(2) });
+        log.record(
+            Timestamp(2),
+            AuditEvent::Denied {
+                rar_id: RarId(1),
+                domain: "x".into(),
+                reason: "y".into(),
+            },
+        );
+        assert_eq!(log.for_rar(RarId(1)).len(), 2);
+        assert_eq!(log.for_rar(RarId(2)).len(), 1);
+        assert_eq!(log.for_rar(RarId(3)).len(), 0);
+    }
+}

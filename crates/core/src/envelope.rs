@@ -1,0 +1,371 @@
+//! Nested signed RAR envelopes — the wire format of §6.4.
+//!
+//! The user signs the innermost layer:
+//!
+//! ```text
+//! RAR_U = sign_U({res_spec, DN_BB_A, CapCert'_CAS, CapCert'_U})
+//! ```
+//!
+//! and every broker wraps what it received, adding the upstream peer's
+//! certificate (learned from the secure-channel handshake — this is what
+//! makes each broker a *key introducer*), the DN of the next downstream
+//! broker, any new capability delegations, and its policy attachments:
+//!
+//! ```text
+//! RAR_{N+1} = sign_{BB_{N+1}}({RAR_N, cert_N, DN_BB_{N+2}, CapCert'_{N+1}})
+//! ```
+//!
+//! "A complete request therefore is comprised of a collection of
+//! information, each signed by the entity that added it. The signatures
+//! both assert the authenticity of the information and allows for the
+//! tracking the path taken by a request as it moves from BB to BB."
+
+use crate::rar::ResSpec;
+use qos_crypto::{Certificate, DistinguishedName, KeyPair, PublicKey, Signature};
+use qos_policy::AttributeSet;
+
+/// One layer of the envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RarLayer {
+    /// The user's innermost request.
+    User {
+        /// The reservation specification.
+        res_spec: ResSpec,
+        /// `DN_BB_A`: the broker the user submits to (binds the request
+        /// to its entry point).
+        source_bb: DistinguishedName,
+        /// `CapCert'_CAS` and `CapCert'_U`: the CAS-issued capability
+        /// certificate plus the user's delegation of it to the source BB.
+        capability_certs: Vec<Certificate>,
+    },
+    /// A broker's wrapper around what it received.
+    Broker {
+        /// The signed message this broker received (`RAR_N`).
+        inner: Box<SignedRar>,
+        /// `cert_N`: certificate of the inner message's signer, added by
+        /// this broker as introducer material.
+        upstream_cert: Certificate,
+        /// `DN_BB_{N+2}`: the next downstream broker this copy is
+        /// addressed to (None only on the destination's own records).
+        next_bb: Option<DistinguishedName>,
+        /// `CapCert'_{N+1}`: new delegation certificates added here.
+        capability_certs: Vec<Certificate>,
+        /// Additional policy information the local policy server attached
+        /// ("the BB receives additional domain-wide information from the
+        /// policy server").
+        policy_attachments: AttributeSet,
+    },
+}
+
+qos_wire::impl_wire_enum!(RarLayer {
+    0 => User { res_spec, source_bb, capability_certs },
+    1 => Broker { inner, upstream_cert, next_bb, capability_certs, policy_attachments },
+});
+
+/// A signed layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignedRar {
+    /// Payload.
+    pub layer: RarLayer,
+    /// Who signed it.
+    pub signer: DistinguishedName,
+    /// Signature over the canonical bytes of `layer`.
+    pub signature: Signature,
+}
+
+qos_wire::impl_wire_struct!(SignedRar {
+    layer,
+    signer,
+    signature
+});
+
+impl SignedRar {
+    /// Build and sign the user's innermost request (`RAR_U`).
+    pub fn user_request(
+        res_spec: ResSpec,
+        source_bb: DistinguishedName,
+        capability_certs: Vec<Certificate>,
+        user_key: &KeyPair,
+    ) -> Self {
+        let layer = RarLayer::User {
+            res_spec: res_spec.clone(),
+            source_bb,
+            capability_certs,
+        };
+        let signature = user_key.sign(&qos_wire::to_bytes(&layer));
+        Self {
+            layer,
+            signer: res_spec.requestor,
+            signature,
+        }
+    }
+
+    /// Wrap a received message into the next hop's envelope
+    /// (`RAR_{N+1}`).
+    pub fn wrap(
+        inner: SignedRar,
+        upstream_cert: Certificate,
+        next_bb: Option<DistinguishedName>,
+        capability_certs: Vec<Certificate>,
+        policy_attachments: AttributeSet,
+        signer: DistinguishedName,
+        key: &KeyPair,
+    ) -> Self {
+        let layer = RarLayer::Broker {
+            inner: Box::new(inner),
+            upstream_cert,
+            next_bb,
+            capability_certs,
+            policy_attachments,
+        };
+        let signature = key.sign(&qos_wire::to_bytes(&layer));
+        Self {
+            layer,
+            signer,
+            signature,
+        }
+    }
+
+    /// Verify this layer's signature under `pk`.
+    pub fn verify_signature(&self, pk: PublicKey) -> bool {
+        pk.verify(&qos_wire::to_bytes(&self.layer), &self.signature)
+    }
+
+    /// The signature value (for tests).
+    pub fn signature(&self) -> Signature {
+        self.signature
+    }
+
+    /// The reservation specification, wherever it is nested.
+    pub fn res_spec(&self) -> &ResSpec {
+        match &self.layer {
+            RarLayer::User { res_spec, .. } => res_spec,
+            RarLayer::Broker { inner, .. } => inner.res_spec(),
+        }
+    }
+
+    /// Envelope depth: 1 for a bare user request, +1 per broker wrap.
+    pub fn depth(&self) -> usize {
+        match &self.layer {
+            RarLayer::User { .. } => 1,
+            RarLayer::Broker { inner, .. } => 1 + inner.depth(),
+        }
+    }
+
+    /// Signer DNs innermost-first: `[user, BB_A, BB_B, …]` — the signal
+    /// path trace.
+    pub fn signer_path(&self) -> Vec<DistinguishedName> {
+        let mut path = match &self.layer {
+            RarLayer::User { .. } => Vec::new(),
+            RarLayer::Broker { inner, .. } => inner.signer_path(),
+        };
+        path.push(self.signer.clone());
+        path
+    }
+
+    /// All capability certificates, innermost (CAS grant) first — the
+    /// growing capability list of Figure 7.
+    pub fn capability_certs(&self) -> Vec<Certificate> {
+        match &self.layer {
+            RarLayer::User {
+                capability_certs, ..
+            } => capability_certs.clone(),
+            RarLayer::Broker {
+                inner,
+                capability_certs,
+                ..
+            } => {
+                let mut all = inner.capability_certs();
+                all.extend(capability_certs.iter().cloned());
+                all
+            }
+        }
+    }
+
+    /// Union of all policy attachments, inner layers first (outer layers
+    /// override on key conflicts).
+    pub fn merged_attachments(&self) -> AttributeSet {
+        let mut out = AttributeSet::new();
+        fn walk(rar: &SignedRar, out: &mut AttributeSet) {
+            if let RarLayer::Broker {
+                inner,
+                policy_attachments,
+                ..
+            } = &rar.layer
+            {
+                walk(inner, out);
+                out.merge(policy_attachments);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Serialized size in bytes (the EXP-S metric).
+    pub fn encoded_len(&self) -> usize {
+        qos_wire::to_bytes(self).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rar::RarId;
+    use qos_broker::Interval;
+    use qos_crypto::{CertificateAuthority, Timestamp, Validity};
+    use qos_policy::Value;
+
+    fn spec() -> ResSpec {
+        ResSpec::new(
+            RarId(1),
+            DistinguishedName::user("Alice", "ANL"),
+            "domain-a",
+            "domain-c",
+            7,
+            10_000_000,
+            Interval::starting_at(Timestamp(0), 3600),
+        )
+    }
+
+    struct Fix {
+        ca: CertificateAuthority,
+        user: KeyPair,
+        bb_a: KeyPair,
+        bb_b: KeyPair,
+    }
+
+    fn fix() -> Fix {
+        Fix {
+            ca: CertificateAuthority::new(
+                DistinguishedName::authority("CA"),
+                KeyPair::from_seed(b"ca"),
+            ),
+            user: KeyPair::from_seed(b"alice"),
+            bb_a: KeyPair::from_seed(b"bb-a"),
+            bb_b: KeyPair::from_seed(b"bb-b"),
+        }
+    }
+
+    fn build_nested(f: &mut Fix) -> SignedRar {
+        let user_cert = f.ca.issue_identity(
+            DistinguishedName::user("Alice", "ANL"),
+            f.user.public(),
+            Validity::unbounded(),
+        );
+        let cert_a = f.ca.issue_identity(
+            DistinguishedName::broker("domain-a"),
+            f.bb_a.public(),
+            Validity::unbounded(),
+        );
+        let rar_u = SignedRar::user_request(
+            spec(),
+            DistinguishedName::broker("domain-a"),
+            vec![],
+            &f.user,
+        );
+        let rar_a = SignedRar::wrap(
+            rar_u,
+            user_cert,
+            Some(DistinguishedName::broker("domain-b")),
+            vec![],
+            AttributeSet::new().with("te_hint", Value::Int(1)),
+            DistinguishedName::broker("domain-a"),
+            &f.bb_a,
+        );
+        SignedRar::wrap(
+            rar_a,
+            cert_a,
+            Some(DistinguishedName::broker("domain-c")),
+            vec![],
+            AttributeSet::new().with("sls_b", Value::Int(2)),
+            DistinguishedName::broker("domain-b"),
+            &f.bb_b,
+        )
+    }
+
+    #[test]
+    fn nesting_grows_depth_and_path() {
+        let mut f = fix();
+        let rar = build_nested(&mut f);
+        assert_eq!(rar.depth(), 3);
+        let path: Vec<String> = rar.signer_path().iter().map(|d| d.to_string()).collect();
+        assert_eq!(
+            path,
+            vec![
+                "CN=Alice,OU=Users,O=ANL",
+                "CN=BB,OU=domain-a,O=QoS",
+                "CN=BB,OU=domain-b,O=QoS"
+            ]
+        );
+        assert_eq!(rar.res_spec().rar_id, RarId(1));
+    }
+
+    #[test]
+    fn signatures_verify_layer_by_layer() {
+        let mut f = fix();
+        let rar = build_nested(&mut f);
+        assert!(rar.verify_signature(f.bb_b.public()));
+        let RarLayer::Broker { inner, .. } = &rar.layer else {
+            panic!()
+        };
+        assert!(inner.verify_signature(f.bb_a.public()));
+        let RarLayer::Broker { inner: user, .. } = &inner.layer else {
+            panic!()
+        };
+        assert!(user.verify_signature(f.user.public()));
+    }
+
+    #[test]
+    fn tampering_any_layer_breaks_outer_signature() {
+        let mut f = fix();
+        let rar = build_nested(&mut f);
+        // Deep-tamper: mutate the serialized form so the damage lands
+        // inside a nested, already-signed layer.
+        let mut bytes = qos_wire::to_bytes(&rar);
+        // Flip a byte near the middle (inside nested payload).
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        match qos_wire::from_bytes::<SignedRar>(&bytes) {
+            Err(_) => {} // structural damage detected by codec
+            Ok(mutated) => {
+                assert!(
+                    !mutated.verify_signature(f.bb_b.public()),
+                    "outer signature must not survive inner mutation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merged_attachments_accumulate_inner_to_outer() {
+        let mut f = fix();
+        let rar = build_nested(&mut f);
+        let merged = rar.merged_attachments();
+        assert_eq!(merged.get("te_hint"), Some(&Value::Int(1)));
+        assert_eq!(merged.get("sls_b"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_verification() {
+        let mut f = fix();
+        let rar = build_nested(&mut f);
+        let bytes = qos_wire::to_bytes(&rar);
+        let back: SignedRar = qos_wire::from_bytes(&bytes).unwrap();
+        assert_eq!(back, rar);
+        assert!(back.verify_signature(f.bb_b.public()));
+    }
+
+    #[test]
+    fn encoded_len_grows_with_depth() {
+        let mut f = fix();
+        let rar_u = SignedRar::user_request(
+            spec(),
+            DistinguishedName::broker("domain-a"),
+            vec![],
+            &f.user,
+        );
+        let l1 = rar_u.encoded_len();
+        let nested = build_nested(&mut f);
+        assert!(nested.encoded_len() > l1 * 2, "nesting adds layers + certs");
+    }
+}

@@ -1,0 +1,86 @@
+//! Protocol-level errors.
+
+use crate::rar::RarId;
+use qos_crypto::{CryptoError, DistinguishedName};
+use std::fmt;
+
+/// Why a signalling step failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A layer signature failed under the expected key.
+    LayerSignature {
+        /// The layer's claimed signer.
+        signer: DistinguishedName,
+    },
+    /// The envelope's declared path is inconsistent: a layer addressed to
+    /// one broker was wrapped by a different one.
+    PathMismatch {
+        /// Whom the inner layer addressed.
+        expected: DistinguishedName,
+        /// Who actually wrapped it.
+        found: DistinguishedName,
+    },
+    /// The envelope is deeper than the local trust policy allows.
+    ChainTooDeep {
+        /// Observed depth (broker layers).
+        depth: usize,
+        /// Local limit.
+        limit: usize,
+    },
+    /// A certificate or capability check failed.
+    Crypto(CryptoError),
+    /// The request referenced an unknown peer/SLA.
+    UnknownPeer {
+        /// The peer domain.
+        peer: String,
+    },
+    /// A secure-channel error (handshake or message authentication).
+    Channel(String),
+    /// Local denial (policy or admission), to be propagated upstream.
+    Denied {
+        /// The request.
+        rar_id: RarId,
+        /// The denying domain.
+        domain: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The message referenced an unknown in-flight request.
+    UnknownRar(RarId),
+    /// A tunnel operation referenced an unknown or exhausted tunnel.
+    Tunnel(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::LayerSignature { signer } => {
+                write!(f, "envelope layer signed by {signer} failed verification")
+            }
+            CoreError::PathMismatch { expected, found } => {
+                write!(f, "path mismatch: layer addressed {expected}, wrapped by {found}")
+            }
+            CoreError::ChainTooDeep { depth, limit } => {
+                write!(f, "envelope depth {depth} exceeds trust-policy limit {limit}")
+            }
+            CoreError::Crypto(e) => write!(f, "{e}"),
+            CoreError::UnknownPeer { peer } => write!(f, "no SLA/peering with {peer}"),
+            CoreError::Channel(m) => write!(f, "secure channel: {m}"),
+            CoreError::Denied {
+                rar_id,
+                domain,
+                reason,
+            } => write!(f, "request {rar_id:?} denied by {domain}: {reason}"),
+            CoreError::UnknownRar(id) => write!(f, "unknown request {id:?}"),
+            CoreError::Tunnel(m) => write!(f, "tunnel: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<CryptoError> for CoreError {
+    fn from(e: CryptoError) -> Self {
+        CoreError::Crypto(e)
+    }
+}

@@ -1,0 +1,546 @@
+//! Inter-broker signalling messages.
+//!
+//! Downstream travels the nested [`SignedRar`]; upstream travel signed
+//! approvals ("the BB adds its own signed policy information and
+//! propagates the modified request to the previous intermediate domain
+//! BB") or denials ("the event is propagated upstream to inform the user
+//! of the reason for the denial"). Tunnel sub-flow requests travel the
+//! *direct* source↔destination channel.
+
+use crate::envelope::SignedRar;
+use crate::rar::RarId;
+use qos_crypto::sha256::sha256;
+use qos_crypto::{Certificate, DistinguishedName, KeyPair, PublicKey, Signature};
+use qos_policy::AttributeSet;
+
+/// One domain's signed endorsement on the approval path. Entries chain
+/// through `prev_digest`, so the source can verify the whole return path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApprovalEntry {
+    /// The approved request.
+    pub rar_id: RarId,
+    /// Endorsing domain.
+    pub domain: String,
+    /// Endorsing broker's DN.
+    pub signer: DistinguishedName,
+    /// Policy information this domain attached on the way back.
+    pub attachments: AttributeSet,
+    /// SHA-256 of the previous entry's canonical bytes (empty for the
+    /// destination's entry).
+    pub prev_digest: Vec<u8>,
+    /// Signature over the canonical bytes of all fields above.
+    pub signature: Signature,
+}
+
+qos_wire::impl_wire_struct!(ApprovalEntry {
+    rar_id,
+    domain,
+    signer,
+    attachments,
+    prev_digest,
+    signature
+});
+
+impl ApprovalEntry {
+    fn payload(
+        rar_id: RarId,
+        domain: &str,
+        signer: &DistinguishedName,
+        attachments: &AttributeSet,
+        prev_digest: &[u8],
+    ) -> Vec<u8> {
+        let mut w = qos_wire::Writer::new();
+        qos_wire::Encode::encode(&rar_id, &mut w);
+        w.put_str(domain);
+        qos_wire::Encode::encode(signer, &mut w);
+        qos_wire::Encode::encode(attachments, &mut w);
+        w.put_bytes(prev_digest);
+        w.into_bytes()
+    }
+
+    /// Verify this entry's signature under `pk`.
+    pub fn verify(&self, pk: PublicKey) -> bool {
+        pk.verify(
+            &Self::payload(
+                self.rar_id,
+                &self.domain,
+                &self.signer,
+                &self.attachments,
+                &self.prev_digest,
+            ),
+            &self.signature,
+        )
+    }
+}
+
+/// The approval flowing back from the destination to the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Approval {
+    /// The approved request.
+    pub rar_id: RarId,
+    /// The destination broker's certificate — what the source domain
+    /// needs to open the direct tunnel channel ("it must be possible for
+    /// the end-domain to derive the identity of the source domain's BB",
+    /// and vice versa).
+    pub dest_cert: Certificate,
+    /// Endorsements, destination first.
+    pub entries: Vec<ApprovalEntry>,
+}
+
+qos_wire::impl_wire_struct!(Approval {
+    rar_id,
+    dest_cert,
+    entries
+});
+
+impl Approval {
+    /// Create the destination's initial approval.
+    pub fn originate(
+        rar_id: RarId,
+        dest_cert: Certificate,
+        domain: &str,
+        signer: DistinguishedName,
+        attachments: AttributeSet,
+        key: &KeyPair,
+    ) -> Self {
+        let payload = ApprovalEntry::payload(rar_id, domain, &signer, &attachments, &[]);
+        let signature = key.sign(&payload);
+        Self {
+            rar_id,
+            dest_cert,
+            entries: vec![ApprovalEntry {
+                rar_id,
+                domain: domain.to_string(),
+                signer,
+                attachments,
+                prev_digest: Vec::new(),
+                signature,
+            }],
+        }
+    }
+
+    /// Add a transit/source domain's endorsement.
+    pub fn endorse(
+        mut self,
+        domain: &str,
+        signer: DistinguishedName,
+        attachments: AttributeSet,
+        key: &KeyPair,
+    ) -> Self {
+        let prev = self.entries.last().expect("approvals are never empty");
+        let prev_digest = sha256(&qos_wire::to_bytes(prev)).to_vec();
+        let payload =
+            ApprovalEntry::payload(self.rar_id, domain, &signer, &attachments, &prev_digest);
+        let signature = key.sign(&payload);
+        self.entries.push(ApprovalEntry {
+            rar_id: self.rar_id,
+            domain: domain.to_string(),
+            signer,
+            attachments,
+            prev_digest,
+            signature,
+        });
+        self
+    }
+
+    /// Verify the chain: every signature under the key `resolve` returns
+    /// for its signer, and every `prev_digest` matches.
+    pub fn verify(
+        &self,
+        resolve: impl Fn(&DistinguishedName) -> Option<PublicKey>,
+    ) -> Result<(), String> {
+        let mut prev: Option<&ApprovalEntry> = None;
+        for entry in &self.entries {
+            if entry.rar_id != self.rar_id {
+                return Err("entry rar_id mismatch".into());
+            }
+            let expected_digest = match prev {
+                None => Vec::new(),
+                Some(p) => sha256(&qos_wire::to_bytes(p)).to_vec(),
+            };
+            if entry.prev_digest != expected_digest {
+                return Err(format!("broken digest chain at {}", entry.domain));
+            }
+            let pk = resolve(&entry.signer)
+                .ok_or_else(|| format!("no key for {}", entry.signer))?;
+            if !entry.verify(pk) {
+                return Err(format!("bad signature by {}", entry.signer));
+            }
+            prev = Some(entry);
+        }
+        Ok(())
+    }
+}
+
+/// A denial flowing back upstream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Denial {
+    /// The denied request.
+    pub rar_id: RarId,
+    /// The domain that said no.
+    pub domain: String,
+    /// Why ("to inform the user of the reason for the denial").
+    pub reason: String,
+}
+
+qos_wire::impl_wire_struct!(Denial {
+    rar_id,
+    domain,
+    reason
+});
+
+/// A request for a sub-flow inside an established tunnel, sent over the
+/// direct source↔destination channel. Signed by the source BB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunnelFlowRequest {
+    /// The tunnel (the aggregate reservation's id).
+    pub tunnel: RarId,
+    /// The new sub-flow's data-plane id.
+    pub flow: u64,
+    /// Requested rate within the aggregate.
+    pub rate_bps: u64,
+    /// Requesting user.
+    pub requestor: DistinguishedName,
+    /// Source BB's signature over the fields above.
+    pub signature: Signature,
+}
+
+qos_wire::impl_wire_struct!(TunnelFlowRequest {
+    tunnel,
+    flow,
+    rate_bps,
+    requestor,
+    signature
+});
+
+impl TunnelFlowRequest {
+    fn payload(tunnel: RarId, flow: u64, rate_bps: u64, requestor: &DistinguishedName) -> Vec<u8> {
+        let mut w = qos_wire::Writer::new();
+        qos_wire::Encode::encode(&tunnel, &mut w);
+        w.put_u64(flow);
+        w.put_u64(rate_bps);
+        qos_wire::Encode::encode(requestor, &mut w);
+        w.into_bytes()
+    }
+
+    /// Sign a new sub-flow request.
+    pub fn new(
+        tunnel: RarId,
+        flow: u64,
+        rate_bps: u64,
+        requestor: DistinguishedName,
+        key: &KeyPair,
+    ) -> Self {
+        let signature = key.sign(&Self::payload(tunnel, flow, rate_bps, &requestor));
+        Self {
+            tunnel,
+            flow,
+            rate_bps,
+            requestor,
+            signature,
+        }
+    }
+
+    /// Verify under the source BB's key.
+    pub fn verify(&self, pk: PublicKey) -> bool {
+        pk.verify(
+            &Self::payload(self.tunnel, self.flow, self.rate_bps, &self.requestor),
+            &self.signature,
+        )
+    }
+}
+
+/// Reply to a tunnel sub-flow request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunnelFlowReply {
+    /// The tunnel.
+    pub tunnel: RarId,
+    /// The sub-flow.
+    pub flow: u64,
+    /// Whether the destination accepted.
+    pub accepted: bool,
+    /// Reason on rejection.
+    pub reason: String,
+}
+
+qos_wire::impl_wire_struct!(TunnelFlowReply {
+    tunnel,
+    flow,
+    accepted,
+    reason
+});
+
+/// A direct (Approach-1) per-domain reservation request: the end-to-end
+/// agent contacts each BB individually with the user-signed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectRequest {
+    /// The user-signed request.
+    pub rar: SignedRar,
+    /// Position of this domain on the declared path (which peers the
+    /// traffic enters/leaves through).
+    pub ingress_peer: Option<String>,
+    /// Downstream peer on the declared path.
+    pub egress_peer: Option<String>,
+}
+
+qos_wire::impl_wire_struct!(DirectRequest {
+    rar,
+    ingress_peer,
+    egress_peer
+});
+
+/// Reply to a direct request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectReply {
+    /// The request.
+    pub rar_id: RarId,
+    /// Replying domain.
+    pub domain: String,
+    /// Whether this domain admitted the reservation.
+    pub accepted: bool,
+    /// Reason on rejection.
+    pub reason: String,
+}
+
+qos_wire::impl_wire_struct!(DirectReply {
+    rar_id,
+    domain,
+    accepted,
+    reason
+});
+
+/// Teardown of one tunnel sub-flow, sent over the direct channel and
+/// signed by the source BB (mirror of [`TunnelFlowRequest`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunnelFlowRelease {
+    /// The tunnel.
+    pub tunnel: RarId,
+    /// The sub-flow being torn down.
+    pub flow: u64,
+    /// Source BB's signature over (tunnel ‖ flow).
+    pub signature: Signature,
+}
+
+qos_wire::impl_wire_struct!(TunnelFlowRelease {
+    tunnel,
+    flow,
+    signature
+});
+
+impl TunnelFlowRelease {
+    fn payload(tunnel: RarId, flow: u64) -> Vec<u8> {
+        let mut w = qos_wire::Writer::new();
+        qos_wire::Encode::encode(&tunnel, &mut w);
+        w.put_u64(flow);
+        w.put_str("tunnel-flow-release");
+        w.into_bytes()
+    }
+
+    /// Sign a sub-flow teardown at the source broker.
+    pub fn new(tunnel: RarId, flow: u64, key: &KeyPair) -> Self {
+        Self {
+            tunnel,
+            flow,
+            signature: key.sign(&Self::payload(tunnel, flow)),
+        }
+    }
+
+    /// Verify under the source BB's public key.
+    pub fn verify(&self, pk: PublicKey) -> bool {
+        pk.verify(&Self::payload(self.tunnel, self.flow), &self.signature)
+    }
+}
+
+/// A signed end-to-end teardown: the source broker releases a committed
+/// reservation along the whole path ("end-to-end management" in GARA's
+/// API). Signed by the source BB so transit domains cannot be tricked
+/// into releasing someone else's capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Release {
+    /// The reservation to tear down.
+    pub rar_id: RarId,
+    /// The initiating (source) domain.
+    pub source_domain: String,
+    /// Source BB's signature over (rar_id ‖ source_domain).
+    pub signature: Signature,
+}
+
+qos_wire::impl_wire_struct!(Release {
+    rar_id,
+    source_domain,
+    signature
+});
+
+impl Release {
+    fn payload(rar_id: RarId, source_domain: &str) -> Vec<u8> {
+        let mut w = qos_wire::Writer::new();
+        qos_wire::Encode::encode(&rar_id, &mut w);
+        w.put_str(source_domain);
+        w.into_bytes()
+    }
+
+    /// Sign a teardown at the source broker.
+    pub fn new(rar_id: RarId, source_domain: &str, key: &KeyPair) -> Self {
+        Self {
+            rar_id,
+            source_domain: source_domain.to_string(),
+            signature: key.sign(&Self::payload(rar_id, source_domain)),
+        }
+    }
+
+    /// Verify under the source BB's public key.
+    pub fn verify(&self, pk: PublicKey) -> bool {
+        pk.verify(&Self::payload(self.rar_id, &self.source_domain), &self.signature)
+    }
+}
+
+/// Everything that flows between signalling entities.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SignalMessage {
+    /// Hop-by-hop downstream request.
+    Request(SignedRar),
+    /// Upstream approval.
+    Approve(Approval),
+    /// Upstream denial.
+    Deny(Denial),
+    /// Approach-1 direct request (end-to-end agent → one BB).
+    Direct(DirectRequest),
+    /// Approach-1 reply.
+    DirectReply(DirectReply),
+    /// Tunnel sub-flow request (direct source→destination channel).
+    TunnelFlow(TunnelFlowRequest),
+    /// Tunnel sub-flow reply (destination→source).
+    TunnelFlowReply(TunnelFlowReply),
+    /// End-to-end teardown of a standing reservation (source → …
+    /// destination, hop by hop).
+    Release(Release),
+    /// Teardown of a tunnel sub-flow (direct channel).
+    TunnelFlowRelease(TunnelFlowRelease),
+}
+
+qos_wire::impl_wire_enum!(SignalMessage {
+    0 => Request(t0: SignedRar),
+    1 => Approve(t0: Approval),
+    2 => Deny(t0: Denial),
+    3 => Direct(t0: DirectRequest),
+    4 => DirectReply(t0: DirectReply),
+    5 => TunnelFlow(t0: TunnelFlowRequest),
+    6 => TunnelFlowReply(t0: TunnelFlowReply),
+    7 => Release(t0: Release),
+    8 => TunnelFlowRelease(t0: TunnelFlowRelease),
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_crypto::cert::Validity;
+    use qos_crypto::CertificateAuthority;
+
+    fn kp(s: &str) -> KeyPair {
+        KeyPair::from_seed(s.as_bytes())
+    }
+
+    fn dest_cert() -> Certificate {
+        let mut ca = CertificateAuthority::new(
+            DistinguishedName::authority("CA"),
+            KeyPair::from_seed(b"ca"),
+        );
+        ca.issue_identity(
+            DistinguishedName::broker("domain-c"),
+            kp("bb-c").public(),
+            Validity::unbounded(),
+        )
+    }
+
+    #[test]
+    fn approval_chain_builds_and_verifies() {
+        let (kc, kb, ka) = (kp("bb-c"), kp("bb-b"), kp("bb-a"));
+        let approval = Approval::originate(
+            RarId(1),
+            dest_cert(),
+            "domain-c",
+            DistinguishedName::broker("domain-c"),
+            AttributeSet::new(),
+            &kc,
+        )
+        .endorse(
+            "domain-b",
+            DistinguishedName::broker("domain-b"),
+            AttributeSet::new(),
+            &kb,
+        )
+        .endorse(
+            "domain-a",
+            DistinguishedName::broker("domain-a"),
+            AttributeSet::new(),
+            &ka,
+        );
+        assert_eq!(approval.entries.len(), 3);
+        let resolve = |dn: &DistinguishedName| {
+            Some(match dn.org_unit()? {
+                "domain-a" => ka.public(),
+                "domain-b" => kb.public(),
+                "domain-c" => kc.public(),
+                _ => return None,
+            })
+        };
+        approval.verify(resolve).unwrap();
+    }
+
+    #[test]
+    fn approval_tampering_detected() {
+        let kc = kp("bb-c");
+        let kb = kp("bb-b");
+        let mut approval = Approval::originate(
+            RarId(1),
+            dest_cert(),
+            "domain-c",
+            DistinguishedName::broker("domain-c"),
+            AttributeSet::new(),
+            &kc,
+        )
+        .endorse(
+            "domain-b",
+            DistinguishedName::broker("domain-b"),
+            AttributeSet::new(),
+            &kb,
+        );
+        // Strip the destination's entry (pretend B originated it).
+        approval.entries.remove(0);
+        let resolve = |dn: &DistinguishedName| {
+            Some(match dn.org_unit()? {
+                "domain-b" => kb.public(),
+                "domain-c" => kc.public(),
+                _ => return None,
+            })
+        };
+        assert!(approval.verify(resolve).is_err());
+    }
+
+    #[test]
+    fn tunnel_flow_request_signature() {
+        let key = kp("bb-a");
+        let req = TunnelFlowRequest::new(
+            RarId(5),
+            77,
+            1_000_000,
+            DistinguishedName::user("Alice", "ANL"),
+            &key,
+        );
+        assert!(req.verify(key.public()));
+        let mut forged = req.clone();
+        forged.rate_bps = 100_000_000;
+        assert!(!forged.verify(key.public()));
+    }
+
+    #[test]
+    fn signal_message_wire_round_trip() {
+        let msg = SignalMessage::Deny(Denial {
+            rar_id: RarId(9),
+            domain: "domain-b".into(),
+            reason: "no SLA capacity".into(),
+        });
+        let bytes = qos_wire::to_bytes(&msg);
+        assert_eq!(qos_wire::from_bytes::<SignalMessage>(&bytes).unwrap(), msg);
+    }
+}

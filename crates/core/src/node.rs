@@ -1,0 +1,1437 @@
+//! The per-domain bandwidth-broker protocol engine.
+//!
+//! A [`BbNode`] is one domain's broker as §6 describes it: it terminates
+//! mutually authenticated peer channels, runs the source / intermediate /
+//! destination steps of the signalling protocol (§6.1–6.3), drives the
+//! local [`qos_broker::BrokerCore`] through the two-phase hold → commit /
+//! release cycle, consults its [`qos_policy::PolicyServer`], delegates
+//! capability certificates downstream, emits edge-router configuration,
+//! and manages tunnels.
+//!
+//! The node is a **pure state machine**: `submit`/`recv` return the
+//! messages to transmit, and drivers (synchronous, virtual-time, or
+//! threaded — see [`crate::drive`] and [`crate::runtime`]) decide how
+//! those messages travel. That separation is what lets the same protocol
+//! code run under deterministic latency experiments and live threads.
+
+use crate::audit::{AuditEvent, AuditLog};
+use crate::envelope::{RarLayer, SignedRar};
+use crate::error::CoreError;
+use crate::messages::{
+    Approval, Denial, DirectReply, DirectRequest, Release, SignalMessage, TunnelFlowRelease,
+    TunnelFlowReply, TunnelFlowRequest,
+};
+use crate::rar::RarId;
+use crate::trust::{verify_rar, KeySource, VerifiedRar};
+use qos_broker::{
+    BrokerCore, EdgeCommand, Interval, PathSegment, ReservationId, Sla,
+};
+use qos_crypto::{
+    Certificate, DelegationChain, DistinguishedName, KeyPair, PublicKey, Restriction, Timestamp,
+    TrustPolicy, Validity,
+};
+use qos_net::conditioner::{ExcessTreatment, TrafficProfile};
+use qos_net::{FlowId, LinkId, NodeId};
+use qos_policy::request::VerifiedCapability;
+use qos_policy::{
+    Assertion, AttributeSet, GroupServer, PolicyServer, ReservationOracle, Value,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Binding from this domain's broker to its data plane.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeBinding {
+    /// First-hop router where per-flow classifiers are installed (source
+    /// domains).
+    pub first_router: Option<NodeId>,
+    /// Domain-ingress link per upstream peer, where aggregate policers
+    /// live.
+    pub ingress_links: HashMap<String, LinkId>,
+}
+
+/// A finished request, as observed at the source domain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Completion {
+    /// End-to-end reservation finished.
+    Reservation {
+        /// The request.
+        rar_id: RarId,
+        /// Approval (with the full endorsement chain) or the denial.
+        result: Result<Approval, Denial>,
+    },
+    /// A tunnel sub-flow request finished.
+    TunnelFlow {
+        /// The tunnel.
+        tunnel: RarId,
+        /// The sub-flow.
+        flow: u64,
+        /// Accepted by the destination?
+        accepted: bool,
+        /// Reason on rejection.
+        reason: String,
+    },
+}
+
+/// Message/crypto counters for the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeCounters {
+    /// Messages received.
+    pub rx: u64,
+    /// Messages sent.
+    pub tx: u64,
+    /// Signatures created.
+    pub signed: u64,
+    /// Signatures verified (envelope layers, approvals, capabilities).
+    pub verified: u64,
+}
+
+struct Pending {
+    upstream: Option<String>,
+    requestor: DistinguishedName,
+    flow: u64,
+    rate_bps: u64,
+    interval: Interval,
+    segment: PathSegment,
+    tunnel: bool,
+}
+
+struct TunnelSrc {
+    dest_domain: String,
+    dest_pk: PublicKey,
+    aggregate_bps: u64,
+    allocated_bps: u64,
+    interval: Interval,
+    pending_flows: HashMap<u64, u64>, // flow -> rate awaiting reply
+}
+
+struct TunnelDst {
+    source_pk: PublicKey,
+    source_domain: String,
+    aggregate_bps: u64,
+    allocated_bps: u64,
+    flows: HashMap<u64, u64>, // flow -> admitted rate
+}
+
+/// Per-domain broker configuration.
+pub struct BbConfig {
+    /// Domain name.
+    pub domain: String,
+    /// Broker key pair.
+    pub key: KeyPair,
+    /// Broker certificate.
+    pub cert: Certificate,
+    /// Policy source text for the local PDP.
+    pub policy_src: String,
+    /// Local group server.
+    pub groups: GroupServer,
+    /// Domain-internal EF capacity.
+    pub local_capacity_bps: u64,
+    /// Maximum acceptable introducer-chain depth.
+    pub trust_policy: TrustPolicy,
+    /// Trusted community authorization servers (issuer CN → key).
+    pub cas_keys: HashMap<String, PublicKey>,
+    /// CA trusted for user identity certificates.
+    pub user_ca: PublicKey,
+}
+
+struct CpuOracle<'a>(&'a HashSet<u64>);
+
+impl ReservationOracle for CpuOracle<'_> {
+    fn has_valid_cpu_reservation(&self, id: i64) -> bool {
+        id >= 0 && self.0.contains(&(id as u64))
+    }
+}
+
+/// One domain's bandwidth broker.
+pub struct BbNode {
+    domain: String,
+    dn: DistinguishedName,
+    key: KeyPair,
+    cert: Certificate,
+    now: Timestamp,
+    core: BrokerCore,
+    pdp: PolicyServer,
+    trust_policy: TrustPolicy,
+    cas_keys: HashMap<String, PublicKey>,
+    user_ca: PublicKey,
+    peers: HashMap<String, Certificate>,
+    routes: HashMap<String, String>,
+    edge: EdgeBinding,
+    pending: HashMap<RarId, Pending>,
+    completions: Vec<Completion>,
+    edge_cmds: Vec<EdgeCommand>,
+    cpu_reservations: HashSet<u64>,
+    direct_users: HashMap<DistinguishedName, PublicKey>,
+    tunnels_src: HashMap<RarId, TunnelSrc>,
+    tunnels_dst: HashMap<RarId, TunnelDst>,
+    counters: NodeCounters,
+    audit: AuditLog,
+}
+
+impl BbNode {
+    /// Build a broker from its configuration.
+    ///
+    /// # Panics
+    /// Panics if the policy source does not parse — a broker without a
+    /// working policy must not come up.
+    pub fn new(config: BbConfig) -> Self {
+        let pdp = PolicyServer::from_source(&config.policy_src, config.groups)
+            .unwrap_or_else(|e| panic!("policy for {} failed to parse: {e}", config.domain));
+        Self {
+            dn: DistinguishedName::broker(&config.domain),
+            core: BrokerCore::new(&config.domain, config.local_capacity_bps),
+            domain: config.domain,
+            key: config.key,
+            cert: config.cert,
+            now: Timestamp::ZERO,
+            pdp,
+            trust_policy: config.trust_policy,
+            cas_keys: config.cas_keys,
+            user_ca: config.user_ca,
+            peers: HashMap::new(),
+            routes: HashMap::new(),
+            edge: EdgeBinding::default(),
+            pending: HashMap::new(),
+            completions: Vec::new(),
+            edge_cmds: Vec::new(),
+            cpu_reservations: HashSet::new(),
+            direct_users: HashMap::new(),
+            tunnels_src: HashMap::new(),
+            tunnels_dst: HashMap::new(),
+            counters: NodeCounters::default(),
+            audit: AuditLog::default(),
+        }
+    }
+
+    /// The domain this broker controls.
+    pub fn domain(&self) -> &str {
+        &self.domain
+    }
+
+    /// The broker's DN.
+    pub fn dn(&self) -> &DistinguishedName {
+        &self.dn
+    }
+
+    /// The broker's certificate.
+    pub fn cert(&self) -> &Certificate {
+        &self.cert
+    }
+
+    /// The broker's public key.
+    pub fn public_key(&self) -> PublicKey {
+        self.key.public()
+    }
+
+    /// Advance the broker's wall clock.
+    pub fn set_time(&mut self, now: Timestamp) {
+        self.now = now;
+    }
+
+    /// Register a peering: the SLA's pinned certificate plus (for
+    /// upstream peers) the admission table. `sla_in`/`sla_out` mirror
+    /// [`BrokerCore::add_ingress_sla`]/[`BrokerCore::add_egress_sla`].
+    pub fn add_peer(&mut self, peer_cert: Certificate, sla_in: Option<Sla>, sla_out: Option<Sla>) {
+        let peer_domain = peer_cert
+            .tbs
+            .subject
+            .org_unit()
+            .expect("broker certs carry the domain in OU")
+            .to_string();
+        self.peers.insert(peer_domain, peer_cert);
+        if let Some(sla) = sla_in {
+            self.core.add_ingress_sla(sla);
+        }
+        if let Some(sla) = sla_out {
+            self.core.add_egress_sla(sla);
+        }
+    }
+
+    /// Install a domain-level route: requests for `dest_domain` are
+    /// forwarded to `next_peer`.
+    pub fn add_route(&mut self, dest_domain: &str, next_peer: &str) {
+        self.routes
+            .insert(dest_domain.to_string(), next_peer.to_string());
+    }
+
+    /// The next peer on the route towards `dest_domain`, if known.
+    pub fn route_towards(&self, dest_domain: &str) -> Option<String> {
+        self.routes.get(dest_domain).cloned()
+    }
+
+    /// Bind this broker to its data plane.
+    pub fn set_edge_binding(&mut self, edge: EdgeBinding) {
+        self.edge = edge;
+    }
+
+    /// Register a CPU reservation (the coupled-resource oracle behind
+    /// Figure 6's `HasValidCPUResv`).
+    pub fn add_cpu_reservation(&mut self, id: u64) {
+        self.cpu_reservations.insert(id);
+    }
+
+    /// Grant Approach-1 direct trust to a user (the per-domain trust
+    /// table whose growth FIG3 measures).
+    pub fn add_direct_user(&mut self, dn: DistinguishedName, pk: PublicKey) {
+        self.direct_users.insert(dn, pk);
+    }
+
+    /// Size of the trust state this broker must maintain: peers plus
+    /// directly known users.
+    pub fn trust_table_size(&self) -> usize {
+        self.peers.len() + self.direct_users.len()
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> NodeCounters {
+        self.counters
+    }
+
+    /// Enable or disable the structured audit trail.
+    pub fn set_audit(&mut self, enabled: bool) {
+        self.audit.set_enabled(enabled);
+    }
+
+    /// The audit trail (empty unless enabled).
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Drain buffered edge-router configuration.
+    pub fn take_edge_commands(&mut self) -> Vec<EdgeCommand> {
+        std::mem::take(&mut self.edge_cmds)
+    }
+
+    /// Drain completed requests.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Resource-core access (experiments inspect admission state).
+    pub fn core(&self) -> &BrokerCore {
+        &self.core
+    }
+
+    /// Remaining aggregate in a source-side tunnel.
+    pub fn tunnel_remaining_bps(&self, tunnel: RarId) -> Option<u64> {
+        self.tunnels_src
+            .get(&tunnel)
+            .map(|t| t.aggregate_bps - t.allocated_bps)
+    }
+
+    /// Source-side tunnel metadata: destination domain, destination BB
+    /// key (learned via the introducer chain), validity interval, and
+    /// (aggregate, allocated) rates.
+    pub fn tunnel_info(
+        &self,
+        tunnel: RarId,
+    ) -> Option<(String, PublicKey, Interval, u64, u64)> {
+        self.tunnels_src.get(&tunnel).map(|t| {
+            (
+                t.dest_domain.clone(),
+                t.dest_pk,
+                t.interval,
+                t.aggregate_bps,
+                t.allocated_bps,
+            )
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // §6.1 Source domain
+    // ------------------------------------------------------------------
+
+    /// Handle a user's reservation request arriving at its home broker.
+    /// Returns the messages to transmit.
+    pub fn submit(
+        &mut self,
+        rar_u: SignedRar,
+        user_cert: &Certificate,
+    ) -> Vec<(String, SignalMessage)> {
+        self.counters.rx += 1;
+        let rar_id = rar_u.res_spec().rar_id;
+        self.audit.record(
+            self.now,
+            AuditEvent::RequestReceived {
+                rar_id,
+                from: "user".into(),
+                depth: rar_u.depth(),
+            },
+        );
+        match self.process_submit(rar_u, user_cert) {
+            Ok(out) => out,
+            Err(e) => {
+                self.deny_locally(rar_id, e);
+                Vec::new()
+            }
+        }
+    }
+
+    fn deny_locally(&mut self, rar_id: RarId, e: CoreError) {
+        let denial = match e {
+            CoreError::Denied {
+                rar_id,
+                domain,
+                reason,
+            } => Denial {
+                rar_id,
+                domain,
+                reason,
+            },
+            other => Denial {
+                rar_id,
+                domain: self.domain.clone(),
+                reason: other.to_string(),
+            },
+        };
+        self.completions.push(Completion::Reservation {
+            rar_id,
+            result: Err(denial),
+        });
+    }
+
+    fn process_submit(
+        &mut self,
+        rar_u: SignedRar,
+        user_cert: &Certificate,
+    ) -> Result<Vec<(String, SignalMessage)>, CoreError> {
+        let spec = rar_u.res_spec().clone();
+        let rar_id = spec.rar_id;
+
+        // Authenticate the user: certificate from a trusted CA, request
+        // signed by the certified key, addressed to this broker.
+        user_cert.verify_signature(self.user_ca)?;
+        user_cert.check_validity(self.now)?;
+        self.counters.verified += 1;
+        if !user_cert.tbs.subject.same_principal(&spec.requestor) {
+            return Err(CoreError::LayerSignature {
+                signer: spec.requestor.clone(),
+            });
+        }
+        if !rar_u.verify_signature(user_cert.tbs.subject_public_key) {
+            return Err(CoreError::LayerSignature {
+                signer: spec.requestor.clone(),
+            });
+        }
+        self.counters.verified += 1;
+        if let RarLayer::User { source_bb, .. } = &rar_u.layer {
+            if *source_bb != self.dn {
+                return Err(CoreError::PathMismatch {
+                    expected: source_bb.clone(),
+                    found: self.dn.clone(),
+                });
+            }
+        }
+
+        // Verify any capability chain the user attached (delegated to us).
+        let caps = self.verify_capability_chain(&rar_u)?;
+
+        // Local policy.
+        let mut attachments = self.check_policy(&spec, &caps, &AttributeSet::new())?;
+
+        // Local admission (two-phase hold).
+        let egress = self.next_peer_towards(&spec.dest_domain)?;
+
+        // §6.1 step 2: the source BB augments the request with
+        // domain-wide information — traffic-engineering parameters for
+        // downstream domains derived from its peering contract ("such as
+        // parameters for treatment of excess traffic or reliability
+        // parameters expected for this service").
+        if let Some(next) = &egress {
+            if let Some(sla) = self.core.egress_sla(next) {
+                attachments.set(
+                    "sls_excess_treatment",
+                    Value::Str(match sla.sls.excess {
+                        ExcessTreatment::Drop => "drop".into(),
+                        ExcessTreatment::Downgrade => "downgrade".into(),
+                    }),
+                );
+                attachments.set(
+                    "sls_reliability_ppm",
+                    Value::Int((sla.sls.reliability * 1_000_000.0) as i64),
+                );
+                attachments.set(
+                    "sls_burst_bytes",
+                    Value::Int(sla.sls.burst_bytes as i64),
+                );
+            }
+        }
+        let segment = PathSegment {
+            ingress_peer: None,
+            egress_peer: egress.clone(),
+        };
+        self.hold(rar_id, spec.interval, spec.rate_bps, segment.clone())?;
+        self.pending.insert(
+            rar_id,
+            Pending {
+                upstream: None,
+                requestor: spec.requestor.clone(),
+                flow: spec.flow,
+                rate_bps: spec.rate_bps,
+                interval: spec.interval,
+                segment,
+                tunnel: spec.tunnel,
+            },
+        );
+
+        match egress {
+            None => {
+                // Single-domain reservation: we are also the destination.
+                let approval = self.finalize_destination_approval(rar_id, AttributeSet::new());
+                self.complete_source(rar_id, Ok(approval));
+                Ok(Vec::new())
+            }
+            Some(next) => {
+                // Delegate capabilities onward and wrap (§6.1 step 4).
+                let new_caps = self.delegate_caps(&rar_u, &next, rar_id)?;
+                let next_dn = DistinguishedName::broker(&next);
+                let wrapped = SignedRar::wrap(
+                    rar_u,
+                    user_cert.clone(),
+                    Some(next_dn),
+                    new_caps,
+                    attachments,
+                    self.dn.clone(),
+                    &self.key,
+                );
+                self.counters.signed += 1;
+                self.counters.tx += 1;
+                Ok(vec![(next, SignalMessage::Request(wrapped))])
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message dispatch
+    // ------------------------------------------------------------------
+
+    /// Handle a message from peer `from` (already authenticated by the
+    /// channel layer). Returns the messages to transmit.
+    pub fn recv(&mut self, from: &str, msg: SignalMessage) -> Vec<(String, SignalMessage)> {
+        self.counters.rx += 1;
+        let out = match msg {
+            SignalMessage::Request(rar) => self.on_request(from, rar),
+            SignalMessage::Approve(a) => self.on_approve(from, a),
+            SignalMessage::Deny(d) => self.on_deny(from, d),
+            SignalMessage::Direct(d) => self.on_direct(d),
+            SignalMessage::DirectReply(_) => Vec::new(), // agents consume these
+            SignalMessage::TunnelFlow(t) => self.on_tunnel_flow(from, t),
+            SignalMessage::TunnelFlowReply(r) => self.on_tunnel_flow_reply(r),
+            SignalMessage::Release(r) => self.on_release(from, r),
+            SignalMessage::TunnelFlowRelease(r) => self.on_tunnel_flow_release(r),
+        };
+        self.counters.tx += out.len() as u64;
+        out
+    }
+
+    fn on_request(&mut self, from: &str, rar: SignedRar) -> Vec<(String, SignalMessage)> {
+        let rar_id = rar.res_spec().rar_id;
+        match self.process_request(from, rar) {
+            Ok(out) => out,
+            Err(e) => {
+                let denial = match e {
+                    CoreError::Denied {
+                        rar_id,
+                        domain,
+                        reason,
+                    } => Denial {
+                        rar_id,
+                        domain,
+                        reason,
+                    },
+                    other => Denial {
+                        rar_id,
+                        domain: self.domain.clone(),
+                        reason: other.to_string(),
+                    },
+                };
+                vec![(from.to_string(), SignalMessage::Deny(denial))]
+            }
+        }
+    }
+
+    fn process_request(
+        &mut self,
+        from: &str,
+        rar: SignedRar,
+    ) -> Result<Vec<(String, SignalMessage)>, CoreError> {
+        self.audit.record(
+            self.now,
+            AuditEvent::RequestReceived {
+                rar_id: rar.res_spec().rar_id,
+                from: from.to_string(),
+                depth: rar.depth(),
+            },
+        );
+        let peer_pk = self
+            .peers
+            .get(from)
+            .ok_or_else(|| CoreError::UnknownPeer { peer: from.into() })?
+            .tbs
+            .subject_public_key;
+        // Outer signature must be the direct peer's (§6.4: messages
+        // between BBs are mutually authenticated).
+        if !rar.verify_signature(peer_pk) {
+            return Err(CoreError::LayerSignature {
+                signer: rar.signer.clone(),
+            });
+        }
+        self.counters.verified += 1;
+
+        let spec = rar.res_spec().clone();
+        let rar_id = spec.rar_id;
+        if spec.dest_domain == self.domain {
+            self.process_destination(from, rar, peer_pk)
+        } else {
+            self.process_transit(from, rar, spec, rar_id)
+        }
+    }
+
+    /// §6.2 intermediate domain.
+    fn process_transit(
+        &mut self,
+        from: &str,
+        rar: SignedRar,
+        spec: crate::rar::ResSpec,
+        rar_id: RarId,
+    ) -> Result<Vec<(String, SignalMessage)>, CoreError> {
+        // SLA conformance + local policy. Transit domains check the
+        // traffic profile against the SLA (the admission tables) and may
+        // evaluate local policy over the accumulated information.
+        let caps = self.verify_capability_chain(&rar)?;
+        let attachments = self.check_policy(&spec, &caps, &rar.merged_attachments())?;
+
+        let next = self
+            .next_peer_towards(&spec.dest_domain)?
+            .ok_or_else(|| CoreError::UnknownPeer {
+                peer: spec.dest_domain.clone(),
+            })?;
+        let segment = PathSegment {
+            ingress_peer: Some(from.to_string()),
+            egress_peer: Some(next.clone()),
+        };
+        self.hold(rar_id, spec.interval, spec.rate_bps, segment.clone())?;
+        self.pending.insert(
+            rar_id,
+            Pending {
+                upstream: Some(from.to_string()),
+                requestor: spec.requestor.clone(),
+                flow: spec.flow,
+                rate_bps: spec.rate_bps,
+                interval: spec.interval,
+                segment,
+                tunnel: spec.tunnel,
+            },
+        );
+
+        let new_caps = self.delegate_caps(&rar, &next, rar_id)?;
+        let upstream_cert = self.peers.get(from).cloned().expect("checked above");
+        let next_dn = DistinguishedName::broker(&next);
+        let wrapped = SignedRar::wrap(
+            rar,
+            upstream_cert,
+            Some(next_dn),
+            new_caps,
+            attachments,
+            self.dn.clone(),
+            &self.key,
+        );
+        self.counters.signed += 1;
+        Ok(vec![(next, SignalMessage::Request(wrapped))])
+    }
+
+    /// §6.3 destination domain.
+    fn process_destination(
+        &mut self,
+        from: &str,
+        rar: SignedRar,
+        peer_pk: PublicKey,
+    ) -> Result<Vec<(String, SignalMessage)>, CoreError> {
+        // Full transitive-trust verification of the nested envelope.
+        let verified: VerifiedRar = verify_rar(
+            &rar,
+            peer_pk,
+            &self.dn,
+            self.trust_policy,
+            self.now,
+            &KeySource::Introducers,
+        )?;
+        self.counters.verified += rar.depth() as u64;
+        let spec = verified.res_spec.clone();
+        let rar_id = spec.rar_id;
+
+        let caps = self.verify_capability_chain(&rar)?;
+        let attachments = self.check_policy(&spec, &caps, &verified.attachments)?;
+
+        let segment = PathSegment {
+            ingress_peer: Some(from.to_string()),
+            egress_peer: None,
+        };
+        self.hold(rar_id, spec.interval, spec.rate_bps, segment.clone())?;
+        self.pending.insert(
+            rar_id,
+            Pending {
+                upstream: Some(from.to_string()),
+                requestor: spec.requestor.clone(),
+                flow: spec.flow,
+                rate_bps: spec.rate_bps,
+                interval: spec.interval,
+                segment,
+                tunnel: spec.tunnel,
+            },
+        );
+
+        // Tunnel bookkeeping: remember the source BB so sub-flow requests
+        // over the direct channel can be authenticated.
+        if spec.tunnel {
+            let source_pk = verified
+                .source_bb_cert
+                .as_ref()
+                .map(|c| c.tbs.subject_public_key)
+                .or_else(|| {
+                    self.peers
+                        .get(&spec.source_domain)
+                        .map(|c| c.tbs.subject_public_key)
+                })
+                .ok_or_else(|| CoreError::Tunnel("cannot identify source BB".into()))?;
+            self.tunnels_dst.insert(
+                rar_id,
+                TunnelDst {
+                    source_pk,
+                    source_domain: spec.source_domain.clone(),
+                    aggregate_bps: spec.rate_bps,
+                    allocated_bps: 0,
+                    flows: HashMap::new(),
+                },
+            );
+        }
+
+        let approval = self.finalize_destination_approval(rar_id, attachments);
+        Ok(vec![(from.to_string(), SignalMessage::Approve(approval))])
+    }
+
+    /// Commit the destination's hold, emit edge config, sign the
+    /// approval.
+    fn finalize_destination_approval(
+        &mut self,
+        rar_id: RarId,
+        attachments: AttributeSet,
+    ) -> Approval {
+        self.commit_and_configure(rar_id);
+        self.counters.signed += 1;
+        Approval::originate(
+            rar_id,
+            self.cert.clone(),
+            &self.domain,
+            self.dn.clone(),
+            attachments,
+            &self.key,
+        )
+    }
+
+    fn on_approve(&mut self, _from: &str, approval: Approval) -> Vec<(String, SignalMessage)> {
+        let rar_id = approval.rar_id;
+        let Some(pending) = self.pending.get(&rar_id) else {
+            return Vec::new(); // stale or duplicate
+        };
+        // The approval arrives over the authenticated downstream channel;
+        // its chained signatures let any upstream domain audit the path.
+        let upstream = pending.upstream.clone();
+        let (rate_bps, secs) = (pending.rate_bps, pending.interval.secs());
+        self.commit_and_configure(rar_id);
+        // Source domain: set up the §6.4 transitive billing chain now
+        // that the whole path stands.
+        if upstream.is_none() {
+            self.record_billing(rar_id, &approval);
+        }
+        self.counters.signed += 1;
+        // Endorsements carry this domain's transit cost for the hop it
+        // forwards into, so the source can reconstruct the full billing
+        // chain ("additional cost offers for the particular request").
+        let mut endorsement_attrs = AttributeSet::new();
+        if let Some(downstream) = approval.entries.last().map(|e| e.domain.clone()) {
+            if let Some(sla) = self.core.egress_sla(&downstream) {
+                endorsement_attrs.set(
+                    "transit_cost",
+                    Value::Int(sla.transit_cost(rate_bps, secs) as i64),
+                );
+            }
+        }
+        let approval = approval.endorse(
+            &self.domain,
+            self.dn.clone(),
+            endorsement_attrs,
+            &self.key,
+        );
+        match upstream {
+            Some(peer) => vec![(peer, SignalMessage::Approve(approval))],
+            None => {
+                // Source domain: the end-to-end reservation stands.
+                self.complete_source(rar_id, Ok(approval));
+                Vec::new()
+            }
+        }
+    }
+
+    /// §6.4 accounting: "the source domain would bill the traffic
+    /// against the originator", with each transit domain billing its
+    /// upstream peer per SLA.
+    fn record_billing(&mut self, rar_id: RarId, approval: &Approval) {
+        let Some(p) = self.pending.get(&rar_id) else {
+            return;
+        };
+        let originator = p
+            .requestor
+            .common_name()
+            .unwrap_or("unknown")
+            .to_string();
+        let rate = p.rate_bps;
+        let secs = p.interval.secs();
+        // The approval entries run destination-first and do not yet
+        // include this (source) domain; the billing path runs
+        // source-first.
+        let mut path = vec![self.domain.clone()];
+        path.extend(approval.entries.iter().rev().map(|e| e.domain.clone()));
+        // Per-hop prices: our own egress SLA for the first hop, the
+        // `transit_cost` attachments in the endorsement entries for
+        // every hop further downstream.
+        let mut prices: std::collections::HashMap<(String, String), u64> =
+            std::collections::HashMap::new();
+        if let Some(w) = path.windows(2).next() {
+            let price = self
+                .core
+                .egress_sla(&w[1])
+                .map(|sla| sla.transit_cost(rate, secs))
+                .unwrap_or(0);
+            prices.insert((w[0].clone(), w[1].clone()), price);
+        }
+        // entries run destination-first: entries[i] forwards into
+        // entries[i-1]'s domain.
+        for pair in approval.entries.windows(2) {
+            let (downstream, upstream_entry) = (&pair[0], &pair[1]);
+            if let Some(Value::Int(cost)) = upstream_entry.attachments.get("transit_cost") {
+                prices.insert(
+                    (upstream_entry.domain.clone(), downstream.domain.clone()),
+                    (*cost).max(0) as u64,
+                );
+            }
+        }
+        for invoice in qos_broker::settle_chain(&originator, &path, rar_id.0, |up, down| {
+            prices
+                .get(&(up.to_string(), down.to_string()))
+                .copied()
+                .unwrap_or(0)
+        }) {
+            self.core.billing_mut().record(invoice);
+        }
+    }
+
+    fn complete_source(&mut self, rar_id: RarId, result: Result<Approval, Denial>) {
+        if let Ok(approval) = &result {
+            let pending = self.pending.get(&rar_id);
+            if let Some(p) = pending {
+                if p.tunnel {
+                    self.tunnels_src.insert(
+                        rar_id,
+                        TunnelSrc {
+                            dest_domain: approval
+                                .entries
+                                .first()
+                                .map(|e| e.domain.clone())
+                                .unwrap_or_default(),
+                            dest_pk: approval.dest_cert.tbs.subject_public_key,
+                            aggregate_bps: p.rate_bps,
+                            allocated_bps: 0,
+                            interval: p.interval,
+                            pending_flows: HashMap::new(),
+                        },
+                    );
+                }
+            }
+        }
+        self.completions
+            .push(Completion::Reservation { rar_id, result });
+    }
+
+    fn on_deny(&mut self, _from: &str, denial: Denial) -> Vec<(String, SignalMessage)> {
+        let rar_id = denial.rar_id;
+        let Some(pending) = self.pending.remove(&rar_id) else {
+            return Vec::new();
+        };
+        // Roll back the two-phase hold.
+        let _ = self.core.release(rar_id_to_reservation(rar_id));
+        match pending.upstream {
+            Some(peer) => vec![(peer, SignalMessage::Deny(denial))],
+            None => {
+                self.completions.push(Completion::Reservation {
+                    rar_id,
+                    result: Err(denial),
+                });
+                Vec::new()
+            }
+        }
+    }
+
+    /// Expire reservations whose interval has ended: release their
+    /// capacity and undo their edge configuration. Returns the ids
+    /// expired. Drivers call this as simulated wall time advances; the
+    /// admission tables are time-indexed, so capacity accounting is
+    /// already correct — this sweep cleans up the *data plane* (stale
+    /// classifiers and policer dimensioning).
+    pub fn expire(&mut self, now: Timestamp) -> Vec<RarId> {
+        let expired: Vec<RarId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.interval.end <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &expired {
+            let msg = Release::new(*id, &self.domain, &self.key);
+            // Local-only: every domain expires on its own clock, no
+            // signalling needed (the interval is part of the signed spec).
+            let _ = self.release_locally_and_forward(*id, msg);
+            // Drop any forwarded release message: expiry is local.
+        }
+        // release_locally_and_forward queues downstream forwards via its
+        // return value, which we discarded above — expiry is local by
+        // design. Edge commands remain queued for the driver.
+        expired
+    }
+
+    /// Tear down a standing reservation end-to-end (invoked at the
+    /// source broker). The release propagates downstream; every domain
+    /// frees its capacity and re-dimensions its edge.
+    pub fn initiate_release(&mut self, rar_id: RarId) -> Result<Vec<(String, SignalMessage)>, CoreError> {
+        let pending = self
+            .pending
+            .get(&rar_id)
+            .ok_or(CoreError::UnknownRar(rar_id))?;
+        if pending.upstream.is_some() {
+            return Err(CoreError::UnknownRar(rar_id)); // only the source initiates
+        }
+        let msg = Release::new(rar_id, &self.domain, &self.key);
+        self.counters.signed += 1;
+        Ok(self.release_locally_and_forward(rar_id, msg))
+    }
+
+    fn on_release(&mut self, from: &str, release: Release) -> Vec<(String, SignalMessage)> {
+        // Only accept teardowns arriving from the upstream peer that the
+        // reservation actually came through (the authenticated channel
+        // vouches for `from`; the signature ties the message to the
+        // originating source broker).
+        let Some(pending) = self.pending.get(&release.rar_id) else {
+            return Vec::new();
+        };
+        if pending.upstream.as_deref() != Some(from) {
+            return Vec::new();
+        }
+        self.release_locally_and_forward(release.rar_id, release)
+    }
+
+    fn release_locally_and_forward(
+        &mut self,
+        rar_id: RarId,
+        msg: Release,
+    ) -> Vec<(String, SignalMessage)> {
+        let Some(pending) = self.pending.remove(&rar_id) else {
+            return Vec::new();
+        };
+        self.audit.record(self.now, AuditEvent::Released { rar_id });
+        let _ = self.core.release(rar_id_to_reservation(rar_id));
+        // Undo the edge configuration this reservation installed.
+        if pending.upstream.is_none() && !pending.tunnel {
+            if let Some(router) = self.edge.first_router {
+                self.edge_cmds.push(EdgeCommand::RemoveFlow {
+                    router,
+                    flow: FlowId(pending.flow),
+                });
+            }
+        }
+        if let Some(peer) = &pending.segment.ingress_peer {
+            if let Some(&link) = self.edge.ingress_links.get(peer) {
+                let aggregate = self
+                    .core
+                    .admitted_ingress_aggregate(peer, pending.interval.start);
+                let excess = self
+                    .core
+                    .ingress_sla(peer)
+                    .map(|s| s.sls.excess)
+                    .unwrap_or(ExcessTreatment::Drop);
+                self.edge_cmds.push(EdgeCommand::SetIngressAggregate {
+                    link,
+                    profile: TrafficProfile::with_default_burst(aggregate),
+                    excess,
+                });
+            }
+        }
+        match &pending.segment.egress_peer {
+            Some(next) => vec![(next.clone(), SignalMessage::Release(msg))],
+            None => Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Approach 1: source-domain-based signalling
+    // ------------------------------------------------------------------
+
+    fn on_direct(&mut self, req: DirectRequest) -> Vec<(String, SignalMessage)> {
+        let spec = req.rar.res_spec().clone();
+        let rar_id = spec.rar_id;
+        let my_domain = self.domain.clone();
+        let reply_to = format!("user:{}", spec.source_domain);
+        let reply = move |accepted: bool, reason: String| {
+            vec![(
+                reply_to,
+                SignalMessage::DirectReply(DirectReply {
+                    rar_id,
+                    domain: my_domain,
+                    accepted,
+                    reason,
+                }),
+            )]
+        };
+        // Approach 1's scalability problem in code: this domain must know
+        // the *signer* a priori — the user herself, or (STARS) the
+        // source domain's reservation coordinator.
+        let Some(&user_pk) = self.direct_users.get(&req.rar.signer) else {
+            return reply(
+                false,
+                format!(
+                    "{}: no direct trust relationship with {}",
+                    self.domain, req.rar.signer
+                ),
+            );
+        };
+        if !req.rar.verify_signature(user_pk) {
+            return reply(false, "bad user signature".into());
+        }
+        self.counters.verified += 1;
+        let caps = Vec::new(); // Approach 1 carries no delegated capabilities.
+        match self.check_policy(&spec, &caps, &AttributeSet::new()) {
+            Ok(_) => {}
+            Err(e) => return reply(false, e.to_string()),
+        }
+        let segment = PathSegment {
+            ingress_peer: req.ingress_peer.clone(),
+            egress_peer: req.egress_peer.clone(),
+        };
+        if let Err(e) = self.hold(rar_id, spec.interval, spec.rate_bps, segment.clone()) {
+            return reply(false, e.to_string());
+        }
+        // Approach 1 has no end-to-end commit phase: each domain commits
+        // independently — exactly what makes misreservation possible.
+        self.pending.insert(
+            rar_id,
+            Pending {
+                // For edge-configuration purposes the path position comes
+                // from the agent's declaration: no ingress peer ⇒ this is
+                // the flow's source domain ⇒ install the classifier.
+                upstream: req.ingress_peer.clone(),
+                requestor: spec.requestor.clone(),
+                flow: spec.flow,
+                rate_bps: spec.rate_bps,
+                interval: spec.interval,
+                segment,
+                tunnel: false,
+            },
+        );
+        self.commit_and_configure(rar_id);
+        reply(true, String::new())
+    }
+
+    // ------------------------------------------------------------------
+    // Tunnels: direct source↔destination sub-flow signalling
+    // ------------------------------------------------------------------
+
+    /// Request a sub-flow within an established tunnel (invoked at the
+    /// source broker by an authorized user). The message goes straight to
+    /// the destination domain.
+    pub fn request_tunnel_flow(
+        &mut self,
+        tunnel: RarId,
+        flow: u64,
+        rate_bps: u64,
+        requestor: DistinguishedName,
+    ) -> Result<Vec<(String, SignalMessage)>, CoreError> {
+        let t = self
+            .tunnels_src
+            .get_mut(&tunnel)
+            .ok_or_else(|| CoreError::Tunnel(format!("unknown tunnel {tunnel:?}")))?;
+        let in_flight: u64 = t.pending_flows.values().sum();
+        if t.allocated_bps + in_flight + rate_bps > t.aggregate_bps {
+            return Err(CoreError::Tunnel(format!(
+                "tunnel {tunnel:?} exhausted: {} of {} bps allocated",
+                t.allocated_bps + in_flight,
+                t.aggregate_bps
+            )));
+        }
+        t.pending_flows.insert(flow, rate_bps);
+        let dest = t.dest_domain.clone();
+        let msg = TunnelFlowRequest::new(tunnel, flow, rate_bps, requestor, &self.key);
+        self.counters.signed += 1;
+        self.counters.tx += 1;
+        Ok(vec![(dest, SignalMessage::TunnelFlow(msg))])
+    }
+
+    fn on_tunnel_flow(&mut self, from: &str, req: TunnelFlowRequest) -> Vec<(String, SignalMessage)> {
+        let reply = |accepted: bool, reason: String, source: String| {
+            vec![(
+                source,
+                SignalMessage::TunnelFlowReply(TunnelFlowReply {
+                    tunnel: req.tunnel,
+                    flow: req.flow,
+                    accepted,
+                    reason,
+                }),
+            )]
+        };
+        let Some(t) = self.tunnels_dst.get_mut(&req.tunnel) else {
+            return reply(
+                false,
+                format!("unknown tunnel {:?}", req.tunnel),
+                from.to_string(),
+            );
+        };
+        let source = t.source_domain.clone();
+        // Authenticate the direct channel peer: the source BB's key was
+        // learned through the introducer chain at reservation time.
+        if !req.verify(t.source_pk) {
+            return reply(false, "bad source-BB signature".into(), source);
+        }
+        self.counters.verified += 1;
+        if t.allocated_bps + req.rate_bps > t.aggregate_bps {
+            return reply(
+                false,
+                format!(
+                    "tunnel exhausted at destination: {} of {} bps",
+                    t.allocated_bps, t.aggregate_bps
+                ),
+                source,
+            );
+        }
+        t.allocated_bps += req.rate_bps;
+        t.flows.insert(req.flow, req.rate_bps);
+        reply(true, String::new(), source)
+    }
+
+    /// Tear down one tunnel sub-flow (invoked at the source broker): the
+    /// aggregate budget is returned on both ends and the per-flow
+    /// classifier is removed.
+    pub fn release_tunnel_flow(
+        &mut self,
+        tunnel: RarId,
+        flow: u64,
+        rate_bps: u64,
+    ) -> Result<Vec<(String, SignalMessage)>, CoreError> {
+        let t = self
+            .tunnels_src
+            .get_mut(&tunnel)
+            .ok_or_else(|| CoreError::Tunnel(format!("unknown tunnel {tunnel:?}")))?;
+        t.allocated_bps = t.allocated_bps.saturating_sub(rate_bps);
+        let dest = t.dest_domain.clone();
+        if let Some(router) = self.edge.first_router {
+            self.edge_cmds.push(EdgeCommand::RemoveFlow {
+                router,
+                flow: FlowId(flow),
+            });
+        }
+        let msg = TunnelFlowRelease::new(tunnel, flow, &self.key);
+        self.counters.signed += 1;
+        self.counters.tx += 1;
+        Ok(vec![(dest, SignalMessage::TunnelFlowRelease(msg))])
+    }
+
+    fn on_tunnel_flow_release(&mut self, rel: TunnelFlowRelease) -> Vec<(String, SignalMessage)> {
+        if let Some(t) = self.tunnels_dst.get_mut(&rel.tunnel) {
+            if rel.verify(t.source_pk) {
+                self.counters.verified += 1;
+                if let Some(rate) = t.flows.remove(&rel.flow) {
+                    t.allocated_bps = t.allocated_bps.saturating_sub(rate);
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    fn on_tunnel_flow_reply(&mut self, reply: TunnelFlowReply) -> Vec<(String, SignalMessage)> {
+        if let Some(t) = self.tunnels_src.get_mut(&reply.tunnel) {
+            if let Some(rate) = t.pending_flows.remove(&reply.flow) {
+                if reply.accepted {
+                    t.allocated_bps += rate;
+                    // Per-flow classification at the source edge; transit
+                    // policers were dimensioned by the aggregate already.
+                    if let Some(router) = self.edge.first_router {
+                        self.edge_cmds.push(EdgeCommand::InstallFlow {
+                            router,
+                            flow: FlowId(reply.flow),
+                            profile: TrafficProfile::with_default_burst(rate),
+                            excess: ExcessTreatment::Drop,
+                        });
+                    }
+                }
+            }
+        }
+        self.completions.push(Completion::TunnelFlow {
+            tunnel: reply.tunnel,
+            flow: reply.flow,
+            accepted: reply.accepted,
+            reason: reply.reason,
+        });
+        Vec::new()
+    }
+
+    // ------------------------------------------------------------------
+    // Shared helpers
+    // ------------------------------------------------------------------
+
+    fn next_peer_towards(&self, dest_domain: &str) -> Result<Option<String>, CoreError> {
+        if dest_domain == self.domain {
+            return Ok(None);
+        }
+        self.routes
+            .get(dest_domain)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| CoreError::UnknownPeer {
+                peer: dest_domain.to_string(),
+            })
+    }
+
+    fn hold(
+        &mut self,
+        rar_id: RarId,
+        interval: Interval,
+        rate_bps: u64,
+        segment: PathSegment,
+    ) -> Result<(), CoreError> {
+        let result = self
+            .core
+            .hold(rar_id_to_reservation(rar_id), interval, rate_bps, segment)
+            .map_err(|e| CoreError::Denied {
+                rar_id,
+                domain: self.domain.clone(),
+                reason: e.to_string(),
+            });
+        self.audit.record(
+            self.now,
+            AuditEvent::Admission {
+                rar_id,
+                ok: result.is_ok(),
+                rate_bps,
+            },
+        );
+        result
+    }
+
+    /// Commit the hold and emit the edge configuration that enforces it.
+    fn commit_and_configure(&mut self, rar_id: RarId) {
+        self.audit.record(self.now, AuditEvent::Approved { rar_id });
+        let _ = self.core.commit(rar_id_to_reservation(rar_id));
+        let Some(p) = self.pending.get(&rar_id) else {
+            return;
+        };
+        // Source domain: install the per-flow classifier at the first
+        // router ("only the first router recognizes packets on a per flow
+        // base").
+        if p.upstream.is_none() && !p.tunnel {
+            if let Some(router) = self.edge.first_router {
+                self.edge_cmds.push(EdgeCommand::InstallFlow {
+                    router,
+                    flow: FlowId(p.flow),
+                    profile: TrafficProfile::with_default_burst(p.rate_bps),
+                    excess: ExcessTreatment::Drop,
+                });
+            }
+        }
+        // Any domain with an upstream peer: re-dimension the ingress
+        // aggregate policer to the admitted sum.
+        if let Some(peer) = &p.segment.ingress_peer {
+            if let Some(&link) = self.edge.ingress_links.get(peer) {
+                let aggregate = self
+                    .core
+                    .admitted_ingress_aggregate(peer, p.interval.start);
+                let excess = self
+                    .core
+                    .ingress_sla(peer)
+                    .map(|s| s.sls.excess)
+                    .unwrap_or(ExcessTreatment::Drop);
+                self.edge_cmds.push(EdgeCommand::SetIngressAggregate {
+                    link,
+                    profile: TrafficProfile::with_default_burst(aggregate),
+                    excess,
+                });
+            }
+        }
+    }
+
+    /// Verify the capability chain carried by the envelope (if any) and
+    /// convert it to the PDP's verified-capability form.
+    fn verify_capability_chain(
+        &mut self,
+        rar: &SignedRar,
+    ) -> Result<Vec<VerifiedCapability>, CoreError> {
+        let certs = rar.capability_certs();
+        if certs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let chain = DelegationChain { certs };
+        let issuer = chain.certs[0]
+            .tbs
+            .issuer
+            .common_name()
+            .unwrap_or_default()
+            .to_string();
+        let Some(&cas_pk) = self.cas_keys.get(&issuer) else {
+            // Unknown community: ignore the capabilities rather than deny —
+            // policy decides whether anything required them.
+            return Ok(Vec::new());
+        };
+        // §6.5 checklist: link signatures, monotonicity, validity
+        // windows. Structural failures mean tampering and are fatal.
+        let verified = chain
+            .verify_links(cas_pk, self.now)
+            .map_err(CoreError::from)?;
+        self.counters.verified += chain.certs.len() as u64;
+        // The possession step: attributes are only *usable* if the chain
+        // was delegated to this very broker (we can prove possession of
+        // our own key). A structurally valid chain delegated to someone
+        // else is carried onward but grants us nothing.
+        if chain.tip().tbs.subject_public_key != self.key.public() {
+            return Ok(Vec::new());
+        }
+        let nonce = self.now.0.to_le_bytes();
+        let proof = self.key.prove_possession(&nonce);
+        if !chain
+            .tip()
+            .tbs
+            .subject_public_key
+            .check_possession(&nonce, &proof)
+        {
+            return Ok(Vec::new());
+        }
+        Ok(vec![VerifiedCapability {
+            issuer,
+            attributes: verified.capabilities,
+            restrictions: verified.restrictions.iter().map(|r| r.to_string()).collect(),
+        }])
+    }
+
+    /// Extend the capability chain to the next broker (Neuman cascade:
+    /// sign with our key, bind to the peer's real public key, restrict to
+    /// this RAR).
+    fn delegate_caps(
+        &mut self,
+        rar: &SignedRar,
+        next_peer: &str,
+        rar_id: RarId,
+    ) -> Result<Vec<Certificate>, CoreError> {
+        let certs = rar.capability_certs();
+        if certs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let chain = DelegationChain { certs };
+        // Only delegate chains that were delegated *to us*.
+        if chain.tip().tbs.subject_public_key != self.key.public() {
+            return Ok(Vec::new());
+        }
+        let peer_cert = self
+            .peers
+            .get(next_peer)
+            .ok_or_else(|| CoreError::UnknownPeer {
+                peer: next_peer.to_string(),
+            })?;
+        let extended = chain
+            .delegate(
+                &self.key,
+                peer_cert.tbs.subject.clone(),
+                peer_cert.tbs.subject_public_key,
+                vec![Restriction::ValidForRar(rar_id.0)],
+                Validity::starting_at(self.now, 7 * 24 * 3600),
+            )
+            .map_err(CoreError::from)?;
+        self.counters.signed += 1;
+        Ok(vec![extended.tip().clone()])
+    }
+
+    /// Run the local PDP over everything known about the request.
+    fn check_policy(
+        &mut self,
+        spec: &crate::rar::ResSpec,
+        caps: &[VerifiedCapability],
+        upstream_attachments: &AttributeSet,
+    ) -> Result<AttributeSet, CoreError> {
+        let mut req = qos_policy::PolicyRequest::new(spec.requestor.clone());
+        req.attrs.merge(upstream_attachments);
+        req.attrs.merge(&spec.attrs);
+        req.attrs
+            .set("bw", Value::Bandwidth(spec.rate_bps))
+            .set("reservation_type", Value::Str("network".into()))
+            .set("source_domain", Value::Str(spec.source_domain.clone()))
+            .set("dest_domain", Value::Str(spec.dest_domain.clone()));
+        if let Some(cn) = spec.requestor.common_name() {
+            req.attrs.set("user", Value::Str(cn.to_string()));
+        }
+        if let Some(id) = spec.cpu_reservation_id {
+            req.attrs.set("cpu_reservation_id", Value::Int(id as i64));
+        }
+        req.assertions = spec.assertions.clone();
+        req.capabilities = caps.to_vec();
+
+        let vars = qos_policy::DomainVars {
+            avail_bw_bps: self.core.available_bw_at(spec.interval.start),
+            now_minutes: ((self.now.0 / 60) % 1440) as u32,
+            domain: self.domain.clone(),
+        };
+        let oracle = CpuOracle(&self.cpu_reservations);
+        let decision = self
+            .pdp
+            .decide(&req, &vars, &oracle)
+            .map_err(|e| CoreError::Denied {
+                rar_id: spec.rar_id,
+                domain: self.domain.clone(),
+                reason: format!("policy evaluation error: {e}"),
+            })?;
+        match decision.decision {
+            qos_policy::Decision::Grant => {
+                self.audit.record(
+                    self.now,
+                    AuditEvent::PolicyDecision {
+                        rar_id: spec.rar_id,
+                        decision: "GRANT".into(),
+                    },
+                );
+                Ok(decision.attachments)
+            }
+            qos_policy::Decision::Deny(reason) => {
+                let reason = reason.unwrap_or_else(|| "policy denied".into());
+                self.audit.record(
+                    self.now,
+                    AuditEvent::PolicyDecision {
+                        rar_id: spec.rar_id,
+                        decision: format!("DENY: {reason}"),
+                    },
+                );
+                Err(CoreError::Denied {
+                    rar_id: spec.rar_id,
+                    domain: self.domain.clone(),
+                    reason,
+                })
+            }
+        }
+    }
+
+    /// Build a user assertion helper (used by tests and harnesses).
+    pub fn policy_groups_mut(&mut self) -> &mut GroupServer {
+        self.pdp.groups_mut()
+    }
+}
+
+/// RAR ids map one-to-one onto broker reservation ids.
+pub fn rar_id_to_reservation(rar_id: RarId) -> ReservationId {
+    ReservationId(rar_id.0)
+}
+
+/// Assertion re-export convenience for harnesses building requests.
+pub fn group_assertion(name: &str) -> Assertion {
+    Assertion::group(name)
+}

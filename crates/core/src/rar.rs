@@ -1,0 +1,172 @@
+//! Resource allocation requests (RARs).
+//!
+//! The reservation specification (`res_spec` in the paper's §6.4
+//! notation) plus the identifiers and side information a request carries
+//! end-to-end.
+
+use qos_broker::Interval;
+use qos_policy::request::Assertion;
+use qos_policy::AttributeSet;
+use qos_crypto::DistinguishedName;
+
+/// Globally unique identifier of one end-to-end reservation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RarId(pub u64);
+
+impl qos_wire::Encode for RarId {
+    fn encode(&self, w: &mut qos_wire::Writer) {
+        w.put_u64(self.0);
+    }
+}
+
+impl qos_wire::Decode for RarId {
+    fn decode(r: &mut qos_wire::Reader<'_>) -> Result<Self, qos_wire::WireError> {
+        Ok(RarId(r.get_u64()?))
+    }
+}
+
+/// The reservation specification a user submits (§6.1: "In addition to
+/// the basic bandwidth request, such as 10 Mb/s of guaranteed bandwidth,
+/// this request may include additional information such as a cost that
+/// the user is willing to accept and assertions and capabilities").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResSpec {
+    /// Request identifier.
+    pub rar_id: RarId,
+    /// The requesting principal.
+    pub requestor: DistinguishedName,
+    /// Source domain name.
+    pub source_domain: String,
+    /// Destination domain name.
+    pub dest_domain: String,
+    /// The data-plane flow this reservation covers.
+    pub flow: u64,
+    /// Requested guaranteed bandwidth in bits/s.
+    pub rate_bps: u64,
+    /// Wall-clock interval of the (possibly advance) reservation.
+    pub interval: Interval,
+    /// Maximum total cost the user accepts, in micro-units.
+    pub max_cost: Option<u64>,
+    /// Coupled CPU reservation in the destination domain, if any
+    /// (Figure 6's `CPU_Reservation_ID=111`).
+    pub cpu_reservation_id: Option<u64>,
+    /// Request this reservation as an aggregate *tunnel* (§1: users
+    /// authorized for the tunnel later sub-reserve portions by contacting
+    /// only the two end domains).
+    pub tunnel: bool,
+    /// Free-form additional attributes (cost offers, traffic-engineering
+    /// parameters, …).
+    pub attrs: AttributeSet,
+    /// Assertions travelling with the request (e.g. group claims).
+    pub assertions: Vec<Assertion>,
+}
+
+qos_wire::impl_wire_struct!(ResSpec {
+    rar_id,
+    requestor,
+    source_domain,
+    dest_domain,
+    flow,
+    rate_bps,
+    interval,
+    max_cost,
+    cpu_reservation_id,
+    tunnel,
+    attrs,
+    assertions
+});
+
+impl ResSpec {
+    /// Builder with the mandatory fields; everything else defaults off.
+    pub fn new(
+        rar_id: RarId,
+        requestor: DistinguishedName,
+        source_domain: &str,
+        dest_domain: &str,
+        flow: u64,
+        rate_bps: u64,
+        interval: Interval,
+    ) -> Self {
+        Self {
+            rar_id,
+            requestor,
+            source_domain: source_domain.to_string(),
+            dest_domain: dest_domain.to_string(),
+            flow,
+            rate_bps,
+            interval,
+            max_cost: None,
+            cpu_reservation_id: None,
+            tunnel: false,
+            attrs: AttributeSet::new(),
+            assertions: Vec::new(),
+        }
+    }
+
+    /// Attach a coupled CPU reservation id.
+    pub fn with_cpu_reservation(mut self, id: u64) -> Self {
+        self.cpu_reservation_id = Some(id);
+        self
+    }
+
+    /// Mark as an aggregate tunnel request.
+    pub fn as_tunnel(mut self) -> Self {
+        self.tunnel = true;
+        self
+    }
+
+    /// Cap the acceptable cost.
+    pub fn with_max_cost(mut self, cost: u64) -> Self {
+        self.max_cost = Some(cost);
+        self
+    }
+
+    /// Add an assertion.
+    pub fn with_assertion(mut self, a: Assertion) -> Self {
+        self.assertions.push(a);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_crypto::Timestamp;
+
+    #[test]
+    fn wire_round_trip() {
+        let spec = ResSpec::new(
+            RarId(42),
+            DistinguishedName::user("Alice", "ANL"),
+            "domain-a",
+            "domain-c",
+            7,
+            10_000_000,
+            Interval::starting_at(Timestamp(100), 3600),
+        )
+        .with_cpu_reservation(111)
+        .with_max_cost(5000)
+        .with_assertion(Assertion::group("ATLAS"))
+        .as_tunnel();
+        let bytes = qos_wire::to_bytes(&spec);
+        assert_eq!(qos_wire::from_bytes::<ResSpec>(&bytes).unwrap(), spec);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let spec = ResSpec::new(
+            RarId(1),
+            DistinguishedName::user("Alice", "ANL"),
+            "a",
+            "c",
+            1,
+            1,
+            Interval::starting_at(Timestamp(0), 10),
+        );
+        assert!(!spec.tunnel);
+        assert_eq!(spec.cpu_reservation_id, None);
+        let spec = spec.as_tunnel().with_cpu_reservation(9);
+        assert!(spec.tunnel);
+        assert_eq!(spec.cpu_reservation_id, Some(9));
+    }
+}

@@ -1,0 +1,241 @@
+//! Threaded actor runtime: each broker runs on its own OS thread with a
+//! crossbeam mailbox, and peer links carry authenticated channel frames.
+//!
+//! The virtual-time [`crate::drive::Mesh`] answers *how long* signalling
+//! takes; this runtime demonstrates the same protocol state machines
+//! running **concurrently** — messages between brokers are sealed and
+//! opened on real [`crate::channel::SecureChannel`]s established by
+//! mutual handshake, and many reservations can be in flight at once.
+//! (The approved crate set has no async runtime, so signalling channels
+//! are actor threads + crossbeam channels rather than tokio tasks; see
+//! DESIGN.md §2.)
+
+use crate::channel::{handshake, ChannelIdentity, PeerPin, SecureChannel};
+use crate::envelope::SignedRar;
+use crate::messages::SignalMessage;
+use crate::node::{BbNode, Completion};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use qos_crypto::{Certificate, PublicKey, Timestamp};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+enum ActorMsg {
+    /// A sealed frame from a peer.
+    Frame {
+        from: String,
+        sealed: crate::channel::Sealed,
+    },
+    /// A local user submission (trusted local delivery, not a peer frame).
+    Submit {
+        rar: Box<SignedRar>,
+        user_cert: Box<Certificate>,
+    },
+    /// Advance the actor's wall clock.
+    SetTime(Timestamp),
+    /// Drain completions to the supervisor and stop.
+    Shutdown,
+}
+
+/// A handle to a running broker actor.
+pub struct ActorHandle {
+    domain: String,
+    tx: Sender<ActorMsg>,
+    join: Option<JoinHandle<(BbNode, Vec<Completion>)>>,
+}
+
+/// A mesh of broker actors on OS threads.
+pub struct ActorMesh {
+    actors: HashMap<String, ActorHandle>,
+    completion_rx: Receiver<(String, Completion)>,
+    completion_tx: Sender<(String, Completion)>,
+}
+
+impl Default for ActorMesh {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ActorMesh {
+    /// An empty actor mesh.
+    pub fn new() -> Self {
+        let (completion_tx, completion_rx) = unbounded();
+        Self {
+            actors: HashMap::new(),
+            completion_rx,
+            completion_tx,
+        }
+    }
+
+    /// Spawn the brokers of `nodes` as actors, establishing pairwise
+    /// secure channels between `links` (pairs of domain names).
+    ///
+    /// `identities` supplies each broker's channel identity and `ca_key`
+    /// the CA all peer pins use.
+    pub fn spawn(
+        &mut self,
+        nodes: Vec<BbNode>,
+        identities: HashMap<String, ChannelIdentity>,
+        links: &[(String, String)],
+        ca_key: PublicKey,
+    ) {
+        // Establish channels synchronously before spawning (the paper's
+        // SLAs exist before any signalling).
+        let mut channels: HashMap<String, HashMap<String, SecureChannel>> = HashMap::new();
+        for (nonce, (a, b)) in (1u64..).zip(links.iter()) {
+            let ia = &identities[a];
+            let ib = &identities[b];
+            let (ca_end, cb_end) = handshake(
+                ia,
+                ib,
+                &PeerPin {
+                    ca_key,
+                    dn: ib.cert.tbs.subject.clone(),
+                },
+                &PeerPin {
+                    ca_key,
+                    dn: ia.cert.tbs.subject.clone(),
+                },
+                nonce,
+                Timestamp::ZERO,
+            )
+            .expect("handshake between configured peers");
+            channels.entry(a.clone()).or_default().insert(b.clone(), ca_end);
+            channels.entry(b.clone()).or_default().insert(a.clone(), cb_end);
+        }
+
+        // Build mailboxes first so every actor can reach every peer.
+        let mut mailboxes: HashMap<String, Sender<ActorMsg>> = HashMap::new();
+        let mut receivers: HashMap<String, Receiver<ActorMsg>> = HashMap::new();
+        for node in &nodes {
+            let (tx, rx) = unbounded();
+            mailboxes.insert(node.domain().to_string(), tx);
+            receivers.insert(node.domain().to_string(), rx);
+        }
+
+        for mut node in nodes {
+            let domain = node.domain().to_string();
+            let rx = receivers.remove(&domain).unwrap();
+            let peers_tx = mailboxes.clone();
+            let mut my_channels = channels.remove(&domain).unwrap_or_default();
+            let completion_tx = self.completion_tx.clone();
+            let dom = domain.clone();
+            let join = std::thread::spawn(move || {
+                let mut done = Vec::new();
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        ActorMsg::SetTime(t) => node.set_time(t),
+                        ActorMsg::Submit { rar, user_cert } => {
+                            let out = node.submit(*rar, &user_cert);
+                            route_out(&dom, out, &mut my_channels, &peers_tx);
+                            for c in node.take_completions() {
+                                let _ = completion_tx.send((dom.clone(), c));
+                                done.push(());
+                            }
+                        }
+                        ActorMsg::Frame { from, sealed } => {
+                            let Some(ch) = my_channels.get_mut(&from) else {
+                                continue;
+                            };
+                            let Ok(bytes) = ch.open(sealed) else {
+                                continue; // tampered / replayed frame
+                            };
+                            let Ok(msg) = qos_wire::from_bytes::<SignalMessage>(&bytes) else {
+                                continue;
+                            };
+                            let out = node.recv(&from, msg);
+                            route_out(&dom, out, &mut my_channels, &peers_tx);
+                            for c in node.take_completions() {
+                                let _ = completion_tx.send((dom.clone(), c));
+                                done.push(());
+                            }
+                        }
+                        ActorMsg::Shutdown => break,
+                    }
+                }
+                let completions = node.take_completions();
+                (node, completions)
+            });
+            self.actors.insert(
+                domain.clone(),
+                ActorHandle {
+                    tx: mailboxes[&domain].clone(),
+                    domain,
+                    join: Some(join),
+                },
+            );
+        }
+    }
+
+    /// Domains with running actors.
+    pub fn domains(&self) -> impl Iterator<Item = &str> {
+        self.actors.values().map(|h| h.domain.as_str())
+    }
+
+    /// Submit a user request to a broker actor.
+    pub fn submit(&self, domain: &str, rar: SignedRar, user_cert: Certificate) {
+        let h = &self.actors[domain];
+        let _ = h.tx.send(ActorMsg::Submit {
+            rar: Box::new(rar),
+            user_cert: Box::new(user_cert),
+        });
+    }
+
+    /// Broadcast a wall-clock update.
+    pub fn set_time(&self, now: Timestamp) {
+        for h in self.actors.values() {
+            let _ = h.tx.send(ActorMsg::SetTime(now));
+        }
+    }
+
+    /// Wait for `n` completions (across all source brokers).
+    pub fn wait_completions(&self, n: usize) -> Vec<(String, Completion)> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            match self
+                .completion_rx
+                .recv_timeout(std::time::Duration::from_secs(30))
+            {
+                Ok(c) => out.push(c),
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    /// Stop all actors and return the nodes.
+    pub fn shutdown(mut self) -> HashMap<String, BbNode> {
+        for h in self.actors.values() {
+            let _ = h.tx.send(ActorMsg::Shutdown);
+        }
+        let mut nodes = HashMap::new();
+        for (domain, mut h) in self.actors.drain() {
+            if let Some(join) = h.join.take() {
+                if let Ok((node, _)) = join.join() {
+                    nodes.insert(domain, node);
+                }
+            }
+        }
+        nodes
+    }
+}
+
+fn route_out(
+    from: &str,
+    out: Vec<(String, SignalMessage)>,
+    channels: &mut HashMap<String, SecureChannel>,
+    peers: &HashMap<String, Sender<ActorMsg>>,
+) {
+    for (to, msg) in out {
+        let to = to.strip_prefix("user:").unwrap_or(&to).to_string();
+        let (Some(ch), Some(tx)) = (channels.get_mut(&to), peers.get(&to)) else {
+            continue;
+        };
+        let sealed = ch.seal(qos_wire::to_bytes(&msg));
+        let _ = tx.send(ActorMsg::Frame {
+            from: from.to_string(),
+            sealed,
+        });
+    }
+}
+

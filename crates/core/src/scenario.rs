@@ -1,0 +1,625 @@
+//! Reusable scenario builders: the paper's multi-domain world, wired up.
+//!
+//! Builds the complete cast of Figures 2–7 — a root CA, an ESnet CAS, a
+//! linear chain of domains A…N (plus David's domain D attached to the
+//! second domain), per-domain brokers with policies, SLAs with pinned
+//! certificates, user identities, capability grants — and, optionally,
+//! the matching `qos_net` data plane. Shared by the integration tests,
+//! the examples, and every experiment binary.
+
+use crate::envelope::SignedRar;
+use crate::node::{BbConfig, BbNode, EdgeBinding};
+use crate::rar::{RarId, ResSpec};
+use qos_broker::{Interval, Sla, Sls};
+use qos_crypto::{
+    Certificate, CertificateAuthority, CommunityAuthorizationServer, DelegationChain,
+    DistinguishedName, KeyPair, PublicKey, Timestamp, TrustPolicy, Validity,
+};
+use qos_net::{Network, NodeId, SimDuration};
+use qos_policy::GroupServer;
+use std::collections::HashMap;
+
+/// A permissive policy for domains whose admission is under test but
+/// whose authorization is not.
+pub const PERMIT_ALL: &str = "return grant";
+
+/// One user in the scenario.
+pub struct UserIdentity {
+    /// Key pair.
+    pub key: KeyPair,
+    /// CA-issued identity certificate.
+    pub cert: Certificate,
+    /// DN.
+    pub dn: DistinguishedName,
+    /// Private proxy key for capability certificates (if granted).
+    pub proxy: KeyPair,
+    /// CAS grant + delegation material, if granted.
+    pub capability: Option<Certificate>,
+}
+
+impl UserIdentity {
+    /// Build the user's innermost signed request, delegating the
+    /// capability (if any) to the source broker per §6.5.
+    pub fn sign_request(&self, spec: ResSpec, source_bb: &BbNode) -> SignedRar {
+        let mut caps = Vec::new();
+        if let Some(grant) = &self.capability {
+            let chain = DelegationChain::new(grant.clone());
+            let chain = chain
+                .delegate(
+                    &self.proxy,
+                    source_bb.dn().clone(),
+                    source_bb.public_key(),
+                    vec![],
+                    Validity::unbounded(),
+                )
+                .expect("user holds the proxy key");
+            caps = chain.certs;
+        }
+        SignedRar::user_request(spec, source_bb.dn().clone(), caps, &self.key)
+    }
+}
+
+/// Everything a scenario needs.
+pub struct Scenario {
+    /// Root CA (already consumed for issuing; kept for its key).
+    pub ca_key: PublicKey,
+    /// CAS public key by community name.
+    pub cas_keys: HashMap<String, PublicKey>,
+    /// Domain names in chain order (`domain-a`, `domain-b`, …).
+    pub domains: Vec<String>,
+    /// Brokers by domain, ready to drop into a [`crate::drive::Mesh`].
+    pub nodes: Vec<BbNode>,
+    /// Users by name.
+    pub users: HashMap<String, UserIdentity>,
+    /// Monotonic RAR id source.
+    next_rar: u64,
+}
+
+impl Scenario {
+    /// Take a fresh RAR id.
+    pub fn next_rar_id(&mut self) -> RarId {
+        self.next_rar += 1;
+        RarId(self.next_rar)
+    }
+
+    /// Convenience: a reservation spec from `user` across the whole
+    /// chain.
+    pub fn spec(
+        &mut self,
+        user: &str,
+        flow: u64,
+        rate_bps: u64,
+        start: Timestamp,
+        secs: u64,
+    ) -> ResSpec {
+        let rar_id = self.next_rar_id();
+        let first = self.domains.first().unwrap().clone();
+        let last = self.domains.last().unwrap().clone();
+        ResSpec::new(
+            rar_id,
+            self.users[user].dn.clone(),
+            &first,
+            &last,
+            flow,
+            rate_bps,
+            Interval::starting_at(start, secs),
+        )
+    }
+}
+
+/// Options for [`build_chain`].
+pub struct ChainOptions {
+    /// Number of domains in the line (≥ 2).
+    pub domains: usize,
+    /// Per-domain policy source (defaults to [`PERMIT_ALL`]); keyed by
+    /// index.
+    pub policies: HashMap<usize, String>,
+    /// Local capacity per domain (bits/s).
+    pub local_capacity_bps: u64,
+    /// SLA committed rate between adjacent domains (bits/s).
+    pub sla_rate_bps: u64,
+    /// Capability communities to create, with the users granted each.
+    pub grants: Vec<(String, Vec<String>)>,
+    /// Users to create (Alice and David always exist).
+    pub extra_users: Vec<String>,
+    /// Trust-policy depth bound for all brokers.
+    pub trust_policy: TrustPolicy,
+}
+
+impl Default for ChainOptions {
+    fn default() -> Self {
+        Self {
+            domains: 3,
+            policies: HashMap::new(),
+            local_capacity_bps: 1_000_000_000,
+            sla_rate_bps: 100_000_000,
+            grants: vec![("ESnet".to_string(), vec!["alice".to_string()])],
+            extra_users: vec![],
+            trust_policy: TrustPolicy::default(),
+        }
+    }
+}
+
+/// Domain name for chain index `i`: `domain-a`, `domain-b`, …
+pub fn domain_name(i: usize) -> String {
+    if i < 26 {
+        format!("domain-{}", (b'a' + i as u8) as char)
+    } else {
+        format!("domain-{i}")
+    }
+}
+
+/// Build a linear chain of domains with brokers, SLAs, users, and
+/// capability grants.
+pub fn build_chain(opts: ChainOptions) -> Scenario {
+    assert!(opts.domains >= 2, "a chain needs at least two domains");
+    let mut ca = CertificateAuthority::new(
+        DistinguishedName::authority("RootCA"),
+        KeyPair::from_seed(b"root-ca"),
+    );
+
+    // Broker identities.
+    let domains: Vec<String> = (0..opts.domains).map(domain_name).collect();
+    let keys: Vec<KeyPair> = domains
+        .iter()
+        .map(|d| KeyPair::from_seed(format!("bb-{d}").as_bytes()))
+        .collect();
+    let certs: Vec<Certificate> = domains
+        .iter()
+        .zip(&keys)
+        .map(|(d, k)| {
+            ca.issue_identity(
+                DistinguishedName::broker(d),
+                k.public(),
+                Validity::unbounded(),
+            )
+        })
+        .collect();
+
+    // Communities and grants.
+    let mut cas_keys = HashMap::new();
+    let mut cas_servers: HashMap<String, CommunityAuthorizationServer> = HashMap::new();
+    for (community, _) in &opts.grants {
+        let server = CommunityAuthorizationServer::new(
+            community,
+            KeyPair::from_seed(format!("cas-{community}").as_bytes()),
+        );
+        cas_keys.insert(community.clone(), server.public_key());
+        cas_servers.insert(community.clone(), server);
+    }
+
+    // Users.
+    let mut user_names = vec!["alice".to_string(), "david".to_string()];
+    user_names.extend(opts.extra_users.iter().cloned());
+    let mut users = HashMap::new();
+    for name in &user_names {
+        let key = KeyPair::from_seed(format!("user-{name}").as_bytes());
+        let proxy = KeyPair::from_seed(format!("proxy-{name}").as_bytes());
+        let display = capitalize(name);
+        let dn = DistinguishedName::user(&display, "ANL");
+        let cert = ca.issue_identity(dn.clone(), key.public(), Validity::unbounded());
+        let mut capability = None;
+        for (community, granted) in &opts.grants {
+            if granted.contains(name) {
+                let server = cas_servers.get_mut(community).unwrap();
+                capability = Some(server.grant(
+                    &dn,
+                    proxy.public(),
+                    vec![format!("{community}:member")],
+                    Validity::unbounded(),
+                ));
+            }
+        }
+        users.insert(
+            name.clone(),
+            UserIdentity {
+                key,
+                cert,
+                dn,
+                proxy,
+                capability,
+            },
+        );
+    }
+
+    // Brokers with SLAs and routes.
+    let mut nodes = Vec::new();
+    for i in 0..opts.domains {
+        let policy = opts
+            .policies
+            .get(&i)
+            .cloned()
+            .unwrap_or_else(|| PERMIT_ALL.to_string());
+        let groups = GroupServer::new(
+            &format!("groups-{}", domains[i]),
+            KeyPair::from_seed(format!("gs-{}", domains[i]).as_bytes()),
+        );
+        let mut node = BbNode::new(BbConfig {
+            domain: domains[i].clone(),
+            key: keys[i].clone(),
+            cert: certs[i].clone(),
+            policy_src: policy,
+            groups,
+            local_capacity_bps: opts.local_capacity_bps,
+            trust_policy: opts.trust_policy,
+            cas_keys: cas_keys.clone(),
+            user_ca: ca.public_key(),
+        });
+        // Peering with the previous domain (they send into us).
+        if i > 0 {
+            node.add_peer(
+                certs[i - 1].clone(),
+                Some(Sla {
+                    upstream: domains[i - 1].clone(),
+                    downstream: domains[i].clone(),
+                    sls: Sls::strict(opts.sla_rate_bps),
+                    peer_cert: certs[i - 1].clone(),
+                    ca_cert: certs[i - 1].clone(),
+                    price_per_mbps_sec: 1,
+                }),
+                None,
+            );
+            // Everything upstream routes through the previous domain.
+            for d in domains[..i].iter() {
+                node.add_route(d, &domains[i - 1]);
+            }
+        }
+        // Peering with the next domain (we send into them).
+        if i + 1 < opts.domains {
+            node.add_peer(
+                certs[i + 1].clone(),
+                None,
+                Some(Sla {
+                    upstream: domains[i].clone(),
+                    downstream: domains[i + 1].clone(),
+                    sls: Sls::strict(opts.sla_rate_bps),
+                    peer_cert: certs[i + 1].clone(),
+                    ca_cert: certs[i + 1].clone(),
+                    price_per_mbps_sec: 1,
+                }),
+            );
+            for d in domains[i + 1..].iter() {
+                node.add_route(d, &domains[i + 1]);
+            }
+        }
+        nodes.push(node);
+    }
+
+    Scenario {
+        ca_key: ca.public_key(),
+        cas_keys,
+        domains,
+        nodes,
+        users,
+        next_rar: 0,
+    }
+}
+
+/// Build a hub-and-spoke world: `leaves` leaf domains all peering with a
+/// central transit domain `hub` (an ISP backbone). Any leaf-to-leaf path
+/// is leaf → hub → leaf, so the hub's SLAs and local capacity are the
+/// shared bottleneck — the topology where aggregate admission control at
+/// a transit domain actually bites.
+///
+/// The returned scenario's `domains` lists the leaves first, then `hub`.
+pub fn build_star(leaves: usize, opts: ChainOptions) -> Scenario {
+    assert!(leaves >= 2, "a star needs at least two leaves");
+    let mut ca = CertificateAuthority::new(
+        DistinguishedName::authority("RootCA"),
+        KeyPair::from_seed(b"root-ca"),
+    );
+    let mut domains: Vec<String> = (0..leaves).map(domain_name).collect();
+    domains.push("hub".to_string());
+    let keys: Vec<KeyPair> = domains
+        .iter()
+        .map(|d| KeyPair::from_seed(format!("bb-{d}").as_bytes()))
+        .collect();
+    let certs: Vec<Certificate> = domains
+        .iter()
+        .zip(&keys)
+        .map(|(d, k)| {
+            ca.issue_identity(
+                DistinguishedName::broker(d),
+                k.public(),
+                Validity::unbounded(),
+            )
+        })
+        .collect();
+
+    let mut cas_keys = HashMap::new();
+    let mut cas_servers: HashMap<String, CommunityAuthorizationServer> = HashMap::new();
+    for (community, _) in &opts.grants {
+        let server = CommunityAuthorizationServer::new(
+            community,
+            KeyPair::from_seed(format!("cas-{community}").as_bytes()),
+        );
+        cas_keys.insert(community.clone(), server.public_key());
+        cas_servers.insert(community.clone(), server);
+    }
+    let mut user_names = vec!["alice".to_string(), "david".to_string()];
+    user_names.extend(opts.extra_users.iter().cloned());
+    let mut users = HashMap::new();
+    for name in &user_names {
+        let key = KeyPair::from_seed(format!("user-{name}").as_bytes());
+        let proxy = KeyPair::from_seed(format!("proxy-{name}").as_bytes());
+        let dn = DistinguishedName::user(&capitalize(name), "ANL");
+        let cert = ca.issue_identity(dn.clone(), key.public(), Validity::unbounded());
+        let mut capability = None;
+        for (community, granted) in &opts.grants {
+            if granted.contains(name) {
+                let server = cas_servers.get_mut(community).unwrap();
+                capability = Some(server.grant(
+                    &dn,
+                    proxy.public(),
+                    vec![format!("{community}:member")],
+                    Validity::unbounded(),
+                ));
+            }
+        }
+        users.insert(
+            name.clone(),
+            UserIdentity {
+                key,
+                cert,
+                dn,
+                proxy,
+                capability,
+            },
+        );
+    }
+
+    let hub_idx = leaves;
+    let mk_sla = |up: usize, down: usize| Sla {
+        upstream: domains[up].clone(),
+        downstream: domains[down].clone(),
+        sls: Sls::strict(opts.sla_rate_bps),
+        peer_cert: certs[up].clone(),
+        ca_cert: certs[up].clone(),
+        price_per_mbps_sec: 1,
+    };
+    let mut nodes = Vec::new();
+    for i in 0..domains.len() {
+        let policy = opts
+            .policies
+            .get(&i)
+            .cloned()
+            .unwrap_or_else(|| PERMIT_ALL.to_string());
+        let groups = GroupServer::new(
+            &format!("groups-{}", domains[i]),
+            KeyPair::from_seed(format!("gs-{}", domains[i]).as_bytes()),
+        );
+        let mut node = BbNode::new(BbConfig {
+            domain: domains[i].clone(),
+            key: keys[i].clone(),
+            cert: certs[i].clone(),
+            policy_src: policy,
+            groups,
+            local_capacity_bps: opts.local_capacity_bps,
+            trust_policy: opts.trust_policy,
+            cas_keys: cas_keys.clone(),
+            user_ca: ca.public_key(),
+        });
+        if i == hub_idx {
+            // The hub peers with every leaf, both directions.
+            for leaf in 0..leaves {
+                node.add_peer(
+                    certs[leaf].clone(),
+                    Some(mk_sla(leaf, hub_idx)),
+                    Some(mk_sla(hub_idx, leaf)),
+                );
+                node.add_route(&domains[leaf], &domains[leaf]);
+            }
+        } else {
+            // Each leaf peers only with the hub and routes everything
+            // through it.
+            node.add_peer(
+                certs[hub_idx].clone(),
+                Some(mk_sla(hub_idx, i)),
+                Some(mk_sla(i, hub_idx)),
+            );
+            for (j, d) in domains.iter().enumerate() {
+                if j != i {
+                    node.add_route(d, "hub");
+                }
+            }
+        }
+        nodes.push(node);
+    }
+
+    Scenario {
+        ca_key: ca.public_key(),
+        cas_keys,
+        domains,
+        nodes,
+        users,
+        next_rar: 0,
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+/// The paper's Figure 4 world: the three-domain chain plus David's
+/// domain D peering into the middle domain, and a matching data plane.
+///
+/// Returns `(scenario_with_4_nodes, network, node_ids)` where the fourth
+/// node is `domain-d` and `node_ids` resolves `alice`/`charlie`/`david`
+/// hosts and the `edge-*` routers.
+pub fn build_paper_world(
+    capacity_bps: u64,
+    hop_delay: SimDuration,
+) -> (Scenario, Network, HashMap<String, NodeId>) {
+    let mut scenario = build_chain(ChainOptions {
+        domains: 3,
+        ..ChainOptions::default()
+    });
+
+    // Domain D: David's home, peering into domain-b.
+    let mut ca = CertificateAuthority::new(
+        DistinguishedName::authority("RootCA"),
+        KeyPair::from_seed(b"root-ca"),
+    );
+    // Re-issue against the same deterministic CA key; serial differences
+    // are irrelevant to verification.
+    let key_d = KeyPair::from_seed(b"bb-domain-d");
+    let cert_d = ca.issue_identity(
+        DistinguishedName::broker("domain-d"),
+        key_d.public(),
+        Validity::unbounded(),
+    );
+    let key_b = KeyPair::from_seed(b"bb-domain-b");
+    let cert_b = ca.issue_identity(
+        DistinguishedName::broker("domain-b"),
+        key_b.public(),
+        Validity::unbounded(),
+    );
+    let mut node_d = BbNode::new(BbConfig {
+        domain: "domain-d".into(),
+        key: key_d,
+        cert: cert_d.clone(),
+        policy_src: PERMIT_ALL.to_string(),
+        groups: GroupServer::new("groups-d", KeyPair::from_seed(b"gs-d")),
+        local_capacity_bps: 1_000_000_000,
+        trust_policy: TrustPolicy::default(),
+        cas_keys: scenario.cas_keys.clone(),
+        user_ca: scenario.ca_key,
+    });
+    node_d.add_peer(
+        cert_b,
+        None,
+        Some(Sla {
+            upstream: "domain-d".into(),
+            downstream: "domain-b".into(),
+            sls: Sls::strict(100_000_000),
+            peer_cert: scenario.nodes[1].cert().clone(),
+            ca_cert: scenario.nodes[1].cert().clone(),
+            price_per_mbps_sec: 1,
+        }),
+    );
+    node_d.add_route("domain-a", "domain-b");
+    node_d.add_route("domain-b", "domain-b");
+    node_d.add_route("domain-c", "domain-b");
+    // Domain B accepts from D.
+    scenario.nodes[1].add_peer(
+        cert_d,
+        Some(Sla {
+            upstream: "domain-d".into(),
+            downstream: "domain-b".into(),
+            sls: Sls::strict(100_000_000),
+            peer_cert: node_d.cert().clone(),
+            ca_cert: node_d.cert().clone(),
+            price_per_mbps_sec: 1,
+        }),
+        None,
+    );
+    scenario.nodes.push(node_d);
+    scenario.domains.push("domain-d".into());
+
+    // Matching data plane.
+    let (topo, names) = qos_net::paper_topology(capacity_bps, hop_delay);
+    let network = Network::new(topo);
+
+    // Bind brokers to their edge routers / ingress links.
+    let mut bindings: Vec<(usize, EdgeBinding)> = Vec::new();
+    {
+        let net = &network;
+        let n = &names;
+        // domain-a: Alice's first router.
+        bindings.push((
+            0,
+            EdgeBinding {
+                first_router: net.first_router(n["alice"], n["charlie"]),
+                ingress_links: HashMap::new(),
+            },
+        ));
+        // domain-b: ingress from A and from D.
+        let mut b_links = HashMap::new();
+        if let Some(l) = net.ingress_link_on_path(n["alice"], n["charlie"], n["edge-b"]) {
+            b_links.insert("domain-a".to_string(), l);
+        }
+        if let Some(l) = net.ingress_link_on_path(n["david"], n["charlie"], n["edge-b"]) {
+            b_links.insert("domain-d".to_string(), l);
+        }
+        bindings.push((
+            1,
+            EdgeBinding {
+                first_router: None,
+                ingress_links: b_links,
+            },
+        ));
+        // domain-c: ingress from B.
+        let mut c_links = HashMap::new();
+        if let Some(l) = net.ingress_link_on_path(n["alice"], n["charlie"], n["edge-c"]) {
+            c_links.insert("domain-b".to_string(), l);
+        }
+        bindings.push((
+            2,
+            EdgeBinding {
+                first_router: None,
+                ingress_links: c_links,
+            },
+        ));
+        // domain-d: David's first router.
+        bindings.push((
+            3,
+            EdgeBinding {
+                first_router: net.first_router(n["david"], n["charlie"]),
+                ingress_links: HashMap::new(),
+            },
+        ));
+    }
+    for (i, b) in bindings {
+        scenario.nodes[i].set_edge_binding(b);
+    }
+
+    (scenario, network, names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_builder_wires_routes_and_slas() {
+        let s = build_chain(ChainOptions {
+            domains: 4,
+            ..ChainOptions::default()
+        });
+        assert_eq!(s.domains.len(), 4);
+        assert_eq!(s.nodes.len(), 4);
+        // Middle node routes both ways.
+        let b = &s.nodes[1];
+        assert_eq!(b.route_towards("domain-a"), Some("domain-a".into()));
+        assert_eq!(b.route_towards("domain-d"), Some("domain-c".into()));
+        assert!(s.users.contains_key("alice"));
+        assert!(s.users["alice"].capability.is_some());
+        assert!(s.users["david"].capability.is_none());
+    }
+
+    #[test]
+    fn paper_world_has_four_domains_and_bindings() {
+        let (s, net, names) = build_paper_world(100_000_000, SimDuration::from_millis(5));
+        assert_eq!(s.domains.len(), 4);
+        assert!(names.contains_key("edge-b"));
+        assert!(net.first_router(names["alice"], names["charlie"]).is_some());
+    }
+
+    #[test]
+    fn user_signs_verifiable_requests() {
+        let mut s = build_chain(ChainOptions::default());
+        let spec = s.spec("alice", 7, 10_000_000, Timestamp(0), 3600);
+        let rar = {
+            let alice = &s.users["alice"];
+            alice.sign_request(spec, &s.nodes[0])
+        };
+        let alice = &s.users["alice"];
+        assert!(rar.verify_signature(alice.key.public()));
+        // Capability chain: CAS grant + delegation to BB_A.
+        assert_eq!(rar.capability_certs().len(), 2);
+    }
+}

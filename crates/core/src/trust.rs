@@ -1,0 +1,496 @@
+//! Destination-side verification of a nested RAR — the transitive trust
+//! model of §6.4.
+//!
+//! The destination holds exactly one a-priori key: its direct upstream
+//! peer's, pinned by the SLA and confirmed during the secure-channel
+//! handshake. Everything further upstream is reached through the
+//! envelope itself: each broker layer embeds the certificate of the
+//! *inner* layer's signer, and by signing the whole layer the outer
+//! broker vouches for that certificate — "this web of trust allows each
+//! domain to access a list of key introducers when deciding whether to
+//! accept the public key stored in the certificate."
+//!
+//! The verifier also enforces the paper's two structural checks:
+//! path continuity (each layer names its downstream broker, and exactly
+//! that broker must have wrapped it) and a local bound on acceptable
+//! chain depth ("checking its own security policy which might limit the
+//! depth of an acceptable trust chain").
+//!
+//! Alternatives to the introducer walk (§6.4's option list) are modelled
+//! by [`KeySource`] for the D3 ablation.
+
+use crate::envelope::{RarLayer, SignedRar};
+use crate::error::CoreError;
+use crate::rar::ResSpec;
+use qos_crypto::{
+    Certificate, CertificateDirectory, DistinguishedName, PublicKey, Timestamp, TrustPolicy,
+};
+use qos_policy::AttributeSet;
+
+/// Where a verifier obtains upstream public keys.
+pub enum KeySource<'a> {
+    /// Walk the introducer chain embedded in the envelope (the paper's
+    /// preferred mechanism).
+    Introducers,
+    /// Resolve DNs against a trusted certificate repository ("secure
+    /// LDAP" — §6.4 option 2).
+    Directory(&'a CertificateDirectory),
+}
+
+/// What successful verification yields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifiedRar {
+    /// The reservation specification.
+    pub res_spec: ResSpec,
+    /// Signers innermost-first: user, source BB, transit BBs.
+    pub signer_path: Vec<DistinguishedName>,
+    /// The user's identity certificate (introduced by the source BB).
+    pub user_cert: Certificate,
+    /// The source BB's certificate, if the envelope has ≥2 broker layers
+    /// — this is what the destination needs to open the direct tunnel
+    /// channel back to the source domain.
+    pub source_bb_cert: Option<Certificate>,
+    /// All capability certificates, CAS grant first (Figure 7's list).
+    pub capability_certs: Vec<Certificate>,
+    /// Merged policy attachments from every domain on the path.
+    pub attachments: AttributeSet,
+}
+
+/// Verify a received envelope.
+///
+/// * `outer_pk` — the direct peer's public key (SLA-pinned, confirmed by
+///   the channel handshake);
+/// * `self_dn` — the verifier's own DN (the outermost layer must be
+///   addressed to it);
+/// * `policy` — local chain-depth bound;
+/// * `now` — certificate validity instant;
+/// * `keys` — where upstream keys come from (D3 ablation).
+pub fn verify_rar(
+    rar: &SignedRar,
+    outer_pk: PublicKey,
+    self_dn: &DistinguishedName,
+    policy: TrustPolicy,
+    now: Timestamp,
+    keys: &KeySource<'_>,
+) -> Result<VerifiedRar, CoreError> {
+    // Depth bound: broker layers beyond the user's.
+    let depth = rar.depth().saturating_sub(1);
+    if depth > policy.max_chain_depth {
+        return Err(CoreError::ChainTooDeep {
+            depth,
+            limit: policy.max_chain_depth,
+        });
+    }
+
+    // The outermost layer must be addressed to us…
+    if let RarLayer::Broker {
+        next_bb: Some(next),
+        ..
+    } = &rar.layer
+    {
+        if next != self_dn {
+            return Err(CoreError::PathMismatch {
+                expected: next.clone(),
+                found: self_dn.clone(),
+            });
+        }
+    }
+
+    // …and signed by the peer we received it from.
+    let mut current = rar;
+    let mut current_pk = resolve_key(keys, &current.signer, outer_pk, now)?;
+    let mut user_cert: Option<Certificate> = None;
+    let mut source_bb_cert: Option<Certificate> = None;
+
+    loop {
+        if !current.verify_signature(current_pk) {
+            return Err(CoreError::LayerSignature {
+                signer: current.signer.clone(),
+            });
+        }
+        match &current.layer {
+            RarLayer::Broker {
+                inner,
+                upstream_cert,
+                ..
+            } => {
+                // The embedded certificate must describe the inner signer.
+                if !upstream_cert.tbs.subject.same_principal(&inner.signer) {
+                    return Err(CoreError::PathMismatch {
+                        expected: inner.signer.clone(),
+                        found: upstream_cert.tbs.subject.clone(),
+                    });
+                }
+                upstream_cert.check_validity(now).map_err(CoreError::from)?;
+                // Path continuity: the inner layer named its downstream
+                // broker; exactly that broker must have signed this wrap.
+                let inner_next = match &inner.layer {
+                    RarLayer::Broker { next_bb, .. } => next_bb.clone(),
+                    RarLayer::User { source_bb, .. } => {
+                        // The user's layer is wrapped by the source BB; the
+                        // wrapping layer introduces the *user's* cert and,
+                        // one level further out, the source BB's cert.
+                        user_cert = Some(upstream_cert.clone());
+                        Some(source_bb.clone())
+                    }
+                };
+                if matches!(inner.layer, RarLayer::Broker { .. }) && inner.depth() == 2 {
+                    // `current` wraps the source BB's layer: its embedded
+                    // certificate is the source BB's.
+                    source_bb_cert = Some(upstream_cert.clone());
+                }
+                if let Some(expected) = inner_next {
+                    if expected != current.signer {
+                        return Err(CoreError::PathMismatch {
+                            expected,
+                            found: current.signer.clone(),
+                        });
+                    }
+                }
+                // Descend with the introduced (or directory-resolved) key.
+                current_pk = resolve_key(
+                    keys,
+                    &inner.signer,
+                    upstream_cert.tbs.subject_public_key,
+                    now,
+                )?;
+                current = inner;
+            }
+            RarLayer::User { res_spec, .. } => {
+                // Innermost layer verified. The requestor in the spec must
+                // be the layer's signer.
+                if !res_spec.requestor.same_principal(&current.signer) {
+                    return Err(CoreError::PathMismatch {
+                        expected: res_spec.requestor.clone(),
+                        found: current.signer.clone(),
+                    });
+                }
+                let user_cert = user_cert.ok_or(CoreError::LayerSignature {
+                    signer: current.signer.clone(),
+                })?;
+                return Ok(VerifiedRar {
+                    res_spec: res_spec.clone(),
+                    signer_path: rar.signer_path(),
+                    user_cert,
+                    source_bb_cert,
+                    capability_certs: rar.capability_certs(),
+                    attachments: rar.merged_attachments(),
+                });
+            }
+        }
+    }
+}
+
+fn resolve_key(
+    keys: &KeySource<'_>,
+    dn: &DistinguishedName,
+    introduced: PublicKey,
+    now: Timestamp,
+) -> Result<PublicKey, CoreError> {
+    match keys {
+        KeySource::Introducers => Ok(introduced),
+        KeySource::Directory(dir) => {
+            let pk = dir.lookup(dn, now).map_err(CoreError::from)?;
+            // Defence in depth: the directory and the introduced key must
+            // agree — a mismatch means someone is lying.
+            if pk != introduced {
+                return Err(CoreError::LayerSignature { signer: dn.clone() });
+            }
+            Ok(pk)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rar::{RarId, ResSpec};
+    use qos_broker::Interval;
+    use qos_crypto::{CertificateAuthority, KeyPair, Validity};
+
+    struct Fix {
+        ca: CertificateAuthority,
+        user: KeyPair,
+        bb: Vec<KeyPair>, // bb[0]=A, bb[1]=B, bb[2]=C
+    }
+
+    fn fix() -> Fix {
+        Fix {
+            ca: CertificateAuthority::new(
+                DistinguishedName::authority("CA"),
+                KeyPair::from_seed(b"ca"),
+            ),
+            user: KeyPair::from_seed(b"alice"),
+            bb: (0..4)
+                .map(|i| KeyPair::from_seed(format!("bb-{i}").as_bytes()))
+                .collect(),
+        }
+    }
+
+    fn domain(i: usize) -> String {
+        format!("domain-{}", (b'a' + i as u8) as char)
+    }
+
+    fn spec() -> ResSpec {
+        ResSpec::new(
+            RarId(1),
+            DistinguishedName::user("Alice", "ANL"),
+            "domain-a",
+            "domain-c",
+            7,
+            10_000_000,
+            Interval::starting_at(Timestamp(0), 3600),
+        )
+    }
+
+    /// Build the canonical RAR_B the paper resolves in §6.4: user → A → B,
+    /// addressed to C.
+    fn build(f: &mut Fix, hops: usize) -> SignedRar {
+        let user_cert = f.ca.issue_identity(
+            DistinguishedName::user("Alice", "ANL"),
+            f.user.public(),
+            Validity::unbounded(),
+        );
+        let mut rar = SignedRar::user_request(
+            spec(),
+            DistinguishedName::broker(&domain(0)),
+            vec![],
+            &f.user,
+        );
+        let mut upstream_cert = user_cert;
+        for i in 0..hops {
+            let next = Some(DistinguishedName::broker(&domain(i + 1)));
+            rar = SignedRar::wrap(
+                rar,
+                upstream_cert,
+                next,
+                vec![],
+                AttributeSet::new(),
+                DistinguishedName::broker(&domain(i)),
+                &f.bb[i],
+            );
+            upstream_cert = f.ca.issue_identity(
+                DistinguishedName::broker(&domain(i)),
+                f.bb[i].public(),
+                Validity::unbounded(),
+            );
+        }
+        rar
+    }
+
+    #[test]
+    fn destination_verifies_two_hop_envelope() {
+        let mut f = fix();
+        let rar = build(&mut f, 2); // signed by A then B, addressed to C
+        let verified = verify_rar(
+            &rar,
+            f.bb[1].public(),
+            &DistinguishedName::broker("domain-c"),
+            TrustPolicy::default(),
+            Timestamp(0),
+            &KeySource::Introducers,
+        )
+        .unwrap();
+        assert_eq!(verified.res_spec.rar_id, RarId(1));
+        assert_eq!(verified.signer_path.len(), 3);
+        assert_eq!(
+            verified.user_cert.tbs.subject,
+            DistinguishedName::user("Alice", "ANL")
+        );
+        // B's layer introduced A's certificate.
+        assert_eq!(
+            verified.source_bb_cert.as_ref().unwrap().tbs.subject,
+            DistinguishedName::broker("domain-a")
+        );
+    }
+
+    #[test]
+    fn wrong_peer_key_rejected() {
+        let mut f = fix();
+        let rar = build(&mut f, 2);
+        let err = verify_rar(
+            &rar,
+            f.bb[2].public(), // not B's key
+            &DistinguishedName::broker("domain-c"),
+            TrustPolicy::default(),
+            Timestamp(0),
+            &KeySource::Introducers,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::LayerSignature { .. }));
+    }
+
+    #[test]
+    fn misaddressed_envelope_rejected() {
+        let mut f = fix();
+        let rar = build(&mut f, 2); // addressed to domain-c
+        let err = verify_rar(
+            &rar,
+            f.bb[1].public(),
+            &DistinguishedName::broker("domain-x"),
+            TrustPolicy::default(),
+            Timestamp(0),
+            &KeySource::Introducers,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::PathMismatch { .. }));
+    }
+
+    #[test]
+    fn skipped_domain_breaks_path_continuity() {
+        let mut f = fix();
+        // A addresses B, but C's peer claims to have received it from A
+        // directly wrapped by C — i.e. B was skipped. Build: user→A
+        // (next=B), then wrap by *C* instead of B.
+        let user_cert = f.ca.issue_identity(
+            DistinguishedName::user("Alice", "ANL"),
+            f.user.public(),
+            Validity::unbounded(),
+        );
+        let rar_u = SignedRar::user_request(
+            spec(),
+            DistinguishedName::broker("domain-a"),
+            vec![],
+            &f.user,
+        );
+        let rar_a = SignedRar::wrap(
+            rar_u,
+            user_cert,
+            Some(DistinguishedName::broker("domain-b")),
+            vec![],
+            AttributeSet::new(),
+            DistinguishedName::broker("domain-a"),
+            &f.bb[0],
+        );
+        let cert_a = f.ca.issue_identity(
+            DistinguishedName::broker("domain-a"),
+            f.bb[0].public(),
+            Validity::unbounded(),
+        );
+        let rar_c = SignedRar::wrap(
+            rar_a,
+            cert_a,
+            Some(DistinguishedName::broker("domain-d")),
+            vec![],
+            AttributeSet::new(),
+            DistinguishedName::broker("domain-c"), // C wrapped, but A said B
+            &f.bb[2],
+        );
+        let err = verify_rar(
+            &rar_c,
+            f.bb[2].public(),
+            &DistinguishedName::broker("domain-d"),
+            TrustPolicy::default(),
+            Timestamp(0),
+            &KeySource::Introducers,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::PathMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn depth_policy_enforced() {
+        let mut f = fix();
+        let rar = build(&mut f, 3);
+        let err = verify_rar(
+            &rar,
+            f.bb[2].public(),
+            &DistinguishedName::broker("domain-d"),
+            TrustPolicy { max_chain_depth: 2 },
+            Timestamp(0),
+            &KeySource::Introducers,
+        )
+        .unwrap_err();
+        assert_eq!(err, CoreError::ChainTooDeep { depth: 3, limit: 2 });
+    }
+
+    #[test]
+    fn directory_key_source_agrees() {
+        let mut f = fix();
+        let rar = build(&mut f, 2);
+        let mut dir = CertificateDirectory::new();
+        dir.publish(f.ca.issue_identity(
+            DistinguishedName::user("Alice", "ANL"),
+            f.user.public(),
+            Validity::unbounded(),
+        ));
+        for i in 0..2 {
+            dir.publish(f.ca.issue_identity(
+                DistinguishedName::broker(&domain(i)),
+                f.bb[i].public(),
+                Validity::unbounded(),
+            ));
+        }
+        assert!(verify_rar(
+            &rar,
+            f.bb[1].public(),
+            &DistinguishedName::broker("domain-c"),
+            TrustPolicy::default(),
+            Timestamp(0),
+            &KeySource::Directory(&dir),
+        )
+        .is_ok());
+        // A directory that disagrees with the introduced key flags the lie.
+        let mut bad = CertificateDirectory::new();
+        bad.publish(f.ca.issue_identity(
+            DistinguishedName::user("Alice", "ANL"),
+            KeyPair::from_seed(b"not-alice").public(),
+            Validity::unbounded(),
+        ));
+        for i in 0..2 {
+            bad.publish(f.ca.issue_identity(
+                DistinguishedName::broker(&domain(i)),
+                f.bb[i].public(),
+                Validity::unbounded(),
+            ));
+        }
+        assert!(verify_rar(
+            &rar,
+            f.bb[1].public(),
+            &DistinguishedName::broker("domain-c"),
+            TrustPolicy::default(),
+            Timestamp(0),
+            &KeySource::Directory(&bad),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn expired_introduced_cert_rejected() {
+        let mut f = fix();
+        // Build with a short-lived user cert.
+        let user_cert = f.ca.issue_identity(
+            DistinguishedName::user("Alice", "ANL"),
+            f.user.public(),
+            Validity::starting_at(Timestamp(0), 10),
+        );
+        let rar_u = SignedRar::user_request(
+            spec(),
+            DistinguishedName::broker("domain-a"),
+            vec![],
+            &f.user,
+        );
+        let rar_a = SignedRar::wrap(
+            rar_u,
+            user_cert,
+            Some(DistinguishedName::broker("domain-b")),
+            vec![],
+            AttributeSet::new(),
+            DistinguishedName::broker("domain-a"),
+            &f.bb[0],
+        );
+        let err = verify_rar(
+            &rar_a,
+            f.bb[0].public(),
+            &DistinguishedName::broker("domain-b"),
+            TrustPolicy::default(),
+            Timestamp(100),
+            &KeySource::Introducers,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Crypto(qos_crypto::CryptoError::Expired { .. })
+        ));
+    }
+}

@@ -1,0 +1,108 @@
+//! Errors raised while validating certificates, chains, and introductions.
+
+use crate::dn::DistinguishedName;
+use crate::time::Timestamp;
+use std::fmt;
+
+/// A certificate / trust validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A signature did not verify under the expected public key.
+    BadSignature {
+        /// Whose signature failed.
+        signer: DistinguishedName,
+    },
+    /// A certificate was used outside its validity window.
+    Expired {
+        /// Subject of the offending certificate.
+        subject: DistinguishedName,
+        /// The instant at which it was checked.
+        at: Timestamp,
+    },
+    /// A chain link's issuer does not match the previous certificate's
+    /// subject.
+    IssuerMismatch {
+        /// What the link claims.
+        expected: DistinguishedName,
+        /// What the previous certificate says.
+        found: DistinguishedName,
+    },
+    /// A delegation step *widened* the capability set, which the Neuman
+    /// cascade forbids.
+    CapabilityWidened {
+        /// The capability that appeared out of nowhere.
+        capability: String,
+    },
+    /// A delegation step *dropped* a restriction inherited from upstream.
+    RestrictionDropped {
+        /// Human-readable restriction description.
+        restriction: String,
+    },
+    /// The chain is empty or otherwise structurally malformed.
+    MalformedChain(&'static str),
+    /// The first certificate of a capability chain is not flagged as a
+    /// capability certificate.
+    NotACapabilityCertificate,
+    /// The trust chain exceeded the verifier's maximum accepted depth.
+    ChainTooDeep {
+        /// Observed depth.
+        depth: usize,
+        /// Verifier's limit.
+        limit: usize,
+    },
+    /// No trust anchor could start the introduction chain.
+    NoTrustAnchor {
+        /// The DN we had no anchor for.
+        subject: DistinguishedName,
+    },
+    /// A required proof of private-key possession was missing or invalid.
+    PossessionProofInvalid {
+        /// Who failed to prove possession.
+        subject: DistinguishedName,
+    },
+    /// A directory lookup found no certificate for the DN.
+    UnknownSubject {
+        /// The DN that was looked up.
+        subject: DistinguishedName,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::BadSignature { signer } => {
+                write!(f, "signature by {signer} failed verification")
+            }
+            CryptoError::Expired { subject, at } => {
+                write!(f, "certificate for {subject} not valid at {at}")
+            }
+            CryptoError::IssuerMismatch { expected, found } => {
+                write!(f, "issuer mismatch: expected {expected}, found {found}")
+            }
+            CryptoError::CapabilityWidened { capability } => {
+                write!(f, "delegation widened capabilities: added {capability:?}")
+            }
+            CryptoError::RestrictionDropped { restriction } => {
+                write!(f, "delegation dropped restriction {restriction:?}")
+            }
+            CryptoError::MalformedChain(why) => write!(f, "malformed chain: {why}"),
+            CryptoError::NotACapabilityCertificate => {
+                write!(f, "first chain certificate lacks the capability flag")
+            }
+            CryptoError::ChainTooDeep { depth, limit } => {
+                write!(f, "trust chain depth {depth} exceeds local limit {limit}")
+            }
+            CryptoError::NoTrustAnchor { subject } => {
+                write!(f, "no trust anchor for {subject}")
+            }
+            CryptoError::PossessionProofInvalid { subject } => {
+                write!(f, "invalid proof of key possession by {subject}")
+            }
+            CryptoError::UnknownSubject { subject } => {
+                write!(f, "no certificate on file for {subject}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

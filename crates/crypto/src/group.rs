@@ -1,0 +1,136 @@
+//! Arithmetic in a fixed safe-prime group.
+//!
+//! The group is `G = <g>`, the order-`q` subgroup of `Z_p*` where
+//! `p = 2q + 1` is a safe prime. Constants were generated once with a
+//! primality search (`q` is the next prime above the Mersenne prime `M61`
+//! for which `2q+1` is also prime) and are fixed so that the encoding of
+//! keys and signatures is stable.
+//!
+//! **Security note.** A 63-bit group is *simulation strength only*: it
+//! preserves the structure of a real discrete-log signature scheme
+//! (correct signatures verify, tampered data does not, keys compose into
+//! certificate chains) but offers no security margin. DESIGN.md documents
+//! this substitution for the paper's production PKI.
+
+/// The safe prime `p = 2q + 1` (63 bits).
+pub const P: u64 = 4_611_686_018_427_394_499;
+
+/// The prime group order `q = (p - 1) / 2` (62 bits).
+pub const Q: u64 = 2_305_843_009_213_697_249;
+
+/// Generator of the order-`q` subgroup (`g = 2² mod p`, a quadratic
+/// residue, hence of order `q`).
+pub const G: u64 = 4;
+
+/// Modular multiplication `a * b mod m` via 128-bit intermediates.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Modular addition `a + b mod m` (inputs must already be `< m`).
+#[inline]
+pub fn add_mod(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(a < m && b < m);
+    let (s, carry) = a.overflowing_add(b);
+    if carry || s >= m {
+        s.wrapping_sub(m)
+    } else {
+        s
+    }
+}
+
+/// Modular exponentiation `base^exp mod m` by square-and-multiply.
+pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    debug_assert!(m > 1);
+    let mut acc: u64 = 1;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// `g^exp mod p` — exponentiation from the fixed generator.
+#[inline]
+pub fn g_pow(exp: u64) -> u64 {
+    pow_mod(G, exp, P)
+}
+
+/// Reduce arbitrary 128 bits to a nonzero scalar in `[1, q)`.
+///
+/// Used to derive scalars from hash output; the probability of the
+/// pre-reduction value mapping to zero is negligible, but we map zero to
+/// one anyway so callers never receive a degenerate scalar.
+pub fn scalar_from_wide(wide: u128) -> u64 {
+    let s = (wide % Q as u128) as u64;
+    if s == 0 {
+        1
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_is_safe_prime_relation() {
+        assert_eq!(P, 2 * Q + 1);
+    }
+
+    #[test]
+    fn generator_has_order_q() {
+        assert_eq!(pow_mod(G, Q, P), 1);
+        assert_ne!(pow_mod(G, 1, P), 1);
+        // G generates a group of order exactly q (q prime ⇒ order divides q
+        // and isn't 1).
+    }
+
+    #[test]
+    fn fermat_little_theorem_spot_checks() {
+        for a in [2u64, 3, 12345, 987_654_321, P - 2] {
+            assert_eq!(pow_mod(a, P - 1, P), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn pow_mod_agrees_with_naive() {
+        let m = 1_000_003;
+        for (b, e) in [(2u64, 10u64), (7, 13), (999_999, 3), (123, 0)] {
+            let mut naive = 1u64;
+            for _ in 0..e {
+                naive = naive * b % m;
+            }
+            assert_eq!(pow_mod(b, e, m), naive);
+        }
+    }
+
+    #[test]
+    fn add_mod_handles_wraparound() {
+        assert_eq!(add_mod(Q - 1, Q - 1, Q), Q - 2);
+        assert_eq!(add_mod(0, 0, Q), 0);
+        assert_eq!(add_mod(1, Q - 1, Q), 0);
+    }
+
+    #[test]
+    fn group_is_closed_under_multiplication() {
+        // Products of subgroup elements stay in the subgroup (order divides q).
+        let a = g_pow(123_456);
+        let b = g_pow(987_654);
+        let c = mul_mod(a, b, P);
+        assert_eq!(pow_mod(c, Q, P), 1);
+    }
+
+    #[test]
+    fn scalar_from_wide_never_zero() {
+        assert_eq!(scalar_from_wide(0), 1);
+        assert_eq!(scalar_from_wide(Q as u128), 1);
+        assert!(scalar_from_wide(u128::MAX) < Q);
+    }
+}

@@ -1,0 +1,266 @@
+//! Schnorr signatures over the fixed safe-prime group.
+//!
+//! The scheme is the classic Schnorr identification protocol made
+//! non-interactive with the Fiat–Shamir transform:
+//!
+//! * secret key `x ∈ [1, q)`, public key `y = g^x mod p`;
+//! * sign(m): `k = H(x ‖ m) mod q` (deterministic, RFC-6979 style),
+//!   `r = g^k`, `e = H(r ‖ y ‖ m) mod q`, `s = k + e·x mod q`;
+//! * verify(m, (e, s)): `r' = g^s · y^(q−e)`, accept iff
+//!   `H(r' ‖ y ‖ m) mod q == e`.
+//!
+//! Binding the public key into the challenge hash prevents cross-key
+//! signature transplantation, which matters here because the protocol of
+//! the paper moves signatures *between* administrative domains.
+
+use crate::group::{self, P, Q};
+use crate::sha256::{sha256, Sha256};
+use qos_wire::{Decode, Encode, Reader, WireError, Writer};
+use rand::Rng;
+
+/// A Schnorr public key (a group element).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PublicKey(pub u64);
+
+/// A Schnorr signature `(e, s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// Fiat–Shamir challenge.
+    pub e: u64,
+    /// Response scalar.
+    pub s: u64,
+}
+
+/// A private/public key pair.
+///
+/// The private scalar is deliberately not `Copy` and is excluded from
+/// `Debug` output to keep accidental leakage out of logs.
+#[derive(Clone)]
+pub struct KeyPair {
+    secret: u64,
+    public: PublicKey,
+}
+
+impl std::fmt::Debug for KeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyPair")
+            .field("public", &self.public)
+            .field("secret", &"<redacted>")
+            .finish()
+    }
+}
+
+impl KeyPair {
+    /// Generate a key pair from a caller-supplied RNG.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        Self::from_secret(group::scalar_from_wide(wide))
+    }
+
+    /// Derive a key pair deterministically from a byte seed (hashed to a
+    /// scalar). Used by tests and deterministic experiments so that runs
+    /// are reproducible.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let d = sha256(seed);
+        let wide = u128::from_be_bytes(d[..16].try_into().unwrap());
+        Self::from_secret(group::scalar_from_wide(wide))
+    }
+
+    fn from_secret(secret: u64) -> Self {
+        debug_assert!((1..Q).contains(&secret));
+        Self {
+            secret,
+            public: PublicKey(group::g_pow(secret)),
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Sign a message.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        // Deterministic nonce: k = H(x ‖ m), never reused across messages.
+        let mut h = Sha256::new();
+        h.update(&self.secret.to_le_bytes());
+        h.update(msg);
+        let kd = h.finalize();
+        let k = group::scalar_from_wide(u128::from_be_bytes(kd[..16].try_into().unwrap()));
+        let r = group::g_pow(k);
+        let e = challenge(r, self.public, msg);
+        let s = group::add_mod(k, group::mul_mod(e, self.secret, Q), Q);
+        Signature { e, s }
+    }
+
+    /// Prove knowledge of the private key for `nonce` (a challenge-response
+    /// step; the paper's capability model requires holders to "prove the
+    /// knowledge of the related private key").
+    pub fn prove_possession(&self, nonce: &[u8]) -> Signature {
+        let mut msg = b"possession-proof:".to_vec();
+        msg.extend_from_slice(nonce);
+        self.sign(&msg)
+    }
+}
+
+impl PublicKey {
+    /// Verify a signature over `msg`.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        if self.0 == 0 || self.0 >= P || sig.e >= Q || sig.s >= Q {
+            return false;
+        }
+        // r' = g^s * y^(q - e); y has order q so y^(q-e) = y^(-e).
+        let gs = group::g_pow(sig.s);
+        let ye = group::pow_mod(self.0, Q - sig.e, P);
+        let r = group::mul_mod(gs, ye, P);
+        challenge(r, *self, msg) == sig.e
+    }
+
+    /// Check a possession proof produced by [`KeyPair::prove_possession`].
+    pub fn check_possession(&self, nonce: &[u8], proof: &Signature) -> bool {
+        let mut msg = b"possession-proof:".to_vec();
+        msg.extend_from_slice(nonce);
+        self.verify(&msg, proof)
+    }
+
+    /// Short hex fingerprint of the key (first 8 bytes of SHA-256).
+    pub fn fingerprint(&self) -> String {
+        let d = sha256(&self.0.to_le_bytes());
+        crate::sha256::to_hex(&d[..8])
+    }
+}
+
+fn challenge(r: u64, pk: PublicKey, msg: &[u8]) -> u64 {
+    let mut h = Sha256::new();
+    h.update(&r.to_le_bytes());
+    h.update(&pk.0.to_le_bytes());
+    h.update(msg);
+    let d = h.finalize();
+    group::scalar_from_wide(u128::from_be_bytes(d[..16].try_into().unwrap()))
+}
+
+impl Encode for PublicKey {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+}
+
+impl Decode for PublicKey {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(PublicKey(r.get_u64()?))
+    }
+}
+
+impl Encode for Signature {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.e);
+        w.put_u64(self.s);
+    }
+}
+
+impl Decode for Signature {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Signature {
+            e: r.get_u64()?,
+            s: r.get_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kp(name: &str) -> KeyPair {
+        KeyPair::from_seed(name.as_bytes())
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let alice = kp("alice");
+        let sig = alice.sign(b"reserve 10 Mb/s");
+        assert!(alice.public().verify(b"reserve 10 Mb/s", &sig));
+    }
+
+    #[test]
+    fn tampered_message_fails() {
+        let alice = kp("alice");
+        let sig = alice.sign(b"reserve 10 Mb/s");
+        assert!(!alice.public().verify(b"reserve 99 Mb/s", &sig));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let alice = kp("alice");
+        let bob = kp("bob");
+        let sig = alice.sign(b"msg");
+        assert!(!bob.public().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_fails() {
+        let alice = kp("alice");
+        let mut sig = alice.sign(b"msg");
+        sig.s ^= 1;
+        assert!(!alice.public().verify(b"msg", &sig));
+        let mut sig2 = alice.sign(b"msg");
+        sig2.e ^= 1;
+        assert!(!alice.public().verify(b"msg", &sig2));
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let alice = kp("alice");
+        assert_eq!(alice.sign(b"m"), alice.sign(b"m"));
+        assert_ne!(alice.sign(b"m"), alice.sign(b"n"));
+    }
+
+    #[test]
+    fn signature_not_transplantable_across_keys() {
+        // Even if two parties signed the same message, the challenge binds
+        // the public key, so one's signature never verifies under the other.
+        let a = kp("a");
+        let b = kp("b");
+        let sig_a = a.sign(b"shared text");
+        assert!(!b.public().verify(b"shared text", &sig_a));
+    }
+
+    #[test]
+    fn possession_proof() {
+        let a = kp("a");
+        let proof = a.prove_possession(b"nonce-123");
+        assert!(a.public().check_possession(b"nonce-123", &proof));
+        assert!(!a.public().check_possession(b"nonce-456", &proof));
+        assert!(!kp("b").public().check_possession(b"nonce-123", &proof));
+    }
+
+    #[test]
+    fn degenerate_public_keys_rejected() {
+        let sig = kp("x").sign(b"m");
+        assert!(!PublicKey(0).verify(b"m", &sig));
+        assert!(!PublicKey(crate::group::P).verify(b"m", &sig));
+    }
+
+    #[test]
+    fn generate_with_rng_produces_valid_keys() {
+        let mut rng = rand::rng();
+        for _ in 0..8 {
+            let kp = KeyPair::generate(&mut rng);
+            let sig = kp.sign(b"hello");
+            assert!(kp.public().verify(b"hello", &sig));
+        }
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let kp = kp("w");
+        let sig = kp.sign(b"m");
+        let pk_bytes = qos_wire::to_bytes(&kp.public());
+        let sig_bytes = qos_wire::to_bytes(&sig);
+        assert_eq!(
+            qos_wire::from_bytes::<PublicKey>(&pk_bytes).unwrap(),
+            kp.public()
+        );
+        assert_eq!(qos_wire::from_bytes::<Signature>(&sig_bytes).unwrap(), sig);
+    }
+}

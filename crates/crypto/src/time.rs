@@ -1,0 +1,80 @@
+//! Wall-clock instants for certificate validity.
+
+use qos_wire::{Decode, Encode, Reader, WireError, Writer};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Seconds since an arbitrary epoch (the simulation's t=0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The epoch.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The greatest representable instant (used for "no expiry").
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Construct from whole hours since the epoch (convenient for the
+    /// paper's business-hours policies).
+    pub fn from_hours(h: u64) -> Self {
+        Timestamp(h * 3600)
+    }
+
+    /// The hour-of-day component (0–23), for time-of-day policies such as
+    /// Figure 6's "If Time > 8am and Time < 5pm".
+    pub fn hour_of_day(&self) -> u64 {
+        (self.0 / 3600) % 24
+    }
+}
+
+impl Add<u64> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, secs: u64) -> Timestamp {
+        Timestamp(self.0.saturating_add(secs))
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = u64;
+    fn sub(self, rhs: Timestamp) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}s", self.0)
+    }
+}
+
+impl Encode for Timestamp {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+}
+
+impl Decode for Timestamp {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Timestamp(r.get_u64()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hour_of_day_wraps_at_midnight() {
+        assert_eq!(Timestamp::from_hours(0).hour_of_day(), 0);
+        assert_eq!(Timestamp::from_hours(9).hour_of_day(), 9);
+        assert_eq!(Timestamp::from_hours(25).hour_of_day(), 1);
+        assert_eq!(Timestamp::from_hours(48).hour_of_day(), 0);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(Timestamp::MAX + 10, Timestamp::MAX);
+        assert_eq!(Timestamp(5) - Timestamp(10), 0);
+        assert_eq!(Timestamp(10) - Timestamp(4), 6);
+    }
+}

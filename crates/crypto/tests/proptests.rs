@@ -1,0 +1,123 @@
+//! Property tests for the crypto substrate.
+
+use proptest::prelude::*;
+use qos_crypto::cert::{Extension, TbsCertificate, Validity};
+use qos_crypto::{
+    Certificate, CertificateAuthority, DelegationChain, DistinguishedName, KeyPair, Restriction,
+    Timestamp,
+};
+
+proptest! {
+    /// Any message signs and verifies; any other message fails.
+    #[test]
+    fn sign_verify_holds_for_arbitrary_messages(
+        seed in any::<[u8; 8]>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..256),
+        other in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let kp = KeyPair::from_seed(&seed);
+        let sig = kp.sign(&msg);
+        prop_assert!(kp.public().verify(&msg, &sig));
+        if other != msg {
+            prop_assert!(!kp.public().verify(&other, &sig));
+        }
+    }
+
+    /// Flipping any single bit of a signed certificate's TBS bytes breaks
+    /// verification (byte-level integrity of the canonical encoding).
+    #[test]
+    fn certificate_bitflip_breaks_signature(
+        bit in 0usize..64,
+        name in "[a-z]{1,12}",
+    ) {
+        let mut ca = CertificateAuthority::new(
+            DistinguishedName::authority("CA"),
+            KeyPair::from_seed(b"ca"),
+        );
+        let cert = ca.issue_identity(
+            DistinguishedName::user(&name, "ORG"),
+            KeyPair::from_seed(name.as_bytes()).public(),
+            Validity::unbounded(),
+        );
+        let mut bytes = qos_wire::to_bytes(&cert.tbs);
+        let idx = bit % (bytes.len() * 8);
+        bytes[idx / 8] ^= 1 << (idx % 8);
+        // Either the mutated bytes no longer decode, or they decode to a
+        // TBS whose signature fails.
+        if let Ok(mutated) = qos_wire::from_bytes::<TbsCertificate>(&bytes) {
+            let forged = Certificate { tbs: mutated, signature: cert.signature };
+            prop_assert!(forged.verify_signature(ca.public_key()).is_err());
+        }
+    }
+
+    /// Delegation never widens capabilities regardless of the subsets each
+    /// hop retains.
+    #[test]
+    fn delegation_monotonic(
+        caps in proptest::collection::btree_set("[a-z]{1,8}", 1..6),
+        keep_mask in any::<u8>(),
+    ) {
+        let mut cas = qos_crypto::CommunityAuthorizationServer::new(
+            "CAS",
+            KeyPair::from_seed(b"cas"),
+        );
+        let proxy = KeyPair::from_seed(b"proxy");
+        let caps: Vec<String> = caps.into_iter().collect();
+        let grant = cas.grant(
+            &DistinguishedName::user("U", "O"),
+            proxy.public(),
+            caps.clone(),
+            Validity::unbounded(),
+        );
+        let bb = KeyPair::from_seed(b"bb");
+        let chain = DelegationChain::new(grant)
+            .delegate_filtered(
+                &proxy,
+                DistinguishedName::broker("d"),
+                bb.public(),
+                vec![Restriction::ValidForRar(1)],
+                Validity::unbounded(),
+                |c| {
+                    let i = caps.iter().position(|x| x == c).unwrap_or(0);
+                    keep_mask & (1 << (i % 8)) != 0
+                },
+            )
+            .unwrap();
+        let verified = chain
+            .verify_links(cas.public_key(), Timestamp(0))
+            .unwrap();
+        for c in &verified.capabilities {
+            prop_assert!(caps.contains(c), "capability {c} appeared from nowhere");
+        }
+        prop_assert!(verified.restrictions.contains(&Restriction::ValidForRar(1)));
+    }
+
+    /// Certificates round-trip through the wire encoding with extensions
+    /// of every kind.
+    #[test]
+    fn certificate_wire_round_trip(
+        serial in any::<u64>(),
+        caps in proptest::collection::vec("[a-z]{1,8}", 0..4),
+        rar in any::<u64>(),
+    ) {
+        let key = KeyPair::from_seed(b"issuer");
+        let tbs = TbsCertificate {
+            serial,
+            issuer: DistinguishedName::authority("I"),
+            subject: DistinguishedName::user("S", "O"),
+            validity: Validity::unbounded(),
+            subject_public_key: KeyPair::from_seed(b"s").public(),
+            extensions: vec![
+                Extension::CapabilityCertificateFlag,
+                Extension::Capabilities(caps),
+                Extension::Restriction(Restriction::ValidForRar(rar)),
+                Extension::BasicConstraints { is_ca: false },
+            ],
+        };
+        let cert = Certificate::issue(tbs, &key);
+        let bytes = qos_wire::to_bytes(&cert);
+        let back: Certificate = qos_wire::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &cert);
+        prop_assert!(back.verify_signature(key.public()).is_ok());
+    }
+}

@@ -1,0 +1,122 @@
+//! Non-network resource managers.
+//!
+//! GARA "provides advance reservations and end-to-end management for
+//! quality of service on different types of resources, including
+//! networks, CPUs, and disks". Networks are handled by the broker mesh;
+//! CPUs and disks get slot/throughput managers here, built on the same
+//! advance-reservation table the brokers use — one uniform two-phase
+//! admission model across all resource types.
+
+use qos_broker::{AdmissionError, Interval, ReservationId, ReservationTable};
+use std::collections::HashMap;
+
+/// The kinds of resources GARA manages uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// End-to-end network bandwidth (delegated to the broker mesh).
+    Network,
+    /// CPU slots on a compute resource.
+    Cpu,
+    /// Disk bandwidth on a storage resource.
+    Disk,
+}
+
+/// A per-domain manager for a slot- or rate-based resource.
+///
+/// Units are opaque: CPU managers count slots, disk managers count
+/// bytes/s. The underlying [`ReservationTable`] provides advance
+/// reservations and hold/commit/release.
+#[derive(Debug)]
+pub struct SlottedResource {
+    kind: ResourceKind,
+    table: ReservationTable,
+    next_id: u64,
+    records: HashMap<ReservationId, Interval>,
+}
+
+impl SlottedResource {
+    /// A resource with `capacity` units.
+    pub fn new(kind: ResourceKind, capacity: u64) -> Self {
+        Self {
+            kind,
+            table: ReservationTable::new(capacity),
+            next_id: 1,
+            records: HashMap::new(),
+        }
+    }
+
+    /// The resource kind.
+    pub fn kind(&self) -> ResourceKind {
+        self.kind
+    }
+
+    /// Total capacity in resource units.
+    pub fn capacity(&self) -> u64 {
+        self.table.capacity_bps()
+    }
+
+    /// Reserve `units` over `interval`; immediately committed (local
+    /// resources need no end-to-end agreement).
+    pub fn reserve(&mut self, interval: Interval, units: u64) -> Result<ReservationId, AdmissionError> {
+        let id = ReservationId(self.next_id);
+        self.next_id += 1;
+        self.table.hold(id, interval, units)?;
+        self.table.commit(id)?;
+        self.records.insert(id, interval);
+        Ok(id)
+    }
+
+    /// Cancel a reservation.
+    pub fn cancel(&mut self, id: ReservationId) -> Result<(), AdmissionError> {
+        self.records.remove(&id);
+        self.table.release(id)
+    }
+
+    /// Is `id` active (committed and inside its interval) at `t`?
+    pub fn active_at(&self, id: ReservationId, t: qos_crypto::Timestamp) -> bool {
+        self.table.active_at(id, t)
+    }
+
+    /// Units available at `t`.
+    pub fn available_at(&self, t: qos_crypto::Timestamp) -> u64 {
+        self.table.available_at(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_crypto::Timestamp;
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::new(Timestamp(a), Timestamp(b))
+    }
+
+    #[test]
+    fn cpu_slots_reserve_and_cancel() {
+        let mut cpu = SlottedResource::new(ResourceKind::Cpu, 16);
+        let id = cpu.reserve(iv(0, 100), 8).unwrap();
+        assert!(cpu.active_at(id, Timestamp(50)));
+        assert_eq!(cpu.available_at(Timestamp(50)), 8);
+        // A 10-slot job doesn't fit.
+        assert!(cpu.reserve(iv(0, 100), 10).is_err());
+        cpu.cancel(id).unwrap();
+        assert!(cpu.reserve(iv(0, 100), 10).is_ok());
+    }
+
+    #[test]
+    fn advance_reservations_across_time() {
+        let mut disk = SlottedResource::new(ResourceKind::Disk, 100);
+        disk.reserve(iv(100, 200), 100).unwrap();
+        assert!(disk.reserve(iv(150, 250), 1).is_err());
+        assert!(disk.reserve(iv(200, 300), 100).is_ok());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut cpu = SlottedResource::new(ResourceKind::Cpu, 4);
+        let a = cpu.reserve(iv(0, 10), 1).unwrap();
+        let b = cpu.reserve(iv(0, 10), 1).unwrap();
+        assert_ne!(a, b);
+    }
+}

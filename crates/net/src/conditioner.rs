@@ -1,0 +1,272 @@
+//! Traffic conditioning: per-flow classification/marking at the first
+//! router and aggregate policing at domain ingress.
+//!
+//! These are the mechanisms a bandwidth broker *configures* — admission
+//! control decides, conditioners enforce. §2 of the paper: "A BB provides
+//! admission control and configures the edge routers of a single
+//! administrative network domain."
+
+use crate::packet::{Dscp, FlowId, Packet};
+use crate::tbf::TokenBucket;
+use crate::time::SimTime;
+use std::collections::HashMap;
+
+/// A traffic profile: the (rate, burst) pair an SLA or reservation
+/// specifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficProfile {
+    /// Sustained rate in bits/s.
+    pub rate_bps: u64,
+    /// Burst tolerance in bytes.
+    pub burst_bytes: u64,
+}
+
+impl TrafficProfile {
+    /// A profile with a default burst of 50 ms at rate (min 3 KB).
+    pub fn with_default_burst(rate_bps: u64) -> Self {
+        Self {
+            rate_bps,
+            burst_bytes: (rate_bps / 8 / 20).max(3_000),
+        }
+    }
+}
+
+/// What to do with out-of-profile EF traffic — the SLA's "parameters for
+/// treatment of excess traffic". Figure 4's caption: the victim domain
+/// will "discard or downgrade the extra traffic".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExcessTreatment {
+    /// Drop non-conforming packets.
+    Drop,
+    /// Remark non-conforming packets to best effort.
+    Downgrade,
+}
+
+/// Verdict of a conditioning step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Conditioned {
+    /// Packet proceeds (possibly remarked).
+    Forward,
+    /// Packet was dropped by the policer.
+    Dropped,
+    /// Packet proceeds but was remarked down to best effort.
+    Downgraded,
+}
+
+/// Aggregate EF policer at a domain-ingress link: one token bucket for
+/// the whole EF aggregate arriving over that link, dimensioned to the sum
+/// of reservations the domain has admitted. It cannot tell flows apart —
+/// that blindness is exactly what makes Figure 4's misreservation attack
+/// damaging.
+#[derive(Debug)]
+pub struct AggregatePolicer {
+    bucket: TokenBucket,
+    excess: ExcessTreatment,
+}
+
+impl AggregatePolicer {
+    /// Build from a profile and excess treatment.
+    pub fn new(profile: TrafficProfile, excess: ExcessTreatment) -> Self {
+        Self {
+            bucket: TokenBucket::new(profile.rate_bps, profile.burst_bytes),
+            excess,
+        }
+    }
+
+    /// Re-dimension in place (broker updated the admitted sum).
+    pub fn reconfigure(&mut self, profile: TrafficProfile) {
+        self.bucket.reconfigure(profile.rate_bps, profile.burst_bytes);
+    }
+
+    /// The configured rate.
+    pub fn rate_bps(&self) -> u64 {
+        self.bucket.rate_bps()
+    }
+
+    /// Condition one packet. Best-effort traffic passes untouched; EF
+    /// traffic must conform to the aggregate profile.
+    pub fn condition(&mut self, now: SimTime, p: &mut Packet) -> Conditioned {
+        if p.dscp != Dscp::Ef {
+            return Conditioned::Forward;
+        }
+        if self.bucket.conform(now, p.size_bytes) {
+            Conditioned::Forward
+        } else {
+            match self.excess {
+                ExcessTreatment::Drop => Conditioned::Dropped,
+                ExcessTreatment::Downgrade => {
+                    p.dscp = Dscp::BestEffort;
+                    Conditioned::Downgraded
+                }
+            }
+        }
+    }
+}
+
+/// Per-flow classifier + policer at the flow's first router (the
+/// multi-field classifier of the DiffServ architecture): flows with an
+/// installed reservation are marked EF and policed to their reserved
+/// profile; everything else stays best effort.
+#[derive(Debug, Default)]
+pub struct FlowClassifier {
+    entries: HashMap<FlowId, FlowEntry>,
+}
+
+#[derive(Debug)]
+struct FlowEntry {
+    bucket: TokenBucket,
+    excess: ExcessTreatment,
+}
+
+impl FlowClassifier {
+    /// Empty classifier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install (or replace) a reservation for `flow`.
+    pub fn install(&mut self, flow: FlowId, profile: TrafficProfile, excess: ExcessTreatment) {
+        self.entries.insert(
+            flow,
+            FlowEntry {
+                bucket: TokenBucket::new(profile.rate_bps, profile.burst_bytes),
+                excess,
+            },
+        );
+    }
+
+    /// Remove a reservation.
+    pub fn remove(&mut self, flow: FlowId) -> bool {
+        self.entries.remove(&flow).is_some()
+    }
+
+    /// Installed reservation count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no reservations are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Classify and police one packet.
+    pub fn condition(&mut self, now: SimTime, p: &mut Packet) -> Conditioned {
+        match self.entries.get_mut(&p.flow) {
+            None => {
+                // No reservation: never EF, regardless of what the host
+                // asked for (hosts cannot self-mark into the aggregate).
+                p.dscp = Dscp::BestEffort;
+                Conditioned::Forward
+            }
+            Some(entry) => {
+                if entry.bucket.conform(now, p.size_bytes) {
+                    p.dscp = Dscp::Ef;
+                    Conditioned::Forward
+                } else {
+                    match entry.excess {
+                        ExcessTreatment::Drop => Conditioned::Dropped,
+                        ExcessTreatment::Downgrade => {
+                            p.dscp = Dscp::BestEffort;
+                            Conditioned::Downgraded
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeId;
+
+    fn pkt(flow: u64, dscp: Dscp) -> Packet {
+        Packet {
+            flow: FlowId(flow),
+            size_bytes: 1000,
+            dscp,
+            seq: 0,
+            src: NodeId(0),
+            dst: NodeId(1),
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn unreserved_flows_are_demoted_to_best_effort() {
+        let mut c = FlowClassifier::new();
+        let mut p = pkt(7, Dscp::Ef); // host tries to cheat
+        assert_eq!(c.condition(SimTime::ZERO, &mut p), Conditioned::Forward);
+        assert_eq!(p.dscp, Dscp::BestEffort);
+    }
+
+    #[test]
+    fn reserved_flows_marked_ef_within_profile() {
+        let mut c = FlowClassifier::new();
+        c.install(
+            FlowId(7),
+            TrafficProfile {
+                rate_bps: 8_000,
+                burst_bytes: 2_000,
+            },
+            ExcessTreatment::Drop,
+        );
+        let mut p = pkt(7, Dscp::BestEffort);
+        assert_eq!(c.condition(SimTime::ZERO, &mut p), Conditioned::Forward);
+        assert_eq!(p.dscp, Dscp::Ef);
+        // Burst exhausted: third kilobyte packet at t=0 is dropped.
+        let mut p2 = pkt(7, Dscp::BestEffort);
+        assert_eq!(c.condition(SimTime::ZERO, &mut p2), Conditioned::Forward);
+        let mut p3 = pkt(7, Dscp::BestEffort);
+        assert_eq!(c.condition(SimTime::ZERO, &mut p3), Conditioned::Dropped);
+    }
+
+    #[test]
+    fn aggregate_policer_is_flow_blind() {
+        // Profile sized for one 8 kb/s flow; two flows send — the bucket
+        // cannot tell whose packets it drops.
+        let mut pol = AggregatePolicer::new(
+            TrafficProfile {
+                rate_bps: 8_000,
+                burst_bytes: 1_000,
+            },
+            ExcessTreatment::Drop,
+        );
+        let mut alice = pkt(1, Dscp::Ef);
+        let mut david = pkt(2, Dscp::Ef);
+        assert_eq!(pol.condition(SimTime::ZERO, &mut david), Conditioned::Forward);
+        // David consumed the tokens; Alice's in-profile packet dies.
+        assert_eq!(pol.condition(SimTime::ZERO, &mut alice), Conditioned::Dropped);
+    }
+
+    #[test]
+    fn downgrade_remarks_instead_of_dropping() {
+        let mut pol = AggregatePolicer::new(
+            TrafficProfile {
+                rate_bps: 8_000,
+                burst_bytes: 1_000,
+            },
+            ExcessTreatment::Downgrade,
+        );
+        let mut a = pkt(1, Dscp::Ef);
+        let mut b = pkt(1, Dscp::Ef);
+        assert_eq!(pol.condition(SimTime::ZERO, &mut a), Conditioned::Forward);
+        assert_eq!(pol.condition(SimTime::ZERO, &mut b), Conditioned::Downgraded);
+        assert_eq!(b.dscp, Dscp::BestEffort);
+    }
+
+    #[test]
+    fn best_effort_passes_policers_untouched() {
+        let mut pol = AggregatePolicer::new(
+            TrafficProfile {
+                rate_bps: 1,
+                burst_bytes: 1,
+            },
+            ExcessTreatment::Drop,
+        );
+        let mut p = pkt(1, Dscp::BestEffort);
+        assert_eq!(pol.condition(SimTime::ZERO, &mut p), Conditioned::Forward);
+    }
+}

@@ -1,0 +1,167 @@
+//! A generic deterministic discrete-event scheduler.
+//!
+//! Shared by the packet-level network simulation (this crate) and the
+//! virtual-time signalling runtime in `qos-core`. Events at equal
+//! timestamps fire in insertion order (a monotonically increasing
+//! sequence number breaks ties), so runs are bit-for-bit reproducible.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Ordering looks only at (time, sequence); the payload never influences
+// it, so `E` needs no comparison bounds. The (time, seq) pair is unique
+// per entry, making the ordering total and the heap deterministic.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A virtual-time event queue.
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedule `event` at absolute time `at`. Scheduling in the past is a
+    /// logic error and panics in debug builds; in release the event fires
+    /// "now" (time never runs backwards).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Schedule `event` after `delay` from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pop the next event, advancing virtual time to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.now = entry.at;
+        self.processed += 1;
+        Some((entry.at, entry.event))
+    }
+
+    /// Timestamp of the next pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime(30), "c");
+        s.schedule_at(SimTime(10), "a");
+        s.schedule_at(SimTime(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (SimTime(10), "a"),
+                (SimTime(20), "b"),
+                (SimTime(30), "c")
+            ]
+        );
+        assert_eq!(s.now(), SimTime(30));
+        assert_eq!(s.processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut s = Scheduler::new();
+        for name in ["first", "second", "third"] {
+            s.schedule_at(SimTime(5), name);
+        }
+        assert_eq!(s.pop().unwrap().1, "first");
+        assert_eq!(s.pop().unwrap().1, "second");
+        assert_eq!(s.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn relative_scheduling_tracks_now() {
+        let mut s = Scheduler::new();
+        s.schedule_in(SimDuration(100), 1u32);
+        s.pop();
+        s.schedule_in(SimDuration(50), 2u32);
+        assert_eq!(s.pop(), Some((SimTime(150), 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_panics_in_debug() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime(100), 1u32);
+        s.pop();
+        s.schedule_at(SimTime(50), 2u32);
+    }
+}

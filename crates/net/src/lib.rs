@@ -1,0 +1,40 @@
+//! # qos-net — deterministic DiffServ network simulator
+//!
+//! The paper's bandwidth brokers administer Differentiated-Services
+//! domains: admission control decides, and **edge routers enforce** via
+//! per-flow classification at the first hop and aggregate policing at
+//! domain ingress (§2). This crate is that data plane, rebuilt as a
+//! discrete-event simulation (DESIGN.md §2 documents the testbed →
+//! simulator substitution):
+//!
+//! * [`time`] — nanosecond virtual time;
+//! * [`des`] — a generic deterministic event scheduler (also used by the
+//!   signalling runtime in `qos-core`);
+//! * [`topology`] — multi-domain graphs with static shortest-path routing
+//!   and the paper's canonical A–B–C(–D) scenario;
+//! * [`packet`], [`queue`] — packets, DSCPs, and strict-priority EF/BE
+//!   per-hop behaviour;
+//! * [`tbf`], [`conditioner`] — token buckets, per-flow classifiers,
+//!   aggregate ingress policers with drop/downgrade excess treatment;
+//! * [`flow`] — CBR / on-off / Poisson sources (deterministic PRNG);
+//! * [`stats`] — per-flow delivery, loss, downgrade, latency accounting;
+//! * [`network`] — the event loop gluing it together.
+
+pub mod conditioner;
+pub mod des;
+pub mod flow;
+pub mod network;
+pub mod packet;
+pub mod queue;
+pub mod stats;
+pub mod tbf;
+pub mod time;
+pub mod topology;
+
+pub use conditioner::{ExcessTreatment, TrafficProfile};
+pub use flow::{FlowSpec, TrafficPattern};
+pub use network::{Network, NetworkConfig};
+pub use packet::{Dscp, FlowId, Packet};
+pub use stats::{DropReason, FlowStats};
+pub use time::{SimDuration, SimTime};
+pub use topology::{paper_topology, DomainId, LinkId, NodeId, Topology, TopologyBuilder};

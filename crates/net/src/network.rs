@@ -1,0 +1,536 @@
+//! The packet-level simulation engine.
+//!
+//! Couples the topology, per-port PHB queues, traffic conditioners, and
+//! traffic sources into one deterministic discrete-event loop. Bandwidth
+//! brokers act on the network exclusively through the *configuration*
+//! surface — installing per-flow reservations at first routers and
+//! dimensioning aggregate policers at domain-ingress links — exactly the
+//! edge-router configuration role §2 of the paper assigns them.
+
+use crate::conditioner::{
+    AggregatePolicer, Conditioned, ExcessTreatment, FlowClassifier, TrafficProfile,
+};
+use crate::des::Scheduler;
+use crate::flow::{FlowSpec, SourceState};
+use crate::packet::{Dscp, FlowId, Packet};
+use crate::queue::PhbScheduler;
+use crate::stats::{DropReason, FlowStats, StatsCollector};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{LinkId, NodeId, NodeKind, Topology};
+use std::collections::HashMap;
+
+/// Per-port queue sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkConfig {
+    /// EF queue depth in bytes (shallow: admitted traffic shouldn't queue).
+    pub ef_queue_bytes: u64,
+    /// Best-effort queue depth in bytes.
+    pub be_queue_bytes: u64,
+    /// What an ingress domain does with EF traffic arriving over an
+    /// interdomain link that has *no* configured aggregate policer.
+    pub unconfigured_ingress: ExcessTreatment,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self {
+            ef_queue_bytes: 60_000,
+            be_queue_bytes: 250_000,
+            unconfigured_ingress: ExcessTreatment::Downgrade,
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum NetEvent {
+    /// A source emits its next packet.
+    Emit { flow: FlowId },
+    /// A packet finishes propagating over `link` and arrives at `link.to`.
+    Arrive { link: LinkId, packet: Packet },
+    /// The transmitter on `link` finishes serializing its current packet.
+    Depart { link: LinkId },
+}
+
+struct Port {
+    queue: PhbScheduler,
+    in_flight: Option<Packet>,
+}
+
+/// The simulator.
+pub struct Network {
+    topo: Topology,
+    config: NetworkConfig,
+    sched: Scheduler<NetEvent>,
+    ports: Vec<Port>,
+    ingress_policers: HashMap<LinkId, AggregatePolicer>,
+    classifiers: HashMap<NodeId, FlowClassifier>,
+    sources: HashMap<FlowId, SourceState>,
+    stats: StatsCollector,
+}
+
+impl Network {
+    /// Build a simulator over `topo` with default queue sizing.
+    pub fn new(topo: Topology) -> Self {
+        Self::with_config(topo, NetworkConfig::default())
+    }
+
+    /// Build with explicit configuration.
+    pub fn with_config(topo: Topology, config: NetworkConfig) -> Self {
+        let ports = topo
+            .links()
+            .iter()
+            .map(|_| Port {
+                queue: PhbScheduler::new(config.ef_queue_bytes, config.be_queue_bytes),
+                in_flight: None,
+            })
+            .collect();
+        Self {
+            topo,
+            config,
+            sched: Scheduler::new(),
+            ports,
+            ingress_policers: HashMap::new(),
+            classifiers: HashMap::new(),
+            sources: HashMap::new(),
+            stats: StatsCollector::new(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> &StatsCollector {
+        &self.stats
+    }
+
+    /// Stats for one flow.
+    pub fn flow_stats(&self, flow: FlowId) -> FlowStats {
+        self.stats.flow(flow)
+    }
+
+    /// The first router a host's traffic hits on the way to `dst` — where
+    /// per-flow classification for that path is installed.
+    pub fn first_router(&self, host: NodeId, dst: NodeId) -> Option<NodeId> {
+        let link = self.topo.next_hop(host, dst)?;
+        let hop = self.topo.link(link).to;
+        (self.topo.node(hop).kind == NodeKind::Router).then_some(hop)
+    }
+
+    /// Install a per-flow reservation at `router` (broker → edge router
+    /// configuration). Packets of `flow` arriving at `router` from a host
+    /// are marked EF and policed to `profile`.
+    pub fn install_flow_reservation(
+        &mut self,
+        router: NodeId,
+        flow: FlowId,
+        profile: TrafficProfile,
+        excess: ExcessTreatment,
+    ) {
+        self.classifiers
+            .entry(router)
+            .or_default()
+            .install(flow, profile, excess);
+    }
+
+    /// Remove a per-flow reservation.
+    pub fn remove_flow_reservation(&mut self, router: NodeId, flow: FlowId) -> bool {
+        self.classifiers
+            .get_mut(&router)
+            .is_some_and(|c| c.remove(flow))
+    }
+
+    /// Dimension the EF aggregate policer on a domain-ingress link to
+    /// `profile` (broker → edge router configuration; the profile is the
+    /// sum of reservations the domain admitted over that link).
+    pub fn configure_ingress_policer(
+        &mut self,
+        link: LinkId,
+        profile: TrafficProfile,
+        excess: ExcessTreatment,
+    ) {
+        debug_assert!(
+            self.topo.is_interdomain(link),
+            "aggregate policers belong on interdomain links"
+        );
+        match self.ingress_policers.get_mut(&link) {
+            Some(p) => p.reconfigure(profile),
+            None => {
+                self.ingress_policers
+                    .insert(link, AggregatePolicer::new(profile, excess));
+            }
+        }
+    }
+
+    /// The interdomain link used by traffic entering `to_domain_node`'s
+    /// domain from `from_domain_node`'s side along the `src → dst` path.
+    pub fn ingress_link_on_path(&self, src: NodeId, dst: NodeId, into_node: NodeId) -> Option<LinkId> {
+        let mut at = src;
+        while at != dst {
+            let link = self.topo.next_hop(at, dst)?;
+            let to = self.topo.link(link).to;
+            if to == into_node && self.topo.is_interdomain(link) {
+                return Some(link);
+            }
+            at = to;
+        }
+        None
+    }
+
+    /// Register a flow; its source starts emitting at `spec.start`.
+    pub fn add_flow(&mut self, spec: FlowSpec) {
+        let id = spec.id;
+        let start = spec.start;
+        let prev = self.sources.insert(id, SourceState::new(spec));
+        assert!(prev.is_none(), "duplicate flow id {id:?}");
+        self.sched.schedule_at(start, NetEvent::Emit { flow: id });
+    }
+
+    /// Run until the event queue drains or `deadline` passes. Returns the
+    /// number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let start = self.sched.processed();
+        while let Some(at) = self.sched.peek_time() {
+            if at > deadline {
+                break;
+            }
+            let (now, ev) = self.sched.pop().expect("peeked");
+            self.dispatch(now, ev);
+        }
+        self.sched.processed() - start
+    }
+
+    /// Run for `dur` beyond the current time.
+    pub fn run(&mut self, dur: SimDuration) -> u64 {
+        self.run_until(self.now() + dur)
+    }
+
+    /// Run until no events remain.
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.run_until(SimTime(u64::MAX))
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: NetEvent) {
+        match ev {
+            NetEvent::Emit { flow } => self.on_emit(now, flow),
+            NetEvent::Arrive { link, packet } => self.on_arrive(now, link, packet),
+            NetEvent::Depart { link } => self.on_depart(now, link),
+        }
+    }
+
+    fn on_emit(&mut self, now: SimTime, flow: FlowId) {
+        let Some(source) = self.sources.get_mut(&flow) else {
+            return;
+        };
+        let spec = source.spec().clone();
+        let seq = source.next_seq;
+        source.next_seq += 1;
+        if let Some(next) = source.next_emission(now) {
+            self.sched.schedule_at(next, NetEvent::Emit { flow });
+        }
+        self.stats.on_sent(flow);
+        let packet = Packet {
+            flow,
+            size_bytes: spec.pattern.pkt_bytes(),
+            // Hosts cannot self-mark; the first router classifies.
+            dscp: Dscp::BestEffort,
+            seq,
+            src: spec.src,
+            dst: spec.dst,
+            sent_at: now,
+        };
+        self.forward(now, spec.src, packet);
+    }
+
+    fn on_arrive(&mut self, now: SimTime, link: LinkId, mut packet: Packet) {
+        let node = self.topo.link(link).to;
+
+        // Domain-ingress aggregate policing (EF only).
+        if self.topo.is_interdomain(link) {
+            let verdict = match self.ingress_policers.get_mut(&link) {
+                Some(pol) => pol.condition(now, &mut packet),
+                None if packet.dscp == Dscp::Ef => match self.config.unconfigured_ingress {
+                    ExcessTreatment::Drop => Conditioned::Dropped,
+                    ExcessTreatment::Downgrade => {
+                        packet.dscp = Dscp::BestEffort;
+                        Conditioned::Downgraded
+                    }
+                },
+                None => Conditioned::Forward,
+            };
+            match verdict {
+                Conditioned::Dropped => {
+                    self.stats
+                        .on_dropped(packet.flow, DropReason::AggregatePolicer);
+                    return;
+                }
+                Conditioned::Downgraded => self.stats.on_downgraded(packet.flow),
+                Conditioned::Forward => {}
+            }
+        }
+
+        // Delivery.
+        if node == packet.dst {
+            self.stats.on_received(&packet, now);
+            return;
+        }
+
+        // First-router per-flow classification: applies to packets that
+        // just left their source host.
+        if self.topo.node(self.topo.link(link).from).kind == NodeKind::Host {
+            if let Some(classifier) = self.classifiers.get_mut(&node) {
+                match classifier.condition(now, &mut packet) {
+                    Conditioned::Dropped => {
+                        self.stats.on_dropped(packet.flow, DropReason::FlowPolicer);
+                        return;
+                    }
+                    Conditioned::Downgraded => self.stats.on_downgraded(packet.flow),
+                    Conditioned::Forward => {}
+                }
+            } else {
+                // No classifier at this router at all: nothing is EF.
+                packet.dscp = Dscp::BestEffort;
+            }
+        }
+
+        self.forward(now, node, packet);
+    }
+
+    fn forward(&mut self, now: SimTime, at: NodeId, packet: Packet) {
+        let Some(link) = self.topo.next_hop(at, packet.dst) else {
+            self.stats.on_dropped(packet.flow, DropReason::NoRoute);
+            return;
+        };
+        let flow = packet.flow;
+        let port = &mut self.ports[link.0];
+        if port.queue.push(packet).is_err() {
+            self.stats.on_dropped(flow, DropReason::Queue);
+            return;
+        }
+        if port.in_flight.is_none() {
+            self.start_transmission(now, link);
+        }
+    }
+
+    fn start_transmission(&mut self, now: SimTime, link_id: LinkId) {
+        let capacity = self.topo.link(link_id).capacity_bps;
+        let port = &mut self.ports[link_id.0];
+        let Some(packet) = port.queue.pop() else {
+            return;
+        };
+        let tx = SimDuration::transmission(packet.size_bytes as u64, capacity);
+        port.in_flight = Some(packet);
+        self.sched
+            .schedule_at(now + tx, NetEvent::Depart { link: link_id });
+    }
+
+    fn on_depart(&mut self, now: SimTime, link_id: LinkId) {
+        let delay = self.topo.link(link_id).delay;
+        let port = &mut self.ports[link_id.0];
+        let packet = port
+            .in_flight
+            .take()
+            .expect("depart event without in-flight packet");
+        self.sched.schedule_at(
+            now + delay,
+            NetEvent::Arrive {
+                link: link_id,
+                packet,
+            },
+        );
+        self.start_transmission(now, link_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::TrafficPattern;
+    use crate::topology::paper_topology;
+
+    const MBPS: u64 = 1_000_000;
+
+    fn cbr(id: u64, src: NodeId, dst: NodeId, rate: u64, secs: u64) -> FlowSpec {
+        FlowSpec {
+            id: FlowId(id),
+            src,
+            dst,
+            pattern: TrafficPattern::Cbr {
+                rate_bps: rate,
+                pkt_bytes: 1250,
+            },
+            start: SimTime::ZERO,
+            stop: SimTime::ZERO + SimDuration::from_secs(secs),
+        }
+    }
+
+    /// Everything is best-effort on an uncongested path: full delivery.
+    #[test]
+    fn uncongested_best_effort_delivers_everything() {
+        let (topo, n) = paper_topology(100 * MBPS, SimDuration::from_millis(5));
+        let mut net = Network::new(topo);
+        net.add_flow(cbr(1, n["alice"], n["charlie"], 10 * MBPS, 1));
+        net.run_to_completion();
+        let s = net.flow_stats(FlowId(1));
+        assert!(s.sent > 900);
+        assert_eq!(s.received, s.sent);
+        assert_eq!(s.dropped_total(), 0);
+    }
+
+    /// A reserved EF flow keeps its goodput through a congested link
+    /// while best-effort flows absorb the loss (EXP-N sanity).
+    #[test]
+    fn ef_protected_under_congestion() {
+        let (topo, n) = paper_topology(20 * MBPS, SimDuration::from_millis(5));
+        let mut net = Network::new(topo);
+        // Alice: reserved 10 Mb/s EF.
+        net.add_flow(cbr(1, n["alice"], n["charlie"], 10 * MBPS, 2));
+        // Two unreserved 10 Mb/s flows from the same edge: 30 Mb/s offered
+        // into a 20 Mb/s link.
+        net.add_flow(cbr(2, n["alice"], n["charlie"], 10 * MBPS, 2));
+        net.add_flow(cbr(3, n["alice"], n["charlie"], 10 * MBPS, 2));
+
+        let first = net.first_router(n["alice"], n["charlie"]).unwrap();
+        let profile = TrafficProfile::with_default_burst(10 * MBPS);
+        net.install_flow_reservation(first, FlowId(1), profile, ExcessTreatment::Drop);
+        // Dimension both interdomain ingress policers for the 10 Mb/s
+        // aggregate.
+        for into in ["edge-b", "edge-c"] {
+            let link = net
+                .ingress_link_on_path(n["alice"], n["charlie"], n[into])
+                .unwrap();
+            net.configure_ingress_policer(link, profile, ExcessTreatment::Drop);
+        }
+
+        net.run_to_completion();
+        let ef = net.flow_stats(FlowId(1));
+        let be1 = net.flow_stats(FlowId(2));
+        let be2 = net.flow_stats(FlowId(3));
+        // EF flow: ≥99% delivered, still marked EF.
+        assert!(
+            ef.received as f64 / ef.sent as f64 > 0.99,
+            "EF delivery {}/{}",
+            ef.received,
+            ef.sent
+        );
+        assert_eq!(ef.received_ef, ef.received);
+        // The BE pair offered 20 Mb/s into the ~10 Mb/s left: heavy loss.
+        let be_loss = (be1.dropped_total() + be2.dropped_total()) as f64
+            / (be1.sent + be2.sent) as f64;
+        assert!(be_loss > 0.3, "BE loss {be_loss}");
+    }
+
+    /// Unreserved senders cannot self-mark EF: their traffic is demoted at
+    /// the first router.
+    #[test]
+    fn unreserved_traffic_never_rides_ef() {
+        let (topo, n) = paper_topology(100 * MBPS, SimDuration::from_millis(5));
+        let mut net = Network::new(topo);
+        net.add_flow(cbr(1, n["alice"], n["charlie"], 10 * MBPS, 1));
+        net.run_to_completion();
+        let s = net.flow_stats(FlowId(1));
+        assert_eq!(s.received_ef, 0);
+        assert_eq!(s.received, s.sent);
+    }
+
+    fn poisson(id: u64, src: NodeId, dst: NodeId, rate: u64, secs: u64) -> FlowSpec {
+        FlowSpec {
+            id: FlowId(id),
+            src,
+            dst,
+            pattern: TrafficPattern::Poisson {
+                rate_bps: rate,
+                pkt_bytes: 1250,
+                seed: id * 1000 + 7,
+            },
+            start: SimTime::ZERO,
+            stop: SimTime::ZERO + SimDuration::from_secs(secs),
+        }
+    }
+
+    /// The Figure 4 mechanism in isolation: a flow-blind ingress policer
+    /// sized for 10 Mb/s drops ~75% of a 40 Mb/s EF aggregate,
+    /// indiscriminately harming the in-profile flow. (Poisson sources —
+    /// CBR's deterministic phases would let one flow win every token.)
+    #[test]
+    fn aggregate_policer_harms_innocent_flow() {
+        let (topo, n) = paper_topology(100 * MBPS, SimDuration::from_millis(5));
+        let mut net = Network::new(topo);
+        net.add_flow(poisson(1, n["alice"], n["charlie"], 10 * MBPS, 2)); // Alice (reserved)
+        net.add_flow(poisson(2, n["david"], n["charlie"], 30 * MBPS, 2)); // David (mis-reserved)
+
+        let profile10 = TrafficProfile::with_default_burst(10 * MBPS);
+        let profile30 = TrafficProfile::with_default_burst(30 * MBPS);
+        // Both get first-router EF marking (David reserved in D!).
+        let fr_a = net.first_router(n["alice"], n["charlie"]).unwrap();
+        let fr_d = net.first_router(n["david"], n["charlie"]).unwrap();
+        net.install_flow_reservation(fr_a, FlowId(1), profile10, ExcessTreatment::Drop);
+        net.install_flow_reservation(fr_d, FlowId(2), profile30, ExcessTreatment::Drop);
+        // B admits both (10 from A, 30 from D).
+        let b_from_a = net
+            .ingress_link_on_path(n["alice"], n["charlie"], n["edge-b"])
+            .unwrap();
+        let b_from_d = net
+            .ingress_link_on_path(n["david"], n["charlie"], n["edge-b"])
+            .unwrap();
+        net.configure_ingress_policer(b_from_a, profile10, ExcessTreatment::Drop);
+        net.configure_ingress_policer(b_from_d, profile30, ExcessTreatment::Drop);
+        // C admitted only Alice: its ingress from B is sized 10 Mb/s, but
+        // 40 Mb/s of EF arrives.
+        let c_from_b = net
+            .ingress_link_on_path(n["alice"], n["charlie"], n["edge-c"])
+            .unwrap();
+        net.configure_ingress_policer(c_from_b, profile10, ExcessTreatment::Drop);
+
+        net.run_to_completion();
+        let alice = net.flow_stats(FlowId(1));
+        // The aggregate is 4× the profile, so ~75% of packets die; the
+        // flow-blind policer spreads the loss across both flows and Alice
+        // suffers despite her valid reservation.
+        assert!(
+            alice.loss_ratio() > 0.4,
+            "alice loss {} (dropped {:?})",
+            alice.loss_ratio(),
+            alice
+        );
+        // The damage came from the aggregate policer, not her own profile
+        // (Poisson bursts cost her a few per-flow drops, but the aggregate
+        // drops dominate by an order of magnitude).
+        assert!(alice.dropped_aggregate > 10 * alice.dropped_flow_policer);
+    }
+
+    /// Determinism: identical runs produce identical statistics.
+    #[test]
+    fn simulation_is_deterministic() {
+        let run = || {
+            let (topo, n) = paper_topology(20 * MBPS, SimDuration::from_millis(5));
+            let mut net = Network::new(topo);
+            net.add_flow(cbr(1, n["alice"], n["charlie"], 15 * MBPS, 1));
+            net.add_flow(cbr(2, n["david"], n["charlie"], 15 * MBPS, 1));
+            net.run_to_completion();
+            (net.flow_stats(FlowId(1)), net.flow_stats(FlowId(2)))
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// run_until stops at the deadline and can be resumed.
+    #[test]
+    fn incremental_execution() {
+        let (topo, n) = paper_topology(100 * MBPS, SimDuration::from_millis(5));
+        let mut net = Network::new(topo);
+        net.add_flow(cbr(1, n["alice"], n["charlie"], 10 * MBPS, 2));
+        net.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        let mid = net.flow_stats(FlowId(1)).received;
+        assert!(mid > 0);
+        net.run_to_completion();
+        let done = net.flow_stats(FlowId(1)).received;
+        assert!(done > mid);
+    }
+}

@@ -1,0 +1,41 @@
+//! Packets and DiffServ code points.
+
+use crate::time::SimTime;
+use crate::topology::NodeId;
+
+/// Identifies one application flow end-to-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+/// DiffServ per-hop-behaviour marking carried in the packet header.
+///
+/// §2 of the paper: "only the first router recognizes packets on a per
+/// flow base, and then marks the packet as belonging to a traffic
+/// aggregate. Each subsequent router then recognizes the traffic
+/// aggregates."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dscp {
+    /// Expedited forwarding — the premium aggregate reservations buy into.
+    Ef,
+    /// Best effort.
+    BestEffort,
+}
+
+/// A simulated packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Size on the wire in bytes.
+    pub size_bytes: u32,
+    /// Current DSCP marking (mutated by classifiers and policers).
+    pub dscp: Dscp,
+    /// Per-flow sequence number.
+    pub seq: u64,
+    /// Originating host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// When the source emitted it (for latency accounting).
+    pub sent_at: SimTime,
+}

@@ -1,0 +1,164 @@
+//! Egress-port queueing: drop-tail FIFOs and the strict-priority EF/BE
+//! per-hop-behaviour scheduler.
+
+use crate::packet::{Dscp, Packet};
+use std::collections::VecDeque;
+
+/// A byte-bounded drop-tail FIFO.
+#[derive(Debug)]
+pub struct DropTailQueue {
+    cap_bytes: u64,
+    bytes: u64,
+    q: VecDeque<Packet>,
+}
+
+impl DropTailQueue {
+    /// A queue holding at most `cap_bytes` of packet payload.
+    pub fn new(cap_bytes: u64) -> Self {
+        Self {
+            cap_bytes,
+            bytes: 0,
+            q: VecDeque::new(),
+        }
+    }
+
+    /// Try to enqueue; returns the packet back on overflow (tail drop).
+    pub fn push(&mut self, p: Packet) -> Result<(), Packet> {
+        if self.bytes + p.size_bytes as u64 > self.cap_bytes {
+            return Err(p);
+        }
+        self.bytes += p.size_bytes as u64;
+        self.q.push_back(p);
+        Ok(())
+    }
+
+    /// Dequeue the head packet.
+    pub fn pop(&mut self) -> Option<Packet> {
+        let p = self.q.pop_front()?;
+        self.bytes -= p.size_bytes as u64;
+        Some(p)
+    }
+
+    /// Queued packet count.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Queued bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Strict-priority two-class scheduler: EF always preempts best-effort,
+/// which is what gives admitted traffic its bandwidth guarantee once
+/// admission control has bounded the EF aggregate.
+#[derive(Debug)]
+pub struct PhbScheduler {
+    ef: DropTailQueue,
+    be: DropTailQueue,
+}
+
+impl PhbScheduler {
+    /// Build with separate byte capacities for the two classes. EF queues
+    /// are conventionally shallow (admitted traffic shouldn't queue).
+    pub fn new(ef_cap_bytes: u64, be_cap_bytes: u64) -> Self {
+        Self {
+            ef: DropTailQueue::new(ef_cap_bytes),
+            be: DropTailQueue::new(be_cap_bytes),
+        }
+    }
+
+    /// Enqueue by the packet's DSCP. Returns the packet on tail drop.
+    pub fn push(&mut self, p: Packet) -> Result<(), Packet> {
+        match p.dscp {
+            Dscp::Ef => self.ef.push(p),
+            Dscp::BestEffort => self.be.push(p),
+        }
+    }
+
+    /// Dequeue the next packet to transmit (EF first).
+    pub fn pop(&mut self) -> Option<Packet> {
+        self.ef.pop().or_else(|| self.be.pop())
+    }
+
+    /// Total queued packets across classes.
+    pub fn len(&self) -> usize {
+        self.ef.len() + self.be.len()
+    }
+
+    /// True if both classes are empty.
+    pub fn is_empty(&self) -> bool {
+        self.ef.is_empty() && self.be.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+    use crate::time::SimTime;
+    use crate::topology::NodeId;
+
+    fn pkt(flow: u64, dscp: Dscp, size: u32) -> Packet {
+        Packet {
+            flow: FlowId(flow),
+            size_bytes: size,
+            dscp,
+            seq: 0,
+            src: NodeId(0),
+            dst: NodeId(1),
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn drop_tail_respects_byte_cap() {
+        let mut q = DropTailQueue::new(3000);
+        assert!(q.push(pkt(1, Dscp::Ef, 1500)).is_ok());
+        assert!(q.push(pkt(1, Dscp::Ef, 1500)).is_ok());
+        assert!(q.push(pkt(1, Dscp::Ef, 1)).is_err());
+        assert_eq!(q.bytes(), 3000);
+        q.pop();
+        assert!(q.push(pkt(1, Dscp::Ef, 1)).is_ok());
+    }
+
+    #[test]
+    fn fifo_order_within_class() {
+        let mut q = DropTailQueue::new(10_000);
+        for seq in 0..5u64 {
+            let mut p = pkt(1, Dscp::Ef, 100);
+            p.seq = seq;
+            q.push(p).unwrap();
+        }
+        for seq in 0..5u64 {
+            assert_eq!(q.pop().unwrap().seq, seq);
+        }
+    }
+
+    #[test]
+    fn ef_strictly_preempts_be() {
+        let mut s = PhbScheduler::new(10_000, 10_000);
+        s.push(pkt(1, Dscp::BestEffort, 100)).unwrap();
+        s.push(pkt(2, Dscp::Ef, 100)).unwrap();
+        s.push(pkt(3, Dscp::BestEffort, 100)).unwrap();
+        s.push(pkt(4, Dscp::Ef, 100)).unwrap();
+        assert_eq!(s.pop().unwrap().flow, FlowId(2));
+        assert_eq!(s.pop().unwrap().flow, FlowId(4));
+        assert_eq!(s.pop().unwrap().flow, FlowId(1));
+        assert_eq!(s.pop().unwrap().flow, FlowId(3));
+    }
+
+    #[test]
+    fn class_caps_are_independent() {
+        let mut s = PhbScheduler::new(100, 10_000);
+        assert!(s.push(pkt(1, Dscp::Ef, 100)).is_ok());
+        assert!(s.push(pkt(1, Dscp::Ef, 1)).is_err(), "EF cap hit");
+        assert!(s.push(pkt(1, Dscp::BestEffort, 5000)).is_ok());
+    }
+}

@@ -1,0 +1,195 @@
+//! Per-flow statistics collection.
+
+use crate::packet::{FlowId, Packet};
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Where and why a packet was lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Tail-dropped at a congested egress queue.
+    Queue,
+    /// Dropped by a per-flow policer at the first router.
+    FlowPolicer,
+    /// Dropped by an aggregate policer at a domain ingress.
+    AggregatePolicer,
+    /// No route to the destination.
+    NoRoute,
+}
+
+/// Counters for one flow.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowStats {
+    /// Packets emitted by the source.
+    pub sent: u64,
+    /// Packets delivered to the destination host.
+    pub received: u64,
+    /// Bytes delivered.
+    pub bytes_received: u64,
+    /// Of the delivered packets, how many arrived still marked EF.
+    pub received_ef: u64,
+    /// Losses at queues.
+    pub dropped_queue: u64,
+    /// Losses at per-flow policers.
+    pub dropped_flow_policer: u64,
+    /// Losses at aggregate (domain-ingress) policers.
+    pub dropped_aggregate: u64,
+    /// Packets with no route.
+    pub dropped_no_route: u64,
+    /// Packets remarked EF→BE somewhere on the path.
+    pub downgraded: u64,
+    /// Sum of one-way latencies of delivered packets (ns).
+    pub latency_sum_ns: u128,
+    /// First delivery instant.
+    pub first_rx: Option<SimTime>,
+    /// Last delivery instant.
+    pub last_rx: Option<SimTime>,
+}
+
+impl FlowStats {
+    /// Total losses across causes.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_queue
+            + self.dropped_flow_policer
+            + self.dropped_aggregate
+            + self.dropped_no_route
+    }
+
+    /// Fraction of sent packets lost.
+    pub fn loss_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.dropped_total() as f64 / self.sent as f64
+        }
+    }
+
+    /// Delivered goodput in bits/s over the flow's receive window.
+    pub fn goodput_bps(&self) -> f64 {
+        match (self.first_rx, self.last_rx) {
+            (Some(a), Some(b)) if b > a => {
+                (self.bytes_received as f64 * 8.0) / (b - a).as_secs_f64()
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Mean one-way latency of delivered packets, in seconds.
+    pub fn mean_latency_s(&self) -> f64 {
+        if self.received == 0 {
+            0.0
+        } else {
+            self.latency_sum_ns as f64 / self.received as f64 / 1e9
+        }
+    }
+}
+
+/// Statistics for all flows in a simulation.
+#[derive(Debug, Default)]
+pub struct StatsCollector {
+    flows: BTreeMap<FlowId, FlowStats>,
+}
+
+impl StatsCollector {
+    /// Empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn entry(&mut self, flow: FlowId) -> &mut FlowStats {
+        self.flows.entry(flow).or_default()
+    }
+
+    /// Record a source emission.
+    pub fn on_sent(&mut self, flow: FlowId) {
+        self.entry(flow).sent += 1;
+    }
+
+    /// Record a delivery.
+    pub fn on_received(&mut self, p: &Packet, now: SimTime) {
+        let s = self.entry(p.flow);
+        s.received += 1;
+        s.bytes_received += p.size_bytes as u64;
+        if p.dscp == crate::packet::Dscp::Ef {
+            s.received_ef += 1;
+        }
+        s.latency_sum_ns += (now - p.sent_at).as_nanos() as u128;
+        if s.first_rx.is_none() {
+            s.first_rx = Some(now);
+        }
+        s.last_rx = Some(now);
+    }
+
+    /// Record a loss.
+    pub fn on_dropped(&mut self, flow: FlowId, reason: DropReason) {
+        let s = self.entry(flow);
+        match reason {
+            DropReason::Queue => s.dropped_queue += 1,
+            DropReason::FlowPolicer => s.dropped_flow_policer += 1,
+            DropReason::AggregatePolicer => s.dropped_aggregate += 1,
+            DropReason::NoRoute => s.dropped_no_route += 1,
+        }
+    }
+
+    /// Record a downgrade (EF→BE remark).
+    pub fn on_downgraded(&mut self, flow: FlowId) {
+        self.entry(flow).downgraded += 1;
+    }
+
+    /// Stats for one flow.
+    pub fn flow(&self, flow: FlowId) -> FlowStats {
+        self.flows.get(&flow).cloned().unwrap_or_default()
+    }
+
+    /// All flows in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, &FlowStats)> {
+        self.flows.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Dscp;
+    use crate::topology::NodeId;
+
+    #[test]
+    fn goodput_and_loss_accounting() {
+        let mut c = StatsCollector::new();
+        let f = FlowId(1);
+        for seq in 0..10u64 {
+            c.on_sent(f);
+            if seq % 5 == 4 {
+                c.on_dropped(f, DropReason::AggregatePolicer);
+                continue;
+            }
+            let p = Packet {
+                flow: f,
+                size_bytes: 1250,
+                dscp: Dscp::Ef,
+                seq,
+                src: NodeId(0),
+                dst: NodeId(1),
+                sent_at: SimTime(seq * 1_000_000),
+            };
+            c.on_received(&p, SimTime(seq * 1_000_000 + 500_000));
+        }
+        let s = c.flow(f);
+        assert_eq!(s.sent, 10);
+        assert_eq!(s.received, 8);
+        assert_eq!(s.dropped_aggregate, 2);
+        assert!((s.loss_ratio() - 0.2).abs() < 1e-9);
+        assert!((s.mean_latency_s() - 0.0005).abs() < 1e-9);
+        // 8 × 1250 B over the 8 ms window t=0.5ms..8.5ms.
+        assert!((s.goodput_bps() - 10_000_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn unknown_flow_reads_as_zero() {
+        let c = StatsCollector::new();
+        let s = c.flow(FlowId(9));
+        assert_eq!(s.sent, 0);
+        assert_eq!(s.loss_ratio(), 0.0);
+        assert_eq!(s.goodput_bps(), 0.0);
+    }
+}

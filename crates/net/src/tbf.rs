@@ -1,0 +1,150 @@
+//! Token-bucket filters — the policing/shaping primitive behind both
+//! per-flow conditioning at the first router and aggregate policing at
+//! domain ingress.
+//!
+//! Token accounting is integer-exact: tokens are stored in units of
+//! 1/8 000 000 000 byte ("byte-per-nanosecond-of-bits"), so refills of
+//! `rate_bps × Δt_ns` never accumulate floating-point drift, and the
+//! conformance decision for a given event sequence is deterministic.
+
+use crate::time::SimTime;
+
+const SCALE: u128 = 8_000_000_000; // sub-token units per byte
+
+/// A token bucket with rate `rate_bps` and depth `burst_bytes`.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_bps: u64,
+    burst_bytes: u64,
+    tokens: u128, // in 1/SCALE bytes
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full.
+    pub fn new(rate_bps: u64, burst_bytes: u64) -> Self {
+        Self {
+            rate_bps,
+            burst_bytes,
+            tokens: burst_bytes as u128 * SCALE,
+            last_refill: SimTime::ZERO,
+        }
+    }
+
+    /// Configured rate in bits/s.
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+
+    /// Configured burst depth in bytes.
+    pub fn burst_bytes(&self) -> u64 {
+        self.burst_bytes
+    }
+
+    /// Replace the profile, keeping current fill (clamped to the new
+    /// burst). Used when a BB reconfigures an edge router in place.
+    pub fn reconfigure(&mut self, rate_bps: u64, burst_bytes: u64) {
+        self.rate_bps = rate_bps;
+        self.burst_bytes = burst_bytes;
+        self.tokens = self.tokens.min(burst_bytes as u128 * SCALE);
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let dt = (now - self.last_refill).as_nanos();
+        if dt == 0 {
+            return;
+        }
+        self.last_refill = now;
+        // rate_bps bits/s × dt ns = rate·dt / 8e9 bytes = rate·dt sub-units.
+        let add = self.rate_bps as u128 * dt as u128;
+        self.tokens = (self.tokens + add).min(self.burst_bytes as u128 * SCALE);
+    }
+
+    /// Test-and-consume: does a packet of `bytes` conform at `now`?
+    /// Conforming packets consume tokens; non-conforming consume nothing.
+    pub fn conform(&mut self, now: SimTime, bytes: u32) -> bool {
+        self.refill(now);
+        let need = bytes as u128 * SCALE;
+        if self.tokens >= need {
+            self.tokens -= need;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current fill in whole bytes (diagnostics).
+    pub fn tokens_bytes(&self) -> u64 {
+        (self.tokens / SCALE) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn starts_full_and_drains() {
+        let mut tb = TokenBucket::new(8_000, 1000); // 1 kB/s, 1000 B burst
+        assert!(tb.conform(SimTime::ZERO, 600));
+        assert!(tb.conform(SimTime::ZERO, 400));
+        assert!(!tb.conform(SimTime::ZERO, 1));
+    }
+
+    #[test]
+    fn refills_at_configured_rate() {
+        let mut tb = TokenBucket::new(8_000, 1000); // refills 1000 B/s
+        assert!(tb.conform(SimTime::ZERO, 1000));
+        // After 0.5 s: 500 bytes available.
+        let t = SimTime::ZERO + SimDuration::from_millis(500);
+        assert!(tb.conform(t, 500));
+        assert!(!tb.conform(t, 1));
+    }
+
+    #[test]
+    fn burst_caps_accumulation() {
+        let mut tb = TokenBucket::new(8_000, 1000);
+        let much_later = SimTime::ZERO + SimDuration::from_secs(3600);
+        assert!(tb.conform(much_later, 1000));
+        assert!(!tb.conform(much_later, 1), "cannot exceed burst");
+    }
+
+    #[test]
+    fn nonconforming_packets_consume_nothing() {
+        let mut tb = TokenBucket::new(8_000, 100);
+        assert!(!tb.conform(SimTime::ZERO, 200));
+        assert!(tb.conform(SimTime::ZERO, 100), "tokens untouched");
+    }
+
+    #[test]
+    fn sustained_rate_is_exact() {
+        // 10 Mb/s, 1500 B packets every 1.2 ms: exactly conforming forever.
+        let mut tb = TokenBucket::new(10_000_000, 1500);
+        let mut now = SimTime::ZERO;
+        for _ in 0..10_000 {
+            assert!(tb.conform(now, 1500));
+            now += SimDuration::from_micros(1200);
+        }
+        // 1% above the profile rate eventually stops conforming.
+        let mut tb = TokenBucket::new(10_000_000, 1500);
+        let mut now = SimTime::ZERO;
+        let mut rejected = 0;
+        for _ in 0..10_000 {
+            if !tb.conform(now, 1500) {
+                rejected += 1;
+            }
+            now += SimDuration::from_micros(1188); // ~1% fast
+        }
+        assert!(rejected > 0, "over-rate flow must be caught");
+    }
+
+    #[test]
+    fn reconfigure_clamps_fill() {
+        let mut tb = TokenBucket::new(8_000, 1000);
+        tb.reconfigure(8_000, 100);
+        assert_eq!(tb.tokens_bytes(), 100);
+        assert!(!tb.conform(SimTime::ZERO, 200));
+        assert!(tb.conform(SimTime::ZERO, 100));
+    }
+}

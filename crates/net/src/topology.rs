@@ -1,0 +1,394 @@
+//! Multi-domain topology: hosts, routers, links, administrative domains,
+//! and static shortest-path routing.
+
+use crate::time::SimDuration;
+use std::collections::{HashMap, VecDeque};
+
+/// Index of a node (host or router).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Index of a *directed* link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+/// Index of an administrative domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainId(pub usize);
+
+/// Host or router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// End system; traffic sources and sinks attach here.
+    Host,
+    /// Forwarding element.
+    Router,
+}
+
+/// A node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Identifier.
+    pub id: NodeId,
+    /// Host or router.
+    pub kind: NodeKind,
+    /// Owning domain.
+    pub domain: DomainId,
+    /// Human-readable name.
+    pub name: String,
+}
+
+/// A directed link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Identifier.
+    pub id: LinkId,
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Line rate in bits/s.
+    pub capacity_bps: u64,
+    /// Propagation delay.
+    pub delay: SimDuration,
+}
+
+/// An administrative domain.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    /// Identifier.
+    pub id: DomainId,
+    /// Name, e.g. `domain-a`.
+    pub name: String,
+}
+
+/// Incremental topology builder.
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    domains: Vec<Domain>,
+}
+
+impl TopologyBuilder {
+    /// Start an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a domain by name, returning its id.
+    pub fn domain(&mut self, name: &str) -> DomainId {
+        let id = DomainId(self.domains.len());
+        self.domains.push(Domain {
+            id,
+            name: name.to_string(),
+        });
+        id
+    }
+
+    /// Add a host in `domain`.
+    pub fn host(&mut self, domain: DomainId, name: &str) -> NodeId {
+        self.add_node(NodeKind::Host, domain, name)
+    }
+
+    /// Add a router in `domain`.
+    pub fn router(&mut self, domain: DomainId, name: &str) -> NodeId {
+        self.add_node(NodeKind::Router, domain, name)
+    }
+
+    fn add_node(&mut self, kind: NodeKind, domain: DomainId, name: &str) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            id,
+            kind,
+            domain,
+            name: name.to_string(),
+        });
+        id
+    }
+
+    /// Connect two nodes with a symmetric pair of directed links.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, capacity_bps: u64, delay: SimDuration) {
+        for (from, to) in [(a, b), (b, a)] {
+            let id = LinkId(self.links.len());
+            self.links.push(Link {
+                id,
+                from,
+                to,
+                capacity_bps,
+                delay,
+            });
+        }
+    }
+
+    /// Finalize: computes forwarding tables (BFS shortest path by hop
+    /// count, deterministic tie-breaking by node index).
+    pub fn build(self) -> Topology {
+        let n = self.nodes.len();
+        let mut in_links: Vec<Vec<LinkId>> = vec![Vec::new(); n];
+        for l in &self.links {
+            in_links[l.to.0].push(l.id);
+        }
+        // next_hop[dst][node] = link to take at `node` towards `dst`.
+        let mut next_hop = vec![vec![None; n]; n];
+        for dst in 0..n {
+            // BFS backwards from dst over reversed edges.
+            let mut dist = vec![usize::MAX; n];
+            dist[dst] = 0;
+            let mut queue = VecDeque::from([dst]);
+            while let Some(v) = queue.pop_front() {
+                // All links INTO v: their `from` can reach dst via v.
+                for &lid in &in_links[v] {
+                    let l = &self.links[lid.0];
+                    if dist[l.from.0] == usize::MAX {
+                        dist[l.from.0] = dist[v] + 1;
+                        next_hop[dst][l.from.0] = Some(l.id);
+                        queue.push_back(l.from.0);
+                    }
+                }
+            }
+        }
+        Topology {
+            nodes: self.nodes,
+            links: self.links,
+            domains: self.domains,
+            next_hop,
+        }
+    }
+}
+
+/// An immutable routed topology.
+#[derive(Debug)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    domains: Vec<Domain>,
+    /// `next_hop[dst][node]` = outgoing link at `node` towards `dst`.
+    next_hop: Vec<Vec<Option<LinkId>>>,
+}
+
+impl Topology {
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All directed links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// All domains.
+    pub fn domains(&self) -> &[Domain] {
+        &self.domains
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Link accessor.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// Domain accessor.
+    pub fn domain(&self, id: DomainId) -> &Domain {
+        &self.domains[id.0]
+    }
+
+    /// Find a domain by name.
+    pub fn domain_by_name(&self, name: &str) -> Option<DomainId> {
+        self.domains.iter().find(|d| d.name == name).map(|d| d.id)
+    }
+
+    /// The link to take at `at` towards `dst` (None if unreachable or
+    /// already there).
+    pub fn next_hop(&self, at: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.next_hop[dst.0][at.0]
+    }
+
+    /// Node path from `src` to `dst`, inclusive.
+    pub fn node_path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        let mut path = vec![src];
+        let mut at = src;
+        while at != dst {
+            let link = self.next_hop(at, dst)?;
+            at = self.link(link).to;
+            path.push(at);
+            if path.len() > self.nodes.len() {
+                return None; // routing loop guard
+            }
+        }
+        Some(path)
+    }
+
+    /// The sequence of *distinct* domains a packet traverses from `src`
+    /// to `dst` — exactly the set of bandwidth brokers an end-to-end
+    /// reservation must obtain (Figure 2).
+    pub fn domain_path(&self, src: NodeId, dst: NodeId) -> Option<Vec<DomainId>> {
+        let nodes = self.node_path(src, dst)?;
+        let mut out: Vec<DomainId> = Vec::new();
+        for n in nodes {
+            let d = self.node(n).domain;
+            if out.last() != Some(&d) {
+                out.push(d);
+            }
+        }
+        Some(out)
+    }
+
+    /// True if `link` crosses a domain boundary (its endpoint domains
+    /// differ) — where ingress aggregate policing applies.
+    pub fn is_interdomain(&self, link: LinkId) -> bool {
+        let l = self.link(link);
+        self.node(l.from).domain != self.node(l.to).domain
+    }
+
+    /// Sum of propagation delays along the path (used as the one-way
+    /// signalling latency between attached hosts' brokers).
+    pub fn path_delay(&self, src: NodeId, dst: NodeId) -> Option<SimDuration> {
+        let mut total = SimDuration::ZERO;
+        let mut at = src;
+        while at != dst {
+            let link = self.next_hop(at, dst)?;
+            total = total + self.link(link).delay;
+            at = self.link(link).to;
+        }
+        Some(total)
+    }
+}
+
+/// Build the paper's canonical four-domain scenario (Figures 2–6):
+/// domains A, B, C in a line with hosts for Alice (A) and Charlie (C),
+/// plus domain D (David) attached to B.
+///
+/// Returns `(topology, names)` where `names` resolves the well-known
+/// nodes: `alice`, `charlie`, `david`, `edge-a`, `edge-b`, `edge-c`,
+/// `edge-d`.
+pub fn paper_topology(
+    capacity_bps: u64,
+    hop_delay: SimDuration,
+) -> (Topology, HashMap<String, NodeId>) {
+    let mut b = TopologyBuilder::new();
+    let da = b.domain("domain-a");
+    let db = b.domain("domain-b");
+    let dc = b.domain("domain-c");
+    let dd = b.domain("domain-d");
+
+    let alice = b.host(da, "alice");
+    let edge_a = b.router(da, "edge-a");
+    let edge_b = b.router(db, "edge-b");
+    let edge_c = b.router(dc, "edge-c");
+    let charlie = b.host(dc, "charlie");
+    let david = b.host(dd, "david");
+    let edge_d = b.router(dd, "edge-d");
+
+    // Host access links are fast so the interdomain links are the
+    // bottleneck under test.
+    let access = capacity_bps * 10;
+    b.connect(alice, edge_a, access, SimDuration::from_micros(10));
+    b.connect(charlie, edge_c, access, SimDuration::from_micros(10));
+    b.connect(david, edge_d, access, SimDuration::from_micros(10));
+    b.connect(edge_a, edge_b, capacity_bps, hop_delay);
+    b.connect(edge_b, edge_c, capacity_bps, hop_delay);
+    b.connect(edge_d, edge_b, capacity_bps, hop_delay);
+
+    let topo = b.build();
+    let names = HashMap::from([
+        ("alice".to_string(), alice),
+        ("charlie".to_string(), charlie),
+        ("david".to_string(), david),
+        ("edge-a".to_string(), edge_a),
+        ("edge-b".to_string(), edge_b),
+        ("edge-c".to_string(), edge_c),
+        ("edge-d".to_string(), edge_d),
+    ]);
+    (topo, names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_finds_shortest_paths() {
+        let (t, n) = paper_topology(100_000_000, SimDuration::from_millis(5));
+        let path = t.node_path(n["alice"], n["charlie"]).unwrap();
+        assert_eq!(path.len(), 5); // alice, edge-a, edge-b, edge-c, charlie
+        assert_eq!(path[0], n["alice"]);
+        assert_eq!(*path.last().unwrap(), n["charlie"]);
+    }
+
+    #[test]
+    fn domain_path_matches_figure2() {
+        let (t, n) = paper_topology(100_000_000, SimDuration::from_millis(5));
+        let domains: Vec<&str> = t
+            .domain_path(n["alice"], n["charlie"])
+            .unwrap()
+            .into_iter()
+            .map(|d| t.domain(d).name.as_str())
+            .collect();
+        assert_eq!(domains, vec!["domain-a", "domain-b", "domain-c"]);
+        // David's traffic to Charlie crosses D, B, C (Figure 4).
+        let domains: Vec<&str> = t
+            .domain_path(n["david"], n["charlie"])
+            .unwrap()
+            .into_iter()
+            .map(|d| t.domain(d).name.as_str())
+            .collect();
+        assert_eq!(domains, vec!["domain-d", "domain-b", "domain-c"]);
+    }
+
+    #[test]
+    fn interdomain_links_identified() {
+        let (t, n) = paper_topology(100_000_000, SimDuration::from_millis(5));
+        let ab = t.next_hop(n["edge-a"], n["charlie"]).unwrap();
+        assert!(t.is_interdomain(ab));
+        let host = t.next_hop(n["alice"], n["charlie"]).unwrap();
+        assert!(!t.is_interdomain(host));
+    }
+
+    #[test]
+    fn path_delay_sums_hops() {
+        let (t, n) = paper_topology(100_000_000, SimDuration::from_millis(5));
+        let d = t.path_delay(n["alice"], n["charlie"]).unwrap();
+        // 10us + 5ms + 5ms + 10us
+        assert_eq!(d, SimDuration::from_nanos(10_020_000));
+    }
+
+    #[test]
+    fn unreachable_nodes_return_none() {
+        let mut b = TopologyBuilder::new();
+        let d = b.domain("x");
+        let a = b.host(d, "a");
+        let c = b.host(d, "island");
+        let r = b.router(d, "r");
+        b.connect(a, r, 1_000, SimDuration::ZERO);
+        let t = b.build();
+        assert!(t.node_path(a, c).is_none());
+        assert!(t.path_delay(a, c).is_none());
+        assert!(t.node_path(a, r).is_some());
+    }
+
+    #[test]
+    fn routes_are_deterministic() {
+        // Two equal-cost paths: tie must break identically across builds.
+        let build = || {
+            let mut b = TopologyBuilder::new();
+            let d = b.domain("x");
+            let s = b.host(d, "s");
+            let r1 = b.router(d, "r1");
+            let r2 = b.router(d, "r2");
+            let t = b.host(d, "t");
+            b.connect(s, r1, 1_000, SimDuration::ZERO);
+            b.connect(s, r2, 1_000, SimDuration::ZERO);
+            b.connect(r1, t, 1_000, SimDuration::ZERO);
+            b.connect(r2, t, 1_000, SimDuration::ZERO);
+            let topo = b.build();
+            topo.node_path(s, t).unwrap()
+        };
+        assert_eq!(build(), build());
+    }
+}

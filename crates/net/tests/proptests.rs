@@ -1,0 +1,125 @@
+//! Property tests for the network substrate: token-bucket conformance
+//! bounds, scheduler ordering, and end-to-end conservation laws.
+
+use proptest::prelude::*;
+use proptest::test_runner::Config as ProptestConfig;
+use qos_net::des::Scheduler;
+use qos_net::flow::{FlowSpec, TrafficPattern};
+use qos_net::tbf::TokenBucket;
+use qos_net::{paper_topology, FlowId, Network, SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A token bucket never admits more than burst + rate·time bytes —
+    /// the defining property of the policer.
+    #[test]
+    fn token_bucket_never_over_admits(
+        rate_bps in 1_000u64..100_000_000,
+        burst in 100u64..100_000,
+        arrivals in proptest::collection::vec((0u64..2_000_000_000, 40u32..2000), 1..200),
+    ) {
+        let mut tb = TokenBucket::new(rate_bps, burst);
+        let mut times: Vec<(u64, u32)> = arrivals;
+        times.sort_by_key(|(t, _)| *t);
+        let mut admitted_bytes: u128 = 0;
+        let mut last_t = 0;
+        for (t, size) in times {
+            if tb.conform(SimTime(t), size) {
+                admitted_bytes += size as u128;
+            }
+            last_t = t;
+        }
+        // Upper bound: initial burst + refill over the whole window + one
+        // packet of slack for the instant-boundary case.
+        let bound = burst as u128 + (rate_bps as u128 * last_t as u128) / 8_000_000_000 + 2_000;
+        prop_assert!(
+            admitted_bytes <= bound,
+            "admitted {admitted_bytes} > bound {bound}"
+        );
+    }
+
+    /// Scheduler pops events in nondecreasing time order regardless of
+    /// insertion order.
+    #[test]
+    fn scheduler_orders_events(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut s = Scheduler::new();
+        for (i, t) in times.iter().enumerate() {
+            s.schedule_at(SimTime(*t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = s.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// Packet conservation: sent = received + dropped for every flow, on
+    /// arbitrary multi-flow workloads.
+    #[test]
+    fn packets_are_conserved(
+        flows in proptest::collection::vec((1_000_000u64..40_000_000, 1u64..1000), 1..5),
+    ) {
+        let (topo, n) = paper_topology(50_000_000, SimDuration::from_millis(2));
+        let mut net = Network::new(topo);
+        for (i, (rate, seed)) in flows.iter().enumerate() {
+            let (src, dst) = if i % 2 == 0 {
+                (n["alice"], n["charlie"])
+            } else {
+                (n["david"], n["charlie"])
+            };
+            net.add_flow(FlowSpec {
+                id: FlowId(i as u64 + 1),
+                src,
+                dst,
+                pattern: TrafficPattern::Poisson {
+                    rate_bps: *rate,
+                    pkt_bytes: 1250,
+                    seed: *seed,
+                },
+                start: SimTime::ZERO,
+                stop: SimTime::ZERO + SimDuration::from_millis(300),
+            });
+        }
+        net.run_to_completion();
+        for (i, _) in flows.iter().enumerate() {
+            let s = net.flow_stats(FlowId(i as u64 + 1));
+            prop_assert_eq!(
+                s.sent,
+                s.received + s.dropped_total(),
+                "flow {} leaks packets: {:?}",
+                i + 1,
+                s
+            );
+        }
+    }
+
+    /// Delivered goodput never exceeds the bottleneck capacity.
+    #[test]
+    fn goodput_bounded_by_capacity(rate in 10_000_000u64..200_000_000, seed in 1u64..500) {
+        let capacity = 20_000_000u64;
+        let (topo, n) = paper_topology(capacity, SimDuration::from_millis(2));
+        let mut net = Network::new(topo);
+        net.add_flow(FlowSpec {
+            id: FlowId(1),
+            src: n["alice"],
+            dst: n["charlie"],
+            pattern: TrafficPattern::Poisson {
+                rate_bps: rate,
+                pkt_bytes: 1250,
+                seed,
+            },
+            start: SimTime::ZERO,
+            stop: SimTime::ZERO + SimDuration::from_secs(1),
+        });
+        net.run_to_completion();
+        let s = net.flow_stats(FlowId(1));
+        // 5% tolerance for the goodput window edge effects.
+        prop_assert!(
+            s.goodput_bps() <= capacity as f64 * 1.05,
+            "goodput {} exceeds capacity {}",
+            s.goodput_bps(),
+            capacity
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Traditional access control lists.
+//!
+//! §5 of the paper lists, alongside group assertions and capabilities,
+//! *"traditional access control lists … expressed in terms of the
+//! identities of individuals who are allowed to use resources."* Domains
+//! like Figure 1's domain A ("Alice can use the network, Bob cannot")
+//! are exactly ACLs.
+
+use qos_crypto::DistinguishedName;
+
+/// Permit or deny.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AclAction {
+    /// Allow the principal.
+    Permit,
+    /// Refuse the principal.
+    Deny,
+}
+
+/// One ACL entry: a principal pattern and an action.
+///
+/// Patterns match against the principal's common name (case-insensitive)
+/// or, when they contain `=`, against the full DN rendering. A trailing
+/// `*` is a prefix wildcard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AclEntry {
+    /// The pattern, e.g. `alice`, `CN=BB,OU=domain-a*`, or `*`.
+    pub pattern: String,
+    /// What to do on match.
+    pub action: AclAction,
+}
+
+impl AclEntry {
+    fn matches(&self, dn: &DistinguishedName) -> bool {
+        let candidates = [
+            dn.common_name().unwrap_or_default().to_ascii_lowercase(),
+            dn.to_string().to_ascii_lowercase(),
+        ];
+        let pat = self.pattern.to_ascii_lowercase();
+        if let Some(prefix) = pat.strip_suffix('*') {
+            candidates.iter().any(|c| c.starts_with(prefix))
+        } else {
+            candidates.contains(&pat)
+        }
+    }
+}
+
+/// A first-match ACL with a default action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessControlList {
+    entries: Vec<AclEntry>,
+    default: AclAction,
+}
+
+impl AccessControlList {
+    /// An ACL with the given default (applied when nothing matches).
+    pub fn new(default: AclAction) -> Self {
+        Self {
+            entries: Vec::new(),
+            default,
+        }
+    }
+
+    /// Append a permit entry.
+    pub fn permit(mut self, pattern: &str) -> Self {
+        self.entries.push(AclEntry {
+            pattern: pattern.to_string(),
+            action: AclAction::Permit,
+        });
+        self
+    }
+
+    /// Append a deny entry.
+    pub fn deny(mut self, pattern: &str) -> Self {
+        self.entries.push(AclEntry {
+            pattern: pattern.to_string(),
+            action: AclAction::Deny,
+        });
+        self
+    }
+
+    /// Evaluate the ACL for `principal` (first match wins).
+    pub fn check(&self, principal: &DistinguishedName) -> AclAction {
+        for e in &self.entries {
+            if e.matches(principal) {
+                return e.action;
+            }
+        }
+        self.default
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the ACL has no explicit entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_domain_a_acl() {
+        let acl = AccessControlList::new(AclAction::Deny)
+            .permit("alice")
+            .deny("bob");
+        assert_eq!(
+            acl.check(&DistinguishedName::user("Alice", "ANL")),
+            AclAction::Permit
+        );
+        assert_eq!(
+            acl.check(&DistinguishedName::user("Bob", "ANL")),
+            AclAction::Deny
+        );
+        assert_eq!(
+            acl.check(&DistinguishedName::user("Eve", "X")),
+            AclAction::Deny
+        );
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let acl = AccessControlList::new(AclAction::Deny)
+            .deny("alice")
+            .permit("*");
+        assert_eq!(
+            acl.check(&DistinguishedName::user("Alice", "ANL")),
+            AclAction::Deny
+        );
+        assert_eq!(
+            acl.check(&DistinguishedName::user("Bob", "ANL")),
+            AclAction::Permit
+        );
+    }
+
+    #[test]
+    fn dn_prefix_patterns() {
+        let acl = AccessControlList::new(AclAction::Deny).permit("cn=bb,ou=domain-a*");
+        assert_eq!(
+            acl.check(&DistinguishedName::broker("domain-a")),
+            AclAction::Permit
+        );
+        assert_eq!(
+            acl.check(&DistinguishedName::broker("domain-b")),
+            AclAction::Deny
+        );
+    }
+}

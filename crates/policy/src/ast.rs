@@ -1,0 +1,163 @@
+//! Abstract syntax of the policy language.
+
+use crate::attr::Value;
+use std::fmt;
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=` — policy equality (case-insensitive strings, list membership).
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Value),
+    /// An attribute reference, resolved against the evaluation
+    /// environment (request attributes, then domain-provided variables
+    /// such as `Avail_BW`).
+    Attr(String),
+    /// A predicate/function call, e.g. `Accredited_Physicist(requestor)`
+    /// or `HasValidCPUResv(RAR)`; dispatched to the [`crate::eval::PolicyEnv`].
+    Call(String, Vec<Expr>),
+    /// Binary comparison.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Attr(a) => write!(f, "{a}"),
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Cmp(l, op, r) => write!(f, "{l} {op} {r}"),
+            Expr::And(l, r) => write!(f, "({l} and {r})"),
+            Expr::Or(l, r) => write!(f, "({l} or {r})"),
+            Expr::Not(e) => write!(f, "not {e}"),
+        }
+    }
+}
+
+/// A policy decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// Permit the request.
+    Grant,
+    /// Refuse the request, optionally with a reason string that is
+    /// propagated upstream ("the event is propagated upstream to inform
+    /// the user of the reason for the denial").
+    Deny(Option<String>),
+}
+
+impl Decision {
+    /// True for `Grant`.
+    pub fn is_grant(&self) -> bool {
+        matches!(self, Decision::Grant)
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Grant => write!(f, "GRANT"),
+            Decision::Deny(None) => write!(f, "DENY"),
+            Decision::Deny(Some(r)) => write!(f, "DENY ({r})"),
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `if cond { then } else { otherwise }` — the `else` branch may chain
+    /// another `if`.
+    If {
+        /// Condition expression.
+        cond: Expr,
+        /// Statements executed when the condition is truthy.
+        then: Vec<Stmt>,
+        /// Statements executed otherwise.
+        otherwise: Vec<Stmt>,
+    },
+    /// `return grant` / `return deny ["reason"]`.
+    Return(Decision),
+    /// `attach key = expr` — adds an attribute to the *modified request*
+    /// the policy server passes back (constraints, cost offers,
+    /// traffic-engineering hints for downstream domains).
+    Attach {
+        /// Attribute key on the modified request.
+        key: String,
+        /// Value expression, evaluated at attach time.
+        value: Expr,
+    },
+}
+
+/// A parsed policy: a statement list plus its source (kept for display
+/// and diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Policy {
+    /// Top-level statements, evaluated in order.
+    pub stmts: Vec<Stmt>,
+    /// Original source text.
+    pub source: String,
+}
+
+impl Policy {
+    /// Count the rules (statements, recursively) — the policy-size metric
+    /// used by the EXP-A benchmark.
+    pub fn rule_count(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::If {
+                        then, otherwise, ..
+                    } => 1 + count(then) + count(otherwise),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.stmts)
+    }
+}

@@ -1,0 +1,175 @@
+//! Group-membership servers.
+//!
+//! §5 of the paper: *"the policy might say 'approved if group server P
+//! validates the user as a physicist'; if the user's request includes the
+//! assertion 'I am a physicist', then the policy server verifies that
+//! assertion by contacting that group server … The group server then
+//! verifies whether the user is a member of the group and responds
+//! appropriately."*
+//!
+//! The server can also mint **signed attestations** so that downstream
+//! domains can re-check a validation without re-contacting the server.
+
+use qos_crypto::{DistinguishedName, KeyPair, PublicKey, Signature};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A signed statement "user U is a member of group G", issued by a group
+/// server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupAttestation {
+    /// Group name.
+    pub group: String,
+    /// Member's distinguished name.
+    pub member: DistinguishedName,
+    /// Issuing server's name.
+    pub server: String,
+    /// Signature over the canonical encoding of (group, member, server).
+    pub signature: Signature,
+}
+
+qos_wire::impl_wire_struct!(GroupAttestation {
+    group,
+    member,
+    server,
+    signature
+});
+
+impl GroupAttestation {
+    fn payload(group: &str, member: &DistinguishedName, server: &str) -> Vec<u8> {
+        let mut w = qos_wire::Writer::new();
+        w.put_str(group);
+        qos_wire::Encode::encode(member, &mut w);
+        w.put_str(server);
+        w.into_bytes()
+    }
+
+    /// Verify the attestation under the server's public key.
+    pub fn verify(&self, server_pk: PublicKey) -> bool {
+        server_pk.verify(
+            &Self::payload(&self.group, &self.member, &self.server),
+            &self.signature,
+        )
+    }
+}
+
+/// A group server: named groups with member sets, plus a signing key.
+#[derive(Debug)]
+pub struct GroupServer {
+    name: String,
+    key: KeyPair,
+    groups: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl GroupServer {
+    /// Create a server with a signing key.
+    pub fn new(name: &str, key: KeyPair) -> Self {
+        Self {
+            name: name.to_string(),
+            key,
+            groups: BTreeMap::new(),
+        }
+    }
+
+    /// The server's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The server's public key.
+    pub fn public_key(&self) -> PublicKey {
+        self.key.public()
+    }
+
+    /// Add `member` (by common name, case-insensitive) to `group`.
+    pub fn add_member(&mut self, group: &str, member: &str) {
+        self.groups
+            .entry(group.to_ascii_lowercase())
+            .or_default()
+            .insert(member.to_ascii_lowercase());
+    }
+
+    /// Remove `member` from `group`.
+    pub fn remove_member(&mut self, group: &str, member: &str) {
+        if let Some(set) = self.groups.get_mut(&group.to_ascii_lowercase()) {
+            set.remove(&member.to_ascii_lowercase());
+        }
+    }
+
+    /// Does `member` belong to `group`?
+    pub fn is_member(&self, group: &str, member: &str) -> bool {
+        self.groups
+            .get(&group.to_ascii_lowercase())
+            .is_some_and(|s| s.contains(&member.to_ascii_lowercase()))
+    }
+
+    /// Validate a membership claim and, if it holds, return a signed
+    /// attestation the caller can forward downstream.
+    pub fn attest(&self, group: &str, member: &DistinguishedName) -> Option<GroupAttestation> {
+        let cn = member.common_name()?;
+        if !self.is_member(group, cn) {
+            return None;
+        }
+        let group = group.to_ascii_lowercase();
+        let signature = self
+            .key
+            .sign(&GroupAttestation::payload(&group, member, &self.name));
+        Some(GroupAttestation {
+            group,
+            member: member.clone(),
+            server: self.name.clone(),
+            signature,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> GroupServer {
+        let mut s = GroupServer::new("LBNL-groups", KeyPair::from_seed(b"group-server"));
+        s.add_member("physicists", "Charlie");
+        s.add_member("ATLAS", "Alice");
+        s
+    }
+
+    #[test]
+    fn membership_is_case_insensitive() {
+        let s = server();
+        assert!(s.is_member("Physicists", "charlie"));
+        assert!(s.is_member("atlas", "ALICE"));
+        assert!(!s.is_member("physicists", "alice"));
+        assert!(!s.is_member("nonexistent", "charlie"));
+    }
+
+    #[test]
+    fn attestation_signs_and_verifies() {
+        let s = server();
+        let dn = DistinguishedName::user("Charlie", "LBNL");
+        let att = s.attest("physicists", &dn).unwrap();
+        assert!(att.verify(s.public_key()));
+        // Non-members get no attestation.
+        assert!(s
+            .attest("physicists", &DistinguishedName::user("Alice", "ANL"))
+            .is_none());
+    }
+
+    #[test]
+    fn forged_attestation_fails() {
+        let s = server();
+        let dn = DistinguishedName::user("Charlie", "LBNL");
+        let mut att = s.attest("physicists", &dn).unwrap();
+        att.member = DistinguishedName::user("Mallory", "EVIL");
+        assert!(!att.verify(s.public_key()));
+    }
+
+    #[test]
+    fn removal_revokes_membership() {
+        let mut s = server();
+        s.remove_member("physicists", "Charlie");
+        assert!(!s.is_member("physicists", "Charlie"));
+        assert!(s
+            .attest("physicists", &DistinguishedName::user("Charlie", "LBNL"))
+            .is_none());
+    }
+}

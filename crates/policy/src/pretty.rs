@@ -1,0 +1,151 @@
+//! Pretty-printer: render a parsed [`Policy`] back to canonical source.
+//!
+//! Round-tripping (`parse ∘ pretty ≡ id` on the AST) is property-tested;
+//! administrators can normalize hand-written policy files, and tooling
+//! can emit machine-generated policies that stay human-reviewable.
+
+use crate::ast::{Decision, Expr, Policy, Stmt};
+use crate::attr::Value;
+use std::fmt::Write;
+
+/// Render a policy as canonical source text.
+pub fn pretty(policy: &Policy) -> String {
+    let mut out = String::new();
+    for stmt in &policy.stmts {
+        write_stmt(&mut out, stmt, 0);
+    }
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn write_stmt(out: &mut String, stmt: &Stmt, level: usize) {
+    indent(out, level);
+    match stmt {
+        Stmt::Return(Decision::Grant) => out.push_str("return grant\n"),
+        Stmt::Return(Decision::Deny(None)) => out.push_str("return deny\n"),
+        Stmt::Return(Decision::Deny(Some(reason))) => {
+            let _ = writeln!(out, "return deny {reason:?}");
+        }
+        Stmt::Attach { key, value } => {
+            let _ = writeln!(out, "attach {key} = {}", render_expr(value));
+        }
+        Stmt::If {
+            cond,
+            then,
+            otherwise,
+        } => {
+            let _ = writeln!(out, "if {} {{", render_expr(cond));
+            for s in then {
+                write_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            if otherwise.is_empty() {
+                out.push_str("}\n");
+            } else if otherwise.len() == 1 && matches!(otherwise[0], Stmt::If { .. }) {
+                out.push_str("} else ");
+                // Chain: render the nested if at the same indent, inline.
+                let mut chained = String::new();
+                write_stmt(&mut chained, &otherwise[0], level);
+                out.push_str(chained.trim_start());
+            } else {
+                out.push_str("} else {\n");
+                for s in otherwise {
+                    write_stmt(out, s, level + 1);
+                }
+                indent(out, level);
+                out.push_str("}\n");
+            }
+        }
+    }
+}
+
+fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Lit(v) => render_value(v),
+        Expr::Attr(a) => a.clone(),
+        Expr::Call(name, args) => {
+            let args: Vec<String> = args.iter().map(render_expr).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        Expr::Cmp(l, op, r) => format!("{} {op} {}", render_expr(l), render_expr(r)),
+        Expr::And(l, r) => format!("({} and {})", render_expr(l), render_expr(r)),
+        Expr::Or(l, r) => format!("({} or {})", render_expr(l), render_expr(r)),
+        Expr::Not(inner) => format!("not ({})", render_expr(inner)),
+    }
+}
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("{s:?}"),
+        Value::Int(i) => i.to_string(),
+        Value::Bandwidth(b) => format!("{b}bps"),
+        Value::TimeOfDay(m) => format!("{}:{:02}", m / 60, m % 60),
+        Value::Bool(b) => b.to_string(),
+        // Lists cannot appear as literals in source; render as a
+        // parenthesized comment-safe placeholder (they only arise from
+        // the environment at evaluation time).
+        Value::List(items) => {
+            let items: Vec<String> = items.iter().map(render_value).collect();
+            format!("({})", items.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::samples;
+
+    #[test]
+    fn samples_round_trip_through_pretty() {
+        for src in [
+            samples::FIG1_DOMAIN_A,
+            samples::FIG1_DOMAIN_B,
+            samples::FIG6_DOMAIN_A,
+            samples::FIG6_DOMAIN_B,
+            samples::FIG6_DOMAIN_C,
+        ] {
+            let p1 = parse(src).unwrap();
+            let rendered = pretty(&p1);
+            let p2 = parse(&rendered).unwrap_or_else(|e| panic!("{e}\n---\n{rendered}"));
+            assert_eq!(p1.stmts, p2.stmts, "round-trip changed the AST:\n{rendered}");
+        }
+    }
+
+    #[test]
+    fn time_renders_unambiguously() {
+        // 17:00 must render as a parseable time literal, not "5pm-ish".
+        let p = parse("if Time > 17:00 { return grant } return deny").unwrap();
+        let rendered = pretty(&p);
+        assert!(rendered.contains("17:00"), "{rendered}");
+        assert_eq!(parse(&rendered).unwrap().stmts, p.stmts);
+    }
+
+    #[test]
+    fn bandwidth_renders_as_bps() {
+        let p = parse("if BW <= 10Mb/s { return grant } return deny").unwrap();
+        let rendered = pretty(&p);
+        assert!(rendered.contains("10000000bps"), "{rendered}");
+        assert_eq!(parse(&rendered).unwrap().stmts, p.stmts);
+    }
+
+    #[test]
+    fn else_if_chains_stay_flat() {
+        let src = r#"
+        if a = 1 { return grant }
+        else if a = 2 { return deny }
+        else { attach x = 3 return grant }
+        return deny
+        "#;
+        let p = parse(src).unwrap();
+        let rendered = pretty(&p);
+        assert_eq!(parse(&rendered).unwrap().stmts, p.stmts);
+        assert!(rendered.contains("} else if"), "{rendered}");
+    }
+}

@@ -1,0 +1,445 @@
+//! Lexer for the policy language.
+//!
+//! The token set covers the constructs appearing in the paper's policy
+//! files (Figures 1 and 6): `If`/`Else`/`Return GRANT`/`Return DENY`,
+//! comparisons, bandwidth literals (`10Mb/s`), time-of-day literals
+//! (`8am`, `5pm`, `17:30`), predicate calls
+//! (`Accredited_Physicist(requestor)`), and string/integer literals.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or attribute name.
+    Ident(String),
+    /// Quoted string literal.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Bandwidth literal in bits per second.
+    Bandwidth(u64),
+    /// Time-of-day literal in minutes since midnight.
+    Time(u32),
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `return`
+    Return,
+    /// `grant`
+    Grant,
+    /// `deny`
+    Deny,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `attach` — records an attribute on the modified request.
+    Attach,
+    /// `=` (policy equality; `==` also accepted)
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Bandwidth(b) => write!(f, "{b}bps"),
+            Token::Time(m) => write!(f, "{:02}:{:02}", m / 60, m % 60),
+            Token::If => write!(f, "if"),
+            Token::Else => write!(f, "else"),
+            Token::Return => write!(f, "return"),
+            Token::Grant => write!(f, "grant"),
+            Token::Deny => write!(f, "deny"),
+            Token::And => write!(f, "and"),
+            Token::Or => write!(f, "or"),
+            Token::Not => write!(f, "not"),
+            Token::True => write!(f, "true"),
+            Token::False => write!(f, "false"),
+            Token::Attach => write!(f, "attach"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Le => write!(f, "<="),
+            Token::Ge => write!(f, ">="),
+            Token::Lt => write!(f, "<"),
+            Token::Gt => write!(f, ">"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+        }
+    }
+}
+
+/// A lexing failure with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// Line the offending character is on.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize policy source text.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                tokens.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token::RBrace);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '=' => {
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'=' {
+                    i += 1;
+                }
+                tokens.push(Token::Eq);
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "expected '=' after '!'".into(),
+                        line,
+                    });
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    if bytes[j] == b'\n' {
+                        return Err(LexError {
+                            message: "unterminated string literal".into(),
+                            line,
+                        });
+                    }
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        line,
+                    });
+                }
+                tokens.push(Token::Str(src[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(src, i, line)?;
+                tokens.push(tok);
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &src[start..j];
+                tokens.push(keyword_or_ident(word));
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    line,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn keyword_or_ident(word: &str) -> Token {
+    match word.to_ascii_lowercase().as_str() {
+        "if" => Token::If,
+        "else" => Token::Else,
+        "return" => Token::Return,
+        "grant" => Token::Grant,
+        "deny" => Token::Deny,
+        "and" => Token::And,
+        "or" => Token::Or,
+        "not" => Token::Not,
+        "true" => Token::True,
+        "false" => Token::False,
+        "attach" => Token::Attach,
+        _ => Token::Ident(word.to_string()),
+    }
+}
+
+/// Lex a numeric literal: plain integer, bandwidth (`10Mb/s`, `5MB/s`,
+/// `500kb/s`, `2Gb/s`, `100bps`), or time (`8am`, `5pm`, `17:30`).
+fn lex_number(src: &str, start: usize, line: usize) -> Result<(Token, usize), LexError> {
+    let bytes = src.as_bytes();
+    let mut j = start;
+    while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+        j += 1;
+    }
+    let digits: i64 = src[start..j].parse().map_err(|_| LexError {
+        message: "integer literal out of range".into(),
+        line,
+    })?;
+
+    // Time: HH:MM
+    if j < bytes.len() && bytes[j] == b':' {
+        let mstart = j + 1;
+        let mut k = mstart;
+        while k < bytes.len() && (bytes[k] as char).is_ascii_digit() {
+            k += 1;
+        }
+        if k == mstart {
+            return Err(LexError {
+                message: "expected minutes after ':'".into(),
+                line,
+            });
+        }
+        let minutes: u32 = src[mstart..k].parse().map_err(|_| LexError {
+            message: "minutes out of range".into(),
+            line,
+        })?;
+        if digits > 23 || minutes > 59 {
+            return Err(LexError {
+                message: format!("invalid time {digits}:{minutes:02}"),
+                line,
+            });
+        }
+        return Ok((Token::Time(digits as u32 * 60 + minutes), k));
+    }
+
+    // Suffix word (am/pm/units), letters plus optional "/s".
+    let sstart = j;
+    let mut k = j;
+    while k < bytes.len() && (bytes[k] as char).is_ascii_alphabetic() {
+        k += 1;
+    }
+    let suffix = &src[sstart..k];
+    match suffix.to_ascii_lowercase().as_str() {
+        "" => Ok((Token::Int(digits), j)),
+        "am" => {
+            if !(1..=12).contains(&digits) {
+                return Err(LexError {
+                    message: format!("invalid hour {digits}am"),
+                    line,
+                });
+            }
+            let h = if digits == 12 { 0 } else { digits as u32 };
+            Ok((Token::Time(h * 60), k))
+        }
+        "pm" => {
+            if !(1..=12).contains(&digits) {
+                return Err(LexError {
+                    message: format!("invalid hour {digits}pm"),
+                    line,
+                });
+            }
+            let h = if digits == 12 { 12 } else { digits as u32 + 12 };
+            Ok((Token::Time(h * 60), k))
+        }
+        "bps" => Ok((Token::Bandwidth(digits as u64), k)),
+        unit @ ("kb" | "mb" | "gb" | "b") => {
+            // Expect "/s" after the unit. Case tells bits vs bytes: the
+            // figures write both `10Mb/s` and `5MB/s`; an upper-case B is
+            // treated as bytes (×8 bits), per convention.
+            let bytes_unit = suffix.ends_with('B');
+            let mut end = k;
+            if end + 1 < bytes.len() && bytes[end] == b'/' && (bytes[end + 1] | 0x20) == b's' {
+                end += 2;
+            } else {
+                return Err(LexError {
+                    message: format!("expected '/s' after bandwidth unit {suffix:?}"),
+                    line,
+                });
+            }
+            let scale: u64 = match unit {
+                "kb" => 1_000,
+                "mb" => 1_000_000,
+                "gb" => 1_000_000_000,
+                _ => 1,
+            };
+            let mult = if bytes_unit { 8 } else { 1 };
+            Ok((Token::Bandwidth(digits as u64 * scale * mult), end))
+        }
+        other => Err(LexError {
+            message: format!("unknown numeric suffix {other:?}"),
+            line,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_literals() {
+        assert_eq!(lex("10Mb/s").unwrap(), vec![Token::Bandwidth(10_000_000)]);
+        assert_eq!(lex("500kb/s").unwrap(), vec![Token::Bandwidth(500_000)]);
+        assert_eq!(lex("2Gb/s").unwrap(), vec![Token::Bandwidth(2_000_000_000)]);
+        // Upper-case B = bytes: 5MB/s = 40 Mbit/s.
+        assert_eq!(lex("5MB/s").unwrap(), vec![Token::Bandwidth(40_000_000)]);
+        assert_eq!(lex("100bps").unwrap(), vec![Token::Bandwidth(100)]);
+    }
+
+    #[test]
+    fn time_literals() {
+        assert_eq!(lex("8am").unwrap(), vec![Token::Time(8 * 60)]);
+        assert_eq!(lex("5pm").unwrap(), vec![Token::Time(17 * 60)]);
+        assert_eq!(lex("12am").unwrap(), vec![Token::Time(0)]);
+        assert_eq!(lex("12pm").unwrap(), vec![Token::Time(12 * 60)]);
+        assert_eq!(lex("17:30").unwrap(), vec![Token::Time(17 * 60 + 30)]);
+        assert!(lex("25:00").is_err());
+        assert!(lex("13pm").is_err());
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            lex("If Return GRANT DENY Else").unwrap(),
+            vec![Token::If, Token::Return, Token::Grant, Token::Deny, Token::Else]
+        );
+    }
+
+    #[test]
+    fn operators_and_calls() {
+        assert_eq!(
+            lex("Issued_by(Capability) = ESnet").unwrap(),
+            vec![
+                Token::Ident("Issued_by".into()),
+                Token::LParen,
+                Token::Ident("Capability".into()),
+                Token::RParen,
+                Token::Eq,
+                Token::Ident("ESnet".into()),
+            ]
+        );
+        assert_eq!(lex("<= >= < > != = ==").unwrap().len(), 7);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let toks = lex("# full line\nif BW <= 10Mb/s // tail\n{ }").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::If,
+                Token::Ident("BW".into()),
+                Token::Le,
+                Token::Bandwidth(10_000_000),
+                Token::LBrace,
+                Token::RBrace
+            ]
+        );
+    }
+
+    #[test]
+    fn strings() {
+        assert_eq!(
+            lex("\"hello world\"").unwrap(),
+            vec![Token::Str("hello world".into())]
+        );
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = lex("if x\n  @").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! Decoding errors.
+
+use std::fmt;
+
+/// An error produced while decoding canonical bytes.
+///
+/// Encoding is infallible by construction; only decoding can fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value was complete. Carries the number of
+    /// additional bytes that were needed.
+    UnexpectedEof(usize),
+    /// `from_bytes` decoded a complete value but input remained. Carries the
+    /// number of unconsumed bytes.
+    TrailingBytes(usize),
+    /// An enum or option tag byte had no corresponding variant.
+    InvalidTag(u8),
+    /// A string field contained invalid UTF-8.
+    InvalidUtf8,
+    /// A length prefix exceeded the remaining input (or the sanity cap),
+    /// which would otherwise allow memory-exhaustion on hostile input.
+    LengthOverflow(u64),
+    /// A boolean byte was neither 0 nor 1.
+    InvalidBool(u8),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof(n) => {
+                write!(f, "unexpected end of input ({n} more bytes needed)")
+            }
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            WireError::InvalidTag(t) => write!(f, "invalid enum tag {t}"),
+            WireError::InvalidUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::LengthOverflow(n) => write!(f, "length prefix {n} exceeds input"),
+            WireError::InvalidBool(b) => write!(f, "invalid boolean byte {b}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,179 @@
+//! `Encode`/`Decode` implementations for primitives and std containers.
+
+use crate::{Decode, Encode, Reader, WireError, Writer};
+
+macro_rules! impl_int {
+    ($($t:ty => $put:ident, $get:ident;)*) => {$(
+        impl Encode for $t {
+            fn encode(&self, w: &mut Writer) {
+                w.$put(*self);
+            }
+        }
+        impl Decode for $t {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+                r.$get()
+            }
+        }
+    )*};
+}
+
+impl_int! {
+    u8  => put_u8,  get_u8;
+    u16 => put_u16, get_u16;
+    u32 => put_u32, get_u32;
+    u64 => put_u64, get_u64;
+    i64 => put_i64, get_i64;
+    f64 => put_f64, get_f64;
+    bool => put_bool, get_bool;
+}
+
+impl Encode for usize {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(*self as u64);
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let v = r.get_u64()?;
+        usize::try_from(v).map_err(|_| WireError::LengthOverflow(v))
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(self);
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_str()
+    }
+}
+
+impl Encode for str {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(self);
+    }
+}
+
+/// Sequences encode as a `u32` element count followed by each element.
+///
+/// For `Vec<u8>` this is byte-identical to `Writer::put_bytes` (a `u32`
+/// length followed by the raw bytes), so byte strings need no special case.
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        encode_seq(self, w)
+    }
+}
+
+/// Encode any slice as a canonical sequence.
+pub fn encode_seq<T: Encode>(items: &[T], w: &mut Writer) {
+    let len = u32::try_from(items.len()).expect("sequence longer than u32::MAX");
+    w.put_u32(len);
+    for item in items {
+        item.encode(w);
+    }
+}
+
+/// Decode a canonical sequence into a vector.
+pub fn decode_seq<T: Decode>(r: &mut Reader<'_>) -> Result<Vec<T>, WireError> {
+    let len = r.get_seq_len()?;
+    let mut out = Vec::with_capacity(len.min(1024));
+    for _ in 0..len {
+        out.push(T::decode(r)?);
+    }
+    Ok(out)
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        decode_seq(r)
+    }
+}
+
+/// Options encode as a presence tag byte (0 = none, 1 = some).
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+impl<T: Encode + ?Sized> Encode for &T {
+    fn encode(&self, w: &mut Writer) {
+        (*self).encode(w);
+    }
+}
+
+impl<T: Encode> Encode for Box<T> {
+    fn encode(&self, w: &mut Writer) {
+        (**self).encode(w);
+    }
+}
+
+impl<T: Decode> Decode for Box<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Box::new(T::decode(r)?))
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{from_bytes, to_bytes};
+
+    #[test]
+    fn vec_u8_uses_raw_byte_encoding() {
+        // 3 bytes of payload => 4-byte length + payload, not per-element.
+        let v: Vec<u8> = vec![9, 8, 7];
+        assert_eq!(to_bytes(&v), vec![3, 0, 0, 0, 9, 8, 7]);
+    }
+
+    #[test]
+    fn option_round_trip() {
+        for v in [None, Some(77u64)] {
+            assert_eq!(from_bytes::<Option<u64>>(&to_bytes(&v)).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn nested_vec_round_trip() {
+        let v = vec![vec!["a".to_string()], vec![], vec!["b".into(), "c".into()]];
+        assert_eq!(from_bytes::<Vec<Vec<String>>>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn tuple_round_trip() {
+        let v = (5u32, "x".to_string());
+        assert_eq!(from_bytes::<(u32, String)>(&to_bytes(&v)).unwrap(), v);
+    }
+}

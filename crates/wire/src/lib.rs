@@ -1,0 +1,165 @@
+//! # qos-wire — deterministic canonical binary codec
+//!
+//! Every message in the signalling protocol of *"End-to-End Provision of
+//! Policy Information for Network QoS"* (HPDC 2001) is digitally signed by
+//! the entity that added it. Signatures are computed over bytes, so the
+//! protocol needs a **canonical** encoding: the same value must always
+//! serialize to the same byte string, on every platform, in every process.
+//!
+//! This crate provides that encoding:
+//!
+//! * fixed-width little-endian integers,
+//! * `u32` length-prefixed byte strings and sequences,
+//! * single-byte tags for options and enum discriminants,
+//! * strict decoding (no trailing bytes, no over-long lengths, UTF-8
+//!   validation for strings).
+//!
+//! The encoding is intentionally simple rather than general: it has no
+//! schema evolution story and no self-description, because signed protocol
+//! messages must be byte-exact and unambiguous above all else.
+//!
+//! ## Example
+//!
+//! ```
+//! use qos_wire::{from_bytes, to_bytes};
+//!
+//! #[derive(Debug, PartialEq)]
+//! struct Request { user: String, bandwidth_bps: u64 }
+//!
+//! qos_wire::impl_wire_struct!(Request { user, bandwidth_bps });
+//!
+//! let r = Request { user: "alice".into(), bandwidth_bps: 10_000_000 };
+//! let bytes = to_bytes(&r);
+//! assert_eq!(from_bytes::<Request>(&bytes).unwrap(), r);
+//! ```
+
+mod error;
+mod impls;
+mod macros;
+mod reader;
+mod writer;
+
+pub use error::WireError;
+pub use reader::Reader;
+pub use writer::Writer;
+
+/// A type with a canonical binary encoding.
+///
+/// Implementations must be **deterministic**: encoding equal values must
+/// produce identical byte strings. This property is what makes the encoding
+/// usable as the input of digital signatures.
+pub trait Encode {
+    /// Append the canonical encoding of `self` to `w`.
+    fn encode(&self, w: &mut Writer);
+
+    /// Convenience: encode into a fresh byte vector.
+    fn encode_to_vec(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+}
+
+/// A type that can be decoded from its canonical binary encoding.
+pub trait Decode: Sized {
+    /// Decode a value from the front of `r`, advancing its position.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+}
+
+/// Encode `value` into a fresh byte vector.
+pub fn to_bytes<T: Encode>(value: &T) -> Vec<u8> {
+    value.encode_to_vec()
+}
+
+/// Decode a value from `bytes`, requiring that all input is consumed.
+///
+/// Trailing bytes are an error: a signed message with appended junk must
+/// not verify as the original message.
+pub fn from_bytes<T: Decode>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut r = Reader::new(bytes);
+    let value = T::decode(&mut r)?;
+    r.finish()?;
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Clone)]
+    struct Nested {
+        id: u32,
+        tags: Vec<String>,
+    }
+    crate::impl_wire_struct!(Nested { id, tags });
+
+    #[derive(Debug, PartialEq, Clone)]
+    enum Verdict {
+        Grant,
+        Deny { reason: String },
+        Defer(u64),
+    }
+    crate::impl_wire_enum!(Verdict {
+        0 => Grant,
+        1 => Deny { reason },
+        2 => Defer(t0: u64),
+    });
+
+    #[test]
+    fn struct_round_trip() {
+        let v = Nested {
+            id: 7,
+            tags: vec!["a".into(), "bb".into()],
+        };
+        assert_eq!(from_bytes::<Nested>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn enum_round_trip_all_variants() {
+        for v in [
+            Verdict::Grant,
+            Verdict::Deny {
+                reason: "no SLA".into(),
+            },
+            Verdict::Defer(99),
+        ] {
+            assert_eq!(from_bytes::<Verdict>(&to_bytes(&v)).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut b = to_bytes(&42u32);
+        b.push(0);
+        assert_eq!(from_bytes::<u32>(&b), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let b = to_bytes(&Nested {
+            id: 1,
+            tags: vec!["x".into()],
+        });
+        for cut in 0..b.len() {
+            assert!(
+                from_bytes::<Nested>(&b[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_enum_tag_rejected() {
+        let b = vec![9u8];
+        assert_eq!(from_bytes::<Verdict>(&b), Err(WireError::InvalidTag(9)));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let v = Nested {
+            id: 0xDEAD_BEEF,
+            tags: vec!["q".into(), "r".into(), "s".into()],
+        };
+        assert_eq!(to_bytes(&v), to_bytes(&v.clone()));
+    }
+}

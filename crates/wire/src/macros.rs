@@ -1,0 +1,87 @@
+//! Macros generating `Encode`/`Decode` for user structs and enums.
+//!
+//! These keep the canonical encoding of protocol messages mechanical:
+//! fields are encoded in declaration order, enum variants by an explicit
+//! stable tag byte (so reordering variants in source cannot silently change
+//! the wire format of signed messages).
+
+/// Implement [`Encode`](crate::Encode) and [`Decode`](crate::Decode) for a
+/// struct by encoding its named fields in the listed order.
+///
+/// ```
+/// #[derive(Debug, PartialEq)]
+/// struct Point { x: u64, y: u64 }
+/// qos_wire::impl_wire_struct!(Point { x, y });
+///
+/// let p = Point { x: 1, y: 2 };
+/// let bytes = qos_wire::to_bytes(&p);
+/// assert_eq!(qos_wire::from_bytes::<Point>(&bytes).unwrap(), p);
+/// ```
+#[macro_export]
+macro_rules! impl_wire_struct {
+    ($name:ident { $($field:ident),* $(,)? }) => {
+        impl $crate::Encode for $name {
+            fn encode(&self, w: &mut $crate::Writer) {
+                $( $crate::Encode::encode(&self.$field, w); )*
+            }
+        }
+        impl $crate::Decode for $name {
+            fn decode(r: &mut $crate::Reader<'_>) -> Result<Self, $crate::WireError> {
+                Ok($name {
+                    $( $field: $crate::Decode::decode(r)?, )*
+                })
+            }
+        }
+    };
+}
+
+/// Implement [`Encode`](crate::Encode) and [`Decode`](crate::Decode) for an
+/// enum with explicit stable tag bytes.
+///
+/// Supports unit variants, struct variants (`Tag { a, b }`), and tuple
+/// variants with explicitly typed positional bindings
+/// (`Tag(t0: u64, t1: String)`).
+///
+/// ```
+/// #[derive(Debug, PartialEq)]
+/// enum Msg { Ping, Data { len: u32 }, Code(u8) }
+/// qos_wire::impl_wire_enum!(Msg {
+///     0 => Ping,
+///     1 => Data { len },
+///     2 => Code(t0: u8),
+/// });
+///
+/// let bytes = qos_wire::to_bytes(&Msg::Code(7));
+/// assert_eq!(qos_wire::from_bytes::<Msg>(&bytes).unwrap(), Msg::Code(7));
+/// ```
+#[macro_export]
+macro_rules! impl_wire_enum {
+    ($name:ident { $( $tag:literal => $variant:ident $( { $($field:ident),* $(,)? } )? $( ( $($tf:ident : $tt:ty),* $(,)? ) )? ),* $(,)? }) => {
+        impl $crate::Encode for $name {
+            fn encode(&self, w: &mut $crate::Writer) {
+                match self {
+                    $(
+                        $name::$variant $( { $($field),* } )? $( ( $($tf),* ) )? => {
+                            w.put_u8($tag);
+                            $( $( $crate::Encode::encode($field, w); )* )?
+                            $( $( $crate::Encode::encode($tf, w); )* )?
+                        }
+                    )*
+                }
+            }
+        }
+        impl $crate::Decode for $name {
+            fn decode(r: &mut $crate::Reader<'_>) -> Result<Self, $crate::WireError> {
+                match r.get_u8()? {
+                    $(
+                        $tag => Ok($name::$variant
+                            $( { $($field: $crate::Decode::decode(r)?),* } )?
+                            $( ( $({ let v: $tt = $crate::Decode::decode(r)?; v }),* ) )?
+                        ),
+                    )*
+                    t => Err($crate::WireError::InvalidTag(t)),
+                }
+            }
+        }
+    };
+}

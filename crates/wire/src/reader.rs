@@ -1,0 +1,141 @@
+//! Canonical byte reader.
+
+use crate::WireError;
+
+/// Cursor over an input slice, performing strict canonical decoding.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Create a reader over `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        Self { input, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// Current position within the input.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Require that the whole input has been consumed.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof(n - self.remaining()));
+        }
+        let s = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one raw byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64` from its IEEE-754 bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a boolean byte, rejecting values other than 0/1 so that each
+    /// value has exactly one encoding.
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::InvalidBool(b)),
+        }
+    }
+
+    /// Read `u32`-length-prefixed bytes.
+    ///
+    /// The length is validated against the remaining input *before*
+    /// allocating, so hostile length prefixes cannot exhaust memory.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.get_u32()? as usize;
+        if len > self.remaining() {
+            return Err(WireError::LengthOverflow(len as u64));
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    /// Read a sequence length prefix, validated against a conservative
+    /// lower bound of one byte per element.
+    pub fn get_seq_len(&mut self) -> Result<usize, WireError> {
+        let len = self.get_u32()? as usize;
+        if len > self.remaining() {
+            return Err(WireError::LengthOverflow(len as u64));
+        }
+        Ok(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_without_allocation() {
+        // Claims 4 GiB of payload with 0 bytes present.
+        let bytes = u32::MAX.to_le_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(
+            r.get_bytes(),
+            Err(WireError::LengthOverflow(u32::MAX as u64))
+        );
+    }
+
+    #[test]
+    fn bool_rejects_non_canonical_bytes() {
+        let mut r = Reader::new(&[2]);
+        assert_eq!(r.get_bool(), Err(WireError::InvalidBool(2)));
+    }
+
+    #[test]
+    fn eof_reports_missing_byte_count() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(r.get_u64(), Err(WireError::UnexpectedEof(6)));
+    }
+}

@@ -1,0 +1,132 @@
+//! Canonical byte writer.
+
+/// Append-only buffer producing the canonical encoding.
+///
+/// All multi-byte integers are little-endian; all variable-length data is
+/// `u32` length-prefixed.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Create a writer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// View the bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Write a single raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a `u16` (little-endian).
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u32` (little-endian).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u64` (little-endian).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `i64` (little-endian two's complement).
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `f64` as its IEEE-754 bit pattern.
+    ///
+    /// NaN payloads are normalized to the canonical quiet NaN so that the
+    /// encoding stays deterministic across NaN representations.
+    pub fn put_f64(&mut self, v: f64) {
+        let canonical = if v.is_nan() { f64::NAN } else { v };
+        self.buf.extend_from_slice(&canonical.to_bits().to_le_bytes());
+    }
+
+    /// Write a boolean as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Write raw bytes without a length prefix (caller manages framing).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Write `u32`-length-prefixed bytes.
+    ///
+    /// # Panics
+    /// Panics if `bytes.len()` exceeds `u32::MAX` — far beyond any message
+    /// this protocol produces.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        let len = u32::try_from(bytes.len()).expect("byte string longer than u32::MAX");
+        self.put_u32(len);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Write a `u32`-length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_are_little_endian() {
+        let mut w = Writer::new();
+        w.put_u32(0x0102_0304);
+        assert_eq!(w.as_bytes(), &[0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn bytes_are_length_prefixed() {
+        let mut w = Writer::new();
+        w.put_bytes(b"hi");
+        assert_eq!(w.as_bytes(), &[2, 0, 0, 0, b'h', b'i']);
+    }
+
+    #[test]
+    fn nan_is_canonicalized() {
+        let mut a = Writer::new();
+        let mut b = Writer::new();
+        a.put_f64(f64::NAN);
+        b.put_f64(f64::from_bits(f64::NAN.to_bits() | 1));
+        assert_eq!(a.as_bytes(), b.as_bytes());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests: round-trip and strictness of the canonical codec.
+
+use proptest::prelude::*;
+use qos_wire::{from_bytes, to_bytes, WireError};
+
+#[derive(Debug, Clone, PartialEq)]
+struct Blob {
+    id: u64,
+    name: String,
+    payload: Vec<u8>,
+    children: Vec<String>,
+    note: Option<String>,
+    flag: bool,
+}
+qos_wire::impl_wire_struct!(Blob {
+    id,
+    name,
+    payload,
+    children,
+    note,
+    flag
+});
+
+fn arb_blob() -> impl Strategy<Value = Blob> {
+    (
+        any::<u64>(),
+        ".{0,40}",
+        proptest::collection::vec(any::<u8>(), 0..200),
+        proptest::collection::vec(".{0,10}", 0..8),
+        proptest::option::of(".{0,10}"),
+        any::<bool>(),
+    )
+        .prop_map(|(id, name, payload, children, note, flag)| Blob {
+            id,
+            name,
+            payload,
+            children,
+            note,
+            flag,
+        })
+}
+
+proptest! {
+    /// Decoding the encoding yields the original value.
+    #[test]
+    fn round_trip(blob in arb_blob()) {
+        let bytes = to_bytes(&blob);
+        prop_assert_eq!(from_bytes::<Blob>(&bytes).unwrap(), blob);
+    }
+
+    /// Encoding is deterministic: equal values, equal bytes.
+    #[test]
+    fn deterministic(blob in arb_blob()) {
+        prop_assert_eq!(to_bytes(&blob), to_bytes(&blob.clone()));
+    }
+
+    /// Every strict prefix of a valid encoding fails to decode.
+    #[test]
+    fn prefixes_fail(blob in arb_blob()) {
+        let bytes = to_bytes(&blob);
+        // Sample a handful of cut points to keep the test fast.
+        for cut in [0, bytes.len() / 3, bytes.len() / 2, bytes.len().saturating_sub(1)] {
+            if cut < bytes.len() {
+                prop_assert!(from_bytes::<Blob>(&bytes[..cut]).is_err());
+            }
+        }
+    }
+
+    /// Appending any byte to a valid encoding fails decoding (no silent
+    /// acceptance of trailing data under a signature).
+    #[test]
+    fn suffixes_fail(blob in arb_blob(), extra in any::<u8>()) {
+        let mut bytes = to_bytes(&blob);
+        bytes.push(extra);
+        prop_assert_eq!(from_bytes::<Blob>(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    /// Decoding arbitrary bytes never panics — it either yields a value or
+    /// a structured error.
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = from_bytes::<Blob>(&bytes);
+        let _ = from_bytes::<Vec<String>>(&bytes);
+        let _ = from_bytes::<Option<u64>>(&bytes);
+    }
+
+    /// u64 encodes to exactly 8 bytes, round-trips exactly.
+    #[test]
+    fn u64_exact(v in any::<u64>()) {
+        let bytes = to_bytes(&v);
+        prop_assert_eq!(bytes.len(), 8);
+        prop_assert_eq!(from_bytes::<u64>(&bytes).unwrap(), v);
+    }
+}

@@ -1,0 +1,130 @@
+//! The paper's policy files (Figures 1 and 6), evaluated interactively
+//! against a matrix of requests, with full evaluation traces.
+//!
+//! ```sh
+//! cargo run -p qos-examples --bin policy_playground
+//! ```
+
+use qos_crypto::{DistinguishedName, KeyPair};
+use qos_policy::attr::bw;
+use qos_policy::request::VerifiedCapability;
+use qos_policy::{
+    samples, Assertion, DomainVars, GroupServer, NoReservations, PolicyRequest, PolicyServer,
+    ReservationOracle, Value,
+};
+
+struct CpuOracle(Vec<i64>);
+impl ReservationOracle for CpuOracle {
+    fn has_valid_cpu_reservation(&self, id: i64) -> bool {
+        self.0.contains(&id)
+    }
+}
+
+fn groups() -> GroupServer {
+    let mut g = GroupServer::new("groups", KeyPair::from_seed(b"gs"));
+    g.add_member("physicists", "Charlie");
+    g.add_member("atlas", "Alice");
+    g
+}
+
+fn vars(hour: u32, avail_mbps: u64) -> DomainVars {
+    DomainVars {
+        avail_bw_bps: avail_mbps * 1_000_000,
+        now_minutes: hour * 60,
+        domain: "playground".into(),
+    }
+}
+
+fn show(pdp: &PolicyServer, label: &str, req: &PolicyRequest, v: &DomainVars, oracle: &dyn ReservationOracle) {
+    let d = pdp.decide(req, v, oracle).expect("evaluation succeeds");
+    println!("  [{label}] → {}", d.decision);
+    for line in &d.trace {
+        println!("      {line}");
+    }
+}
+
+fn main() {
+    println!("=== Figure 1, Domain A: ACL-style policy ===");
+    println!("{}", samples::FIG1_DOMAIN_A.trim());
+    let pdp = PolicyServer::from_source(samples::FIG1_DOMAIN_A, groups()).unwrap();
+    let v = vars(10, 100);
+    for user in ["Alice", "Bob", "Eve"] {
+        let req = PolicyRequest::new(DistinguishedName::user(user, "ANL"))
+            .with_attr("reservation_type", Value::Str("network".into()));
+        show(&pdp, user, &req, &v, &NoReservations);
+    }
+
+    println!("\n=== Figure 1, Domain B: group-server validation ===");
+    println!("{}", samples::FIG1_DOMAIN_B.trim());
+    let pdp = PolicyServer::from_source(samples::FIG1_DOMAIN_B, groups()).unwrap();
+    for user in ["Charlie", "Alice"] {
+        let req = PolicyRequest::new(DistinguishedName::user(user, "LBNL"))
+            .with_attr("reservation_type", Value::Str("network".into()));
+        show(&pdp, user, &req, &v, &NoReservations);
+    }
+
+    println!("\n=== Figure 6, Policy File A: business-hours cap ===");
+    println!("{}", samples::FIG6_DOMAIN_A.trim());
+    let pdp = PolicyServer::from_source(samples::FIG6_DOMAIN_A, groups()).unwrap();
+    for (label, hour, mbps_req) in [
+        ("Alice 10Mb/s @ 10:00", 10, 10u64),
+        ("Alice 20Mb/s @ 10:00", 10, 20),
+        ("Alice 80Mb/s @ 22:00", 22, 80),
+        ("Alice 200Mb/s @ 22:00", 22, 200),
+    ] {
+        let req = PolicyRequest::new(DistinguishedName::user("Alice", "ANL"))
+            .with_attr("bw", bw::mbps(mbps_req));
+        show(&pdp, label, &req, &vars(hour, 100), &NoReservations);
+    }
+
+    println!("\n=== Figure 6, Policy File B: group or capability ===");
+    println!("{}", samples::FIG6_DOMAIN_B.trim());
+    let pdp = PolicyServer::from_source(samples::FIG6_DOMAIN_B, groups()).unwrap();
+    let atlas = PolicyRequest::new(DistinguishedName::user("Alice", "ANL"))
+        .with_attr("bw", bw::mbps(10))
+        .with_assertion(Assertion::group("ATLAS"));
+    show(&pdp, "ATLAS member, 10Mb/s", &atlas, &v, &NoReservations);
+    let esnet = PolicyRequest::new(DistinguishedName::user("Dana", "X"))
+        .with_attr("bw", bw::mbps(8))
+        .with_capability(VerifiedCapability {
+            issuer: "ESnet".into(),
+            attributes: vec!["ESnet:member".into()],
+            restrictions: vec![],
+        });
+    show(&pdp, "ESnet capability, 8Mb/s", &esnet, &v, &NoReservations);
+    let nobody = PolicyRequest::new(DistinguishedName::user("Eve", "X"))
+        .with_attr("bw", bw::mbps(1));
+    show(&pdp, "no credentials, 1Mb/s", &nobody, &v, &NoReservations);
+
+    println!("\n=== Figure 6, Policy File C: coupled CPU reservation ===");
+    println!("{}", samples::FIG6_DOMAIN_C.trim());
+    let pdp = PolicyServer::from_source(samples::FIG6_DOMAIN_C, groups()).unwrap();
+    let oracle = CpuOracle(vec![111]);
+    let base = || {
+        PolicyRequest::new(DistinguishedName::user("Alice", "ANL"))
+            .with_attr("bw", bw::mbps(10))
+            .with_capability(VerifiedCapability {
+                issuer: "ESnet".into(),
+                attributes: vec!["ESnet:member".into()],
+                restrictions: vec![],
+            })
+    };
+    show(
+        &pdp,
+        "ESnet + CPU resv 111, 10Mb/s",
+        &base().with_attr("cpu_reservation_id", Value::Int(111)),
+        &v,
+        &oracle,
+    );
+    show(
+        &pdp,
+        "ESnet + CPU resv 999 (bogus), 10Mb/s",
+        &base().with_attr("cpu_reservation_id", Value::Int(999)),
+        &v,
+        &oracle,
+    );
+    show(&pdp, "ESnet, no CPU resv, 10Mb/s", &base(), &v, &oracle);
+    let small =
+        PolicyRequest::new(DistinguishedName::user("Eve", "X")).with_attr("bw", bw::mbps(1));
+    show(&pdp, "1Mb/s (below the 5Mb/s bar)", &small, &v, &oracle);
+}

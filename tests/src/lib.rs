@@ -1,0 +1,58 @@
+//! Cross-crate scenario fixtures shared by the workspace integration
+//! tests.
+//!
+//! The heavy lifting lives in [`qos_core::scenario`]; this crate adds the
+//! glue the integration tests repeat: moving brokers into meshes,
+//! submitting and driving a reservation to completion, and unwrapping
+//! outcomes.
+
+pub use qos_core::scenario::{
+    build_chain, build_paper_world, domain_name, ChainOptions, Scenario, UserIdentity, PERMIT_ALL,
+};
+
+use qos_core::drive::Mesh;
+use qos_core::node::Completion;
+use qos_core::{Approval, Denial, RarId, SignedRar};
+use qos_crypto::Certificate;
+use qos_net::SimDuration;
+
+/// One megabit per second.
+pub const MBPS: u64 = 1_000_000;
+
+/// Move a scenario's brokers into a mesh with uniform hop latency.
+pub fn mesh_from(scenario: &mut Scenario, hop_latency_ms: u64) -> Mesh {
+    let mut mesh = Mesh::new();
+    let domains = scenario.domains.clone();
+    for node in scenario.nodes.drain(..) {
+        mesh.add_node(node);
+    }
+    for w in domains.windows(2) {
+        mesh.set_latency(&w[0], &w[1], SimDuration::from_millis(hop_latency_ms));
+    }
+    mesh
+}
+
+/// Submit a signed request at its source domain, run to completion, and
+/// return the outcome.
+pub fn run_reservation(
+    mesh: &mut Mesh,
+    source: &str,
+    rar: SignedRar,
+    user_cert: Certificate,
+) -> Result<Approval, Denial> {
+    let rar_id = rar.res_spec().rar_id;
+    mesh.submit_in(SimDuration::ZERO, source, rar, user_cert);
+    mesh.run_until_idle();
+    outcome(mesh, source, rar_id)
+}
+
+/// Extract the reservation outcome recorded at `domain`.
+pub fn outcome(mesh: &Mesh, domain: &str, rar_id: RarId) -> Result<Approval, Denial> {
+    let (_, c) = mesh
+        .reservation_outcome(domain, rar_id)
+        .unwrap_or_else(|| panic!("no completion for {rar_id:?} at {domain}"));
+    match c {
+        Completion::Reservation { result, .. } => result.clone(),
+        other => panic!("unexpected completion {other:?}"),
+    }
+}
