@@ -86,5 +86,10 @@ fn bench_broker_hold(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_table_ops, bench_peak_usage, bench_broker_hold);
+criterion_group!(
+    benches,
+    bench_table_ops,
+    bench_peak_usage,
+    bench_broker_hold
+);
 criterion_main!(benches);

@@ -25,12 +25,64 @@ fn bench_schnorr(c: &mut Criterion) {
     let kp = KeyPair::from_seed(b"bench");
     let msg = vec![7u8; 256];
     let sig = kp.sign(&msg);
-    c.bench_function("schnorr/sign-256B", |b| {
-        b.iter(|| kp.sign(black_box(&msg)))
-    });
+    c.bench_function("schnorr/sign-256B", |b| b.iter(|| kp.sign(black_box(&msg))));
     c.bench_function("schnorr/verify-256B", |b| {
         b.iter(|| kp.public().verify(black_box(&msg), black_box(&sig)))
     });
+}
+
+/// The tentpole's group-op ablation: windowed fixed-base tables versus
+/// the generic square-and-multiply ladder, from the same generator.
+fn bench_group_exp(c: &mut Criterion) {
+    use qos_crypto::group;
+    let mut g = c.benchmark_group("group/g-pow");
+    let exps: Vec<u64> = (1..=64u64)
+        .map(|i| {
+            i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_mul(i)
+                .wrapping_rem(group::Q)
+                .max(1)
+        })
+        .collect();
+    g.bench_with_input(BenchmarkId::new("fixed-base", 64), &exps, |b, exps| {
+        b.iter(|| {
+            exps.iter()
+                .fold(0u64, |acc, &e| acc ^ group::g_pow(black_box(e)))
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("generic", 64), &exps, |b, exps| {
+        b.iter(|| {
+            exps.iter()
+                .fold(0u64, |acc, &e| acc ^ group::g_pow_generic(black_box(e)))
+        })
+    });
+    g.finish();
+}
+
+/// Batch (random-linear-combination) verification versus one-at-a-time,
+/// at the batch sizes the destination broker actually sees.
+fn bench_verify_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schnorr/verify-n");
+    for n in [2usize, 4, 8, 16] {
+        let keys: Vec<KeyPair> = (0..n)
+            .map(|i| KeyPair::from_seed(format!("batch-{i}").as_bytes()))
+            .collect();
+        let msgs: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 200]).collect();
+        let sigs: Vec<_> = keys.iter().zip(&msgs).map(|(k, m)| k.sign(m)).collect();
+        let items: Vec<(&[u8], qos_crypto::PublicKey, qos_crypto::Signature)> = keys
+            .iter()
+            .zip(&msgs)
+            .zip(&sigs)
+            .map(|((k, m), s)| (m.as_slice(), k.public(), *s))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("batch", n), &items, |b, items| {
+            b.iter(|| qos_crypto::verify_batch(black_box(items)))
+        });
+        g.bench_with_input(BenchmarkId::new("serial", n), &items, |b, items| {
+            b.iter(|| black_box(items).iter().all(|(m, pk, s)| pk.verify(m, s)))
+        });
+    }
+    g.finish();
 }
 
 fn bench_certificates(c: &mut Criterion) {
@@ -106,6 +158,8 @@ criterion_group!(
     benches,
     bench_sha256,
     bench_schnorr,
+    bench_group_exp,
+    bench_verify_batch,
     bench_certificates,
     bench_delegation
 );

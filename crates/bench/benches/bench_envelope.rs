@@ -62,12 +62,8 @@ fn build(w: &World, hops: usize) -> SignedRar {
         10_000_000,
         Interval::starting_at(Timestamp(0), 3600),
     );
-    let mut rar = SignedRar::user_request(
-        spec,
-        DistinguishedName::broker("domain-0"),
-        vec![],
-        &w.user,
-    );
+    let mut rar =
+        SignedRar::user_request(spec, DistinguishedName::broker("domain-0"), vec![], &w.user);
     let mut upstream = w.user_cert.clone();
     for i in 0..hops {
         rar = SignedRar::wrap(
@@ -102,9 +98,49 @@ fn bench_wrap(c: &mut Criterion) {
     });
 }
 
+/// The chain of envelopes, outermost first.
+fn layers(rar: &SignedRar) -> Vec<&SignedRar> {
+    let mut v = vec![rar];
+    let mut cur = rar;
+    while let qos_core::RarLayer::Broker { inner, .. } = &cur.layer {
+        cur = inner;
+        v.push(cur);
+    }
+    v
+}
+
+/// The tentpole ablation: reading every layer's canonical bytes from
+/// the encode-once cache versus re-serialising each nested layer the
+/// way the pre-cache verifier did (O(d²) bytes touched at depth d).
+fn bench_encode_once(c: &mut Criterion) {
+    let mut g = c.benchmark_group("envelope/layer-bytes");
+    for depth in 1..=10usize {
+        let w = world(depth);
+        let rar = build(&w, depth);
+        let chain = layers(&rar);
+        g.bench_with_input(BenchmarkId::new("cached", depth), &chain, |b, chain| {
+            b.iter(|| {
+                chain
+                    .iter()
+                    .map(|l| black_box(l.layer_bytes()).len())
+                    .sum::<usize>()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("re-encode", depth), &chain, |b, chain| {
+            b.iter(|| {
+                chain
+                    .iter()
+                    .map(|l| qos_wire::to_bytes(black_box(&l.layer)).len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_verify_depth(c: &mut Criterion) {
     let mut g = c.benchmark_group("envelope/verify-depth");
-    for hops in [1usize, 3, 6, 10] {
+    for hops in [1usize, 3, 6, 8, 10] {
         let w = world(hops);
         let rar = build(&w, hops);
         let peer_pk = w.keys[hops - 1].public();
@@ -149,7 +185,9 @@ fn bench_key_sources(c: &mut Criterion) {
     let rar = build(&w, hops);
     let peer_pk = w.keys[hops - 1].public();
     let self_dn = DistinguishedName::broker(&format!("domain-{hops}"));
-    let policy = TrustPolicy { max_chain_depth: 64 };
+    let policy = TrustPolicy {
+        max_chain_depth: 64,
+    };
 
     c.bench_function("envelope/keysource-introducers-5hop", |b| {
         b.iter(|| {
@@ -185,5 +223,12 @@ fn bench_key_sources(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_wrap, bench_verify_depth, bench_codec, bench_key_sources);
+criterion_group!(
+    benches,
+    bench_wrap,
+    bench_encode_once,
+    bench_verify_depth,
+    bench_codec,
+    bench_key_sources
+);
 criterion_main!(benches);

@@ -41,9 +41,8 @@ fn bench_eval_figures(c: &mut Criterion) {
         ("fig6b", samples::FIG6_DOMAIN_B),
         ("fig6c", samples::FIG6_DOMAIN_C),
     ] {
-        let pdp =
-            PolicyServer::from_source(src, GroupServer::new("g", KeyPair::from_seed(b"g")))
-                .unwrap();
+        let pdp = PolicyServer::from_source(src, GroupServer::new("g", KeyPair::from_seed(b"g")))
+            .unwrap();
         let req = figure6_request();
         let v = vars();
         c.bench_function(&format!("policy/eval-{name}"), |b| {

@@ -81,7 +81,14 @@ fn bench_tunnel_flows(c: &mut Criterion) {
         let mut flow = 0u64;
         b.iter(|| {
             flow += 1;
-            mesh.tunnel_flow_in(SimDuration::ZERO, "domain-a", tunnel, flow, 1000, dn.clone());
+            mesh.tunnel_flow_in(
+                SimDuration::ZERO,
+                "domain-a",
+                tunnel,
+                flow,
+                1000,
+                dn.clone(),
+            );
             mesh.run_until_idle()
         });
     });

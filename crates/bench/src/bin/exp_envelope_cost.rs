@@ -4,13 +4,19 @@
 //!
 //! Expected shape: size grows linearly in depth (certificates dominate);
 //! build adds one signature per hop; destination verification is linear
-//! in depth (one signature per layer plus the capability chain).
+//! in depth (one batched signature check per layer from cached canonical
+//! bytes — the encode-once + batch-verify design, DESIGN.md D6). The
+//! `µs/layer` column is the O(d) witness: it stays flat as depth grows,
+//! where the pre-D6 re-encoding verifier grew linearly (O(d²) total).
+//!
+//! Besides the human-readable table, the run emits `BENCH_envelope.json`
+//! so future changes can track the perf trajectory mechanically.
 
 use qos_bench::{table_header, table_row};
+use qos_broker::Interval;
 use qos_core::envelope::SignedRar;
 use qos_core::trust::{verify_rar, KeySource};
 use qos_core::{RarId, ResSpec};
-use qos_broker::Interval;
 use qos_crypto::{
     CertificateAuthority, DistinguishedName, KeyPair, Timestamp, TrustPolicy, Validity,
 };
@@ -23,18 +29,20 @@ fn domain(i: usize) -> String {
 
 fn main() {
     println!("EXP-S: nested envelope cost vs path depth\n");
-    let widths = [8, 12, 14, 14, 16];
+    let widths = [8, 12, 14, 14, 14, 16];
     table_header(
         &[
             "hops",
             "bytes",
             "build(µs)",
             "verify(µs)",
+            "µs/layer",
             "verify sigs",
         ],
         &widths,
     );
 
+    let mut json_rows: Vec<String> = Vec::new();
     for hops in [1usize, 2, 3, 5, 8, 10] {
         let mut ca = CertificateAuthority::new(
             DistinguishedName::authority("CA"),
@@ -69,32 +77,39 @@ fn main() {
             Interval::starting_at(Timestamp(0), 3600),
         );
 
-        // Build: user layer + `hops` wraps.
+        // Build: user layer + `hops` wraps, averaged over several
+        // constructions to stabilise the timing.
+        let build_reps = 10;
+        let mut rar = None;
         let t0 = Instant::now();
-        let mut rar = SignedRar::user_request(
-            spec,
-            DistinguishedName::broker(&domain(0)),
-            vec![],
-            &user,
-        );
-        let mut upstream = user_cert;
-        for i in 0..hops {
-            rar = SignedRar::wrap(
-                rar,
-                upstream,
-                Some(DistinguishedName::broker(&domain(i + 1))),
+        for _ in 0..build_reps {
+            let mut r = SignedRar::user_request(
+                spec.clone(),
+                DistinguishedName::broker(&domain(0)),
                 vec![],
-                AttributeSet::new(),
-                DistinguishedName::broker(&domain(i)),
-                &keys[i],
+                &user,
             );
-            upstream = certs[i].clone();
+            let mut upstream = user_cert.clone();
+            for i in 0..hops {
+                r = SignedRar::wrap(
+                    r,
+                    upstream,
+                    Some(DistinguishedName::broker(&domain(i + 1))),
+                    vec![],
+                    AttributeSet::new(),
+                    DistinguishedName::broker(&domain(i)),
+                    &keys[i],
+                );
+                upstream = certs[i].clone();
+            }
+            rar = Some(r);
         }
-        let build_us = t0.elapsed().as_secs_f64() * 1e6;
+        let build_us = t0.elapsed().as_secs_f64() * 1e6 / build_reps as f64;
+        let rar = rar.unwrap();
         let bytes = rar.encoded_len();
 
         // Destination verification (full transitive-trust walk).
-        let reps = 20;
+        let reps = 200;
         let t0 = Instant::now();
         for _ in 0..reps {
             verify_rar(
@@ -110,6 +125,8 @@ fn main() {
             .unwrap();
         }
         let verify_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        let layers = hops + 1;
+        let us_per_layer = verify_us / layers as f64;
 
         table_row(
             &[
@@ -117,15 +134,38 @@ fn main() {
                 bytes.to_string(),
                 format!("{build_us:.0}"),
                 format!("{verify_us:.0}"),
-                (hops + 1).to_string(),
+                format!("{us_per_layer:.1}"),
+                layers.to_string(),
             ],
             &widths,
         );
+        json_rows.push(format!(
+            "  {{\"hops\": {hops}, \"bytes\": {bytes}, \"build_us\": {build_us:.2}, \
+             \"verify_us\": {verify_us:.2}, \"us_per_layer\": {us_per_layer:.2}, \
+             \"verify_sigs\": {layers}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n\"experiment\": \"exp_envelope_cost\",\n\"unit\": \"microseconds\",\n\
+         \"notes\": \"encode-once + batch verify (D6); us_per_layer flat => O(d) verify\",\n\
+         \"rows\": [\n{}\n]\n}}\n",
+        json_rows.join(",\n")
+    );
+    if let Err(e) = std::fs::write("BENCH_envelope.json", &json) {
+        eprintln!("warning: could not write BENCH_envelope.json: {e}");
+    } else {
+        println!("\nwrote BENCH_envelope.json");
     }
     println!(
         "\nexpected: bytes and verify time grow linearly with the hop\n\
          count — the price of carrying the complete, individually signed\n\
-         history (and what buys path tracing + introducer-based trust).\n\
+         history (and what buys path tracing + introducer-based trust) —\n\
+         so µs/layer levels off at one batched signature check over\n\
+         cached canonical bytes — verification never re-encodes the\n\
+         nest (zero encoded bytes produced, vs O(d²) before the D6\n\
+         encode-once cache; the small residual per-layer growth is\n\
+         hashing the linearly larger outer layers, inherent to signing\n\
+         the complete received message at every hop).\n\
          Absolute numbers use the 63-bit simulation-strength group; a\n\
          production 2048-bit RSA deployment would scale each signature\n\
          op by ~10³ while preserving the linear shape."

@@ -52,11 +52,7 @@ fn per_flow_mode(k: usize) -> (u64, f64, usize) {
         })
         .count();
     let transit_msgs: u64 = transit.iter().map(|d| mesh.node(d).counters().rx).sum();
-    (
-        transit_msgs,
-        mesh.now().as_secs_f64() * 1e3,
-        granted,
-    )
+    (transit_msgs, mesh.now().as_secs_f64() * 1e3, granted)
 }
 
 /// (transit messages, total virtual ms, flows granted)
@@ -99,9 +95,7 @@ fn tunnel_mode(k: usize) -> (u64, f64, usize) {
 }
 
 fn main() {
-    println!(
-        "EXP-T: per-flow reservations vs tunnel, {DOMAINS}-domain path, 5 ms hops\n"
-    );
+    println!("EXP-T: per-flow reservations vs tunnel, {DOMAINS}-domain path, 5 ms hops\n");
     let widths = [8, 10, 18, 14, 18, 14];
     table_header(
         &[

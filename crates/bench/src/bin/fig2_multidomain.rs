@@ -45,8 +45,7 @@ fn run(deny_at: Option<usize>) -> (bool, Vec<(String, bool, u64)>) {
         .iter()
         .map(|d| {
             let contacted = mesh.messages_to(d, "Request") > 0 || d == "domain-a";
-            let reserved =
-                1_000_000_000 - mesh.node(d).core().available_bw_at(Timestamp(10));
+            let reserved = 1_000_000_000 - mesh.node(d).core().available_bw_at(Timestamp(10));
             (d.clone(), contacted, reserved)
         })
         .collect();
@@ -56,10 +55,7 @@ fn run(deny_at: Option<usize>) -> (bool, Vec<(String, bool, u64)>) {
 fn main() {
     println!("FIG2: the multi-domain reservation problem (Figure 2)\n");
     let widths = [22, 10, 10, 14];
-    table_header(
-        &["case", "domain", "contacted", "reserved(bps)"],
-        &widths,
-    );
+    table_header(&["case", "domain", "contacted", "reserved(bps)"], &widths);
     for (label, deny_at) in [
         ("all domains accept", None),
         ("domain-b denies", Some(1)),

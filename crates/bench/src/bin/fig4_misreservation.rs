@@ -35,8 +35,7 @@ fn poisson(id: u64, src: NodeId, dst: NodeId, rate: u64) -> FlowSpec {
 
 /// Returns (alice_loss, david_loss, alice_goodput_bps).
 fn run(david_rate: u64, attack: bool) -> (f64, f64, f64) {
-    let (mut scenario, network, names) =
-        build_paper_world(200 * MBPS, SimDuration::from_millis(5));
+    let (mut scenario, network, names) = build_paper_world(200 * MBPS, SimDuration::from_millis(5));
     let david_pk = scenario.users["david"].key.public();
     let david_dn = scenario.users["david"].dn.clone();
     for node in &mut scenario.nodes {
@@ -83,11 +82,7 @@ fn run(david_rate: u64, attack: bool) -> (f64, f64, f64) {
     let net = mesh.network().unwrap();
     let alice = net.flow_stats(FlowId(1));
     let david = net.flow_stats(FlowId(2));
-    (
-        alice.loss_ratio(),
-        david.loss_ratio(),
-        alice.goodput_bps(),
-    )
+    (alice.loss_ratio(), david.loss_ratio(), alice.goodput_bps())
 }
 
 fn main() {

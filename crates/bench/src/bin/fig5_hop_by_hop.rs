@@ -9,11 +9,11 @@
 //! only to its neighbours; network+CPU granted atomically (and rolled
 //! back atomically when either is impossible).
 
+use gara::{Gara, GaraStatus, ResourceKind};
 use qos_bench::{mesh_from, table_header, table_row};
 use qos_core::scenario::{build_chain, ChainOptions};
 use qos_crypto::Timestamp;
 use qos_policy::samples;
-use gara::{Gara, GaraStatus, ResourceKind};
 use std::collections::HashMap;
 
 const MBPS: u64 = 1_000_000;

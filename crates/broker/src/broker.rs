@@ -164,12 +164,12 @@ impl BrokerCore {
                 .ingress
                 .get_mut(peer)
                 .ok_or_else(|| BrokerError::NoSla { peer: peer.clone() })?;
-            table.hold(id, interval, rate_bps).map_err(|source| {
-                BrokerError::Sla {
+            table
+                .hold(id, interval, rate_bps)
+                .map_err(|source| BrokerError::Sla {
                     peer: peer.clone(),
                     source,
-                }
-            })?;
+                })?;
         }
         // Local capacity check.
         if let Err(e) = self.local.hold(id, interval, rate_bps) {

@@ -167,10 +167,12 @@ impl ReservationTable {
     pub fn peak_usage(&self, interval: &Interval) -> u64 {
         let mut points: Vec<Timestamp> = vec![interval.start];
         for e in self.entries.values() {
-            if e.state != ResState::Released && e.interval.overlaps(interval)
-                && e.interval.start > interval.start {
-                    points.push(e.interval.start);
-                }
+            if e.state != ResState::Released
+                && e.interval.overlaps(interval)
+                && e.interval.start > interval.start
+            {
+                points.push(e.interval.start);
+            }
         }
         points
             .into_iter()
@@ -290,7 +292,9 @@ impl ReservationTable {
     }
 
     /// Iterate non-released reservations.
-    pub fn iter_active(&self) -> impl Iterator<Item = (ReservationId, Interval, u64, ResState)> + '_ {
+    pub fn iter_active(
+        &self,
+    ) -> impl Iterator<Item = (ReservationId, Interval, u64, ResState)> + '_ {
         self.entries
             .iter()
             .filter(|(_, e)| e.state != ResState::Released)

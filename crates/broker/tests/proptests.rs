@@ -2,7 +2,7 @@
 //! invariant under arbitrary hold/commit/release interleavings.
 
 use proptest::prelude::*;
-use qos_broker::{Interval, ReservationId, ReservationTable, ResState};
+use qos_broker::{Interval, ResState, ReservationId, ReservationTable};
 use qos_crypto::Timestamp;
 
 #[derive(Debug, Clone)]

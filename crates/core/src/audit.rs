@@ -79,23 +79,47 @@ pub enum AuditEvent {
 impl fmt::Display for AuditEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AuditEvent::RequestReceived { rar_id, from, depth } => {
+            AuditEvent::RequestReceived {
+                rar_id,
+                from,
+                depth,
+            } => {
                 write!(f, "request {rar_id:?} received from {from} (depth {depth})")
             }
             AuditEvent::PolicyDecision { rar_id, decision } => {
                 write!(f, "policy on {rar_id:?}: {decision}")
             }
-            AuditEvent::Admission { rar_id, ok, rate_bps } => {
-                write!(f, "admission of {rar_id:?} @{rate_bps}bps: {}", if *ok { "held" } else { "refused" })
+            AuditEvent::Admission {
+                rar_id,
+                ok,
+                rate_bps,
+            } => {
+                write!(
+                    f,
+                    "admission of {rar_id:?} @{rate_bps}bps: {}",
+                    if *ok { "held" } else { "refused" }
+                )
             }
             AuditEvent::Forwarded { rar_id, to } => write!(f, "{rar_id:?} forwarded to {to}"),
             AuditEvent::Approved { rar_id } => write!(f, "{rar_id:?} approved"),
-            AuditEvent::Denied { rar_id, domain, reason } => {
+            AuditEvent::Denied {
+                rar_id,
+                domain,
+                reason,
+            } => {
                 write!(f, "{rar_id:?} denied by {domain}: {reason}")
             }
             AuditEvent::Released { rar_id } => write!(f, "{rar_id:?} released"),
-            AuditEvent::TunnelFlow { tunnel, flow, accepted } => {
-                write!(f, "tunnel {tunnel:?} flow {flow}: {}", if *accepted { "accepted" } else { "refused" })
+            AuditEvent::TunnelFlow {
+                tunnel,
+                flow,
+                accepted,
+            } => {
+                write!(
+                    f,
+                    "tunnel {tunnel:?} flow {flow}: {}",
+                    if *accepted { "accepted" } else { "refused" }
+                )
             }
         }
     }

@@ -126,7 +126,8 @@ pub fn handshake(
 }
 
 fn validate_peer(cert: &Certificate, pins: &PeerPin, now: Timestamp) -> Result<(), CoreError> {
-    cert.verify_signature(pins.ca_key).map_err(CoreError::from)?;
+    cert.verify_signature(pins.ca_key)
+        .map_err(CoreError::from)?;
     cert.check_validity(now).map_err(CoreError::from)?;
     if cert.tbs.subject != pins.dn {
         return Err(CoreError::Channel(format!(

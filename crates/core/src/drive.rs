@@ -136,10 +136,8 @@ impl Mesh {
     /// Set the one-way signalling latency between two domains (both
     /// directions).
     pub fn set_latency(&mut self, a: &str, b: &str, latency: SimDuration) {
-        self.latency
-            .insert((a.to_string(), b.to_string()), latency);
-        self.latency
-            .insert((b.to_string(), a.to_string()), latency);
+        self.latency.insert((a.to_string(), b.to_string()), latency);
+        self.latency.insert((b.to_string(), a.to_string()), latency);
     }
 
     /// One-way latency between two domains: the configured pair, or the

@@ -23,6 +23,8 @@
 use crate::rar::ResSpec;
 use qos_crypto::{Certificate, DistinguishedName, KeyPair, PublicKey, Signature};
 use qos_policy::AttributeSet;
+use qos_wire::{Decode, Encode, Reader, SharedBytes, WireError, Writer};
+use std::sync::OnceLock;
 
 /// One layer of the envelope.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,7 +65,19 @@ qos_wire::impl_wire_enum!(RarLayer {
 });
 
 /// A signed layer.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The canonical bytes of `layer` — the exact input of `signature` — are
+/// cached the first time they are needed (**encode-once**): signing and
+/// wrapping store the buffer they just produced, and decoding from a
+/// shared buffer ([`qos_wire::from_bytes_shared`]) retains a zero-copy
+/// sub-slice of the received message per layer. Verification and
+/// re-encoding therefore never re-walk the nested structure, which turns
+/// full-chain verification from `O(d²)` to `O(d)` in encoding work.
+///
+/// The cache is keyed by construction: `layer` must not be mutated after
+/// the `SignedRar` is built (no code in this workspace does — and doing
+/// so would invalidate `signature` anyway).
+#[derive(Debug, Clone)]
 pub struct SignedRar {
     /// Payload.
     pub layer: RarLayer,
@@ -71,13 +85,51 @@ pub struct SignedRar {
     pub signer: DistinguishedName,
     /// Signature over the canonical bytes of `layer`.
     pub signature: Signature,
+    /// Lazily-filled canonical encoding of `layer`.
+    canonical: OnceLock<SharedBytes>,
 }
 
-qos_wire::impl_wire_struct!(SignedRar {
-    layer,
-    signer,
-    signature
-});
+impl PartialEq for SignedRar {
+    fn eq(&self, other: &Self) -> bool {
+        // The cache is derived state: a decoded envelope with a
+        // prefilled cache equals a freshly built one without.
+        self.layer == other.layer
+            && self.signer == other.signer
+            && self.signature == other.signature
+    }
+}
+
+impl Encode for SignedRar {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw(self.layer_bytes());
+        self.signer.encode(w);
+        self.signature.encode(w);
+    }
+}
+
+impl Decode for SignedRar {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let start = r.position();
+        let layer = RarLayer::decode(r)?;
+        let canonical = OnceLock::new();
+        if let Some(span) = r.shared_span(start, r.position()) {
+            let _ = canonical.set(span);
+        }
+        Ok(SignedRar {
+            layer,
+            signer: DistinguishedName::decode(r)?,
+            signature: Signature::decode(r)?,
+            canonical,
+        })
+    }
+}
+
+/// A cache cell already holding `bytes`.
+fn prefilled(bytes: Vec<u8>) -> OnceLock<SharedBytes> {
+    let cell = OnceLock::new();
+    let _ = cell.set(SharedBytes::from_vec(bytes));
+    cell
+}
 
 impl SignedRar {
     /// Build and sign the user's innermost request (`RAR_U`).
@@ -92,11 +144,13 @@ impl SignedRar {
             source_bb,
             capability_certs,
         };
-        let signature = user_key.sign(&qos_wire::to_bytes(&layer));
+        let layer_bytes = qos_wire::to_bytes(&layer);
+        let signature = user_key.sign(&layer_bytes);
         Self {
             layer,
             signer: res_spec.requestor,
             signature,
+            canonical: prefilled(layer_bytes),
         }
     }
 
@@ -118,17 +172,34 @@ impl SignedRar {
             capability_certs,
             policy_attachments,
         };
-        let signature = key.sign(&qos_wire::to_bytes(&layer));
+        // Encoding the new layer appends the inner envelope's *cached*
+        // canonical bytes (one memcpy) rather than re-walking the nest.
+        let layer_bytes = qos_wire::to_bytes(&layer);
+        let signature = key.sign(&layer_bytes);
         Self {
             layer,
             signer,
             signature,
+            canonical: prefilled(layer_bytes),
         }
+    }
+
+    /// The canonical bytes of `layer` — the exact signature input —
+    /// computed at most once per envelope lifetime.
+    ///
+    /// Envelopes built by [`SignedRar::user_request`] / [`SignedRar::wrap`]
+    /// or decoded via [`qos_wire::from_bytes_shared`] never encode here;
+    /// only envelopes decoded through a plain reader pay one encoding on
+    /// first use.
+    pub fn layer_bytes(&self) -> &[u8] {
+        self.canonical
+            .get_or_init(|| SharedBytes::from_vec(qos_wire::to_bytes(&self.layer)))
+            .as_slice()
     }
 
     /// Verify this layer's signature under `pk`.
     pub fn verify_signature(&self, pk: PublicKey) -> bool {
-        pk.verify(&qos_wire::to_bytes(&self.layer), &self.signature)
+        pk.verify(self.layer_bytes(), &self.signature)
     }
 
     /// The signature value (for tests).
@@ -155,29 +226,38 @@ impl SignedRar {
     /// Signer DNs innermost-first: `[user, BB_A, BB_B, …]` — the signal
     /// path trace.
     pub fn signer_path(&self) -> Vec<DistinguishedName> {
-        let mut path = match &self.layer {
-            RarLayer::User { .. } => Vec::new(),
-            RarLayer::Broker { inner, .. } => inner.signer_path(),
-        };
-        path.push(self.signer.clone());
+        let mut path = Vec::with_capacity(self.depth());
+        self.collect_signer_path(&mut path);
         path
+    }
+
+    fn collect_signer_path(&self, out: &mut Vec<DistinguishedName>) {
+        if let RarLayer::Broker { inner, .. } = &self.layer {
+            inner.collect_signer_path(out);
+        }
+        out.push(self.signer.clone());
     }
 
     /// All capability certificates, innermost (CAS grant) first — the
     /// growing capability list of Figure 7.
     pub fn capability_certs(&self) -> Vec<Certificate> {
+        let mut all = Vec::new();
+        self.collect_capability_certs(&mut all);
+        all
+    }
+
+    fn collect_capability_certs(&self, out: &mut Vec<Certificate>) {
         match &self.layer {
             RarLayer::User {
                 capability_certs, ..
-            } => capability_certs.clone(),
+            } => out.extend(capability_certs.iter().cloned()),
             RarLayer::Broker {
                 inner,
                 capability_certs,
                 ..
             } => {
-                let mut all = inner.capability_certs();
-                all.extend(capability_certs.iter().cloned());
-                all
+                inner.collect_capability_certs(out);
+                out.extend(capability_certs.iter().cloned());
             }
         }
     }
@@ -353,6 +433,29 @@ mod tests {
         let back: SignedRar = qos_wire::from_bytes(&bytes).unwrap();
         assert_eq!(back, rar);
         assert!(back.verify_signature(f.bb_b.public()));
+    }
+
+    #[test]
+    fn cached_layer_bytes_match_fresh_encoding() {
+        let mut f = fix();
+        let rar = build_nested(&mut f);
+        // Built chain: caches were prefilled at sign time.
+        assert_eq!(rar.layer_bytes(), &qos_wire::to_bytes(&rar.layer)[..]);
+
+        // Shared-buffer decode: every nested layer must hold a view that
+        // is byte-identical to a fresh encoding of that layer.
+        let buf: std::sync::Arc<[u8]> = qos_wire::to_bytes(&rar).into();
+        let back: SignedRar = qos_wire::from_bytes_shared(&buf).unwrap();
+        let mut cur = &back;
+        loop {
+            assert_eq!(cur.layer_bytes(), &qos_wire::to_bytes(&cur.layer)[..]);
+            match &cur.layer {
+                RarLayer::Broker { inner, .. } => cur = inner,
+                RarLayer::User { .. } => break,
+            }
+        }
+        // Re-encoding the decoded envelope reproduces the wire bytes.
+        assert_eq!(qos_wire::to_bytes(&back), &buf[..]);
     }
 
     #[test]

@@ -58,10 +58,16 @@ impl fmt::Display for CoreError {
                 write!(f, "envelope layer signed by {signer} failed verification")
             }
             CoreError::PathMismatch { expected, found } => {
-                write!(f, "path mismatch: layer addressed {expected}, wrapped by {found}")
+                write!(
+                    f,
+                    "path mismatch: layer addressed {expected}, wrapped by {found}"
+                )
             }
             CoreError::ChainTooDeep { depth, limit } => {
-                write!(f, "envelope depth {depth} exceeds trust-policy limit {limit}")
+                write!(
+                    f,
+                    "envelope depth {depth} exceeds trust-policy limit {limit}"
+                )
             }
             CoreError::Crypto(e) => write!(f, "{e}"),
             CoreError::UnknownPeer { peer } => write!(f, "no SLA/peering with {peer}"),

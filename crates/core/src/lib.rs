@@ -30,6 +30,7 @@ pub mod envelope;
 pub mod error;
 pub mod messages;
 pub mod node;
+pub mod parallel;
 pub mod rar;
 pub mod runtime;
 pub mod scenario;

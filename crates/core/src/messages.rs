@@ -161,8 +161,8 @@ impl Approval {
             if entry.prev_digest != expected_digest {
                 return Err(format!("broken digest chain at {}", entry.domain));
             }
-            let pk = resolve(&entry.signer)
-                .ok_or_else(|| format!("no key for {}", entry.signer))?;
+            let pk =
+                resolve(&entry.signer).ok_or_else(|| format!("no key for {}", entry.signer))?;
             if !entry.verify(pk) {
                 return Err(format!("bad signature by {}", entry.signer));
             }
@@ -390,7 +390,10 @@ impl Release {
 
     /// Verify under the source BB's public key.
     pub fn verify(&self, pk: PublicKey) -> bool {
-        pk.verify(&Self::payload(self.rar_id, &self.source_domain), &self.signature)
+        pk.verify(
+            &Self::payload(self.rar_id, &self.source_domain),
+            &self.signature,
+        )
     }
 }
 

@@ -23,9 +23,7 @@ use crate::messages::{
 };
 use crate::rar::RarId;
 use crate::trust::{verify_rar, KeySource, VerifiedRar};
-use qos_broker::{
-    BrokerCore, EdgeCommand, Interval, PathSegment, ReservationId, Sla,
-};
+use qos_broker::{BrokerCore, EdgeCommand, Interval, PathSegment, ReservationId, Sla};
 use qos_crypto::{
     Certificate, DelegationChain, DistinguishedName, KeyPair, PublicKey, Restriction, Timestamp,
     TrustPolicy, Validity,
@@ -33,9 +31,7 @@ use qos_crypto::{
 use qos_net::conditioner::{ExcessTreatment, TrafficProfile};
 use qos_net::{FlowId, LinkId, NodeId};
 use qos_policy::request::VerifiedCapability;
-use qos_policy::{
-    Assertion, AttributeSet, GroupServer, PolicyServer, ReservationOracle, Value,
-};
+use qos_policy::{Assertion, AttributeSet, GroupServer, PolicyServer, ReservationOracle, Value};
 use std::collections::{HashMap, HashSet};
 
 /// Binding from this domain's broker to its data plane.
@@ -238,6 +234,9 @@ impl BbNode {
             .org_unit()
             .expect("broker certs carry the domain in OU")
             .to_string();
+        // An SLA peer's key verifies every envelope it forwards for the
+        // SLA's lifetime — worth a pinned fixed-base table up front.
+        peer_cert.tbs.subject_public_key.precompute();
         self.peers.insert(peer_domain, peer_cert);
         if let Some(sla) = sla_in {
             self.core.add_ingress_sla(sla);
@@ -273,6 +272,8 @@ impl BbNode {
     /// Grant Approach-1 direct trust to a user (the per-domain trust
     /// table whose growth FIG3 measures).
     pub fn add_direct_user(&mut self, dn: DistinguishedName, pk: PublicKey) {
+        // Approach-1 users sign every per-domain request with this key.
+        pk.precompute();
         self.direct_users.insert(dn, pk);
     }
 
@@ -322,10 +323,7 @@ impl BbNode {
     /// Source-side tunnel metadata: destination domain, destination BB
     /// key (learned via the introducer chain), validity interval, and
     /// (aggregate, allocated) rates.
-    pub fn tunnel_info(
-        &self,
-        tunnel: RarId,
-    ) -> Option<(String, PublicKey, Interval, u64, u64)> {
+    pub fn tunnel_info(&self, tunnel: RarId) -> Option<(String, PublicKey, Interval, u64, u64)> {
         self.tunnels_src.get(&tunnel).map(|t| {
             (
                 t.dest_domain.clone(),
@@ -450,10 +448,7 @@ impl BbNode {
                     "sls_reliability_ppm",
                     Value::Int((sla.sls.reliability * 1_000_000.0) as i64),
                 );
-                attachments.set(
-                    "sls_burst_bytes",
-                    Value::Int(sla.sls.burst_bytes as i64),
-                );
+                attachments.set("sls_burst_bytes", Value::Int(sla.sls.burst_bytes as i64));
             }
         }
         let segment = PathSegment {
@@ -520,6 +515,40 @@ impl BbNode {
             SignalMessage::Release(r) => self.on_release(from, r),
             SignalMessage::TunnelFlowRelease(r) => self.on_tunnel_flow_release(r),
         };
+        self.counters.tx += out.len() as u64;
+        out
+    }
+
+    /// Handle a burst of tunnel sub-flow requests at once (the paper's
+    /// per-flow admission inside an established aggregate, §7).
+    ///
+    /// Each request is signed by its tunnel's source BB, and the
+    /// signatures are over unrelated bytes — so they are checked
+    /// concurrently on the scoped worker pool before admission runs
+    /// serially against the shared aggregate budgets. Drivers that see
+    /// several `TunnelFlow` messages queued (e.g. the actor runtime's
+    /// mailbox) should prefer this over per-message [`Self::recv`].
+    pub fn recv_tunnel_flows(
+        &mut self,
+        batch: Vec<(String, TunnelFlowRequest)>,
+    ) -> Vec<(String, SignalMessage)> {
+        self.counters.rx += batch.len() as u64;
+        // Resolve each request's pinned source-BB key first (cheap map
+        // lookups); the expensive signature checks then fan out.
+        let jobs: Vec<(Option<PublicKey>, &TunnelFlowRequest)> = batch
+            .iter()
+            .map(|(_, req)| {
+                let pk = self.tunnels_dst.get(&req.tunnel).map(|t| t.source_pk);
+                (pk, req)
+            })
+            .collect();
+        let verdicts =
+            crate::parallel::parallel_map(&jobs, |(pk, req)| pk.is_some_and(|pk| req.verify(pk)));
+        drop(jobs);
+        let mut out = Vec::with_capacity(batch.len());
+        for ((from, req), ok) in batch.into_iter().zip(verdicts) {
+            out.extend(self.admit_tunnel_flow(&from, req, ok));
+        }
         self.counters.tx += out.len() as u64;
         out
     }
@@ -601,11 +630,11 @@ impl BbNode {
         let caps = self.verify_capability_chain(&rar)?;
         let attachments = self.check_policy(&spec, &caps, &rar.merged_attachments())?;
 
-        let next = self
-            .next_peer_towards(&spec.dest_domain)?
-            .ok_or_else(|| CoreError::UnknownPeer {
-                peer: spec.dest_domain.clone(),
-            })?;
+        let next =
+            self.next_peer_towards(&spec.dest_domain)?
+                .ok_or_else(|| CoreError::UnknownPeer {
+                    peer: spec.dest_domain.clone(),
+                })?;
         let segment = PathSegment {
             ingress_peer: Some(from.to_string()),
             egress_peer: Some(next.clone()),
@@ -757,12 +786,8 @@ impl BbNode {
                 );
             }
         }
-        let approval = approval.endorse(
-            &self.domain,
-            self.dn.clone(),
-            endorsement_attrs,
-            &self.key,
-        );
+        let approval =
+            approval.endorse(&self.domain, self.dn.clone(), endorsement_attrs, &self.key);
         match upstream {
             Some(peer) => vec![(peer, SignalMessage::Approve(approval))],
             None => {
@@ -780,11 +805,7 @@ impl BbNode {
         let Some(p) = self.pending.get(&rar_id) else {
             return;
         };
-        let originator = p
-            .requestor
-            .common_name()
-            .unwrap_or("unknown")
-            .to_string();
+        let originator = p.requestor.common_name().unwrap_or("unknown").to_string();
         let rate = p.rate_bps;
         let secs = p.interval.secs();
         // The approval entries run destination-first and do not yet
@@ -901,7 +922,10 @@ impl BbNode {
     /// Tear down a standing reservation end-to-end (invoked at the
     /// source broker). The release propagates downstream; every domain
     /// frees its capacity and re-dimensions its edge.
-    pub fn initiate_release(&mut self, rar_id: RarId) -> Result<Vec<(String, SignalMessage)>, CoreError> {
+    pub fn initiate_release(
+        &mut self,
+        rar_id: RarId,
+    ) -> Result<Vec<(String, SignalMessage)>, CoreError> {
         let pending = self
             .pending
             .get(&rar_id)
@@ -1073,7 +1097,31 @@ impl BbNode {
         Ok(vec![(dest, SignalMessage::TunnelFlow(msg))])
     }
 
-    fn on_tunnel_flow(&mut self, from: &str, req: TunnelFlowRequest) -> Vec<(String, SignalMessage)> {
+    fn on_tunnel_flow(
+        &mut self,
+        from: &str,
+        req: TunnelFlowRequest,
+    ) -> Vec<(String, SignalMessage)> {
+        // Authenticate the direct channel peer: the source BB's key was
+        // learned through the introducer chain at reservation time.
+        let signature_ok = self
+            .tunnels_dst
+            .get(&req.tunnel)
+            .is_some_and(|t| req.verify(t.source_pk));
+        self.admit_tunnel_flow(from, req, signature_ok)
+    }
+
+    /// Admit (or reject) one sub-flow whose signature verdict was
+    /// already computed — serially in [`Self::on_tunnel_flow`], or on
+    /// the worker pool in [`Self::recv_tunnel_flows`]. Admission itself
+    /// stays serial: sub-flows of one tunnel race for the same
+    /// aggregate budget.
+    fn admit_tunnel_flow(
+        &mut self,
+        from: &str,
+        req: TunnelFlowRequest,
+        signature_ok: bool,
+    ) -> Vec<(String, SignalMessage)> {
         let reply = |accepted: bool, reason: String, source: String| {
             vec![(
                 source,
@@ -1093,9 +1141,7 @@ impl BbNode {
             );
         };
         let source = t.source_domain.clone();
-        // Authenticate the direct channel peer: the source BB's key was
-        // learned through the introducer chain at reservation time.
-        if !req.verify(t.source_pk) {
+        if !signature_ok {
             return reply(false, "bad source-BB signature".into(), source);
         }
         self.counters.verified += 1;
@@ -1247,9 +1293,7 @@ impl BbNode {
         // aggregate policer to the admitted sum.
         if let Some(peer) = &p.segment.ingress_peer {
             if let Some(&link) = self.edge.ingress_links.get(peer) {
-                let aggregate = self
-                    .core
-                    .admitted_ingress_aggregate(peer, p.interval.start);
+                let aggregate = self.core.admitted_ingress_aggregate(peer, p.interval.start);
                 let excess = self
                     .core
                     .ingress_sla(peer)
@@ -1312,7 +1356,11 @@ impl BbNode {
         Ok(vec![VerifiedCapability {
             issuer,
             attributes: verified.capabilities,
-            restrictions: verified.restrictions.iter().map(|r| r.to_string()).collect(),
+            restrictions: verified
+                .restrictions
+                .iter()
+                .map(|r| r.to_string())
+                .collect(),
         }])
     }
 

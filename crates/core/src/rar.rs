@@ -5,9 +5,9 @@
 //! end-to-end.
 
 use qos_broker::Interval;
+use qos_crypto::DistinguishedName;
 use qos_policy::request::Assertion;
 use qos_policy::AttributeSet;
-use qos_crypto::DistinguishedName;
 
 /// Globally unique identifier of one end-to-end reservation request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -30,10 +30,25 @@ enum ActorMsg {
         rar: Box<SignedRar>,
         user_cert: Box<Certificate>,
     },
+    /// A local sub-flow request inside an established tunnel.
+    TunnelFlow {
+        tunnel: crate::rar::RarId,
+        flow: u64,
+        rate_bps: u64,
+        requestor: Box<qos_crypto::DistinguishedName>,
+    },
     /// Advance the actor's wall clock.
     SetTime(Timestamp),
     /// Drain completions to the supervisor and stop.
     Shutdown,
+}
+
+/// Unit of work in an actor's loop: a raw mailbox message, or a frame
+/// that was opened and decoded early while coalescing a tunnel-flow
+/// batch and must still be dispatched in order.
+enum Work {
+    Raw(ActorMsg),
+    Decoded(String, Box<SignalMessage>),
 }
 
 /// A handle to a running broker actor.
@@ -100,8 +115,14 @@ impl ActorMesh {
                 Timestamp::ZERO,
             )
             .expect("handshake between configured peers");
-            channels.entry(a.clone()).or_default().insert(b.clone(), ca_end);
-            channels.entry(b.clone()).or_default().insert(a.clone(), cb_end);
+            channels
+                .entry(a.clone())
+                .or_default()
+                .insert(b.clone(), ca_end);
+            channels
+                .entry(b.clone())
+                .or_default()
+                .insert(a.clone(), cb_end);
         }
 
         // Build mailboxes first so every actor can reach every peer.
@@ -121,37 +142,98 @@ impl ActorMesh {
             let completion_tx = self.completion_tx.clone();
             let dom = domain.clone();
             let join = std::thread::spawn(move || {
-                let mut done = Vec::new();
-                while let Ok(msg) = rx.recv() {
-                    match msg {
-                        ActorMsg::SetTime(t) => node.set_time(t),
-                        ActorMsg::Submit { rar, user_cert } => {
+                // Frames already opened + decoded while coalescing a
+                // tunnel-flow batch, awaiting normal dispatch in their
+                // arrival order.
+                let mut pending: std::collections::VecDeque<Work> =
+                    std::collections::VecDeque::new();
+                loop {
+                    let work = match pending.pop_front() {
+                        Some(w) => w,
+                        None => match rx.recv() {
+                            Ok(m) => Work::Raw(m),
+                            Err(_) => break,
+                        },
+                    };
+                    let (from, msg) = match work {
+                        Work::Raw(ActorMsg::SetTime(t)) => {
+                            node.set_time(t);
+                            continue;
+                        }
+                        Work::Raw(ActorMsg::Shutdown) => break,
+                        Work::Raw(ActorMsg::Submit { rar, user_cert }) => {
                             let out = node.submit(*rar, &user_cert);
                             route_out(&dom, out, &mut my_channels, &peers_tx);
-                            for c in node.take_completions() {
-                                let _ = completion_tx.send((dom.clone(), c));
-                                done.push(());
+                            drain_completions(&mut node, &dom, &completion_tx);
+                            continue;
+                        }
+                        Work::Raw(ActorMsg::TunnelFlow {
+                            tunnel,
+                            flow,
+                            rate_bps,
+                            requestor,
+                        }) => {
+                            match node.request_tunnel_flow(tunnel, flow, rate_bps, *requestor) {
+                                Ok(out) => route_out(&dom, out, &mut my_channels, &peers_tx),
+                                // Rejected at the source (aggregate spent):
+                                // complete immediately, as the mesh driver
+                                // does.
+                                Err(e) => {
+                                    let _ = completion_tx.send((
+                                        dom.clone(),
+                                        Completion::TunnelFlow {
+                                            tunnel,
+                                            flow,
+                                            accepted: false,
+                                            reason: e.to_string(),
+                                        },
+                                    ));
+                                }
+                            }
+                            drain_completions(&mut node, &dom, &completion_tx);
+                            continue;
+                        }
+                        Work::Raw(ActorMsg::Frame { from, sealed }) => {
+                            match open_frame(&mut my_channels, &from, sealed) {
+                                Some(m) => (from, m),
+                                None => continue, // tampered / replayed frame
                             }
                         }
-                        ActorMsg::Frame { from, sealed } => {
-                            let Some(ch) = my_channels.get_mut(&from) else {
-                                continue;
-                            };
-                            let Ok(bytes) = ch.open(sealed) else {
-                                continue; // tampered / replayed frame
-                            };
-                            let Ok(msg) = qos_wire::from_bytes::<SignalMessage>(&bytes) else {
-                                continue;
-                            };
-                            let out = node.recv(&from, msg);
-                            route_out(&dom, out, &mut my_channels, &peers_tx);
-                            for c in node.take_completions() {
-                                let _ = completion_tx.send((dom.clone(), c));
-                                done.push(());
+                        Work::Decoded(from, m) => (from, *m),
+                    };
+                    let out = if let SignalMessage::TunnelFlow(t) = msg {
+                        // Coalesce: any tunnel sub-flow requests already
+                        // sitting in the mailbox join this one in a single
+                        // batch whose signatures verify on the worker
+                        // pool. Other queued messages keep their arrival
+                        // order via `pending`; a control message stops the
+                        // drain.
+                        let mut batch = vec![(from, t)];
+                        while let Ok(raw) = rx.try_recv() {
+                            match raw {
+                                ActorMsg::Frame { from: f2, sealed } => {
+                                    match open_frame(&mut my_channels, &f2, sealed) {
+                                        Some(SignalMessage::TunnelFlow(t2)) => {
+                                            batch.push((f2, t2));
+                                        }
+                                        Some(m2) => {
+                                            pending.push_back(Work::Decoded(f2, Box::new(m2)))
+                                        }
+                                        None => {}
+                                    }
+                                }
+                                other => {
+                                    pending.push_back(Work::Raw(other));
+                                    break;
+                                }
                             }
                         }
-                        ActorMsg::Shutdown => break,
-                    }
+                        node.recv_tunnel_flows(batch)
+                    } else {
+                        node.recv(&from, msg)
+                    };
+                    route_out(&dom, out, &mut my_channels, &peers_tx);
+                    drain_completions(&mut node, &dom, &completion_tx);
                 }
                 let completions = node.take_completions();
                 (node, completions)
@@ -178,6 +260,28 @@ impl ActorMesh {
         let _ = h.tx.send(ActorMsg::Submit {
             rar: Box::new(rar),
             user_cert: Box::new(user_cert),
+        });
+    }
+
+    /// Request a sub-flow inside an established tunnel at its source
+    /// broker. Bursts of these from one or many sources reach the
+    /// destination's mailbox together, where their signatures are
+    /// verified as one parallel batch
+    /// ([`crate::node::BbNode::recv_tunnel_flows`]).
+    pub fn tunnel_flow(
+        &self,
+        domain: &str,
+        tunnel: crate::rar::RarId,
+        flow: u64,
+        rate_bps: u64,
+        requestor: qos_crypto::DistinguishedName,
+    ) {
+        let h = &self.actors[domain];
+        let _ = h.tx.send(ActorMsg::TunnelFlow {
+            tunnel,
+            flow,
+            rate_bps,
+            requestor: Box::new(requestor),
         });
     }
 
@@ -220,6 +324,30 @@ impl ActorMesh {
     }
 }
 
+/// Open a sealed peer frame and decode the signalling message inside.
+///
+/// Frames are opened strictly in arrival order per peer (the channel's
+/// replay window depends on it). Shared-buffer decode: any RAR envelope
+/// in the message keeps zero-copy views of its layers' canonical bytes,
+/// so later verification never re-encodes the nest. `None` means the
+/// frame was tampered with, replayed, or from an unknown peer.
+fn open_frame(
+    channels: &mut HashMap<String, SecureChannel>,
+    from: &str,
+    sealed: crate::channel::Sealed,
+) -> Option<SignalMessage> {
+    let ch = channels.get_mut(from)?;
+    let bytes = ch.open(sealed).ok()?;
+    let shared: std::sync::Arc<[u8]> = bytes.into();
+    qos_wire::from_bytes_shared::<SignalMessage>(&shared).ok()
+}
+
+fn drain_completions(node: &mut BbNode, dom: &str, tx: &Sender<(String, Completion)>) {
+    for c in node.take_completions() {
+        let _ = tx.send((dom.to_string(), c));
+    }
+}
+
 fn route_out(
     from: &str,
     out: Vec<(String, SignalMessage)>,
@@ -238,4 +366,3 @@ fn route_out(
         });
     }
 }
-

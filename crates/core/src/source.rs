@@ -211,8 +211,9 @@ impl ReservationCoordinator {
         let mut rar = SignedRar::user_request(spec, source_bb_dn, vec![], &self.key);
         rar.signer = self.dn.clone();
         // Re-sign under the RC identity (user_request stamped the spec's
-        // requestor as signer; the RC signs as itself).
-        rar.signature = self.key.sign(&qos_wire::to_bytes(&rar.layer));
+        // requestor as signer; the RC signs as itself). The layer is
+        // untouched, so its cached canonical bytes stay valid.
+        rar.signature = self.key.sign(rar.layer_bytes());
         rar
     }
 }

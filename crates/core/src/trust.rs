@@ -97,17 +97,23 @@ pub fn verify_rar(
     }
 
     // …and signed by the peer we received it from.
+    //
+    // The walk below is purely structural: it checks path continuity,
+    // certificate validity, and key resolution while *collecting* each
+    // layer's (canonical bytes, key, signature) triple. All signatures
+    // are then checked at once with a single multi-exponentiation
+    // (`qos_crypto::verify_batch`); only if that combined check fails do
+    // we verify layer-by-layer to attribute the bad signature.
     let mut current = rar;
     let mut current_pk = resolve_key(keys, &current.signer, outer_pk, now)?;
     let mut user_cert: Option<Certificate> = None;
     let mut source_bb_cert: Option<Certificate> = None;
+    let mut batch: Vec<(&[u8], PublicKey, qos_crypto::Signature)> = Vec::with_capacity(rar.depth());
+    let mut batch_signers: Vec<&DistinguishedName> = Vec::with_capacity(rar.depth());
 
-    loop {
-        if !current.verify_signature(current_pk) {
-            return Err(CoreError::LayerSignature {
-                signer: current.signer.clone(),
-            });
-        }
+    let verified = loop {
+        batch.push((current.layer_bytes(), current_pk, current.signature));
+        batch_signers.push(&current.signer);
         match &current.layer {
             RarLayer::Broker {
                 inner,
@@ -168,17 +174,39 @@ pub fn verify_rar(
                 let user_cert = user_cert.ok_or(CoreError::LayerSignature {
                     signer: current.signer.clone(),
                 })?;
-                return Ok(VerifiedRar {
+                break VerifiedRar {
                     res_spec: res_spec.clone(),
                     signer_path: rar.signer_path(),
                     user_cert,
                     source_bb_cert,
                     capability_certs: rar.capability_certs(),
                     attachments: rar.merged_attachments(),
+                };
+            }
+        }
+    };
+
+    if !qos_crypto::verify_batch(&batch) {
+        // Attribute: find the first layer (outermost-first) whose
+        // signature fails on its own. The layers are independent, so
+        // check them concurrently on the worker pool.
+        let verdicts = crate::parallel::verify_each(&batch);
+        for (ok, &signer) in verdicts.iter().zip(&batch_signers) {
+            if !ok {
+                return Err(CoreError::LayerSignature {
+                    signer: signer.clone(),
                 });
             }
         }
+        // The combined check failed but every layer passes individually —
+        // a coefficient collision with probability ~2⁻³², or a bug.
+        // Treat it as the outermost layer failing rather than accepting.
+        return Err(CoreError::LayerSignature {
+            signer: rar.signer.clone(),
+        });
     }
+
+    Ok(verified)
 }
 
 fn resolve_key(
@@ -318,6 +346,34 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, CoreError::LayerSignature { .. }));
+    }
+
+    #[test]
+    fn batch_failure_attributes_the_tampered_layer() {
+        let mut f = fix();
+        let mut rar = build(&mut f, 2); // B wraps A wraps user
+                                        // Tamper the *middle* layer's signature (A's). The combined batch
+                                        // check must fail and the fallback must name domain-a, not the
+                                        // outermost signer.
+        let RarLayer::Broker { inner, .. } = &mut rar.layer else {
+            panic!()
+        };
+        inner.signature.s ^= 1;
+        let err = verify_rar(
+            &rar,
+            f.bb[1].public(),
+            &DistinguishedName::broker("domain-c"),
+            TrustPolicy::default(),
+            Timestamp(0),
+            &KeySource::Introducers,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::LayerSignature {
+                signer: DistinguishedName::broker("domain-a")
+            }
+        );
     }
 
     #[test]

@@ -40,12 +40,8 @@ fn build_envelope(hops: usize, rate: u64) -> (SignedRar, Vec<KeyPair>) {
         rate,
         Interval::starting_at(Timestamp(0), 3600),
     );
-    let mut rar = SignedRar::user_request(
-        spec,
-        DistinguishedName::broker("domain-0"),
-        vec![],
-        &user,
-    );
+    let mut rar =
+        SignedRar::user_request(spec, DistinguishedName::broker("domain-0"), vec![], &user);
     let mut upstream = user_cert;
     for (i, key) in keys.iter().enumerate() {
         rar = SignedRar::wrap(
@@ -113,6 +109,42 @@ proptest! {
         ).unwrap();
         prop_assert_eq!(verified.res_spec.rate_bps, rate);
         prop_assert_eq!(verified.signer_path.len(), hops + 1);
+    }
+
+    /// Encode-once cache transparency: after any mix of wraps and wire
+    /// round-trips (plain or shared-buffer decode), every layer's cached
+    /// canonical bytes stay byte-identical to a fresh encoding of that
+    /// layer, and the whole envelope re-encodes to its exact wire form.
+    #[test]
+    fn cached_layer_bytes_match_fresh_encoding(
+        hops in 1usize..5,
+        rate in 1u64..1_000_000_000,
+        path in 0u8..3,
+    ) {
+        let (built, _) = build_envelope(hops, rate);
+        let wire = qos_wire::to_bytes(&built);
+        let rar = match path {
+            0 => built, // as signed, caches prefilled at wrap time
+            1 => qos_wire::from_bytes::<SignedRar>(&wire).unwrap(),
+            _ => {
+                let shared: std::sync::Arc<[u8]> = wire.clone().into();
+                qos_wire::from_bytes_shared::<SignedRar>(&shared).unwrap()
+            }
+        };
+        let mut cur = &rar;
+        loop {
+            let fresh = qos_wire::to_bytes(&cur.layer);
+            prop_assert_eq!(
+                cur.layer_bytes(),
+                fresh.as_slice(),
+                "stale canonical-bytes cache"
+            );
+            match &cur.layer {
+                qos_core::RarLayer::Broker { inner, .. } => cur = inner,
+                qos_core::RarLayer::User { .. } => break,
+            }
+        }
+        prop_assert_eq!(qos_wire::to_bytes(&rar), wire);
     }
 
     /// Protocol conservation: however many requests race through the

@@ -26,7 +26,11 @@ fn mesh_from(scenario: &mut Scenario, hop_latency_ms: u64) -> Mesh {
     mesh
 }
 
-fn approval_of(mesh: &Mesh, domain: &str, rar: RarId) -> Result<qos_core::Approval, qos_core::Denial> {
+fn approval_of(
+    mesh: &Mesh,
+    domain: &str,
+    rar: RarId,
+) -> Result<qos_core::Approval, qos_core::Denial> {
     let (_, c) = mesh
         .reservation_outcome(domain, rar)
         .unwrap_or_else(|| panic!("no completion for {rar:?} at {domain}"));
@@ -86,7 +90,10 @@ fn hop_by_hop_reservation_grants_end_to_end() {
 fn downstream_denial_propagates_and_rolls_back() {
     // Domain C denies everything.
     let mut policies = HashMap::new();
-    policies.insert(2, r#"return deny "domain C is closed for maintenance""#.to_string());
+    policies.insert(
+        2,
+        r#"return deny "domain C is closed for maintenance""#.to_string(),
+    );
     let mut s = build_chain(ChainOptions {
         policies,
         ..ChainOptions::default()
@@ -211,12 +218,7 @@ fn business_hours_cap_denies_at_source() {
     let cert = s.users["alice"].cert.clone();
     let mut mesh = mesh_from(&mut s, 5);
     // Submit at simulated 10:00 so `Time` is inside business hours.
-    mesh.submit_in(
-        SimDuration::from_secs(10 * 3600),
-        "domain-a",
-        rar,
-        cert,
-    );
+    mesh.submit_in(SimDuration::from_secs(10 * 3600), "domain-a", rar, cert);
     mesh.run_until_idle();
     let denial = approval_of(&mesh, "domain-a", rar_id).expect_err("capped");
     assert_eq!(denial.domain, "domain-a");
@@ -280,11 +282,21 @@ fn tunnel_subflows_touch_only_end_domains() {
         .completions()
         .iter()
         .filter(|(_, _, c)| {
-            matches!(c, Completion::TunnelFlow { accepted: false, flow: 11, .. })
+            matches!(
+                c,
+                Completion::TunnelFlow {
+                    accepted: false,
+                    flow: 11,
+                    ..
+                }
+            )
         })
         .count();
     assert_eq!(rejected, 1);
-    assert_eq!(mesh.node("domain-a").tunnel_remaining_bps(tunnel_id), Some(0));
+    assert_eq!(
+        mesh.node("domain-a").tunnel_remaining_bps(tunnel_id),
+        Some(0)
+    );
 }
 
 #[test]
@@ -349,8 +361,7 @@ fn source_based_sequential_is_slowest() {
     }
     let mut mesh = mesh_from(&mut s, 5);
     let t0 = mesh.now();
-    let outcome =
-        SourceBasedRun::honest(rar, domains, AgentMode::Sequential).execute(&mut mesh);
+    let outcome = SourceBasedRun::honest(rar, domains, AgentMode::Sequential).execute(&mut mesh);
     assert!(outcome.all_accepted);
     // Sequential round trips: 2×(0 + 5 + 10 + 15) ms = 60 ms.
     assert_eq!(outcome.finished - t0, SimDuration::from_millis(60));
@@ -386,9 +397,7 @@ fn misreservation_is_possible_under_source_based_only() {
         mesh.node("domain-c").core().available_bw_at(Timestamp(10)),
         1_000_000_000
     );
-    assert!(
-        mesh.node("domain-b").core().available_bw_at(Timestamp(10)) < 1_000_000_000
-    );
+    assert!(mesh.node("domain-b").core().available_bw_at(Timestamp(10)) < 1_000_000_000);
 
     // Under hop-by-hop the same incomplete reservation is structurally
     // impossible: the user only talks to A, and forwarding is driven by
@@ -488,7 +497,12 @@ fn concurrent_requests_interleave_correctly() {
     let cert = s.users["alice"].cert.clone();
     let mut mesh = mesh_from(&mut s, 5);
     for (i, rar) in rars.into_iter().enumerate() {
-        mesh.submit_in(SimDuration::from_millis(i as u64), "domain-a", rar, cert.clone());
+        mesh.submit_in(
+            SimDuration::from_millis(i as u64),
+            "domain-a",
+            rar,
+            cert.clone(),
+        );
     }
     mesh.run_until_idle();
     let granted = ids
@@ -515,17 +529,35 @@ fn tunnel_subflow_release_returns_budget() {
 
     // Fill the tunnel with two 5 Mb/s flows.
     for flow in [1u64, 2] {
-        mesh.tunnel_flow_in(SimDuration::ZERO, "domain-a", tunnel, flow, 5 * MBPS, alice.clone());
+        mesh.tunnel_flow_in(
+            SimDuration::ZERO,
+            "domain-a",
+            tunnel,
+            flow,
+            5 * MBPS,
+            alice.clone(),
+        );
     }
     mesh.run_until_idle();
     assert_eq!(mesh.node("domain-a").tunnel_remaining_bps(tunnel), Some(0));
     // A third is refused.
-    mesh.tunnel_flow_in(SimDuration::ZERO, "domain-a", tunnel, 3, 5 * MBPS, alice.clone());
+    mesh.tunnel_flow_in(
+        SimDuration::ZERO,
+        "domain-a",
+        tunnel,
+        3,
+        5 * MBPS,
+        alice.clone(),
+    );
     mesh.run_until_idle();
-    assert!(mesh
-        .completions()
-        .iter()
-        .any(|(_, _, c)| matches!(c, Completion::TunnelFlow { flow: 3, accepted: false, .. })));
+    assert!(mesh.completions().iter().any(|(_, _, c)| matches!(
+        c,
+        Completion::TunnelFlow {
+            flow: 3,
+            accepted: false,
+            ..
+        }
+    )));
 
     // Release flow 1: budget returns on both ends; flow 3 now fits.
     let out = mesh
@@ -542,10 +574,14 @@ fn tunnel_subflow_release_returns_budget() {
     );
     mesh.tunnel_flow_in(SimDuration::ZERO, "domain-a", tunnel, 4, 5 * MBPS, alice);
     mesh.run_until_idle();
-    assert!(mesh
-        .completions()
-        .iter()
-        .any(|(_, _, c)| matches!(c, Completion::TunnelFlow { flow: 4, accepted: true, .. })));
+    assert!(mesh.completions().iter().any(|(_, _, c)| matches!(
+        c,
+        Completion::TunnelFlow {
+            flow: 4,
+            accepted: true,
+            ..
+        }
+    )));
 }
 
 #[test]
@@ -576,7 +612,9 @@ fn audit_trail_records_the_request_lifecycle() {
     assert!(events
         .iter()
         .any(|e| matches!(e, AuditEvent::Admission { ok: true, .. })));
-    assert!(events.iter().any(|e| matches!(e, AuditEvent::Approved { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, AuditEvent::Approved { .. })));
 
     // The transit node saw the request arrive from domain-a with depth 2.
     let events = mesh.node("domain-b").audit().for_rar(rar_id);

@@ -380,16 +380,8 @@ mod tests {
     fn serials_are_unique_and_increasing() {
         let mut ca = ca();
         let pk = KeyPair::from_seed(b"x").public();
-        let c1 = ca.issue_identity(
-            DistinguishedName::user("A", "O"),
-            pk,
-            Validity::unbounded(),
-        );
-        let c2 = ca.issue_identity(
-            DistinguishedName::user("B", "O"),
-            pk,
-            Validity::unbounded(),
-        );
+        let c1 = ca.issue_identity(DistinguishedName::user("A", "O"), pk, Validity::unbounded());
+        let c2 = ca.issue_identity(DistinguishedName::user("B", "O"), pk, Validity::unbounded());
         assert!(c2.tbs.serial > c1.tbs.serial);
     }
 

@@ -486,9 +486,8 @@ mod tests {
         tbs.issuer = tip.tbs.subject.clone();
         tbs.subject = DistinguishedName::broker("domain-x");
         tbs.subject_public_key = KeyPair::from_seed(b"x").public();
-        tbs.extensions.retain(
-            |e| !matches!(e, Extension::Restriction(Restriction::ValidForDomain(_))),
-        );
+        tbs.extensions
+            .retain(|e| !matches!(e, Extension::Restriction(Restriction::ValidForDomain(_))));
         let forged = Certificate::issue(tbs, &f.bb_c);
         let mut certs = chain.certs.clone();
         certs.push(forged);
@@ -587,8 +586,6 @@ mod tests {
         let bytes = qos_wire::to_bytes(&chain);
         let back: DelegationChain = qos_wire::from_bytes(&bytes).unwrap();
         assert_eq!(back, chain);
-        assert!(back
-            .verify_links(f.cas.public_key(), Timestamp(0))
-            .is_ok());
+        assert!(back.verify_links(f.cas.public_key(), Timestamp(0)).is_ok());
     }
 }

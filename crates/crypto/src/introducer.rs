@@ -349,9 +349,18 @@ mod tests {
         );
         let mut anchors = TrustAnchors::new();
         anchors.insert(DistinguishedName::broker("domain-b"), f.bb_b.public());
-        let intro = Introduction::vouch(short.clone(), DistinguishedName::broker("domain-b"), &f.bb_b);
+        let intro = Introduction::vouch(
+            short.clone(),
+            DistinguishedName::broker("domain-b"),
+            &f.bb_b,
+        );
         assert!(anchors
-            .accept_key(&short, std::slice::from_ref(&intro), TrustPolicy::default(), Timestamp(5))
+            .accept_key(
+                &short,
+                std::slice::from_ref(&intro),
+                TrustPolicy::default(),
+                Timestamp(5)
+            )
             .is_ok());
         assert!(matches!(
             anchors.accept_key(&short, &[intro], TrustPolicy::default(), Timestamp(11)),

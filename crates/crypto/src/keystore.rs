@@ -50,11 +50,7 @@ impl CertificateDirectory {
     ///
     /// The repository itself is trusted (per the paper's caveat), so no
     /// further chain validation happens here.
-    pub fn lookup(
-        &self,
-        dn: &DistinguishedName,
-        now: Timestamp,
-    ) -> Result<PublicKey, CryptoError> {
+    pub fn lookup(&self, dn: &DistinguishedName, now: Timestamp) -> Result<PublicKey, CryptoError> {
         let cert = self
             .by_dn
             .get(dn)

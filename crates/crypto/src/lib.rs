@@ -37,7 +37,8 @@ pub use cert::{
 pub use delegation::{CommunityAuthorizationServer, DelegationChain, VerifiedCapabilities};
 pub use dn::DistinguishedName;
 pub use error::CryptoError;
+pub use group::FixedBase;
 pub use introducer::{Introduction, TrustAnchors, TrustPolicy};
 pub use keystore::CertificateDirectory;
-pub use schnorr::{KeyPair, PublicKey, Signature};
+pub use schnorr::{verify_batch, KeyPair, PublicKey, Signature};
 pub use time::Timestamp;

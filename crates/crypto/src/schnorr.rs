@@ -1,33 +1,53 @@
 //! Schnorr signatures over the fixed safe-prime group.
 //!
 //! The scheme is the classic Schnorr identification protocol made
-//! non-interactive with the Fiat–Shamir transform:
+//! non-interactive with the Fiat–Shamir transform, in the
+//! **commitment form** `(r, s)`:
 //!
 //! * secret key `x ∈ [1, q)`, public key `y = g^x mod p`;
 //! * sign(m): `k = H(x ‖ m) mod q` (deterministic, RFC-6979 style),
 //!   `r = g^k`, `e = H(r ‖ y ‖ m) mod q`, `s = k + e·x mod q`;
-//! * verify(m, (e, s)): `r' = g^s · y^(q−e)`, accept iff
-//!   `H(r' ‖ y ‖ m) mod q == e`.
+//! * verify(m, (r, s)): `e = H(r ‖ y ‖ m) mod q`, accept iff
+//!   `g^s == r · y^e mod p`.
+//!
+//! The commitment form is what makes **batch verification** possible:
+//! because `r` travels in the signature (instead of being recovered from
+//! `e`), `n` verification equations can be combined with random
+//! coefficients `c_i` into the single multi-exponentiation check
+//!
+//! ```text
+//! g^(Σ c_i·s_i) == Π r_i^(c_i) · Π y_i^(c_i·e_i)   (mod p)
+//! ```
+//!
+//! — see [`verify_batch`]. Both forms are 16 bytes on the wire.
 //!
 //! Binding the public key into the challenge hash prevents cross-key
 //! signature transplantation, which matters here because the protocol of
 //! the paper moves signatures *between* administrative domains.
+//!
+//! All exponentiations from the generator use the process-wide
+//! fixed-base window table ([`group::g_table`]); exponentiations from a
+//! public key use a per-key table when one has been pinned with
+//! [`PublicKey::precompute`] (worthwhile for long-lived SLA peer keys
+//! that verify many envelopes).
 
-use crate::group::{self, P, Q};
+use crate::group::{self, FixedBase, P, Q};
 use crate::sha256::{sha256, Sha256};
 use qos_wire::{Decode, Encode, Reader, WireError, Writer};
 use rand::Rng;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// A Schnorr public key (a group element).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PublicKey(pub u64);
 
-/// A Schnorr signature `(e, s)`.
+/// A Schnorr signature in commitment form `(r, s)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Signature {
-    /// Fiat–Shamir challenge.
-    pub e: u64,
-    /// Response scalar.
+    /// Commitment `r = g^k`.
+    pub r: u64,
+    /// Response scalar `s = k + e·x mod q`.
     pub s: u64,
 }
 
@@ -90,7 +110,7 @@ impl KeyPair {
         let r = group::g_pow(k);
         let e = challenge(r, self.public, msg);
         let s = group::add_mod(k, group::mul_mod(e, self.secret, Q), Q);
-        Signature { e, s }
+        Signature { r, s }
     }
 
     /// Prove knowledge of the private key for `nonce` (a challenge-response
@@ -103,17 +123,66 @@ impl KeyPair {
     }
 }
 
+/// Cap on distinct pinned keys; past this, [`PublicKey::precompute`]
+/// becomes a no-op rather than letting the cache grow without bound.
+const KEY_TABLE_CAP: usize = 1024;
+
+fn key_tables() -> &'static RwLock<HashMap<u64, Arc<FixedBase>>> {
+    static TABLES: OnceLock<RwLock<HashMap<u64, Arc<FixedBase>>>> = OnceLock::new();
+    TABLES.get_or_init(Default::default)
+}
+
+fn pinned_table(key: u64) -> Option<Arc<FixedBase>> {
+    let map = key_tables().read().unwrap_or_else(|e| e.into_inner());
+    map.get(&key).cloned()
+}
+
 impl PublicKey {
-    /// Verify a signature over `msg`.
+    fn in_range(&self, sig: &Signature) -> bool {
+        self.0 != 0 && self.0 < P && sig.r != 0 && sig.r < P && sig.s < Q
+    }
+
+    /// `y^exp mod p`, through this key's pinned window table if present.
+    fn pow(&self, exp: u64) -> u64 {
+        match pinned_table(self.0) {
+            Some(t) => t.pow(exp),
+            None => group::pow_mod(self.0, exp, P),
+        }
+    }
+
+    /// Pin this key: build and cache a fixed-base window table so that
+    /// every later verification under it costs table lookups instead of a
+    /// full square-and-multiply ladder.
+    ///
+    /// Worth calling for long-lived keys that verify many messages — SLA
+    /// peer brokers, direct users, the CA — and wasteful for one-shot
+    /// keys (the table costs ~2 048 multiplies to build).
+    pub fn precompute(&self) {
+        if self.0 == 0 || self.0 >= P {
+            return;
+        }
+        {
+            let map = key_tables().read().unwrap_or_else(|e| e.into_inner());
+            if map.contains_key(&self.0) || map.len() >= KEY_TABLE_CAP {
+                return;
+            }
+        }
+        // Build outside any lock; racing builders produce identical tables.
+        let table = Arc::new(FixedBase::new(self.0));
+        let mut map = key_tables().write().unwrap_or_else(|e| e.into_inner());
+        if map.len() < KEY_TABLE_CAP {
+            map.entry(self.0).or_insert(table);
+        }
+    }
+
+    /// Verify a signature over `msg`: `g^s == r · y^e`.
     pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
-        if self.0 == 0 || self.0 >= P || sig.e >= Q || sig.s >= Q {
+        if !self.in_range(sig) {
             return false;
         }
-        // r' = g^s * y^(q - e); y has order q so y^(q-e) = y^(-e).
-        let gs = group::g_pow(sig.s);
-        let ye = group::pow_mod(self.0, Q - sig.e, P);
-        let r = group::mul_mod(gs, ye, P);
-        challenge(r, *self, msg) == sig.e
+        let e = challenge(sig.r, *self, msg);
+        let lhs = group::g_pow(sig.s);
+        group::mul_mod(sig.r, self.pow(e), P) == lhs
     }
 
     /// Check a possession proof produced by [`KeyPair::prove_possession`].
@@ -128,6 +197,76 @@ impl PublicKey {
         let d = sha256(&self.0.to_le_bytes());
         crate::sha256::to_hex(&d[..8])
     }
+}
+
+/// Verify `n` signatures with one multi-exponentiation.
+///
+/// Each item is `(message, key, signature)`. The equations
+/// `g^(s_i) == r_i · y_i^(e_i)` are combined with deterministic 32-bit
+/// random coefficients `c_i` (Fiat–Shamir over the whole batch, so a
+/// forger cannot choose signatures after seeing the coefficients):
+///
+/// ```text
+/// g^(Σ c_i·s_i mod q) == Π r_i^(c_i) · Π y_i^(c_i·e_i mod q)   (mod p)
+/// ```
+///
+/// The right-hand side shares a single squaring chain across all `2n`
+/// bases ([`group::multi_pow`]), so a depth-`d` envelope chain costs one
+/// multi-exponentiation instead of `d` independent verifies.
+///
+/// Returns `true` iff the combined check passes. A `false` says *some*
+/// item is bad without naming it; callers that need attribution fall
+/// back to per-item [`PublicKey::verify`] (see `qos_core::trust`). A
+/// batch accepts with overwhelming probability exactly when every item
+/// verifies individually (false acceptance of a bad batch requires
+/// guessing a 32-bit coefficient relation).
+pub fn verify_batch(items: &[(&[u8], PublicKey, Signature)]) -> bool {
+    // Small batches: the RLC machinery costs more than it saves.
+    match items {
+        [] => return true,
+        [(msg, pk, sig)] => return pk.verify(msg, sig),
+        _ => {}
+    }
+
+    for (_, pk, sig) in items {
+        if !pk.in_range(sig) {
+            return false;
+        }
+    }
+    let es: Vec<u64> = items
+        .iter()
+        .map(|&(msg, pk, sig)| challenge(sig.r, pk, msg))
+        .collect();
+
+    // Coefficient seed over the full batch transcript.
+    let mut h = Sha256::new();
+    h.update(b"qos-schnorr-batch-v1");
+    h.update(&(items.len() as u64).to_le_bytes());
+    for (&(_, pk, sig), e) in items.iter().zip(&es) {
+        h.update(&sig.r.to_le_bytes());
+        h.update(&sig.s.to_le_bytes());
+        h.update(&pk.0.to_le_bytes());
+        h.update(&e.to_le_bytes());
+    }
+    let seed = h.finalize();
+    let coeff = |i: usize| -> u64 {
+        let mut h = Sha256::new();
+        h.update(&seed);
+        h.update(&(i as u64).to_le_bytes());
+        let d = h.finalize();
+        // 32-bit, forced odd so it is never zero.
+        (u64::from_be_bytes(d[..8].try_into().unwrap()) >> 32) | 1
+    };
+
+    let mut s_sum = 0u64;
+    let mut pairs = Vec::with_capacity(items.len() * 2);
+    for (i, (&(_, pk, sig), &e)) in items.iter().zip(&es).enumerate() {
+        let c = coeff(i);
+        s_sum = group::add_mod(s_sum, group::mul_mod(c, sig.s, Q), Q);
+        pairs.push((sig.r, c));
+        pairs.push((pk.0, group::mul_mod(c, e, Q)));
+    }
+    group::g_pow(s_sum) == group::multi_pow(&pairs)
 }
 
 fn challenge(r: u64, pk: PublicKey, msg: &[u8]) -> u64 {
@@ -153,7 +292,7 @@ impl Decode for PublicKey {
 
 impl Encode for Signature {
     fn encode(&self, w: &mut Writer) {
-        w.put_u64(self.e);
+        w.put_u64(self.r);
         w.put_u64(self.s);
     }
 }
@@ -161,7 +300,7 @@ impl Encode for Signature {
 impl Decode for Signature {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(Signature {
-            e: r.get_u64()?,
+            r: r.get_u64()?,
             s: r.get_u64()?,
         })
     }
@@ -204,8 +343,84 @@ mod tests {
         sig.s ^= 1;
         assert!(!alice.public().verify(b"msg", &sig));
         let mut sig2 = alice.sign(b"msg");
-        sig2.e ^= 1;
+        sig2.r ^= 1;
         assert!(!alice.public().verify(b"msg", &sig2));
+    }
+
+    #[test]
+    fn verify_agrees_with_and_without_pinned_table() {
+        let alice = kp("alice-pinned");
+        let sig = alice.sign(b"pin me");
+        assert!(alice.public().verify(b"pin me", &sig));
+        alice.public().precompute();
+        assert!(alice.public().verify(b"pin me", &sig));
+        assert!(!alice.public().verify(b"pin you", &sig));
+    }
+
+    fn batch_items(n: usize) -> Vec<(Vec<u8>, PublicKey, Signature)> {
+        (0..n)
+            .map(|i| {
+                let k = kp(&format!("batch-{i}"));
+                let msg = format!("message number {i}").into_bytes();
+                let sig = k.sign(&msg);
+                (msg, k.public(), sig)
+            })
+            .collect()
+    }
+
+    fn as_refs(items: &[(Vec<u8>, PublicKey, Signature)]) -> Vec<(&[u8], PublicKey, Signature)> {
+        items
+            .iter()
+            .map(|(m, pk, sig)| (m.as_slice(), *pk, *sig))
+            .collect()
+    }
+
+    #[test]
+    fn batch_accepts_valid_signatures() {
+        for n in [0usize, 1, 2, 3, 8, 16] {
+            let items = batch_items(n);
+            assert!(verify_batch(&as_refs(&items)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn batch_rejects_any_tampered_item() {
+        let items = batch_items(5);
+        for i in 0..items.len() {
+            // Tampered message.
+            let mut bad = items.clone();
+            bad[i].0[0] ^= 0xFF;
+            assert!(!verify_batch(&as_refs(&bad)), "msg tamper at {i}");
+            // Tampered response scalar.
+            let mut bad = items.clone();
+            bad[i].2.s ^= 1;
+            assert!(!verify_batch(&as_refs(&bad)), "sig tamper at {i}");
+            // Wrong key.
+            let mut bad = items.clone();
+            bad[i].1 = kp("intruder").public();
+            assert!(!verify_batch(&as_refs(&bad)), "key swap at {i}");
+        }
+    }
+
+    #[test]
+    fn batch_rejects_out_of_range_items() {
+        let mut items = batch_items(3);
+        items[1].2.s = Q; // out of scalar range
+        assert!(!verify_batch(&as_refs(&items)));
+        let mut items = batch_items(3);
+        items[2].2.r = 0; // degenerate commitment
+        assert!(!verify_batch(&as_refs(&items)));
+    }
+
+    #[test]
+    fn batch_rejects_cross_item_signature_swap() {
+        // Swapping two valid signatures between items must fail even
+        // though every (r, s) pair is individually well-formed.
+        let mut items = batch_items(4);
+        let tmp = items[0].2;
+        items[0].2 = items[3].2;
+        items[3].2 = tmp;
+        assert!(!verify_batch(&as_refs(&items)));
     }
 
     #[test]

@@ -92,6 +92,33 @@ proptest! {
         prop_assert!(verified.restrictions.contains(&Restriction::ValidForRar(1)));
     }
 
+    /// Batch verification accepts exactly when every signature verifies
+    /// individually, under arbitrary per-item tampering.
+    #[test]
+    fn batch_agrees_with_individual_verdicts(
+        n in 1usize..6,
+        msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 6..7),
+        tamper in proptest::collection::vec(any::<bool>(), 6..7),
+    ) {
+        let owned: Vec<(Vec<u8>, qos_crypto::PublicKey, qos_crypto::Signature)> = (0..n)
+            .map(|i| {
+                let kp = KeyPair::from_seed(&[i as u8, 0xB, 0xA, 0x7]);
+                let msg = msgs[i].clone();
+                let mut sig = kp.sign(&msg);
+                if tamper[i] {
+                    sig.s ^= 1;
+                }
+                (msg, kp.public(), sig)
+            })
+            .collect();
+        let items: Vec<(&[u8], qos_crypto::PublicKey, qos_crypto::Signature)> = owned
+            .iter()
+            .map(|(m, pk, s)| (m.as_slice(), *pk, *s))
+            .collect();
+        let individual = items.iter().all(|(m, pk, s)| pk.verify(m, s));
+        prop_assert_eq!(qos_crypto::verify_batch(&items), individual);
+    }
+
     /// Certificates round-trip through the wire encoding with extensions
     /// of every kind.
     #[test]

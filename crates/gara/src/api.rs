@@ -388,9 +388,7 @@ impl Gara {
                 if !*cancelled {
                     if let Ok(approval) = result {
                         // The approval's last entry is the source domain.
-                        if let Some(source) =
-                            approval.entries.last().map(|e| e.domain.clone())
-                        {
+                        if let Some(source) = approval.entries.last().map(|e| e.domain.clone()) {
                             let rar_id = *rar_id;
                             self.mesh.release_in(SimDuration::ZERO, &source, rar_id);
                             self.mesh.run_until_idle();

@@ -57,7 +57,11 @@ impl SlottedResource {
 
     /// Reserve `units` over `interval`; immediately committed (local
     /// resources need no end-to-end agreement).
-    pub fn reserve(&mut self, interval: Interval, units: u64) -> Result<ReservationId, AdmissionError> {
+    pub fn reserve(
+        &mut self,
+        interval: Interval,
+        units: u64,
+    ) -> Result<ReservationId, AdmissionError> {
         let id = ReservationId(self.next_id);
         self.next_id += 1;
         self.table.hold(id, interval, units)?;

@@ -75,7 +75,8 @@ impl AggregatePolicer {
 
     /// Re-dimension in place (broker updated the admitted sum).
     pub fn reconfigure(&mut self, profile: TrafficProfile) {
-        self.bucket.reconfigure(profile.rate_bps, profile.burst_bytes);
+        self.bucket
+            .reconfigure(profile.rate_bps, profile.burst_bytes);
     }
 
     /// The configured rate.
@@ -236,9 +237,15 @@ mod tests {
         );
         let mut alice = pkt(1, Dscp::Ef);
         let mut david = pkt(2, Dscp::Ef);
-        assert_eq!(pol.condition(SimTime::ZERO, &mut david), Conditioned::Forward);
+        assert_eq!(
+            pol.condition(SimTime::ZERO, &mut david),
+            Conditioned::Forward
+        );
         // David consumed the tokens; Alice's in-profile packet dies.
-        assert_eq!(pol.condition(SimTime::ZERO, &mut alice), Conditioned::Dropped);
+        assert_eq!(
+            pol.condition(SimTime::ZERO, &mut alice),
+            Conditioned::Dropped
+        );
     }
 
     #[test]
@@ -253,7 +260,10 @@ mod tests {
         let mut a = pkt(1, Dscp::Ef);
         let mut b = pkt(1, Dscp::Ef);
         assert_eq!(pol.condition(SimTime::ZERO, &mut a), Conditioned::Forward);
-        assert_eq!(pol.condition(SimTime::ZERO, &mut b), Conditioned::Downgraded);
+        assert_eq!(
+            pol.condition(SimTime::ZERO, &mut b),
+            Conditioned::Downgraded
+        );
         assert_eq!(b.dscp, Dscp::BestEffort);
     }
 

@@ -126,11 +126,7 @@ mod tests {
         let order: Vec<_> = std::iter::from_fn(|| s.pop()).collect();
         assert_eq!(
             order,
-            vec![
-                (SimTime(10), "a"),
-                (SimTime(20), "b"),
-                (SimTime(30), "c")
-            ]
+            vec![(SimTime(10), "a"), (SimTime(20), "b"), (SimTime(30), "c")]
         );
         assert_eq!(s.now(), SimTime(30));
         assert_eq!(s.processed(), 3);

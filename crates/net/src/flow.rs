@@ -195,7 +195,7 @@ mod tests {
     #[test]
     fn cbr_spacing_is_exact() {
         let mut s = SourceState::new(cbr_spec(10_000_000)); // 10 Mb/s
-        // 10_000 bits / 10 Mb/s = 1 ms gaps.
+                                                            // 10_000 bits / 10 Mb/s = 1 ms gaps.
         let t1 = s.next_emission(SimTime::ZERO).unwrap();
         assert_eq!(t1, SimTime(1_000_000));
         let t2 = s.next_emission(t1).unwrap();

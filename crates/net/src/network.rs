@@ -171,7 +171,12 @@ impl Network {
 
     /// The interdomain link used by traffic entering `to_domain_node`'s
     /// domain from `from_domain_node`'s side along the `src → dst` path.
-    pub fn ingress_link_on_path(&self, src: NodeId, dst: NodeId, into_node: NodeId) -> Option<LinkId> {
+    pub fn ingress_link_on_path(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        into_node: NodeId,
+    ) -> Option<LinkId> {
         let mut at = src;
         while at != dst {
             let link = self.topo.next_hop(at, dst)?;
@@ -422,8 +427,8 @@ mod tests {
         );
         assert_eq!(ef.received_ef, ef.received);
         // The BE pair offered 20 Mb/s into the ~10 Mb/s left: heavy loss.
-        let be_loss = (be1.dropped_total() + be2.dropped_total()) as f64
-            / (be1.sent + be2.sent) as f64;
+        let be_loss =
+            (be1.dropped_total() + be2.dropped_total()) as f64 / (be1.sent + be2.sent) as f64;
         assert!(be_loss > 0.3, "BE loss {be_loss}");
     }
 

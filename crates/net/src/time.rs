@@ -133,10 +133,7 @@ mod tests {
             SimDuration::from_micros(1200)
         );
         // 1 byte at 3 bps: 8/3 s rounded up.
-        assert_eq!(
-            SimDuration::transmission(1, 3),
-            SimDuration(2_666_666_667)
-        );
+        assert_eq!(SimDuration::transmission(1, 3), SimDuration(2_666_666_667));
         assert_eq!(SimDuration::transmission(1, 0), SimDuration(u64::MAX));
     }
 

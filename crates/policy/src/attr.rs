@@ -251,10 +251,7 @@ mod tests {
             Value::Bandwidth(5_000_000).partial_cmp_num(&bw::mbps(10)),
             Some(Less)
         );
-        assert_eq!(
-            Value::Str("x".into()).partial_cmp_num(&Value::Int(1)),
-            None
-        );
+        assert_eq!(Value::Str("x".into()).partial_cmp_num(&Value::Int(1)), None);
     }
 
     #[test]
@@ -267,8 +264,12 @@ mod tests {
 
     #[test]
     fn merge_overwrites() {
-        let mut a = AttributeSet::new().with("x", Value::Int(1)).with("y", Value::Int(2));
-        let b = AttributeSet::new().with("y", Value::Int(9)).with("z", Value::Int(3));
+        let mut a = AttributeSet::new()
+            .with("x", Value::Int(1))
+            .with("y", Value::Int(2));
+        let b = AttributeSet::new()
+            .with("y", Value::Int(9))
+            .with("z", Value::Int(3));
         a.merge(&b);
         assert_eq!(a.get("x"), Some(&Value::Int(1)));
         assert_eq!(a.get("y"), Some(&Value::Int(9)));

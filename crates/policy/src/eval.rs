@@ -83,8 +83,8 @@ pub struct Outcome {
 pub fn evaluate(policy: &Policy, env: &dyn PolicyEnv) -> Result<Outcome, EvalError> {
     let mut attachments = AttributeSet::new();
     let mut trace = Vec::new();
-    let decision = eval_block(&policy.stmts, env, &mut attachments, &mut trace)?
-        .unwrap_or_else(|| {
+    let decision =
+        eval_block(&policy.stmts, env, &mut attachments, &mut trace)?.unwrap_or_else(|| {
             trace.push("fell through: default deny".to_string());
             Decision::Deny(Some("no matching policy rule".to_string()))
         });
@@ -133,9 +133,7 @@ fn eval_expr(expr: &Expr, env: &dyn PolicyEnv) -> Result<Value, EvalError> {
         // Unquoted identifiers double as string literals when the
         // environment has no binding — the figures write `User = Alice`,
         // not `User = "Alice"`.
-        Expr::Attr(name) => Ok(env
-            .attr(name)
-            .unwrap_or_else(|| Value::Str(name.clone()))),
+        Expr::Attr(name) => Ok(env.attr(name).unwrap_or_else(|| Value::Str(name.clone()))),
         Expr::Call(name, args) => {
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
@@ -318,16 +316,24 @@ mod tests {
                 .with("avail_bw", bw::mbps(100))
         };
         // Business hours, under the cap: grant.
-        let env = base().with("time", Value::TimeOfDay(10 * 60)).with("bw", bw::mbps(10));
+        let env = base()
+            .with("time", Value::TimeOfDay(10 * 60))
+            .with("bw", bw::mbps(10));
         assert!(evaluate(&p, &env).unwrap().decision.is_grant());
         // Business hours, over the cap: deny.
-        let env = base().with("time", Value::TimeOfDay(10 * 60)).with("bw", bw::mbps(20));
+        let env = base()
+            .with("time", Value::TimeOfDay(10 * 60))
+            .with("bw", bw::mbps(20));
         assert!(!evaluate(&p, &env).unwrap().decision.is_grant());
         // Night, up to available: grant.
-        let env = base().with("time", Value::TimeOfDay(22 * 60)).with("bw", bw::mbps(80));
+        let env = base()
+            .with("time", Value::TimeOfDay(22 * 60))
+            .with("bw", bw::mbps(80));
         assert!(evaluate(&p, &env).unwrap().decision.is_grant());
         // Night, beyond available: deny.
-        let env = base().with("time", Value::TimeOfDay(22 * 60)).with("bw", bw::mbps(200));
+        let env = base()
+            .with("time", Value::TimeOfDay(22 * 60))
+            .with("bw", bw::mbps(200));
         assert!(!evaluate(&p, &env).unwrap().decision.is_grant());
     }
 

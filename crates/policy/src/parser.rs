@@ -359,7 +359,10 @@ mod tests {
         let p = parse("if not a and b or c { return grant } return deny").unwrap();
         // ((not a) and b) or c
         match &p.stmts[0] {
-            Stmt::If { cond: Expr::Or(l, _), .. } => {
+            Stmt::If {
+                cond: Expr::Or(l, _),
+                ..
+            } => {
                 assert!(matches!(**l, Expr::And(_, _)));
             }
             s => panic!("unexpected {s:?}"),
@@ -373,14 +376,20 @@ mod tests {
         let e = parse("return maybe").unwrap_err();
         assert!(e.message.contains("grant or deny"), "{e}");
         let e = parse("if x { return grant").unwrap_err();
-        assert!(e.message.contains("unterminated") || e.message.contains("expected"), "{e}");
+        assert!(
+            e.message.contains("unterminated") || e.message.contains("expected"),
+            "{e}"
+        );
     }
 
     #[test]
     fn parenthesized_expressions() {
         let p = parse("if (a or b) and c { return grant } return deny").unwrap();
         match &p.stmts[0] {
-            Stmt::If { cond: Expr::And(l, _), .. } => {
+            Stmt::If {
+                cond: Expr::And(l, _),
+                ..
+            } => {
                 assert!(matches!(**l, Expr::Or(_, _)));
             }
             s => panic!("unexpected {s:?}"),
@@ -390,8 +399,12 @@ mod tests {
     #[test]
     fn double_equals_accepted() {
         assert_eq!(
-            parse("if a == b { return grant } return deny").unwrap().stmts,
-            parse("if a = b { return grant } return deny").unwrap().stmts
+            parse("if a == b { return grant } return deny")
+                .unwrap()
+                .stmts,
+            parse("if a = b { return grant } return deny")
+                .unwrap()
+                .stmts
         );
     }
 }

@@ -114,7 +114,10 @@ mod tests {
             let p1 = parse(src).unwrap();
             let rendered = pretty(&p1);
             let p2 = parse(&rendered).unwrap_or_else(|e| panic!("{e}\n---\n{rendered}"));
-            assert_eq!(p1.stmts, p2.stmts, "round-trip changed the AST:\n{rendered}");
+            assert_eq!(
+                p1.stmts, p2.stmts,
+                "round-trip changed the AST:\n{rendered}"
+            );
         }
     }
 

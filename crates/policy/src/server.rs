@@ -390,8 +390,8 @@ mod tests {
             .decision
             .is_grant());
         // Small request (< 5 Mb/s) needs nothing.
-        let small = PolicyRequest::new(DistinguishedName::user("Eve", "X"))
-            .with_attr("bw", bw::mbps(1));
+        let small =
+            PolicyRequest::new(DistinguishedName::user("Eve", "X")).with_attr("bw", bw::mbps(1));
         assert!(pdp
             .decide(&small, &vars(), &oracle)
             .unwrap()

@@ -392,7 +392,13 @@ mod tests {
     fn keywords_case_insensitive() {
         assert_eq!(
             lex("If Return GRANT DENY Else").unwrap(),
-            vec![Token::If, Token::Return, Token::Grant, Token::Deny, Token::Else]
+            vec![
+                Token::If,
+                Token::Return,
+                Token::Grant,
+                Token::Deny,
+                Token::Else
+            ]
         );
     }
 

@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 use qos_crypto::{DistinguishedName, KeyPair};
 use qos_policy::attr::Value;
-use qos_policy::{
-    parse, DomainVars, GroupServer, NoReservations, PolicyRequest, PolicyServer,
-};
+use qos_policy::{parse, DomainVars, GroupServer, NoReservations, PolicyRequest, PolicyServer};
 
 /// Strategy for random (but syntactically valid) policy sources.
 fn arb_policy_src() -> impl Strategy<Value = String> {
@@ -23,9 +21,7 @@ fn arb_policy_src() -> impl Strategy<Value = String> {
         prop_oneof![
             Just(format!("if {c} {{ return grant }}")),
             Just(format!("if {c} {{ return deny \"nope\" }}")),
-            Just(format!(
-                "if {c} {{ attach cost_offer = 3 return grant }}"
-            )),
+            Just(format!("if {c} {{ attach cost_offer = 3 return grant }}")),
             Just(format!(
                 "if {c} {{ if BW <= 1Mb/s {{ return grant }} }} else {{ return deny }}"
             )),

@@ -37,10 +37,12 @@ mod error;
 mod impls;
 mod macros;
 mod reader;
+mod shared;
 mod writer;
 
 pub use error::WireError;
 pub use reader::Reader;
+pub use shared::SharedBytes;
 pub use writer::Writer;
 
 /// A type with a canonical binary encoding.
@@ -77,6 +79,19 @@ pub fn to_bytes<T: Encode>(value: &T) -> Vec<u8> {
 /// not verify as the original message.
 pub fn from_bytes<T: Decode>(bytes: &[u8]) -> Result<T, WireError> {
     let mut r = Reader::new(bytes);
+    let value = T::decode(&mut r)?;
+    r.finish()?;
+    Ok(value)
+}
+
+/// Decode a value from a shared buffer, requiring that all input is
+/// consumed.
+///
+/// Unlike [`from_bytes`], decoders of signed nested messages can retain
+/// zero-copy [`SharedBytes`] views of the regions their signatures cover
+/// (via [`Reader::shared_span`]), so later verification never re-encodes.
+pub fn from_bytes_shared<T: Decode>(bytes: &std::sync::Arc<[u8]>) -> Result<T, WireError> {
+    let mut r = Reader::new_shared(bytes);
     let value = T::decode(&mut r)?;
     r.finish()?;
     Ok(value)
@@ -152,6 +167,26 @@ mod tests {
     fn unknown_enum_tag_rejected() {
         let b = vec![9u8];
         assert_eq!(from_bytes::<Verdict>(&b), Err(WireError::InvalidTag(9)));
+    }
+
+    #[test]
+    fn shared_decode_round_trips_and_exposes_spans() {
+        let v = Nested {
+            id: 7,
+            tags: vec!["a".into()],
+        };
+        let buf: std::sync::Arc<[u8]> = to_bytes(&v).into();
+        assert_eq!(from_bytes_shared::<Nested>(&buf).unwrap(), v);
+
+        let mut r = Reader::new_shared(&buf);
+        let start = r.position();
+        let _ = Nested::decode(&mut r).unwrap();
+        let span = r.shared_span(start, r.position()).expect("shared-backed");
+        assert_eq!(span.as_slice(), &buf[..]);
+
+        // A plain reader over the same bytes yields no spans.
+        let bytes = to_bytes(&v);
+        assert!(Reader::new(&bytes).shared_span(0, 0).is_none());
     }
 
     #[test]

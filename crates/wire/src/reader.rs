@@ -1,18 +1,51 @@
 //! Canonical byte reader.
 
-use crate::WireError;
+use crate::{SharedBytes, WireError};
+use std::sync::Arc;
 
 /// Cursor over an input slice, performing strict canonical decoding.
+///
+/// A reader may optionally be backed by a reference-counted copy of the
+/// same input (see [`Reader::new_shared`]); decoders of signed nested
+/// messages use [`Reader::shared_span`] to retain zero-copy views of the
+/// exact bytes a signature covers.
 #[derive(Debug)]
 pub struct Reader<'a> {
     input: &'a [u8],
     pos: usize,
+    shared: Option<Arc<[u8]>>,
 }
 
 impl<'a> Reader<'a> {
     /// Create a reader over `input`.
     pub fn new(input: &'a [u8]) -> Self {
-        Self { input, pos: 0 }
+        Self {
+            input,
+            pos: 0,
+            shared: None,
+        }
+    }
+
+    /// Create a reader over a shared buffer.
+    ///
+    /// Positions reported by [`Reader::position`] index into this buffer,
+    /// so [`Reader::shared_span`] can return sub-slices of it without
+    /// copying.
+    pub fn new_shared(input: &'a Arc<[u8]>) -> Self {
+        Self {
+            input,
+            pos: 0,
+            shared: Some(Arc::clone(input)),
+        }
+    }
+
+    /// A zero-copy view of `start..end` of the input, if this reader is
+    /// backed by a shared buffer (`None` for plain [`Reader::new`]
+    /// readers). Positions are those reported by [`Reader::position`].
+    pub fn shared_span(&self, start: usize, end: usize) -> Option<SharedBytes> {
+        self.shared
+            .as_ref()
+            .map(|buf| SharedBytes::slice_of(Arc::clone(buf), start, end))
     }
 
     /// Number of bytes not yet consumed.

@@ -1,0 +1,112 @@
+//! Zero-copy views into reference-counted encode buffers.
+//!
+//! Signed nested messages (the RAR envelope) need the canonical bytes of
+//! each layer twice: once when the layer is signed and once for every
+//! verification. Re-encoding a depth-`d` envelope at each layer costs
+//! `O(d²)` encoding work. [`SharedBytes`] lets a decoder instead hand out
+//! sub-slices of the single received buffer, and lets a signer keep the
+//! buffer it already produced, so the canonical bytes of a layer are
+//! materialized exactly once.
+
+use std::sync::Arc;
+
+/// An immutable byte range backed by a reference-counted buffer.
+///
+/// Cloning is `O(1)` (an `Arc` bump); equality and hashing are by the
+/// viewed bytes, not by buffer identity.
+#[derive(Clone)]
+pub struct SharedBytes {
+    buf: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl SharedBytes {
+    /// Take ownership of an encode buffer as a full-range view.
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Self {
+            buf: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+
+    /// A sub-range view of an existing shared buffer.
+    ///
+    /// # Panics
+    /// Panics if `start..end` is not a valid range of `buf`.
+    pub fn slice_of(buf: Arc<[u8]>, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= buf.len(), "range out of bounds");
+        Self { buf, start, end }
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl std::ops::Deref for SharedBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for SharedBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for SharedBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SharedBytes {}
+
+impl std::fmt::Debug for SharedBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedBytes({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subslice_views_same_buffer() {
+        let whole = SharedBytes::from_vec(vec![1, 2, 3, 4, 5]);
+        let mid = SharedBytes::slice_of(Arc::clone(&whole.buf), 1, 4);
+        assert_eq!(mid.as_slice(), &[2, 3, 4]);
+        assert_eq!(mid.len(), 3);
+        assert!(Arc::ptr_eq(&whole.buf, &mid.buf));
+    }
+
+    #[test]
+    fn equality_is_by_bytes() {
+        let a = SharedBytes::from_vec(vec![7, 8]);
+        let b = SharedBytes::slice_of(Arc::from(vec![0, 7, 8, 0]), 1, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "range out of bounds")]
+    fn bad_range_panics() {
+        SharedBytes::slice_of(Arc::from(vec![1u8]), 0, 2);
+    }
+}

@@ -73,7 +73,8 @@ impl Writer {
     /// encoding stays deterministic across NaN representations.
     pub fn put_f64(&mut self, v: f64) {
         let canonical = if v.is_nan() { f64::NAN } else { v };
-        self.buf.extend_from_slice(&canonical.to_bits().to_le_bytes());
+        self.buf
+            .extend_from_slice(&canonical.to_bits().to_le_bytes());
     }
 
     /// Write a boolean as one byte (0 or 1).

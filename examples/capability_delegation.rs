@@ -16,7 +16,10 @@ use qos_crypto::{
 };
 
 fn print_chain(owner: &str, chain: &DelegationChain) {
-    println!("capability list received by {owner} ({} certificates):", chain.len());
+    println!(
+        "capability list received by {owner} ({} certificates):",
+        chain.len()
+    );
     for cert in &chain.certs {
         println!(
             "  - issuer: {}\n    subject: {}\n    caps: {:?} restrictions: {:?}",
@@ -51,7 +54,12 @@ fn main() {
     // Brokers along the path.
     let bb: Vec<(String, KeyPair)> = ["domain-a", "domain-b", "domain-c"]
         .iter()
-        .map(|d| (d.to_string(), KeyPair::from_seed(format!("bb-{d}").as_bytes())))
+        .map(|d| {
+            (
+                d.to_string(),
+                KeyPair::from_seed(format!("bb-{d}").as_bytes()),
+            )
+        })
         .collect();
 
     // Alice delegates to BB_A, restricting to reservations in domain C.

@@ -39,8 +39,7 @@ fn poisson(id: u64, src: qos_net::NodeId, dst: qos_net::NodeId, rate: u64) -> Fl
 /// Run the scenario; `attack` selects source-based signalling with
 /// David skipping domain C.
 fn run(attack: bool) -> (f64, f64) {
-    let (mut scenario, network, names) =
-        build_paper_world(100 * MBPS, SimDuration::from_millis(5));
+    let (mut scenario, network, names) = build_paper_world(100 * MBPS, SimDuration::from_millis(5));
 
     // Give every broker direct trust in both users (Approach-1 needs it).
     let alice_pk = scenario.users["alice"].key.public();
@@ -118,7 +117,11 @@ fn run(attack: bool) -> (f64, f64) {
 
 fn main() {
     println!("=== Misreservation attack (Figure 4) ===\n");
-    println!("offered load: Alice {} (reserved), David {}", mbps(10 * MBPS), mbps(30 * MBPS));
+    println!(
+        "offered load: Alice {} (reserved), David {}",
+        mbps(10 * MBPS),
+        mbps(30 * MBPS)
+    );
 
     println!("\n[1] source-based signalling, David skips domain C:");
     let (alice_loss, david_loss) = run(true);

@@ -35,7 +35,13 @@ fn vars(hour: u32, avail_mbps: u64) -> DomainVars {
     }
 }
 
-fn show(pdp: &PolicyServer, label: &str, req: &PolicyRequest, v: &DomainVars, oracle: &dyn ReservationOracle) {
+fn show(
+    pdp: &PolicyServer,
+    label: &str,
+    req: &PolicyRequest,
+    v: &DomainVars,
+    oracle: &dyn ReservationOracle,
+) {
     let d = pdp.decide(req, v, oracle).expect("evaluation succeeds");
     println!("  [{label}] → {}", d.decision);
     for line in &d.trace {
@@ -92,8 +98,8 @@ fn main() {
             restrictions: vec![],
         });
     show(&pdp, "ESnet capability, 8Mb/s", &esnet, &v, &NoReservations);
-    let nobody = PolicyRequest::new(DistinguishedName::user("Eve", "X"))
-        .with_attr("bw", bw::mbps(1));
+    let nobody =
+        PolicyRequest::new(DistinguishedName::user("Eve", "X")).with_attr("bw", bw::mbps(1));
     show(&pdp, "no credentials, 1Mb/s", &nobody, &v, &NoReservations);
 
     println!("\n=== Figure 6, Policy File C: coupled CPU reservation ===");

@@ -29,9 +29,18 @@ fn main() {
     let overlap = s.spec("alice", 3, 10 * MBPS, Timestamp::from_hours(9) + 1800, 3600);
     let user_cert = s.users["alice"].cert.clone();
     let rars = vec![
-        ("morning 09:00–10:00", s.users["alice"].sign_request(morning, &s.nodes[0])),
-        ("evening 18:00–19:00", s.users["alice"].sign_request(evening, &s.nodes[0])),
-        ("overlapping 09:30–10:30", s.users["alice"].sign_request(overlap, &s.nodes[0])),
+        (
+            "morning 09:00–10:00",
+            s.users["alice"].sign_request(morning, &s.nodes[0]),
+        ),
+        (
+            "evening 18:00–19:00",
+            s.users["alice"].sign_request(evening, &s.nodes[0]),
+        ),
+        (
+            "overlapping 09:30–10:30",
+            s.users["alice"].sign_request(overlap, &s.nodes[0]),
+        ),
     ];
 
     let mesh = mesh_from(&mut s, 5);
@@ -52,19 +61,21 @@ fn main() {
 
     println!(
         "\ncapacity at 09:30 : {} free",
-        mbps(gara
-            .mesh()
-            .node("domain-b")
-            .core()
-            .available_bw_at(Timestamp::from_hours(9) + 1800))
+        mbps(
+            gara.mesh()
+                .node("domain-b")
+                .core()
+                .available_bw_at(Timestamp::from_hours(9) + 1800)
+        )
     );
     println!(
         "capacity at 12:00 : {} free (between the windows)",
-        mbps(gara
-            .mesh()
-            .node("domain-b")
-            .core()
-            .available_bw_at(Timestamp::from_hours(12)))
+        mbps(
+            gara.mesh()
+                .node("domain-b")
+                .core()
+                .available_bw_at(Timestamp::from_hours(12))
+        )
     );
 
     // Downgrade the morning reservation to 4 Mb/s (make-before-break):
@@ -73,20 +84,26 @@ fn main() {
     let alice = &s.users["alice"];
     match gara.modify_network(handles[0], alice, 4 * MBPS) {
         Ok(h) => {
-            println!("\nmodified morning reservation to {} (new handle {h:?})", mbps(4 * MBPS))
+            println!(
+                "\nmodified morning reservation to {} (new handle {h:?})",
+                mbps(4 * MBPS)
+            )
         }
-        Err(e) => println!("\nmodification refused (make-before-break cannot shrink within a full SLA): {e}"),
+        Err(e) => println!(
+            "\nmodification refused (make-before-break cannot shrink within a full SLA): {e}"
+        ),
     }
 
     // Tear the evening window down explicitly.
     gara.cancel(handles[1]).unwrap();
     println!(
         "evening cancelled; capacity at 18:30 back to {} free",
-        mbps(gara
-            .mesh()
-            .node("domain-b")
-            .core()
-            .available_bw_at(Timestamp::from_hours(18) + 1800))
+        mbps(
+            gara.mesh()
+                .node("domain-b")
+                .core()
+                .available_bw_at(Timestamp::from_hours(18) + 1800)
+        )
     );
 
     // And let the rest expire: at 11:00 the morning window is history.

@@ -36,7 +36,11 @@ fn main() {
     let alice_dn = scenario.users["alice"].dn.clone();
 
     let mut mesh = mesh_from(&mut scenario, 5);
-    println!("establishing a {} tunnel across {} domains …", mbps(100 * MBPS), domains.len());
+    println!(
+        "establishing a {} tunnel across {} domains …",
+        mbps(100 * MBPS),
+        domains.len()
+    );
     mesh.submit_in(SimDuration::ZERO, domains.first().unwrap(), rar, cert);
     mesh.run_until_idle();
 
@@ -47,7 +51,10 @@ fn main() {
     );
 
     // Twenty 5 Mb/s sub-flows — each one signals only A and E directly.
-    println!("\nrequesting 20 × {} sub-flows through the tunnel …", mbps(5 * MBPS));
+    println!(
+        "\nrequesting 20 × {} sub-flows through the tunnel …",
+        mbps(5 * MBPS)
+    );
     for flow in 1..=20u64 {
         mesh.tunnel_flow_in(
             SimDuration::from_millis(flow),
@@ -70,10 +77,11 @@ fn main() {
     println!("accepted sub-flows    : {accepted}/20");
     println!(
         "tunnel budget left    : {}",
-        mbps(mesh
-            .node(&domains[0])
-            .tunnel_remaining_bps(tunnel_id)
-            .unwrap_or(0))
+        mbps(
+            mesh.node(&domains[0])
+                .tunnel_remaining_bps(tunnel_id)
+                .unwrap_or(0)
+        )
     );
     println!(
         "transit messages added: {} (sub-flows bypass all {} transit brokers)",
@@ -91,7 +99,13 @@ fn main() {
         alice_dn,
     );
     mesh.run_until_idle();
-    if let Some((_, _, Completion::TunnelFlow { accepted, reason, .. })) = mesh
+    if let Some((
+        _,
+        _,
+        Completion::TunnelFlow {
+            accepted, reason, ..
+        },
+    )) = mesh
         .completions()
         .iter()
         .find(|(_, _, c)| matches!(c, Completion::TunnelFlow { flow: 21, .. }))

@@ -74,6 +74,63 @@ fn concurrent_reservations_complete_over_threads() {
 }
 
 #[test]
+fn tunnel_subflow_bursts_complete_over_threads() {
+    let mut s = build_chain(ChainOptions {
+        sla_rate_bps: 1000 * MBPS,
+        ..ChainOptions::default()
+    });
+    let ids = identities(&s);
+    let mut links: Vec<(String, String)> = s
+        .domains
+        .windows(2)
+        .map(|w| (w[0].clone(), w[1].clone()))
+        .collect();
+    // Tunnel sub-flow signalling runs on a direct source↔destination
+    // channel, bypassing transit.
+    links.push((s.domains[0].clone(), s.domains[2].clone()));
+
+    let spec = s
+        .spec("alice", 7000, 50 * MBPS, Timestamp(0), 3600)
+        .as_tunnel();
+    let tunnel = spec.rar_id;
+    let rar = s.users["alice"].sign_request(spec, &s.nodes[0]);
+    let cert = s.users["alice"].cert.clone();
+    let alice = s.users["alice"].dn.clone();
+    let ca_key = s.ca_key;
+
+    let mut mesh = ActorMesh::new();
+    mesh.spawn(std::mem::take(&mut s.nodes), ids, &links, ca_key);
+    mesh.submit("domain-a", rar, cert);
+    let done = mesh.wait_completions(1);
+    assert!(matches!(
+        done[0].1,
+        Completion::Reservation { result: Ok(_), .. }
+    ));
+
+    // A burst of sub-flows races for the 50 Mb/s aggregate; queued
+    // requests reach the destination's mailbox together, so their
+    // signatures verify as one parallel batch.
+    for flow in 1..=6u64 {
+        mesh.tunnel_flow("domain-a", tunnel, flow, 10 * MBPS, alice.clone());
+    }
+    let flows = mesh.wait_completions(6);
+    assert_eq!(flows.len(), 6);
+    let accepted = flows
+        .iter()
+        .filter(|(_, c)| matches!(c, Completion::TunnelFlow { accepted: true, .. }))
+        .count();
+    assert_eq!(
+        accepted, 5,
+        "five 10 Mb/s sub-flows fill the 50 Mb/s tunnel"
+    );
+
+    let nodes = mesh.shutdown();
+    // The destination checked the source BB's signature on every
+    // sub-flow that reached it.
+    assert!(nodes["domain-c"].counters().verified >= 5);
+}
+
+#[test]
 fn denials_propagate_over_threads() {
     let mut s = build_chain(ChainOptions {
         // Tiny SLA: only two 5 Mb/s reservations fit between domains.

@@ -26,8 +26,7 @@ fn poisson(id: u64, src: NodeId, dst: NodeId, rate: u64) -> FlowSpec {
 /// ride EF end-to-end and arrive essentially loss-free.
 #[test]
 fn granted_reservation_protects_traffic() {
-    let (mut scenario, network, names) =
-        build_paper_world(40 * MBPS, SimDuration::from_millis(5));
+    let (mut scenario, network, names) = build_paper_world(40 * MBPS, SimDuration::from_millis(5));
     let mut spec = scenario.spec("alice", 1, 10 * MBPS, Timestamp(0), 3600);
     spec.dest_domain = "domain-c".into();
     let rar_id = spec.rar_id;
@@ -69,8 +68,7 @@ fn granted_reservation_protects_traffic() {
 /// under congestion.
 #[test]
 fn without_reservation_no_protection() {
-    let (mut scenario, network, names) =
-        build_paper_world(40 * MBPS, SimDuration::from_millis(5));
+    let (mut scenario, network, names) = build_paper_world(40 * MBPS, SimDuration::from_millis(5));
     let mut mesh = integration_tests::mesh_from(&mut scenario, 5);
     mesh.attach_network(network);
     {

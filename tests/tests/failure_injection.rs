@@ -129,7 +129,8 @@ fn channel_replay_and_splice_rejected() {
         ca_key: ca.public_key(),
         dn: DistinguishedName::broker(dn),
     };
-    let (mut ch_a, mut ch_b) = handshake(&a, &b, &pin("domain-b"), &pin("domain-a"), 1, Timestamp(0)).unwrap();
+    let (mut ch_a, mut ch_b) =
+        handshake(&a, &b, &pin("domain-b"), &pin("domain-a"), 1, Timestamp(0)).unwrap();
     // A second, independent session between the same parties.
     let (mut ch_a2, mut ch_b2) =
         handshake(&a, &b, &pin("domain-b"), &pin("domain-a"), 2, Timestamp(0)).unwrap();

@@ -122,7 +122,10 @@ fn gara_cancel_tears_down_network_reservations() {
     let h = g.reserve_network(rar, cert).unwrap();
     assert!(g.status(h).unwrap().is_granted());
     assert_eq!(
-        g.mesh().node("domain-b").core().available_bw_at(Timestamp(10)),
+        g.mesh()
+            .node("domain-b")
+            .core()
+            .available_bw_at(Timestamp(10)),
         1_000_000_000 - 10 * MBPS
     );
     g.cancel(h).unwrap();
@@ -181,7 +184,11 @@ fn advance_reservations_share_capacity_across_windows() {
     let spec_morning = s.spec("alice", 1, 10 * MBPS, Timestamp::from_hours(9), 3600);
     let spec_evening = s.spec("alice", 2, 10 * MBPS, Timestamp::from_hours(18), 3600);
     let spec_overlap = s.spec("alice", 3, 10 * MBPS, Timestamp::from_hours(9) + 1800, 3600);
-    let ids = [spec_morning.rar_id, spec_evening.rar_id, spec_overlap.rar_id];
+    let ids = [
+        spec_morning.rar_id,
+        spec_evening.rar_id,
+        spec_overlap.rar_id,
+    ];
     let rars = vec![
         s.users["alice"].sign_request(spec_morning, &s.nodes[0]),
         s.users["alice"].sign_request(spec_evening, &s.nodes[0]),
@@ -226,7 +233,10 @@ fn gara_modify_is_make_before_break() {
     assert!(g.status(h2).unwrap().is_granted());
     assert_eq!(g.status(h).unwrap(), gara::GaraStatus::Cancelled);
     assert_eq!(
-        g.mesh().node("domain-b").core().available_bw_at(Timestamp(10)),
+        g.mesh()
+            .node("domain-b")
+            .core()
+            .available_bw_at(Timestamp(10)),
         1_000_000_000 - 30 * MBPS
     );
 
@@ -237,7 +247,10 @@ fn gara_modify_is_make_before_break() {
     assert!(err.to_string().contains("denied"), "{err}");
     assert!(g.status(h2).unwrap().is_granted());
     assert_eq!(
-        g.mesh().node("domain-b").core().available_bw_at(Timestamp(10)),
+        g.mesh()
+            .node("domain-b")
+            .core()
+            .available_bw_at(Timestamp(10)),
         1_000_000_000 - 30 * MBPS
     );
 }

@@ -3,15 +3,19 @@
 //! between arbitrary leaves.
 
 use integration_tests::MBPS;
+use qos_broker::Interval;
 use qos_core::drive::Mesh;
 use qos_core::node::Completion;
 use qos_core::scenario::{build_star, ChainOptions};
 use qos_core::{RarId, ResSpec};
-use qos_broker::Interval;
 use qos_crypto::Timestamp;
 use qos_net::SimDuration;
 
-fn star_mesh(leaves: usize, sla_rate_bps: u64, local_capacity_bps: u64) -> (Mesh, qos_core::scenario::Scenario) {
+fn star_mesh(
+    leaves: usize,
+    sla_rate_bps: u64,
+    local_capacity_bps: u64,
+) -> (Mesh, qos_core::scenario::Scenario) {
     let mut s = build_star(
         leaves,
         ChainOptions {
@@ -103,7 +107,10 @@ fn hub_local_capacity_is_the_shared_bottleneck() {
         .iter()
         .filter(|(id, src)| outcome_ok(&mesh, src, *id))
         .count();
-    assert_eq!(granted, 2, "the hub's 25 Mb/s fits exactly two 10 Mb/s flows");
+    assert_eq!(
+        granted, 2,
+        "the hub's 25 Mb/s fits exactly two 10 Mb/s flows"
+    );
     // The denial cites the hub.
     let denied = ids
         .iter()
@@ -133,7 +140,14 @@ fn tunnels_work_between_arbitrary_leaves() {
 
     let hub_rx_before = mesh.node("hub").counters().rx;
     for flow in 1..=5u64 {
-        mesh.tunnel_flow_in(SimDuration::ZERO, &src, tunnel, flow, 10 * MBPS, alice.clone());
+        mesh.tunnel_flow_in(
+            SimDuration::ZERO,
+            &src,
+            tunnel,
+            flow,
+            10 * MBPS,
+            alice.clone(),
+        );
     }
     mesh.run_until_idle();
     let accepted = mesh

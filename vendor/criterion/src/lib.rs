@@ -1,0 +1,370 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `bench_with_input`/`throughput`/`sample_size`/
+//! `measurement_time`/`warm_up_time`, and `BenchmarkId` — with a simple
+//! but honest measurement loop: timed warm-up to calibrate batch size,
+//! then fixed-duration sampling reporting min / mean / max per-iteration
+//! time. No plots, no statistics machinery, no saved baselines.
+//!
+//! Supports `cargo bench -- <substring>` filtering and exits fast under
+//! `--test` (what `cargo test --benches` passes).
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    defaults: Settings,
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Self {
+            filter,
+            test_mode,
+            defaults: Settings {
+                sample_size: 32,
+                warm_up_time: Duration::from_millis(150),
+                measurement_time: Duration::from_millis(600),
+            },
+        }
+    }
+}
+
+impl Criterion {
+    fn selected(&self, name: &str) -> bool {
+        self.filter
+            .as_deref()
+            .map(|f| name.contains(f))
+            .unwrap_or(true)
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.selected(name) {
+            run_one(name, self.test_mode, self.defaults, None, &mut f);
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let settings = self.defaults;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            settings,
+            throughput: None,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `group/param` form, named from the parameter alone.
+    pub fn from_parameter<P: Display>(param: P) -> Self {
+        Self(param.to_string())
+    }
+
+    /// `group/name/param` form.
+    pub fn new<P: Display>(name: &str, param: P) -> Self {
+        Self(format!("{name}/{param}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A group of benchmarks sharing settings and a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set per-iteration throughput for derived rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the target number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Set the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        if self.criterion.selected(&full) {
+            run_one(
+                &full,
+                self.criterion.test_mode,
+                self.settings,
+                self.throughput,
+                &mut f,
+            );
+        }
+        self
+    }
+
+    /// Run a benchmark with an explicit input reference.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (retained for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    mode: BenchMode,
+    samples: Vec<f64>, // ns per iteration
+}
+
+enum BenchMode {
+    Test,
+    Measure(Settings),
+}
+
+impl Bencher {
+    /// Measure `routine`, called in calibrated batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            BenchMode::Test => {
+                std_black_box(routine());
+            }
+            BenchMode::Measure(settings) => {
+                // Warm-up: run until the warm-up budget is spent, counting
+                // iterations to calibrate the batch size.
+                let warm_start = Instant::now();
+                let mut warm_iters: u64 = 0;
+                while warm_start.elapsed() < settings.warm_up_time {
+                    std_black_box(routine());
+                    warm_iters += 1;
+                }
+                let per_iter = settings.warm_up_time.as_secs_f64() / warm_iters.max(1) as f64;
+                let budget = settings.measurement_time.as_secs_f64() / settings.sample_size as f64;
+                let batch = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+                self.samples.clear();
+                for _ in 0..settings.sample_size {
+                    let t0 = Instant::now();
+                    for _ in 0..batch {
+                        std_black_box(routine());
+                    }
+                    let dt = t0.elapsed().as_secs_f64();
+                    self.samples.push(dt * 1e9 / batch as f64);
+                }
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    test_mode: bool,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    if test_mode {
+        let mut b = Bencher {
+            mode: BenchMode::Test,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        println!("test {name} ... ok");
+        return;
+    }
+    let mut b = Bencher {
+        mode: BenchMode::Measure(settings),
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<44} (no measurement: closure never called iter)");
+        return;
+    }
+    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
+    let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!("  {}/s", human_bytes(n as f64 / (mean / 1e9))),
+        Throughput::Elements(n) => {
+            format!("  {:.2} Melem/s", n as f64 / (mean / 1e9) / 1e6)
+        }
+    });
+    println!(
+        "{name:<44} time: [{} {} {}]{}",
+        human_ns(min),
+        human_ns(mean),
+        human_ns(max),
+        rate.unwrap_or_default()
+    );
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human_bytes(bps: f64) -> String {
+    if bps < 1e3 {
+        format!("{bps:.1} B")
+    } else if bps < 1e6 {
+        format!("{:.1} KiB", bps / 1024.0)
+    } else if bps < 1e9 {
+        format!("{:.1} MiB", bps / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2} GiB", bps / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+            defaults: Settings {
+                sample_size: 2,
+                warm_up_time: Duration::from_millis(1),
+                measurement_time: Duration::from_millis(2),
+            },
+        };
+        let mut calls = 0u32;
+        c.bench_function("t", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_settings_chain() {
+        let mut c = Criterion {
+            filter: Some("nomatch-filter".into()),
+            test_mode: true,
+            defaults: Settings {
+                sample_size: 2,
+                warm_up_time: Duration::from_millis(1),
+                measurement_time: Duration::from_millis(2),
+            },
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .throughput(Throughput::Bytes(100))
+            .bench_with_input(BenchmarkId::from_parameter(1), &1u32, |b, _| b.iter(|| ()));
+        g.finish();
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human_ns(1.5).contains("ns"));
+        assert!(human_ns(1.5e4).contains("µs"));
+        assert!(human_ns(2.5e7).contains("ms"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Vectors of `element` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.usize_in(self.size.start, self.size.end.max(self.size.start + 1));
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Ordered sets of `element`; the size range bounds the number of
+/// *insertion attempts* (duplicates collapse), matching real proptest.
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// See [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let n = rng.usize_in(self.size.start, self.size.end.max(self.size.start + 1));
+        let mut out = BTreeSet::new();
+        // Retry a bounded number of times so minimum sizes are met even
+        // under duplicate draws from small domains.
+        let mut attempts = 0;
+        while out.len() < n && attempts < n * 8 + 16 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size() {
+        let mut rng = TestRng::new(1);
+        let s = vec(0u8..5, 2..6);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_minimum_met_for_large_domain() {
+        let mut rng = TestRng::new(2);
+        let s = btree_set(0u64..1_000_000, 3..6);
+        for _ in 0..20 {
+            assert!(s.generate(&mut rng).len() >= 3);
+        }
+    }
+}

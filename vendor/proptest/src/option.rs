@@ -1,0 +1,49 @@
+//! Option strategies: `proptest::option::of`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// `None` about a quarter of the time, else `Some` of the inner value.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.chance(1, 4) {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::new(9);
+        let s = of(0u8..10);
+        let mut none = false;
+        let mut some = false;
+        for _ in 0..64 {
+            match s.generate(&mut rng) {
+                None => none = true,
+                Some(v) => {
+                    assert!(v < 10);
+                    some = true;
+                }
+            }
+        }
+        assert!(none && some);
+    }
+}

@@ -1,0 +1,32 @@
+//! Sampling helpers: `prop::sample::Index`.
+
+/// An index into a collection whose length is only known at use time.
+///
+/// Generated via `any::<Index>()`; call [`Index::index`] with the
+/// collection length to resolve it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Construct from raw entropy (used by the `Arbitrary` impl).
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Resolve against a collection of `len` elements (`len > 0`).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        ((self.0 as u128 * len as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_spans_range() {
+        assert_eq!(Index::from_raw(0).index(10), 0);
+        assert_eq!(Index::from_raw(u64::MAX).index(10), 9);
+    }
+}

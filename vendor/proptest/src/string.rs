@@ -1,0 +1,206 @@
+//! String strategies from regex-shaped literals.
+//!
+//! Real proptest interprets any `&'static str` strategy as a full regex.
+//! This stand-in supports the subset the workspace's tests use — a
+//! sequence of atoms, each optionally quantified:
+//!
+//! * `.` — any character (mostly printable ASCII, occasionally
+//!   whitespace/control/non-ASCII, to keep "never panics" tests honest);
+//! * `[a-z0-9_]` — character classes of ranges and singletons;
+//! * any other character — itself, literally (`\` escapes the next);
+//! * quantifiers `{m,n}`, `{m}`, `*` (0–8), `+` (1–8), `?`.
+//!
+//! Unsupported syntax panics with the offending pattern, so a test using
+//! a richer regex fails loudly instead of generating garbage.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    AnyChar,
+    Class(Vec<(char, char)>),
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in pattern {pattern:?}"
+                );
+                i += 1; // closing ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                assert!(
+                    i + 1 < chars.len(),
+                    "dangling escape in pattern {pattern:?}"
+                );
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            c => {
+                assert!(
+                    !"()|".contains(c),
+                    "unsupported regex syntax {c:?} in pattern {pattern:?} \
+                     (vendored proptest supports atoms + {{m,n}} quantifiers only)"
+                );
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unterminated {{..}} in pattern {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    if let Some((lo, hi)) = body.split_once(',') {
+                        (
+                            lo.trim().parse().expect("bad quantifier min"),
+                            hi.trim().parse().expect("bad quantifier max"),
+                        )
+                    } else {
+                        let n: usize = body.trim().parse().expect("bad quantifier count");
+                        (n, n)
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::AnyChar => {
+            if rng.chance(13, 16) {
+                // Printable ASCII.
+                (0x20 + rng.below(0x5F) as u8) as char
+            } else if rng.chance(1, 2) {
+                // Whitespace / control characters.
+                ['\n', '\t', '\r', '\x00', '\x1B'][rng.usize_in(0, 5)]
+            } else {
+                // A sprinkle of non-ASCII.
+                ['é', 'ß', '中', '𝄞', '\u{FFFD}'][rng.usize_in(0, 5)]
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| (hi as u64).saturating_sub(lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total.max(1));
+            for &(lo, hi) in ranges {
+                let span = (hi as u64) - (lo as u64) + 1;
+                if pick < span {
+                    return char::from_u32(lo as u32 + pick as u32).unwrap_or(lo);
+                }
+                pick -= span;
+            }
+            ranges.first().map(|&(lo, _)| lo).unwrap_or('?')
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(self) {
+            let n = if piece.min == piece.max {
+                piece.min
+            } else {
+                rng.usize_in(piece.min, piece.max + 1)
+            };
+            for _ in 0..n {
+                out.push(gen_char(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_ranges() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..100 {
+            let s = "[a-zA-Z]{0,8}".generate(&mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_alphabetic()));
+        }
+    }
+
+    #[test]
+    fn dot_generates_varied_lengths() {
+        let mut rng = TestRng::new(2);
+        let mut lens = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            lens.insert(".{0,40}".generate(&mut rng).chars().count());
+        }
+        assert!(lens.len() > 10);
+        assert!(lens.iter().all(|&l| l <= 40));
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = TestRng::new(3);
+        assert_eq!("abc".generate(&mut rng), "abc");
+        assert_eq!("[x]{3}".generate(&mut rng), "xxx");
+    }
+}

@@ -1,0 +1,146 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the workspace vendors the *exact* API surface it uses: the [`Rng`]
+//! trait (`next_u64`/`next_u32`) and [`rng()`] returning a thread-local
+//! generator. The generator is xoshiro256**, seeded per thread from the
+//! system clock and a process-wide counter — statistically strong and
+//! fast, but **not** cryptographically secure (the workspace only draws
+//! key material from it in tests and examples; production seeds come from
+//! `KeyPair::from_seed` over caller-provided entropy).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Random number generator trait — the subset of `rand::Rng` this
+/// workspace uses.
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)` via Lemire rejection-free mapping
+    /// (bias negligible for 64-bit state; fine for simulation use).
+    fn random_range(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A uniformly random `f64` in `[0, 1)`.
+    fn random_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// xoshiro256** state.
+#[derive(Debug, Clone)]
+pub struct ThreadRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ThreadRng {
+    /// Construct from a 64-bit seed (expanded with splitmix64).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+impl Rng for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+static RNG_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_SEED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A fresh generator, seeded from the clock and a process-wide counter
+/// (mirrors `rand::rng()`).
+pub fn rng() -> ThreadRng {
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5EED);
+    let ctr = RNG_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let local = THREAD_SEED.with(|c| {
+        let v = c.get().wrapping_add(0xA076_1D64_78BD_642F);
+        c.set(v);
+        v
+    });
+    ThreadRng::seed_from_u64(nanos ^ ctr.rotate_left(32) ^ local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = ThreadRng::seed_from_u64(42);
+        let mut b = ThreadRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = ThreadRng::seed_from_u64(1);
+        let mut b = ThreadRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn range_respects_bound() {
+        let mut r = ThreadRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(r.random_range(13) < 13);
+        }
+    }
+
+    #[test]
+    fn thread_rngs_differ() {
+        let mut a = rng();
+        let mut b = rng();
+        // Astronomically unlikely to collide on the first draw.
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}
