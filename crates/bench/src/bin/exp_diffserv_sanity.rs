@@ -6,7 +6,7 @@
 //! every best-effort load; best-effort loss grows once the link
 //! saturates.
 
-use qos_bench::{mbps, pct, table_header, table_row};
+use qos_bench::{experiment_registry, mbps, pct, table_header, table_row, write_metrics_snapshot};
 use qos_core::scenario::build_paper_world;
 use qos_crypto::Timestamp;
 use qos_net::flow::{FlowSpec, TrafficPattern};
@@ -31,6 +31,7 @@ fn poisson(id: u64, src: NodeId, dst: NodeId, rate: u64) -> FlowSpec {
 
 fn main() {
     println!("EXP-N: EF protection under best-effort congestion (40 Mb/s links)\n");
+    let (registry, telemetry) = experiment_registry();
     let widths = [14, 14, 12, 16, 12];
     table_header(
         &[
@@ -46,6 +47,7 @@ fn main() {
     for be_mbps in [0u64, 20, 40, 60, 100] {
         let (mut scenario, network, names) =
             build_paper_world(40 * MBPS, SimDuration::from_millis(5));
+        qos_bench::install_telemetry(&mut scenario, &telemetry);
 
         // Alice reserves 10 Mb/s EF through the brokers (which size the
         // classifiers and ingress policers).
@@ -70,6 +72,11 @@ fn main() {
             net.run_to_completion();
         }
         let net = mesh.network().unwrap();
+        if be_mbps == 100 {
+            // Final (heaviest) run: fold the per-flow packet totals into
+            // the registry before the snapshot below.
+            net.stats().export_telemetry(&telemetry);
+        }
         let ef = net.flow_stats(FlowId(1));
         let be = net.flow_stats(FlowId(2));
         table_row(
@@ -83,6 +90,7 @@ fn main() {
             &widths,
         );
     }
+    write_metrics_snapshot("exp_diffserv_sanity", &registry);
     println!(
         "\nexpected: EF goodput pinned at ~10 Mb/s with ~0% loss at every\n\
          load; best-effort keeps whatever the 40 Mb/s bottleneck leaves\n\

@@ -12,7 +12,7 @@
 //! Besides the human-readable table, the run emits `BENCH_envelope.json`
 //! so future changes can track the perf trajectory mechanically.
 
-use qos_bench::{table_header, table_row};
+use qos_bench::{experiment_registry, table_header, table_row, write_metrics_snapshot};
 use qos_broker::Interval;
 use qos_core::envelope::SignedRar;
 use qos_core::trust::{verify_rar, KeySource};
@@ -21,6 +21,7 @@ use qos_crypto::{
     CertificateAuthority, DistinguishedName, KeyPair, Timestamp, TrustPolicy, Validity,
 };
 use qos_policy::AttributeSet;
+use qos_telemetry::{Artifact, Row, StdClock};
 use std::time::Instant;
 
 fn domain(i: usize) -> String {
@@ -29,20 +30,32 @@ fn domain(i: usize) -> String {
 
 fn main() {
     println!("EXP-S: nested envelope cost vs path depth\n");
-    let widths = [8, 12, 14, 14, 14, 16];
+    let widths = [8, 12, 14, 14, 14, 14, 16];
     table_header(
         &[
             "hops",
             "bytes",
             "build(µs)",
             "verify(µs)",
+            "instr(µs)",
             "µs/layer",
             "verify sigs",
         ],
         &widths,
     );
 
-    let mut json_rows: Vec<String> = Vec::new();
+    // A live registry, for the instrumented-verify column: the same
+    // clock-read + histogram-observe pattern `BbNode` wraps around
+    // destination verification, so the delta between the two verify
+    // columns IS the telemetry overhead on the hot path.
+    let (registry, telemetry) = experiment_registry();
+
+    let mut artifact = Artifact::new(
+        "exp_envelope_cost",
+        "microseconds",
+        "encode-once + batch verify (D6); us_per_layer flat => O(d) verify; \
+         verify_instr_us = same verify with a live metrics registry observing it",
+    );
     for hops in [1usize, 2, 3, 5, 8, 10] {
         let mut ca = CertificateAuthority::new(
             DistinguishedName::authority("CA"),
@@ -128,34 +141,68 @@ fn main() {
         let layers = hops + 1;
         let us_per_layer = verify_us / layers as f64;
 
+        // The same verification with a live registry observing each run
+        // (the clock reads + histogram observe `BbNode` adds around
+        // `verify_rar` when telemetry is installed).
+        let h = hops.to_string();
+        let hist = telemetry.histogram(
+            "bb_envelope_verify_ns",
+            "Full transitive-trust envelope verification time (ns)",
+            &[("hops", &h)],
+        );
+        let checked = telemetry.counter(
+            "bb_signatures_verified_total",
+            "Signatures verified",
+            &[("hops", &h)],
+        );
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let s0 = StdClock::now();
+            verify_rar(
+                &rar,
+                keys[hops - 1].public(),
+                &DistinguishedName::broker(&domain(hops)),
+                TrustPolicy {
+                    max_chain_depth: 64,
+                },
+                Timestamp(0),
+                &KeySource::Introducers,
+            )
+            .unwrap();
+            hist.observe(StdClock::now().saturating_sub(s0));
+            checked.add(layers as u64);
+        }
+        let verify_instr_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+
         table_row(
             &[
                 hops.to_string(),
                 bytes.to_string(),
                 format!("{build_us:.0}"),
                 format!("{verify_us:.0}"),
+                format!("{verify_instr_us:.0}"),
                 format!("{us_per_layer:.1}"),
                 layers.to_string(),
             ],
             &widths,
         );
-        json_rows.push(format!(
-            "  {{\"hops\": {hops}, \"bytes\": {bytes}, \"build_us\": {build_us:.2}, \
-             \"verify_us\": {verify_us:.2}, \"us_per_layer\": {us_per_layer:.2}, \
-             \"verify_sigs\": {layers}}}"
-        ));
+        artifact.push(
+            Row::new()
+                .field("hops", hops)
+                .field("bytes", bytes)
+                .field("build_us", build_us)
+                .field("verify_us", verify_us)
+                .field("verify_instr_us", verify_instr_us)
+                .field("us_per_layer", us_per_layer)
+                .field("verify_sigs", layers),
+        );
     }
-    let json = format!(
-        "{{\n\"experiment\": \"exp_envelope_cost\",\n\"unit\": \"microseconds\",\n\
-         \"notes\": \"encode-once + batch verify (D6); us_per_layer flat => O(d) verify\",\n\
-         \"rows\": [\n{}\n]\n}}\n",
-        json_rows.join(",\n")
-    );
-    if let Err(e) = std::fs::write("BENCH_envelope.json", &json) {
-        eprintln!("warning: could not write BENCH_envelope.json: {e}");
-    } else {
-        println!("\nwrote BENCH_envelope.json");
+    println!();
+    match artifact.write("BENCH_envelope.json") {
+        Ok(()) => println!("wrote BENCH_envelope.json"),
+        Err(e) => eprintln!("warning: could not write BENCH_envelope.json: {e}"),
     }
+    write_metrics_snapshot("envelope_cost", &registry);
     println!(
         "\nexpected: bytes and verify time grow linearly with the hop\n\
          count — the price of carrying the complete, individually signed\n\

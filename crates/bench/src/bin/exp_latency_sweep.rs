@@ -10,7 +10,7 @@
 //! never — concurrent always wins on latency; the paper adopts
 //! hop-by-hop anyway for its trust and correctness properties.
 
-use qos_bench::{table_header, table_row};
+use qos_bench::{experiment_registry, table_header, table_row, write_metrics_snapshot};
 use qos_core::drive::Mesh;
 use qos_core::scenario::{build_chain, ChainOptions};
 use qos_core::source::{AgentMode, SourceBasedRun};
@@ -43,6 +43,7 @@ fn mesh_with_hops(s: &mut qos_core::scenario::Scenario) -> Mesh {
 
 fn main() {
     println!("EXP-L: signalling latency vs path length (heterogeneous hops)\n");
+    let (registry, telemetry) = experiment_registry();
     let widths = [8, 16, 18, 18, 16];
     table_header(
         &[
@@ -62,6 +63,7 @@ fn main() {
         let hb_ms = {
             let mut s = build_chain(ChainOptions {
                 domains: n,
+                telemetry: telemetry.clone(),
                 ..ChainOptions::default()
             });
             let spec = s.spec("alice", 7, 10 * MBPS, Timestamp(0), 3600);
@@ -80,6 +82,7 @@ fn main() {
         for (slot, mode) in [(0, AgentMode::Concurrent), (1, AgentMode::Sequential)] {
             let mut s = build_chain(ChainOptions {
                 domains: n,
+                telemetry: telemetry.clone(),
                 ..ChainOptions::default()
             });
             let domains = s.domains.clone();
@@ -107,6 +110,7 @@ fn main() {
             &widths,
         );
     }
+    write_metrics_snapshot("exp_latency_sweep", &registry);
     println!(
         "\nexpected (2 ms processing per message at each broker):\n\
          hop-by-hop  = 2×sum-hops + 2(n-1)×processing  (serial chain);\n\

@@ -10,7 +10,7 @@
 //! load at O(1) (the setup) and each sub-flow costs one direct
 //! source↔destination round trip. The crossover is immediate (k > 1).
 
-use qos_bench::{mesh_from, table_header, table_row};
+use qos_bench::{experiment_registry, mesh_from, table_header, table_row, write_metrics_snapshot};
 use qos_core::node::Completion;
 use qos_core::scenario::{build_chain, ChainOptions};
 use qos_crypto::Timestamp;
@@ -20,11 +20,12 @@ const MBPS: u64 = 1_000_000;
 const DOMAINS: usize = 5;
 
 /// (transit messages, total virtual ms, flows granted)
-fn per_flow_mode(k: usize) -> (u64, f64, usize) {
+fn per_flow_mode(k: usize, telemetry: &qos_telemetry::Telemetry) -> (u64, f64, usize) {
     let mut s = build_chain(ChainOptions {
         domains: DOMAINS,
         sla_rate_bps: 10_000 * MBPS,
         local_capacity_bps: 100_000 * MBPS,
+        telemetry: telemetry.clone(),
         ..ChainOptions::default()
     });
     let mut rars = Vec::new();
@@ -56,11 +57,12 @@ fn per_flow_mode(k: usize) -> (u64, f64, usize) {
 }
 
 /// (transit messages, total virtual ms, flows granted)
-fn tunnel_mode(k: usize) -> (u64, f64, usize) {
+fn tunnel_mode(k: usize, telemetry: &qos_telemetry::Telemetry) -> (u64, f64, usize) {
     let mut s = build_chain(ChainOptions {
         domains: DOMAINS,
         sla_rate_bps: 10_000 * MBPS,
         local_capacity_bps: 100_000 * MBPS,
+        telemetry: telemetry.clone(),
         ..ChainOptions::default()
     });
     let spec = s
@@ -96,6 +98,7 @@ fn tunnel_mode(k: usize) -> (u64, f64, usize) {
 
 fn main() {
     println!("EXP-T: per-flow reservations vs tunnel, {DOMAINS}-domain path, 5 ms hops\n");
+    let (registry, telemetry) = experiment_registry();
     let widths = [8, 10, 18, 14, 18, 14];
     table_header(
         &[
@@ -109,7 +112,7 @@ fn main() {
         &widths,
     );
     for k in [1usize, 10, 100, 1000] {
-        let (tm, ms, granted) = per_flow_mode(k);
+        let (tm, ms, granted) = per_flow_mode(k, &telemetry);
         table_row(
             &[
                 k.to_string(),
@@ -121,7 +124,7 @@ fn main() {
             ],
             &widths,
         );
-        let (tm, ms, granted) = tunnel_mode(k);
+        let (tm, ms, granted) = tunnel_mode(k, &telemetry);
         table_row(
             &[
                 k.to_string(),
@@ -134,6 +137,7 @@ fn main() {
             &widths,
         );
     }
+    write_metrics_snapshot("exp_tunnel_scaling", &registry);
     println!(
         "\nexpected: per-flow transit load = 2·(transit brokers)·k messages,\n\
          growing linearly in k; tunnel transit load is a constant 6 (the\n\

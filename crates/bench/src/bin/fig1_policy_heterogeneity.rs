@@ -7,22 +7,26 @@
 //! Expected shape: the decision matrix matches the two policy files
 //! verbatim.
 
-use qos_bench::{table_header, table_row};
+use qos_bench::{experiment_registry, table_header, table_row, write_metrics_snapshot};
 use qos_crypto::{DistinguishedName, KeyPair};
 use qos_policy::{samples, GroupServer, NoReservations, PolicyRequest, PolicyServer, Value};
 
 fn main() {
     println!("FIG1: policy heterogeneity (Figure 1)\n");
 
+    let (registry, telemetry) = experiment_registry();
     let mut groups = GroupServer::new("accreditation", KeyPair::from_seed(b"gs"));
     groups.add_member("physicists", "Charlie");
 
-    let pdp_a = PolicyServer::from_source(
+    let mut pdp_a = PolicyServer::from_source(
         samples::FIG1_DOMAIN_A,
         GroupServer::new("a", KeyPair::from_seed(b"a")),
     )
     .unwrap();
-    let pdp_b = PolicyServer::from_source(samples::FIG1_DOMAIN_B, groups).unwrap();
+    let mut pdp_b = PolicyServer::from_source(samples::FIG1_DOMAIN_B, groups).unwrap();
+    pdp_a.set_telemetry(&telemetry, "domain-a");
+    pdp_b.set_telemetry(&telemetry, "domain-b");
+    let (pdp_a, pdp_b) = (pdp_a, pdp_b);
 
     let vars = qos_policy::DomainVars {
         avail_bw_bps: 100_000_000,
@@ -46,6 +50,8 @@ fn main() {
             &widths,
         );
     }
+    println!();
+    write_metrics_snapshot("fig1_policy_heterogeneity", &registry);
     println!(
         "\nexpected: A grants Alice / denies Bob (ACL); B grants only the\n\
          accredited physicist Charlie, regardless of A's opinion."

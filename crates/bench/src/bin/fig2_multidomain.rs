@@ -7,16 +7,17 @@
 //! Expected shape: all three brokers are involved in a grant; any single
 //! denial yields no end-to-end reservation and no residual holds.
 
-use qos_bench::{mesh_from, table_header, table_row};
+use qos_bench::{experiment_registry, mesh_from, table_header, table_row, write_metrics_snapshot};
 use qos_core::node::Completion;
 use qos_core::scenario::{build_chain, ChainOptions};
 use qos_crypto::Timestamp;
 use qos_net::SimDuration;
+use qos_telemetry::Telemetry;
 use std::collections::HashMap;
 
 const MBPS: u64 = 1_000_000;
 
-fn run(deny_at: Option<usize>) -> (bool, Vec<(String, bool, u64)>) {
+fn run(deny_at: Option<usize>, telemetry: &Telemetry) -> (bool, Vec<(String, bool, u64)>) {
     let mut policies = HashMap::new();
     if let Some(i) = deny_at {
         policies.insert(
@@ -26,6 +27,8 @@ fn run(deny_at: Option<usize>) -> (bool, Vec<(String, bool, u64)>) {
     }
     let mut s = build_chain(ChainOptions {
         policies,
+        telemetry: telemetry.clone(),
+        tracing: true,
         ..ChainOptions::default()
     });
     let domains = s.domains.clone();
@@ -54,6 +57,7 @@ fn run(deny_at: Option<usize>) -> (bool, Vec<(String, bool, u64)>) {
 
 fn main() {
     println!("FIG2: the multi-domain reservation problem (Figure 2)\n");
+    let (registry, telemetry) = experiment_registry();
     let widths = [22, 10, 10, 14];
     table_header(&["case", "domain", "contacted", "reserved(bps)"], &widths);
     for (label, deny_at) in [
@@ -61,7 +65,7 @@ fn main() {
         ("domain-b denies", Some(1)),
         ("domain-c denies", Some(2)),
     ] {
-        let (granted, rows) = run(deny_at);
+        let (granted, rows) = run(deny_at, &telemetry);
         for (d, contacted, reserved) in rows {
             table_row(
                 &[
@@ -75,8 +79,9 @@ fn main() {
         }
         println!();
     }
+    write_metrics_snapshot("fig2_multidomain", &registry);
     println!(
-        "expected: a grant involves every broker on the path and commits\n\
+        "\nexpected: a grant involves every broker on the path and commits\n\
          10 Mb/s in each domain; any single denial leaves zero residual\n\
          holds everywhere (two-phase rollback)."
     );

@@ -9,7 +9,7 @@
 //! 2×Σ; trust entries per broker = |users| (+peers), versus ≤2 peers for
 //! hop-by-hop.
 
-use qos_bench::{mesh_from, table_header, table_row};
+use qos_bench::{experiment_registry, mesh_from, table_header, table_row, write_metrics_snapshot};
 use qos_core::scenario::{build_chain, ChainOptions};
 use qos_core::source::{AgentMode, SourceBasedRun};
 use qos_crypto::Timestamp;
@@ -18,6 +18,7 @@ const MBPS: u64 = 1_000_000;
 
 fn main() {
     println!("FIG3: source-domain-based signalling (Figure 3)\n");
+    let (registry, telemetry) = experiment_registry();
 
     let n_users = 50;
     let n_domains = 5;
@@ -30,6 +31,7 @@ fn main() {
         let mut s = build_chain(ChainOptions {
             domains: n_domains,
             extra_users: extra_users.clone(),
+            telemetry: telemetry.clone(),
             ..ChainOptions::default()
         });
         let domains = s.domains.clone();
@@ -115,6 +117,8 @@ fn main() {
         &widths,
     );
 
+    println!();
+    write_metrics_snapshot("fig3_source_signalling", &registry);
     println!(
         "\nexpected: source-based ≈ users+peers (~{}), STARS ≈ peers+1,\n\
          hop-by-hop ≈ peers only (≤2): the per-user trust burden vanishes.",

@@ -34,8 +34,9 @@ fn poisson(id: u64, src: NodeId, dst: NodeId, rate: u64) -> FlowSpec {
 }
 
 /// Returns (alice_loss, david_loss, alice_goodput_bps).
-fn run(david_rate: u64, attack: bool) -> (f64, f64, f64) {
+fn run(david_rate: u64, attack: bool, telemetry: &qos_telemetry::Telemetry) -> (f64, f64, f64) {
     let (mut scenario, network, names) = build_paper_world(200 * MBPS, SimDuration::from_millis(5));
+    qos_bench::install_telemetry(&mut scenario, telemetry);
     let david_pk = scenario.users["david"].key.public();
     let david_dn = scenario.users["david"].dn.clone();
     for node in &mut scenario.nodes {
@@ -80,6 +81,7 @@ fn run(david_rate: u64, attack: bool) -> (f64, f64, f64) {
         net.run_to_completion();
     }
     let net = mesh.network().unwrap();
+    net.stats().export_telemetry(telemetry);
     let alice = net.flow_stats(FlowId(1));
     let david = net.flow_stats(FlowId(2));
     (alice.loss_ratio(), david.loss_ratio(), alice.goodput_bps())
@@ -87,6 +89,7 @@ fn run(david_rate: u64, attack: bool) -> (f64, f64, f64) {
 
 fn main() {
     println!("FIG4: misreservation (Figure 4) — Alice has a valid 10 Mb/s reservation\n");
+    let (registry, telemetry) = qos_bench::experiment_registry();
     let widths = [14, 16, 14, 20, 14];
     table_header(
         &[
@@ -104,9 +107,9 @@ fn main() {
                 continue;
             }
             let (al, dl, goodput) = if david_mbps == 0 {
-                run(1, false) // negligible background
+                run(1, false, &telemetry) // negligible background
             } else {
-                run(david_mbps * MBPS, attack)
+                run(david_mbps * MBPS, attack, &telemetry)
             };
             table_row(
                 &[
@@ -124,6 +127,8 @@ fn main() {
             );
         }
     }
+    println!();
+    qos_bench::write_metrics_snapshot("fig4_misreservation", &registry);
     println!(
         "\nexpected: under 'source+skip C' Alice's loss climbs towards\n\
          david/(david+10) (the flow-blind policer drops the aggregate\n\

@@ -10,7 +10,7 @@
 //! back atomically when either is impossible).
 
 use gara::{Gara, GaraStatus, ResourceKind};
-use qos_bench::{mesh_from, table_header, table_row};
+use qos_bench::{experiment_registry, mesh_from, table_header, table_row, write_metrics_snapshot};
 use qos_core::scenario::{build_chain, ChainOptions};
 use qos_crypto::Timestamp;
 use qos_policy::samples;
@@ -18,13 +18,14 @@ use std::collections::HashMap;
 
 const MBPS: u64 = 1_000_000;
 
-fn build_gara() -> (Gara, qos_core::scenario::Scenario) {
+fn build_gara(telemetry: &qos_telemetry::Telemetry) -> (Gara, qos_core::scenario::Scenario) {
     let mut policies = HashMap::new();
     policies.insert(0, samples::FIG6_DOMAIN_A.to_string());
     policies.insert(1, samples::FIG6_DOMAIN_B.to_string());
     policies.insert(2, samples::FIG6_DOMAIN_C.to_string());
     let mut s = build_chain(ChainOptions {
         policies,
+        telemetry: telemetry.clone(),
         ..ChainOptions::default()
     });
     let mesh = mesh_from(&mut s, 5);
@@ -35,9 +36,10 @@ fn build_gara() -> (Gara, qos_core::scenario::Scenario) {
 
 fn main() {
     println!("FIG5: hop-by-hop signalling + CPU co-reservation (Figure 5)\n");
+    let (registry, telemetry) = experiment_registry();
 
     // Case 1: Alice, with ESnet capability — network + CPU granted.
-    let (mut g, mut s) = build_gara();
+    let (mut g, mut s) = build_gara(&telemetry);
     let spec = s.spec("alice", 7, 10 * MBPS, Timestamp(0), 3600);
     let alice = &s.users["alice"];
     let (net, cpu) = g
@@ -78,7 +80,7 @@ fn main() {
     }
 
     // Case 2: David (no capability) — network denied ⇒ CPU rolled back.
-    let (mut g, mut s) = build_gara();
+    let (mut g, mut s) = build_gara(&telemetry);
     let spec = s.spec("david", 8, 10 * MBPS, Timestamp(0), 3600);
     let david = &s.users["david"];
     let (net, cpu) = g
@@ -96,6 +98,8 @@ fn main() {
     println!("network : {denied}");
     println!("cpu     : {cpu_state:?} (free slots {cpu_free}/64)");
 
+    println!();
+    write_metrics_snapshot("fig5_hop_by_hop", &registry);
     println!(
         "\nexpected: Alice's co-reservation grants with 1 Request to each\n\
          of B and C (she contacted only A); David is refused at the very\n\

@@ -9,7 +9,7 @@
 //! B requires ATLAS membership or an ESnet capability (≤10 Mb/s), C
 //! requires ESnet + a valid CPU reservation for ≥5 Mb/s.
 
-use qos_bench::{mesh_from, table_header, table_row};
+use qos_bench::{experiment_registry, mesh_from, table_header, table_row, write_metrics_snapshot};
 use qos_core::node::Completion;
 use qos_core::scenario::{build_chain, ChainOptions};
 use qos_crypto::Timestamp;
@@ -20,13 +20,20 @@ use std::collections::HashMap;
 const MBPS: u64 = 1_000_000;
 
 /// One sweep point. Returns "GRANT" or "DENY@<domain>".
-fn run(user: &str, rate_mbps: u64, hour: u64, cpu_ok: bool) -> String {
+fn run(
+    user: &str,
+    rate_mbps: u64,
+    hour: u64,
+    cpu_ok: bool,
+    telemetry: &qos_telemetry::Telemetry,
+) -> String {
     let mut policies = HashMap::new();
     policies.insert(0, samples::FIG6_DOMAIN_A.to_string());
     policies.insert(1, samples::FIG6_DOMAIN_B.to_string());
     policies.insert(2, samples::FIG6_DOMAIN_C.to_string());
     let mut s = build_chain(ChainOptions {
         policies,
+        telemetry: telemetry.clone(),
         ..ChainOptions::default()
     });
     let start = Timestamp::from_hours(hour);
@@ -54,6 +61,7 @@ fn run(user: &str, rate_mbps: u64, hour: u64, cpu_ok: bool) -> String {
 
 fn main() {
     println!("FIG6: policy sweep across the Figure 6 chain\n");
+    let (registry, telemetry) = experiment_registry();
     println!("(requestor Alice holds an ESnet capability; David holds none)\n");
     let widths = [9, 10, 7, 9, 12];
     table_header(&["user", "BW(Mb/s)", "hour", "CPU 111", "outcome"], &widths);
@@ -78,11 +86,12 @@ fn main() {
                 rate.to_string(),
                 format!("{hour}:00"),
                 cpu_ok.to_string(),
-                run(user, rate, hour, cpu_ok),
+                run(user, rate, hour, cpu_ok, &telemetry),
             ],
             &widths,
         );
     }
+    write_metrics_snapshot("fig6_policy_sweep", &registry);
     println!(
         "\nexpected boundaries:\n\
          - alice 12 Mb/s @10:00 → DENY@a (business-hours cap)\n\

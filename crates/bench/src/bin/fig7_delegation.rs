@@ -6,7 +6,7 @@
 //! checklist passes; and the RAR-binding restriction appears during
 //! transit delegation.
 
-use qos_bench::{mesh_from, table_header, table_row};
+use qos_bench::{experiment_registry, mesh_from, table_header, table_row, write_metrics_snapshot};
 use qos_core::node::Completion;
 use qos_core::scenario::{build_chain, ChainOptions};
 use qos_crypto::{DelegationChain, Timestamp};
@@ -14,10 +14,18 @@ use qos_net::SimDuration;
 
 const MBPS: u64 = 1_000_000;
 
+fn chain(telemetry: &qos_telemetry::Telemetry) -> qos_core::scenario::Scenario {
+    build_chain(ChainOptions {
+        telemetry: telemetry.clone(),
+        ..ChainOptions::default()
+    })
+}
+
 fn main() {
     println!("FIG7: capability delegation along the path (Figure 7)\n");
+    let (registry, telemetry) = experiment_registry();
 
-    let mut s = build_chain(ChainOptions::default());
+    let mut s = chain(&telemetry);
     let spec = s.spec("alice", 7, 10 * MBPS, Timestamp(0), 3600);
     let rar_id = spec.rar_id;
     let rar = s.users["alice"].sign_request(spec, &s.nodes[0]);
@@ -48,7 +56,7 @@ fn main() {
 
     // Build the same chain again to display its structure and run the
     // checklist exactly as BB_C does.
-    let mut s2 = build_chain(ChainOptions::default());
+    let mut s2 = chain(&telemetry);
     let spec = s2.spec("alice", 8, 10 * MBPS, Timestamp(0), 3600);
     let rar2 = s2.users["alice"].sign_request(spec, &s2.nodes[0]);
     let chain = DelegationChain {
@@ -68,6 +76,7 @@ fn main() {
     println!("  capabilities: {:?}", verified.capabilities);
     println!("  holder      : {}", verified.holder);
 
+    write_metrics_snapshot("fig7_delegation", &registry);
     println!(
         "\nexpected: 2/3/4 certificates at A/B/C (the figure's counts);\n\
          each transit hop's delegation adds a valid-for-RAR restriction;\n\

@@ -7,6 +7,42 @@
 use qos_core::drive::Mesh;
 use qos_core::scenario::Scenario;
 use qos_net::SimDuration;
+use qos_telemetry::{render_prometheus, snapshot_json, Registry, Telemetry};
+use std::sync::Arc;
+
+/// One registry per experiment run, plus the [`Telemetry`] handle that
+/// routes broker instruments into it.
+pub fn experiment_registry() -> (Arc<Registry>, Telemetry) {
+    let registry = Registry::new();
+    let telemetry = Telemetry::with_registry(registry.clone());
+    (registry, telemetry)
+}
+
+/// Route every broker in `scenario` into `telemetry` (counters,
+/// histograms, PDP and admission instruments).
+pub fn install_telemetry(scenario: &mut Scenario, telemetry: &Telemetry) {
+    for node in &mut scenario.nodes {
+        node.install_telemetry(telemetry.clone());
+    }
+}
+
+/// Write the run's metrics in both exposition formats:
+/// `METRICS_<experiment>.prom` (Prometheus text) and
+/// `METRICS_<experiment>.json` (structured snapshot with percentiles).
+/// CI uploads these as artifacts next to the benchmark JSON.
+pub fn write_metrics_snapshot(experiment: &str, registry: &Registry) {
+    let prom_path = format!("METRICS_{experiment}.prom");
+    let json_path = format!("METRICS_{experiment}.json");
+    if let Err(e) = std::fs::write(&prom_path, render_prometheus(registry)) {
+        eprintln!("warning: could not write {prom_path}: {e}");
+        return;
+    }
+    if let Err(e) = std::fs::write(&json_path, snapshot_json(registry)) {
+        eprintln!("warning: could not write {json_path}: {e}");
+        return;
+    }
+    println!("wrote {prom_path} + {json_path}");
+}
 
 /// Move a scenario's brokers into a mesh with uniform hop latency.
 pub fn mesh_from(scenario: &mut Scenario, hop_latency_ms: u64) -> Mesh {

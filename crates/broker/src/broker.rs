@@ -19,6 +19,7 @@ use crate::billing::BillingLedger;
 use crate::reservations::{AdmissionError, Interval, ResState, ReservationId, ReservationTable};
 use crate::sla::Sla;
 use qos_crypto::Timestamp;
+use qos_telemetry::{Counter, Telemetry};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -74,6 +75,16 @@ struct ResMeta {
     segment: PathSegment,
 }
 
+/// Life-cycle counters for one resource core (detached no-ops by
+/// default).
+#[derive(Default)]
+struct CoreCounters {
+    holds_ok: Counter,
+    holds_refused: Counter,
+    commits: Counter,
+    releases: Counter,
+}
+
 /// A domain's bandwidth-broker resource core.
 pub struct BrokerCore {
     domain: String,
@@ -84,6 +95,7 @@ pub struct BrokerCore {
     slas_out: HashMap<String, Sla>,
     meta: HashMap<ReservationId, ResMeta>,
     billing: BillingLedger,
+    counters: CoreCounters,
 }
 
 impl BrokerCore {
@@ -98,7 +110,37 @@ impl BrokerCore {
             slas_out: HashMap::new(),
             meta: HashMap::new(),
             billing: BillingLedger::new(),
+            counters: CoreCounters::default(),
         }
+    }
+
+    /// Route this core's reservation life-cycle counters into
+    /// `telemetry`: `broker_holds_total{domain,decision=held|refused}`,
+    /// `broker_commits_total{domain}`, `broker_releases_total{domain}`.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        let d = self.domain.clone();
+        self.counters = CoreCounters {
+            holds_ok: telemetry.counter(
+                "broker_holds_total",
+                "Two-phase capacity holds by outcome",
+                &[("domain", &d), ("decision", "held")],
+            ),
+            holds_refused: telemetry.counter(
+                "broker_holds_total",
+                "Two-phase capacity holds by outcome",
+                &[("domain", &d), ("decision", "refused")],
+            ),
+            commits: telemetry.counter(
+                "broker_commits_total",
+                "Held reservations committed after end-to-end approval",
+                &[("domain", &d)],
+            ),
+            releases: telemetry.counter(
+                "broker_releases_total",
+                "Reservations released (denial, cancellation, or expiry)",
+                &[("domain", &d)],
+            ),
+        };
     }
 
     /// The domain this broker controls.
@@ -152,6 +194,21 @@ impl BrokerCore {
     /// `segment`. All three checks (ingress SLA, local, egress SLA) must
     /// pass; partial holds are rolled back.
     pub fn hold(
+        &mut self,
+        id: ReservationId,
+        interval: Interval,
+        rate_bps: u64,
+        segment: PathSegment,
+    ) -> Result<(), BrokerError> {
+        let result = self.hold_inner(id, interval, rate_bps, segment);
+        match &result {
+            Ok(()) => self.counters.holds_ok.inc(),
+            Err(_) => self.counters.holds_refused.inc(),
+        }
+        result
+    }
+
+    fn hold_inner(
         &mut self,
         id: ReservationId,
         interval: Interval,
@@ -247,12 +304,20 @@ impl BrokerCore {
 
     /// Commit a held reservation (end-to-end approval arrived).
     pub fn commit(&mut self, id: ReservationId) -> Result<(), BrokerError> {
-        self.for_each_table(id, |t, id| t.commit(id))
+        let result = self.for_each_table(id, |t, id| t.commit(id));
+        if result.is_ok() {
+            self.counters.commits.inc();
+        }
+        result
     }
 
     /// Release a reservation (denial downstream, cancellation, or expiry).
     pub fn release(&mut self, id: ReservationId) -> Result<(), BrokerError> {
-        self.for_each_table(id, |t, id| t.release(id))
+        let result = self.for_each_table(id, |t, id| t.release(id));
+        if result.is_ok() {
+            self.counters.releases.inc();
+        }
+        result
     }
 
     /// The reservation's current state (from the local table).

@@ -125,12 +125,14 @@ impl fmt::Display for AuditEvent {
     }
 }
 
-/// A bounded audit trail (oldest entries evicted beyond the cap).
+/// A bounded audit trail (oldest entries evicted beyond the cap, with an
+/// eviction count — a forensic trail must not *silently* lose history).
 #[derive(Debug)]
 pub struct AuditLog {
     enabled: bool,
     cap: usize,
     events: VecDeque<(Timestamp, AuditEvent)>,
+    dropped: u64,
 }
 
 impl Default for AuditLog {
@@ -146,6 +148,7 @@ impl AuditLog {
             enabled: false,
             cap: cap.max(1),
             events: VecDeque::new(),
+            dropped: 0,
         }
     }
 
@@ -159,6 +162,16 @@ impl AuditLog {
         self.enabled
     }
 
+    /// The eviction bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events evicted by the capacity bound since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Record an event (no-op while disabled).
     pub fn record(&mut self, at: Timestamp, event: AuditEvent) {
         if !self.enabled {
@@ -166,6 +179,7 @@ impl AuditLog {
         }
         if self.events.len() == self.cap {
             self.events.pop_front();
+            self.dropped += 1;
         }
         self.events.push_back((at, event));
     }
@@ -226,6 +240,8 @@ mod tests {
             log.record(Timestamp(i), AuditEvent::Approved { rar_id: RarId(i) });
         }
         assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.capacity(), 3);
         let first = log.events().next().unwrap();
         assert_eq!(first.0, Timestamp(2), "oldest evicted");
     }

@@ -16,7 +16,9 @@ use crate::rar::RarId;
 use qos_crypto::{Certificate, DistinguishedName, Timestamp};
 use qos_net::des::Scheduler;
 use qos_net::{Network, SimDuration, SimTime};
+use qos_telemetry::ManualClock;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A timestamped record of one delivered message (for experiment
 /// accounting).
@@ -83,6 +85,7 @@ pub struct Mesh {
     msg_log: Vec<MsgRecord>,
     agent_inbox: Vec<(SimTime, SignalMessage)>,
     processing_delay: SimDuration,
+    sim_clock: Option<ManualClock>,
 }
 
 impl Default for Mesh {
@@ -103,7 +106,21 @@ impl Mesh {
             msg_log: Vec::new(),
             agent_inbox: Vec::new(),
             processing_delay: SimDuration::ZERO,
+            sim_clock: None,
         }
+    }
+
+    /// Install a shared virtual-time clock on every broker (present and
+    /// future): span timestamps then carry simulated nanoseconds instead
+    /// of wall time, advanced by this scheduler as events dispatch. The
+    /// returned clone reads the same cell.
+    pub fn install_sim_clock(&mut self) -> ManualClock {
+        let clock = ManualClock::new();
+        for node in self.nodes.values_mut() {
+            node.set_clock(Arc::new(clock.clone()));
+        }
+        self.sim_clock = Some(clock.clone());
+        clock
     }
 
     /// Model per-message broker processing cost (signature checks,
@@ -129,7 +146,10 @@ impl Mesh {
     }
 
     /// Add a broker.
-    pub fn add_node(&mut self, node: BbNode) {
+    pub fn add_node(&mut self, mut node: BbNode) {
+        if let Some(clock) = &self.sim_clock {
+            node.set_clock(Arc::new(clock.clone()));
+        }
         self.nodes.insert(node.domain().to_string(), node);
     }
 
@@ -320,6 +340,9 @@ impl Mesh {
         let mut processed = 0;
         while let Some((now, event)) = self.sched.pop() {
             processed += 1;
+            if let Some(clock) = &self.sim_clock {
+                clock.set_ns(now.as_nanos());
+            }
             match event {
                 MeshEvent::Deliver { from, to, msg } => {
                     self.msg_log.push(MsgRecord {

@@ -22,6 +22,12 @@
 //! * [`runtime`] — the same brokers as concurrent actor threads over
 //!   sealed secure channels;
 //! * [`scenario`] — the paper's multi-domain world, ready-built.
+//!
+//! Observability (DESIGN.md §D7): brokers and both drivers thread a
+//! `qos_telemetry` registry and per-RAR tracer through every protocol
+//! step — see [`node::BbConfig::telemetry`], [`BbNode::tracer`],
+//! [`drive::Mesh::install_sim_clock`] and
+//! [`runtime::ActorMesh::set_telemetry`].
 
 pub mod audit;
 pub mod channel;
@@ -44,5 +50,6 @@ pub use error::CoreError;
 pub use messages::{Approval, Denial, SignalMessage};
 pub use node::{BbConfig, BbNode, Completion, EdgeBinding, NodeCounters};
 pub use rar::{RarId, ResSpec};
+pub use runtime::ActorMesh;
 pub use source::{AgentMode, ReservationCoordinator, SourceBasedRun};
 pub use trust::{verify_rar, KeySource, VerifiedRar};

@@ -433,6 +433,40 @@ qos_wire::impl_wire_enum!(SignalMessage {
     8 => TunnelFlowRelease(t0: TunnelFlowRelease),
 });
 
+impl SignalMessage {
+    /// The request (or tunnel) this message concerns.
+    pub fn rar_id(&self) -> RarId {
+        match self {
+            SignalMessage::Request(rar) => rar.res_spec().rar_id,
+            SignalMessage::Approve(a) => a.rar_id,
+            SignalMessage::Deny(d) => d.rar_id,
+            SignalMessage::Direct(d) => d.rar.res_spec().rar_id,
+            SignalMessage::DirectReply(r) => r.rar_id,
+            SignalMessage::TunnelFlow(t) => t.tunnel,
+            SignalMessage::TunnelFlowReply(r) => r.tunnel,
+            SignalMessage::Release(r) => r.rar_id,
+            SignalMessage::TunnelFlowRelease(r) => r.tunnel,
+        }
+    }
+
+    /// The trace this message belongs to, where the message itself
+    /// carries enough signed state to re-derive it ([`TraceId::mint`]
+    /// is deterministic over `(source_domain, rar_id)`). Upstream
+    /// replies (approve/deny/…) identify the request by id only; brokers
+    /// resolve those against their pending table instead.
+    pub fn trace_id(&self) -> Option<qos_telemetry::TraceId> {
+        let spec = match self {
+            SignalMessage::Request(rar) => rar.res_spec(),
+            SignalMessage::Direct(d) => d.rar.res_spec(),
+            _ => return None,
+        };
+        Some(qos_telemetry::TraceId::mint(
+            &spec.source_domain,
+            spec.rar_id.0,
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

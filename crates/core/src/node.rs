@@ -32,7 +32,12 @@ use qos_net::conditioner::{ExcessTreatment, TrafficProfile};
 use qos_net::{FlowId, LinkId, NodeId};
 use qos_policy::request::VerifiedCapability;
 use qos_policy::{Assertion, AttributeSet, GroupServer, PolicyServer, ReservationOracle, Value};
+use qos_telemetry::{
+    Clock, Counter, Gauge, Histogram, Span, SpanKind, StdClock, Telemetry, TraceId, Tracer,
+};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Binding from this domain's broker to its data plane.
 #[derive(Debug, Clone, Default)]
@@ -81,6 +86,61 @@ pub struct NodeCounters {
     pub verified: u64,
 }
 
+/// Single-storage counter cells: the node increments these directly, and
+/// [`BbNode::install_telemetry`] registers the very same `Arc`s with the
+/// registry — [`BbNode::counters`] and the Prometheus exposition read one
+/// set of atomics, so they can never diverge.
+#[derive(Debug, Default)]
+struct CounterCells {
+    rx: Arc<AtomicU64>,
+    tx: Arc<AtomicU64>,
+    signed: Arc<AtomicU64>,
+    verified: Arc<AtomicU64>,
+}
+
+impl CounterCells {
+    #[inline]
+    fn add_rx(&self, n: u64) {
+        self.rx.fetch_add(n, Ordering::Relaxed);
+    }
+    #[inline]
+    fn add_tx(&self, n: u64) {
+        self.tx.fetch_add(n, Ordering::Relaxed);
+    }
+    #[inline]
+    fn add_signed(&self, n: u64) {
+        self.signed.fetch_add(n, Ordering::Relaxed);
+    }
+    #[inline]
+    fn add_verified(&self, n: u64) {
+        self.verified.fetch_add(n, Ordering::Relaxed);
+    }
+    fn snapshot(&self) -> NodeCounters {
+        NodeCounters {
+            rx: self.rx.load(Ordering::Relaxed),
+            tx: self.tx.load(Ordering::Relaxed),
+            signed: self.signed.load(Ordering::Relaxed),
+            verified: self.verified.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Resolved metric instruments. `Default` handles are detached no-ops, so
+/// a node without [`BbNode::install_telemetry`] pays one `None` check per
+/// operation and allocates nothing.
+#[derive(Debug, Default)]
+struct NodeInstruments {
+    verify_ns: Histogram,
+    sign_ns: Histogram,
+    decide_ns: Histogram,
+    queue_wait_ns: Histogram,
+    admission_held: Counter,
+    admission_refused: Counter,
+    completions_ok: Counter,
+    completions_denied: Counter,
+    audit_dropped: Gauge,
+}
+
 struct Pending {
     upstream: Option<String>,
     requestor: DistinguishedName,
@@ -89,6 +149,7 @@ struct Pending {
     interval: Interval,
     segment: PathSegment,
     tunnel: bool,
+    trace: TraceId,
 }
 
 struct TunnelSrc {
@@ -128,6 +189,15 @@ pub struct BbConfig {
     pub cas_keys: HashMap<String, PublicKey>,
     /// CA trusted for user identity certificates.
     pub user_ca: PublicKey,
+    /// Enable the structured audit trail from the start.
+    pub audit: bool,
+    /// Audit-trail capacity (events retained before eviction).
+    pub audit_capacity: usize,
+    /// Metrics destination; [`Telemetry::disabled`] (the conventional
+    /// default) makes every instrument a no-op.
+    pub telemetry: Telemetry,
+    /// Record per-request trace spans.
+    pub tracing: bool,
 }
 
 struct CpuOracle<'a>(&'a HashSet<u64>);
@@ -160,8 +230,13 @@ pub struct BbNode {
     direct_users: HashMap<DistinguishedName, PublicKey>,
     tunnels_src: HashMap<RarId, TunnelSrc>,
     tunnels_dst: HashMap<RarId, TunnelDst>,
-    counters: NodeCounters,
+    counters: CounterCells,
     audit: AuditLog,
+    telemetry: Telemetry,
+    instruments: NodeInstruments,
+    tracer: Tracer,
+    clock: Arc<dyn Clock>,
+    verified_paths: HashMap<RarId, Vec<DistinguishedName>>,
 }
 
 impl BbNode {
@@ -173,7 +248,11 @@ impl BbNode {
     pub fn new(config: BbConfig) -> Self {
         let pdp = PolicyServer::from_source(&config.policy_src, config.groups)
             .unwrap_or_else(|e| panic!("policy for {} failed to parse: {e}", config.domain));
-        Self {
+        let mut audit = AuditLog::new(config.audit_capacity);
+        audit.set_enabled(config.audit);
+        let mut tracer = Tracer::default();
+        tracer.set_enabled(config.tracing);
+        let mut node = Self {
             dn: DistinguishedName::broker(&config.domain),
             core: BrokerCore::new(&config.domain, config.local_capacity_bps),
             domain: config.domain,
@@ -194,9 +273,16 @@ impl BbNode {
             direct_users: HashMap::new(),
             tunnels_src: HashMap::new(),
             tunnels_dst: HashMap::new(),
-            counters: NodeCounters::default(),
-            audit: AuditLog::default(),
-        }
+            counters: CounterCells::default(),
+            audit,
+            telemetry: Telemetry::disabled(),
+            instruments: NodeInstruments::default(),
+            tracer,
+            clock: Arc::new(StdClock),
+            verified_paths: HashMap::new(),
+        };
+        node.install_telemetry(config.telemetry);
+        node
     }
 
     /// The domain this broker controls.
@@ -283,9 +369,9 @@ impl BbNode {
         self.peers.len() + self.direct_users.len()
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot (reads the same atomics the registry renders).
     pub fn counters(&self) -> NodeCounters {
-        self.counters
+        self.counters.snapshot()
     }
 
     /// Enable or disable the structured audit trail.
@@ -296,6 +382,183 @@ impl BbNode {
     /// The audit trail (empty unless enabled).
     pub fn audit(&self) -> &AuditLog {
         &self.audit
+    }
+
+    /// Route this node's metrics into `telemetry`: the rx/tx/signed/
+    /// verified cells are *registered* (shared storage, not copied), and
+    /// the timing histograms, admission/completion counters, and the
+    /// audit-eviction gauge are resolved under this domain's label.
+    pub fn install_telemetry(&mut self, telemetry: Telemetry) {
+        if telemetry.is_enabled() {
+            let d = self.domain.clone();
+            let dl: &[(&str, &str)] = &[("domain", &d)];
+            self.pdp.set_telemetry(&telemetry, &d);
+            self.core.set_telemetry(&telemetry);
+            telemetry.register_counter(
+                "bb_messages_received_total",
+                "Signalling messages received by the broker",
+                dl,
+                self.counters.rx.clone(),
+            );
+            telemetry.register_counter(
+                "bb_messages_sent_total",
+                "Signalling messages sent by the broker",
+                dl,
+                self.counters.tx.clone(),
+            );
+            telemetry.register_counter(
+                "bb_signatures_created_total",
+                "Signatures created (wraps, approvals, delegations, releases)",
+                dl,
+                self.counters.signed.clone(),
+            );
+            telemetry.register_counter(
+                "bb_signatures_verified_total",
+                "Signatures verified (envelope layers, approvals, capabilities)",
+                dl,
+                self.counters.verified.clone(),
+            );
+            self.instruments = NodeInstruments {
+                verify_ns: telemetry.histogram(
+                    "bb_envelope_verify_ns",
+                    "Full transitive-trust envelope verification time (ns)",
+                    dl,
+                ),
+                sign_ns: telemetry.histogram(
+                    "bb_sign_ns",
+                    "Signing time per protocol step (wrap, originate, endorse) (ns)",
+                    dl,
+                ),
+                decide_ns: telemetry.histogram(
+                    "bb_policy_decide_ns",
+                    "Local PDP decision time (ns)",
+                    dl,
+                ),
+                queue_wait_ns: telemetry.histogram(
+                    "bb_queue_wait_ns",
+                    "Mailbox wait before dispatch, as observed by the driver (ns)",
+                    dl,
+                ),
+                admission_held: telemetry.counter(
+                    "bb_admission_total",
+                    "Two-phase admission holds by outcome",
+                    &[("domain", &d), ("decision", "held")],
+                ),
+                admission_refused: telemetry.counter(
+                    "bb_admission_total",
+                    "Two-phase admission holds by outcome",
+                    &[("domain", &d), ("decision", "refused")],
+                ),
+                completions_ok: telemetry.counter(
+                    "bb_completions_total",
+                    "End-to-end request completions by outcome",
+                    &[("domain", &d), ("decision", "approved")],
+                ),
+                completions_denied: telemetry.counter(
+                    "bb_completions_total",
+                    "End-to-end request completions by outcome",
+                    &[("domain", &d), ("decision", "denied")],
+                ),
+                audit_dropped: telemetry.gauge(
+                    "bb_audit_dropped_events",
+                    "Audit events evicted by the capacity bound",
+                    dl,
+                ),
+            };
+        }
+        self.telemetry = telemetry;
+    }
+
+    /// Enable or disable per-request trace spans.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracer.set_enabled(enabled);
+    }
+
+    /// The span log (empty unless tracing is enabled).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable span log (drivers drain it; tests inject spans).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Replace the span/histogram clock. Live drivers keep the default
+    /// [`StdClock`]; the virtual-time drivers install a
+    /// [`qos_telemetry::ManualClock`] advanced by the scheduler so the
+    /// same instrumentation yields simulated-time telemetry.
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
+    }
+
+    /// Record a mailbox-wait observed by the driver: the time between a
+    /// message's arrival in this broker's inbox and its dispatch.
+    pub fn record_queue_wait(&mut self, trace: TraceId, request: RarId, start_ns: u64) {
+        if !self.timing_on() {
+            return;
+        }
+        let end_ns = self.clock.now_ns();
+        self.instruments
+            .queue_wait_ns
+            .observe(end_ns.saturating_sub(start_ns));
+        self.span_at(trace, request, SpanKind::QueueWait, "", start_ns, end_ns);
+    }
+
+    /// The signer path recovered from the verified envelope nest, as
+    /// stored when this (destination) broker ran the full transitive
+    /// trust walk: innermost signer (the user) first.
+    pub fn verified_signer_path(&self, rar_id: RarId) -> Option<&[DistinguishedName]> {
+        self.verified_paths.get(&rar_id).map(|p| p.as_slice())
+    }
+
+    /// Is any timed instrumentation active?
+    #[inline]
+    fn timing_on(&self) -> bool {
+        self.tracer.is_enabled() || self.telemetry.is_enabled()
+    }
+
+    /// Clock read gated on instrumentation: (timing-active, start-ns).
+    #[inline]
+    fn t0(&self) -> (bool, u64) {
+        if self.timing_on() {
+            (true, self.clock.now_ns())
+        } else {
+            (false, 0)
+        }
+    }
+
+    /// Record a span with explicit bounds (no-op while tracing is off).
+    fn span_at(
+        &mut self,
+        trace: TraceId,
+        request: RarId,
+        kind: SpanKind,
+        detail: impl Into<String>,
+        start_ns: u64,
+        end_ns: u64,
+    ) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        self.tracer.record(Span {
+            trace,
+            request: request.0,
+            domain: self.domain.clone(),
+            kind,
+            detail: detail.into(),
+            start_ns,
+            end_ns,
+            wall_s: self.now.0,
+        });
+    }
+
+    /// Audit an event and keep the eviction gauge current.
+    fn audit_event(&mut self, event: AuditEvent) {
+        self.audit.record(self.now, event);
+        self.instruments
+            .audit_dropped
+            .set(self.audit.dropped() as i64);
     }
 
     /// Drain buffered edge-router configuration.
@@ -346,19 +609,48 @@ impl BbNode {
         rar_u: SignedRar,
         user_cert: &Certificate,
     ) -> Vec<(String, SignalMessage)> {
-        self.counters.rx += 1;
-        let rar_id = rar_u.res_spec().rar_id;
-        self.audit.record(
-            self.now,
-            AuditEvent::RequestReceived {
-                rar_id,
-                from: "user".into(),
-                depth: rar_u.depth(),
-            },
-        );
-        match self.process_submit(rar_u, user_cert) {
-            Ok(out) => out,
+        self.counters.add_rx(1);
+        let spec = rar_u.res_spec();
+        let rar_id = spec.rar_id;
+        // The trace is minted here, at the edge of the system; every
+        // downstream broker re-derives the same id from the same signed
+        // fields (see `TraceId::mint`).
+        let trace = TraceId::mint(&spec.source_domain, rar_id.0);
+        let (_, t_sub) = self.t0();
+        let depth = rar_u.depth();
+        self.audit_event(AuditEvent::RequestReceived {
+            rar_id,
+            from: "user".into(),
+            depth,
+        });
+        match self.process_submit(rar_u, user_cert, trace) {
+            Ok(out) => {
+                let end = if self.tracer.is_enabled() {
+                    self.clock.now_ns()
+                } else {
+                    0
+                };
+                self.span_at(trace, rar_id, SpanKind::Submit, "user request", t_sub, end);
+                for (peer, _) in &out {
+                    let peer = peer.clone();
+                    self.span_at(trace, rar_id, SpanKind::Forward, peer, end, end);
+                }
+                out
+            }
             Err(e) => {
+                let end = if self.tracer.is_enabled() {
+                    self.clock.now_ns()
+                } else {
+                    0
+                };
+                self.span_at(
+                    trace,
+                    rar_id,
+                    SpanKind::Submit,
+                    format!("denied: {e}"),
+                    t_sub,
+                    end,
+                );
                 self.deny_locally(rar_id, e);
                 Vec::new()
             }
@@ -366,6 +658,7 @@ impl BbNode {
     }
 
     fn deny_locally(&mut self, rar_id: RarId, e: CoreError) {
+        self.instruments.completions_denied.inc();
         let denial = match e {
             CoreError::Denied {
                 rar_id,
@@ -392,6 +685,7 @@ impl BbNode {
         &mut self,
         rar_u: SignedRar,
         user_cert: &Certificate,
+        trace: TraceId,
     ) -> Result<Vec<(String, SignalMessage)>, CoreError> {
         let spec = rar_u.res_spec().clone();
         let rar_id = spec.rar_id;
@@ -400,7 +694,7 @@ impl BbNode {
         // signed by the certified key, addressed to this broker.
         user_cert.verify_signature(self.user_ca)?;
         user_cert.check_validity(self.now)?;
-        self.counters.verified += 1;
+        self.counters.add_verified(1);
         if !user_cert.tbs.subject.same_principal(&spec.requestor) {
             return Err(CoreError::LayerSignature {
                 signer: spec.requestor.clone(),
@@ -411,7 +705,7 @@ impl BbNode {
                 signer: spec.requestor.clone(),
             });
         }
-        self.counters.verified += 1;
+        self.counters.add_verified(1);
         if let RarLayer::User { source_bb, .. } = &rar_u.layer {
             if *source_bb != self.dn {
                 return Err(CoreError::PathMismatch {
@@ -425,7 +719,7 @@ impl BbNode {
         let caps = self.verify_capability_chain(&rar_u)?;
 
         // Local policy.
-        let mut attachments = self.check_policy(&spec, &caps, &AttributeSet::new())?;
+        let mut attachments = self.check_policy(&spec, &caps, &AttributeSet::new(), trace)?;
 
         // Local admission (two-phase hold).
         let egress = self.next_peer_towards(&spec.dest_domain)?;
@@ -455,7 +749,7 @@ impl BbNode {
             ingress_peer: None,
             egress_peer: egress.clone(),
         };
-        self.hold(rar_id, spec.interval, spec.rate_bps, segment.clone())?;
+        self.hold(rar_id, spec.interval, spec.rate_bps, segment.clone(), trace)?;
         self.pending.insert(
             rar_id,
             Pending {
@@ -466,13 +760,15 @@ impl BbNode {
                 interval: spec.interval,
                 segment,
                 tunnel: spec.tunnel,
+                trace,
             },
         );
 
         match egress {
             None => {
                 // Single-domain reservation: we are also the destination.
-                let approval = self.finalize_destination_approval(rar_id, AttributeSet::new());
+                let approval =
+                    self.finalize_destination_approval(rar_id, AttributeSet::new(), trace);
                 self.complete_source(rar_id, Ok(approval));
                 Ok(Vec::new())
             }
@@ -480,6 +776,7 @@ impl BbNode {
                 // Delegate capabilities onward and wrap (§6.1 step 4).
                 let new_caps = self.delegate_caps(&rar_u, &next, rar_id)?;
                 let next_dn = DistinguishedName::broker(&next);
+                let (timing, t_sign) = self.t0();
                 let wrapped = SignedRar::wrap(
                     rar_u,
                     user_cert.clone(),
@@ -489,8 +786,13 @@ impl BbNode {
                     self.dn.clone(),
                     &self.key,
                 );
-                self.counters.signed += 1;
-                self.counters.tx += 1;
+                if timing {
+                    let end = self.clock.now_ns();
+                    self.instruments.sign_ns.observe(end - t_sign);
+                    self.span_at(trace, rar_id, SpanKind::Sign, "wrap", t_sign, end);
+                }
+                self.counters.add_signed(1);
+                self.counters.add_tx(1);
                 Ok(vec![(next, SignalMessage::Request(wrapped))])
             }
         }
@@ -503,7 +805,7 @@ impl BbNode {
     /// Handle a message from peer `from` (already authenticated by the
     /// channel layer). Returns the messages to transmit.
     pub fn recv(&mut self, from: &str, msg: SignalMessage) -> Vec<(String, SignalMessage)> {
-        self.counters.rx += 1;
+        self.counters.add_rx(1);
         let out = match msg {
             SignalMessage::Request(rar) => self.on_request(from, rar),
             SignalMessage::Approve(a) => self.on_approve(from, a),
@@ -515,7 +817,7 @@ impl BbNode {
             SignalMessage::Release(r) => self.on_release(from, r),
             SignalMessage::TunnelFlowRelease(r) => self.on_tunnel_flow_release(r),
         };
-        self.counters.tx += out.len() as u64;
+        self.counters.add_tx(out.len() as u64);
         out
     }
 
@@ -532,7 +834,7 @@ impl BbNode {
         &mut self,
         batch: Vec<(String, TunnelFlowRequest)>,
     ) -> Vec<(String, SignalMessage)> {
-        self.counters.rx += batch.len() as u64;
+        self.counters.add_rx(batch.len() as u64);
         // Resolve each request's pinned source-BB key first (cheap map
         // lookups); the expensive signature checks then fan out.
         let jobs: Vec<(Option<PublicKey>, &TunnelFlowRequest)> = batch
@@ -549,7 +851,7 @@ impl BbNode {
         for ((from, req), ok) in batch.into_iter().zip(verdicts) {
             out.extend(self.admit_tunnel_flow(&from, req, ok));
         }
-        self.counters.tx += out.len() as u64;
+        self.counters.add_tx(out.len() as u64);
         out
     }
 
@@ -584,14 +886,26 @@ impl BbNode {
         from: &str,
         rar: SignedRar,
     ) -> Result<Vec<(String, SignalMessage)>, CoreError> {
-        self.audit.record(
-            self.now,
-            AuditEvent::RequestReceived {
-                rar_id: rar.res_spec().rar_id,
-                from: from.to_string(),
-                depth: rar.depth(),
-            },
+        // Re-derive the trace minted at the source edge: the spec's
+        // signed fields are the same at every hop.
+        let spec0 = rar.res_spec();
+        let trace = TraceId::mint(&spec0.source_domain, spec0.rar_id.0);
+        let rar_id0 = spec0.rar_id;
+        let depth = rar.depth();
+        let (_, t_arrive) = self.t0();
+        self.span_at(
+            trace,
+            rar_id0,
+            SpanKind::RecvRequest,
+            format!("from {from}, depth {depth}"),
+            t_arrive,
+            t_arrive,
         );
+        self.audit_event(AuditEvent::RequestReceived {
+            rar_id: rar_id0,
+            from: from.to_string(),
+            depth,
+        });
         let peer_pk = self
             .peers
             .get(from)
@@ -605,14 +919,14 @@ impl BbNode {
                 signer: rar.signer.clone(),
             });
         }
-        self.counters.verified += 1;
+        self.counters.add_verified(1);
 
         let spec = rar.res_spec().clone();
         let rar_id = spec.rar_id;
         if spec.dest_domain == self.domain {
-            self.process_destination(from, rar, peer_pk)
+            self.process_destination(from, rar, peer_pk, trace)
         } else {
-            self.process_transit(from, rar, spec, rar_id)
+            self.process_transit(from, rar, spec, rar_id, trace)
         }
     }
 
@@ -623,12 +937,13 @@ impl BbNode {
         rar: SignedRar,
         spec: crate::rar::ResSpec,
         rar_id: RarId,
+        trace: TraceId,
     ) -> Result<Vec<(String, SignalMessage)>, CoreError> {
         // SLA conformance + local policy. Transit domains check the
         // traffic profile against the SLA (the admission tables) and may
         // evaluate local policy over the accumulated information.
         let caps = self.verify_capability_chain(&rar)?;
-        let attachments = self.check_policy(&spec, &caps, &rar.merged_attachments())?;
+        let attachments = self.check_policy(&spec, &caps, &rar.merged_attachments(), trace)?;
 
         let next =
             self.next_peer_towards(&spec.dest_domain)?
@@ -639,7 +954,7 @@ impl BbNode {
             ingress_peer: Some(from.to_string()),
             egress_peer: Some(next.clone()),
         };
-        self.hold(rar_id, spec.interval, spec.rate_bps, segment.clone())?;
+        self.hold(rar_id, spec.interval, spec.rate_bps, segment.clone(), trace)?;
         self.pending.insert(
             rar_id,
             Pending {
@@ -650,12 +965,14 @@ impl BbNode {
                 interval: spec.interval,
                 segment,
                 tunnel: spec.tunnel,
+                trace,
             },
         );
 
         let new_caps = self.delegate_caps(&rar, &next, rar_id)?;
         let upstream_cert = self.peers.get(from).cloned().expect("checked above");
         let next_dn = DistinguishedName::broker(&next);
+        let (timing, t_sign) = self.t0();
         let wrapped = SignedRar::wrap(
             rar,
             upstream_cert,
@@ -665,7 +982,13 @@ impl BbNode {
             self.dn.clone(),
             &self.key,
         );
-        self.counters.signed += 1;
+        if timing {
+            let end = self.clock.now_ns();
+            self.instruments.sign_ns.observe(end - t_sign);
+            self.span_at(trace, rar_id, SpanKind::Sign, "wrap", t_sign, end);
+            self.span_at(trace, rar_id, SpanKind::Forward, next.clone(), end, end);
+        }
+        self.counters.add_signed(1);
         Ok(vec![(next, SignalMessage::Request(wrapped))])
     }
 
@@ -675,8 +998,10 @@ impl BbNode {
         from: &str,
         rar: SignedRar,
         peer_pk: PublicKey,
+        trace: TraceId,
     ) -> Result<Vec<(String, SignalMessage)>, CoreError> {
         // Full transitive-trust verification of the nested envelope.
+        let (timing, t_verify) = self.t0();
         let verified: VerifiedRar = verify_rar(
             &rar,
             peer_pk,
@@ -685,18 +1010,35 @@ impl BbNode {
             self.now,
             &KeySource::Introducers,
         )?;
-        self.counters.verified += rar.depth() as u64;
+        let depth = rar.depth();
+        if timing {
+            let end = self.clock.now_ns();
+            self.instruments.verify_ns.observe(end - t_verify);
+            self.span_at(
+                trace,
+                verified.res_spec.rar_id,
+                SpanKind::VerifyEnvelope,
+                format!("{depth} layers"),
+                t_verify,
+                end,
+            );
+        }
+        self.counters.add_verified(depth as u64);
         let spec = verified.res_spec.clone();
         let rar_id = spec.rar_id;
+        // Keep the cryptographically recovered path: the observable span
+        // chain must match it hop for hop (see `verified_signer_path`).
+        self.verified_paths
+            .insert(rar_id, verified.signer_path.clone());
 
         let caps = self.verify_capability_chain(&rar)?;
-        let attachments = self.check_policy(&spec, &caps, &verified.attachments)?;
+        let attachments = self.check_policy(&spec, &caps, &verified.attachments, trace)?;
 
         let segment = PathSegment {
             ingress_peer: Some(from.to_string()),
             egress_peer: None,
         };
-        self.hold(rar_id, spec.interval, spec.rate_bps, segment.clone())?;
+        self.hold(rar_id, spec.interval, spec.rate_bps, segment.clone(), trace)?;
         self.pending.insert(
             rar_id,
             Pending {
@@ -707,6 +1049,7 @@ impl BbNode {
                 interval: spec.interval,
                 segment,
                 tunnel: spec.tunnel,
+                trace,
             },
         );
 
@@ -735,7 +1078,7 @@ impl BbNode {
             );
         }
 
-        let approval = self.finalize_destination_approval(rar_id, attachments);
+        let approval = self.finalize_destination_approval(rar_id, attachments, trace);
         Ok(vec![(from.to_string(), SignalMessage::Approve(approval))])
     }
 
@@ -745,17 +1088,32 @@ impl BbNode {
         &mut self,
         rar_id: RarId,
         attachments: AttributeSet,
+        trace: TraceId,
     ) -> Approval {
         self.commit_and_configure(rar_id);
-        self.counters.signed += 1;
-        Approval::originate(
+        self.counters.add_signed(1);
+        let (timing, t_sign) = self.t0();
+        let approval = Approval::originate(
             rar_id,
             self.cert.clone(),
             &self.domain,
             self.dn.clone(),
             attachments,
             &self.key,
-        )
+        );
+        if timing {
+            let end = self.clock.now_ns();
+            self.instruments.sign_ns.observe(end - t_sign);
+            self.span_at(
+                trace,
+                rar_id,
+                SpanKind::Sign,
+                "originate approval",
+                t_sign,
+                end,
+            );
+        }
+        approval
     }
 
     fn on_approve(&mut self, _from: &str, approval: Approval) -> Vec<(String, SignalMessage)> {
@@ -767,13 +1125,23 @@ impl BbNode {
         // its chained signatures let any upstream domain audit the path.
         let upstream = pending.upstream.clone();
         let (rate_bps, secs) = (pending.rate_bps, pending.interval.secs());
+        let trace = pending.trace;
+        let (_, t_arrive) = self.t0();
+        self.span_at(
+            trace,
+            rar_id,
+            SpanKind::RecvApproval,
+            format!("{} endorsements", approval.entries.len()),
+            t_arrive,
+            t_arrive,
+        );
         self.commit_and_configure(rar_id);
         // Source domain: set up the §6.4 transitive billing chain now
         // that the whole path stands.
         if upstream.is_none() {
             self.record_billing(rar_id, &approval);
         }
-        self.counters.signed += 1;
+        self.counters.add_signed(1);
         // Endorsements carry this domain's transit cost for the hop it
         // forwards into, so the source can reconstruct the full billing
         // chain ("additional cost offers for the particular request").
@@ -786,12 +1154,34 @@ impl BbNode {
                 );
             }
         }
+        let (timing, t_sign) = self.t0();
         let approval =
             approval.endorse(&self.domain, self.dn.clone(), endorsement_attrs, &self.key);
+        if timing {
+            let end = self.clock.now_ns();
+            self.instruments.sign_ns.observe(end - t_sign);
+            self.span_at(
+                trace,
+                rar_id,
+                SpanKind::Sign,
+                "endorse approval",
+                t_sign,
+                end,
+            );
+        }
         match upstream {
             Some(peer) => vec![(peer, SignalMessage::Approve(approval))],
             None => {
                 // Source domain: the end-to-end reservation stands.
+                let (_, t_done) = self.t0();
+                self.span_at(
+                    trace,
+                    rar_id,
+                    SpanKind::Complete,
+                    "approved",
+                    t_done,
+                    t_done,
+                );
                 self.complete_source(rar_id, Ok(approval));
                 Vec::new()
             }
@@ -848,6 +1238,10 @@ impl BbNode {
     }
 
     fn complete_source(&mut self, rar_id: RarId, result: Result<Approval, Denial>) {
+        match &result {
+            Ok(_) => self.instruments.completions_ok.inc(),
+            Err(_) => self.instruments.completions_denied.inc(),
+        }
         if let Ok(approval) = &result {
             let pending = self.pending.get(&rar_id);
             if let Some(p) = pending {
@@ -879,11 +1273,21 @@ impl BbNode {
         let Some(pending) = self.pending.remove(&rar_id) else {
             return Vec::new();
         };
+        let (_, t_arrive) = self.t0();
+        self.span_at(
+            pending.trace,
+            rar_id,
+            SpanKind::RecvDenial,
+            format!("by {}: {}", denial.domain, denial.reason),
+            t_arrive,
+            t_arrive,
+        );
         // Roll back the two-phase hold.
         let _ = self.core.release(rar_id_to_reservation(rar_id));
         match pending.upstream {
             Some(peer) => vec![(peer, SignalMessage::Deny(denial))],
             None => {
+                self.instruments.completions_denied.inc();
                 self.completions.push(Completion::Reservation {
                     rar_id,
                     result: Err(denial),
@@ -934,7 +1338,7 @@ impl BbNode {
             return Err(CoreError::UnknownRar(rar_id)); // only the source initiates
         }
         let msg = Release::new(rar_id, &self.domain, &self.key);
-        self.counters.signed += 1;
+        self.counters.add_signed(1);
         Ok(self.release_locally_and_forward(rar_id, msg))
     }
 
@@ -960,7 +1364,10 @@ impl BbNode {
         let Some(pending) = self.pending.remove(&rar_id) else {
             return Vec::new();
         };
-        self.audit.record(self.now, AuditEvent::Released { rar_id });
+        self.verified_paths.remove(&rar_id);
+        let (_, t_rel) = self.t0();
+        self.span_at(pending.trace, rar_id, SpanKind::Release, "", t_rel, t_rel);
+        self.audit_event(AuditEvent::Released { rar_id });
         let _ = self.core.release(rar_id_to_reservation(rar_id));
         // Undo the edge configuration this reservation installed.
         if pending.upstream.is_none() && !pending.tunnel {
@@ -1029,9 +1436,10 @@ impl BbNode {
         if !req.rar.verify_signature(user_pk) {
             return reply(false, "bad user signature".into());
         }
-        self.counters.verified += 1;
+        self.counters.add_verified(1);
+        let trace = TraceId::mint(&spec.source_domain, rar_id.0);
         let caps = Vec::new(); // Approach 1 carries no delegated capabilities.
-        match self.check_policy(&spec, &caps, &AttributeSet::new()) {
+        match self.check_policy(&spec, &caps, &AttributeSet::new(), trace) {
             Ok(_) => {}
             Err(e) => return reply(false, e.to_string()),
         }
@@ -1039,7 +1447,7 @@ impl BbNode {
             ingress_peer: req.ingress_peer.clone(),
             egress_peer: req.egress_peer.clone(),
         };
-        if let Err(e) = self.hold(rar_id, spec.interval, spec.rate_bps, segment.clone()) {
+        if let Err(e) = self.hold(rar_id, spec.interval, spec.rate_bps, segment.clone(), trace) {
             return reply(false, e.to_string());
         }
         // Approach 1 has no end-to-end commit phase: each domain commits
@@ -1057,6 +1465,7 @@ impl BbNode {
                 interval: spec.interval,
                 segment,
                 tunnel: false,
+                trace,
             },
         );
         self.commit_and_configure(rar_id);
@@ -1092,8 +1501,8 @@ impl BbNode {
         t.pending_flows.insert(flow, rate_bps);
         let dest = t.dest_domain.clone();
         let msg = TunnelFlowRequest::new(tunnel, flow, rate_bps, requestor, &self.key);
-        self.counters.signed += 1;
-        self.counters.tx += 1;
+        self.counters.add_signed(1);
+        self.counters.add_tx(1);
         Ok(vec![(dest, SignalMessage::TunnelFlow(msg))])
     }
 
@@ -1144,7 +1553,7 @@ impl BbNode {
         if !signature_ok {
             return reply(false, "bad source-BB signature".into(), source);
         }
-        self.counters.verified += 1;
+        self.counters.add_verified(1);
         if t.allocated_bps + req.rate_bps > t.aggregate_bps {
             return reply(
                 false,
@@ -1182,15 +1591,15 @@ impl BbNode {
             });
         }
         let msg = TunnelFlowRelease::new(tunnel, flow, &self.key);
-        self.counters.signed += 1;
-        self.counters.tx += 1;
+        self.counters.add_signed(1);
+        self.counters.add_tx(1);
         Ok(vec![(dest, SignalMessage::TunnelFlowRelease(msg))])
     }
 
     fn on_tunnel_flow_release(&mut self, rel: TunnelFlowRelease) -> Vec<(String, SignalMessage)> {
         if let Some(t) = self.tunnels_dst.get_mut(&rel.tunnel) {
             if rel.verify(t.source_pk) {
-                self.counters.verified += 1;
+                self.counters.add_verified(1);
                 if let Some(rate) = t.flows.remove(&rel.flow) {
                     t.allocated_bps = t.allocated_bps.saturating_sub(rate);
                 }
@@ -1249,7 +1658,9 @@ impl BbNode {
         interval: Interval,
         rate_bps: u64,
         segment: PathSegment,
+        trace: TraceId,
     ) -> Result<(), CoreError> {
+        let (timing, t_hold) = self.t0();
         let result = self
             .core
             .hold(rar_id_to_reservation(rar_id), interval, rate_bps, segment)
@@ -1258,20 +1669,33 @@ impl BbNode {
                 domain: self.domain.clone(),
                 reason: e.to_string(),
             });
-        self.audit.record(
-            self.now,
-            AuditEvent::Admission {
+        if timing {
+            let end = self.clock.now_ns();
+            self.span_at(
+                trace,
                 rar_id,
-                ok: result.is_ok(),
-                rate_bps,
-            },
-        );
+                SpanKind::Admission,
+                if result.is_ok() { "held" } else { "refused" },
+                t_hold,
+                end,
+            );
+        }
+        if result.is_ok() {
+            self.instruments.admission_held.inc();
+        } else {
+            self.instruments.admission_refused.inc();
+        }
+        self.audit_event(AuditEvent::Admission {
+            rar_id,
+            ok: result.is_ok(),
+            rate_bps,
+        });
         result
     }
 
     /// Commit the hold and emit the edge configuration that enforces it.
     fn commit_and_configure(&mut self, rar_id: RarId) {
-        self.audit.record(self.now, AuditEvent::Approved { rar_id });
+        self.audit_event(AuditEvent::Approved { rar_id });
         let _ = self.core.commit(rar_id_to_reservation(rar_id));
         let Some(p) = self.pending.get(&rar_id) else {
             return;
@@ -1335,7 +1759,7 @@ impl BbNode {
         let verified = chain
             .verify_links(cas_pk, self.now)
             .map_err(CoreError::from)?;
-        self.counters.verified += chain.certs.len() as u64;
+        self.counters.add_verified(chain.certs.len() as u64);
         // The possession step: attributes are only *usable* if the chain
         // was delegated to this very broker (we can prove possession of
         // our own key). A structurally valid chain delegated to someone
@@ -1397,7 +1821,7 @@ impl BbNode {
                 Validity::starting_at(self.now, 7 * 24 * 3600),
             )
             .map_err(CoreError::from)?;
-        self.counters.signed += 1;
+        self.counters.add_signed(1);
         Ok(vec![extended.tip().clone()])
     }
 
@@ -1407,6 +1831,7 @@ impl BbNode {
         spec: &crate::rar::ResSpec,
         caps: &[VerifiedCapability],
         upstream_attachments: &AttributeSet,
+        trace: TraceId,
     ) -> Result<AttributeSet, CoreError> {
         let mut req = qos_policy::PolicyRequest::new(spec.requestor.clone());
         req.attrs.merge(upstream_attachments);
@@ -1431,34 +1856,48 @@ impl BbNode {
             domain: self.domain.clone(),
         };
         let oracle = CpuOracle(&self.cpu_reservations);
-        let decision = self
-            .pdp
-            .decide(&req, &vars, &oracle)
-            .map_err(|e| CoreError::Denied {
-                rar_id: spec.rar_id,
-                domain: self.domain.clone(),
-                reason: format!("policy evaluation error: {e}"),
-            })?;
+        let (timing, t_decide) = self.t0();
+        let decided = self.pdp.decide(&req, &vars, &oracle);
+        if timing {
+            let end = self.clock.now_ns();
+            self.instruments.decide_ns.observe(end - t_decide);
+            let detail = match &decided {
+                Ok(d) => match &d.decision {
+                    qos_policy::Decision::Grant => "GRANT".to_string(),
+                    qos_policy::Decision::Deny(r) => {
+                        format!("DENY: {}", r.as_deref().unwrap_or("policy denied"))
+                    }
+                },
+                Err(e) => format!("ERROR: {e}"),
+            };
+            self.span_at(
+                trace,
+                spec.rar_id,
+                SpanKind::PolicyDecision,
+                detail,
+                t_decide,
+                end,
+            );
+        }
+        let decision = decided.map_err(|e| CoreError::Denied {
+            rar_id: spec.rar_id,
+            domain: self.domain.clone(),
+            reason: format!("policy evaluation error: {e}"),
+        })?;
         match decision.decision {
             qos_policy::Decision::Grant => {
-                self.audit.record(
-                    self.now,
-                    AuditEvent::PolicyDecision {
-                        rar_id: spec.rar_id,
-                        decision: "GRANT".into(),
-                    },
-                );
+                self.audit_event(AuditEvent::PolicyDecision {
+                    rar_id: spec.rar_id,
+                    decision: "GRANT".into(),
+                });
                 Ok(decision.attachments)
             }
             qos_policy::Decision::Deny(reason) => {
                 let reason = reason.unwrap_or_else(|| "policy denied".into());
-                self.audit.record(
-                    self.now,
-                    AuditEvent::PolicyDecision {
-                        rar_id: spec.rar_id,
-                        decision: format!("DENY: {reason}"),
-                    },
-                );
+                self.audit_event(AuditEvent::PolicyDecision {
+                    rar_id: spec.rar_id,
+                    decision: format!("DENY: {reason}"),
+                });
                 Err(CoreError::Denied {
                     rar_id: spec.rar_id,
                     domain: self.domain.clone(),

@@ -14,21 +14,26 @@ use crate::channel::{handshake, ChannelIdentity, PeerPin, SecureChannel};
 use crate::envelope::SignedRar;
 use crate::messages::SignalMessage;
 use crate::node::{BbNode, Completion};
+use crate::rar::RarId;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use qos_crypto::{Certificate, PublicKey, Timestamp};
+use qos_telemetry::{Counter, Gauge, Histogram, StdClock, Telemetry, TraceId};
 use std::collections::HashMap;
 use std::thread::JoinHandle;
 
 enum ActorMsg {
-    /// A sealed frame from a peer.
+    /// A sealed frame from a peer, stamped with its enqueue time so the
+    /// receiving broker can attribute mailbox queue-wait to the trace.
     Frame {
         from: String,
         sealed: crate::channel::Sealed,
+        enqueued_ns: u64,
     },
     /// A local user submission (trusted local delivery, not a peer frame).
     Submit {
         rar: Box<SignedRar>,
         user_cert: Box<Certificate>,
+        enqueued_ns: u64,
     },
     /// A local sub-flow request inside an established tunnel.
     TunnelFlow {
@@ -48,7 +53,51 @@ enum ActorMsg {
 /// batch and must still be dispatched in order.
 enum Work {
     Raw(ActorMsg),
-    Decoded(String, Box<SignalMessage>),
+    Decoded(String, Box<SignalMessage>, u64),
+}
+
+/// Per-actor instrument handles (all detached no-ops without a registry).
+struct ActorInstruments {
+    mailbox_depth: Gauge,
+    completion_latency: Histogram,
+    frames_sealed: Counter,
+    frames_opened: Counter,
+    frames_rejected: Counter,
+    live: bool,
+}
+
+impl ActorInstruments {
+    fn resolve(telemetry: &Telemetry, domain: &str) -> Self {
+        let dl: &[(&str, &str)] = &[("domain", domain)];
+        Self {
+            mailbox_depth: telemetry.gauge(
+                "bb_mailbox_depth_peak",
+                "Peak number of messages waiting in the actor mailbox",
+                dl,
+            ),
+            completion_latency: telemetry.histogram(
+                "bb_completion_latency_ns",
+                "Submit-to-completion latency at the source broker",
+                dl,
+            ),
+            frames_sealed: telemetry.counter(
+                "bb_frames_sealed_total",
+                "Channel frames sealed for peers",
+                dl,
+            ),
+            frames_opened: telemetry.counter(
+                "bb_frames_opened_total",
+                "Channel frames opened and decoded from peers",
+                dl,
+            ),
+            frames_rejected: telemetry.counter(
+                "bb_frames_rejected_total",
+                "Channel frames rejected (tampered, replayed, or undecodable)",
+                dl,
+            ),
+            live: telemetry.is_enabled(),
+        }
+    }
 }
 
 /// A handle to a running broker actor.
@@ -63,6 +112,7 @@ pub struct ActorMesh {
     actors: HashMap<String, ActorHandle>,
     completion_rx: Receiver<(String, Completion)>,
     completion_tx: Sender<(String, Completion)>,
+    telemetry: Telemetry,
 }
 
 impl Default for ActorMesh {
@@ -79,7 +129,16 @@ impl ActorMesh {
             actors: HashMap::new(),
             completion_rx,
             completion_tx,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Route mesh-level instruments (mailbox depth, completion latency,
+    /// frame counters, handshakes) into `telemetry`. Call before
+    /// [`ActorMesh::spawn`]; the per-broker instruments themselves are
+    /// configured through [`crate::node::BbConfig::telemetry`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Spawn the brokers of `nodes` as actors, establishing pairwise
@@ -96,6 +155,11 @@ impl ActorMesh {
     ) {
         // Establish channels synchronously before spawning (the paper's
         // SLAs exist before any signalling).
+        let handshakes = self.telemetry.counter(
+            "bb_channel_handshakes_total",
+            "Secure-channel handshakes completed at mesh setup",
+            &[],
+        );
         let mut channels: HashMap<String, HashMap<String, SecureChannel>> = HashMap::new();
         for (nonce, (a, b)) in (1u64..).zip(links.iter()) {
             let ia = &identities[a];
@@ -115,6 +179,7 @@ impl ActorMesh {
                 Timestamp::ZERO,
             )
             .expect("handshake between configured peers");
+            handshakes.inc();
             channels
                 .entry(a.clone())
                 .or_default()
@@ -141,13 +206,20 @@ impl ActorMesh {
             let mut my_channels = channels.remove(&domain).unwrap_or_default();
             let completion_tx = self.completion_tx.clone();
             let dom = domain.clone();
+            let ins = ActorInstruments::resolve(&self.telemetry, &domain);
             let join = std::thread::spawn(move || {
                 // Frames already opened + decoded while coalescing a
                 // tunnel-flow batch, awaiting normal dispatch in their
                 // arrival order.
                 let mut pending: std::collections::VecDeque<Work> =
                     std::collections::VecDeque::new();
+                // Source-side submit times, for completion latency.
+                let mut submitted_ns: HashMap<RarId, u64> = HashMap::new();
                 loop {
+                    if ins.live {
+                        ins.mailbox_depth
+                            .record_max(pending.len() as i64 + rx.len() as i64);
+                    }
                     let work = match pending.pop_front() {
                         Some(w) => w,
                         None => match rx.recv() {
@@ -155,16 +227,35 @@ impl ActorMesh {
                             Err(_) => break,
                         },
                     };
-                    let (from, msg) = match work {
+                    let (from, msg, enqueued_ns) = match work {
                         Work::Raw(ActorMsg::SetTime(t)) => {
                             node.set_time(t);
                             continue;
                         }
                         Work::Raw(ActorMsg::Shutdown) => break,
-                        Work::Raw(ActorMsg::Submit { rar, user_cert }) => {
+                        Work::Raw(ActorMsg::Submit {
+                            rar,
+                            user_cert,
+                            enqueued_ns,
+                        }) => {
+                            let spec = rar.res_spec();
+                            let (rar_id, trace) = (
+                                spec.rar_id,
+                                TraceId::mint(&spec.source_domain, spec.rar_id.0),
+                            );
+                            if ins.live {
+                                submitted_ns.insert(rar_id, enqueued_ns);
+                            }
+                            node.record_queue_wait(trace, rar_id, enqueued_ns);
                             let out = node.submit(*rar, &user_cert);
-                            route_out(&dom, out, &mut my_channels, &peers_tx);
-                            drain_completions(&mut node, &dom, &completion_tx);
+                            route_out(&dom, out, &mut my_channels, &peers_tx, &ins);
+                            drain_completions(
+                                &mut node,
+                                &dom,
+                                &completion_tx,
+                                &mut submitted_ns,
+                                &ins,
+                            );
                             continue;
                         }
                         Work::Raw(ActorMsg::TunnelFlow {
@@ -174,7 +265,7 @@ impl ActorMesh {
                             requestor,
                         }) => {
                             match node.request_tunnel_flow(tunnel, flow, rate_bps, *requestor) {
-                                Ok(out) => route_out(&dom, out, &mut my_channels, &peers_tx),
+                                Ok(out) => route_out(&dom, out, &mut my_channels, &peers_tx, &ins),
                                 // Rejected at the source (aggregate spent):
                                 // complete immediately, as the mesh driver
                                 // does.
@@ -190,17 +281,28 @@ impl ActorMesh {
                                     ));
                                 }
                             }
-                            drain_completions(&mut node, &dom, &completion_tx);
+                            drain_completions(
+                                &mut node,
+                                &dom,
+                                &completion_tx,
+                                &mut submitted_ns,
+                                &ins,
+                            );
                             continue;
                         }
-                        Work::Raw(ActorMsg::Frame { from, sealed }) => {
-                            match open_frame(&mut my_channels, &from, sealed) {
-                                Some(m) => (from, m),
-                                None => continue, // tampered / replayed frame
-                            }
-                        }
-                        Work::Decoded(from, m) => (from, *m),
+                        Work::Raw(ActorMsg::Frame {
+                            from,
+                            sealed,
+                            enqueued_ns,
+                        }) => match open_frame(&mut my_channels, &from, sealed, &ins) {
+                            Some(m) => (from, m, enqueued_ns),
+                            None => continue, // tampered / replayed frame
+                        },
+                        Work::Decoded(from, m, enqueued_ns) => (from, *m, enqueued_ns),
                     };
+                    if let Some(trace) = msg.trace_id() {
+                        node.record_queue_wait(trace, msg.rar_id(), enqueued_ns);
+                    }
                     let out = if let SignalMessage::TunnelFlow(t) = msg {
                         // Coalesce: any tunnel sub-flow requests already
                         // sitting in the mailbox join this one in a single
@@ -211,17 +313,21 @@ impl ActorMesh {
                         let mut batch = vec![(from, t)];
                         while let Ok(raw) = rx.try_recv() {
                             match raw {
-                                ActorMsg::Frame { from: f2, sealed } => {
-                                    match open_frame(&mut my_channels, &f2, sealed) {
-                                        Some(SignalMessage::TunnelFlow(t2)) => {
-                                            batch.push((f2, t2));
-                                        }
-                                        Some(m2) => {
-                                            pending.push_back(Work::Decoded(f2, Box::new(m2)))
-                                        }
-                                        None => {}
+                                ActorMsg::Frame {
+                                    from: f2,
+                                    sealed,
+                                    enqueued_ns,
+                                } => match open_frame(&mut my_channels, &f2, sealed, &ins) {
+                                    Some(SignalMessage::TunnelFlow(t2)) => {
+                                        batch.push((f2, t2));
                                     }
-                                }
+                                    Some(m2) => pending.push_back(Work::Decoded(
+                                        f2,
+                                        Box::new(m2),
+                                        enqueued_ns,
+                                    )),
+                                    None => {}
+                                },
                                 other => {
                                     pending.push_back(Work::Raw(other));
                                     break;
@@ -232,8 +338,8 @@ impl ActorMesh {
                     } else {
                         node.recv(&from, msg)
                     };
-                    route_out(&dom, out, &mut my_channels, &peers_tx);
-                    drain_completions(&mut node, &dom, &completion_tx);
+                    route_out(&dom, out, &mut my_channels, &peers_tx, &ins);
+                    drain_completions(&mut node, &dom, &completion_tx, &mut submitted_ns, &ins);
                 }
                 let completions = node.take_completions();
                 (node, completions)
@@ -260,6 +366,7 @@ impl ActorMesh {
         let _ = h.tx.send(ActorMsg::Submit {
             rar: Box::new(rar),
             user_cert: Box::new(user_cert),
+            enqueued_ns: StdClock::now(),
         });
     }
 
@@ -335,15 +442,37 @@ fn open_frame(
     channels: &mut HashMap<String, SecureChannel>,
     from: &str,
     sealed: crate::channel::Sealed,
+    ins: &ActorInstruments,
 ) -> Option<SignalMessage> {
-    let ch = channels.get_mut(from)?;
-    let bytes = ch.open(sealed).ok()?;
-    let shared: std::sync::Arc<[u8]> = bytes.into();
-    qos_wire::from_bytes_shared::<SignalMessage>(&shared).ok()
+    let opened = (|| {
+        let ch = channels.get_mut(from)?;
+        let bytes = ch.open(sealed).ok()?;
+        let shared: std::sync::Arc<[u8]> = bytes.into();
+        qos_wire::from_bytes_shared::<SignalMessage>(&shared).ok()
+    })();
+    match &opened {
+        Some(_) => ins.frames_opened.inc(),
+        None => ins.frames_rejected.inc(),
+    }
+    opened
 }
 
-fn drain_completions(node: &mut BbNode, dom: &str, tx: &Sender<(String, Completion)>) {
+fn drain_completions(
+    node: &mut BbNode,
+    dom: &str,
+    tx: &Sender<(String, Completion)>,
+    submitted_ns: &mut HashMap<RarId, u64>,
+    ins: &ActorInstruments,
+) {
     for c in node.take_completions() {
+        if ins.live {
+            if let Completion::Reservation { rar_id, .. } = &c {
+                if let Some(t0) = submitted_ns.remove(rar_id) {
+                    ins.completion_latency
+                        .observe(StdClock::now().saturating_sub(t0));
+                }
+            }
+        }
         let _ = tx.send((dom.to_string(), c));
     }
 }
@@ -353,6 +482,7 @@ fn route_out(
     out: Vec<(String, SignalMessage)>,
     channels: &mut HashMap<String, SecureChannel>,
     peers: &HashMap<String, Sender<ActorMsg>>,
+    ins: &ActorInstruments,
 ) {
     for (to, msg) in out {
         let to = to.strip_prefix("user:").unwrap_or(&to).to_string();
@@ -360,9 +490,11 @@ fn route_out(
             continue;
         };
         let sealed = ch.seal(qos_wire::to_bytes(&msg));
+        ins.frames_sealed.inc();
         let _ = tx.send(ActorMsg::Frame {
             from: from.to_string(),
             sealed,
+            enqueued_ns: StdClock::now(),
         });
     }
 }

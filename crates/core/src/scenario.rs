@@ -17,6 +17,7 @@ use qos_crypto::{
 };
 use qos_net::{Network, NodeId, SimDuration};
 use qos_policy::GroupServer;
+use qos_telemetry::Telemetry;
 use std::collections::HashMap;
 
 /// A permissive policy for domains whose admission is under test but
@@ -124,6 +125,14 @@ pub struct ChainOptions {
     pub extra_users: Vec<String>,
     /// Trust-policy depth bound for all brokers.
     pub trust_policy: TrustPolicy,
+    /// Metrics sink shared by all brokers (disabled by default).
+    pub telemetry: Telemetry,
+    /// Record per-RAR trace spans on every broker.
+    pub tracing: bool,
+    /// Enable the per-broker audit trail.
+    pub audit: bool,
+    /// Audit-trail eviction bound.
+    pub audit_capacity: usize,
 }
 
 impl Default for ChainOptions {
@@ -136,6 +145,10 @@ impl Default for ChainOptions {
             grants: vec![("ESnet".to_string(), vec!["alice".to_string()])],
             extra_users: vec![],
             trust_policy: TrustPolicy::default(),
+            telemetry: Telemetry::disabled(),
+            tracing: false,
+            audit: false,
+            audit_capacity: 4096,
         }
     }
 }
@@ -244,6 +257,10 @@ pub fn build_chain(opts: ChainOptions) -> Scenario {
             trust_policy: opts.trust_policy,
             cas_keys: cas_keys.clone(),
             user_ca: ca.public_key(),
+            telemetry: opts.telemetry.clone(),
+            tracing: opts.tracing,
+            audit: opts.audit,
+            audit_capacity: opts.audit_capacity,
         });
         // Peering with the previous domain (they send into us).
         if i > 0 {
@@ -398,6 +415,10 @@ pub fn build_star(leaves: usize, opts: ChainOptions) -> Scenario {
             trust_policy: opts.trust_policy,
             cas_keys: cas_keys.clone(),
             user_ca: ca.public_key(),
+            telemetry: opts.telemetry.clone(),
+            tracing: opts.tracing,
+            audit: opts.audit,
+            audit_capacity: opts.audit_capacity,
         });
         if i == hub_idx {
             // The hub peers with every leaf, both directions.
@@ -488,6 +509,10 @@ pub fn build_paper_world(
         trust_policy: TrustPolicy::default(),
         cas_keys: scenario.cas_keys.clone(),
         user_ca: scenario.ca_key,
+        telemetry: Telemetry::disabled(),
+        tracing: false,
+        audit: false,
+        audit_capacity: 4096,
     });
     node_d.add_peer(
         cert_b,

@@ -35,6 +35,6 @@ pub use conditioner::{ExcessTreatment, TrafficProfile};
 pub use flow::{FlowSpec, TrafficPattern};
 pub use network::{Network, NetworkConfig};
 pub use packet::{Dscp, FlowId, Packet};
-pub use stats::{DropReason, FlowStats};
+pub use stats::{DropReason, FlowStats, StatsCollector, DROP_REASONS};
 pub use time::{SimDuration, SimTime};
 pub use topology::{paper_topology, DomainId, LinkId, NodeId, Topology, TopologyBuilder};

@@ -17,6 +17,26 @@ pub enum DropReason {
     NoRoute,
 }
 
+impl DropReason {
+    /// Stable label value for exposition (`reason="queue"` …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::Queue => "queue",
+            DropReason::FlowPolicer => "flow_policer",
+            DropReason::AggregatePolicer => "aggregate_policer",
+            DropReason::NoRoute => "no_route",
+        }
+    }
+}
+
+/// All drop causes, in label order.
+pub const DROP_REASONS: [DropReason; 4] = [
+    DropReason::Queue,
+    DropReason::FlowPolicer,
+    DropReason::AggregatePolicer,
+    DropReason::NoRoute,
+];
+
 /// Counters for one flow.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FlowStats {
@@ -144,6 +164,60 @@ impl StatsCollector {
     /// All flows in id order.
     pub fn iter(&self) -> impl Iterator<Item = (FlowId, &FlowStats)> {
         self.flows.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Export every flow's counters into `telemetry` as labelled
+    /// families: `net_packets_sent_total{flow}`,
+    /// `net_packets_received_total{flow}`,
+    /// `net_packets_dropped_total{flow,reason}` (one series per
+    /// [`DropReason`]), and `net_packets_downgraded_total{flow}`.
+    ///
+    /// Counters are monotonic, so call this once per collector at the
+    /// end of a run (the data plane accumulates locally during
+    /// simulation; exposition happens at snapshot time).
+    pub fn export_telemetry(&self, telemetry: &qos_telemetry::Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        for (flow, s) in self.iter() {
+            let f = flow.0.to_string();
+            let fl: &[(&str, &str)] = &[("flow", &f)];
+            telemetry
+                .counter(
+                    "net_packets_sent_total",
+                    "Packets emitted by the source",
+                    fl,
+                )
+                .add(s.sent);
+            telemetry
+                .counter(
+                    "net_packets_received_total",
+                    "Packets delivered to the destination host",
+                    fl,
+                )
+                .add(s.received);
+            telemetry
+                .counter(
+                    "net_packets_downgraded_total",
+                    "Packets remarked EF→BE on the path",
+                    fl,
+                )
+                .add(s.downgraded);
+            for (reason, n) in [
+                (DropReason::Queue, s.dropped_queue),
+                (DropReason::FlowPolicer, s.dropped_flow_policer),
+                (DropReason::AggregatePolicer, s.dropped_aggregate),
+                (DropReason::NoRoute, s.dropped_no_route),
+            ] {
+                telemetry
+                    .counter(
+                        "net_packets_dropped_total",
+                        "Packets lost, by cause",
+                        &[("flow", &f), ("reason", reason.as_str())],
+                    )
+                    .add(n);
+            }
+        }
     }
 }
 

@@ -17,6 +17,7 @@ use crate::group::GroupServer;
 use crate::parser::{parse, ParseError};
 use crate::request::PolicyRequest;
 use crate::Policy;
+use qos_telemetry::{Counter, Histogram, StdClock, Telemetry};
 
 /// Live per-domain state the policy can reference.
 #[derive(Debug, Clone)]
@@ -72,10 +73,21 @@ impl From<Outcome> for PolicyDecision {
     }
 }
 
+/// Instrument handles for one PDP (detached no-ops by default).
+#[derive(Default)]
+struct PdpInstruments {
+    eval_ns: Histogram,
+    grants: Counter,
+    denies: Counter,
+    errors: Counter,
+    live: bool,
+}
+
 /// A policy decision point for one domain.
 pub struct PolicyServer {
     policy: Policy,
     groups: GroupServer,
+    instruments: PdpInstruments,
 }
 
 impl PolicyServer {
@@ -84,12 +96,43 @@ impl PolicyServer {
         Ok(Self {
             policy: parse(policy_src)?,
             groups,
+            instruments: PdpInstruments::default(),
         })
     }
 
     /// Build a PDP from an already-parsed policy.
     pub fn new(policy: Policy, groups: GroupServer) -> Self {
-        Self { policy, groups }
+        Self {
+            policy,
+            groups,
+            instruments: PdpInstruments::default(),
+        }
+    }
+
+    /// Route this PDP's instruments into `telemetry` under `domain`:
+    /// evaluation latency (`pdp_eval_ns`) and decision counters
+    /// (`pdp_decisions_total{decision=grant|deny|error}`).
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry, domain: &str) {
+        let dl: &[(&str, &str)] = &[("domain", domain)];
+        self.instruments = PdpInstruments {
+            eval_ns: telemetry.histogram("pdp_eval_ns", "Policy evaluation time (ns)", dl),
+            grants: telemetry.counter(
+                "pdp_decisions_total",
+                "PDP decisions by outcome",
+                &[("domain", domain), ("decision", "grant")],
+            ),
+            denies: telemetry.counter(
+                "pdp_decisions_total",
+                "PDP decisions by outcome",
+                &[("domain", domain), ("decision", "deny")],
+            ),
+            errors: telemetry.counter(
+                "pdp_decisions_total",
+                "PDP decisions by outcome",
+                &[("domain", domain), ("decision", "error")],
+            ),
+            live: telemetry.is_enabled(),
+        };
     }
 
     /// The group server this PDP consults.
@@ -125,7 +168,20 @@ impl PolicyServer {
             oracle,
             groups: &self.groups,
         };
-        evaluate(&self.policy, &env).map(PolicyDecision::from)
+        if !self.instruments.live {
+            return evaluate(&self.policy, &env).map(PolicyDecision::from);
+        }
+        let t0 = StdClock::now();
+        let result = evaluate(&self.policy, &env).map(PolicyDecision::from);
+        self.instruments
+            .eval_ns
+            .observe(StdClock::now().saturating_sub(t0));
+        match &result {
+            Ok(d) if d.decision.is_grant() => self.instruments.grants.inc(),
+            Ok(_) => self.instruments.denies.inc(),
+            Err(_) => self.instruments.errors.inc(),
+        }
+        result
     }
 }
 

@@ -1,0 +1,181 @@
+//! Experiment artifact writer.
+//!
+//! Every `fig*`/`exp_*` binary records its results as a small JSON
+//! document (`BENCH_*.json`, `METRICS_*.json`) so the perf trajectory
+//! can be tracked mechanically across PRs. This module is the one code
+//! path producing those documents — the shape matches the hand-rolled
+//! writer the first benchmarks used:
+//!
+//! ```json
+//! {
+//!   "experiment": "exp_envelope_cost",
+//!   "unit": "microseconds",
+//!   "notes": "…",
+//!   "rows": [ {"hops": 8, "verify_us": 22.95} ]
+//! }
+//! ```
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use crate::expo::json_escape;
+
+/// One JSON scalar in an artifact row.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Float, rendered with two decimals (matching the original
+    /// hand-rolled artifacts so diffs stay meaningful).
+    Float(f64),
+    /// String.
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::UInt(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v:.2}"),
+            Value::Str(s) => write!(f, "\"{}\"", json_escape(s)),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::UInt(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::UInt(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One result row: ordered field → value pairs.
+#[derive(Clone, Default, Debug)]
+pub struct Row(Vec<(String, Value)>);
+
+impl Row {
+    /// An empty row.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a field (builder style).
+    pub fn field(mut self, name: &str, value: impl Into<Value>) -> Self {
+        self.0.push((name.to_string(), value.into()));
+        self
+    }
+
+    fn render(&self) -> String {
+        let fields: Vec<String> = self
+            .0
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {v}", json_escape(k)))
+            .collect();
+        format!("  {{{}}}", fields.join(", "))
+    }
+}
+
+/// An experiment result document.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    experiment: String,
+    unit: String,
+    notes: String,
+    rows: Vec<Row>,
+}
+
+impl Artifact {
+    /// A new artifact for `experiment`, measuring in `unit`.
+    pub fn new(experiment: &str, unit: &str, notes: &str) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            unit: unit.to_string(),
+            notes: notes.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a result row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Number of rows recorded.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the JSON document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n\"experiment\": \"{}\",\n\"unit\": \"{}\",\n\"notes\": \"{}\",\n\"rows\": [\n{}\n]\n}}\n",
+            json_escape(&self.experiment),
+            json_escape(&self.unit),
+            json_escape(&self.notes),
+            self.rows
+                .iter()
+                .map(Row::render)
+                .collect::<Vec<_>>()
+                .join(",\n")
+        )
+    }
+
+    /// Write the document to `path`.
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_renders_rows_in_order() {
+        let mut a = Artifact::new("exp_test", "microseconds", "a \"note\"");
+        a.push(Row::new().field("hops", 8u64).field("verify_us", 22.95));
+        a.push(Row::new().field("hops", 10u64).field("label", "deep"));
+        assert_eq!(a.len(), 2);
+        let json = a.to_json();
+        assert!(json.contains("\"experiment\": \"exp_test\""));
+        assert!(json.contains("\"notes\": \"a \\\"note\\\"\""));
+        assert!(json.contains("{\"hops\": 8, \"verify_us\": 22.95}"));
+        assert!(json.contains("{\"hops\": 10, \"label\": \"deep\"}"));
+        let hops8 = json.find("\"hops\": 8").unwrap();
+        let hops10 = json.find("\"hops\": 10").unwrap();
+        assert!(hops8 < hops10);
+    }
+}

@@ -1,0 +1,268 @@
+//! Exposition: deterministic Prometheus text format and a JSON snapshot.
+//!
+//! Both renderers walk the registry's `BTreeMap`s, so output ordering is
+//! a function of metric names and label sets alone — two runs that
+//! record the same metrics render byte-identical families regardless of
+//! the order subsystems resolved their instruments. That determinism is
+//! what lets CI diff metric snapshots and tests assert on exact output.
+
+use std::sync::atomic::Ordering;
+
+use crate::metrics::{bucket_bound, MetricCell, MetricKind, Registry, HISTOGRAM_BUCKETS};
+
+/// Escape a HELP string: backslash and newline.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape a label value: backslash, double-quote, newline.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render a label set (already sorted by name), with an optional extra
+/// `le` label appended for histogram buckets.
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Render the whole registry in the Prometheus text exposition format.
+///
+/// Histogram buckets are cumulative with power-of-two `le` bounds; only
+/// buckets up to the highest non-empty one are emitted (plus `+Inf`),
+/// keeping 64-bucket families readable.
+pub fn render_prometheus(registry: &Registry) -> String {
+    let fams = registry.families.lock().expect("registry poisoned");
+    let mut out = String::new();
+    for (name, fam) in fams.iter() {
+        out.push_str(&format!("# HELP {name} {}\n", escape_help(&fam.help)));
+        out.push_str(&format!("# TYPE {name} {}\n", fam.kind.as_str()));
+        for (labels, cell) in &fam.metrics {
+            match cell {
+                MetricCell::Counter(c) => {
+                    out.push_str(&format!(
+                        "{name}{} {}\n",
+                        render_labels(labels, None),
+                        c.load(Ordering::Relaxed)
+                    ));
+                }
+                MetricCell::Gauge(g) => {
+                    out.push_str(&format!(
+                        "{name}{} {}\n",
+                        render_labels(labels, None),
+                        g.load(Ordering::Relaxed)
+                    ));
+                }
+                MetricCell::Histogram(h) => {
+                    let (counts, count, sum) = h.snapshot();
+                    let top = counts.iter().rposition(|&c| c != 0);
+                    let mut cum = 0u64;
+                    if let Some(top) = top {
+                        for (i, &c) in counts.iter().enumerate().take(top + 1) {
+                            cum += c;
+                            let le = if i >= HISTOGRAM_BUCKETS - 1 {
+                                "+Inf".to_string()
+                            } else {
+                                bucket_bound(i).to_string()
+                            };
+                            out.push_str(&format!(
+                                "{name}_bucket{} {cum}\n",
+                                render_labels(labels, Some(&le))
+                            ));
+                        }
+                    }
+                    if top.is_none_or(|t| t < HISTOGRAM_BUCKETS - 1) {
+                        out.push_str(&format!(
+                            "{name}_bucket{} {cum}\n",
+                            render_labels(labels, Some("+Inf"))
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{name}_sum{} {sum}\n",
+                        render_labels(labels, None)
+                    ));
+                    out.push_str(&format!(
+                        "{name}_count{} {count}\n",
+                        render_labels(labels, None)
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Escape a string for inclusion in JSON output.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the registry as a JSON document:
+///
+/// ```json
+/// {"families":[{"name":"...","kind":"counter","help":"...",
+///   "metrics":[{"labels":{"domain":"a"},"value":5}]}]}
+/// ```
+///
+/// Histogram metrics carry `count`, `sum`, `mean`, `p50`, `p95`, `p99`
+/// instead of `value`. Ordering is deterministic (same walk as
+/// [`render_prometheus`]).
+pub fn snapshot_json(registry: &Registry) -> String {
+    let fams = registry.families.lock().expect("registry poisoned");
+    let mut fam_objs = Vec::new();
+    for (name, fam) in fams.iter() {
+        let mut metric_objs = Vec::new();
+        for (labels, cell) in &fam.metrics {
+            let labels_json = format!(
+                "{{{}}}",
+                labels
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            let body = match cell {
+                MetricCell::Counter(c) => {
+                    format!("\"value\":{}", c.load(Ordering::Relaxed))
+                }
+                MetricCell::Gauge(g) => {
+                    format!("\"value\":{}", g.load(Ordering::Relaxed))
+                }
+                MetricCell::Histogram(h) => {
+                    let hh = h.handle();
+                    format!(
+                        "\"count\":{},\"sum\":{},\"mean\":{:.3},\"p50\":{},\"p95\":{},\"p99\":{}",
+                        hh.count(),
+                        hh.sum(),
+                        hh.mean(),
+                        hh.quantile(0.50),
+                        hh.quantile(0.95),
+                        hh.quantile(0.99)
+                    )
+                }
+            };
+            metric_objs.push(format!("{{\"labels\":{labels_json},{body}}}"));
+        }
+        fam_objs.push(format!(
+            "{{\"name\":\"{}\",\"kind\":\"{}\",\"help\":\"{}\",\"metrics\":[{}]}}",
+            json_escape(name),
+            match fam.kind {
+                MetricKind::Counter => "counter",
+                MetricKind::Gauge => "gauge",
+                MetricKind::Histogram => "histogram",
+            },
+            json_escape(&fam.help),
+            metric_objs.join(",")
+        ));
+    }
+    format!("{{\"families\":[{}]}}\n", fam_objs.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_output_is_deterministic_and_escaped() {
+        let reg = Registry::new();
+        // Resolve in one order...
+        reg.counter("z_total", "last family", &[("peer", "b")])
+            .inc();
+        reg.counter(
+            "a_total",
+            "first \"family\"\nwith newline",
+            &[("domain", "x\\y")],
+        )
+        .add(3);
+        let first = render_prometheus(&reg);
+        // ...and confirm re-rendering and re-resolving don't change it.
+        reg.counter(
+            "a_total",
+            "first \"family\"\nwith newline",
+            &[("domain", "x\\y")],
+        );
+        let second = render_prometheus(&reg);
+        assert_eq!(first, second);
+        // Families in name order, independent of resolution order.
+        let a_pos = first.find("# HELP a_total").unwrap();
+        let z_pos = first.find("# HELP z_total").unwrap();
+        assert!(a_pos < z_pos);
+        assert!(first.contains("first \\\"family\\\"\\nwith newline") || first.contains("a_total"));
+        assert!(first.contains("a_total{domain=\"x\\\\y\"} 3"));
+        assert!(first.contains("z_total{peer=\"b\"} 1"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_ns", "latency", &[]);
+        h.observe(1); // bucket 0 (le=1)
+        h.observe(3); // bucket 2 (le=4)
+        h.observe(3);
+        let out = render_prometheus(&reg);
+        assert!(out.contains("lat_ns_bucket{le=\"1\"} 1"));
+        assert!(out.contains("lat_ns_bucket{le=\"2\"} 1"));
+        assert!(out.contains("lat_ns_bucket{le=\"4\"} 3"));
+        assert!(out.contains("lat_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(out.contains("lat_ns_sum 7"));
+        assert!(out.contains("lat_ns_count 3"));
+        // Buckets above the highest non-empty one are elided.
+        assert!(!out.contains("le=\"8\""));
+    }
+
+    #[test]
+    fn empty_histogram_renders_inf_only() {
+        let reg = Registry::new();
+        reg.histogram("h_ns", "h", &[]);
+        let out = render_prometheus(&reg);
+        assert!(out.contains("h_ns_bucket{le=\"+Inf\"} 0"));
+        assert!(out.contains("h_ns_count 0"));
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let reg = Registry::new();
+        reg.counter("c_total", "help", &[("domain", "a")]).add(2);
+        let h = reg.histogram("h_ns", "lat", &[]);
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let out = snapshot_json(&reg);
+        assert!(out.starts_with("{\"families\":["));
+        assert!(out.contains("\"name\":\"c_total\""));
+        assert!(out.contains("\"labels\":{\"domain\":\"a\"},\"value\":2"));
+        assert!(out.contains("\"count\":100,\"sum\":5050"));
+        assert!(out.contains("\"p95\":128"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,36 @@
+//! # qos-telemetry — observability for the signalling stack
+//!
+//! The paper's nested signatures let the destination *cryptographically*
+//! reconstruct the path a request took; this crate makes that path (and
+//! everything that happens along it) *observable* at runtime. Three
+//! pillars (DESIGN.md §D7):
+//!
+//! * [`metrics`] — a lock-free registry of labelled [`Counter`]s,
+//!   [`Gauge`]s, and fixed-bucket log-scale [`Histogram`]s. Handles are
+//!   cheap atomics resolved once; with no registry installed every
+//!   instrument is a no-op ([`Telemetry::disabled`]).
+//! * [`trace`] — per-request spans: a [`TraceId`] minted when a RAR
+//!   enters the system and derived identically at every hop, so each
+//!   broker's [`Span`]s assemble into one hop-by-hop timeline that
+//!   mirrors the envelope nest one-to-one.
+//! * [`expo`] — deterministic Prometheus text exposition and a JSON
+//!   snapshot, plus the [`artifact`] writer the experiment binaries use
+//!   for their `BENCH_*.json`/`METRICS_*.json` files (one code path
+//!   instead of hand-rolled serializers).
+//!
+//! Timings come from the [`Clock`] abstraction: [`StdClock`] reads the
+//! process-wide monotonic clock (one shared epoch, so spans from
+//! different broker threads align), and [`ManualClock`] is driven by the
+//! DES scheduler so virtual-time simulations produce the same telemetry.
+
+pub mod artifact;
+pub mod clock;
+pub mod expo;
+pub mod metrics;
+pub mod trace;
+
+pub use artifact::{Artifact, Row};
+pub use clock::{Clock, ManualClock, StdClock};
+pub use expo::{render_prometheus, snapshot_json};
+pub use metrics::{Counter, Gauge, Histogram, MetricKind, Registry, Telemetry};
+pub use trace::{render_timeline, Span, SpanKind, TraceId, Tracer};

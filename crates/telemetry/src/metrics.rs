@@ -1,0 +1,585 @@
+//! Lock-free metric instruments and the registry that exposes them.
+//!
+//! Instruments are thin handles around `Arc`'d atomics: resolving a
+//! metric (name + label set) takes the registry lock once, after which
+//! every increment/observation is a relaxed atomic op. A disabled handle
+//! (the default) holds no allocation at all and compiles down to a
+//! branch on `None` — the zero-overhead path for nodes without a
+//! registry installed.
+//!
+//! Counters can also be *registered from existing storage*
+//! ([`Registry::register_counter`]): the caller keeps its own
+//! `Arc<AtomicU64>` and the registry renders the very same cells. That
+//! is how `NodeCounters` folds into the registry without a second copy
+//! that could diverge.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log-scale histogram buckets: bucket `i` has upper bound
+/// `2^i` (the last bucket is unbounded). 64 buckets cover one
+/// nanosecond to five centuries.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter. `Default` is a detached no-op.
+#[derive(Clone, Default, Debug)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A handle that ignores all operations (no registry installed).
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// Wrap existing shared storage.
+    pub fn from_arc(cell: Arc<AtomicU64>) -> Self {
+        Counter(Some(cell))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a detached handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Is this handle wired to a registry?
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// A value that can go up and down. `Default` is a detached no-op.
+#[derive(Clone, Default, Debug)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// A handle that ignores all operations.
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Track a high-water mark: raise the gauge to `v` if it is below.
+    pub fn record_max(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a detached handle).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared storage of one histogram: fixed log-scale buckets plus sum and
+/// count, all relaxed atomics.
+#[derive(Debug)]
+pub struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HistogramCore {
+    /// Consistent-enough read of (buckets, count, sum) for exposition.
+    pub(crate) fn snapshot(&self) -> ([u64; HISTOGRAM_BUCKETS], u64, u64) {
+        (
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            self.count.load(Ordering::Relaxed),
+            self.sum.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Wrap this storage in a live handle (for exposition helpers).
+    pub(crate) fn handle(self: &Arc<Self>) -> Histogram {
+        Histogram(Some(self.clone()))
+    }
+}
+
+/// Index of the bucket whose upper bound first covers `v`: bucket `i`
+/// holds observations in `(2^(i-1), 2^i]` (bucket 0 holds 0 and 1).
+pub fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        (64 - (v - 1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+pub fn bucket_bound(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// A fixed-bucket log-scale histogram with percentile queries.
+/// `Default` is a detached no-op.
+#[derive(Clone, Default, Debug)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A handle that ignores all operations.
+    pub fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            h.count.fetch_add(1, Ordering::Relaxed);
+            h.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |h| h.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.sum.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 < q <= 1.0`) as the upper bound of the
+    /// bucket containing the rank-`ceil(q·count)` observation. Returns 0
+    /// when empty. With power-of-two bounds the answer is exact to
+    /// within a factor of two — enough to spot a p99 regression.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let Some(h) = &self.0 else {
+            return 0;
+        };
+        let n = h.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (i, b) in h.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                return bucket_bound(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median upper bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile upper bound.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// One metric's storage inside a family.
+#[derive(Clone, Debug)]
+pub(crate) enum MetricCell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+/// What kind of metric a family holds (Prometheus TYPE line).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Up/down gauge.
+    Gauge,
+    /// Log-scale histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Prometheus TYPE keyword.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A named family: one kind, one help string, one metric per label set.
+#[derive(Debug)]
+pub(crate) struct Family {
+    pub(crate) help: String,
+    pub(crate) kind: MetricKind,
+    /// Keyed by the label set sorted by label name — exposition order is
+    /// therefore deterministic regardless of resolution order.
+    pub(crate) metrics: BTreeMap<Vec<(String, String)>, MetricCell>,
+}
+
+/// The metrics registry: families by name, metrics by label set.
+///
+/// Resolution (`counter`/`gauge`/`histogram`) is idempotent: the same
+/// (name, labels) always yields a handle onto the same storage, so any
+/// subsystem can resolve independently and the values aggregate.
+#[derive(Default, Debug)]
+pub struct Registry {
+    pub(crate) families: Mutex<BTreeMap<String, Family>>,
+}
+
+fn label_key(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut v: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, val)| (k.to_string(), val.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+impl Registry {
+    /// An empty registry behind an `Arc`, ready to share across threads.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    fn resolve(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> MetricCell,
+    ) -> MetricCell {
+        debug_assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "invalid metric name {name:?}"
+        );
+        let mut fams = self.families.lock().expect("registry poisoned");
+        let fam = fams.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            metrics: BTreeMap::new(),
+        });
+        assert!(
+            fam.kind == kind,
+            "metric family {name} registered twice with different kinds"
+        );
+        fam.metrics
+            .entry(label_key(labels))
+            .or_insert_with(make)
+            .clone()
+    }
+
+    /// Resolve (or create) a counter.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.resolve(name, help, MetricKind::Counter, labels, || {
+            MetricCell::Counter(Arc::new(AtomicU64::new(0)))
+        }) {
+            MetricCell::Counter(c) => Counter(Some(c)),
+            _ => unreachable!("kind checked in resolve"),
+        }
+    }
+
+    /// Register an *existing* `Arc<AtomicU64>` as a counter, so the
+    /// registry exposes storage the caller already owns — one cell, no
+    /// copy to diverge. Returns a handle onto whichever cell the family
+    /// ends up holding (the given one, unless the label set was already
+    /// registered).
+    pub fn register_counter(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        cell: Arc<AtomicU64>,
+    ) -> Counter {
+        match self.resolve(name, help, MetricKind::Counter, labels, || {
+            MetricCell::Counter(cell)
+        }) {
+            MetricCell::Counter(c) => Counter(Some(c)),
+            _ => unreachable!("kind checked in resolve"),
+        }
+    }
+
+    /// Resolve (or create) a gauge.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.resolve(name, help, MetricKind::Gauge, labels, || {
+            MetricCell::Gauge(Arc::new(AtomicI64::new(0)))
+        }) {
+            MetricCell::Gauge(g) => Gauge(Some(g)),
+            _ => unreachable!("kind checked in resolve"),
+        }
+    }
+
+    /// Resolve (or create) a histogram.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.resolve(name, help, MetricKind::Histogram, labels, || {
+            MetricCell::Histogram(Arc::new(HistogramCore::default()))
+        }) {
+            MetricCell::Histogram(h) => Histogram(Some(h)),
+            _ => unreachable!("kind checked in resolve"),
+        }
+    }
+
+    /// Family names currently registered (exposition order).
+    pub fn family_names(&self) -> Vec<String> {
+        self.families
+            .lock()
+            .expect("registry poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Read one counter's value, if that (name, labels) is registered.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let fams = self.families.lock().expect("registry poisoned");
+        match fams.get(name)?.metrics.get(&label_key(labels))? {
+            MetricCell::Counter(c) => Some(c.load(Ordering::Relaxed)),
+            _ => None,
+        }
+    }
+
+    /// Read one gauge's value, if that (name, labels) is registered.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        let fams = self.families.lock().expect("registry poisoned");
+        match fams.get(name)?.metrics.get(&label_key(labels))? {
+            MetricCell::Gauge(g) => Some(g.load(Ordering::Relaxed)),
+            _ => None,
+        }
+    }
+
+    /// Read one histogram, if that (name, labels) is registered.
+    pub fn histogram_handle(&self, name: &str, labels: &[(&str, &str)]) -> Option<Histogram> {
+        let fams = self.families.lock().expect("registry poisoned");
+        match fams.get(name)?.metrics.get(&label_key(labels))? {
+            MetricCell::Histogram(h) => Some(Histogram(Some(h.clone()))),
+            _ => None,
+        }
+    }
+}
+
+/// An optional registry: the handle every instrumented subsystem holds.
+///
+/// [`Telemetry::disabled`] (also `Default`) makes every resolution
+/// return a detached no-op instrument — the uninstrumented fast path
+/// costs one `None` check per operation and allocates nothing.
+#[derive(Clone, Default, Debug)]
+pub struct Telemetry(Option<Arc<Registry>>);
+
+impl Telemetry {
+    /// No registry: every instrument resolved through this handle is a
+    /// no-op.
+    pub fn disabled() -> Self {
+        Telemetry(None)
+    }
+
+    /// Route instruments into `registry`.
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        Telemetry(Some(registry))
+    }
+
+    /// The installed registry, if any.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.0.as_ref()
+    }
+
+    /// Is a registry installed?
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Resolve a counter (no-op handle when disabled).
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        self.0
+            .as_ref()
+            .map_or_else(Counter::noop, |r| r.counter(name, help, labels))
+    }
+
+    /// Register existing counter storage (no-op handle when disabled).
+    pub fn register_counter(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        cell: Arc<AtomicU64>,
+    ) -> Counter {
+        self.0.as_ref().map_or_else(Counter::noop, |r| {
+            r.register_counter(name, help, labels, cell)
+        })
+    }
+
+    /// Resolve a gauge (no-op handle when disabled).
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.0
+            .as_ref()
+            .map_or_else(Gauge::noop, |r| r.gauge(name, help, labels))
+    }
+
+    /// Resolve a histogram (no-op handle when disabled).
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.0
+            .as_ref()
+            .map_or_else(Histogram::noop, |r| r.histogram(name, help, labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = Registry::new();
+        let c = reg.counter("t_total", "h", &[("domain", "a")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(reg.counter_value("t_total", &[("domain", "a")]), Some(5));
+        let g = reg.gauge("t_depth", "h", &[]);
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+        g.record_max(2);
+        assert_eq!(g.get(), 4);
+        g.record_max(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn resolution_is_idempotent() {
+        let reg = Registry::new();
+        let a = reg.counter("x_total", "h", &[("k", "v"), ("a", "b")]);
+        // Same labels, different order: same storage.
+        let b = reg.counter("x_total", "h", &[("a", "b"), ("k", "v")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 20), 20);
+        assert_eq!(bucket_index((1 << 20) + 1), 21);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_bound(0), 1);
+        assert_eq!(bucket_bound(20), 1 << 20);
+        assert_eq!(bucket_bound(63), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_ns", "h", &[]);
+        // 100 observations: 1..=100.
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        // Median rank 50 → value 50 → bucket bound 64.
+        assert_eq!(h.p50(), 64);
+        // p95 rank 95 → value 95 → bound 128; p99 rank 99 → bound 128.
+        assert_eq!(h.p95(), 128);
+        assert_eq!(h.p99(), 128);
+        assert_eq!(h.quantile(1.0), 128);
+    }
+
+    #[test]
+    fn detached_instruments_are_noops() {
+        let c = Counter::noop();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        assert!(!c.is_live());
+        let g = Gauge::noop();
+        g.set(5);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::noop();
+        h.observe(123);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p99(), 0);
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.counter("a_total", "h", &[]).inc();
+        t.histogram("b_ns", "h", &[]).observe(9);
+    }
+
+    #[test]
+    fn shared_counter_registration() {
+        let reg = Registry::new();
+        let cell = Arc::new(AtomicU64::new(41));
+        let c = reg.register_counter("rx_total", "h", &[("domain", "a")], cell.clone());
+        cell.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(c.get(), 42);
+        assert_eq!(reg.counter_value("rx_total", &[("domain", "a")]), Some(42));
+    }
+}

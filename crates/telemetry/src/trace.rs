@@ -1,0 +1,274 @@
+//! Per-request trace spans: the observable twin of the envelope nest.
+//!
+//! A [`TraceId`] is minted when a RAR enters the system at its source
+//! broker and *derived identically* at every downstream hop — it is a
+//! deterministic digest of `(source_domain, rar_id)`, both of which
+//! every signalling message carries (directly or through the broker's
+//! pending table). The id therefore travels with the message without
+//! widening the wire format, and the per-broker [`Span`]s it tags
+//! assemble into one hop-by-hop timeline whose hop sequence mirrors the
+//! signer path of the verified envelope nest one-to-one.
+
+use std::fmt;
+
+/// A request-scoped trace identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Mint (or re-derive) the trace id for a request: FNV-1a over the
+    /// source domain and the request id. Every broker on the path
+    /// computes the same id from the same signed fields.
+    pub fn mint(source_domain: &str, request_id: u64) -> TraceId {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in source_domain
+            .as_bytes()
+            .iter()
+            .copied()
+            .chain(request_id.to_le_bytes())
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TraceId(h)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// What one span measured.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpanKind {
+    /// A user request entered the system at its source broker.
+    Submit,
+    /// Time a message spent queued in a mailbox before dispatch.
+    QueueWait,
+    /// A request arrived from an upstream peer.
+    RecvRequest,
+    /// Full transitive-trust verification of the envelope nest.
+    VerifyEnvelope,
+    /// The local PDP decided.
+    PolicyDecision,
+    /// Admission control held (or refused) capacity.
+    Admission,
+    /// A signature was produced (wrap, originate, endorse).
+    Sign,
+    /// The wrapped request left for the next hop.
+    Forward,
+    /// An approval arrived from downstream.
+    RecvApproval,
+    /// A denial arrived from downstream.
+    RecvDenial,
+    /// The end-to-end request finished at the source.
+    Complete,
+    /// A reservation was released.
+    Release,
+}
+
+impl SpanKind {
+    /// Stable lowercase name (metric labels, timeline rendering).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanKind::Submit => "submit",
+            SpanKind::QueueWait => "queue_wait",
+            SpanKind::RecvRequest => "recv_request",
+            SpanKind::VerifyEnvelope => "verify_envelope",
+            SpanKind::PolicyDecision => "policy_decision",
+            SpanKind::Admission => "admission",
+            SpanKind::Sign => "sign",
+            SpanKind::Forward => "forward",
+            SpanKind::RecvApproval => "recv_approval",
+            SpanKind::RecvDenial => "recv_denial",
+            SpanKind::Complete => "complete",
+            SpanKind::Release => "release",
+        }
+    }
+}
+
+/// One timed step of one request at one broker.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// The request's trace.
+    pub trace: TraceId,
+    /// The request id (RAR id) the span belongs to.
+    pub request: u64,
+    /// The broker that recorded the span.
+    pub domain: String,
+    /// What was measured.
+    pub kind: SpanKind,
+    /// Free-form detail (peer name, decision, layer count…).
+    pub detail: String,
+    /// Start, in the recording broker's [`crate::Clock`] nanoseconds.
+    pub start_ns: u64,
+    /// End, same clock.
+    pub end_ns: u64,
+    /// The broker's wall clock (protocol `Timestamp` seconds) at record
+    /// time — ties spans to certificate-validity time in simulations.
+    pub wall_s: u64,
+}
+
+impl Span {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// A bounded per-broker span log (oldest evicted beyond capacity, with
+/// an eviction count — a bounded trail must not *silently* lose spans).
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: bool,
+    cap: usize,
+    spans: std::collections::VecDeque<Span>,
+    dropped: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new(8192)
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer with the given capacity.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            enabled: false,
+            cap: cap.max(1),
+            spans: std::collections::VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Turn recording on or off.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Is recording on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a span (no-op while disabled).
+    pub fn record(&mut self, span: Span) {
+        if !self.enabled {
+            return;
+        }
+        if self.spans.len() == self.cap {
+            self.spans.pop_front();
+            self.dropped += 1;
+        }
+        self.spans.push_back(span);
+    }
+
+    /// All recorded spans, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        self.spans.iter()
+    }
+
+    /// Spans belonging to one trace, oldest first.
+    pub fn for_trace(&self, trace: TraceId) -> Vec<&Span> {
+        self.spans.iter().filter(|s| s.trace == trace).collect()
+    }
+
+    /// Drain all recorded spans.
+    pub fn take_spans(&mut self) -> Vec<Span> {
+        self.spans.drain(..).collect()
+    }
+
+    /// Spans evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+/// Render spans (one trace, any number of brokers) as an aligned
+/// timeline, ordered by start time. Times are shown relative to the
+/// earliest span.
+pub fn render_timeline(spans: &[Span]) -> String {
+    let mut ordered: Vec<&Span> = spans.iter().collect();
+    ordered.sort_by_key(|s| (s.start_ns, s.end_ns));
+    let t0 = ordered.first().map_or(0, |s| s.start_ns);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>12}  {:>10}  {:<12} {:<16} {}\n",
+        "t(µs)", "dur(µs)", "domain", "span", "detail"
+    ));
+    for s in ordered {
+        out.push_str(&format!(
+            "{:>12.1}  {:>10.1}  {:<12} {:<16} {}\n",
+            (s.start_ns - t0) as f64 / 1e3,
+            s.duration_ns() as f64 / 1e3,
+            s.domain,
+            s.kind.as_str(),
+            s.detail
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_id_is_deterministic_and_discriminating() {
+        let a = TraceId::mint("domain-a", 1);
+        assert_eq!(a, TraceId::mint("domain-a", 1));
+        assert_ne!(a, TraceId::mint("domain-a", 2));
+        assert_ne!(a, TraceId::mint("domain-b", 1));
+        assert_eq!(format!("{a}").len(), 16);
+    }
+
+    fn span(trace: TraceId, start: u64) -> Span {
+        Span {
+            trace,
+            request: 1,
+            domain: "d".into(),
+            kind: SpanKind::Submit,
+            detail: String::new(),
+            start_ns: start,
+            end_ns: start + 10,
+            wall_s: 0,
+        }
+    }
+
+    #[test]
+    fn tracer_bounds_and_counts_drops() {
+        let mut t = Tracer::new(2);
+        t.record(span(TraceId(1), 0)); // disabled: ignored
+        assert!(t.is_empty());
+        t.set_enabled(true);
+        for i in 0..5 {
+            t.record(span(TraceId(1), i));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.for_trace(TraceId(1)).len(), 2);
+        assert_eq!(t.for_trace(TraceId(2)).len(), 0);
+    }
+
+    #[test]
+    fn timeline_renders_in_start_order() {
+        let spans = vec![span(TraceId(1), 2000), span(TraceId(1), 1000)];
+        let out = render_timeline(&spans);
+        let first = out.lines().nth(1).unwrap();
+        assert!(first.trim_start().starts_with("0.0"), "line: {first}");
+    }
+}
