@@ -1,0 +1,312 @@
+//! EXP-TCP — the TCP peering fabric vs the in-process actor mesh.
+//!
+//! The transport layer must be *transparent*: the fig2 multi-domain
+//! scenario (all-accept, transit denial, destination denial) must
+//! produce identical admission verdicts and identical per-domain
+//! committed bandwidth whether sealed frames travel through crossbeam
+//! mailboxes or over loopback TCP sockets. Any divergence is a bug and
+//! exits non-zero (CI enforces this).
+//!
+//! It must also be *cheap enough*: the second half measures
+//! submit-to-completion latency and throughput for a batch of
+//! reservations on both fabrics and emits `BENCH_transport.json` with
+//! the comparison.
+
+use qos_bench::{table_header, table_row, write_metrics_snapshot};
+use qos_core::channel::ChannelIdentity;
+use qos_core::node::{BbNode, Completion};
+use qos_core::runtime::ActorMesh;
+use qos_core::scenario::{build_chain, ChainOptions, Scenario};
+use qos_crypto::{KeyPair, Timestamp};
+use qos_telemetry::{Artifact, Registry, Row, Telemetry};
+use qos_transport::TcpMesh;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+const MBPS: u64 = 1_000_000;
+const THROUGHPUT_REQUESTS: u64 = 48;
+
+fn identities(s: &Scenario) -> HashMap<String, ChannelIdentity> {
+    s.nodes
+        .iter()
+        .map(|n| {
+            (
+                n.domain().to_string(),
+                ChannelIdentity {
+                    key: KeyPair::from_seed(format!("bb-{}", n.domain()).as_bytes()),
+                    cert: n.cert().clone(),
+                },
+            )
+        })
+        .collect()
+}
+
+fn chain_links(s: &Scenario) -> Vec<(String, String)> {
+    s.domains
+        .windows(2)
+        .map(|w| (w[0].clone(), w[1].clone()))
+        .collect()
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Fabric {
+    Actor,
+    Tcp,
+}
+
+impl Fabric {
+    fn name(self) -> &'static str {
+        match self {
+            Fabric::Actor => "actor(in-process)",
+            Fabric::Tcp => "tcp(loopback)",
+        }
+    }
+}
+
+/// Either mesh behind the one surface this experiment needs.
+enum AnyMesh {
+    Actor(ActorMesh),
+    Tcp(TcpMesh),
+}
+
+impl AnyMesh {
+    fn spawn(fabric: Fabric, s: &mut Scenario, telemetry: &Telemetry) -> Self {
+        let ids = identities(s);
+        let links = chain_links(s);
+        let ca_key = s.ca_key;
+        let nodes = std::mem::take(&mut s.nodes);
+        match fabric {
+            Fabric::Actor => {
+                let mut m = ActorMesh::new();
+                m.set_telemetry(telemetry.clone());
+                m.spawn(nodes, ids, &links, ca_key);
+                AnyMesh::Actor(m)
+            }
+            Fabric::Tcp => {
+                let mut m = TcpMesh::new();
+                m.set_telemetry(telemetry.clone());
+                m.spawn(nodes, ids, &links, ca_key)
+                    .expect("loopback mesh comes up");
+                AnyMesh::Tcp(m)
+            }
+        }
+    }
+
+    fn submit(
+        &self,
+        domain: &str,
+        rar: qos_core::envelope::SignedRar,
+        cert: qos_crypto::Certificate,
+    ) {
+        match self {
+            AnyMesh::Actor(m) => m.submit(domain, rar, cert),
+            AnyMesh::Tcp(m) => m.submit(domain, rar, cert),
+        }
+    }
+
+    fn wait_completions(&self, n: usize) -> Vec<(String, Completion)> {
+        match self {
+            AnyMesh::Actor(m) => m.wait_completions(n),
+            AnyMesh::Tcp(m) => m.wait_completions(n),
+        }
+    }
+
+    fn shutdown(self) -> HashMap<String, BbNode> {
+        match self {
+            AnyMesh::Actor(m) => m.shutdown(),
+            AnyMesh::Tcp(m) => m.shutdown(),
+        }
+    }
+}
+
+/// One fig2 case on one fabric: (granted, per-domain available bw).
+fn fig2_case(fabric: Fabric, deny_at: Option<usize>) -> (bool, Vec<(String, u64)>) {
+    let mut policies = HashMap::new();
+    if let Some(i) = deny_at {
+        policies.insert(
+            i,
+            format!(r#"return deny "domain {i} refuses this reservation""#),
+        );
+    }
+    let mut s = build_chain(ChainOptions {
+        policies,
+        ..ChainOptions::default()
+    });
+    let domains = s.domains.clone();
+    let spec = s.spec("alice", 7, 10 * MBPS, Timestamp(0), 3600);
+    let rar = s.users["alice"].sign_request(spec, &s.nodes[0]);
+    let cert = s.users["alice"].cert.clone();
+
+    let mesh = AnyMesh::spawn(fabric, &mut s, &Telemetry::disabled());
+    mesh.submit("domain-a", rar, cert);
+    let completions = mesh.wait_completions(1);
+    let granted = matches!(
+        completions.first(),
+        Some((_, Completion::Reservation { result: Ok(_), .. }))
+    );
+    let nodes = mesh.shutdown();
+    let state = domains
+        .iter()
+        .map(|d| (d.clone(), nodes[d].core().available_bw_at(Timestamp(10))))
+        .collect();
+    (granted, state)
+}
+
+struct ThroughputResult {
+    total_ms: f64,
+    req_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    granted: usize,
+}
+
+/// A batch of reservations on one fabric, timed wall-clock.
+fn throughput_run(fabric: Fabric, registry: &Arc<Registry>) -> ThroughputResult {
+    let telemetry = Telemetry::with_registry(Arc::clone(registry));
+    let mut s = build_chain(ChainOptions {
+        sla_rate_bps: 1000 * MBPS,
+        telemetry: telemetry.clone(),
+        ..ChainOptions::default()
+    });
+    let mut rars = Vec::new();
+    for i in 0..THROUGHPUT_REQUESTS {
+        let spec = s.spec("alice", 1000 + i, 5 * MBPS, Timestamp(0), 3600);
+        rars.push(s.users["alice"].sign_request(spec, &s.nodes[0]));
+    }
+    let cert = s.users["alice"].cert.clone();
+
+    let mesh = AnyMesh::spawn(fabric, &mut s, &telemetry);
+    let t0 = Instant::now();
+    for rar in rars {
+        mesh.submit("domain-a", rar, cert.clone());
+    }
+    let completions = mesh.wait_completions(THROUGHPUT_REQUESTS as usize);
+    let elapsed = t0.elapsed();
+    let granted = completions
+        .iter()
+        .filter(|(_, c)| matches!(c, Completion::Reservation { result: Ok(_), .. }))
+        .count();
+    mesh.shutdown();
+
+    let latency = registry
+        .histogram_handle("bb_completion_latency_ns", &[("domain", "domain-a")])
+        .unwrap_or_default();
+    ThroughputResult {
+        total_ms: elapsed.as_secs_f64() * 1e3,
+        req_per_sec: THROUGHPUT_REQUESTS as f64 / elapsed.as_secs_f64(),
+        p50_us: latency.p50() as f64 / 1e3,
+        p99_us: latency.p99() as f64 / 1e3,
+        granted,
+    }
+}
+
+fn main() {
+    println!("EXP-TCP: TCP peering fabric vs in-process actor mesh\n");
+
+    // Part 1 — transparency: identical fig2 outcomes on both fabrics.
+    println!("fig2 multi-domain parity:");
+    let widths = [22, 20, 8, 8];
+    table_header(&["case", "fabric", "verdict", "match"], &widths);
+    let mut artifact = Artifact::new(
+        "exp_transport_loopback",
+        "mixed (verdicts; ms; req/s)",
+        "TCP loopback mesh vs in-process actor mesh; fig2 parity is a hard \
+         invariant (non-zero exit on divergence); latency is wall-clock \
+         submit-to-completion on an otherwise idle host",
+    );
+    let mut diverged = false;
+    for (label, deny_at) in [
+        ("all domains accept", None),
+        ("domain-b denies", Some(1)),
+        ("domain-c denies", Some(2)),
+    ] {
+        let (granted_actor, state_actor) = fig2_case(Fabric::Actor, deny_at);
+        let (granted_tcp, state_tcp) = fig2_case(Fabric::Tcp, deny_at);
+        let matches = granted_actor == granted_tcp && state_actor == state_tcp;
+        diverged |= !matches;
+        for (fabric, granted) in [(Fabric::Actor, granted_actor), (Fabric::Tcp, granted_tcp)] {
+            table_row(
+                &[
+                    label.to_string(),
+                    fabric.name().to_string(),
+                    if granted { "GRANT" } else { "DENY" }.to_string(),
+                    matches.to_string(),
+                ],
+                &widths,
+            );
+        }
+        artifact.push(
+            Row::new()
+                .field("section", "fig2_parity")
+                .field("case", label)
+                .field("granted_actor", granted_actor.to_string())
+                .field("granted_tcp", granted_tcp.to_string())
+                .field("state_match", matches.to_string()),
+        );
+    }
+    println!();
+
+    // Part 2 — cost: latency/throughput for a reservation batch.
+    println!("reservation batch ({THROUGHPUT_REQUESTS} requests, 3-domain chain):");
+    let widths = [20, 12, 10, 12, 12, 10];
+    table_header(
+        &[
+            "fabric",
+            "total(ms)",
+            "req/s",
+            "p50(µs)",
+            "p99(µs)",
+            "granted",
+        ],
+        &widths,
+    );
+    let mut tcp_registry = None;
+    for fabric in [Fabric::Actor, Fabric::Tcp] {
+        let registry = Registry::new();
+        let r = throughput_run(fabric, &registry);
+        table_row(
+            &[
+                fabric.name().to_string(),
+                format!("{:.2}", r.total_ms),
+                format!("{:.0}", r.req_per_sec),
+                format!("{:.1}", r.p50_us),
+                format!("{:.1}", r.p99_us),
+                format!("{}/{}", r.granted, THROUGHPUT_REQUESTS),
+            ],
+            &widths,
+        );
+        artifact.push(
+            Row::new()
+                .field("section", "throughput")
+                .field("fabric", fabric.name())
+                .field("requests", THROUGHPUT_REQUESTS)
+                .field("total_ms", r.total_ms)
+                .field("req_per_sec", r.req_per_sec)
+                .field("p50_us", r.p50_us)
+                .field("p99_us", r.p99_us)
+                .field("granted", r.granted as u64),
+        );
+        if fabric == Fabric::Tcp {
+            tcp_registry = Some(registry);
+        }
+    }
+
+    match artifact.write("BENCH_transport.json") {
+        Ok(()) => println!("\nwrote BENCH_transport.json"),
+        Err(e) => eprintln!("\nwarning: could not write BENCH_transport.json: {e}"),
+    }
+    if let Some(registry) = tcp_registry {
+        write_metrics_snapshot("transport_loopback", &registry);
+    }
+
+    if diverged {
+        eprintln!("\nFAIL: TCP mesh admission outcomes diverged from the in-process mesh");
+        std::process::exit(1);
+    }
+    println!(
+        "\nexpected: identical verdicts and committed bandwidth on both\n\
+         fabrics; TCP adds per-hop socket+seal overhead but stays in the\n\
+         same order of magnitude on loopback."
+    );
+}

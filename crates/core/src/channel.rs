@@ -15,8 +15,8 @@
 //! certificate — the raw material of the key-introducer web of trust).
 
 use crate::error::CoreError;
-use qos_crypto::sha256::{hmac_sha256, Digest, Sha256};
-use qos_crypto::{Certificate, DistinguishedName, KeyPair, PublicKey, Timestamp};
+use qos_crypto::sha256::{hmac_sha256, Digest, Sha256, DIGEST_LEN};
+use qos_crypto::{Certificate, DistinguishedName, KeyPair, PublicKey, Signature, Timestamp};
 
 /// One party's channel identity.
 pub struct ChannelIdentity {
@@ -43,6 +43,26 @@ pub struct Sealed {
     pub seq: u64,
     /// HMAC over (direction ‖ seq ‖ payload).
     pub mac: Digest,
+}
+
+impl qos_wire::Encode for Sealed {
+    fn encode(&self, w: &mut qos_wire::Writer) {
+        w.put_bytes(&self.payload);
+        w.put_u64(self.seq);
+        w.put_raw(&self.mac);
+    }
+}
+
+impl qos_wire::Decode for Sealed {
+    fn decode(r: &mut qos_wire::Reader<'_>) -> Result<Self, qos_wire::WireError> {
+        let payload = r.get_bytes()?;
+        let seq = r.get_u64()?;
+        let mut mac = [0u8; DIGEST_LEN];
+        for b in mac.iter_mut() {
+            *b = r.get_u8()?;
+        }
+        Ok(Sealed { payload, seq, mac })
+    }
 }
 
 /// One endpoint of an established secure channel.
@@ -163,7 +183,7 @@ impl SecureChannel {
     /// Open an incoming message: verifies the MAC and strict ordering.
     pub fn open(&mut self, msg: Sealed) -> Result<Vec<u8>, CoreError> {
         let expect = self.mac(1 - self.role, msg.seq, &msg.payload);
-        if expect != msg.mac {
+        if !ct_eq(&expect, &msg.mac) {
             return Err(CoreError::Channel("MAC verification failed".into()));
         }
         if msg.seq != self.recv_seq {
@@ -183,6 +203,142 @@ impl SecureChannel {
         data.extend_from_slice(payload);
         hmac_sha256(&self.session_key, &data)
     }
+}
+
+/// Constant-time digest comparison: the running time is independent of
+/// the position of the first differing byte, so an attacker probing a
+/// channel over a real network cannot binary-search a valid MAC one
+/// byte at a time through response timing.
+#[inline(never)]
+fn ct_eq(a: &Digest, b: &Digest) -> bool {
+    let mut diff = 0u8;
+    for i in 0..DIGEST_LEN {
+        diff |= a[i] ^ b[i];
+    }
+    diff == 0
+}
+
+/// One side of the mutual handshake, decomposed into messages.
+///
+/// [`handshake`] needs both private keys in one address space, which is
+/// only possible when every broker lives in one process. Peered daemons
+/// run the same protocol as an exchange of two messages per side: a
+/// *hello* carrying the certificate and a fresh nonce contribution, then
+/// an *auth* proving possession of the certified key by signing the
+/// joint transcript
+/// `H("qos-net-handshake-v1" ‖ cert_i ‖ cert_r ‖ nonce_i ‖ nonce_r)`.
+/// Both sides contribute a nonce, so neither can replay a transcript the
+/// other has signed before. The derived session key matches the
+/// in-process construction: `H("qos-channel-v1" ‖ transcript)`.
+pub struct NetHandshake {
+    cert: Certificate,
+    key: KeyPair,
+    initiator: bool,
+    nonce: u64,
+}
+
+impl NetHandshake {
+    /// Start a handshake as the connecting (`initiator = true`) or
+    /// accepting side. `nonce` must be fresh per connection attempt.
+    pub fn new(identity: &ChannelIdentity, initiator: bool, nonce: u64) -> Self {
+        Self {
+            cert: identity.cert.clone(),
+            key: identity.key.clone(),
+            initiator,
+            nonce,
+        }
+    }
+
+    /// The hello to transmit: our certificate and nonce contribution.
+    pub fn hello(&self) -> (Certificate, u64) {
+        (self.cert.clone(), self.nonce)
+    }
+
+    /// Consume the peer's hello: validate its certificate against the
+    /// SLA `pin`, derive the joint transcript, and produce our
+    /// possession proof plus the state that awaits the peer's.
+    pub fn receive_hello(
+        self,
+        peer_cert: Certificate,
+        peer_nonce: u64,
+        pin: &PeerPin,
+        now: Timestamp,
+    ) -> Result<(Signature, AwaitAuth), CoreError> {
+        validate_peer(&peer_cert, pin, now)?;
+        let transcript = if self.initiator {
+            net_transcript(&self.cert, &peer_cert, self.nonce, peer_nonce)
+        } else {
+            net_transcript(&peer_cert, &self.cert, peer_nonce, self.nonce)
+        };
+        let sig = self.key.sign(&transcript);
+        let mut h = Sha256::new();
+        h.update(b"qos-channel-v1");
+        h.update(&transcript);
+        let session_key = h.finalize();
+        Ok((
+            sig,
+            AwaitAuth {
+                transcript,
+                session_key,
+                peer_cert,
+                role: if self.initiator { 0 } else { 1 },
+            },
+        ))
+    }
+}
+
+/// Handshake state after the hellos crossed, awaiting the peer's
+/// possession proof.
+pub struct AwaitAuth {
+    transcript: Vec<u8>,
+    session_key: Digest,
+    peer_cert: Certificate,
+    role: u8,
+}
+
+impl AwaitAuth {
+    /// The peer's DN (already validated against the pin).
+    pub fn peer_dn(&self) -> &DistinguishedName {
+        &self.peer_cert.tbs.subject
+    }
+
+    /// Verify the peer's signature over the joint transcript and open
+    /// the channel.
+    pub fn receive_auth(self, sig: Signature) -> Result<SecureChannel, CoreError> {
+        if !self
+            .peer_cert
+            .tbs
+            .subject_public_key
+            .verify(&self.transcript, &sig)
+        {
+            return Err(CoreError::Channel(format!(
+                "peer {} failed possession proof",
+                self.peer_cert.tbs.subject
+            )));
+        }
+        Ok(SecureChannel {
+            peer_cert: self.peer_cert,
+            session_key: self.session_key,
+            role: self.role,
+            send_seq: 0,
+            recv_seq: 0,
+        })
+    }
+}
+
+fn net_transcript(
+    cert_i: &Certificate,
+    cert_r: &Certificate,
+    nonce_i: u64,
+    nonce_r: u64,
+) -> Vec<u8> {
+    let mut h = Sha256::new();
+    h.update(b"qos-net-handshake-v1");
+    h.update(&qos_wire::to_bytes(cert_i));
+    h.update(&qos_wire::to_bytes(cert_r));
+    h.update(&nonce_i.to_le_bytes());
+    h.update(&nonce_r.to_le_bytes());
+    h.finalize().to_vec()
 }
 
 #[cfg(test)]
@@ -354,6 +510,73 @@ mod tests {
         assert!(b.open(m0.clone()).is_ok());
         assert!(b.open(m0).is_err(), "replay detected");
         assert!(b.open(m1).is_ok());
+    }
+
+    /// Drive the message-based handshake the way two sockets would.
+    fn net_handshake(f: &Fix) -> Result<(SecureChannel, SecureChannel), CoreError> {
+        let hs_a = NetHandshake::new(&f.a, true, 11);
+        let hs_b = NetHandshake::new(&f.b, false, 22);
+        let (cert_a, nonce_a) = hs_a.hello();
+        let (cert_b, nonce_b) = hs_b.hello();
+        let (sig_a, await_a) =
+            hs_a.receive_hello(cert_b, nonce_b, &pins(f, "domain-b"), Timestamp(0))?;
+        let (sig_b, await_b) =
+            hs_b.receive_hello(cert_a, nonce_a, &pins(f, "domain-a"), Timestamp(0))?;
+        Ok((await_a.receive_auth(sig_b)?, await_b.receive_auth(sig_a)?))
+    }
+
+    #[test]
+    fn net_handshake_ends_interoperate() {
+        let f = fix();
+        let (mut a, mut b) = net_handshake(&f).unwrap();
+        assert_eq!(a.peer_dn(), &DistinguishedName::broker("domain-b"));
+        assert_eq!(b.peer_dn(), &DistinguishedName::broker("domain-a"));
+        let m1 = a.seal(b"over the wire".to_vec());
+        assert_eq!(b.open(m1).unwrap(), b"over the wire");
+        let m2 = b.seal(b"and back".to_vec());
+        assert_eq!(a.open(m2).unwrap(), b"and back");
+    }
+
+    #[test]
+    fn net_handshake_rejects_stolen_certificate() {
+        let f = fix();
+        // Mallory presents B's certificate but signs with a different key.
+        let mallory = ChannelIdentity {
+            cert: f.b.cert.clone(),
+            key: KeyPair::from_seed(b"mallory"),
+        };
+        let hs_a = NetHandshake::new(&f.a, true, 1);
+        let (cert_m, nonce_m) = NetHandshake::new(&mallory, false, 2).hello();
+        let mallory_sig = mallory.key.sign(b"whatever");
+        let (_, await_a) = hs_a
+            .receive_hello(cert_m, nonce_m, &pins(&f, "domain-b"), Timestamp(0))
+            .unwrap();
+        assert!(matches!(
+            await_a.receive_auth(mallory_sig),
+            Err(CoreError::Channel(_))
+        ));
+    }
+
+    #[test]
+    fn net_handshake_rejects_unpinned_dn() {
+        let f = fix();
+        let hs_a = NetHandshake::new(&f.a, true, 1);
+        let (cert_b, nonce_b) = NetHandshake::new(&f.b, false, 2).hello();
+        assert!(matches!(
+            hs_a.receive_hello(cert_b, nonce_b, &pins(&f, "domain-x"), Timestamp(0)),
+            Err(CoreError::Channel(_))
+        ));
+    }
+
+    #[test]
+    fn sealed_frames_round_trip_on_the_wire() {
+        let f = fix();
+        let (mut a, mut b) = net_handshake(&f).unwrap();
+        let sealed = a.seal(b"framed payload".to_vec());
+        let bytes = qos_wire::to_bytes(&sealed);
+        let back = qos_wire::from_bytes::<Sealed>(&bytes).unwrap();
+        assert_eq!(back, sealed);
+        assert_eq!(b.open(back).unwrap(), b"framed payload");
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Exponential backoff for reconnect attempts.
+//!
+//! A dead peer must not be hammered: the connector doubles its delay on
+//! every consecutive failure up to a cap, and resets to the base the
+//! moment a handshake completes. Deterministic (no jitter) so the
+//! kill-and-reconnect test can bound recovery time exactly.
+
+use std::time::Duration;
+
+/// Doubling backoff between a base and a cap.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    next: Duration,
+}
+
+impl Backoff {
+    /// A backoff starting at `base` and saturating at `cap`.
+    pub fn new(base: Duration, cap: Duration) -> Self {
+        let base = base.max(Duration::from_millis(1));
+        let cap = cap.max(base);
+        Self {
+            base,
+            cap,
+            next: base,
+        }
+    }
+
+    /// The delay to sleep before the next attempt; doubles the following
+    /// delay up to the cap.
+    pub fn next_delay(&mut self) -> Duration {
+        let d = self.next;
+        self.next = (self.next * 2).min(self.cap);
+        d
+    }
+
+    /// Reset to the base delay after a successful connection.
+    pub fn reset(&mut self) {
+        self.next = self.base;
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new(Duration::from_millis(10), Duration::from_secs(2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_to_cap_and_resets() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(70));
+        assert_eq!(b.next_delay(), Duration::from_millis(10));
+        assert_eq!(b.next_delay(), Duration::from_millis(20));
+        assert_eq!(b.next_delay(), Duration::from_millis(40));
+        assert_eq!(b.next_delay(), Duration::from_millis(70));
+        assert_eq!(b.next_delay(), Duration::from_millis(70));
+        b.reset();
+        assert_eq!(b.next_delay(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn degenerate_durations_clamped() {
+        let mut b = Backoff::new(Duration::ZERO, Duration::ZERO);
+        assert!(b.next_delay() >= Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,238 @@
+//! `bbd` — a bandwidth-broker daemon hosting one domain of the
+//! deterministic chain scenario over real TCP sockets.
+//!
+//! Every `bbd` process builds the same seeded scenario
+//! ([`qos_core::scenario::build_chain`]), so certificates, SLAs, and
+//! routes agree across processes without any shared state. Start one
+//! process per domain, wire them with `--peer`/`--accept`, and submit
+//! reservations from the source domain with `--submit`; see the README
+//! quickstart for a three-terminal loopback demo.
+//!
+//! ```text
+//! bbd --chain 3 --index 0 --listen 127.0.0.1:7001 \
+//!     --peer domain-b=127.0.0.1:7002 --submit 4
+//! ```
+
+use qos_core::channel::ChannelIdentity;
+use qos_core::node::Completion;
+use qos_core::scenario::{build_chain, ChainOptions};
+use qos_crypto::{KeyPair, Timestamp};
+use qos_telemetry::{snapshot_json, Registry, Telemetry};
+use qos_transport::{BrokerDaemon, DaemonConfig, TransportOptions};
+use std::net::{SocketAddr, TcpListener};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const MBPS: u64 = 1_000_000;
+
+struct Args {
+    chain: usize,
+    index: usize,
+    listen: String,
+    peers: Vec<(String, SocketAddr)>,
+    accepts: Vec<String>,
+    submit: u64,
+    run_secs: Option<u64>,
+    metrics: bool,
+}
+
+const USAGE: &str = "bbd — bandwidth-broker daemon over TCP
+
+USAGE:
+    bbd --index I [--chain N] [--listen ADDR]
+        [--peer DOMAIN=ADDR]... [--accept DOMAIN]...
+        [--submit K] [--run-secs S] [--metrics]
+
+OPTIONS:
+    --chain N          domains in the deterministic chain scenario (default 3)
+    --index I          which domain this process hosts (0-based, required)
+    --listen ADDR      listen address (default 127.0.0.1:0, printed at startup)
+    --peer D=ADDR      dial the daemon hosting domain D at ADDR (repeatable)
+    --accept D         expect an inbound connection from domain D (repeatable)
+    --submit K         submit K reservations of 5 Mb/s from alice, wait for
+                       their completions, then exit (source domain only)
+    --run-secs S       exit after S seconds instead of running forever
+    --metrics          print a metrics snapshot (JSON) before exiting
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        chain: 3,
+        index: usize::MAX,
+        listen: "127.0.0.1:0".to_string(),
+        peers: Vec::new(),
+        accepts: Vec::new(),
+        submit: 0,
+        run_secs: None,
+        metrics: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--chain" => args.chain = value("--chain")?.parse().map_err(|e| format!("{e}"))?,
+            "--index" => args.index = value("--index")?.parse().map_err(|e| format!("{e}"))?,
+            "--listen" => args.listen = value("--listen")?,
+            "--peer" => {
+                let v = value("--peer")?;
+                let (d, a) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--peer wants DOMAIN=ADDR, got {v}"))?;
+                let addr = a
+                    .parse()
+                    .map_err(|e| format!("bad peer address {a}: {e}"))?;
+                args.peers.push((d.to_string(), addr));
+            }
+            "--accept" => args.accepts.push(value("--accept")?),
+            "--submit" => args.submit = value("--submit")?.parse().map_err(|e| format!("{e}"))?,
+            "--run-secs" => {
+                args.run_secs = Some(value("--run-secs")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--metrics" => args.metrics = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.index == usize::MAX {
+        return Err("--index is required".to_string());
+    }
+    if args.index >= args.chain {
+        return Err(format!(
+            "--index {} out of range for a {}-domain chain",
+            args.index, args.chain
+        ));
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bbd: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The same seeds in every process: certificates and SLAs agree
+    // across daemons with no shared state.
+    let mut s = build_chain(ChainOptions {
+        domains: args.chain,
+        sla_rate_bps: 1000 * MBPS,
+        ..ChainOptions::default()
+    });
+    let domain = s.domains[args.index].clone();
+
+    // Sign submissions against the source node before it moves into the
+    // daemon.
+    let mut rars = Vec::new();
+    for i in 0..args.submit {
+        let spec = s.spec("alice", 1000 + i, 5 * MBPS, Timestamp(0), 3600);
+        rars.push(s.users["alice"].sign_request(spec, &s.nodes[args.index]));
+    }
+    let user_cert = s.users["alice"].cert.clone();
+
+    let node = s.nodes.remove(args.index);
+    let identity = ChannelIdentity {
+        key: KeyPair::from_seed(format!("bb-{domain}").as_bytes()),
+        cert: node.cert().clone(),
+    };
+
+    let listener = match TcpListener::bind(&args.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("bbd: cannot listen on {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let registry = Registry::new();
+    let telemetry = if args.metrics {
+        Telemetry::with_registry(Arc::clone(&registry))
+    } else {
+        Telemetry::disabled()
+    };
+
+    let (completion_tx, completion_rx) = crossbeam::channel::unbounded();
+    let daemon = match BrokerDaemon::start(
+        node,
+        DaemonConfig {
+            identity,
+            ca_key: s.ca_key,
+            listener,
+            connect_to: args.peers.iter().cloned().collect(),
+            accept_from: args.accepts.clone(),
+            completion_tx,
+            telemetry,
+            options: TransportOptions::default(),
+        },
+    ) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bbd: failed to start daemon for {domain}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("bbd: {domain} listening on {}", daemon.local_addr());
+
+    if !args.peers.is_empty() {
+        if daemon.wait_connected(Duration::from_secs(30)) {
+            println!(
+                "bbd: {domain} connected to all {} peer(s)",
+                args.peers.len()
+            );
+        } else {
+            eprintln!("bbd: {domain} could not reach all peers within 30s");
+            daemon.shutdown();
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut failed = 0u64;
+    if args.submit > 0 {
+        for rar in rars {
+            daemon.submit(rar, user_cert.clone());
+        }
+        for _ in 0..args.submit {
+            match completion_rx.recv_timeout(Duration::from_secs(30)) {
+                Ok((_, Completion::Reservation { rar_id, result })) => match result {
+                    Ok(_) => println!("bbd: rar {} approved", rar_id.0),
+                    Err(d) => {
+                        failed += 1;
+                        println!("bbd: rar {} denied: {}", rar_id.0, d.reason);
+                    }
+                },
+                Ok((_, Completion::TunnelFlow { flow, accepted, .. })) => {
+                    println!("bbd: tunnel flow {flow} accepted={accepted}");
+                }
+                Err(_) => {
+                    eprintln!("bbd: timed out waiting for completions");
+                    failed += 1;
+                    break;
+                }
+            }
+        }
+    } else {
+        match args.run_secs {
+            Some(secs) => std::thread::sleep(Duration::from_secs(secs)),
+            None => loop {
+                // Serve until killed.
+                std::thread::sleep(Duration::from_secs(3600));
+            },
+        }
+    }
+
+    daemon.shutdown();
+    if args.metrics {
+        println!("{}", snapshot_json(&registry));
+    }
+    if failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,912 @@
+//! The broker daemon: one [`BbNode`] behind real sockets.
+//!
+//! A [`BrokerDaemon`] hosts a broker's protocol state machine on its own
+//! thread and connects it to peered daemons over TCP:
+//!
+//! * an **accept loop** admits inbound connections, runs the responder
+//!   half of the [`NetHandshake`](qos_core::channel::NetHandshake), and
+//!   refuses certificates for any domain the SLA does not pin;
+//! * a **connector** per outbound link dials the peer, runs the
+//!   initiator half, and on any disconnect retries under exponential
+//!   [`Backoff`], counting reconnects;
+//! * a **writer** per link drains that link's bounded [`OutQueue`],
+//!   sealing each plaintext frame at write time so frames that waited
+//!   out a reconnect are MAC'd under the new session's sequence space.
+//!   A frame whose write fails is pushed back to the queue front —
+//!   an approved reservation never evaporates because a socket died;
+//! * a **reader** per live session opens sealed frames in arrival order
+//!   and feeds the decoded signalling messages to the node thread,
+//!   which runs the same dispatch loop (including tunnel-flow batch
+//!   coalescing) as the in-process actor runtime.
+
+use crate::backoff::Backoff;
+use crate::error::TransportError;
+use crate::queue::{OutQueue, OverflowPolicy, PushOutcome};
+use crate::session::{establish_initiator, establish_responder, Session};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use qos_core::channel::{ChannelIdentity, PeerPin};
+use qos_core::envelope::SignedRar;
+use qos_core::messages::SignalMessage;
+use qos_core::node::{BbNode, Completion};
+use qos_core::rar::RarId;
+use qos_crypto::{Certificate, DistinguishedName, PublicKey, Timestamp};
+use qos_telemetry::{Counter, Gauge, Histogram, StdClock, Telemetry, TraceId};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a daemon's transport layer.
+#[derive(Debug, Clone)]
+pub struct TransportOptions {
+    /// Frame-size ceiling enforced on both directions.
+    pub max_frame: usize,
+    /// Per-link outbound queue capacity (frames).
+    pub queue_capacity: usize,
+    /// What a full outbound queue does to new frames.
+    pub overflow: OverflowPolicy,
+    /// First reconnect delay.
+    pub backoff_base: Duration,
+    /// Reconnect delay ceiling.
+    pub backoff_cap: Duration,
+    /// Wall-clock used for certificate validity during handshakes.
+    pub now: Timestamp,
+}
+
+impl Default for TransportOptions {
+    fn default() -> Self {
+        Self {
+            max_frame: crate::frame::MAX_FRAME_LEN,
+            queue_capacity: 1024,
+            overflow: OverflowPolicy::Block,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(2),
+            now: Timestamp::ZERO,
+        }
+    }
+}
+
+/// Everything a daemon needs to come up.
+pub struct DaemonConfig {
+    /// The broker's channel identity (key + certificate).
+    pub identity: ChannelIdentity,
+    /// The CA key all SLA pins are validated against.
+    pub ca_key: PublicKey,
+    /// Already-bound listener for inbound peers.
+    pub listener: TcpListener,
+    /// Peers this daemon dials: domain → address.
+    pub connect_to: HashMap<String, SocketAddr>,
+    /// Peers expected to dial us.
+    pub accept_from: Vec<String>,
+    /// Where reservation/tunnel completions are reported.
+    pub completion_tx: Sender<(String, Completion)>,
+    /// Metrics destination (disabled handles are free).
+    pub telemetry: Telemetry,
+    /// Transport tuning.
+    pub options: TransportOptions,
+}
+
+enum NodeMsg {
+    Peer {
+        from: String,
+        msg: Box<SignalMessage>,
+        enqueued_ns: u64,
+    },
+    Submit {
+        rar: Box<SignedRar>,
+        user_cert: Box<Certificate>,
+        enqueued_ns: u64,
+    },
+    TunnelFlow {
+        tunnel: RarId,
+        flow: u64,
+        rate_bps: u64,
+        requestor: Box<DistinguishedName>,
+    },
+    SetTime(Timestamp),
+    Shutdown,
+}
+
+/// The session slot of one link: at most one live session, plus the
+/// closed flag that tells every thread of the link to wind down.
+struct SessionSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+struct SlotState {
+    session: Option<Arc<Session>>,
+    closed: bool,
+}
+
+impl SessionSlot {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(SlotState {
+                session: None,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SlotState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Install a fresh session, returning the one it displaced (the
+    /// caller shuts it down). `None` result + `false` means the slot is
+    /// closed and the new session must be discarded.
+    fn install(&self, session: Arc<Session>) -> (bool, Option<Arc<Session>>) {
+        let mut g = self.lock();
+        if g.closed {
+            return (false, None);
+        }
+        let old = g.session.replace(session);
+        self.cv.notify_all();
+        (true, old)
+    }
+
+    /// Clear the slot if it still holds exactly `session`.
+    fn clear_if(&self, session: &Arc<Session>) {
+        let mut g = self.lock();
+        if g.session.as_ref().is_some_and(|s| Arc::ptr_eq(s, session)) {
+            g.session = None;
+            self.cv.notify_all();
+        }
+    }
+
+    /// The current session, if any.
+    fn current(&self) -> Option<Arc<Session>> {
+        self.lock().session.clone()
+    }
+
+    /// Remove and return the current session without closing the slot
+    /// (used by [`BrokerDaemon::kill_connections`]).
+    fn take(&self) -> Option<Arc<Session>> {
+        let mut g = self.lock();
+        let s = g.session.take();
+        self.cv.notify_all();
+        s
+    }
+
+    /// Block until a session is installed; `None` means the slot closed.
+    fn wait_session(&self) -> Option<Arc<Session>> {
+        let mut g = self.lock();
+        loop {
+            if g.closed {
+                return None;
+            }
+            if let Some(s) = &g.session {
+                return Some(Arc::clone(s));
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Close the slot and return any live session for teardown.
+    fn close(&self) -> Option<Arc<Session>> {
+        let mut g = self.lock();
+        g.closed = true;
+        let s = g.session.take();
+        self.cv.notify_all();
+        s
+    }
+
+    /// Sleep up to `d`, waking early if the slot closes.
+    fn sleep_interruptible(&self, d: Duration) {
+        let deadline = Instant::now() + d;
+        let mut g = self.lock();
+        while !g.closed {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            let (ng, _) = self
+                .cv
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            g = ng;
+        }
+    }
+}
+
+/// Per-link transport instruments (no-ops without a registry).
+struct LinkInstruments {
+    frames_sent: Counter,
+    frames_received: Counter,
+    bytes_sent: Counter,
+    bytes_received: Counter,
+    reconnects: Counter,
+    dropped: Counter,
+    rejected: Counter,
+    handshake_ns: Histogram,
+    outq_depth: Gauge,
+}
+
+impl LinkInstruments {
+    fn resolve(telemetry: &Telemetry, domain: &str, peer: &str) -> Self {
+        let l: &[(&str, &str)] = &[("domain", domain), ("peer", peer)];
+        Self {
+            frames_sent: telemetry.counter(
+                "transport_frames_sent_total",
+                "Sealed frames written to the peer socket",
+                l,
+            ),
+            frames_received: telemetry.counter(
+                "transport_frames_received_total",
+                "Sealed frames read from the peer socket",
+                l,
+            ),
+            bytes_sent: telemetry.counter(
+                "transport_bytes_sent_total",
+                "Frame payload bytes written to the peer socket",
+                l,
+            ),
+            bytes_received: telemetry.counter(
+                "transport_bytes_received_total",
+                "Frame payload bytes read from the peer socket",
+                l,
+            ),
+            reconnects: telemetry.counter(
+                "transport_reconnects_total",
+                "Sessions re-established after the first",
+                l,
+            ),
+            dropped: telemetry.counter(
+                "transport_frames_dropped_total",
+                "Outbound frames shed by the overflow policy",
+                l,
+            ),
+            rejected: telemetry.counter(
+                "transport_frames_rejected_total",
+                "Inbound frames rejected (bad MAC, replay, undecodable)",
+                l,
+            ),
+            handshake_ns: telemetry.histogram(
+                "transport_handshake_ns",
+                "Socket handshake duration (connect excluded)",
+                l,
+            ),
+            outq_depth: telemetry.gauge(
+                "transport_outq_depth_peak",
+                "Peak outbound queue depth",
+                l,
+            ),
+        }
+    }
+}
+
+/// One peering link's shared state.
+struct Link {
+    queue: Arc<OutQueue>,
+    slot: Arc<SessionSlot>,
+    /// Set once the first session is up; later sessions count as
+    /// reconnects.
+    established: AtomicBool,
+    ins: LinkInstruments,
+}
+
+/// A broker daemon: one [`BbNode`] served over TCP peering links.
+pub struct BrokerDaemon {
+    domain: String,
+    node_tx: Sender<NodeMsg>,
+    node_join: Option<JoinHandle<BbNode>>,
+    links: Arc<HashMap<String, Link>>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    inbound: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    local_addr: SocketAddr,
+}
+
+impl BrokerDaemon {
+    /// Bring the daemon up: spawns the node thread, the accept loop, and
+    /// per-link connector/writer threads. Returns immediately; links
+    /// come up asynchronously (see [`BrokerDaemon::wait_connected`]).
+    pub fn start(node: BbNode, config: DaemonConfig) -> Result<Self, TransportError> {
+        let DaemonConfig {
+            identity,
+            ca_key,
+            listener,
+            connect_to,
+            accept_from,
+            completion_tx,
+            telemetry,
+            options,
+        } = config;
+        let domain = node.domain().to_string();
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let identity = Arc::new(identity);
+
+        // One link record per peer, dialed or accepted.
+        let mut links = HashMap::new();
+        for peer in connect_to
+            .keys()
+            .cloned()
+            .chain(accept_from.iter().cloned())
+        {
+            let ins = LinkInstruments::resolve(&telemetry, &domain, &peer);
+            links.insert(
+                peer,
+                Link {
+                    queue: Arc::new(OutQueue::new(options.queue_capacity, options.overflow)),
+                    slot: Arc::new(SessionSlot::new()),
+                    established: AtomicBool::new(false),
+                    ins,
+                },
+            );
+        }
+        let links = Arc::new(links);
+
+        let (node_tx, node_rx) = unbounded();
+        let node_join = spawn_node_thread(
+            node,
+            node_rx,
+            Arc::clone(&links),
+            completion_tx,
+            &telemetry,
+            &domain,
+        );
+
+        let mut threads = Vec::new();
+
+        // Writers: one per link, dialed or accepted.
+        for (peer, link) in links.iter() {
+            threads.push(spawn_writer(
+                Arc::clone(&links),
+                peer.clone(),
+                Arc::clone(&link.queue),
+                Arc::clone(&link.slot),
+            ));
+        }
+
+        // Connectors: one per dialed peer.
+        for (peer, addr) in &connect_to {
+            let link = &links[peer];
+            threads.push(spawn_connector(
+                Arc::clone(&links),
+                peer.clone(),
+                *addr,
+                Arc::clone(&identity),
+                PeerPin {
+                    ca_key,
+                    dn: DistinguishedName::broker(peer),
+                },
+                Arc::clone(&link.slot),
+                node_tx.clone(),
+                options.clone(),
+            ));
+        }
+
+        // Accept loop, if anyone dials us.
+        let inbound = Arc::new(Mutex::new(Vec::new()));
+        if !accept_from.is_empty() {
+            let pins: HashMap<String, PeerPin> = accept_from
+                .iter()
+                .map(|p| {
+                    (
+                        p.clone(),
+                        PeerPin {
+                            ca_key,
+                            dn: DistinguishedName::broker(p),
+                        },
+                    )
+                })
+                .collect();
+            threads.push(spawn_acceptor(
+                listener,
+                Arc::clone(&identity),
+                pins,
+                Arc::clone(&links),
+                node_tx.clone(),
+                Arc::clone(&stop),
+                Arc::clone(&inbound),
+                options.clone(),
+            ));
+        }
+
+        Ok(Self {
+            domain,
+            node_tx,
+            node_join: Some(node_join),
+            links,
+            stop,
+            threads,
+            inbound,
+            local_addr,
+        })
+    }
+
+    /// The hosted broker's domain.
+    pub fn domain(&self) -> &str {
+        &self.domain
+    }
+
+    /// The address inbound peers dial.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Submit a user request to the hosted broker.
+    pub fn submit(&self, rar: SignedRar, user_cert: Certificate) {
+        let _ = self.node_tx.send(NodeMsg::Submit {
+            rar: Box::new(rar),
+            user_cert: Box::new(user_cert),
+            enqueued_ns: StdClock::now(),
+        });
+    }
+
+    /// Request a sub-flow inside an established tunnel.
+    pub fn tunnel_flow(
+        &self,
+        tunnel: RarId,
+        flow: u64,
+        rate_bps: u64,
+        requestor: DistinguishedName,
+    ) {
+        let _ = self.node_tx.send(NodeMsg::TunnelFlow {
+            tunnel,
+            flow,
+            rate_bps,
+            requestor: Box::new(requestor),
+        });
+    }
+
+    /// Advance the broker's wall clock.
+    pub fn set_time(&self, now: Timestamp) {
+        let _ = self.node_tx.send(NodeMsg::SetTime(now));
+    }
+
+    /// Number of links with a live session.
+    pub fn connected_peers(&self) -> usize {
+        self.links
+            .values()
+            .filter(|l| l.slot.current().is_some())
+            .count()
+    }
+
+    /// Wait until every configured link has a live session.
+    pub fn wait_connected(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.connected_peers() == self.links.len() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Sever every live session (simulating network failure). Dialed
+    /// links recover through the connector's backoff loop; accepted
+    /// links recover when the peer redials.
+    pub fn kill_connections(&self) {
+        for link in self.links.values() {
+            if let Some(s) = link.slot.take() {
+                s.shutdown();
+            }
+        }
+    }
+
+    /// Stop everything and hand the broker node back.
+    pub fn shutdown(mut self) -> BbNode {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.node_tx.send(NodeMsg::Shutdown);
+        for link in self.links.values() {
+            link.queue.close();
+            if let Some(s) = link.slot.close() {
+                s.shutdown();
+            }
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        let handles: Vec<_> = {
+            let mut g = self.inbound.lock().unwrap_or_else(|e| e.into_inner());
+            g.drain(..).collect()
+        };
+        for t in handles {
+            let _ = t.join();
+        }
+        self.node_join
+            .take()
+            .expect("node thread handle")
+            .join()
+            .expect("node thread")
+    }
+}
+
+/// The broker's dispatch loop — the daemon-side mirror of the actor
+/// runtime's, with outbound messages routed to link queues instead of
+/// in-process mailboxes.
+fn spawn_node_thread(
+    mut node: BbNode,
+    rx: Receiver<NodeMsg>,
+    links: Arc<HashMap<String, Link>>,
+    completion_tx: Sender<(String, Completion)>,
+    telemetry: &Telemetry,
+    domain: &str,
+) -> JoinHandle<BbNode> {
+    let dom = domain.to_string();
+    let dl: &[(&str, &str)] = &[("domain", domain)];
+    let mailbox_depth = telemetry.gauge(
+        "bb_mailbox_depth_peak",
+        "Peak number of messages waiting in the daemon's node mailbox",
+        dl,
+    );
+    let completion_latency = telemetry.histogram(
+        "bb_completion_latency_ns",
+        "Submit-to-completion latency at the source broker",
+        dl,
+    );
+    let live = telemetry.is_enabled();
+    std::thread::spawn(move || {
+        let mut pending: VecDeque<NodeMsg> = VecDeque::new();
+        let mut submitted_ns: HashMap<RarId, u64> = HashMap::new();
+        loop {
+            if live {
+                mailbox_depth.record_max(pending.len() as i64 + rx.len() as i64);
+            }
+            let work = match pending.pop_front() {
+                Some(w) => w,
+                None => match rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => break,
+                },
+            };
+            let (from, msg, enqueued_ns) = match work {
+                NodeMsg::SetTime(t) => {
+                    node.set_time(t);
+                    continue;
+                }
+                NodeMsg::Shutdown => break,
+                NodeMsg::Submit {
+                    rar,
+                    user_cert,
+                    enqueued_ns,
+                } => {
+                    let spec = rar.res_spec();
+                    let (rar_id, trace) = (
+                        spec.rar_id,
+                        TraceId::mint(&spec.source_domain, spec.rar_id.0),
+                    );
+                    if live {
+                        submitted_ns.insert(rar_id, enqueued_ns);
+                    }
+                    node.record_queue_wait(trace, rar_id, enqueued_ns);
+                    let out = node.submit(*rar, &user_cert);
+                    route_out(out, &links);
+                    drain_completions(
+                        &mut node,
+                        &dom,
+                        &completion_tx,
+                        &mut submitted_ns,
+                        live,
+                        &completion_latency,
+                    );
+                    continue;
+                }
+                NodeMsg::TunnelFlow {
+                    tunnel,
+                    flow,
+                    rate_bps,
+                    requestor,
+                } => {
+                    match node.request_tunnel_flow(tunnel, flow, rate_bps, *requestor) {
+                        Ok(out) => route_out(out, &links),
+                        Err(e) => {
+                            let _ = completion_tx.send((
+                                dom.clone(),
+                                Completion::TunnelFlow {
+                                    tunnel,
+                                    flow,
+                                    accepted: false,
+                                    reason: e.to_string(),
+                                },
+                            ));
+                        }
+                    }
+                    drain_completions(
+                        &mut node,
+                        &dom,
+                        &completion_tx,
+                        &mut submitted_ns,
+                        live,
+                        &completion_latency,
+                    );
+                    continue;
+                }
+                NodeMsg::Peer {
+                    from,
+                    msg,
+                    enqueued_ns,
+                } => (from, *msg, enqueued_ns),
+            };
+            if let Some(trace) = msg.trace_id() {
+                node.record_queue_wait(trace, msg.rar_id(), enqueued_ns);
+            }
+            let out = if let SignalMessage::TunnelFlow(t) = msg {
+                // Coalesce queued tunnel sub-flow requests into one batch
+                // whose signatures verify on the worker pool; other
+                // messages keep their arrival order via `pending`.
+                let mut batch = vec![(from, t)];
+                while let Ok(raw) = rx.try_recv() {
+                    match raw {
+                        NodeMsg::Peer {
+                            from: f2,
+                            msg: m2,
+                            enqueued_ns,
+                        } => match *m2 {
+                            SignalMessage::TunnelFlow(t2) => batch.push((f2, t2)),
+                            other => pending.push_back(NodeMsg::Peer {
+                                from: f2,
+                                msg: Box::new(other),
+                                enqueued_ns,
+                            }),
+                        },
+                        other => {
+                            pending.push_back(other);
+                            break;
+                        }
+                    }
+                }
+                node.recv_tunnel_flows(batch)
+            } else {
+                node.recv(&from, msg)
+            };
+            route_out(out, &links);
+            drain_completions(
+                &mut node,
+                &dom,
+                &completion_tx,
+                &mut submitted_ns,
+                live,
+                &completion_latency,
+            );
+        }
+        node
+    })
+}
+
+/// Queue outbound messages on their links' bounded queues (plaintext;
+/// sealing happens at write time).
+fn route_out(out: Vec<(String, SignalMessage)>, links: &HashMap<String, Link>) {
+    for (to, msg) in out {
+        let to = to.strip_prefix("user:").unwrap_or(&to);
+        let Some(link) = links.get(to) else {
+            continue;
+        };
+        match link.queue.push(qos_wire::to_bytes(&msg)) {
+            PushOutcome::Queued => {}
+            PushOutcome::DroppedNewest | PushOutcome::DroppedOldest => link.ins.dropped.inc(),
+            PushOutcome::Closed => {}
+        }
+        link.ins.outq_depth.record_max(link.queue.len() as i64);
+    }
+}
+
+fn drain_completions(
+    node: &mut BbNode,
+    dom: &str,
+    tx: &Sender<(String, Completion)>,
+    submitted_ns: &mut HashMap<RarId, u64>,
+    live: bool,
+    completion_latency: &Histogram,
+) {
+    for c in node.take_completions() {
+        if live {
+            if let Completion::Reservation { rar_id, .. } = &c {
+                if let Some(t0) = submitted_ns.remove(rar_id) {
+                    completion_latency.observe(StdClock::now().saturating_sub(t0));
+                }
+            }
+        }
+        let _ = tx.send((dom.to_string(), c));
+    }
+}
+
+/// Drain one link's queue into whatever session is live, re-queuing the
+/// in-flight frame at the front whenever a write fails.
+fn spawn_writer(
+    links: Arc<HashMap<String, Link>>,
+    peer: String,
+    queue: Arc<OutQueue>,
+    slot: Arc<SessionSlot>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let ins = &links[&peer].ins;
+        while let Some(frame) = queue.pop() {
+            let Some(session) = slot.wait_session() else {
+                break;
+            };
+            match session.send(&frame) {
+                Ok(n) => {
+                    ins.frames_sent.inc();
+                    ins.bytes_sent.add(n as u64);
+                }
+                Err(_) => {
+                    queue.push_front(frame);
+                    slot.clear_if(&session);
+                    session.shutdown();
+                }
+            }
+        }
+    })
+}
+
+/// Dial-side link driver: connect, handshake, then run the read loop
+/// until the session dies; repeat under backoff for as long as the slot
+/// is open.
+#[allow(clippy::too_many_arguments)]
+fn spawn_connector(
+    links: Arc<HashMap<String, Link>>,
+    peer: String,
+    addr: SocketAddr,
+    identity: Arc<ChannelIdentity>,
+    pin: PeerPin,
+    slot: Arc<SessionSlot>,
+    node_tx: Sender<NodeMsg>,
+    options: TransportOptions,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut backoff = Backoff::new(options.backoff_base, options.backoff_cap);
+        while !slot.is_closed() {
+            let session = TcpStream::connect(addr)
+                .map_err(TransportError::from)
+                .and_then(|s| {
+                    let t0 = StdClock::now();
+                    let session =
+                        establish_initiator(s, &identity, &pin, options.now, options.max_frame)?;
+                    links[&peer]
+                        .ins
+                        .handshake_ns
+                        .observe(StdClock::now().saturating_sub(t0));
+                    Ok(session)
+                });
+            match session {
+                Ok(session) => {
+                    let link = &links[&peer];
+                    if link.established.swap(true, Ordering::SeqCst) {
+                        link.ins.reconnects.inc();
+                    }
+                    backoff.reset();
+                    let session = Arc::new(session);
+                    let (installed, old) = slot.install(Arc::clone(&session));
+                    if let Some(old) = old {
+                        old.shutdown();
+                    }
+                    if !installed {
+                        session.shutdown();
+                        break;
+                    }
+                    read_loop(&session, &links, &node_tx);
+                    slot.clear_if(&session);
+                    session.shutdown();
+                }
+                Err(_) => slot.sleep_interruptible(backoff.next_delay()),
+            }
+        }
+    })
+}
+
+/// Accept-side driver: admit inbound connections, run the responder
+/// handshake, attach each authenticated session to its link, and hand
+/// the read loop to a dedicated thread.
+#[allow(clippy::too_many_arguments)]
+fn spawn_acceptor(
+    listener: TcpListener,
+    identity: Arc<ChannelIdentity>,
+    pins: HashMap<String, PeerPin>,
+    links: Arc<HashMap<String, Link>>,
+    node_tx: Sender<NodeMsg>,
+    stop: Arc<AtomicBool>,
+    inbound: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    options: TransportOptions,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        listener
+            .set_nonblocking(true)
+            .expect("nonblocking accept loop");
+        while !stop.load(Ordering::SeqCst) {
+            let stream = match listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+            };
+            if stream.set_nonblocking(false).is_err() {
+                continue;
+            }
+            // The handshake is bounded by the session read timeout, so a
+            // stalled dialer cannot wedge the accept loop for long; doing
+            // it inline keeps the thread count flat under churn.
+            let t0 = StdClock::now();
+            let Ok(session) =
+                establish_responder(stream, &identity, &pins, options.now, options.max_frame)
+            else {
+                continue;
+            };
+            let Some(link) = links.get(session.peer()) else {
+                session.shutdown();
+                continue;
+            };
+            link.ins
+                .handshake_ns
+                .observe(StdClock::now().saturating_sub(t0));
+            if link.established.swap(true, Ordering::SeqCst) {
+                link.ins.reconnects.inc();
+            }
+            let session = Arc::new(session);
+            let (installed, old) = link.slot.install(Arc::clone(&session));
+            if let Some(old) = old {
+                old.shutdown();
+            }
+            if !installed {
+                session.shutdown();
+                continue;
+            }
+            let slot = Arc::clone(&link.slot);
+            let links2 = Arc::clone(&links);
+            let tx = node_tx.clone();
+            let handle = std::thread::spawn(move || {
+                read_loop(&session, &links2, &tx);
+                slot.clear_if(&session);
+                session.shutdown();
+            });
+            inbound
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(handle);
+        }
+    })
+}
+
+/// Open sealed frames in arrival order and feed the decoded signalling
+/// messages to the node thread. Returns when the session dies; any MAC,
+/// ordering, or decode failure is terminal for the session (sequence
+/// state cannot be resynchronised mid-stream).
+fn read_loop(session: &Session, links: &HashMap<String, Link>, node_tx: &Sender<NodeMsg>) {
+    let ins = &links[session.peer()].ins;
+    loop {
+        match session.recv() {
+            Ok(Some((bytes, n))) => {
+                ins.frames_received.inc();
+                ins.bytes_received.add(n as u64);
+                let shared: Arc<[u8]> = bytes.into();
+                match qos_wire::from_bytes_shared::<SignalMessage>(&shared) {
+                    Ok(msg) => {
+                        let _ = node_tx.send(NodeMsg::Peer {
+                            from: session.peer().to_string(),
+                            msg: Box::new(msg),
+                            enqueued_ns: StdClock::now(),
+                        });
+                    }
+                    Err(_) => {
+                        ins.rejected.inc();
+                        return;
+                    }
+                }
+            }
+            Ok(None) => return,
+            Err(TransportError::Channel(_)) | Err(TransportError::Wire(_)) => {
+                ins.rejected.inc();
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}

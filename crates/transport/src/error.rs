@@ -1,0 +1,64 @@
+//! Transport-layer errors.
+
+use crate::frame::FrameError;
+use qos_core::CoreError;
+use qos_wire::WireError;
+use std::fmt;
+use std::io;
+
+/// An error on a peering connection.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Frame-layer failure (oversized frame, truncated stream, I/O).
+    Frame(FrameError),
+    /// The frame body was not a decodable transport message.
+    Wire(WireError),
+    /// Handshake or channel failure (bad certificate, possession proof,
+    /// MAC, replay).
+    Channel(CoreError),
+    /// The peer presented a certificate for a domain we have no pin for.
+    UnknownPeer(String),
+    /// The peer violated the message order of the protocol.
+    Protocol(String),
+    /// Raw socket failure outside the frame layer.
+    Io(io::Error),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Frame(e) => write!(f, "frame error: {e}"),
+            TransportError::Wire(e) => write!(f, "undecodable transport message: {e}"),
+            TransportError::Channel(e) => write!(f, "channel error: {e}"),
+            TransportError::UnknownPeer(d) => write!(f, "no pinned SLA for peer {d:?}"),
+            TransportError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            TransportError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<FrameError> for TransportError {
+    fn from(e: FrameError) -> Self {
+        TransportError::Frame(e)
+    }
+}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        TransportError::Wire(e)
+    }
+}
+
+impl From<CoreError> for TransportError {
+    fn from(e: CoreError) -> Self {
+        TransportError::Channel(e)
+    }
+}
+
+impl From<io::Error> for TransportError {
+    fn from(e: io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}

@@ -1,0 +1,301 @@
+//! Length-prefixed frame codec over byte streams.
+//!
+//! TCP delivers a byte stream; the signalling protocol exchanges
+//! discrete messages. Every frame is a little-endian `u32` length
+//! followed by that many payload bytes. Two properties matter for
+//! untrusted sockets:
+//!
+//! * **max-frame enforcement** — the length prefix is validated against
+//!   a configured ceiling *before* any allocation, so a hostile peer
+//!   cannot claim a 4 GiB frame and exhaust memory;
+//! * **partial-read tolerance** — TCP may deliver a frame in any number
+//!   of segments (or several frames in one segment). The blocking
+//!   [`read_frame`] loops over short reads; the push-based
+//!   [`FrameDecoder`] accepts arbitrary chunkings, which is what the
+//!   property tests drive.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Default ceiling on one frame's payload: far above any envelope the
+/// protocol produces (a depth-30 chain is a few hundred KiB), far below
+/// anything that could hurt a broker daemon.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Bytes of frame header (the `u32` length prefix).
+pub const FRAME_HEADER_LEN: usize = 4;
+
+/// A frame-layer failure.
+#[derive(Debug)]
+pub enum FrameError {
+    /// A length prefix exceeded the configured maximum frame size.
+    TooLarge {
+        /// The claimed payload length.
+        len: u64,
+        /// The configured ceiling.
+        max: usize,
+    },
+    /// The stream ended in the middle of a frame.
+    Truncated,
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds maximum {max}")
+            }
+            FrameError::Truncated => write!(f, "stream closed mid-frame"),
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one frame (`u32` length + payload) and flush.
+pub fn write_frame(w: &mut impl Write, payload: &[u8], max: usize) -> Result<(), FrameError> {
+    if payload.len() > max {
+        return Err(FrameError::TooLarge {
+            len: payload.len() as u64,
+            max,
+        });
+    }
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Outcome of filling a buffer from a stream.
+enum Fill {
+    /// Buffer filled completely.
+    Full,
+    /// Clean EOF before the first byte.
+    Eof,
+}
+
+/// Fill `buf` completely, tolerating arbitrarily short reads. A clean
+/// EOF before the first byte is `Fill::Eof`; an EOF after a partial fill
+/// is a truncation error.
+fn fill(r: &mut impl Read, buf: &mut [u8]) -> Result<Fill, FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(Fill::Eof)
+                } else {
+                    Err(FrameError::Truncated)
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Fill::Full)
+}
+
+/// Read one frame. `Ok(None)` means the stream closed cleanly at a
+/// frame boundary; closure inside a frame is [`FrameError::Truncated`].
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    match fill(r, &mut header)? {
+        Fill::Eof => return Ok(None),
+        Fill::Full => {}
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > max {
+        return Err(FrameError::TooLarge {
+            len: len as u64,
+            max,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    match fill(r, &mut payload)? {
+        Fill::Full => Ok(Some(payload)),
+        Fill::Eof => {
+            if len == 0 {
+                Ok(Some(payload))
+            } else {
+                Err(FrameError::Truncated)
+            }
+        }
+    }
+}
+
+/// Push-based frame decoder: feed it byte chunks of any size and drain
+/// completed frames. This is the partial-read-tolerance of the codec in
+/// testable form — the property tests re-chunk encoded streams at random
+/// and require identical output.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    max: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `max` as the frame-size ceiling.
+    pub fn new(max: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            max,
+        }
+    }
+
+    /// Append received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next completed frame, if one is fully buffered.
+    ///
+    /// `Ok(None)` means more bytes are needed. The length prefix is
+    /// validated against the ceiling as soon as it is readable, before
+    /// the payload arrives.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if self.buf.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > self.max {
+            return Err(FrameError::TooLarge {
+                len: len as u64,
+                max: self.max,
+            });
+        }
+        if self.buf.len() < FRAME_HEADER_LEN + len {
+            return Ok(None);
+        }
+        let frame = self.buf[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len].to_vec();
+        self.buf.drain(..FRAME_HEADER_LEN + len);
+        Ok(Some(frame))
+    }
+
+    /// True when no partial frame is buffered — the stream may close
+    /// cleanly here.
+    pub fn is_idle(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode(frames: &[&[u8]]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for f in frames {
+            write_frame(&mut out, f, MAX_FRAME_LEN).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn round_trip_over_a_stream() {
+        let bytes = encode(&[b"alpha", b"", b"gamma-gamma"]);
+        let mut cursor = &bytes[..];
+        assert_eq!(
+            read_frame(&mut cursor, MAX_FRAME_LEN).unwrap().unwrap(),
+            b"alpha"
+        );
+        assert_eq!(
+            read_frame(&mut cursor, MAX_FRAME_LEN).unwrap().unwrap(),
+            b""
+        );
+        assert_eq!(
+            read_frame(&mut cursor, MAX_FRAME_LEN).unwrap().unwrap(),
+            b"gamma-gamma"
+        );
+        assert!(read_frame(&mut cursor, MAX_FRAME_LEN).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        // Claims u32::MAX payload bytes with none present.
+        let bytes = u32::MAX.to_le_bytes();
+        let mut cursor = &bytes[..];
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(FrameError::TooLarge { .. })
+        ));
+        // Writer side refuses symmetric nonsense.
+        let mut sink = Vec::new();
+        assert!(matches!(
+            write_frame(&mut sink, &[0u8; 2048], 1024),
+            Err(FrameError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_inside_a_frame_is_an_error() {
+        let bytes = encode(&[b"hello world"]);
+        for cut in 1..bytes.len() {
+            let mut cursor = &bytes[..cut];
+            assert!(
+                matches!(
+                    read_frame(&mut cursor, MAX_FRAME_LEN),
+                    Err(FrameError::Truncated)
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    /// A reader that returns one byte at a time — the worst legal TCP
+    /// segmentation.
+    struct OneByte<'a>(&'a [u8]);
+    impl Read for OneByte<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.0.is_empty() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.0[0];
+            self.0 = &self.0[1..];
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn single_byte_reads_tolerated() {
+        let bytes = encode(&[b"partial", b"reads"]);
+        let mut r = OneByte(&bytes);
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME_LEN).unwrap().unwrap(),
+            b"partial"
+        );
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME_LEN).unwrap().unwrap(),
+            b"reads"
+        );
+        assert!(read_frame(&mut r, MAX_FRAME_LEN).unwrap().is_none());
+    }
+
+    #[test]
+    fn decoder_reassembles_across_arbitrary_chunking() {
+        let bytes = encode(&[b"one", b"two", b"three"]);
+        let mut d = FrameDecoder::new(MAX_FRAME_LEN);
+        let mut got = Vec::new();
+        for chunk in bytes.chunks(2) {
+            d.push(chunk);
+            while let Some(f) = d.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(
+            got,
+            vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]
+        );
+        assert!(d.is_idle());
+    }
+}

@@ -1,0 +1,42 @@
+//! Real TCP peering fabric for bandwidth-broker daemons.
+//!
+//! The in-process runtimes (`qos_core::drive::Mesh`,
+//! `qos_core::runtime::ActorMesh`) exchange protocol messages through
+//! memory. This crate carries the same sealed
+//! [`Sealed`](qos_core::channel::Sealed) frames over actual sockets
+//! (DESIGN.md §D8):
+//!
+//! * [`frame`] — length-prefixed frame codec: max-frame-size enforced
+//!   before allocation, tolerant of arbitrary TCP segmentation;
+//! * [`proto`] — the three-message peering protocol (`Hello`, `Auth`,
+//!   `Frame`);
+//! * [`session`] — socket + [`SecureChannel`](qos_core::channel::SecureChannel):
+//!   the message-based mutual handshake and sealed frame exchange;
+//! * [`queue`] — bounded per-peer outbound queues with an explicit
+//!   backpressure/overflow policy;
+//! * [`backoff`] — deterministic exponential reconnect backoff;
+//! * [`daemon`] — [`BrokerDaemon`]: one `BbNode` behind an accept loop,
+//!   per-link connectors, writers, and readers;
+//! * [`mesh`] — [`TcpMesh`]: the `ActorMesh` surface over loopback
+//!   daemons, so existing scenarios run unchanged over TCP.
+//!
+//! The `bbd` binary (in `src/bin/bbd.rs`) hosts one daemon per process
+//! for the multi-process loopback demo in the README.
+
+pub mod backoff;
+pub mod daemon;
+pub mod error;
+pub mod frame;
+pub mod mesh;
+pub mod proto;
+pub mod queue;
+pub mod session;
+
+pub use backoff::Backoff;
+pub use daemon::{BrokerDaemon, DaemonConfig, TransportOptions};
+pub use error::TransportError;
+pub use frame::{read_frame, write_frame, FrameDecoder, FrameError, MAX_FRAME_LEN};
+pub use mesh::TcpMesh;
+pub use proto::PeerMsg;
+pub use queue::{OutQueue, OverflowPolicy, PushOutcome};
+pub use session::{establish_initiator, establish_responder, Session};

@@ -1,0 +1,59 @@
+//! The inter-daemon wire protocol: what travels inside each frame.
+//!
+//! A connection speaks exactly three message kinds. Two `Hello`s and two
+//! `Auth`s establish the mutually authenticated channel
+//! ([`qos_core::channel::NetHandshake`]); after that, every frame is a
+//! [`Sealed`] envelope whose MAC and sequence number the receiving
+//! [`SecureChannel`](qos_core::channel::SecureChannel) end verifies
+//! before the payload is decoded as a
+//! [`SignalMessage`](qos_core::SignalMessage).
+
+use qos_core::channel::Sealed;
+use qos_crypto::{Certificate, Signature};
+
+/// One frame's body on a peering connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PeerMsg {
+    /// Handshake step 1: certificate + fresh nonce contribution.
+    Hello {
+        /// The sender's CA-issued broker certificate.
+        cert: Certificate,
+        /// The sender's nonce contribution to the transcript.
+        nonce: u64,
+    },
+    /// Handshake step 2: possession proof over the joint transcript.
+    Auth {
+        /// Signature by the certified key.
+        sig: Signature,
+    },
+    /// An authenticated signalling frame on the established channel.
+    Frame(Sealed),
+}
+
+qos_wire::impl_wire_enum!(PeerMsg {
+    0 => Hello { cert, nonce },
+    1 => Auth { sig },
+    2 => Frame(t0: Sealed),
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_msg_round_trips() {
+        let msg = PeerMsg::Frame(Sealed {
+            payload: vec![1, 2, 3, 4],
+            seq: 9,
+            mac: [7u8; 32],
+        });
+        let bytes = qos_wire::to_bytes(&msg);
+        assert_eq!(qos_wire::from_bytes::<PeerMsg>(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn garbage_rejected_without_panic() {
+        assert!(qos_wire::from_bytes::<PeerMsg>(&[99, 1, 2]).is_err());
+        assert!(qos_wire::from_bytes::<PeerMsg>(&[]).is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! An authenticated peering session over one TCP connection.
+//!
+//! A [`Session`] is the marriage of a socket and a
+//! [`SecureChannel`]: the handshake ([`establish_initiator`] /
+//! [`establish_responder`]) runs the message-based
+//! [`NetHandshake`] over length-prefixed frames, and every frame after
+//! it is a [`PeerMsg::Frame`] whose [`Sealed`] body the channel seals
+//! and opens. Sequence numbers are per-session: a reconnect starts a
+//! fresh channel, so plaintext queued across the outage is MAC'd under
+//! the new session's key.
+
+use crate::error::TransportError;
+use crate::frame::{read_frame, write_frame};
+use crate::proto::PeerMsg;
+use qos_core::channel::{AwaitAuth, ChannelIdentity, NetHandshake, PeerPin, SecureChannel};
+use qos_crypto::Timestamp;
+use qos_telemetry::StdClock;
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How long a handshake may stall before the connection is abandoned.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+static NONCE_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// A nonce unique per connection attempt: wall-clock entropy mixed with
+/// a process-wide counter so two attempts in the same nanosecond still
+/// differ.
+pub fn fresh_nonce() -> u64 {
+    let n = NONCE_COUNTER.fetch_add(1, Ordering::Relaxed);
+    StdClock::now() ^ n.rotate_left(32)
+}
+
+fn send_msg(stream: &TcpStream, msg: &PeerMsg, max: usize) -> Result<(), TransportError> {
+    let mut w = stream;
+    write_frame(&mut w, &qos_wire::to_bytes(msg), max)?;
+    Ok(())
+}
+
+fn recv_msg(stream: &TcpStream, max: usize) -> Result<PeerMsg, TransportError> {
+    let mut r = stream;
+    match read_frame(&mut r, max)? {
+        Some(bytes) => Ok(qos_wire::from_bytes::<PeerMsg>(&bytes)?),
+        None => Err(TransportError::Protocol(
+            "peer closed the connection during the handshake".into(),
+        )),
+    }
+}
+
+/// One live authenticated connection to a peer broker.
+///
+/// `send` and `recv` are callable from different threads (writer and
+/// reader); the channel state is behind a mutex and each direction's
+/// sequence space is independent.
+#[derive(Debug)]
+pub struct Session {
+    peer: String,
+    stream: TcpStream,
+    channel: Mutex<SecureChannel>,
+    max_frame: usize,
+}
+
+impl Session {
+    /// The authenticated peer's domain.
+    pub fn peer(&self) -> &str {
+        &self.peer
+    }
+
+    /// Seal `plaintext` and write it as one frame. Returns the frame
+    /// payload size in bytes (for byte counters). Takes a slice so a
+    /// failed write can re-queue the caller's copy untouched.
+    pub fn send(&self, plaintext: &[u8]) -> Result<usize, TransportError> {
+        let sealed = {
+            let mut ch = self.channel.lock().unwrap_or_else(|e| e.into_inner());
+            ch.seal(plaintext.to_vec())
+        };
+        let bytes = qos_wire::to_bytes(&PeerMsg::Frame(sealed));
+        let n = bytes.len();
+        let mut w = &self.stream;
+        write_frame(&mut w, &bytes, self.max_frame)?;
+        Ok(n)
+    }
+
+    /// Read one frame and open it. `Ok(None)` means the peer closed the
+    /// connection cleanly at a frame boundary. Any MAC, ordering, or
+    /// protocol failure is an error — the session is then unusable and
+    /// must be torn down (sequence state cannot be resynchronised).
+    pub fn recv(&self) -> Result<Option<(Vec<u8>, usize)>, TransportError> {
+        let mut r = &self.stream;
+        let Some(bytes) = read_frame(&mut r, self.max_frame)? else {
+            return Ok(None);
+        };
+        let n = bytes.len();
+        match qos_wire::from_bytes::<PeerMsg>(&bytes)? {
+            PeerMsg::Frame(sealed) => {
+                let mut ch = self.channel.lock().unwrap_or_else(|e| e.into_inner());
+                Ok(Some((ch.open(sealed)?, n)))
+            }
+            PeerMsg::Hello { .. } | PeerMsg::Auth { .. } => Err(TransportError::Protocol(
+                "handshake message on an established session".into(),
+            )),
+        }
+    }
+
+    /// Tear the socket down; in-flight reads and writes on other threads
+    /// fail promptly.
+    pub fn shutdown(&self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+fn with_handshake_timeout<T>(
+    stream: &TcpStream,
+    f: impl FnOnce() -> Result<T, TransportError>,
+) -> Result<T, TransportError> {
+    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+    let out = f();
+    // Established sessions block indefinitely on the reader thread.
+    let _ = stream.set_read_timeout(None);
+    out
+}
+
+fn expect_hello(
+    stream: &TcpStream,
+    max: usize,
+) -> Result<(qos_crypto::Certificate, u64), TransportError> {
+    match recv_msg(stream, max)? {
+        PeerMsg::Hello { cert, nonce } => Ok((cert, nonce)),
+        other => Err(TransportError::Protocol(format!(
+            "expected Hello, got {other:?}"
+        ))),
+    }
+}
+
+fn expect_auth(stream: &TcpStream, max: usize) -> Result<qos_crypto::Signature, TransportError> {
+    match recv_msg(stream, max)? {
+        PeerMsg::Auth { sig } => Ok(sig),
+        other => Err(TransportError::Protocol(format!(
+            "expected Auth, got {other:?}"
+        ))),
+    }
+}
+
+fn finish(
+    stream: TcpStream,
+    await_auth: AwaitAuth,
+    sig: qos_crypto::Signature,
+    max_frame: usize,
+) -> Result<Session, TransportError> {
+    let channel = await_auth.receive_auth(sig)?;
+    let peer = channel
+        .peer_dn()
+        .org_unit()
+        .ok_or_else(|| TransportError::Protocol("peer DN carries no domain".into()))?
+        .to_string();
+    Ok(Session {
+        peer,
+        stream,
+        channel: Mutex::new(channel),
+        max_frame,
+    })
+}
+
+/// Run the handshake as the connecting side. `pin` is the SLA pin for
+/// the one peer this connection is supposed to reach.
+pub fn establish_initiator(
+    stream: TcpStream,
+    identity: &ChannelIdentity,
+    pin: &PeerPin,
+    now: Timestamp,
+    max_frame: usize,
+) -> Result<Session, TransportError> {
+    let (await_auth, peer_sig) = with_handshake_timeout(&stream, || {
+        let hs = NetHandshake::new(identity, true, fresh_nonce());
+        let (cert, nonce) = hs.hello();
+        send_msg(&stream, &PeerMsg::Hello { cert, nonce }, max_frame)?;
+        let (peer_cert, peer_nonce) = expect_hello(&stream, max_frame)?;
+        let (sig, await_auth) = hs.receive_hello(peer_cert, peer_nonce, pin, now)?;
+        send_msg(&stream, &PeerMsg::Auth { sig }, max_frame)?;
+        let peer_sig = expect_auth(&stream, max_frame)?;
+        Ok((await_auth, peer_sig))
+    })?;
+    finish(stream, await_auth, peer_sig, max_frame)
+}
+
+/// Run the handshake as the accepting side. The peer announces itself
+/// through its certificate; `pins` maps each *expected* peer domain to
+/// its SLA pin, and an inbound certificate for any other domain is
+/// rejected before our own hello is sent.
+pub fn establish_responder(
+    stream: TcpStream,
+    identity: &ChannelIdentity,
+    pins: &HashMap<String, PeerPin>,
+    now: Timestamp,
+    max_frame: usize,
+) -> Result<Session, TransportError> {
+    let (await_auth, peer_sig) = with_handshake_timeout(&stream, || {
+        let (peer_cert, peer_nonce) = expect_hello(&stream, max_frame)?;
+        let claimed = peer_cert
+            .tbs
+            .subject
+            .org_unit()
+            .ok_or_else(|| TransportError::Protocol("peer DN carries no domain".into()))?
+            .to_string();
+        let pin = pins
+            .get(&claimed)
+            .ok_or(TransportError::UnknownPeer(claimed))?;
+        let hs = NetHandshake::new(identity, false, fresh_nonce());
+        let (cert, nonce) = hs.hello();
+        send_msg(&stream, &PeerMsg::Hello { cert, nonce }, max_frame)?;
+        let (sig, await_auth) = hs.receive_hello(peer_cert, peer_nonce, pin, now)?;
+        send_msg(&stream, &PeerMsg::Auth { sig }, max_frame)?;
+        let peer_sig = expect_auth(&stream, max_frame)?;
+        Ok((await_auth, peer_sig))
+    })?;
+    finish(stream, await_auth, peer_sig, max_frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::MAX_FRAME_LEN;
+    use qos_crypto::{CertificateAuthority, DistinguishedName, KeyPair, Validity};
+    use std::net::TcpListener;
+
+    fn identity(ca: &mut CertificateAuthority, domain: &str) -> ChannelIdentity {
+        let key = KeyPair::from_seed(domain.as_bytes());
+        let cert = ca.issue_identity(
+            DistinguishedName::broker(domain),
+            key.public(),
+            Validity::unbounded(),
+        );
+        ChannelIdentity { key, cert }
+    }
+
+    #[test]
+    fn loopback_session_round_trip() {
+        let mut ca = CertificateAuthority::new(
+            DistinguishedName::authority("CA"),
+            KeyPair::from_seed(b"ca"),
+        );
+        let ca_key = ca.public_key();
+        let ia = identity(&mut ca, "alpha");
+        let ib = identity(&mut ca, "beta");
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let responder = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let pins = HashMap::from([(
+                "alpha".to_string(),
+                PeerPin {
+                    ca_key,
+                    dn: DistinguishedName::broker("alpha"),
+                },
+            )]);
+            establish_responder(stream, &ib, &pins, Timestamp::ZERO, MAX_FRAME_LEN).unwrap()
+        });
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let pin = PeerPin {
+            ca_key,
+            dn: DistinguishedName::broker("beta"),
+        };
+        let a = establish_initiator(stream, &ia, &pin, Timestamp::ZERO, MAX_FRAME_LEN).unwrap();
+        let b = responder.join().unwrap();
+        assert_eq!(a.peer(), "beta");
+        assert_eq!(b.peer(), "alpha");
+
+        a.send(b"sealed over tcp").unwrap();
+        let (plain, _) = b.recv().unwrap().unwrap();
+        assert_eq!(plain, b"sealed over tcp");
+        b.send(b"and back").unwrap();
+        let (plain, _) = a.recv().unwrap().unwrap();
+        assert_eq!(plain, b"and back");
+
+        a.shutdown();
+        assert!(matches!(b.recv(), Ok(None) | Err(_)));
+    }
+
+    #[test]
+    fn unpinned_inbound_peer_rejected() {
+        let mut ca = CertificateAuthority::new(
+            DistinguishedName::authority("CA"),
+            KeyPair::from_seed(b"ca"),
+        );
+        let ca_key = ca.public_key();
+        let ia = identity(&mut ca, "alpha");
+        let ib = identity(&mut ca, "beta");
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let responder = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            // Responder only pins "gamma"; alpha must be refused.
+            let pins = HashMap::from([(
+                "gamma".to_string(),
+                PeerPin {
+                    ca_key,
+                    dn: DistinguishedName::broker("gamma"),
+                },
+            )]);
+            establish_responder(stream, &ib, &pins, Timestamp::ZERO, MAX_FRAME_LEN)
+        });
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let pin = PeerPin {
+            ca_key,
+            dn: DistinguishedName::broker("beta"),
+        };
+        let res = establish_initiator(stream, &ia, &pin, Timestamp::ZERO, MAX_FRAME_LEN);
+        assert!(res.is_err(), "initiator must not complete");
+        assert!(matches!(
+            responder.join().unwrap(),
+            Err(TransportError::UnknownPeer(d)) if d == "alpha"
+        ));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the transport layer: sealed frames survive any
+//! TCP segmentation, and corrupted or truncated streams are rejected
+//! without panics.
+
+use proptest::prelude::*;
+use qos_core::channel::Sealed;
+use qos_transport::{read_frame, write_frame, FrameDecoder, PeerMsg, MAX_FRAME_LEN};
+
+fn arb_sealed() -> impl Strategy<Value = Sealed> {
+    (
+        proptest::collection::vec(any::<u8>(), 0..600),
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 32..33),
+    )
+        .prop_map(|(payload, seq, mac_bytes)| {
+            let mut mac = [0u8; 32];
+            mac.copy_from_slice(&mac_bytes);
+            Sealed { payload, seq, mac }
+        })
+}
+
+/// Encode a batch of sealed frames as one framed byte stream.
+fn encode_stream(frames: &[Sealed]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for f in frames {
+        let body = qos_wire::to_bytes(&PeerMsg::Frame(f.clone()));
+        write_frame(&mut out, &body, MAX_FRAME_LEN).unwrap();
+    }
+    out
+}
+
+proptest! {
+    /// Sealed frames round-trip through the frame codec regardless of
+    /// how the byte stream is cut into read chunks.
+    #[test]
+    fn sealed_frames_round_trip_any_chunking(
+        frames in proptest::collection::vec(arb_sealed(), 1..6),
+        chunk in 1usize..64,
+    ) {
+        let stream = encode_stream(&frames);
+        let mut decoder = FrameDecoder::new(MAX_FRAME_LEN);
+        let mut got = Vec::new();
+        for piece in stream.chunks(chunk) {
+            decoder.push(piece);
+            while let Some(body) = decoder.next_frame().unwrap() {
+                match qos_wire::from_bytes::<PeerMsg>(&body).unwrap() {
+                    PeerMsg::Frame(s) => got.push(s),
+                    other => prop_assert!(false, "unexpected message {:?}", other),
+                }
+            }
+        }
+        prop_assert!(decoder.is_idle());
+        prop_assert_eq!(got, frames);
+    }
+
+    /// The blocking reader agrees with the push decoder.
+    #[test]
+    fn blocking_reader_round_trips(frames in proptest::collection::vec(arb_sealed(), 1..6)) {
+        let stream = encode_stream(&frames);
+        let mut cursor = &stream[..];
+        for f in &frames {
+            let body = read_frame(&mut cursor, MAX_FRAME_LEN).unwrap().unwrap();
+            match qos_wire::from_bytes::<PeerMsg>(&body).unwrap() {
+                PeerMsg::Frame(s) => prop_assert_eq!(&s, f),
+                other => prop_assert!(false, "unexpected message {:?}", other),
+            }
+        }
+        prop_assert!(read_frame(&mut cursor, MAX_FRAME_LEN).unwrap().is_none());
+    }
+
+    /// Truncating the stream anywhere is detected, never a panic: the
+    /// blocking reader yields only full frames, then a truncation error
+    /// (or clean EOF exactly at a frame boundary).
+    #[test]
+    fn truncation_detected_without_panic(
+        frames in proptest::collection::vec(arb_sealed(), 1..4),
+        cut_sel in 0usize..1000,
+    ) {
+        let stream = encode_stream(&frames);
+        let cut = stream.len() * cut_sel / 1000;
+        let mut cursor = &stream[..cut];
+        let mut decoded = 0usize;
+        loop {
+            match read_frame(&mut cursor, MAX_FRAME_LEN) {
+                Ok(Some(body)) => {
+                    // Every completed frame is a prefix-intact original.
+                    let msg = qos_wire::from_bytes::<PeerMsg>(&body).unwrap();
+                    prop_assert!(matches!(msg, PeerMsg::Frame(_)));
+                    decoded += 1;
+                }
+                Ok(None) => break,          // clean EOF at a boundary
+                Err(_) => break,            // truncation mid-frame, detected
+            }
+        }
+        prop_assert!(decoded <= frames.len());
+    }
+
+    /// Flipping any byte of the stream never panics the decoder chain;
+    /// it either still yields structurally valid `PeerMsg`s or errors.
+    #[test]
+    fn corruption_never_panics(
+        frames in proptest::collection::vec(arb_sealed(), 1..4),
+        pos_sel in 0usize..1000,
+        xor in 1u8..=255,
+    ) {
+        let mut stream = encode_stream(&frames);
+        let pos = (stream.len() - 1) * pos_sel / 1000;
+        stream[pos] ^= xor;
+        let mut decoder = FrameDecoder::new(MAX_FRAME_LEN);
+        decoder.push(&stream);
+        while let Ok(Some(body)) = decoder.next_frame() {
+            let _ = qos_wire::from_bytes::<PeerMsg>(&body);
+        }
+    }
+
+    /// Arbitrary garbage fed to the decoder never panics and never
+    /// yields a frame larger than the ceiling.
+    #[test]
+    fn garbage_respects_frame_ceiling(
+        garbage in proptest::collection::vec(any::<u8>(), 0..400),
+        max in 1usize..256,
+    ) {
+        let mut decoder = FrameDecoder::new(max);
+        decoder.push(&garbage);
+        while let Ok(Some(frame)) = decoder.next_frame() {
+            prop_assert!(frame.len() <= max);
+        }
+    }
+}

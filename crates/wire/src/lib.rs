@@ -84,6 +84,21 @@ pub fn from_bytes<T: Decode>(bytes: &[u8]) -> Result<T, WireError> {
     Ok(value)
 }
 
+/// Decode a value from **untrusted** bytes (e.g. a socket frame) with an
+/// explicit cap on every length prefix.
+///
+/// Strict decoding already validates each length against the remaining
+/// input before allocating; this variant additionally rejects any single
+/// byte-string, string, or sequence claiming more than `max_value_len`
+/// elements. Garbage, truncated, or hostile input produces a
+/// [`WireError`] — never a panic and never an unbounded allocation.
+pub fn from_bytes_limited<T: Decode>(bytes: &[u8], max_value_len: usize) -> Result<T, WireError> {
+    let mut r = Reader::new_limited(bytes, max_value_len);
+    let value = T::decode(&mut r)?;
+    r.finish()?;
+    Ok(value)
+}
+
 /// Decode a value from a shared buffer, requiring that all input is
 /// consumed.
 ///
@@ -187,6 +202,60 @@ mod tests {
         // A plain reader over the same bytes yields no spans.
         let bytes = to_bytes(&v);
         assert!(Reader::new(&bytes).shared_span(0, 0).is_none());
+    }
+
+    #[test]
+    fn limited_reader_caps_honest_looking_lengths() {
+        // A 100-element sequence of unit-size elements fits the input,
+        // so the remaining-bytes check alone would admit it; the
+        // explicit cap still rejects it.
+        let v: Vec<u8> = vec![7; 100];
+        let b = to_bytes(&v);
+        assert_eq!(from_bytes_limited::<Vec<u8>>(&b, 100).unwrap(), v);
+        assert_eq!(
+            from_bytes_limited::<Vec<u8>>(&b, 99),
+            Err(WireError::LengthOverflow(100))
+        );
+    }
+
+    #[test]
+    fn garbage_and_mutated_input_never_panics() {
+        // Deterministic mini-fuzz over a representative nested message:
+        // every decode of corrupted input must return an error or a
+        // value, never panic or over-allocate.
+        let valid = to_bytes(&Nested {
+            id: 0xABCD,
+            tags: vec!["alpha".into(), "beta".into(), "gamma".into()],
+        });
+        let mut lcg: u64 = 0x1234_5678_9abc_def0;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (lcg >> 33) as usize
+        };
+        for _ in 0..2000 {
+            let mut m = valid.clone();
+            match next() % 3 {
+                0 => {
+                    // Flip a byte.
+                    let i = next() % m.len();
+                    m[i] ^= (next() % 255 + 1) as u8;
+                }
+                1 => {
+                    // Truncate.
+                    m.truncate(next() % m.len());
+                }
+                _ => {
+                    // Pure garbage of arbitrary length.
+                    let len = next() % 64;
+                    m = (0..len).map(|_| (next() % 256) as u8).collect();
+                }
+            }
+            let _ = from_bytes_limited::<Nested>(&m, 1 << 16);
+            let _ = from_bytes::<Nested>(&m);
+            let _ = from_bytes::<Verdict>(&m);
+        }
     }
 
     #[test]

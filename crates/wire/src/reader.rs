@@ -14,6 +14,11 @@ pub struct Reader<'a> {
     input: &'a [u8],
     pos: usize,
     shared: Option<Arc<[u8]>>,
+    /// Upper bound on any single length prefix (bytes, string, or
+    /// sequence count). Defaults to the input length — a prefix larger
+    /// than the input can never be honest — and can be tightened further
+    /// for untrusted socket input via [`Reader::new_limited`].
+    max_value_len: usize,
 }
 
 impl<'a> Reader<'a> {
@@ -23,6 +28,21 @@ impl<'a> Reader<'a> {
             input,
             pos: 0,
             shared: None,
+            max_value_len: input.len(),
+        }
+    }
+
+    /// Create a reader over untrusted `input` with an explicit cap on
+    /// every length prefix. Decoding fails with
+    /// [`WireError::LengthOverflow`] the moment any byte-string, string,
+    /// or sequence claims more than `max_value_len` elements, before any
+    /// allocation happens.
+    pub fn new_limited(input: &'a [u8], max_value_len: usize) -> Self {
+        Self {
+            input,
+            pos: 0,
+            shared: None,
+            max_value_len,
         }
     }
 
@@ -36,6 +56,7 @@ impl<'a> Reader<'a> {
             input,
             pos: 0,
             shared: Some(Arc::clone(input)),
+            max_value_len: input.len(),
         }
     }
 
@@ -122,7 +143,7 @@ impl<'a> Reader<'a> {
     /// allocating, so hostile length prefixes cannot exhaust memory.
     pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
         let len = self.get_u32()? as usize;
-        if len > self.remaining() {
+        if len > self.max_value_len || len > self.remaining() {
             return Err(WireError::LengthOverflow(len as u64));
         }
         Ok(self.take(len)?.to_vec())
@@ -138,7 +159,7 @@ impl<'a> Reader<'a> {
     /// lower bound of one byte per element.
     pub fn get_seq_len(&mut self) -> Result<usize, WireError> {
         let len = self.get_u32()? as usize;
-        if len > self.remaining() {
+        if len > self.max_value_len || len > self.remaining() {
             return Err(WireError::LengthOverflow(len as u64));
         }
         Ok(len)
