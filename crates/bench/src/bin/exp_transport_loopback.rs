@@ -27,6 +27,19 @@ use std::time::Instant;
 const MBPS: u64 = 1_000_000;
 const THROUGHPUT_REQUESTS: u64 = 48;
 
+/// Minimum acceptable TCP loopback throughput, in requests per second.
+/// CI fails below this floor so the coalescing/batch-verify fast path
+/// cannot silently regress. Override with `EXP_TCP_MIN_RPS` (0 disables,
+/// e.g. on heavily loaded or throttled runners).
+const DEFAULT_TCP_MIN_RPS: f64 = 2000.0;
+
+fn tcp_min_rps() -> f64 {
+    std::env::var("EXP_TCP_MIN_RPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TCP_MIN_RPS)
+}
+
 fn identities(s: &Scenario) -> HashMap<String, ChannelIdentity> {
     s.nodes
         .iter()
@@ -105,6 +118,24 @@ impl AnyMesh {
         }
     }
 
+    /// Submit a whole burst without per-request waits. The TCP mesh
+    /// takes the pipelined path (batch signature checks, coalesced
+    /// writes); the actor mesh has no equivalent, so it just loops.
+    fn submit_all(
+        &self,
+        domain: &str,
+        requests: Vec<(qos_core::envelope::SignedRar, qos_crypto::Certificate)>,
+    ) {
+        match self {
+            AnyMesh::Actor(m) => {
+                for (rar, cert) in requests {
+                    m.submit(domain, rar, cert);
+                }
+            }
+            AnyMesh::Tcp(m) => m.submit_all(domain, requests),
+        }
+    }
+
     fn wait_completions(&self, n: usize) -> Vec<(String, Completion)> {
         match self {
             AnyMesh::Actor(m) => m.wait_completions(n),
@@ -178,9 +209,10 @@ fn throughput_run(fabric: Fabric, registry: &Arc<Registry>) -> ThroughputResult 
 
     let mesh = AnyMesh::spawn(fabric, &mut s, &telemetry);
     let t0 = Instant::now();
-    for rar in rars {
-        mesh.submit("domain-a", rar, cert.clone());
-    }
+    mesh.submit_all(
+        "domain-a",
+        rars.into_iter().map(|rar| (rar, cert.clone())).collect(),
+    );
     let completions = mesh.wait_completions(THROUGHPUT_REQUESTS as usize);
     let elapsed = t0.elapsed();
     let granted = completions
@@ -262,6 +294,7 @@ fn main() {
         &widths,
     );
     let mut tcp_registry = None;
+    let mut tcp_rps = 0.0;
     for fabric in [Fabric::Actor, Fabric::Tcp] {
         let registry = Registry::new();
         let r = throughput_run(fabric, &registry);
@@ -288,6 +321,7 @@ fn main() {
                 .field("granted", r.granted as u64),
         );
         if fabric == Fabric::Tcp {
+            tcp_rps = r.req_per_sec;
             tcp_registry = Some(registry);
         }
     }
@@ -302,6 +336,14 @@ fn main() {
 
     if diverged {
         eprintln!("\nFAIL: TCP mesh admission outcomes diverged from the in-process mesh");
+        std::process::exit(1);
+    }
+    let floor = tcp_min_rps();
+    if floor > 0.0 && tcp_rps < floor {
+        eprintln!(
+            "\nFAIL: tcp(loopback) throughput {tcp_rps:.0} req/s is below the \
+             {floor:.0} req/s floor (override with EXP_TCP_MIN_RPS)"
+        );
         std::process::exit(1);
     }
     println!(

@@ -197,11 +197,126 @@ impl SecureChannel {
     }
 
     fn mac(&self, direction: u8, seq: u64, payload: &[u8]) -> Digest {
-        let mut data = Vec::with_capacity(payload.len() + 9);
-        data.push(direction);
-        data.extend_from_slice(&seq.to_le_bytes());
-        data.extend_from_slice(payload);
-        hmac_sha256(&self.session_key, &data)
+        mac_message(&self.session_key, direction, seq, payload)
+    }
+
+    /// Split the channel into independent seal and open halves.
+    ///
+    /// Each half derives its *own* MAC key from the session key with the
+    /// direction as the PRF distinguisher
+    /// (`HMAC(session_key, "qos-channel-dir-v1" ‖ direction)`), so the
+    /// two directions share no mutable state at all: a writer thread can
+    /// seal while a reader thread opens, with no lock between them and
+    /// no way for one direction's sequence space to perturb the other's.
+    ///
+    /// The security argument is unchanged from the combined channel
+    /// (DESIGN.md §D9): reflection stays impossible because a message
+    /// sealed under the direction-`d` key can never verify under the
+    /// direction-`1-d` key (the direction byte additionally remains in
+    /// the MAC input), and replay/reorder protection is the same strict
+    /// per-direction sequence check. Both ends of a connection must
+    /// split for the directions to interoperate — a split half does not
+    /// speak the combined channel's MAC.
+    ///
+    /// The peer certificate is consumed; read identity data
+    /// ([`SecureChannel::peer_dn`]) before splitting.
+    pub fn split(self) -> (SealHalf, OpenHalf) {
+        let send_dir = self.role;
+        let recv_dir = 1 - self.role;
+        (
+            SealHalf {
+                key: direction_key(&self.session_key, send_dir),
+                direction: send_dir,
+                seq: self.send_seq,
+            },
+            OpenHalf {
+                key: direction_key(&self.session_key, recv_dir),
+                direction: recv_dir,
+                seq: self.recv_seq,
+            },
+        )
+    }
+}
+
+/// MAC over one channel message: `HMAC(key, direction ‖ seq ‖ payload)`.
+fn mac_message(key: &Digest, direction: u8, seq: u64, payload: &[u8]) -> Digest {
+    let mut data = Vec::with_capacity(payload.len() + 9);
+    data.push(direction);
+    data.extend_from_slice(&seq.to_le_bytes());
+    data.extend_from_slice(payload);
+    hmac_sha256(key, &data)
+}
+
+/// Per-direction MAC key: `HMAC(session_key, label ‖ direction)`.
+fn direction_key(session_key: &Digest, direction: u8) -> Digest {
+    let mut data = Vec::with_capacity(19);
+    data.extend_from_slice(b"qos-channel-dir-v1");
+    data.push(direction);
+    hmac_sha256(session_key, &data)
+}
+
+/// The sealing (outbound) half of a split channel: owns the outbound
+/// direction's derived key and sequence counter, nothing else. See
+/// [`SecureChannel::split`].
+#[derive(Debug)]
+pub struct SealHalf {
+    key: Digest,
+    direction: u8,
+    seq: u64,
+}
+
+impl SealHalf {
+    /// Seal an outgoing payload.
+    pub fn seal(&mut self, payload: Vec<u8>) -> Sealed {
+        let (seq, mac) = self.seal_detached(&payload);
+        Sealed { payload, seq, mac }
+    }
+
+    /// Compute the sequence number and MAC for `payload` without taking
+    /// ownership — the zero-copy path for callers that encode the
+    /// payload bytes straight into a scratch buffer.
+    pub fn seal_detached(&mut self, payload: &[u8]) -> (u64, Digest) {
+        let seq = self.seq;
+        self.seq += 1;
+        (seq, mac_message(&self.key, self.direction, seq, payload))
+    }
+
+    /// Next sequence number to be issued.
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// The opening (inbound) half of a split channel: owns the inbound
+/// direction's derived key and sequence counter. See
+/// [`SecureChannel::split`].
+#[derive(Debug)]
+pub struct OpenHalf {
+    key: Digest,
+    direction: u8,
+    seq: u64,
+}
+
+impl OpenHalf {
+    /// Open an incoming message: verifies the MAC and strict ordering.
+    pub fn open(&mut self, msg: Sealed) -> Result<Vec<u8>, CoreError> {
+        let expect = mac_message(&self.key, self.direction, msg.seq, &msg.payload);
+        if !ct_eq(&expect, &msg.mac) {
+            return Err(CoreError::Channel("MAC verification failed".into()));
+        }
+        if msg.seq != self.seq {
+            return Err(CoreError::Channel(format!(
+                "out-of-order message: expected seq {}, got {}",
+                self.seq, msg.seq
+            )));
+        }
+        self.seq += 1;
+        Ok(msg.payload)
+    }
+
+    /// Next sequence number expected.
+    pub fn next_seq(&self) -> u64 {
+        self.seq
     }
 }
 
@@ -577,6 +692,82 @@ mod tests {
         let back = qos_wire::from_bytes::<Sealed>(&bytes).unwrap();
         assert_eq!(back, sealed);
         assert_eq!(b.open(back).unwrap(), b"framed payload");
+    }
+
+    #[test]
+    fn split_halves_interoperate_across_ends() {
+        let f = fix();
+        let (a, b) = net_handshake(&f).unwrap();
+        let (mut a_seal, mut a_open) = a.split();
+        let (mut b_seal, mut b_open) = b.split();
+        let m1 = a_seal.seal(b"over the wire".to_vec());
+        assert_eq!(b_open.open(m1).unwrap(), b"over the wire");
+        let m2 = b_seal.seal(b"and back".to_vec());
+        assert_eq!(a_open.open(m2).unwrap(), b"and back");
+        // Sequence spaces are fully independent per direction.
+        for i in 0..5u8 {
+            let m = a_seal.seal(vec![i]);
+            assert_eq!(b_open.open(m).unwrap(), vec![i]);
+        }
+        assert_eq!(a_seal.next_seq(), 6);
+        assert_eq!(b_seal.next_seq(), 1);
+    }
+
+    #[test]
+    fn split_reflection_rejected() {
+        // A sealed message bounced back to its sender cannot open: the
+        // two directions use distinct derived keys.
+        let f = fix();
+        let (a, _b) = net_handshake(&f).unwrap();
+        let (mut a_seal, mut a_open) = a.split();
+        let m = a_seal.seal(b"x".to_vec());
+        assert!(a_open.open(m).is_err());
+    }
+
+    #[test]
+    fn split_uses_per_direction_keys() {
+        // The same payload at the same sequence number MACs differently
+        // under the combined channel and the split half: the split key
+        // schedule is a different PRF branch, so a split end cannot be
+        // confused with an unsplit one.
+        let f = fix();
+        let (mut a1, _) = net_handshake(&f).unwrap();
+        let (a2, _) = net_handshake(&f).unwrap();
+        let (mut a2_seal, _) = a2.split();
+        let m_combined = a1.seal(b"same bytes".to_vec());
+        let m_split = a2_seal.seal(b"same bytes".to_vec());
+        assert_eq!(m_combined.seq, m_split.seq);
+        assert_ne!(m_combined.mac, m_split.mac);
+    }
+
+    #[test]
+    fn split_replay_and_reorder_rejected() {
+        let f = fix();
+        let (a, b) = net_handshake(&f).unwrap();
+        let (mut a_seal, _) = a.split();
+        let (_, mut b_open) = b.split();
+        let m0 = a_seal.seal(b"zero".to_vec());
+        let m1 = a_seal.seal(b"one".to_vec());
+        assert!(b_open.open(m1.clone()).is_err(), "reorder detected");
+        assert!(b_open.open(m0.clone()).is_ok());
+        assert!(b_open.open(m0).is_err(), "replay detected");
+        assert!(b_open.open(m1).is_ok());
+    }
+
+    #[test]
+    fn seal_detached_matches_seal() {
+        let f = fix();
+        let (a1, b1) = net_handshake(&f).unwrap();
+        let (mut s1, _) = a1.split();
+        let (_, mut o1) = b1.split();
+        let payload = b"detached".to_vec();
+        let (seq, mac) = s1.seal_detached(&payload);
+        let msg = Sealed {
+            payload: payload.clone(),
+            seq,
+            mac,
+        };
+        assert_eq!(o1.open(msg).unwrap(), payload);
     }
 
     #[test]

@@ -609,6 +609,72 @@ impl BbNode {
         rar_u: SignedRar,
         user_cert: &Certificate,
     ) -> Vec<(String, SignalMessage)> {
+        self.submit_checked(rar_u, user_cert, false)
+    }
+
+    /// Handle a burst of user requests at once. The two signatures each
+    /// submission carries — the CA's over the user certificate and the
+    /// user's over the request — are independent, so the whole burst is
+    /// checked through one Schnorr batch equation
+    /// ([`qos_crypto::verify_batch`]); only if the combined check fails
+    /// does per-item verification run (on the scoped worker pool) to
+    /// attribute the failure. Admission then runs serially, in arrival
+    /// order, against the shared budgets.
+    pub fn submit_batch(
+        &mut self,
+        batch: Vec<(SignedRar, Certificate)>,
+    ) -> Vec<(String, SignalMessage)> {
+        if batch.len() < 2 {
+            return batch
+                .into_iter()
+                .flat_map(|(rar, cert)| self.submit(rar, &cert))
+                .collect();
+        }
+        // The certificate's signature input is its canonical TBS
+        // encoding; materialize those first so the job slices can borrow.
+        let tbs_bytes: Vec<Vec<u8>> = batch
+            .iter()
+            .map(|(_, cert)| qos_wire::to_bytes(&cert.tbs))
+            .collect();
+        let jobs: Vec<(&[u8], PublicKey, qos_crypto::Signature)> = batch
+            .iter()
+            .zip(&tbs_bytes)
+            .flat_map(|((rar, cert), tbs)| {
+                [
+                    (tbs.as_slice(), self.user_ca, cert.signature),
+                    (
+                        rar.layer_bytes(),
+                        cert.tbs.subject_public_key,
+                        rar.signature(),
+                    ),
+                ]
+            })
+            .collect();
+        let verdicts = if qos_crypto::verify_batch(&jobs) {
+            vec![true; batch.len()]
+        } else {
+            crate::parallel::verify_each(&jobs)
+                .chunks(2)
+                .map(|c| c[0] && c[1])
+                .collect()
+        };
+        drop(jobs);
+        drop(tbs_bytes);
+        let mut out = Vec::new();
+        for ((rar, cert), ok) in batch.into_iter().zip(verdicts) {
+            // A failed batch item re-verifies inline so the denial
+            // attributes the exact broken signature.
+            out.extend(self.submit_checked(rar, &cert, ok));
+        }
+        out
+    }
+
+    fn submit_checked(
+        &mut self,
+        rar_u: SignedRar,
+        user_cert: &Certificate,
+        pre_verified: bool,
+    ) -> Vec<(String, SignalMessage)> {
         self.counters.add_rx(1);
         let spec = rar_u.res_spec();
         let rar_id = spec.rar_id;
@@ -623,7 +689,7 @@ impl BbNode {
             from: "user".into(),
             depth,
         });
-        match self.process_submit(rar_u, user_cert, trace) {
+        match self.process_submit(rar_u, user_cert, trace, pre_verified) {
             Ok(out) => {
                 let end = if self.tracer.is_enabled() {
                     self.clock.now_ns()
@@ -686,13 +752,20 @@ impl BbNode {
         rar_u: SignedRar,
         user_cert: &Certificate,
         trace: TraceId,
+        pre_verified: bool,
     ) -> Result<Vec<(String, SignalMessage)>, CoreError> {
         let spec = rar_u.res_spec().clone();
         let rar_id = spec.rar_id;
 
         // Authenticate the user: certificate from a trusted CA, request
-        // signed by the certified key, addressed to this broker.
-        user_cert.verify_signature(self.user_ca)?;
+        // signed by the certified key, addressed to this broker. When the
+        // two signatures were already checked in a batch equation
+        // (`pre_verified`), only the non-signature checks run here; the
+        // verified counters still advance so batched and per-item ingress
+        // report identical crypto work.
+        if !pre_verified {
+            user_cert.verify_signature(self.user_ca)?;
+        }
         user_cert.check_validity(self.now)?;
         self.counters.add_verified(1);
         if !user_cert.tbs.subject.same_principal(&spec.requestor) {
@@ -700,7 +773,7 @@ impl BbNode {
                 signer: spec.requestor.clone(),
             });
         }
-        if !rar_u.verify_signature(user_cert.tbs.subject_public_key) {
+        if !pre_verified && !rar_u.verify_signature(user_cert.tbs.subject_public_key) {
             return Err(CoreError::LayerSignature {
                 signer: spec.requestor.clone(),
             });
@@ -855,9 +928,64 @@ impl BbNode {
         out
     }
 
+    /// Handle a burst of peer reservation requests at once. Each
+    /// request's outer signature is the sending peer's, over that
+    /// envelope's own canonical bytes — mutually independent checks, so
+    /// the burst goes through one Schnorr batch equation
+    /// ([`qos_crypto::verify_batch`]) with per-item fallback for
+    /// attribution, exactly like [`Self::recv_tunnel_flows`]. Protocol
+    /// processing then runs serially in arrival order.
+    pub fn recv_requests(
+        &mut self,
+        batch: Vec<(String, SignedRar)>,
+    ) -> Vec<(String, SignalMessage)> {
+        if batch.len() < 2 {
+            return batch
+                .into_iter()
+                .flat_map(|(from, rar)| self.recv(&from, SignalMessage::Request(rar)))
+                .collect();
+        }
+        self.counters.add_rx(batch.len() as u64);
+        // Resolve each sender's pinned key first (cheap map lookups); an
+        // unknown peer skips the batch and fails in `process_request`
+        // with its usual error.
+        let pks: Vec<Option<PublicKey>> = batch
+            .iter()
+            .map(|(from, _)| self.peers.get(from).map(|c| c.tbs.subject_public_key))
+            .collect();
+        let jobs: Vec<(&[u8], PublicKey, qos_crypto::Signature)> = batch
+            .iter()
+            .zip(&pks)
+            .filter_map(|((_, rar), pk)| pk.map(|pk| (rar.layer_bytes(), pk, rar.signature())))
+            .collect();
+        let verdicts = if qos_crypto::verify_batch(&jobs) {
+            vec![true; jobs.len()]
+        } else {
+            crate::parallel::verify_each(&jobs)
+        };
+        drop(jobs);
+        let mut verdicts = verdicts.into_iter();
+        let mut out = Vec::new();
+        for ((from, rar), pk) in batch.into_iter().zip(pks) {
+            let ok = pk.is_some() && verdicts.next().unwrap_or(false);
+            out.extend(self.on_request_checked(&from, rar, ok));
+        }
+        self.counters.add_tx(out.len() as u64);
+        out
+    }
+
     fn on_request(&mut self, from: &str, rar: SignedRar) -> Vec<(String, SignalMessage)> {
+        self.on_request_checked(from, rar, false)
+    }
+
+    fn on_request_checked(
+        &mut self,
+        from: &str,
+        rar: SignedRar,
+        pre_verified: bool,
+    ) -> Vec<(String, SignalMessage)> {
         let rar_id = rar.res_spec().rar_id;
-        match self.process_request(from, rar) {
+        match self.process_request(from, rar, pre_verified) {
             Ok(out) => out,
             Err(e) => {
                 let denial = match e {
@@ -885,6 +1013,7 @@ impl BbNode {
         &mut self,
         from: &str,
         rar: SignedRar,
+        pre_verified: bool,
     ) -> Result<Vec<(String, SignalMessage)>, CoreError> {
         // Re-derive the trace minted at the source edge: the spec's
         // signed fields are the same at every hop.
@@ -913,8 +1042,10 @@ impl BbNode {
             .tbs
             .subject_public_key;
         // Outer signature must be the direct peer's (§6.4: messages
-        // between BBs are mutually authenticated).
-        if !rar.verify_signature(peer_pk) {
+        // between BBs are mutually authenticated). Skipped only when a
+        // batch equation already vouched for it; the verified counter
+        // still advances so batched ingress reports the same crypto work.
+        if !pre_verified && !rar.verify_signature(peer_pk) {
             return Err(CoreError::LayerSignature {
                 signer: rar.signer.clone(),
             });

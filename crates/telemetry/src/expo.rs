@@ -41,9 +41,9 @@ fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
 
 /// Render the whole registry in the Prometheus text exposition format.
 ///
-/// Histogram buckets are cumulative with power-of-two `le` bounds; only
+/// Histogram buckets are cumulative with log-linear `le` bounds; only
 /// buckets up to the highest non-empty one are emitted (plus `+Inf`),
-/// keeping 64-bucket families readable.
+/// keeping 496-bucket families readable.
 pub fn render_prometheus(registry: &Registry) -> String {
     let fams = registry.families.lock().expect("registry poisoned");
     let mut out = String::new();
@@ -221,18 +221,19 @@ mod tests {
     fn histogram_buckets_are_cumulative_with_inf() {
         let reg = Registry::new();
         let h = reg.histogram("lat_ns", "latency", &[]);
-        h.observe(1); // bucket 0 (le=1)
-        h.observe(3); // bucket 2 (le=4)
+        h.observe(1); // bucket 1 (le=1)
+        h.observe(3); // bucket 3 (le=3)
         h.observe(3);
         let out = render_prometheus(&reg);
+        assert!(out.contains("lat_ns_bucket{le=\"0\"} 0"));
         assert!(out.contains("lat_ns_bucket{le=\"1\"} 1"));
         assert!(out.contains("lat_ns_bucket{le=\"2\"} 1"));
-        assert!(out.contains("lat_ns_bucket{le=\"4\"} 3"));
+        assert!(out.contains("lat_ns_bucket{le=\"3\"} 3"));
         assert!(out.contains("lat_ns_bucket{le=\"+Inf\"} 3"));
         assert!(out.contains("lat_ns_sum 7"));
         assert!(out.contains("lat_ns_count 3"));
         // Buckets above the highest non-empty one are elided.
-        assert!(!out.contains("le=\"8\""));
+        assert!(!out.contains("le=\"4\""));
     }
 
     #[test]
@@ -257,7 +258,7 @@ mod tests {
         assert!(out.contains("\"name\":\"c_total\""));
         assert!(out.contains("\"labels\":{\"domain\":\"a\"},\"value\":2"));
         assert!(out.contains("\"count\":100,\"sum\":5050"));
-        assert!(out.contains("\"p95\":128"));
+        assert!(out.contains("\"p95\":95"));
     }
 
     #[test]

@@ -17,10 +17,21 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Number of log-scale histogram buckets: bucket `i` has upper bound
-/// `2^i` (the last bucket is unbounded). 64 buckets cover one
-/// nanosecond to five centuries.
-pub const HISTOGRAM_BUCKETS: usize = 64;
+/// Each power-of-two range is split into `2^SUB_BITS` linear
+/// sub-buckets, so a quantile read from a bucket bound overstates the
+/// true value by at most `1/2^SUB_BITS` (12.5%) — tight enough that a
+/// latency histogram's p50 and p99 stay distinguishable instead of
+/// collapsing onto the same power of two.
+const SUB_BITS: u32 = 3;
+
+/// Sub-buckets per power-of-two range (`2^SUB_BITS`).
+const SUB_COUNT: usize = 1 << SUB_BITS;
+
+/// Number of log-linear histogram buckets: values `0..8` get exact
+/// buckets, then every power-of-two range up to `u64::MAX` contributes
+/// [`SUB_COUNT`] linear sub-buckets (8 + 61×8 = 496). Still one flat
+/// atomic array covering one nanosecond to five centuries.
+pub const HISTOGRAM_BUCKETS: usize = SUB_COUNT + 61 * SUB_COUNT;
 
 /// A monotonically increasing counter. `Default` is a detached no-op.
 #[derive(Clone, Default, Debug)]
@@ -101,8 +112,8 @@ impl Gauge {
     }
 }
 
-/// Shared storage of one histogram: fixed log-scale buckets plus sum and
-/// count, all relaxed atomics.
+/// Shared storage of one histogram: fixed log-linear buckets plus sum
+/// and count, all relaxed atomics.
 #[derive(Debug)]
 pub struct HistogramCore {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
@@ -136,26 +147,33 @@ impl HistogramCore {
     }
 }
 
-/// Index of the bucket whose upper bound first covers `v`: bucket `i`
-/// holds observations in `(2^(i-1), 2^i]` (bucket 0 holds 0 and 1).
+/// Index of the log-linear bucket holding `v`.
+///
+/// Values below [`SUB_COUNT`] get an exact bucket each. Above that, the
+/// top [`SUB_BITS`]` + 1` significant bits select the bucket: `v`'s
+/// power-of-two range (via its leading-zero count) picks a group of
+/// [`SUB_COUNT`] buckets, and the next lower bits pick the linear
+/// sub-bucket within the group.
 pub fn bucket_index(v: u64) -> usize {
-    if v <= 1 {
-        0
-    } else {
-        (64 - (v - 1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    let v_usize = v as usize;
+    if v_usize < SUB_COUNT {
+        return v_usize;
     }
+    let shift = (63 - v.leading_zeros()) - SUB_BITS;
+    (v >> shift) as usize + (shift as usize) * SUB_COUNT
 }
 
 /// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
 pub fn bucket_bound(i: usize) -> u64 {
-    if i >= 63 {
-        u64::MAX
-    } else {
-        1u64 << i
+    if i < SUB_COUNT {
+        return i as u64;
     }
+    let shift = (i / SUB_COUNT) - 1;
+    let top = (i - shift * SUB_COUNT) as u128;
+    (((top + 1) << shift) - 1).min(u64::MAX as u128) as u64
 }
 
-/// A fixed-bucket log-scale histogram with percentile queries.
+/// A fixed-bucket log-linear histogram with percentile queries.
 /// `Default` is a detached no-op.
 #[derive(Clone, Default, Debug)]
 pub struct Histogram(Option<Arc<HistogramCore>>);
@@ -200,8 +218,9 @@ impl Histogram {
 
     /// The `q`-quantile (`0.0 < q <= 1.0`) as the upper bound of the
     /// bucket containing the rank-`ceil(q·count)` observation. Returns 0
-    /// when empty. With power-of-two bounds the answer is exact to
-    /// within a factor of two — enough to spot a p99 regression.
+    /// when empty. With log-linear buckets the answer overstates the
+    /// true value by at most 12.5% — tight enough that nearby
+    /// percentiles of a real latency distribution stay distinct.
     pub fn quantile(&self, q: f64) -> u64 {
         let Some(h) = &self.0 else {
             return 0;
@@ -521,18 +540,40 @@ mod tests {
 
     #[test]
     fn bucket_boundaries() {
-        assert_eq!(bucket_index(0), 0);
-        assert_eq!(bucket_index(1), 0);
-        assert_eq!(bucket_index(2), 1);
-        assert_eq!(bucket_index(3), 2);
-        assert_eq!(bucket_index(4), 2);
-        assert_eq!(bucket_index(5), 3);
-        assert_eq!(bucket_index(1 << 20), 20);
-        assert_eq!(bucket_index((1 << 20) + 1), 21);
-        assert_eq!(bucket_index(u64::MAX), 63);
-        assert_eq!(bucket_bound(0), 1);
-        assert_eq!(bucket_bound(20), 1 << 20);
-        assert_eq!(bucket_bound(63), u64::MAX);
+        // Exact buckets below SUB_COUNT.
+        for v in 0..8u64 {
+            assert_eq!(bucket_index(v), v as usize, "value {v}");
+            assert_eq!(bucket_bound(v as usize), v, "bucket {v}");
+        }
+        // First log-linear group: 8..=15, one value per bucket.
+        assert_eq!(bucket_index(8), 8);
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_bound(15), 15);
+        // Next group halves the resolution: 16 and 17 share a bucket.
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(17), 16);
+        assert_eq!(bucket_bound(16), 17);
+        assert_eq!(bucket_index(18), 17);
+        // A large power of two and its bound stay within 12.5%.
+        assert_eq!(bucket_index(1 << 20), 144);
+        assert_eq!(bucket_bound(144), (1 << 20) + (1 << 17) - 1);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+        // Every bucket's bound maps back to its own index, and bounds
+        // are strictly increasing.
+        for i in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_bound(i)), i, "bucket {i}");
+            if i > 0 {
+                assert!(bucket_bound(i) > bucket_bound(i - 1), "bucket {i}");
+            }
+        }
+        // A bound never overstates a value in its bucket by more than
+        // 12.5% (spot-checked across the range).
+        for v in [9u64, 100, 1000, 16_777_216, 1 << 40, u64::MAX / 3] {
+            let bound = bucket_bound(bucket_index(v));
+            assert!(bound >= v);
+            assert!((bound - v) as f64 <= v as f64 * 0.125, "value {v}");
+        }
     }
 
     #[test]
@@ -545,12 +586,13 @@ mod tests {
         }
         assert_eq!(h.count(), 100);
         assert_eq!(h.sum(), 5050);
-        // Median rank 50 → value 50 → bucket bound 64.
-        assert_eq!(h.p50(), 64);
-        // p95 rank 95 → value 95 → bound 128; p99 rank 99 → bound 128.
-        assert_eq!(h.p95(), 128);
-        assert_eq!(h.p99(), 128);
-        assert_eq!(h.quantile(1.0), 128);
+        // Median rank 50 → value 50 → bucket 48..=51.
+        assert_eq!(h.p50(), 51);
+        // p95 rank 95 → value 95, exactly a bucket bound.
+        assert_eq!(h.p95(), 95);
+        // p99 rank 99 → value 99 → bucket 96..=103.
+        assert_eq!(h.p99(), 103);
+        assert_eq!(h.quantile(1.0), 103);
     }
 
     #[test]

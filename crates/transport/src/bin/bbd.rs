@@ -194,9 +194,13 @@ fn main() -> ExitCode {
 
     let mut failed = 0u64;
     if args.submit > 0 {
-        for rar in rars {
-            daemon.submit(rar, user_cert.clone());
-        }
+        // Pipelined: the whole burst enters the daemon at once so its
+        // ingress can batch-verify and its writers can coalesce.
+        daemon.submit_all(
+            rars.into_iter()
+                .map(|rar| (rar, user_cert.clone()))
+                .collect(),
+        );
         for _ in 0..args.submit {
             match completion_rx.recv_timeout(Duration::from_secs(30)) {
                 Ok((_, Completion::Reservation { rar_id, result })) => match result {

@@ -217,6 +217,9 @@ impl SessionSlot {
     }
 }
 
+/// How many queued frames one vectored socket write may carry.
+const MAX_WRITE_BATCH: usize = 64;
+
 /// Per-link transport instruments (no-ops without a registry).
 struct LinkInstruments {
     frames_sent: Counter,
@@ -228,6 +231,8 @@ struct LinkInstruments {
     rejected: Counter,
     handshake_ns: Histogram,
     outq_depth: Gauge,
+    write_batch_frames: Histogram,
+    writes_coalesced: Counter,
 }
 
 impl LinkInstruments {
@@ -277,6 +282,16 @@ impl LinkInstruments {
             outq_depth: telemetry.gauge(
                 "transport_outq_depth_peak",
                 "Peak outbound queue depth",
+                l,
+            ),
+            write_batch_frames: telemetry.histogram(
+                "transport_write_batch_frames",
+                "Frames carried by one coalesced socket write",
+                l,
+            ),
+            writes_coalesced: telemetry.counter(
+                "transport_writes_coalesced_total",
+                "Socket writes that carried more than one frame",
                 l,
             ),
         }
@@ -443,6 +458,22 @@ impl BrokerDaemon {
         });
     }
 
+    /// Submit a burst of user requests back-to-back (pipelined: no
+    /// per-request wait). The whole burst lands in the node mailbox in
+    /// one sweep, so the dispatch loop coalesces the signature checks
+    /// into batch equations and the writers coalesce the outbound
+    /// frames into vectored socket writes.
+    pub fn submit_all(&self, requests: Vec<(SignedRar, Certificate)>) {
+        let enqueued_ns = StdClock::now();
+        for (rar, user_cert) in requests {
+            let _ = self.node_tx.send(NodeMsg::Submit {
+                rar: Box::new(rar),
+                user_cert: Box::new(user_cert),
+                enqueued_ns,
+            });
+        }
+    }
+
     /// Request a sub-flow inside an established tunnel.
     pub fn tunnel_flow(
         &self,
@@ -574,16 +605,40 @@ fn spawn_node_thread(
                     user_cert,
                     enqueued_ns,
                 } => {
-                    let spec = rar.res_spec();
-                    let (rar_id, trace) = (
-                        spec.rar_id,
-                        TraceId::mint(&spec.source_domain, spec.rar_id.0),
-                    );
-                    if live {
-                        submitted_ns.insert(rar_id, enqueued_ns);
+                    // Coalesce a burst of user submissions so their
+                    // certificate and request signatures verify through
+                    // one batch equation; any other message ends the
+                    // sweep and keeps its place via `pending`.
+                    let mut burst = vec![(rar, user_cert, enqueued_ns)];
+                    while let Ok(raw) = rx.try_recv() {
+                        match raw {
+                            NodeMsg::Submit {
+                                rar,
+                                user_cert,
+                                enqueued_ns,
+                            } => burst.push((rar, user_cert, enqueued_ns)),
+                            other => {
+                                pending.push_back(other);
+                                break;
+                            }
+                        }
                     }
-                    node.record_queue_wait(trace, rar_id, enqueued_ns);
-                    let out = node.submit(*rar, &user_cert);
+                    let batch: Vec<(SignedRar, Certificate)> = burst
+                        .into_iter()
+                        .map(|(rar, user_cert, t0)| {
+                            let spec = rar.res_spec();
+                            let (rar_id, trace) = (
+                                spec.rar_id,
+                                TraceId::mint(&spec.source_domain, spec.rar_id.0),
+                            );
+                            if live {
+                                submitted_ns.insert(rar_id, t0);
+                            }
+                            node.record_queue_wait(trace, rar_id, t0);
+                            (*rar, *user_cert)
+                        })
+                        .collect();
+                    let out = node.submit_batch(batch);
                     route_out(out, &links);
                     drain_completions(
                         &mut node,
@@ -634,34 +689,71 @@ fn spawn_node_thread(
             if let Some(trace) = msg.trace_id() {
                 node.record_queue_wait(trace, msg.rar_id(), enqueued_ns);
             }
-            let out = if let SignalMessage::TunnelFlow(t) = msg {
-                // Coalesce queued tunnel sub-flow requests into one batch
-                // whose signatures verify on the worker pool; other
-                // messages keep their arrival order via `pending`.
-                let mut batch = vec![(from, t)];
-                while let Ok(raw) = rx.try_recv() {
-                    match raw {
-                        NodeMsg::Peer {
-                            from: f2,
-                            msg: m2,
-                            enqueued_ns,
-                        } => match *m2 {
-                            SignalMessage::TunnelFlow(t2) => batch.push((f2, t2)),
-                            other => pending.push_back(NodeMsg::Peer {
+            let out = match msg {
+                SignalMessage::TunnelFlow(t) => {
+                    // Coalesce queued tunnel sub-flow requests into one
+                    // batch whose signatures verify on the worker pool;
+                    // other messages keep their arrival order via
+                    // `pending`.
+                    let mut batch = vec![(from, t)];
+                    while let Ok(raw) = rx.try_recv() {
+                        match raw {
+                            NodeMsg::Peer {
                                 from: f2,
-                                msg: Box::new(other),
+                                msg: m2,
                                 enqueued_ns,
-                            }),
-                        },
-                        other => {
-                            pending.push_back(other);
-                            break;
+                            } => match *m2 {
+                                SignalMessage::TunnelFlow(t2) => batch.push((f2, t2)),
+                                other => pending.push_back(NodeMsg::Peer {
+                                    from: f2,
+                                    msg: Box::new(other),
+                                    enqueued_ns,
+                                }),
+                            },
+                            other => {
+                                pending.push_back(other);
+                                break;
+                            }
                         }
                     }
+                    node.recv_tunnel_flows(batch)
                 }
-                node.recv_tunnel_flows(batch)
-            } else {
-                node.recv(&from, msg)
+                SignalMessage::Request(r) => {
+                    // Same coalescing for peer reservation requests: a
+                    // burst arriving across concurrent links verifies
+                    // through one batch equation in `recv_requests`.
+                    let mut batch = vec![(from, r)];
+                    while let Ok(raw) = rx.try_recv() {
+                        match raw {
+                            NodeMsg::Peer {
+                                from: f2,
+                                msg: m2,
+                                enqueued_ns,
+                            } => {
+                                if matches!(&*m2, SignalMessage::Request(_)) {
+                                    if let Some(trace) = m2.trace_id() {
+                                        node.record_queue_wait(trace, m2.rar_id(), enqueued_ns);
+                                    }
+                                    if let SignalMessage::Request(r2) = *m2 {
+                                        batch.push((f2, r2));
+                                    }
+                                } else {
+                                    pending.push_back(NodeMsg::Peer {
+                                        from: f2,
+                                        msg: m2,
+                                        enqueued_ns,
+                                    });
+                                }
+                            }
+                            other => {
+                                pending.push_back(other);
+                                break;
+                            }
+                        }
+                    }
+                    node.recv_requests(batch)
+                }
+                other => node.recv(&from, other),
             };
             route_out(out, &links);
             drain_completions(
@@ -714,8 +806,12 @@ fn drain_completions(
     }
 }
 
-/// Drain one link's queue into whatever session is live, re-queuing the
-/// in-flight frame at the front whenever a write fails.
+/// Drain one link's queue into whatever session is live, coalescing
+/// everything already queued (up to [`MAX_WRITE_BATCH`] frames) into one
+/// vectored socket write. When a write fails mid-batch, the frames the
+/// socket fully accepted stay gone (the peer may have processed them —
+/// retransmitting would double-deliver) and the unsent tail returns to
+/// the queue front in order.
 fn spawn_writer(
     links: Arc<HashMap<String, Link>>,
     peer: String,
@@ -724,17 +820,24 @@ fn spawn_writer(
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         let ins = &links[&peer].ins;
-        while let Some(frame) = queue.pop() {
+        while let Some(mut batch) = queue.pop_batch(MAX_WRITE_BATCH) {
             let Some(session) = slot.wait_session() else {
                 break;
             };
-            match session.send(&frame) {
+            match session.send_batch(&batch) {
                 Ok(n) => {
-                    ins.frames_sent.inc();
+                    ins.frames_sent.add(batch.len() as u64);
                     ins.bytes_sent.add(n as u64);
+                    ins.write_batch_frames.observe(batch.len() as u64);
+                    if batch.len() > 1 {
+                        ins.writes_coalesced.inc();
+                    }
                 }
-                Err(_) => {
-                    queue.push_front(frame);
+                Err((sent, _)) => {
+                    ins.frames_sent.add(sent as u64);
+                    for frame in batch.drain(sent..).rev() {
+                        queue.push_front(frame);
+                    }
                     slot.clear_if(&session);
                     session.shutdown();
                 }

@@ -62,6 +62,11 @@ impl From<io::Error> for FrameError {
 }
 
 /// Write one frame (`u32` length + payload) and flush.
+///
+/// Header and payload leave in a single `write_all` of one contiguous
+/// buffer: a writer that dies mid-call can strand a partial *frame* on
+/// the stream (the reader detects truncation), but never a bare header
+/// with the sender believing nothing was sent.
 pub fn write_frame(w: &mut impl Write, payload: &[u8], max: usize) -> Result<(), FrameError> {
     if payload.len() > max {
         return Err(FrameError::TooLarge {
@@ -69,11 +74,78 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8], max: usize) -> Result<(),
             max,
         });
     }
-    let len = payload.len() as u32;
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(payload)?;
+    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
     w.flush()?;
     Ok(())
+}
+
+/// Write a batch of frames with as few system calls as the writer
+/// allows: all length prefixes and payloads are submitted through one
+/// `write_vectored` ([`std::io::IoSlice`] per part), looping only when
+/// the writer accepts a batch partially.
+///
+/// On failure the error carries the number of bytes already accepted by
+/// the writer, so callers can tell which frames were fully handed over
+/// (and may have reached the peer) from the unsent tail that is safe to
+/// retransmit on a fresh connection.
+pub fn write_frames_vectored(
+    w: &mut impl Write,
+    payloads: &[&[u8]],
+    max: usize,
+) -> Result<(), (usize, FrameError)> {
+    for p in payloads {
+        if p.len() > max {
+            return Err((
+                0,
+                FrameError::TooLarge {
+                    len: p.len() as u64,
+                    max,
+                },
+            ));
+        }
+    }
+    let headers: Vec<[u8; FRAME_HEADER_LEN]> = payloads
+        .iter()
+        .map(|p| (p.len() as u32).to_le_bytes())
+        .collect();
+    let parts: Vec<&[u8]> = headers
+        .iter()
+        .zip(payloads)
+        .flat_map(|(h, p)| [h.as_slice(), *p])
+        .collect();
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut written = 0usize;
+    while written < total {
+        // Slices for everything past the already-accepted prefix.
+        let mut skip = written;
+        let mut slices = Vec::with_capacity(parts.len());
+        for p in &parts {
+            if skip >= p.len() {
+                skip -= p.len();
+                continue;
+            }
+            slices.push(io::IoSlice::new(&p[skip..]));
+            skip = 0;
+        }
+        match w.write_vectored(&slices) {
+            Ok(0) => {
+                return Err((
+                    written,
+                    FrameError::Io(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "writer accepted zero bytes",
+                    )),
+                ))
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err((written, FrameError::Io(e))),
+        }
+    }
+    w.flush().map_err(|e| (written, FrameError::Io(e)))
 }
 
 /// Outcome of filling a buffer from a stream.
@@ -279,6 +351,174 @@ mod tests {
             b"reads"
         );
         assert!(read_frame(&mut r, MAX_FRAME_LEN).unwrap().is_none());
+    }
+
+    /// A writer that counts calls, supports real vectored writes, and
+    /// can cap how many bytes each call accepts (forcing partial-write
+    /// handling). The std default `write_vectored` only writes the
+    /// first non-empty buffer, so a faithful mock must override it the
+    /// way `TcpStream` (writev) does.
+    struct CountingWriter {
+        data: Vec<u8>,
+        calls: usize,
+        per_call_cap: usize,
+    }
+
+    impl CountingWriter {
+        fn new() -> Self {
+            Self {
+                data: Vec::new(),
+                calls: 0,
+                per_call_cap: usize::MAX,
+            }
+        }
+    }
+
+    impl Write for CountingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.calls += 1;
+            let n = self.per_call_cap.min(buf.len());
+            self.data.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+            self.calls += 1;
+            let mut budget = self.per_call_cap;
+            let mut n = 0;
+            for b in bufs {
+                let take = budget.min(b.len());
+                self.data.extend_from_slice(&b[..take]);
+                n += take;
+                budget -= take;
+                if budget == 0 {
+                    break;
+                }
+            }
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn single_frame_is_one_write_call() {
+        // The partial-header regression: header + payload must leave in
+        // one write, so a crash between calls cannot strand a header.
+        let mut w = CountingWriter::new();
+        write_frame(&mut w, b"payload", MAX_FRAME_LEN).unwrap();
+        assert_eq!(w.calls, 1);
+        let mut cursor = &w.data[..];
+        assert_eq!(
+            read_frame(&mut cursor, MAX_FRAME_LEN).unwrap().unwrap(),
+            b"payload"
+        );
+    }
+
+    #[test]
+    fn batch_of_frames_reaches_socket_in_at_most_two_writes() {
+        // The coalescing regression: a queued batch of N frames must
+        // reach the socket in ≤ 2 write calls (one vectored write here).
+        for n in [1usize, 2, 7, 64] {
+            let frames: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; i + 1]).collect();
+            let refs: Vec<&[u8]> = frames.iter().map(Vec::as_slice).collect();
+            let mut w = CountingWriter::new();
+            write_frames_vectored(&mut w, &refs, MAX_FRAME_LEN).unwrap();
+            assert!(w.calls <= 2, "batch of {n} took {} write calls", w.calls);
+            let mut cursor = &w.data[..];
+            for f in &frames {
+                assert_eq!(
+                    read_frame(&mut cursor, MAX_FRAME_LEN).unwrap().unwrap(),
+                    f.as_slice()
+                );
+            }
+            assert!(read_frame(&mut cursor, MAX_FRAME_LEN).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn vectored_batch_survives_partial_writes() {
+        // A writer that accepts 3 bytes per call exercises the
+        // resubmission loop across every header/payload boundary.
+        let frames: Vec<Vec<u8>> = vec![b"alpha".to_vec(), vec![], b"gamma-gamma".to_vec()];
+        let refs: Vec<&[u8]> = frames.iter().map(Vec::as_slice).collect();
+        let mut w = CountingWriter::new();
+        w.per_call_cap = 3;
+        write_frames_vectored(&mut w, &refs, MAX_FRAME_LEN).unwrap();
+        let mut cursor = &w.data[..];
+        for f in &frames {
+            assert_eq!(
+                read_frame(&mut cursor, MAX_FRAME_LEN).unwrap().unwrap(),
+                f.as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn vectored_batch_matches_sequential_write_frame_bytes() {
+        let frames: Vec<&[u8]> = vec![b"one", b"", b"three"];
+        let mut sequential = Vec::new();
+        for f in &frames {
+            write_frame(&mut sequential, f, MAX_FRAME_LEN).unwrap();
+        }
+        let mut w = CountingWriter::new();
+        write_frames_vectored(&mut w, &frames, MAX_FRAME_LEN).unwrap();
+        assert_eq!(w.data, sequential);
+    }
+
+    /// A writer that fails after accepting a fixed number of bytes.
+    struct FailAfter {
+        data: Vec<u8>,
+        remaining: usize,
+    }
+
+    impl Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.write_vectored(&[io::IoSlice::new(buf)])
+        }
+        fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+            if self.remaining == 0 {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "dead"));
+            }
+            let mut n = 0;
+            for b in bufs {
+                let take = self.remaining.min(b.len());
+                self.data.extend_from_slice(&b[..take]);
+                n += take;
+                self.remaining -= take;
+                if self.remaining == 0 {
+                    break;
+                }
+            }
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_error_reports_bytes_accepted() {
+        // Two 4-byte-payload frames are 16 wire bytes; a socket dying
+        // after 11 leaves frame 0 fully accepted and frame 1 partial.
+        let frames: Vec<&[u8]> = vec![b"aaaa", b"bbbb"];
+        let mut w = FailAfter {
+            data: Vec::new(),
+            remaining: 11,
+        };
+        let err = write_frames_vectored(&mut w, &frames, MAX_FRAME_LEN).unwrap_err();
+        assert_eq!(err.0, 11);
+        assert!(matches!(err.1, FrameError::Io(_)));
+    }
+
+    #[test]
+    fn oversized_batch_member_rejected_before_any_write() {
+        let frames: Vec<&[u8]> = vec![b"ok", &[0u8; 2048]];
+        let mut w = CountingWriter::new();
+        let err = write_frames_vectored(&mut w, &frames, 1024).unwrap_err();
+        assert_eq!(err.0, 0);
+        assert!(matches!(err.1, FrameError::TooLarge { .. }));
+        assert!(w.data.is_empty());
     }
 
     #[test]

@@ -135,6 +135,13 @@ impl TcpMesh {
         self.daemons[domain].submit(rar, user_cert);
     }
 
+    /// Submit a burst of user requests to one broker daemon without any
+    /// per-request wait; the daemon batches their signature checks and
+    /// coalesces the outbound frames (see [`BrokerDaemon::submit_all`]).
+    pub fn submit_all(&self, domain: &str, requests: Vec<(SignedRar, Certificate)>) {
+        self.daemons[domain].submit_all(requests);
+    }
+
     /// Request a sub-flow inside an established tunnel at its source
     /// broker.
     pub fn tunnel_flow(

@@ -113,14 +113,26 @@ impl OutQueue {
     /// Dequeue the next frame, blocking until one is available. `None`
     /// means the queue was closed.
     pub fn pop(&self) -> Option<Vec<u8>> {
+        self.pop_batch(1)
+            .map(|mut batch| batch.pop().expect("pop_batch returns at least one frame"))
+    }
+
+    /// Dequeue up to `max` frames in FIFO order, blocking until at least
+    /// one is available. Everything already queued (up to `max`) comes
+    /// out in one call, so a writer can coalesce a burst into a single
+    /// vectored socket write. `None` means the queue was closed.
+    pub fn pop_batch(&self, max: usize) -> Option<Vec<Vec<u8>>> {
+        assert!(max > 0, "a zero-frame batch cannot make progress");
         let mut g = self.lock();
         loop {
             if g.closed {
                 return None;
             }
-            if let Some(f) = g.q.pop_front() {
+            if !g.q.is_empty() {
+                let n = g.q.len().min(max);
+                let batch: Vec<Vec<u8>> = g.q.drain(..n).collect();
                 self.cv.notify_all();
-                return Some(f);
+                return Some(batch);
             }
             g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
         }
@@ -203,6 +215,51 @@ mod tests {
         q.close();
         assert_eq!(consumer.join().unwrap(), None);
         assert_eq!(q.push(vec![9]), PushOutcome::Closed);
+    }
+
+    #[test]
+    fn pop_batch_drains_in_fifo_order_up_to_max() {
+        let q = OutQueue::new(8, OverflowPolicy::Block);
+        for i in 0..5u8 {
+            q.push(vec![i]);
+        }
+        let first = q.pop_batch(3).unwrap();
+        assert_eq!(first, vec![vec![0], vec![1], vec![2]]);
+        let rest = q.pop_batch(16).unwrap();
+        assert_eq!(rest, vec![vec![3], vec![4]]);
+    }
+
+    #[test]
+    fn pop_batch_blocks_until_a_frame_arrives() {
+        let q = Arc::new(OutQueue::new(4, OverflowPolicy::Block));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop_batch(8));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(vec![7]);
+        assert_eq!(consumer.join().unwrap().unwrap(), vec![vec![7]]);
+    }
+
+    #[test]
+    fn pop_batch_wakes_blocked_producers() {
+        let q = Arc::new(OutQueue::new(2, OverflowPolicy::Block));
+        q.push(vec![1]);
+        q.push(vec![2]);
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(vec![3]));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop_batch(2).unwrap(), vec![vec![1], vec![2]]);
+        assert_eq!(producer.join().unwrap(), PushOutcome::Queued);
+        assert_eq!(q.pop_batch(2).unwrap(), vec![vec![3]]);
+    }
+
+    #[test]
+    fn pop_batch_returns_none_on_close() {
+        let q = Arc::new(OutQueue::new(1, OverflowPolicy::Block));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop_batch(4));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
     }
 
     #[test]

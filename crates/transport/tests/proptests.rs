@@ -4,7 +4,11 @@
 
 use proptest::prelude::*;
 use qos_core::channel::Sealed;
-use qos_transport::{read_frame, write_frame, FrameDecoder, PeerMsg, MAX_FRAME_LEN};
+use qos_transport::{
+    read_frame, write_frame, FrameDecoder, OutQueue, OverflowPolicy, PeerMsg, PushOutcome,
+    MAX_FRAME_LEN,
+};
+use std::collections::VecDeque;
 
 fn arb_sealed() -> impl Strategy<Value = Sealed> {
     (
@@ -125,5 +129,61 @@ proptest! {
         while let Ok(Some(frame)) = decoder.next_frame() {
             prop_assert!(frame.len() <= max);
         }
+    }
+
+    /// `pop_batch` agrees with a reference deque under every overflow
+    /// policy: batches come out in FIFO order, never exceed `max`, and
+    /// each push reports the exact outcome the policy dictates.
+    /// (Operations that would block — a full-queue push under `Block`, a
+    /// pop on an empty queue — are skipped, since this is one thread.)
+    #[test]
+    fn pop_batch_preserves_fifo_and_policy(
+        capacity in 1usize..8,
+        policy_sel in 0u8..3,
+        ops in proptest::collection::vec((any::<bool>(), 1usize..6), 1..64),
+    ) {
+        let policy = match policy_sel {
+            0 => OverflowPolicy::Block,
+            1 => OverflowPolicy::DropNewest,
+            _ => OverflowPolicy::DropOldest,
+        };
+        let q = OutQueue::new(capacity, policy);
+        let mut model: VecDeque<Vec<u8>> = VecDeque::new();
+        let mut next_id = 0u8;
+        for (is_push, arg) in ops {
+            if is_push {
+                let frame = vec![next_id];
+                next_id = next_id.wrapping_add(1);
+                let outcome = if model.len() < capacity {
+                    model.push_back(frame.clone());
+                    PushOutcome::Queued
+                } else {
+                    match policy {
+                        OverflowPolicy::Block => continue, // would block
+                        OverflowPolicy::DropNewest => PushOutcome::DroppedNewest,
+                        OverflowPolicy::DropOldest => {
+                            model.pop_front();
+                            model.push_back(frame.clone());
+                            PushOutcome::DroppedOldest
+                        }
+                    }
+                };
+                prop_assert_eq!(q.push(frame), outcome);
+            } else {
+                if model.is_empty() {
+                    continue; // would block
+                }
+                let n = model.len().min(arg);
+                let want: Vec<Vec<u8>> = model.drain(..n).collect();
+                prop_assert_eq!(q.pop_batch(arg).unwrap(), want);
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
+        // Drain whatever is left; it must be the model's remainder, in order.
+        while !model.is_empty() {
+            let want: Vec<Vec<u8>> = model.drain(..model.len().min(3)).collect();
+            prop_assert_eq!(q.pop_batch(3).unwrap(), want);
+        }
+        prop_assert!(q.is_empty());
     }
 }

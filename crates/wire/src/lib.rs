@@ -73,6 +73,15 @@ pub fn to_bytes<T: Encode>(value: &T) -> Vec<u8> {
     value.encode_to_vec()
 }
 
+/// Encode `value` onto the end of `buf`, reusing its allocation — the
+/// hot-path alternative to [`to_bytes`] for callers that encode many
+/// values per pass into one scratch buffer.
+pub fn encode_into<T: Encode>(value: &T, buf: &mut Vec<u8>) {
+    let mut w = Writer::from_vec(std::mem::take(buf));
+    value.encode(&mut w);
+    *buf = w.into_bytes();
+}
+
 /// Decode a value from `bytes`, requiring that all input is consumed.
 ///
 /// Trailing bytes are an error: a signed message with appended junk must

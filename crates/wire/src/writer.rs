@@ -22,6 +22,13 @@ impl Writer {
         }
     }
 
+    /// Create a writer that appends to `buf`, reusing its allocation.
+    /// Existing bytes are kept; [`Writer::into_bytes`] returns them with
+    /// the encoding appended.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Self { buf }
+    }
+
     /// Bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()

@@ -44,21 +44,26 @@ fn traced_reservation() -> (
 
 #[test]
 fn histogram_bucket_boundaries() {
-    // Bucket i covers (2^(i-1), 2^i]; bucket 0 holds 0 and 1.
-    assert_eq!(bucket_index(0), 0);
-    assert_eq!(bucket_index(1), 0);
-    assert_eq!(bucket_index(2), 1);
-    assert_eq!(bucket_index(3), 2);
-    assert_eq!(bucket_index(4), 2);
-    assert_eq!(bucket_index(5), 3);
-    for k in 1..63 {
-        let v = 1u64 << k;
-        assert_eq!(bucket_index(v), k, "2^{k} sits in bucket {k}");
-        assert_eq!(bucket_index(v + 1), k + 1, "2^{k}+1 spills to {}", k + 1);
-        assert!(v <= bucket_bound(bucket_index(v)));
+    // Log-linear buckets: 0..8 exact, then 8 linear sub-buckets per
+    // power-of-two range, so a bucket bound overstates any value it
+    // covers by at most 12.5%.
+    for v in 0..8u64 {
+        assert_eq!(bucket_index(v), v as usize);
+        assert_eq!(bucket_bound(v as usize), v);
     }
-    assert_eq!(bucket_bound(63), u64::MAX);
-    assert_eq!(bucket_index(u64::MAX), 63);
+    for k in 3..63 {
+        let v = 1u64 << k;
+        let i = bucket_index(v);
+        assert!(v <= bucket_bound(i), "2^{k} within its bound");
+        assert_eq!(bucket_index(bucket_bound(i)), i, "2^{k} bound round-trip");
+        let bound = bucket_bound(i);
+        assert!((bound - v) as f64 <= v as f64 * 0.125, "2^{k} error bound");
+    }
+    assert_eq!(
+        bucket_bound(bucket_index(u64::MAX)),
+        u64::MAX,
+        "top bucket is unbounded"
+    );
 }
 
 #[test]
@@ -70,11 +75,15 @@ fn histogram_percentiles_are_bucket_upper_bounds() {
     }
     assert_eq!(h.count(), 1000);
     assert_eq!(h.sum(), 500_500);
-    // Rank 500 is value 500 → bucket le=512; rank 950 → le=1024.
-    assert_eq!(h.p50(), 512);
-    assert_eq!(h.p95(), 1024);
-    assert_eq!(h.p99(), 1024);
-    assert_eq!(h.quantile(1.0), 1024);
+    // Rank 500 is value 500 → bucket 480..=511; rank 950 → 896..=959;
+    // rank 990 → 960..=1023. The percentiles stay distinct — under the
+    // old power-of-two buckets p50 collapsed to 512 and p95/p99/max all
+    // collapsed to 1024.
+    assert_eq!(h.p50(), 511);
+    assert_eq!(h.p95(), 959);
+    assert_eq!(h.p99(), 1023);
+    assert_eq!(h.quantile(1.0), 1023);
+    assert!(h.p95() < h.p99(), "p95 and p99 distinguishable");
 }
 
 #[test]
