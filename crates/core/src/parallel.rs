@@ -59,9 +59,13 @@ where
 ///
 /// This is the *attribution* path: [`qos_crypto::verify_batch`] answers
 /// "are they all valid?" with one multi-exponentiation, and this
-/// answers "which one is not?" when that combined check fails.
+/// answers "which one is not?" when that combined check fails. Each
+/// check goes through the process-wide verification cache, so the good
+/// items of a poisoned batch (typically all but one) cost a hash each.
 pub fn verify_each(items: &[(&[u8], PublicKey, Signature)]) -> Vec<bool> {
-    parallel_map(items, |&(msg, pk, sig)| pk.verify(msg, &sig))
+    parallel_map(items, |&(msg, pk, sig)| {
+        qos_crypto::vcache::verify(msg, pk, &sig)
+    })
 }
 
 #[cfg(test)]

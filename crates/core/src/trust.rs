@@ -22,10 +22,15 @@
 use crate::envelope::{RarLayer, SignedRar};
 use crate::error::CoreError;
 use crate::rar::ResSpec;
+use qos_crypto::sha256::{sha256, Digest};
 use qos_crypto::{
-    Certificate, CertificateDirectory, DistinguishedName, PublicKey, Timestamp, TrustPolicy,
+    Certificate, CertificateDirectory, DistinguishedName, PublicKey, Signature, Timestamp,
+    TrustPolicy,
 };
 use qos_policy::AttributeSet;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Where a verifier obtains upstream public keys.
 pub enum KeySource<'a> {
@@ -56,6 +61,163 @@ pub struct VerifiedRar {
     pub attachments: AttributeSet,
 }
 
+/// Default bound on memoized envelope verdicts (process-wide).
+pub const RAR_MEMO_DEFAULT_CAPACITY: usize = 256;
+
+struct MemoEntry {
+    /// The outermost layer's signature. The memo key digests the outer
+    /// layer *bytes* (which bind every inner layer, certificate, and
+    /// signature), but not the outer signature itself — so a hit
+    /// additionally requires signature equality, exactly like the
+    /// verify cache.
+    sig: Signature,
+    verified: VerifiedRar,
+    stamp: u64,
+}
+
+struct RarMemo {
+    map: HashMap<Digest, MemoEntry>,
+    tick: u64,
+    cap: usize,
+}
+
+impl Default for RarMemo {
+    fn default() -> Self {
+        RarMemo {
+            map: HashMap::new(),
+            tick: 0,
+            cap: RAR_MEMO_DEFAULT_CAPACITY,
+        }
+    }
+}
+
+struct MemoCounters {
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+    evictions: Arc<AtomicU64>,
+}
+
+fn memo() -> &'static Mutex<RarMemo> {
+    static MEMO: OnceLock<Mutex<RarMemo>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(RarMemo::default()))
+}
+
+fn memo_counters() -> &'static MemoCounters {
+    static COUNTERS: OnceLock<MemoCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| MemoCounters {
+        hits: Arc::new(AtomicU64::new(0)),
+        misses: Arc::new(AtomicU64::new(0)),
+        evictions: Arc::new(AtomicU64::new(0)),
+    })
+}
+
+/// The envelope-verdict memo's counter cells, for registering with a
+/// metrics registry (`cache_{hits,misses,evictions}_total{cache="rar"}`).
+pub fn rar_memo_counter_cells() -> (Arc<AtomicU64>, Arc<AtomicU64>, Arc<AtomicU64>) {
+    let c = memo_counters();
+    (
+        Arc::clone(&c.hits),
+        Arc::clone(&c.misses),
+        Arc::clone(&c.evictions),
+    )
+}
+
+/// `(hits, misses, evictions)` of the envelope-verdict memo so far.
+pub fn rar_memo_stats() -> (u64, u64, u64) {
+    let c = memo_counters();
+    (
+        c.hits.load(Ordering::Relaxed),
+        c.misses.load(Ordering::Relaxed),
+        c.evictions.load(Ordering::Relaxed),
+    )
+}
+
+/// Drop every memoized envelope verdict (counters are preserved).
+pub fn clear_rar_memo() {
+    memo().lock().unwrap_or_else(|e| e.into_inner()).map.clear();
+}
+
+/// Resize the envelope-verdict memo. `0` disables memoization entirely
+/// (lookups bypass the memo without counting misses) — the D10 ablation's
+/// "caches off" configuration. Shrinking below the current population
+/// drops all entries.
+pub fn set_rar_memo_capacity(cap: usize) {
+    let mut g = memo().lock().unwrap_or_else(|e| e.into_inner());
+    g.cap = cap;
+    if g.map.len() > cap {
+        g.map.clear();
+    }
+}
+
+/// The memo key binds everything that can change the verdict: the full
+/// envelope (one digest of the outermost layer's canonical bytes, which
+/// nest every inner layer, certificate, signature, and attachment), the
+/// a-priori peer key, the verifier's own DN, the chain-depth bound, and
+/// the validity instant. Only the outer signature stays outside the
+/// digest; [`MemoEntry::sig`] covers it.
+fn memo_key(
+    rar: &SignedRar,
+    outer_pk: PublicKey,
+    self_dn: &DistinguishedName,
+    policy: TrustPolicy,
+    now: Timestamp,
+) -> Digest {
+    let outer = sha256(rar.layer_bytes());
+    let dn = qos_wire::to_bytes(self_dn);
+    let mut feed = Vec::with_capacity(outer.len() + dn.len() + 24);
+    feed.extend_from_slice(&outer);
+    feed.extend_from_slice(&outer_pk.0.to_le_bytes());
+    feed.extend_from_slice(&dn);
+    feed.extend_from_slice(&(policy.max_chain_depth as u64).to_le_bytes());
+    feed.extend_from_slice(&now.0.to_le_bytes());
+    sha256(&feed)
+}
+
+fn memo_lookup(key: &Digest, sig: &Signature) -> Option<VerifiedRar> {
+    let c = memo_counters();
+    let mut g = memo().lock().unwrap_or_else(|e| e.into_inner());
+    if g.cap == 0 {
+        return None;
+    }
+    g.tick += 1;
+    let tick = g.tick;
+    match g.map.get_mut(key) {
+        Some(e) if e.sig == *sig => {
+            e.stamp = tick;
+            c.hits.fetch_add(1, Ordering::Relaxed);
+            Some(e.verified.clone())
+        }
+        _ => {
+            c.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+fn memo_insert(key: Digest, sig: Signature, verified: VerifiedRar) {
+    let c = memo_counters();
+    let mut g = memo().lock().unwrap_or_else(|e| e.into_inner());
+    if g.cap == 0 {
+        return;
+    }
+    g.tick += 1;
+    let tick = g.tick;
+    if g.map.len() >= g.cap && !g.map.contains_key(&key) {
+        if let Some(victim) = g.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k) {
+            g.map.remove(&victim);
+            c.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    g.map.insert(
+        key,
+        MemoEntry {
+            sig,
+            verified,
+            stamp: tick,
+        },
+    );
+}
+
 /// Verify a received envelope.
 ///
 /// * `outer_pk` — the direct peer's public key (SLA-pinned, confirmed by
@@ -65,6 +227,14 @@ pub struct VerifiedRar {
 /// * `policy` — local chain-depth bound;
 /// * `now` — certificate validity instant;
 /// * `keys` — where upstream keys come from (D3 ablation).
+///
+/// Successful introducer-walk verdicts are memoized process-wide: the
+/// steady state re-verifies byte-identical envelopes (retries, the
+/// two-phase commit leg, tunnel re-validation), and a memo hit costs
+/// one digest of the received bytes instead of the full structural walk
+/// plus per-layer signature work. Directory-backed verification
+/// ([`KeySource::Directory`]) is never memoized — the directory is live
+/// state outside the key.
 pub fn verify_rar(
     rar: &SignedRar,
     outer_pk: PublicKey,
@@ -73,6 +243,16 @@ pub fn verify_rar(
     now: Timestamp,
     keys: &KeySource<'_>,
 ) -> Result<VerifiedRar, CoreError> {
+    // Fast path: a byte-identical envelope already verified under this
+    // exact (peer key, own DN, depth bound, clock) context.
+    let key = matches!(keys, KeySource::Introducers)
+        .then(|| memo_key(rar, outer_pk, self_dn, policy, now));
+    if let Some(key) = &key {
+        if let Some(verified) = memo_lookup(key, &rar.signature) {
+            return Ok(verified);
+        }
+    }
+
     // Depth bound: broker layers beyond the user's.
     let depth = rar.depth().saturating_sub(1);
     if depth > policy.max_chain_depth {
@@ -186,7 +366,7 @@ pub fn verify_rar(
         }
     };
 
-    if !qos_crypto::verify_batch(&batch) {
+    if !qos_crypto::vcache::verify_batch_cached(&batch) {
         // Attribute: find the first layer (outermost-first) whose
         // signature fails on its own. The layers are independent, so
         // check them concurrently on the worker pool.
@@ -206,6 +386,9 @@ pub fn verify_rar(
         });
     }
 
+    if let Some(key) = key {
+        memo_insert(key, rar.signature, verified.clone());
+    }
     Ok(verified)
 }
 
@@ -548,5 +731,89 @@ mod tests {
             err,
             CoreError::Crypto(qos_crypto::CryptoError::Expired { .. })
         ));
+    }
+
+    #[test]
+    fn memoized_verdict_equals_fresh_verification() {
+        let mut f = fix();
+        let rar = build(&mut f, 3);
+        let args = (
+            f.bb[2].public(),
+            DistinguishedName::broker("domain-d"),
+            TrustPolicy::default(),
+            Timestamp(0),
+        );
+        let first = verify_rar(
+            &rar,
+            args.0,
+            &args.1,
+            args.2,
+            args.3,
+            &KeySource::Introducers,
+        )
+        .unwrap();
+        let (hits_before, _, _) = rar_memo_stats();
+        let replay = verify_rar(
+            &rar,
+            args.0,
+            &args.1,
+            args.2,
+            args.3,
+            &KeySource::Introducers,
+        )
+        .unwrap();
+        let (hits_after, _, _) = rar_memo_stats();
+        assert!(
+            hits_after > hits_before,
+            "byte-identical re-verification must hit the memo"
+        );
+        assert_eq!(replay, first);
+        // Any key-context change falls off the fast path: a different
+        // validity instant re-runs the full walk (and, here, still
+        // succeeds against unbounded certificates).
+        let (_, misses_before, _) = rar_memo_stats();
+        let shifted = verify_rar(
+            &rar,
+            args.0,
+            &args.1,
+            args.2,
+            Timestamp(1),
+            &KeySource::Introducers,
+        )
+        .unwrap();
+        let (_, misses_after, _) = rar_memo_stats();
+        assert!(misses_after > misses_before);
+        assert_eq!(shifted, first);
+    }
+
+    #[test]
+    fn memo_never_accepts_tampered_outer_signature() {
+        let mut f = fix();
+        let rar = build(&mut f, 2);
+        // Warm the memo with the genuine envelope…
+        verify_rar(
+            &rar,
+            f.bb[1].public(),
+            &DistinguishedName::broker("domain-c"),
+            TrustPolicy::default(),
+            Timestamp(0),
+            &KeySource::Introducers,
+        )
+        .unwrap();
+        // …then present the same bytes under a corrupted outer signature.
+        // The memo key matches, but the stored-signature equality check
+        // must push it back onto the full (rejecting) path.
+        let mut forged = rar;
+        forged.signature.s ^= 1;
+        let err = verify_rar(
+            &forged,
+            f.bb[1].public(),
+            &DistinguishedName::broker("domain-c"),
+            TrustPolicy::default(),
+            Timestamp(0),
+            &KeySource::Introducers,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::LayerSignature { .. }));
     }
 }

@@ -159,6 +159,20 @@ impl Certificate {
         }
     }
 
+    /// Verify the issuer signature through the process-wide verification
+    /// cache ([`crate::vcache`]): a certificate already verified under
+    /// `issuer_pk` costs one hash and a map lookup instead of a Schnorr
+    /// verification. `now` is used only to expire cached entries whose
+    /// validity window has lapsed — callers still enforce validity with
+    /// [`Certificate::check_validity`].
+    pub fn verify_signature_cached(
+        &self,
+        issuer_pk: PublicKey,
+        now: Timestamp,
+    ) -> Result<(), CryptoError> {
+        crate::vcache::global().verify_cert(self, issuer_pk, now)
+    }
+
     /// Check the validity window.
     pub fn check_validity(&self, at: Timestamp) -> Result<(), CryptoError> {
         if self.tbs.validity.contains(at) {

@@ -192,7 +192,10 @@ impl DelegationChain {
         if !first.is_capability_certificate() {
             return Err(CryptoError::NotACapabilityCertificate);
         }
-        first.verify_signature(cas_pk)?;
+        // Chains are re-presented at every hop of every RAR using them;
+        // the verification cache makes the steady-state link checks one
+        // hash each (validity is still re-checked on every pass).
+        first.verify_signature_cached(cas_pk, now)?;
         first.check_validity(now)?;
 
         let mut prev = first;
@@ -209,7 +212,7 @@ impl DelegationChain {
                     found: cert.tbs.issuer.clone(),
                 });
             }
-            cert.verify_signature(prev.tbs.subject_public_key)?;
+            cert.verify_signature_cached(prev.tbs.subject_public_key, now)?;
             cert.check_validity(now)?;
 
             // Step 7 ("validity of all capabilities … whether some entity

@@ -30,6 +30,7 @@ pub mod keystore;
 pub mod schnorr;
 pub mod sha256;
 pub mod time;
+pub mod vcache;
 
 pub use cert::{
     Certificate, CertificateAuthority, Extension, Restriction, TbsCertificate, Validity,

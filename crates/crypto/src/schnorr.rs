@@ -36,7 +36,28 @@ use crate::sha256::{sha256, Sha256};
 use qos_wire::{Decode, Encode, Reader, WireError, Writer};
 use rand::Rng;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
+
+/// Process-wide count of signing operations. Cheap enough to keep always
+/// on (one relaxed add per sign); lets tests and benches assert how much
+/// public-key crypto a protocol exchange actually performed — e.g. that
+/// a resumed transport handshake signs *nothing*.
+static SIGN_OPS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of single-signature verification operations
+/// (batch verifications count one per item they actually check).
+static VERIFY_OPS: AtomicU64 = AtomicU64::new(0);
+
+/// Total [`KeyPair::sign`] calls in this process so far.
+pub fn sign_ops() -> u64 {
+    SIGN_OPS.load(Ordering::Relaxed)
+}
+
+/// Total signature verifications in this process so far.
+pub fn verify_ops() -> u64 {
+    VERIFY_OPS.load(Ordering::Relaxed)
+}
 
 /// A Schnorr public key (a group element).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -101,6 +122,7 @@ impl KeyPair {
 
     /// Sign a message.
     pub fn sign(&self, msg: &[u8]) -> Signature {
+        SIGN_OPS.fetch_add(1, Ordering::Relaxed);
         // Deterministic nonce: k = H(x ‖ m), never reused across messages.
         let mut h = Sha256::new();
         h.update(&self.secret.to_le_bytes());
@@ -177,6 +199,7 @@ impl PublicKey {
 
     /// Verify a signature over `msg`: `g^s == r · y^e`.
     pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        VERIFY_OPS.fetch_add(1, Ordering::Relaxed);
         if !self.in_range(sig) {
             return false;
         }
@@ -227,6 +250,7 @@ pub fn verify_batch(items: &[(&[u8], PublicKey, Signature)]) -> bool {
         [(msg, pk, sig)] => return pk.verify(msg, sig),
         _ => {}
     }
+    VERIFY_OPS.fetch_add(items.len() as u64, Ordering::Relaxed);
 
     for (_, pk, sig) in items {
         if !pk.in_range(sig) {

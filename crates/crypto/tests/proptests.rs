@@ -119,6 +119,66 @@ proptest! {
         prop_assert_eq!(qos_crypto::verify_batch(&items), individual);
     }
 
+    /// The verification cache is verdict-transparent: across arbitrary
+    /// interleavings of valid and corrupted signatures — with repeats,
+    /// so both the hit and the miss path are exercised — a cached
+    /// verification agrees bit-for-bit with a fresh Schnorr
+    /// verification.
+    #[test]
+    fn cached_verification_agrees_with_fresh_schnorr(
+        ops in proptest::collection::vec((0usize..3, 0usize..3, any::<bool>()), 1..40),
+    ) {
+        let cache = qos_crypto::vcache::VerifyCache::new(16);
+        let keys: Vec<KeyPair> = (0..3u8).map(|i| KeyPair::from_seed(&[i, 0xCA])).collect();
+        let msgs: [&[u8]; 3] = [b"msg-0", b"msg-one", b"message-two"];
+        let sigs: Vec<Vec<qos_crypto::Signature>> = keys
+            .iter()
+            .map(|k| msgs.iter().map(|m| k.sign(m)).collect())
+            .collect();
+        for (ki, mi, tamper) in ops {
+            let mut sig = sigs[ki][mi];
+            if tamper {
+                sig.s ^= 1;
+            }
+            let fresh = keys[ki].public().verify(msgs[mi], &sig);
+            prop_assert_eq!(cache.verify(msgs[mi], keys[ki].public(), &sig), fresh);
+        }
+    }
+
+    /// Certificate verification through the cache agrees with the fresh
+    /// verdict across valid and tampered certificates and arbitrary
+    /// clock positions relative to the validity window (the cache's
+    /// expiry-eviction must never change a verdict — validity itself is
+    /// the caller's check).
+    #[test]
+    fn cached_cert_verification_agrees_with_fresh(
+        ops in proptest::collection::vec((0usize..3, any::<bool>(), 0u64..2000), 1..32),
+    ) {
+        let cache = qos_crypto::vcache::VerifyCache::new(16);
+        let mut ca = CertificateAuthority::new(
+            DistinguishedName::authority("CA"),
+            KeyPair::from_seed(b"pc-ca"),
+        );
+        let certs: Vec<Certificate> = (0..3u8)
+            .map(|i| {
+                ca.issue_identity(
+                    DistinguishedName::user(&format!("u{i}"), "O"),
+                    KeyPair::from_seed(&[i, 0xCE]).public(),
+                    Validity::starting_at(Timestamp(0), 1000),
+                )
+            })
+            .collect();
+        for (ci, tamper, now) in ops {
+            let mut cert = certs[ci].clone();
+            if tamper {
+                cert.signature.s ^= 1;
+            }
+            let fresh = cert.verify_signature(ca.public_key()).is_ok();
+            let cached = cache.verify_cert(&cert, ca.public_key(), Timestamp(now)).is_ok();
+            prop_assert_eq!(cached, fresh);
+        }
+    }
+
     /// Certificates round-trip through the wire encoding with extensions
     /// of every kind.
     #[test]

@@ -14,10 +14,15 @@ use crate::ast::Decision;
 use crate::attr::{AttributeSet, Value};
 use crate::eval::{evaluate, EvalError, Outcome, PolicyEnv};
 use crate::group::GroupServer;
-use crate::parser::{parse, ParseError};
+use crate::parser::{parse_cached, ParseError};
 use crate::request::PolicyRequest;
 use crate::Policy;
+use qos_crypto::sha256::{Digest, Sha256};
 use qos_telemetry::{Counter, Histogram, StdClock, Telemetry};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
 
 /// Live per-domain state the policy can reference.
 #[derive(Debug, Clone)]
@@ -77,10 +82,31 @@ impl From<Outcome> for PolicyDecision {
 #[derive(Default)]
 struct PdpInstruments {
     eval_ns: Histogram,
+    parse_ns: Histogram,
     grants: Counter,
     denies: Counter,
     errors: Counter,
     live: bool,
+}
+
+/// Bound on memoized decisions per PDP. Steady-state traffic in the
+/// paper's scenarios revisits a handful of (requestor, spec) shapes, so
+/// a small bound holds the whole working set; eviction is min-stamp LRU.
+const DECISION_CACHE_CAP: usize = 1024;
+
+/// One memoized decision.
+struct CachedDecision {
+    decision: PolicyDecision,
+    stamp: u64,
+}
+
+/// Interior-mutable memoization state, shared by `decide` (decision
+/// memo) and the evaluation environment (group-membership memo).
+#[derive(Default)]
+struct PdpCache {
+    decisions: HashMap<Digest, CachedDecision>,
+    members: HashMap<(String, String), bool>,
+    tick: u64,
 }
 
 /// A policy decision point for one domain.
@@ -88,16 +114,34 @@ pub struct PolicyServer {
     policy: Policy,
     groups: GroupServer,
     instruments: PdpInstruments,
+    /// Bumped on every policy or group mutation; part of every cache
+    /// key, so stale entries can never match even before they are
+    /// physically cleared.
+    generation: u64,
+    cache: Mutex<PdpCache>,
+    cache_hits: Arc<AtomicU64>,
+    cache_misses: Arc<AtomicU64>,
+    cache_evictions: Arc<AtomicU64>,
+    /// Nanoseconds spent parsing in `from_source`, held until telemetry
+    /// is attached (parsing happens at construction, before
+    /// `set_telemetry` can have run).
+    pending_parse_ns: Vec<u64>,
 }
 
 impl PolicyServer {
     /// Build a PDP from policy source text and a group server.
+    ///
+    /// Parsing goes through [`parse_cached`], so brokers (re)built from
+    /// the same scenario source share one parse; the observed parse time
+    /// — cached or not — is reported as `pdp_parse_ns` once telemetry is
+    /// attached, keeping parse cost visible separately from `pdp_eval_ns`.
     pub fn from_source(policy_src: &str, groups: GroupServer) -> Result<Self, ParseError> {
-        Ok(Self {
-            policy: parse(policy_src)?,
-            groups,
-            instruments: PdpInstruments::default(),
-        })
+        let t0 = StdClock::now();
+        let policy = parse_cached(policy_src)?;
+        let parse_ns = StdClock::now().saturating_sub(t0);
+        let mut server = Self::new(policy, groups);
+        server.pending_parse_ns.push(parse_ns);
+        Ok(server)
     }
 
     /// Build a PDP from an already-parsed policy.
@@ -106,16 +150,27 @@ impl PolicyServer {
             policy,
             groups,
             instruments: PdpInstruments::default(),
+            generation: 0,
+            cache: Mutex::new(PdpCache::default()),
+            cache_hits: Arc::new(AtomicU64::new(0)),
+            cache_misses: Arc::new(AtomicU64::new(0)),
+            cache_evictions: Arc::new(AtomicU64::new(0)),
+            pending_parse_ns: Vec::new(),
         }
     }
 
     /// Route this PDP's instruments into `telemetry` under `domain`:
-    /// evaluation latency (`pdp_eval_ns`) and decision counters
-    /// (`pdp_decisions_total{decision=grant|deny|error}`).
+    /// evaluation latency (`pdp_eval_ns`), parse latency (`pdp_parse_ns`,
+    /// observed separately so steady-state evaluation cost is not
+    /// conflated with one-time compilation), decision counters
+    /// (`pdp_decisions_total{decision=grant|deny|error}`), and the
+    /// decision-cache counters
+    /// (`cache_{hits,misses,evictions}_total{cache="pdp"}`).
     pub fn set_telemetry(&mut self, telemetry: &Telemetry, domain: &str) {
         let dl: &[(&str, &str)] = &[("domain", domain)];
         self.instruments = PdpInstruments {
             eval_ns: telemetry.histogram("pdp_eval_ns", "Policy evaluation time (ns)", dl),
+            parse_ns: telemetry.histogram("pdp_parse_ns", "Policy parse time (ns)", dl),
             grants: telemetry.counter(
                 "pdp_decisions_total",
                 "PDP decisions by outcome",
@@ -133,6 +188,28 @@ impl PolicyServer {
             ),
             live: telemetry.is_enabled(),
         };
+        for ns in self.pending_parse_ns.drain(..) {
+            self.instruments.parse_ns.observe(ns);
+        }
+        let cl: &[(&str, &str)] = &[("cache", "pdp"), ("domain", domain)];
+        telemetry.register_counter(
+            "cache_hits_total",
+            "Memoization cache hits, by cache",
+            cl,
+            self.cache_hits.clone(),
+        );
+        telemetry.register_counter(
+            "cache_misses_total",
+            "Memoization cache misses, by cache",
+            cl,
+            self.cache_misses.clone(),
+        );
+        telemetry.register_counter(
+            "cache_evictions_total",
+            "Memoization cache evictions, by cache",
+            cl,
+            self.cache_evictions.clone(),
+        );
     }
 
     /// The group server this PDP consults.
@@ -141,7 +218,12 @@ impl PolicyServer {
     }
 
     /// Mutable access to the group server (membership administration).
+    ///
+    /// Taking this handle bumps the policy generation: membership *may*
+    /// change under it, and every memoized decision or membership verdict
+    /// predates the change, so the caches are invalidated wholesale.
     pub fn groups_mut(&mut self) -> &mut GroupServer {
+        self.bump_generation();
         &mut self.groups
     }
 
@@ -150,36 +232,153 @@ impl PolicyServer {
         &self.policy
     }
 
-    /// Replace the policy.
+    /// Replace the policy. Bumps the generation, invalidating every
+    /// cached decision made under the old policy.
     pub fn set_policy(&mut self, policy: Policy) {
         self.policy = policy;
+        self.bump_generation();
+    }
+
+    /// The current policy generation (bumped on any policy or group
+    /// mutation; cache keys include it).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Decision-cache `(hits, misses, evictions)` since construction.
+    pub fn cache_stats(&self) -> (u64, u64, u64) {
+        (
+            self.cache_hits.load(Relaxed),
+            self.cache_misses.load(Relaxed),
+            self.cache_evictions.load(Relaxed),
+        )
+    }
+
+    /// Number of decisions currently memoized.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().unwrap().decisions.len()
+    }
+
+    fn bump_generation(&mut self) {
+        self.generation += 1;
+        let mut cache = self.cache.lock().unwrap();
+        cache.decisions.clear();
+        cache.members.clear();
+    }
+
+    /// Canonical cache key: generation, live domain variables, and every
+    /// request attribute that can influence evaluation. Each field is
+    /// length-prefixed before hashing so adjacent fields cannot alias.
+    fn cache_key(&self, req: &PolicyRequest, vars: &DomainVars) -> Digest {
+        let mut h = Sha256::new();
+        let feed = |h: &mut Sha256, bytes: &[u8]| {
+            h.update(&(bytes.len() as u64).to_le_bytes());
+            h.update(bytes);
+        };
+        h.update(&self.generation.to_le_bytes());
+        h.update(&vars.avail_bw_bps.to_le_bytes());
+        h.update(&vars.now_minutes.to_le_bytes());
+        feed(&mut h, vars.domain.as_bytes());
+        feed(&mut h, format!("{:?}", req.requestor).as_bytes());
+        for (k, v) in req.attrs.iter() {
+            feed(&mut h, k.as_bytes());
+            feed(&mut h, format!("{v:?}").as_bytes());
+        }
+        feed(&mut h, format!("{:?}", req.assertions).as_bytes());
+        feed(&mut h, format!("{:?}", req.capabilities).as_bytes());
+        h.finalize()
+    }
+
+    fn cache_lookup(&self, key: &Digest) -> Option<PolicyDecision> {
+        let mut cache = self.cache.lock().unwrap();
+        cache.tick += 1;
+        let tick = cache.tick;
+        match cache.decisions.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = tick;
+                self.cache_hits.fetch_add(1, Relaxed);
+                Some(entry.decision.clone())
+            }
+            None => {
+                self.cache_misses.fetch_add(1, Relaxed);
+                None
+            }
+        }
+    }
+
+    fn cache_insert(&self, key: Digest, decision: PolicyDecision) {
+        let mut cache = self.cache.lock().unwrap();
+        if cache.decisions.len() >= DECISION_CACHE_CAP && !cache.decisions.contains_key(&key) {
+            if let Some(oldest) = cache
+                .decisions
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+            {
+                cache.decisions.remove(&oldest);
+                self.cache_evictions.fetch_add(1, Relaxed);
+            }
+        }
+        cache.tick += 1;
+        let stamp = cache.tick;
+        cache
+            .decisions
+            .insert(key, CachedDecision { decision, stamp });
     }
 
     /// Evaluate the local policy against `req`.
+    ///
+    /// Decisions are memoized under a canonical key covering the policy
+    /// generation, the domain variables, and the full request shape. A
+    /// repeated steady-state request is served from the memo without
+    /// re-walking the AST. Two classes of outcome are never cached:
+    /// evaluation errors, and any decision whose evaluation consulted
+    /// the [`ReservationOracle`] — the oracle reads live broker state
+    /// that no cache key here can see. `pdp_decisions_total` counts
+    /// cached and fresh decisions alike; `pdp_eval_ns` observes only
+    /// real evaluations.
     pub fn decide(
         &self,
         req: &PolicyRequest,
         vars: &DomainVars,
         oracle: &dyn ReservationOracle,
     ) -> Result<PolicyDecision, EvalError> {
+        let key = self.cache_key(req, vars);
+        if let Some(decision) = self.cache_lookup(&key) {
+            if self.instruments.live {
+                if decision.decision.is_grant() {
+                    self.instruments.grants.inc();
+                } else {
+                    self.instruments.denies.inc();
+                }
+            }
+            return Ok(decision);
+        }
+        let oracle_used = Cell::new(false);
         let env = Env {
             req,
             vars,
             oracle,
             groups: &self.groups,
+            memo: &self.cache,
+            oracle_used: &oracle_used,
         };
-        if !self.instruments.live {
-            return evaluate(&self.policy, &env).map(PolicyDecision::from);
-        }
         let t0 = StdClock::now();
         let result = evaluate(&self.policy, &env).map(PolicyDecision::from);
-        self.instruments
-            .eval_ns
-            .observe(StdClock::now().saturating_sub(t0));
-        match &result {
-            Ok(d) if d.decision.is_grant() => self.instruments.grants.inc(),
-            Ok(_) => self.instruments.denies.inc(),
-            Err(_) => self.instruments.errors.inc(),
+        if self.instruments.live {
+            self.instruments
+                .eval_ns
+                .observe(StdClock::now().saturating_sub(t0));
+            match &result {
+                Ok(d) if d.decision.is_grant() => self.instruments.grants.inc(),
+                Ok(_) => self.instruments.denies.inc(),
+                Err(_) => self.instruments.errors.inc(),
+            }
+        }
+        if let Ok(decision) = &result {
+            if !oracle_used.get() {
+                self.cache_insert(key, decision.clone());
+            }
         }
         result
     }
@@ -190,6 +389,8 @@ struct Env<'a> {
     vars: &'a DomainVars,
     oracle: &'a dyn ReservationOracle,
     groups: &'a GroupServer,
+    memo: &'a Mutex<PdpCache>,
+    oracle_used: &'a Cell<bool>,
 }
 
 impl Env<'_> {
@@ -199,6 +400,19 @@ impl Env<'_> {
             .common_name()
             .unwrap_or_default()
             .to_string()
+    }
+
+    /// Group-membership check through the PDP-wide memo. The memo is
+    /// cleared on every generation bump, so it can never serve a verdict
+    /// that predates a membership change.
+    fn member_cached(&self, group: &str, user: &str) -> bool {
+        let key = (group.to_ascii_lowercase(), user.to_ascii_lowercase());
+        if let Some(&v) = self.memo.lock().unwrap().members.get(&key) {
+            return v;
+        }
+        let v = self.groups.is_member(group, user);
+        self.memo.lock().unwrap().members.insert(key, v);
+        v
     }
 }
 
@@ -247,7 +461,7 @@ impl PolicyEnv for Env<'_> {
             // rule, validated against the local group server.
             "accredited_physicist" => {
                 let who = string_arg(name, args, 0)?;
-                Ok(Value::Bool(self.groups.is_member("physicists", &who)))
+                Ok(Value::Bool(self.member_cached("physicists", &who)))
             }
             // General form: `Member(group, user)` or `Member(group)`
             // (defaulting to the requestor).
@@ -264,7 +478,7 @@ impl PolicyEnv for Env<'_> {
                     .claimed_groups()
                     .iter()
                     .any(|g| g.eq_ignore_ascii_case(&group));
-                Ok(Value::Bool(claimed && self.groups.is_member(&group, &user)))
+                Ok(Value::Bool(claimed && self.member_cached(&group, &user)))
             }
             // `Has_Capability("ESnet:member")` — exact capability
             // attribute possession.
@@ -291,6 +505,7 @@ impl PolicyEnv for Env<'_> {
                         })
                     }
                 };
+                self.oracle_used.set(true);
                 Ok(Value::Bool(self.oracle.has_valid_cpu_reservation(id)))
             }
             other => Err(EvalError::UnknownFunction(other.to_string())),
@@ -505,6 +720,123 @@ mod tests {
             Some(&Value::Str("atlas".into()))
         );
         assert_eq!(d.attachments.get("cost_offer"), Some(&Value::Int(7)));
+    }
+
+    #[test]
+    fn repeated_decisions_are_served_from_cache() {
+        let pdp =
+            PolicyServer::from_source(r#"if Group = Atlas { return grant } return deny"#, groups())
+                .unwrap();
+        let req = PolicyRequest::new(DistinguishedName::user("Alice", "ANL"))
+            .with_attr("bw", bw::mbps(10))
+            .with_assertion(Assertion::group("ATLAS"));
+        let first = pdp.decide(&req, &vars(), &NoReservations).unwrap();
+        let (h0, m0, _) = pdp.cache_stats();
+        assert_eq!((h0, m0), (0, 1));
+        let second = pdp.decide(&req, &vars(), &NoReservations).unwrap();
+        assert_eq!(first, second);
+        let (h1, m1, _) = pdp.cache_stats();
+        assert_eq!((h1, m1), (1, 1));
+        // A different request shape misses.
+        let other = PolicyRequest::new(DistinguishedName::user("Bob", "ANL"));
+        pdp.decide(&other, &vars(), &NoReservations).unwrap();
+        assert_eq!(pdp.cache_stats().1, 2);
+    }
+
+    #[test]
+    fn changed_domain_vars_are_a_different_key() {
+        let pdp = PolicyServer::from_source(
+            r#"if BW <= Avail_BW { return grant } return deny"#,
+            groups(),
+        )
+        .unwrap();
+        let req = PolicyRequest::new(DistinguishedName::user("Alice", "ANL"))
+            .with_attr("bw", bw::mbps(50));
+        let mut v = vars();
+        assert!(pdp
+            .decide(&req, &v, &NoReservations)
+            .unwrap()
+            .decision
+            .is_grant());
+        v.avail_bw_bps = 1_000_000;
+        // Same request, different live state: must re-evaluate, not hit.
+        assert!(!pdp
+            .decide(&req, &v, &NoReservations)
+            .unwrap()
+            .decision
+            .is_grant());
+        assert_eq!(pdp.cache_stats().0, 0, "no false hit across var change");
+    }
+
+    #[test]
+    fn set_policy_invalidates_cached_decisions() {
+        let mut pdp = PolicyServer::from_source(r#"return grant"#, groups()).unwrap();
+        let req = PolicyRequest::new(DistinguishedName::user("Alice", "ANL"));
+        assert!(pdp
+            .decide(&req, &vars(), &NoReservations)
+            .unwrap()
+            .decision
+            .is_grant());
+        assert_eq!(pdp.cache_len(), 1);
+        let g0 = pdp.generation();
+        pdp.set_policy(crate::parser::parse(r#"return deny "flipped""#).unwrap());
+        assert!(pdp.generation() > g0);
+        assert_eq!(pdp.cache_len(), 0, "bump clears the memo");
+        // The same request now gets the new policy's answer.
+        assert!(!pdp
+            .decide(&req, &vars(), &NoReservations)
+            .unwrap()
+            .decision
+            .is_grant());
+    }
+
+    #[test]
+    fn groups_mut_invalidates_membership_dependent_decisions() {
+        let mut pdp = PolicyServer::from_source(
+            r#"if Member("atlas") { return grant } return deny"#,
+            groups(),
+        )
+        .unwrap();
+        let req = PolicyRequest::new(DistinguishedName::user("Bob", "ANL"))
+            .with_assertion(Assertion::group("atlas"));
+        assert!(!pdp
+            .decide(&req, &vars(), &NoReservations)
+            .unwrap()
+            .decision
+            .is_grant());
+        pdp.groups_mut().add_member("atlas", "Bob");
+        assert!(
+            pdp.decide(&req, &vars(), &NoReservations)
+                .unwrap()
+                .decision
+                .is_grant(),
+            "stale deny must not be served after membership change"
+        );
+    }
+
+    #[test]
+    fn oracle_dependent_decisions_are_never_cached() {
+        let pdp = PolicyServer::from_source(
+            r#"if HasValidCPUResv(RAR) { return grant } return deny"#,
+            groups(),
+        )
+        .unwrap();
+        let req = PolicyRequest::new(DistinguishedName::user("Alice", "ANL"))
+            .with_attr("cpu_reservation_id", Value::Int(7));
+        // Reservation state flips between identical requests; the PDP
+        // must track it, so neither decision may come from the memo.
+        assert!(!pdp
+            .decide(&req, &vars(), &CpuOracle(vec![]))
+            .unwrap()
+            .decision
+            .is_grant());
+        assert!(pdp
+            .decide(&req, &vars(), &CpuOracle(vec![7]))
+            .unwrap()
+            .decision
+            .is_grant());
+        assert_eq!(pdp.cache_stats().0, 0);
+        assert_eq!(pdp.cache_len(), 0);
     }
 
     #[test]

@@ -35,6 +35,8 @@ struct Args {
     submit: u64,
     run_secs: Option<u64>,
     metrics: bool,
+    no_resume: bool,
+    cache_size: Option<usize>,
 }
 
 const USAGE: &str = "bbd — bandwidth-broker daemon over TCP
@@ -43,6 +45,7 @@ USAGE:
     bbd --index I [--chain N] [--listen ADDR]
         [--peer DOMAIN=ADDR]... [--accept DOMAIN]...
         [--submit K] [--run-secs S] [--metrics]
+        [--no-resume] [--cache-size N]
 
 OPTIONS:
     --chain N          domains in the deterministic chain scenario (default 3)
@@ -54,6 +57,11 @@ OPTIONS:
                        their completions, then exit (source domain only)
     --run-secs S       exit after S seconds instead of running forever
     --metrics          print a metrics snapshot (JSON) before exiting
+    --no-resume        disable session-resumption tickets (every reconnect
+                       runs the full signature handshake); all daemons of a
+                       mesh must agree on this flag
+    --cache-size N     signature-verification cache capacity (entries;
+                       0 disables the cache, default 4096)
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -66,6 +74,8 @@ fn parse_args() -> Result<Args, String> {
         submit: 0,
         run_secs: None,
         metrics: false,
+        no_resume: false,
+        cache_size: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -90,6 +100,10 @@ fn parse_args() -> Result<Args, String> {
                 args.run_secs = Some(value("--run-secs")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--metrics" => args.metrics = true,
+            "--no-resume" => args.no_resume = true,
+            "--cache-size" => {
+                args.cache_size = Some(value("--cache-size")?.parse().map_err(|e| format!("{e}"))?)
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -150,6 +164,10 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(cap) = args.cache_size {
+        qos_crypto::vcache::set_capacity(cap);
+    }
+
     let registry = Registry::new();
     let telemetry = if args.metrics {
         Telemetry::with_registry(Arc::clone(&registry))
@@ -168,7 +186,10 @@ fn main() -> ExitCode {
             accept_from: args.accepts.clone(),
             completion_tx,
             telemetry,
-            options: TransportOptions::default(),
+            options: TransportOptions {
+                resume: !args.no_resume,
+                ..TransportOptions::default()
+            },
         },
     ) {
         Ok(d) => d,

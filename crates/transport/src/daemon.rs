@@ -22,7 +22,10 @@
 use crate::backoff::Backoff;
 use crate::error::TransportError;
 use crate::queue::{OutQueue, OverflowPolicy, PushOutcome};
-use crate::session::{establish_initiator, establish_responder, Session};
+use crate::resume::{ResumeTicket, TicketIssuer};
+use crate::session::{
+    establish_initiator_resumable, establish_responder_resumable, HandshakeKind, Session,
+};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use qos_core::channel::{ChannelIdentity, PeerPin};
 use qos_core::envelope::SignedRar;
@@ -53,6 +56,17 @@ pub struct TransportOptions {
     pub backoff_cap: Duration,
     /// Wall-clock used for certificate validity during handshakes.
     pub now: Timestamp,
+    /// Session resumption: accepted links issue tickets and dialed links
+    /// present them, so steady-state reconnects skip every Schnorr
+    /// operation. Both ends of a link must agree (a mixed configuration
+    /// stalls handshakes until their timeout); disable with `--no-resume`
+    /// on `bbd` or by clearing this flag.
+    pub resume: bool,
+    /// How long an issued resumption ticket stays redeemable (seconds of
+    /// the daemon's `now` clock).
+    pub ticket_ttl_secs: u64,
+    /// Bound on outstanding tickets held by this daemon's issuer.
+    pub ticket_cap: usize,
 }
 
 impl Default for TransportOptions {
@@ -64,6 +78,9 @@ impl Default for TransportOptions {
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_secs(2),
             now: Timestamp::ZERO,
+            resume: true,
+            ticket_ttl_secs: 3600,
+            ticket_cap: 1024,
         }
     }
 }
@@ -227,6 +244,7 @@ struct LinkInstruments {
     bytes_sent: Counter,
     bytes_received: Counter,
     reconnects: Counter,
+    resumed: Counter,
     dropped: Counter,
     rejected: Counter,
     handshake_ns: Histogram,
@@ -262,6 +280,11 @@ impl LinkInstruments {
             reconnects: telemetry.counter(
                 "transport_reconnects_total",
                 "Sessions re-established after the first",
+                l,
+            ),
+            resumed: telemetry.counter(
+                "resumed_handshakes_total",
+                "Sessions established by ticket resumption (no signatures)",
                 l,
             ),
             dropped: telemetry.counter(
@@ -339,6 +362,16 @@ impl BrokerDaemon {
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let identity = Arc::new(identity);
+        // The process-wide signature-verification cache serves every
+        // handshake and envelope check this daemon performs; surface its
+        // counters through this daemon's registry.
+        qos_core::install_verify_cache_telemetry(&telemetry);
+        let issuer = options.resume.then(|| {
+            Arc::new(TicketIssuer::new(
+                options.ticket_ttl_secs,
+                options.ticket_cap,
+            ))
+        });
 
         // One link record per peer, dialed or accepted.
         let mut links = HashMap::new();
@@ -424,6 +457,7 @@ impl BrokerDaemon {
                 Arc::clone(&stop),
                 Arc::clone(&inbound),
                 options.clone(),
+                issuer,
             ));
         }
 
@@ -862,25 +896,46 @@ fn spawn_connector(
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         let mut backoff = Backoff::new(options.backoff_base, options.backoff_cap);
+        // The cached resumption ticket for this link, replaced on every
+        // full handshake and dropped on any connection error (the next
+        // attempt then runs the full handshake and earns a fresh one).
+        let mut cached: Option<ResumeTicket> = None;
         while !slot.is_closed() {
-            let session = TcpStream::connect(addr)
+            let outcome = TcpStream::connect(addr)
                 .map_err(TransportError::from)
                 .and_then(|s| {
                     let t0 = StdClock::now();
-                    let session =
-                        establish_initiator(s, &identity, &pin, options.now, options.max_frame)?;
+                    let established = establish_initiator_resumable(
+                        s,
+                        &identity,
+                        &pin,
+                        options.now,
+                        options.max_frame,
+                        options.resume,
+                        cached.as_ref(),
+                    )?;
                     links[&peer]
                         .ins
                         .handshake_ns
                         .observe(StdClock::now().saturating_sub(t0));
-                    Ok(session)
+                    Ok(established)
                 });
-            match session {
-                Ok(session) => {
+            match outcome {
+                Ok((session, kind, fresh_ticket)) => {
                     let link = &links[&peer];
                     if link.established.swap(true, Ordering::SeqCst) {
                         link.ins.reconnects.inc();
                     }
+                    if kind == HandshakeKind::Resumed {
+                        link.ins.resumed.inc();
+                    }
+                    if let Some(t) = fresh_ticket {
+                        cached = Some(t);
+                    }
+                    // A healthy handshake — full or resumed — always
+                    // re-arms the backoff at its base delay, so one
+                    // long-flapping stretch never inflates the delay of
+                    // the *next* outage.
                     backoff.reset();
                     let session = Arc::new(session);
                     let (installed, old) = slot.install(Arc::clone(&session));
@@ -895,7 +950,10 @@ fn spawn_connector(
                     slot.clear_if(&session);
                     session.shutdown();
                 }
-                Err(_) => slot.sleep_interruptible(backoff.next_delay()),
+                Err(_) => {
+                    cached = None;
+                    slot.sleep_interruptible(backoff.next_delay());
+                }
             }
         }
     })
@@ -914,6 +972,7 @@ fn spawn_acceptor(
     stop: Arc<AtomicBool>,
     inbound: Arc<Mutex<Vec<JoinHandle<()>>>>,
     options: TransportOptions,
+    issuer: Option<Arc<TicketIssuer>>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         listener
@@ -938,9 +997,14 @@ fn spawn_acceptor(
             // stalled dialer cannot wedge the accept loop for long; doing
             // it inline keeps the thread count flat under churn.
             let t0 = StdClock::now();
-            let Ok(session) =
-                establish_responder(stream, &identity, &pins, options.now, options.max_frame)
-            else {
+            let Ok((session, kind)) = establish_responder_resumable(
+                stream,
+                &identity,
+                &pins,
+                options.now,
+                options.max_frame,
+                issuer.as_deref(),
+            ) else {
                 continue;
             };
             let Some(link) = links.get(session.peer()) else {
@@ -952,6 +1016,9 @@ fn spawn_acceptor(
                 .observe(StdClock::now().saturating_sub(t0));
             if link.established.swap(true, Ordering::SeqCst) {
                 link.ins.reconnects.inc();
+            }
+            if kind == HandshakeKind::Resumed {
+                link.ins.resumed.inc();
             }
             let session = Arc::new(session);
             let (installed, old) = link.slot.install(Arc::clone(&session));

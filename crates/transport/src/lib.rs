@@ -8,8 +8,11 @@
 //!
 //! * [`frame`] — length-prefixed frame codec: max-frame-size enforced
 //!   before allocation, tolerant of arbitrary TCP segmentation;
-//! * [`proto`] — the three-message peering protocol (`Hello`, `Auth`,
-//!   `Frame`);
+//! * [`proto`] — the peering protocol (`Hello`, `Auth`, `Frame`, and
+//!   the `ResumeHello`/`ResumeAccept`/`Ticket` resumption messages);
+//! * [`resume`] — session-resumption tickets: the acceptor's bounded
+//!   ticket store and the possession-proof MACs, so steady-state
+//!   reconnects skip every Schnorr operation;
 //! * [`session`] — socket + [`SecureChannel`](qos_core::channel::SecureChannel):
 //!   the message-based mutual handshake and sealed frame exchange;
 //! * [`queue`] — bounded per-peer outbound queues with an explicit
@@ -30,6 +33,7 @@ pub mod frame;
 pub mod mesh;
 pub mod proto;
 pub mod queue;
+pub mod resume;
 pub mod session;
 
 pub use backoff::Backoff;
@@ -39,4 +43,8 @@ pub use frame::{read_frame, write_frame, FrameDecoder, FrameError, MAX_FRAME_LEN
 pub use mesh::TcpMesh;
 pub use proto::PeerMsg;
 pub use queue::{OutQueue, OverflowPolicy, PushOutcome};
-pub use session::{establish_initiator, establish_responder, Session};
+pub use resume::{ResumeTicket, TicketIssuer};
+pub use session::{
+    establish_initiator, establish_initiator_resumable, establish_responder,
+    establish_responder_resumable, HandshakeKind, Session,
+};

@@ -28,12 +28,43 @@ pub enum PeerMsg {
     },
     /// An authenticated signalling frame on the established channel.
     Frame(Sealed),
+    /// Resumption step 1, sent *instead of* `Hello` by a reconnecting
+    /// initiator: a server-issued ticket, a fresh nonce, and
+    /// `HMAC(master, "qos-resume-initiator-v1" ‖ ticket ‖ nonce)`
+    /// proving possession of the cached master secret.
+    ResumeHello {
+        /// Opaque ticket bytes exactly as issued.
+        ticket: Vec<u8>,
+        /// The initiator's fresh nonce contribution.
+        nonce: u64,
+        /// Possession proof over ticket and nonce.
+        mac: Vec<u8>,
+    },
+    /// Resumption step 2: the responder accepts, contributing its own
+    /// nonce and `HMAC(master, "qos-resume-responder-v1" ‖ nonce_i ‖
+    /// nonce_r)`. A responder that *rejects* a resume sends its `Hello`
+    /// instead, steering the connection into a full handshake.
+    ResumeAccept {
+        /// The responder's fresh nonce contribution.
+        nonce: u64,
+        /// Possession proof over both nonces.
+        mac: Vec<u8>,
+    },
+    /// Issued by the responder after a successful *full* handshake: the
+    /// ticket the initiator may present to resume this pairing later.
+    Ticket {
+        /// Opaque ticket bytes to cache alongside the master secret.
+        ticket: Vec<u8>,
+    },
 }
 
 qos_wire::impl_wire_enum!(PeerMsg {
     0 => Hello { cert, nonce },
     1 => Auth { sig },
     2 => Frame(t0: Sealed),
+    3 => ResumeHello { ticket, nonce, mac },
+    4 => ResumeAccept { nonce, mac },
+    5 => Ticket { ticket },
 });
 
 #[cfg(test)]
@@ -55,5 +86,26 @@ mod tests {
     fn garbage_rejected_without_panic() {
         assert!(qos_wire::from_bytes::<PeerMsg>(&[99, 1, 2]).is_err());
         assert!(qos_wire::from_bytes::<PeerMsg>(&[]).is_err());
+    }
+
+    #[test]
+    fn resume_messages_round_trip() {
+        for msg in [
+            PeerMsg::ResumeHello {
+                ticket: vec![9; 56],
+                nonce: 0xdead_beef,
+                mac: vec![3; 32],
+            },
+            PeerMsg::ResumeAccept {
+                nonce: 42,
+                mac: vec![5; 32],
+            },
+            PeerMsg::Ticket {
+                ticket: vec![1, 2, 3],
+            },
+        ] {
+            let bytes = qos_wire::to_bytes(&msg);
+            assert_eq!(qos_wire::from_bytes::<PeerMsg>(&bytes).unwrap(), msg);
+        }
     }
 }
