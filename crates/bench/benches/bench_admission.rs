@@ -67,7 +67,7 @@ fn bench_broker_hold(c: &mut Criterion) {
         ca_cert: cert.clone(),
         price_per_mbps_sec: 1,
     };
-    let mut broker = BrokerCore::new("domain-b", u64::MAX / 2);
+    let broker = BrokerCore::new("domain-b", u64::MAX / 2);
     broker.add_ingress_sla(sla("domain-a", "domain-b"));
     broker.add_egress_sla(sla("domain-b", "domain-c"));
     let segment = PathSegment {

@@ -4,13 +4,20 @@
 //! scenario (all-accept, transit denial, destination denial) must
 //! produce identical admission verdicts and identical per-domain
 //! committed bandwidth whether sealed frames travel through crossbeam
-//! mailboxes or over loopback TCP sockets. Any divergence is a bug and
-//! exits non-zero (CI enforces this).
+//! mailboxes or over loopback TCP sockets — and regardless of the
+//! admission shard count or whether the verification caches are on.
+//! The full `{actor, tcp} × {1, 4 shards} × {caches on, off}` cross
+//! product is checked; any divergence is a bug and exits non-zero (CI
+//! enforces this).
 //!
 //! It must also be *cheap enough*: the second half measures
-//! submit-to-completion latency and throughput for a batch of
-//! reservations on both fabrics and emits `BENCH_transport.json` with
-//! the comparison.
+//! submit-to-completion latency and throughput for a reservation burst
+//! on both fabrics at each shard count and emits `BENCH_transport.json`
+//! with the comparison. Alongside the bucketed p50/p99 the tables carry
+//! the histogram's raw min/mean/max, which don't suffer bucket
+//! collapse. CI gates the sharded TCP throughput against a floor scaled
+//! by how many of the requested shards the host can actually run in
+//! parallel (`EXP_TCP_MIN_RPS × min(cores, shards) / shards`).
 
 use qos_bench::{table_header, table_row, write_metrics_snapshot};
 use qos_core::channel::ChannelIdentity;
@@ -25,19 +32,58 @@ use std::sync::Arc;
 use std::time::Instant;
 
 const MBPS: u64 = 1_000_000;
-const THROUGHPUT_REQUESTS: u64 = 48;
+/// Burst size for the throughput half. Each request reserves 1 Mb/s
+/// against a 1000 Mb/s SLA, so the whole burst admits.
+const THROUGHPUT_REQUESTS: u64 = 512;
+/// Shard counts exercised by the fig2 parity cross product.
+const PARITY_SHARDS: [usize; 2] = [1, 4];
 
-/// Minimum acceptable TCP loopback throughput, in requests per second.
-/// CI fails below this floor so the coalescing/batch-verify fast path
-/// cannot silently regress. Override with `EXP_TCP_MIN_RPS` (0 disables,
-/// e.g. on heavily loaded or throttled runners).
-const DEFAULT_TCP_MIN_RPS: f64 = 2000.0;
+/// Minimum acceptable sharded TCP loopback throughput, in requests per
+/// second on hardware with at least as many cores as shards. CI fails
+/// below this floor so the reactor/shard fast path cannot silently
+/// regress. The enforced floor is scaled by
+/// `min(cores, shards) / shards`, with a further 0.7 oversubscription
+/// factor when the host has fewer cores than shards (a time-sliced
+/// pipeline cannot scale linearly). Override with `EXP_TCP_MIN_RPS`
+/// (0 disables).
+const DEFAULT_TCP_MIN_RPS: f64 = 20000.0;
 
 fn tcp_min_rps() -> f64 {
     std::env::var("EXP_TCP_MIN_RPS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(DEFAULT_TCP_MIN_RPS)
+}
+
+/// Shard counts for the throughput half (`EXP_TCP_SHARDS`, e.g.
+/// `1,2,4,8`; default `1,4`). The floor gates the largest one.
+fn throughput_shards() -> Vec<usize> {
+    std::env::var("EXP_TCP_SHARDS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&n| n >= 1)
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 4])
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Toggle both process-wide verification caches: the Schnorr
+/// signature-verification cache and the envelope-verdict memo.
+fn set_caches(on: bool) {
+    if on {
+        qos_crypto::vcache::set_capacity(qos_crypto::vcache::DEFAULT_CAPACITY);
+        qos_core::trust::set_rar_memo_capacity(qos_core::trust::RAR_MEMO_DEFAULT_CAPACITY);
+    } else {
+        qos_crypto::vcache::set_capacity(0);
+        qos_core::trust::set_rar_memo_capacity(0);
+    }
 }
 
 fn identities(s: &Scenario) -> HashMap<String, ChannelIdentity> {
@@ -84,7 +130,7 @@ enum AnyMesh {
 }
 
 impl AnyMesh {
-    fn spawn(fabric: Fabric, s: &mut Scenario, telemetry: &Telemetry) -> Self {
+    fn spawn(fabric: Fabric, shards: usize, s: &mut Scenario, telemetry: &Telemetry) -> Self {
         let ids = identities(s);
         let links = chain_links(s);
         let ca_key = s.ca_key;
@@ -93,12 +139,14 @@ impl AnyMesh {
             Fabric::Actor => {
                 let mut m = ActorMesh::new();
                 m.set_telemetry(telemetry.clone());
+                m.set_shards(shards);
                 m.spawn(nodes, ids, &links, ca_key);
                 AnyMesh::Actor(m)
             }
             Fabric::Tcp => {
                 let mut m = TcpMesh::new();
                 m.set_telemetry(telemetry.clone());
+                m.set_shards(shards);
                 m.spawn(nodes, ids, &links, ca_key)
                     .expect("loopback mesh comes up");
                 AnyMesh::Tcp(m)
@@ -118,9 +166,8 @@ impl AnyMesh {
         }
     }
 
-    /// Submit a whole burst without per-request waits. The TCP mesh
-    /// takes the pipelined path (batch signature checks, coalesced
-    /// writes); the actor mesh has no equivalent, so it just loops.
+    /// Submit a whole burst without per-request waits, so the shards
+    /// batch the signature checks and the reactor coalesces the writes.
     fn submit_all(
         &self,
         domain: &str,
@@ -151,8 +198,10 @@ impl AnyMesh {
     }
 }
 
-/// One fig2 case on one fabric: (granted, per-domain available bw).
-fn fig2_case(fabric: Fabric, deny_at: Option<usize>) -> (bool, Vec<(String, u64)>) {
+/// One fig2 case on one configuration: (granted, per-domain available
+/// bandwidth) — the full admission outcome the cross product must agree
+/// on.
+fn fig2_case(fabric: Fabric, shards: usize, deny_at: Option<usize>) -> (bool, Vec<(String, u64)>) {
     let mut policies = HashMap::new();
     if let Some(i) = deny_at {
         policies.insert(
@@ -169,7 +218,7 @@ fn fig2_case(fabric: Fabric, deny_at: Option<usize>) -> (bool, Vec<(String, u64)
     let rar = s.users["alice"].sign_request(spec, &s.nodes[0]);
     let cert = s.users["alice"].cert.clone();
 
-    let mesh = AnyMesh::spawn(fabric, &mut s, &Telemetry::disabled());
+    let mesh = AnyMesh::spawn(fabric, shards, &mut s, &Telemetry::disabled());
     mesh.submit("domain-a", rar, cert);
     let completions = mesh.wait_completions(1);
     let granted = matches!(
@@ -187,13 +236,17 @@ fn fig2_case(fabric: Fabric, deny_at: Option<usize>) -> (bool, Vec<(String, u64)
 struct ThroughputResult {
     total_ms: f64,
     req_per_sec: f64,
+    min_us: f64,
+    mean_us: f64,
+    max_us: f64,
     p50_us: f64,
     p99_us: f64,
     granted: usize,
 }
 
-/// A batch of reservations on one fabric, timed wall-clock.
-fn throughput_run(fabric: Fabric, registry: &Arc<Registry>) -> ThroughputResult {
+/// A batch of reservations on one fabric at one shard count, timed
+/// wall-clock.
+fn throughput_run(fabric: Fabric, shards: usize, registry: &Arc<Registry>) -> ThroughputResult {
     let telemetry = Telemetry::with_registry(Arc::clone(registry));
     let mut s = build_chain(ChainOptions {
         sla_rate_bps: 1000 * MBPS,
@@ -202,12 +255,12 @@ fn throughput_run(fabric: Fabric, registry: &Arc<Registry>) -> ThroughputResult 
     });
     let mut rars = Vec::new();
     for i in 0..THROUGHPUT_REQUESTS {
-        let spec = s.spec("alice", 1000 + i, 5 * MBPS, Timestamp(0), 3600);
+        let spec = s.spec("alice", 1000 + i, MBPS, Timestamp(0), 3600);
         rars.push(s.users["alice"].sign_request(spec, &s.nodes[0]));
     }
     let cert = s.users["alice"].cert.clone();
 
-    let mesh = AnyMesh::spawn(fabric, &mut s, &telemetry);
+    let mesh = AnyMesh::spawn(fabric, shards, &mut s, &telemetry);
     let t0 = Instant::now();
     mesh.submit_all(
         "domain-a",
@@ -227,6 +280,9 @@ fn throughput_run(fabric: Fabric, registry: &Arc<Registry>) -> ThroughputResult 
     ThroughputResult {
         total_ms: elapsed.as_secs_f64() * 1e3,
         req_per_sec: THROUGHPUT_REQUESTS as f64 / elapsed.as_secs_f64(),
+        min_us: latency.min() as f64 / 1e3,
+        mean_us: latency.mean() / 1e3,
+        max_us: latency.max() as f64 / 1e3,
         p50_us: latency.p50() as f64 / 1e3,
         p99_us: latency.p99() as f64 / 1e3,
         granted,
@@ -236,15 +292,20 @@ fn throughput_run(fabric: Fabric, registry: &Arc<Registry>) -> ThroughputResult 
 fn main() {
     println!("EXP-TCP: TCP peering fabric vs in-process actor mesh\n");
 
-    // Part 1 — transparency: identical fig2 outcomes on both fabrics.
-    println!("fig2 multi-domain parity:");
-    let widths = [22, 20, 8, 8];
-    table_header(&["case", "fabric", "verdict", "match"], &widths);
+    // Part 1 — transparency: identical fig2 outcomes across the whole
+    // {fabric} × {shards} × {caches} cross product.
+    println!("fig2 multi-domain parity (cross product):");
+    let widths = [22, 20, 8, 8, 8, 8];
+    table_header(
+        &["case", "fabric", "shards", "caches", "verdict", "match"],
+        &widths,
+    );
     let mut artifact = Artifact::new(
         "exp_transport_loopback",
         "mixed (verdicts; ms; req/s)",
-        "TCP loopback mesh vs in-process actor mesh; fig2 parity is a hard \
-         invariant (non-zero exit on divergence); latency is wall-clock \
+        "TCP loopback mesh vs in-process actor mesh across shard counts \
+         and cache configurations; fig2 parity is a hard invariant \
+         (non-zero exit on divergence); latency is wall-clock \
          submit-to-completion on an otherwise idle host",
     );
     let mut diverged = false;
@@ -253,76 +314,108 @@ fn main() {
         ("domain-b denies", Some(1)),
         ("domain-c denies", Some(2)),
     ] {
-        let (granted_actor, state_actor) = fig2_case(Fabric::Actor, deny_at);
-        let (granted_tcp, state_tcp) = fig2_case(Fabric::Tcp, deny_at);
-        let matches = granted_actor == granted_tcp && state_actor == state_tcp;
-        diverged |= !matches;
-        for (fabric, granted) in [(Fabric::Actor, granted_actor), (Fabric::Tcp, granted_tcp)] {
-            table_row(
-                &[
-                    label.to_string(),
-                    fabric.name().to_string(),
-                    if granted { "GRANT" } else { "DENY" }.to_string(),
-                    matches.to_string(),
-                ],
-                &widths,
-            );
+        // Baseline: the in-process mesh, single shard, caches on.
+        set_caches(true);
+        let baseline = fig2_case(Fabric::Actor, 1, deny_at);
+        for fabric in [Fabric::Actor, Fabric::Tcp] {
+            for shards in PARITY_SHARDS {
+                for caches_on in [true, false] {
+                    set_caches(caches_on);
+                    let (granted, state) = fig2_case(fabric, shards, deny_at);
+                    let matches = (granted, &state) == (baseline.0, &baseline.1);
+                    diverged |= !matches;
+                    table_row(
+                        &[
+                            label.to_string(),
+                            fabric.name().to_string(),
+                            shards.to_string(),
+                            if caches_on { "on" } else { "off" }.to_string(),
+                            if granted { "GRANT" } else { "DENY" }.to_string(),
+                            matches.to_string(),
+                        ],
+                        &widths,
+                    );
+                    artifact.push(
+                        Row::new()
+                            .field("section", "fig2_parity")
+                            .field("case", label)
+                            .field("fabric", fabric.name())
+                            .field("shards", shards as u64)
+                            .field("caches", if caches_on { "on" } else { "off" })
+                            .field("granted", granted.to_string())
+                            .field("state_match", matches.to_string()),
+                    );
+                }
+            }
         }
-        artifact.push(
-            Row::new()
-                .field("section", "fig2_parity")
-                .field("case", label)
-                .field("granted_actor", granted_actor.to_string())
-                .field("granted_tcp", granted_tcp.to_string())
-                .field("state_match", matches.to_string()),
-        );
     }
+    set_caches(true);
     println!();
 
-    // Part 2 — cost: latency/throughput for a reservation batch.
-    println!("reservation batch ({THROUGHPUT_REQUESTS} requests, 3-domain chain):");
-    let widths = [20, 12, 10, 12, 12, 10];
+    // Part 2 — cost: latency/throughput for a reservation burst at each
+    // shard count. Raw min/mean/max accompany the bucketed percentiles.
+    println!(
+        "reservation burst ({THROUGHPUT_REQUESTS} requests, 3-domain chain, {} core(s)):",
+        cores()
+    );
+    let widths = [20, 7, 10, 9, 9, 9, 9, 9, 9, 9];
     table_header(
         &[
             "fabric",
+            "shards",
             "total(ms)",
             "req/s",
+            "min(µs)",
+            "mean(µs)",
+            "max(µs)",
             "p50(µs)",
             "p99(µs)",
             "granted",
         ],
         &widths,
     );
+    let shard_counts = throughput_shards();
+    let gate_shards = *shard_counts.iter().max().expect("non-empty shard list");
     let mut tcp_registry = None;
-    let mut tcp_rps = 0.0;
-    for fabric in [Fabric::Actor, Fabric::Tcp] {
-        let registry = Registry::new();
-        let r = throughput_run(fabric, &registry);
-        table_row(
-            &[
-                fabric.name().to_string(),
-                format!("{:.2}", r.total_ms),
-                format!("{:.0}", r.req_per_sec),
-                format!("{:.1}", r.p50_us),
-                format!("{:.1}", r.p99_us),
-                format!("{}/{}", r.granted, THROUGHPUT_REQUESTS),
-            ],
-            &widths,
-        );
-        artifact.push(
-            Row::new()
-                .field("section", "throughput")
-                .field("fabric", fabric.name())
-                .field("requests", THROUGHPUT_REQUESTS)
-                .field("total_ms", r.total_ms)
-                .field("req_per_sec", r.req_per_sec)
-                .field("p50_us", r.p50_us)
-                .field("p99_us", r.p99_us)
-                .field("granted", r.granted as u64),
-        );
-        if fabric == Fabric::Tcp {
-            tcp_rps = r.req_per_sec;
-            tcp_registry = Some(registry);
+    let mut gated_rps = 0.0;
+    for &shards in &shard_counts {
+        for fabric in [Fabric::Actor, Fabric::Tcp] {
+            let registry = Registry::new();
+            let r = throughput_run(fabric, shards, &registry);
+            table_row(
+                &[
+                    fabric.name().to_string(),
+                    shards.to_string(),
+                    format!("{:.2}", r.total_ms),
+                    format!("{:.0}", r.req_per_sec),
+                    format!("{:.1}", r.min_us),
+                    format!("{:.1}", r.mean_us),
+                    format!("{:.1}", r.max_us),
+                    format!("{:.1}", r.p50_us),
+                    format!("{:.1}", r.p99_us),
+                    format!("{}/{}", r.granted, THROUGHPUT_REQUESTS),
+                ],
+                &widths,
+            );
+            artifact.push(
+                Row::new()
+                    .field("section", "throughput")
+                    .field("fabric", fabric.name())
+                    .field("shards", shards as u64)
+                    .field("requests", THROUGHPUT_REQUESTS)
+                    .field("total_ms", r.total_ms)
+                    .field("req_per_sec", r.req_per_sec)
+                    .field("min_us", r.min_us)
+                    .field("mean_us", r.mean_us)
+                    .field("max_us", r.max_us)
+                    .field("p50_us", r.p50_us)
+                    .field("p99_us", r.p99_us)
+                    .field("granted", r.granted as u64),
+            );
+            if fabric == Fabric::Tcp && shards == gate_shards {
+                gated_rps = r.req_per_sec;
+                tcp_registry = Some(registry);
+            }
         }
     }
 
@@ -335,20 +428,36 @@ fn main() {
     }
 
     if diverged {
-        eprintln!("\nFAIL: TCP mesh admission outcomes diverged from the in-process mesh");
+        eprintln!(
+            "\nFAIL: admission outcomes diverged across the fabric/shard/cache cross product"
+        );
         std::process::exit(1);
     }
     let floor = tcp_min_rps();
-    if floor > 0.0 && tcp_rps < floor {
+    // On CI-class hardware (cores ≥ shards) the full floor applies.
+    // A host with fewer cores than shards time-slices the whole
+    // pipeline — three domains' reactors and shard workers plus the
+    // submitting thread — on the same cores, so linear scaling by
+    // min(cores, shards)/shards is unattainable there by construction
+    // (at 1 core a 4-shard run can at best *match* the 1-shard run,
+    // while the linear model demands it beat a quarter of a 4-core
+    // target). Discount the scaled floor by a 0.7 oversubscription
+    // efficiency factor in that regime only.
+    let scale = (cores().min(gate_shards) as f64) / (gate_shards as f64);
+    let efficiency = if cores() < gate_shards { 0.7 } else { 1.0 };
+    let effective_floor = floor * scale * efficiency;
+    if effective_floor > 0.0 && gated_rps < effective_floor {
         eprintln!(
-            "\nFAIL: tcp(loopback) throughput {tcp_rps:.0} req/s is below the \
-             {floor:.0} req/s floor (override with EXP_TCP_MIN_RPS)"
+            "\nFAIL: tcp(loopback) throughput {gated_rps:.0} req/s at {gate_shards} shard(s) \
+             is below the {effective_floor:.0} req/s floor ({floor:.0} scaled by \
+             min(cores, shards)/shards with a 0.7 oversubscription factor when \
+             cores < shards; override with EXP_TCP_MIN_RPS)"
         );
         std::process::exit(1);
     }
     println!(
-        "\nexpected: identical verdicts and committed bandwidth on both\n\
-         fabrics; TCP adds per-hop socket+seal overhead but stays in the\n\
-         same order of magnitude on loopback."
+        "\nexpected: identical verdicts and committed bandwidth across every\n\
+         fabric/shard/cache configuration; TCP adds per-hop socket+seal\n\
+         overhead, and shards buy admission throughput up to the core count."
     );
 }

@@ -14,14 +14,21 @@
 //! The signalling protocol (crate `qos-core`) drives this core: it admits
 //! on request arrival, commits when the end-to-end approval propagates
 //! back, and releases on denial.
+//!
+//! `BrokerCore` is a cheap `Clone` handle onto a shared [`SlaBook`]
+//! (DESIGN.md §D11): N admission shards of the same domain each hold a
+//! clone and admit concurrently against **one** striped ledger, so the
+//! committed bandwidth after a run is independent of the shard count.
 
-use crate::billing::BillingLedger;
-use crate::reservations::{AdmissionError, Interval, ResState, ReservationId, ReservationTable};
+use crate::billing::Invoice;
+use crate::reservations::{AdmissionError, Interval, ResState, ReservationId};
+use crate::shard::SlaBook;
 use crate::sla::Sla;
 use qos_crypto::Timestamp;
-use qos_telemetry::{Counter, Telemetry};
-use std::collections::HashMap;
+use qos_telemetry::Telemetry;
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Where a reservation's traffic enters and leaves the domain.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -68,288 +75,118 @@ impl fmt::Display for BrokerError {
 
 impl std::error::Error for BrokerError {}
 
-#[derive(Debug, Clone)]
-struct ResMeta {
-    interval: Interval,
-    rate_bps: u64,
-    segment: PathSegment,
-}
-
-/// Life-cycle counters for one resource core (detached no-ops by
-/// default).
-#[derive(Default)]
-struct CoreCounters {
-    holds_ok: Counter,
-    holds_refused: Counter,
-    commits: Counter,
-    releases: Counter,
-}
-
-/// A domain's bandwidth-broker resource core.
+/// A domain's bandwidth-broker resource core: a shareable handle onto
+/// the domain's [`SlaBook`]. Clones admit against the same ledger.
+#[derive(Clone)]
 pub struct BrokerCore {
-    domain: String,
-    local: ReservationTable,
-    ingress: HashMap<String, ReservationTable>,
-    egress: HashMap<String, ReservationTable>,
-    slas_in: HashMap<String, Sla>,
-    slas_out: HashMap<String, Sla>,
-    meta: HashMap<ReservationId, ResMeta>,
-    billing: BillingLedger,
-    counters: CoreCounters,
+    book: Arc<SlaBook>,
 }
 
 impl BrokerCore {
     /// A broker managing `local_capacity_bps` of internal EF capacity.
     pub fn new(domain: &str, local_capacity_bps: u64) -> Self {
         Self {
-            domain: domain.to_string(),
-            local: ReservationTable::new(local_capacity_bps),
-            ingress: HashMap::new(),
-            egress: HashMap::new(),
-            slas_in: HashMap::new(),
-            slas_out: HashMap::new(),
-            meta: HashMap::new(),
-            billing: BillingLedger::new(),
-            counters: CoreCounters::default(),
+            book: Arc::new(SlaBook::new(domain, local_capacity_bps)),
         }
     }
 
     /// Route this core's reservation life-cycle counters into
     /// `telemetry`: `broker_holds_total{domain,decision=held|refused}`,
     /// `broker_commits_total{domain}`, `broker_releases_total{domain}`.
-    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
-        let d = self.domain.clone();
-        self.counters = CoreCounters {
-            holds_ok: telemetry.counter(
-                "broker_holds_total",
-                "Two-phase capacity holds by outcome",
-                &[("domain", &d), ("decision", "held")],
-            ),
-            holds_refused: telemetry.counter(
-                "broker_holds_total",
-                "Two-phase capacity holds by outcome",
-                &[("domain", &d), ("decision", "refused")],
-            ),
-            commits: telemetry.counter(
-                "broker_commits_total",
-                "Held reservations committed after end-to-end approval",
-                &[("domain", &d)],
-            ),
-            releases: telemetry.counter(
-                "broker_releases_total",
-                "Reservations released (denial, cancellation, or expiry)",
-                &[("domain", &d)],
-            ),
-        };
+    pub fn set_telemetry(&self, telemetry: &Telemetry) {
+        self.book.set_telemetry(telemetry);
     }
 
     /// The domain this broker controls.
     pub fn domain(&self) -> &str {
-        &self.domain
+        self.book.domain()
     }
 
     /// Register the SLA under which `sla.upstream` sends traffic *into*
     /// this domain.
-    pub fn add_ingress_sla(&mut self, sla: Sla) {
-        debug_assert_eq!(sla.downstream, self.domain);
-        self.ingress.insert(
-            sla.upstream.clone(),
-            ReservationTable::new(sla.sls.committed_rate_bps),
-        );
-        self.slas_in.insert(sla.upstream.clone(), sla);
+    pub fn add_ingress_sla(&self, sla: Sla) {
+        self.book.add_ingress_sla(sla);
     }
 
     /// Register the SLA under which this domain sends traffic into
     /// `sla.downstream`.
-    pub fn add_egress_sla(&mut self, sla: Sla) {
-        debug_assert_eq!(sla.upstream, self.domain);
-        self.egress.insert(
-            sla.downstream.clone(),
-            ReservationTable::new(sla.sls.committed_rate_bps),
-        );
-        self.slas_out.insert(sla.downstream.clone(), sla);
+    pub fn add_egress_sla(&self, sla: Sla) {
+        self.book.add_egress_sla(sla);
     }
 
     /// The SLA with the upstream peer `peer`, if any.
-    pub fn ingress_sla(&self, peer: &str) -> Option<&Sla> {
-        self.slas_in.get(peer)
+    pub fn ingress_sla(&self, peer: &str) -> Option<Sla> {
+        self.book.ingress_sla(peer)
     }
 
     /// The SLA with the downstream peer `peer`, if any.
-    pub fn egress_sla(&self, peer: &str) -> Option<&Sla> {
-        self.slas_out.get(peer)
+    pub fn egress_sla(&self, peer: &str) -> Option<Sla> {
+        self.book.egress_sla(peer)
     }
 
-    /// Billing ledger access.
-    pub fn billing(&self) -> &BillingLedger {
-        &self.billing
+    /// Append an invoice to the billing ledger.
+    pub fn record_invoice(&self, invoice: Invoice) {
+        self.book.record_invoice(invoice);
     }
 
-    /// Mutable billing ledger access.
-    pub fn billing_mut(&mut self) -> &mut BillingLedger {
-        &mut self.billing
+    /// All invoices recorded so far, in order.
+    pub fn invoices(&self) -> Vec<Invoice> {
+        self.book.invoices()
+    }
+
+    /// Net billing balance per party (payees positive).
+    pub fn balances(&self) -> BTreeMap<String, i128> {
+        self.book.balances()
     }
 
     /// Hold capacity for a reservation crossing this domain along
     /// `segment`. All three checks (ingress SLA, local, egress SLA) must
     /// pass; partial holds are rolled back.
     pub fn hold(
-        &mut self,
+        &self,
         id: ReservationId,
         interval: Interval,
         rate_bps: u64,
         segment: PathSegment,
     ) -> Result<(), BrokerError> {
-        let result = self.hold_inner(id, interval, rate_bps, segment);
-        match &result {
-            Ok(()) => self.counters.holds_ok.inc(),
-            Err(_) => self.counters.holds_refused.inc(),
-        }
-        result
-    }
-
-    fn hold_inner(
-        &mut self,
-        id: ReservationId,
-        interval: Interval,
-        rate_bps: u64,
-        segment: PathSegment,
-    ) -> Result<(), BrokerError> {
-        // Ingress SLA check.
-        if let Some(peer) = &segment.ingress_peer {
-            let table = self
-                .ingress
-                .get_mut(peer)
-                .ok_or_else(|| BrokerError::NoSla { peer: peer.clone() })?;
-            table
-                .hold(id, interval, rate_bps)
-                .map_err(|source| BrokerError::Sla {
-                    peer: peer.clone(),
-                    source,
-                })?;
-        }
-        // Local capacity check.
-        if let Err(e) = self.local.hold(id, interval, rate_bps) {
-            if let Some(peer) = &segment.ingress_peer {
-                let _ = self.ingress.get_mut(peer).unwrap().release(id);
-            }
-            return Err(BrokerError::Local(e));
-        }
-        // Egress SLA check.
-        if let Some(peer) = &segment.egress_peer {
-            let Some(table) = self.egress.get_mut(peer) else {
-                self.rollback_partial(id, &segment, /*egress_held=*/ false);
-                return Err(BrokerError::NoSla { peer: peer.clone() });
-            };
-            if let Err(source) = table.hold(id, interval, rate_bps) {
-                self.rollback_partial(id, &segment, false);
-                return Err(BrokerError::Sla {
-                    peer: peer.clone(),
-                    source,
-                });
-            }
-        }
-        self.meta.insert(
-            id,
-            ResMeta {
-                interval,
-                rate_bps,
-                segment,
-            },
-        );
-        Ok(())
-    }
-
-    fn rollback_partial(&mut self, id: ReservationId, segment: &PathSegment, egress_held: bool) {
-        let _ = self.local.release(id);
-        if let Some(peer) = &segment.ingress_peer {
-            if let Some(t) = self.ingress.get_mut(peer) {
-                let _ = t.release(id);
-            }
-        }
-        if egress_held {
-            if let Some(peer) = &segment.egress_peer {
-                if let Some(t) = self.egress.get_mut(peer) {
-                    let _ = t.release(id);
-                }
-            }
-        }
-    }
-
-    fn for_each_table(
-        &mut self,
-        id: ReservationId,
-        f: impl Fn(&mut ReservationTable, ReservationId) -> Result<(), AdmissionError>,
-    ) -> Result<(), BrokerError> {
-        let meta = self.meta.get(&id).ok_or(BrokerError::Unknown(id))?.clone();
-        f(&mut self.local, id).map_err(BrokerError::Local)?;
-        if let Some(peer) = &meta.segment.ingress_peer {
-            if let Some(t) = self.ingress.get_mut(peer) {
-                f(t, id).map_err(|source| BrokerError::Sla {
-                    peer: peer.clone(),
-                    source,
-                })?;
-            }
-        }
-        if let Some(peer) = &meta.segment.egress_peer {
-            if let Some(t) = self.egress.get_mut(peer) {
-                f(t, id).map_err(|source| BrokerError::Sla {
-                    peer: peer.clone(),
-                    source,
-                })?;
-            }
-        }
-        Ok(())
+        self.book.hold(id, interval, rate_bps, segment)
     }
 
     /// Commit a held reservation (end-to-end approval arrived).
-    pub fn commit(&mut self, id: ReservationId) -> Result<(), BrokerError> {
-        let result = self.for_each_table(id, |t, id| t.commit(id));
-        if result.is_ok() {
-            self.counters.commits.inc();
-        }
-        result
+    pub fn commit(&self, id: ReservationId) -> Result<(), BrokerError> {
+        self.book.commit(id)
     }
 
     /// Release a reservation (denial downstream, cancellation, or expiry).
-    pub fn release(&mut self, id: ReservationId) -> Result<(), BrokerError> {
-        let result = self.for_each_table(id, |t, id| t.release(id));
-        if result.is_ok() {
-            self.counters.releases.inc();
-        }
-        result
+    pub fn release(&self, id: ReservationId) -> Result<(), BrokerError> {
+        self.book.release(id)
     }
 
     /// The reservation's current state (from the local table).
     pub fn state(&self, id: ReservationId) -> Option<ResState> {
-        self.local.state(id)
+        self.book.state(id)
     }
 
     /// Reservation parameters.
     pub fn info(&self, id: ReservationId) -> Option<(Interval, u64, PathSegment)> {
-        self.meta
-            .get(&id)
-            .map(|m| (m.interval, m.rate_bps, m.segment.clone()))
+        self.book.info(id)
     }
 
     /// Unreserved local capacity at `t` — the `Avail_BW` a policy file
     /// compares against.
     pub fn available_bw_at(&self, t: Timestamp) -> u64 {
-        self.local.available_at(t)
+        self.book.available_bw_at(t)
     }
 
     /// Sum of active reservations entering from `peer` at `t`: the
     /// profile the ingress aggregate policer should be dimensioned to.
     pub fn admitted_ingress_aggregate(&self, peer: &str, t: Timestamp) -> u64 {
-        self.ingress
-            .get(peer)
-            .map(|table| table.admitted_aggregate_at(t))
-            .unwrap_or(0)
+        self.book.admitted_ingress_aggregate(peer, t)
     }
 
     /// Is `id` held/committed and active at `t`?
     pub fn reservation_active_at(&self, id: ReservationId, t: Timestamp) -> bool {
-        self.local.active_at(id, t)
+        self.book.reservation_active_at(id, t)
     }
 }
 
@@ -389,7 +226,7 @@ mod tests {
     fn transit_broker() -> BrokerCore {
         // Domain B: accepts ≤20 Mb/s from A, sends ≤15 Mb/s to C,
         // 100 Mb/s internal.
-        let mut b = BrokerCore::new("domain-b", 100 * MBPS);
+        let b = BrokerCore::new("domain-b", 100 * MBPS);
         b.add_ingress_sla(sla("domain-a", "domain-b", 20 * MBPS));
         b.add_egress_sla(sla("domain-b", "domain-c", 15 * MBPS));
         b
@@ -404,7 +241,7 @@ mod tests {
 
     #[test]
     fn admits_within_all_three_limits() {
-        let mut b = transit_broker();
+        let b = transit_broker();
         assert!(b
             .hold(ReservationId(1), iv(0, 100), 10 * MBPS, transit_segment())
             .is_ok());
@@ -413,7 +250,7 @@ mod tests {
 
     #[test]
     fn egress_sla_is_the_binding_constraint() {
-        let mut b = transit_broker();
+        let b = transit_broker();
         // 16 Mb/s fits the 20 Mb/s ingress SLA and local capacity but not
         // the 15 Mb/s egress SLA.
         let err = b
@@ -431,7 +268,7 @@ mod tests {
 
     #[test]
     fn unknown_peer_is_rejected() {
-        let mut b = transit_broker();
+        let b = transit_broker();
         let err = b
             .hold(
                 ReservationId(1),
@@ -453,7 +290,7 @@ mod tests {
 
     #[test]
     fn source_domain_needs_no_ingress_sla() {
-        let mut b = transit_broker();
+        let b = transit_broker();
         assert!(b
             .hold(
                 ReservationId(1),
@@ -469,7 +306,7 @@ mod tests {
 
     #[test]
     fn release_rolls_back_everywhere() {
-        let mut b = transit_broker();
+        let b = transit_broker();
         b.hold(ReservationId(1), iv(0, 100), 15 * MBPS, transit_segment())
             .unwrap();
         // Egress SLA is now full.
@@ -484,7 +321,7 @@ mod tests {
 
     #[test]
     fn ingress_aggregate_tracks_active_reservations() {
-        let mut b = transit_broker();
+        let b = transit_broker();
         b.hold(ReservationId(1), iv(0, 100), 10 * MBPS, transit_segment())
             .unwrap();
         b.hold(ReservationId(2), iv(50, 150), 5 * MBPS, transit_segment())
@@ -506,7 +343,7 @@ mod tests {
 
     #[test]
     fn available_bw_reflects_holds() {
-        let mut b = transit_broker();
+        let b = transit_broker();
         assert_eq!(b.available_bw_at(Timestamp(10)), 100 * MBPS);
         b.hold(ReservationId(1), iv(0, 100), 10 * MBPS, transit_segment())
             .unwrap();
@@ -516,7 +353,7 @@ mod tests {
 
     #[test]
     fn commit_then_release_lifecycle() {
-        let mut b = transit_broker();
+        let b = transit_broker();
         b.hold(ReservationId(1), iv(0, 100), MBPS, transit_segment())
             .unwrap();
         b.commit(ReservationId(1)).unwrap();
@@ -528,5 +365,18 @@ mod tests {
             b.commit(ReservationId(9)),
             Err(BrokerError::Unknown(_))
         ));
+    }
+
+    #[test]
+    fn clones_share_one_ledger() {
+        let b = transit_broker();
+        let shard = b.clone();
+        shard
+            .hold(ReservationId(1), iv(0, 100), 10 * MBPS, transit_segment())
+            .unwrap();
+        // The hold made through one handle is visible through the other.
+        assert_eq!(b.available_bw_at(Timestamp(10)), 90 * MBPS);
+        b.commit(ReservationId(1)).unwrap();
+        assert_eq!(shard.state(ReservationId(1)), Some(ResState::Committed));
     }
 }

@@ -20,10 +20,12 @@ pub mod billing;
 pub mod broker;
 pub mod edge;
 pub mod reservations;
+pub mod shard;
 pub mod sla;
 
 pub use billing::{settle_chain, BillingLedger, Invoice};
 pub use broker::{BrokerCore, BrokerError, PathSegment};
 pub use edge::{CommandLog, EdgeCommand, EdgeControl};
 pub use reservations::{AdmissionError, Interval, ResState, ReservationId, ReservationTable};
+pub use shard::{SlaBook, LEDGER_STRIPES};
 pub use sla::{Sla, Sls};

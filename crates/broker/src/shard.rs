@@ -1,0 +1,474 @@
+//! The striped, shareable bandwidth ledger behind [`BrokerCore`].
+//!
+//! One [`SlaBook`] per administrative domain, shared by every admission
+//! shard of that domain's broker (DESIGN.md §D11). The serialized
+//! `BrokerCore` of earlier revisions owned its tables outright; with N
+//! admission shards racing on one domain's capacity, the book instead
+//! stripes its state so shards only contend where they genuinely touch
+//! the same resource:
+//!
+//! * each reservation table (local capacity, one per ingress SLA, one
+//!   per egress SLA) sits behind its own mutex — a hold crossing
+//!   `a → self → c` never blocks a hold crossing `b → self → d`;
+//! * reservation metadata is striped by id hash across
+//!   [`LEDGER_STRIPES`] mutexes;
+//! * the SLA contract maps are read-mostly (`RwLock`, written only
+//!   during topology setup);
+//! * billing appends go through one dedicated mutex (cold path).
+//!
+//! Locks are only ever taken **one at a time** — every operation
+//! acquires a table, updates it, and releases it before touching the
+//! next (the hold path reconciles a mid-sequence failure by releasing
+//! the tables it already holds, exactly like the serialized rollback).
+//! No nested acquisition means no lock-order discipline to violate and
+//! no possibility of deadlock between shards.
+//!
+//! Capacity is deliberately **not** partitioned per shard: every shard
+//! admits against the same tables, so the committed bandwidth after a
+//! run is identical for 1 shard or N — the parity invariant the
+//! transport experiment gates on.
+
+use crate::billing::{BillingLedger, Invoice};
+use crate::broker::{BrokerError, PathSegment};
+use crate::reservations::{AdmissionError, Interval, ResState, ReservationId, ReservationTable};
+use crate::sla::Sla;
+use qos_crypto::Timestamp;
+use qos_telemetry::{Counter, Telemetry};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// Metadata stripes: enough that shards working distinct reservations
+/// rarely collide, small enough to stay cache-friendly.
+pub const LEDGER_STRIPES: usize = 8;
+
+#[derive(Debug, Clone)]
+pub(crate) struct ResMeta {
+    pub(crate) interval: Interval,
+    pub(crate) rate_bps: u64,
+    pub(crate) segment: PathSegment,
+}
+
+/// Life-cycle counters for one resource core (detached no-ops by
+/// default). `Counter` handles are internally `Arc`'d, so every shard's
+/// increments land in the same cells.
+#[derive(Default)]
+pub(crate) struct CoreCounters {
+    pub(crate) holds_ok: Counter,
+    pub(crate) holds_refused: Counter,
+    pub(crate) commits: Counter,
+    pub(crate) releases: Counter,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A domain's striped bandwidth ledger: reservation tables, SLA
+/// contracts, reservation metadata, and billing, all independently
+/// lockable so N admission shards share one book without serializing on
+/// a single big lock.
+pub struct SlaBook {
+    domain: String,
+    local: Mutex<ReservationTable>,
+    ingress: RwLock<HashMap<String, Arc<Mutex<ReservationTable>>>>,
+    egress: RwLock<HashMap<String, Arc<Mutex<ReservationTable>>>>,
+    slas_in: RwLock<HashMap<String, Sla>>,
+    slas_out: RwLock<HashMap<String, Sla>>,
+    meta: [Mutex<HashMap<ReservationId, ResMeta>>; LEDGER_STRIPES],
+    billing: Mutex<BillingLedger>,
+    counters: RwLock<CoreCounters>,
+}
+
+impl SlaBook {
+    /// A ledger managing `local_capacity_bps` of internal EF capacity.
+    pub fn new(domain: &str, local_capacity_bps: u64) -> Self {
+        Self {
+            domain: domain.to_string(),
+            local: Mutex::new(ReservationTable::new(local_capacity_bps)),
+            ingress: RwLock::new(HashMap::new()),
+            egress: RwLock::new(HashMap::new()),
+            slas_in: RwLock::new(HashMap::new()),
+            slas_out: RwLock::new(HashMap::new()),
+            meta: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            billing: Mutex::new(BillingLedger::new()),
+            counters: RwLock::new(CoreCounters::default()),
+        }
+    }
+
+    /// The domain this ledger accounts for.
+    pub fn domain(&self) -> &str {
+        &self.domain
+    }
+
+    pub(crate) fn set_telemetry(&self, telemetry: &Telemetry) {
+        let d = self.domain.clone();
+        *self.counters.write().unwrap_or_else(|e| e.into_inner()) = CoreCounters {
+            holds_ok: telemetry.counter(
+                "broker_holds_total",
+                "Two-phase capacity holds by outcome",
+                &[("domain", &d), ("decision", "held")],
+            ),
+            holds_refused: telemetry.counter(
+                "broker_holds_total",
+                "Two-phase capacity holds by outcome",
+                &[("domain", &d), ("decision", "refused")],
+            ),
+            commits: telemetry.counter(
+                "broker_commits_total",
+                "Held reservations committed after end-to-end approval",
+                &[("domain", &d)],
+            ),
+            releases: telemetry.counter(
+                "broker_releases_total",
+                "Reservations released (denial, cancellation, or expiry)",
+                &[("domain", &d)],
+            ),
+        };
+    }
+
+    fn counter(&self, pick: impl FnOnce(&CoreCounters) -> &Counter) -> Counter {
+        pick(&self.counters.read().unwrap_or_else(|e| e.into_inner())).clone()
+    }
+
+    fn meta_stripe(&self, id: ReservationId) -> &Mutex<HashMap<ReservationId, ResMeta>> {
+        &self.meta[(id.0 as usize) % LEDGER_STRIPES]
+    }
+
+    fn ingress_table(&self, peer: &str) -> Option<Arc<Mutex<ReservationTable>>> {
+        self.ingress
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(peer)
+            .cloned()
+    }
+
+    fn egress_table(&self, peer: &str) -> Option<Arc<Mutex<ReservationTable>>> {
+        self.egress
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(peer)
+            .cloned()
+    }
+
+    pub(crate) fn add_ingress_sla(&self, sla: Sla) {
+        debug_assert_eq!(sla.downstream, self.domain);
+        self.ingress
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(
+                sla.upstream.clone(),
+                Arc::new(Mutex::new(ReservationTable::new(
+                    sla.sls.committed_rate_bps,
+                ))),
+            );
+        self.slas_in
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(sla.upstream.clone(), sla);
+    }
+
+    pub(crate) fn add_egress_sla(&self, sla: Sla) {
+        debug_assert_eq!(sla.upstream, self.domain);
+        self.egress
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(
+                sla.downstream.clone(),
+                Arc::new(Mutex::new(ReservationTable::new(
+                    sla.sls.committed_rate_bps,
+                ))),
+            );
+        self.slas_out
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(sla.downstream.clone(), sla);
+    }
+
+    pub(crate) fn ingress_sla(&self, peer: &str) -> Option<Sla> {
+        self.slas_in
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(peer)
+            .cloned()
+    }
+
+    pub(crate) fn egress_sla(&self, peer: &str) -> Option<Sla> {
+        self.slas_out
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(peer)
+            .cloned()
+    }
+
+    pub(crate) fn record_invoice(&self, invoice: Invoice) {
+        lock(&self.billing).record(invoice);
+    }
+
+    pub(crate) fn invoices(&self) -> Vec<Invoice> {
+        lock(&self.billing).invoices().to_vec()
+    }
+
+    pub(crate) fn balances(&self) -> BTreeMap<String, i128> {
+        lock(&self.billing).balances()
+    }
+
+    pub(crate) fn hold(
+        &self,
+        id: ReservationId,
+        interval: Interval,
+        rate_bps: u64,
+        segment: PathSegment,
+    ) -> Result<(), BrokerError> {
+        let result = self.hold_inner(id, interval, rate_bps, segment);
+        match &result {
+            Ok(()) => self.counter(|c| &c.holds_ok).inc(),
+            Err(_) => self.counter(|c| &c.holds_refused).inc(),
+        }
+        result
+    }
+
+    fn hold_inner(
+        &self,
+        id: ReservationId,
+        interval: Interval,
+        rate_bps: u64,
+        segment: PathSegment,
+    ) -> Result<(), BrokerError> {
+        // Ingress SLA check.
+        if let Some(peer) = &segment.ingress_peer {
+            let table = self
+                .ingress_table(peer)
+                .ok_or_else(|| BrokerError::NoSla { peer: peer.clone() })?;
+            lock(&table)
+                .hold(id, interval, rate_bps)
+                .map_err(|source| BrokerError::Sla {
+                    peer: peer.clone(),
+                    source,
+                })?;
+        }
+        // Local capacity check.
+        if let Err(e) = lock(&self.local).hold(id, interval, rate_bps) {
+            if let Some(peer) = &segment.ingress_peer {
+                if let Some(t) = self.ingress_table(peer) {
+                    let _ = lock(&t).release(id);
+                }
+            }
+            return Err(BrokerError::Local(e));
+        }
+        // Egress SLA check.
+        if let Some(peer) = &segment.egress_peer {
+            let Some(table) = self.egress_table(peer) else {
+                self.rollback_partial(id, &segment, /*egress_held=*/ false);
+                return Err(BrokerError::NoSla { peer: peer.clone() });
+            };
+            let held = lock(&table).hold(id, interval, rate_bps);
+            if let Err(source) = held {
+                self.rollback_partial(id, &segment, false);
+                return Err(BrokerError::Sla {
+                    peer: peer.clone(),
+                    source,
+                });
+            }
+        }
+        lock(self.meta_stripe(id)).insert(
+            id,
+            ResMeta {
+                interval,
+                rate_bps,
+                segment,
+            },
+        );
+        Ok(())
+    }
+
+    fn rollback_partial(&self, id: ReservationId, segment: &PathSegment, egress_held: bool) {
+        let _ = lock(&self.local).release(id);
+        if let Some(peer) = &segment.ingress_peer {
+            if let Some(t) = self.ingress_table(peer) {
+                let _ = lock(&t).release(id);
+            }
+        }
+        if egress_held {
+            if let Some(peer) = &segment.egress_peer {
+                if let Some(t) = self.egress_table(peer) {
+                    let _ = lock(&t).release(id);
+                }
+            }
+        }
+    }
+
+    /// Apply `f` to every table the reservation crosses, in the fixed
+    /// ingress → local → egress order (one lock at a time).
+    fn for_each_table(
+        &self,
+        id: ReservationId,
+        f: impl Fn(&mut ReservationTable, ReservationId) -> Result<(), AdmissionError>,
+    ) -> Result<(), BrokerError> {
+        let meta = lock(self.meta_stripe(id))
+            .get(&id)
+            .cloned()
+            .ok_or(BrokerError::Unknown(id))?;
+        if let Some(peer) = &meta.segment.ingress_peer {
+            if let Some(t) = self.ingress_table(peer) {
+                f(&mut lock(&t), id).map_err(|source| BrokerError::Sla {
+                    peer: peer.clone(),
+                    source,
+                })?;
+            }
+        }
+        f(&mut lock(&self.local), id).map_err(BrokerError::Local)?;
+        if let Some(peer) = &meta.segment.egress_peer {
+            if let Some(t) = self.egress_table(peer) {
+                f(&mut lock(&t), id).map_err(|source| BrokerError::Sla {
+                    peer: peer.clone(),
+                    source,
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn commit(&self, id: ReservationId) -> Result<(), BrokerError> {
+        let result = self.for_each_table(id, |t, id| t.commit(id));
+        if result.is_ok() {
+            self.counter(|c| &c.commits).inc();
+        }
+        result
+    }
+
+    pub(crate) fn release(&self, id: ReservationId) -> Result<(), BrokerError> {
+        let result = self.for_each_table(id, |t, id| t.release(id));
+        if result.is_ok() {
+            self.counter(|c| &c.releases).inc();
+        }
+        result
+    }
+
+    pub(crate) fn state(&self, id: ReservationId) -> Option<ResState> {
+        lock(&self.local).state(id)
+    }
+
+    pub(crate) fn info(&self, id: ReservationId) -> Option<(Interval, u64, PathSegment)> {
+        lock(self.meta_stripe(id))
+            .get(&id)
+            .map(|m| (m.interval, m.rate_bps, m.segment.clone()))
+    }
+
+    pub(crate) fn available_bw_at(&self, t: Timestamp) -> u64 {
+        lock(&self.local).available_at(t)
+    }
+
+    pub(crate) fn admitted_ingress_aggregate(&self, peer: &str, t: Timestamp) -> u64 {
+        self.ingress_table(peer)
+            .map(|table| lock(&table).admitted_aggregate_at(t))
+            .unwrap_or(0)
+    }
+
+    pub(crate) fn reservation_active_at(&self, id: ReservationId, t: Timestamp) -> bool {
+        lock(&self.local).active_at(id, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sla::Sls;
+    use qos_crypto::{CertificateAuthority, DistinguishedName, KeyPair, Validity};
+    use std::sync::Arc;
+
+    const MBPS: u64 = 1_000_000;
+
+    fn sla(up: &str, down: &str, rate: u64) -> Sla {
+        let mut ca = CertificateAuthority::new(
+            DistinguishedName::authority("RootCA"),
+            KeyPair::from_seed(b"ca"),
+        );
+        let root = ca.self_signed();
+        let peer = ca.issue_identity(
+            DistinguishedName::broker(up),
+            KeyPair::from_seed(up.as_bytes()).public(),
+            Validity::unbounded(),
+        );
+        Sla {
+            upstream: up.into(),
+            downstream: down.into(),
+            sls: Sls::strict(rate),
+            peer_cert: peer,
+            ca_cert: root,
+            price_per_mbps_sec: 1,
+        }
+    }
+
+    #[test]
+    fn meta_striping_is_total() {
+        for id in 0..1000u64 {
+            let book = SlaBook::new("d", MBPS);
+            assert!(book.meta_stripe(ReservationId(id)) as *const _ as usize != 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_holds_share_one_capacity_pool() {
+        // 8 threads race 64 holds of 1 Mb/s each against a 32 Mb/s local
+        // pool: exactly 32 must succeed, whatever the interleaving — the
+        // book shares capacity instead of splitting it per shard.
+        let book = Arc::new(SlaBook::new("domain-b", 32 * MBPS));
+        let iv = Interval::new(Timestamp(0), Timestamp(100));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let b = Arc::clone(&book);
+            handles.push(std::thread::spawn(move || {
+                let mut ok = 0u64;
+                for i in 0..8u64 {
+                    if b.hold(ReservationId(t * 8 + i), iv, MBPS, PathSegment::default())
+                        .is_ok()
+                    {
+                        ok += 1;
+                    }
+                }
+                ok
+            }));
+        }
+        let granted: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(granted, 32);
+        assert_eq!(book.available_bw_at(Timestamp(10)), 0);
+    }
+
+    #[test]
+    fn concurrent_commit_release_lifecycle() {
+        let book = Arc::new(SlaBook::new("domain-b", 100 * MBPS));
+        book.add_ingress_sla(sla("domain-a", "domain-b", 100 * MBPS));
+        book.add_egress_sla(sla("domain-b", "domain-c", 100 * MBPS));
+        let iv = Interval::new(Timestamp(0), Timestamp(100));
+        let seg = PathSegment {
+            ingress_peer: Some("domain-a".into()),
+            egress_peer: Some("domain-c".into()),
+        };
+        for i in 0..16u64 {
+            book.hold(ReservationId(i), iv, MBPS, seg.clone()).unwrap();
+        }
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let b = Arc::clone(&book);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..4u64 {
+                    let id = ReservationId(t * 4 + i);
+                    if t % 2 == 0 {
+                        b.commit(id).unwrap();
+                    } else {
+                        b.release(id).unwrap();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Two threads committed 8, two released 8.
+        assert_eq!(book.available_bw_at(Timestamp(10)), 92 * MBPS);
+        assert_eq!(
+            book.admitted_ingress_aggregate("domain-a", Timestamp(10)),
+            8 * MBPS
+        );
+    }
+}

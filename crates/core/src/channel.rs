@@ -27,6 +27,7 @@ pub struct ChannelIdentity {
 }
 
 /// What one side requires of the peer, pinned from the SLA.
+#[derive(Clone)]
 pub struct PeerPin {
     /// The CA key that must have signed the peer certificate.
     pub ca_key: PublicKey,

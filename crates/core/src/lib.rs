@@ -21,6 +21,9 @@
 //!   message-count experiments; optional live `qos_net` data plane);
 //! * [`runtime`] — the same brokers as concurrent actor threads over
 //!   sealed secure channels;
+//! * [`shard`] — [`ShardedNode`]: one domain's broker as N admission
+//!   shards with work-stealing ingress (DESIGN.md §D11), shared by the
+//!   actor fabric and the TCP reactor runtime;
 //! * [`scenario`] — the paper's multi-domain world, ready-built.
 //!
 //! Observability (DESIGN.md §D7): brokers and both drivers thread a
@@ -40,6 +43,7 @@ pub mod parallel;
 pub mod rar;
 pub mod runtime;
 pub mod scenario;
+pub mod shard;
 pub mod source;
 pub mod trust;
 
@@ -88,5 +92,6 @@ pub use messages::{Approval, Denial, SignalMessage};
 pub use node::{BbConfig, BbNode, Completion, EdgeBinding, NodeCounters};
 pub use rar::{RarId, ResSpec};
 pub use runtime::ActorMesh;
+pub use shard::{shard_of, ShardMsg, ShardSink, ShardedNode};
 pub use source::{AgentMode, ReservationCoordinator, SourceBasedRun};
 pub use trust::{verify_rar, KeySource, VerifiedRar};

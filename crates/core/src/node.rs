@@ -90,7 +90,7 @@ pub struct NodeCounters {
 /// [`BbNode::install_telemetry`] registers the very same `Arc`s with the
 /// registry — [`BbNode::counters`] and the Prometheus exposition read one
 /// set of atomics, so they can never diverge.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct CounterCells {
     rx: Arc<AtomicU64>,
     tx: Arc<AtomicU64>,
@@ -128,7 +128,7 @@ impl CounterCells {
 /// Resolved metric instruments. `Default` handles are detached no-ops, so
 /// a node without [`BbNode::install_telemetry`] pays one `None` check per
 /// operation and allocates nothing.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct NodeInstruments {
     verify_ns: Histogram,
     sign_ns: Histogram,
@@ -216,7 +216,7 @@ pub struct BbNode {
     cert: Certificate,
     now: Timestamp,
     core: BrokerCore,
-    pdp: PolicyServer,
+    pdp: Arc<PolicyServer>,
     trust_policy: TrustPolicy,
     cas_keys: HashMap<String, PublicKey>,
     user_ca: PublicKey,
@@ -259,7 +259,7 @@ impl BbNode {
             key: config.key,
             cert: config.cert,
             now: Timestamp::ZERO,
-            pdp,
+            pdp: Arc::new(pdp),
             trust_policy: config.trust_policy,
             cas_keys: config.cas_keys,
             user_ca: config.user_ca,
@@ -393,7 +393,9 @@ impl BbNode {
             let d = self.domain.clone();
             let dl: &[(&str, &str)] = &[("domain", &d)];
             crate::install_verify_cache_telemetry(&telemetry);
-            self.pdp.set_telemetry(&telemetry, &d);
+            Arc::get_mut(&mut self.pdp)
+                .expect("telemetry is installed before the PDP is shared across shards")
+                .set_telemetry(&telemetry, &d);
             self.core.set_telemetry(&telemetry);
             telemetry.register_counter(
                 "bb_messages_received_total",
@@ -1365,7 +1367,7 @@ impl BbNode {
                 .copied()
                 .unwrap_or(0)
         }) {
-            self.core.billing_mut().record(invoice);
+            self.core.record_invoice(invoice);
         }
     }
 
@@ -2041,7 +2043,53 @@ impl BbNode {
 
     /// Build a user assertion helper (used by tests and harnesses).
     pub fn policy_groups_mut(&mut self) -> &mut GroupServer {
-        self.pdp.groups_mut()
+        Arc::get_mut(&mut self.pdp)
+            .expect("group edits happen before the PDP is shared across shards")
+            .groups_mut()
+    }
+
+    /// A shard replica of this broker: same identity, keys, peers,
+    /// routes, and — crucially — the *same* [`BrokerCore`] ledger, PDP,
+    /// counter cells, and metric instruments (all internally shared), so
+    /// N replicas admitting concurrently report exactly what one node
+    /// would. Per-request protocol state (pending map, tunnels,
+    /// completions) starts empty: the shard router pins each reservation
+    /// id to one replica, so no two replicas ever track the same
+    /// request.
+    pub fn clone_shard(&self) -> Self {
+        let mut audit = AuditLog::new(self.audit.capacity());
+        audit.set_enabled(self.audit.is_enabled());
+        let mut tracer = Tracer::default();
+        tracer.set_enabled(self.tracer.is_enabled());
+        Self {
+            domain: self.domain.clone(),
+            dn: self.dn.clone(),
+            key: self.key.clone(),
+            cert: self.cert.clone(),
+            now: self.now,
+            core: self.core.clone(),
+            pdp: Arc::clone(&self.pdp),
+            trust_policy: self.trust_policy,
+            cas_keys: self.cas_keys.clone(),
+            user_ca: self.user_ca,
+            peers: self.peers.clone(),
+            routes: self.routes.clone(),
+            edge: self.edge.clone(),
+            pending: HashMap::new(),
+            completions: Vec::new(),
+            edge_cmds: Vec::new(),
+            cpu_reservations: self.cpu_reservations.clone(),
+            direct_users: self.direct_users.clone(),
+            tunnels_src: HashMap::new(),
+            tunnels_dst: HashMap::new(),
+            counters: self.counters.clone(),
+            audit,
+            telemetry: self.telemetry.clone(),
+            instruments: self.instruments.clone(),
+            tracer,
+            clock: Arc::clone(&self.clock),
+            verified_paths: HashMap::new(),
+        }
     }
 }
 

@@ -1,5 +1,6 @@
-//! Threaded actor runtime: each broker runs on its own OS thread with a
-//! crossbeam mailbox, and peer links carry authenticated channel frames.
+//! Threaded actor runtime: each broker runs as a [`ShardedNode`] —
+//! N admission shards with work-stealing ingress — and peer links carry
+//! authenticated channel frames through per-domain ingress threads.
 //!
 //! The virtual-time [`crate::drive::Mesh`] answers *how long* signalling
 //! takes; this runtime demonstrates the same protocol state machines
@@ -7,112 +8,97 @@
 //! opened on real [`crate::channel::SecureChannel`]s established by
 //! mutual handshake, and many reservations can be in flight at once.
 //! (The approved crate set has no async runtime, so signalling channels
-//! are actor threads + crossbeam channels rather than tokio tasks; see
-//! DESIGN.md §2.)
+//! are threads + crossbeam channels rather than tokio tasks; see
+//! DESIGN.md §2 and §D11.)
+//!
+//! Division of labour per domain:
+//!
+//! * the **ingress thread** owns every inbound [`OpenHalf`] — frames
+//!   from one peer are opened strictly in arrival order (the channel's
+//!   replay window depends on it), decoded once, and dispatched into
+//!   the domain's [`ShardedNode`] by reservation id;
+//! * the **shard workers** (inside [`ShardedNode`]) run admission and
+//!   hand outputs to an [`ActorSink`], which seals under a per-link
+//!   [`SealHalf`] lock and drops the frame into the peer's ingress
+//!   mailbox — the send happens under the seal lock so frames enter the
+//!   mailbox in sequence order.
 
-use crate::channel::{handshake, ChannelIdentity, PeerPin, SecureChannel};
+use crate::channel::{handshake, ChannelIdentity, OpenHalf, PeerPin, SealHalf, Sealed};
 use crate::envelope::SignedRar;
 use crate::messages::SignalMessage;
 use crate::node::{BbNode, Completion};
-use crate::rar::RarId;
+use crate::shard::{ShardSink, ShardedNode};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use qos_crypto::{Certificate, PublicKey, Timestamp};
-use qos_telemetry::{Counter, Gauge, Histogram, StdClock, Telemetry, TraceId};
+use qos_telemetry::{Counter, StdClock, Telemetry};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-enum ActorMsg {
+enum IngressMsg {
     /// A sealed frame from a peer, stamped with its enqueue time so the
-    /// receiving broker can attribute mailbox queue-wait to the trace.
+    /// receiving broker can attribute queue-wait to the trace.
     Frame {
         from: String,
-        sealed: crate::channel::Sealed,
+        sealed: Sealed,
         enqueued_ns: u64,
     },
-    /// A local user submission (trusted local delivery, not a peer frame).
-    Submit {
-        rar: Box<SignedRar>,
-        user_cert: Box<Certificate>,
-        enqueued_ns: u64,
-    },
-    /// A local sub-flow request inside an established tunnel.
-    TunnelFlow {
-        tunnel: crate::rar::RarId,
-        flow: u64,
-        rate_bps: u64,
-        requestor: Box<qos_crypto::DistinguishedName>,
-    },
-    /// Advance the actor's wall clock.
+    /// Advance the domain's wall clock (ordered with inbound frames).
     SetTime(Timestamp),
-    /// Drain completions to the supervisor and stop.
+    /// Stop the ingress thread.
     Shutdown,
 }
 
-/// Unit of work in an actor's loop: a raw mailbox message, or a frame
-/// that was opened and decoded early while coalescing a tunnel-flow
-/// batch and must still be dispatched in order.
-enum Work {
-    Raw(ActorMsg),
-    Decoded(String, Box<SignalMessage>, u64),
-}
-
-/// Per-actor instrument handles (all detached no-ops without a registry).
-struct ActorInstruments {
-    mailbox_depth: Gauge,
-    completion_latency: Histogram,
+/// The fabric side of one domain: seals shard outputs onto peer links
+/// and forwards completions to the mesh supervisor.
+struct ActorSink {
+    domain: String,
+    /// One seal half per peer link, locked per frame; the mailbox send
+    /// happens under the lock so sequence numbers and mailbox order
+    /// agree (the open side enforces strict per-direction sequencing).
+    seals: HashMap<String, Mutex<SealHalf>>,
+    peers: HashMap<String, Sender<IngressMsg>>,
+    completion_tx: Sender<(String, Completion)>,
     frames_sealed: Counter,
-    frames_opened: Counter,
-    frames_rejected: Counter,
-    live: bool,
 }
 
-impl ActorInstruments {
-    fn resolve(telemetry: &Telemetry, domain: &str) -> Self {
-        let dl: &[(&str, &str)] = &[("domain", domain)];
-        Self {
-            mailbox_depth: telemetry.gauge(
-                "bb_mailbox_depth_peak",
-                "Peak number of messages waiting in the actor mailbox",
-                dl,
-            ),
-            completion_latency: telemetry.histogram(
-                "bb_completion_latency_ns",
-                "Submit-to-completion latency at the source broker",
-                dl,
-            ),
-            frames_sealed: telemetry.counter(
-                "bb_frames_sealed_total",
-                "Channel frames sealed for peers",
-                dl,
-            ),
-            frames_opened: telemetry.counter(
-                "bb_frames_opened_total",
-                "Channel frames opened and decoded from peers",
-                dl,
-            ),
-            frames_rejected: telemetry.counter(
-                "bb_frames_rejected_total",
-                "Channel frames rejected (tampered, replayed, or undecodable)",
-                dl,
-            ),
-            live: telemetry.is_enabled(),
-        }
+impl ShardSink for ActorSink {
+    fn deliver(&self, to: &str, msg: SignalMessage) {
+        let to = to.strip_prefix("user:").unwrap_or(to);
+        let (Some(seal), Some(tx)) = (self.seals.get(to), self.peers.get(to)) else {
+            return; // completion address or unlinked peer
+        };
+        let mut half = seal.lock().unwrap_or_else(|e| e.into_inner());
+        let sealed = half.seal(qos_wire::to_bytes(&msg));
+        self.frames_sealed.inc();
+        let _ = tx.send(IngressMsg::Frame {
+            from: self.domain.clone(),
+            sealed,
+            enqueued_ns: StdClock::now(),
+        });
+    }
+
+    fn complete(&self, completion: Completion) {
+        let _ = self.completion_tx.send((self.domain.clone(), completion));
     }
 }
 
-/// A handle to a running broker actor.
-pub struct ActorHandle {
+/// A handle to one running domain: its sharded broker plus the ingress
+/// thread feeding it.
+struct ActorHandle {
     domain: String,
-    tx: Sender<ActorMsg>,
-    join: Option<JoinHandle<(BbNode, Vec<Completion>)>>,
+    sharded: Arc<ShardedNode>,
+    ingress_tx: Sender<IngressMsg>,
+    ingress_join: Option<JoinHandle<()>>,
 }
 
-/// A mesh of broker actors on OS threads.
+/// A mesh of sharded broker runtimes on OS threads.
 pub struct ActorMesh {
     actors: HashMap<String, ActorHandle>,
     completion_rx: Receiver<(String, Completion)>,
     completion_tx: Sender<(String, Completion)>,
     telemetry: Telemetry,
+    shards: usize,
 }
 
 impl Default for ActorMesh {
@@ -121,8 +107,17 @@ impl Default for ActorMesh {
     }
 }
 
+/// The default shard count for a broker runtime: `min(4, cores)`.
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
+}
+
 impl ActorMesh {
-    /// An empty actor mesh.
+    /// An empty actor mesh with the default shard count
+    /// ([`default_shards`]).
     pub fn new() -> Self {
         let (completion_tx, completion_rx) = unbounded();
         Self {
@@ -130,10 +125,11 @@ impl ActorMesh {
             completion_rx,
             completion_tx,
             telemetry: Telemetry::disabled(),
+            shards: default_shards(),
         }
     }
 
-    /// Route mesh-level instruments (mailbox depth, completion latency,
+    /// Route mesh-level instruments (shard queues, completion latency,
     /// frame counters, handshakes) into `telemetry`. Call before
     /// [`ActorMesh::spawn`]; the per-broker instruments themselves are
     /// configured through [`crate::node::BbConfig::telemetry`].
@@ -141,8 +137,15 @@ impl ActorMesh {
         self.telemetry = telemetry;
     }
 
-    /// Spawn the brokers of `nodes` as actors, establishing pairwise
-    /// secure channels between `links` (pairs of domain names).
+    /// Run each broker as `n` admission shards (clamped to ≥ 1). Call
+    /// before [`ActorMesh::spawn`]. Admission outcomes and committed
+    /// bandwidth are shard-count-invariant; only concurrency changes.
+    pub fn set_shards(&mut self, n: usize) {
+        self.shards = n.max(1);
+    }
+
+    /// Spawn the brokers of `nodes` as sharded runtimes, establishing
+    /// pairwise secure channels between `links` (pairs of domain names).
     ///
     /// `identities` supplies each broker's channel identity and `ca_key`
     /// the CA all peer pins use.
@@ -160,7 +163,8 @@ impl ActorMesh {
             "Secure-channel handshakes completed at mesh setup",
             &[],
         );
-        let mut channels: HashMap<String, HashMap<String, SecureChannel>> = HashMap::new();
+        let mut seal_halves: HashMap<String, HashMap<String, Mutex<SealHalf>>> = HashMap::new();
+        let mut open_halves: HashMap<String, HashMap<String, OpenHalf>> = HashMap::new();
         for (nonce, (a, b)) in (1u64..).zip(links.iter()) {
             let ia = &identities[a];
             let ib = &identities[b];
@@ -180,201 +184,122 @@ impl ActorMesh {
             )
             .expect("handshake between configured peers");
             handshakes.inc();
-            channels
+            let (a_seal, a_open) = ca_end.split();
+            let (b_seal, b_open) = cb_end.split();
+            seal_halves
                 .entry(a.clone())
                 .or_default()
-                .insert(b.clone(), ca_end);
-            channels
+                .insert(b.clone(), Mutex::new(a_seal));
+            open_halves
+                .entry(a.clone())
+                .or_default()
+                .insert(b.clone(), a_open);
+            seal_halves
                 .entry(b.clone())
                 .or_default()
-                .insert(a.clone(), cb_end);
+                .insert(a.clone(), Mutex::new(b_seal));
+            open_halves
+                .entry(b.clone())
+                .or_default()
+                .insert(a.clone(), b_open);
         }
 
-        // Build mailboxes first so every actor can reach every peer.
-        let mut mailboxes: HashMap<String, Sender<ActorMsg>> = HashMap::new();
-        let mut receivers: HashMap<String, Receiver<ActorMsg>> = HashMap::new();
+        // Build ingress mailboxes first so every sink can reach every
+        // peer.
+        let mut mailboxes: HashMap<String, Sender<IngressMsg>> = HashMap::new();
+        let mut receivers: HashMap<String, Receiver<IngressMsg>> = HashMap::new();
         for node in &nodes {
             let (tx, rx) = unbounded();
             mailboxes.insert(node.domain().to_string(), tx);
             receivers.insert(node.domain().to_string(), rx);
         }
 
-        for mut node in nodes {
+        for node in nodes {
             let domain = node.domain().to_string();
             let rx = receivers.remove(&domain).unwrap();
-            let peers_tx = mailboxes.clone();
-            let mut my_channels = channels.remove(&domain).unwrap_or_default();
-            let completion_tx = self.completion_tx.clone();
-            let dom = domain.clone();
-            let ins = ActorInstruments::resolve(&self.telemetry, &domain);
-            let join = std::thread::spawn(move || {
-                // Frames already opened + decoded while coalescing a
-                // tunnel-flow batch, awaiting normal dispatch in their
-                // arrival order.
-                let mut pending: std::collections::VecDeque<Work> =
-                    std::collections::VecDeque::new();
-                // Source-side submit times, for completion latency.
-                let mut submitted_ns: HashMap<RarId, u64> = HashMap::new();
-                loop {
-                    if ins.live {
-                        ins.mailbox_depth
-                            .record_max(pending.len() as i64 + rx.len() as i64);
-                    }
-                    let work = match pending.pop_front() {
-                        Some(w) => w,
-                        None => match rx.recv() {
-                            Ok(m) => Work::Raw(m),
-                            Err(_) => break,
-                        },
-                    };
-                    let (from, msg, enqueued_ns) = match work {
-                        Work::Raw(ActorMsg::SetTime(t)) => {
-                            node.set_time(t);
-                            continue;
-                        }
-                        Work::Raw(ActorMsg::Shutdown) => break,
-                        Work::Raw(ActorMsg::Submit {
-                            rar,
-                            user_cert,
-                            enqueued_ns,
-                        }) => {
-                            let spec = rar.res_spec();
-                            let (rar_id, trace) = (
-                                spec.rar_id,
-                                TraceId::mint(&spec.source_domain, spec.rar_id.0),
-                            );
-                            if ins.live {
-                                submitted_ns.insert(rar_id, enqueued_ns);
-                            }
-                            node.record_queue_wait(trace, rar_id, enqueued_ns);
-                            let out = node.submit(*rar, &user_cert);
-                            route_out(&dom, out, &mut my_channels, &peers_tx, &ins);
-                            drain_completions(
-                                &mut node,
-                                &dom,
-                                &completion_tx,
-                                &mut submitted_ns,
-                                &ins,
-                            );
-                            continue;
-                        }
-                        Work::Raw(ActorMsg::TunnelFlow {
-                            tunnel,
-                            flow,
-                            rate_bps,
-                            requestor,
-                        }) => {
-                            match node.request_tunnel_flow(tunnel, flow, rate_bps, *requestor) {
-                                Ok(out) => route_out(&dom, out, &mut my_channels, &peers_tx, &ins),
-                                // Rejected at the source (aggregate spent):
-                                // complete immediately, as the mesh driver
-                                // does.
-                                Err(e) => {
-                                    let _ = completion_tx.send((
-                                        dom.clone(),
-                                        Completion::TunnelFlow {
-                                            tunnel,
-                                            flow,
-                                            accepted: false,
-                                            reason: e.to_string(),
-                                        },
-                                    ));
-                                }
-                            }
-                            drain_completions(
-                                &mut node,
-                                &dom,
-                                &completion_tx,
-                                &mut submitted_ns,
-                                &ins,
-                            );
-                            continue;
-                        }
-                        Work::Raw(ActorMsg::Frame {
-                            from,
-                            sealed,
-                            enqueued_ns,
-                        }) => match open_frame(&mut my_channels, &from, sealed, &ins) {
-                            Some(m) => (from, m, enqueued_ns),
-                            None => continue, // tampered / replayed frame
-                        },
-                        Work::Decoded(from, m, enqueued_ns) => (from, *m, enqueued_ns),
-                    };
-                    if let Some(trace) = msg.trace_id() {
-                        node.record_queue_wait(trace, msg.rar_id(), enqueued_ns);
-                    }
-                    let out = if let SignalMessage::TunnelFlow(t) = msg {
-                        // Coalesce: any tunnel sub-flow requests already
-                        // sitting in the mailbox join this one in a single
-                        // batch whose signatures verify on the worker
-                        // pool. Other queued messages keep their arrival
-                        // order via `pending`; a control message stops the
-                        // drain.
-                        let mut batch = vec![(from, t)];
-                        while let Ok(raw) = rx.try_recv() {
-                            match raw {
-                                ActorMsg::Frame {
-                                    from: f2,
-                                    sealed,
-                                    enqueued_ns,
-                                } => match open_frame(&mut my_channels, &f2, sealed, &ins) {
-                                    Some(SignalMessage::TunnelFlow(t2)) => {
-                                        batch.push((f2, t2));
+            let dl: &[(&str, &str)] = &[("domain", &domain)];
+            let sink = ActorSink {
+                domain: domain.clone(),
+                seals: seal_halves.remove(&domain).unwrap_or_default(),
+                peers: mailboxes.clone(),
+                completion_tx: self.completion_tx.clone(),
+                frames_sealed: self.telemetry.counter(
+                    "bb_frames_sealed_total",
+                    "Channel frames sealed for peers",
+                    dl,
+                ),
+            };
+            let frames_opened = self.telemetry.counter(
+                "bb_frames_opened_total",
+                "Channel frames opened and decoded from peers",
+                dl,
+            );
+            let frames_rejected = self.telemetry.counter(
+                "bb_frames_rejected_total",
+                "Channel frames rejected (tampered, replayed, or undecodable)",
+                dl,
+            );
+            let sharded = Arc::new(ShardedNode::new(
+                node,
+                self.shards,
+                Arc::new(sink),
+                &self.telemetry,
+            ));
+            let mut opens = open_halves.remove(&domain).unwrap_or_default();
+            let sharded_ingress = Arc::clone(&sharded);
+            let ingress_join = std::thread::Builder::new()
+                .name(format!("bb-ingress-{domain}"))
+                .spawn(move || {
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            IngressMsg::Frame {
+                                from,
+                                sealed,
+                                enqueued_ns,
+                            } => {
+                                match open_frame(&mut opens, &from, sealed) {
+                                    Some(m) => {
+                                        frames_opened.inc();
+                                        sharded_ingress.dispatch_peer(from, m, enqueued_ns);
                                     }
-                                    Some(m2) => pending.push_back(Work::Decoded(
-                                        f2,
-                                        Box::new(m2),
-                                        enqueued_ns,
-                                    )),
-                                    None => {}
-                                },
-                                other => {
-                                    pending.push_back(Work::Raw(other));
-                                    break;
+                                    None => frames_rejected.inc(), // tampered / replayed
                                 }
                             }
+                            IngressMsg::SetTime(t) => sharded_ingress.set_time(t),
+                            IngressMsg::Shutdown => break,
                         }
-                        node.recv_tunnel_flows(batch)
-                    } else {
-                        node.recv(&from, msg)
-                    };
-                    route_out(&dom, out, &mut my_channels, &peers_tx, &ins);
-                    drain_completions(&mut node, &dom, &completion_tx, &mut submitted_ns, &ins);
-                }
-                let completions = node.take_completions();
-                (node, completions)
-            });
+                    }
+                })
+                .expect("spawn ingress thread");
             self.actors.insert(
                 domain.clone(),
                 ActorHandle {
-                    tx: mailboxes[&domain].clone(),
+                    ingress_tx: mailboxes[&domain].clone(),
                     domain,
-                    join: Some(join),
+                    sharded,
+                    ingress_join: Some(ingress_join),
                 },
             );
         }
     }
 
-    /// Domains with running actors.
+    /// Domains with running brokers.
     pub fn domains(&self) -> impl Iterator<Item = &str> {
         self.actors.values().map(|h| h.domain.as_str())
     }
 
-    /// Submit a user request to a broker actor.
+    /// Submit a user request to a broker (trusted local delivery, not a
+    /// peer frame).
     pub fn submit(&self, domain: &str, rar: SignedRar, user_cert: Certificate) {
-        let h = &self.actors[domain];
-        let _ = h.tx.send(ActorMsg::Submit {
-            rar: Box::new(rar),
-            user_cert: Box::new(user_cert),
-            enqueued_ns: StdClock::now(),
-        });
+        self.actors[domain]
+            .sharded
+            .dispatch_submit(rar, user_cert, StdClock::now());
     }
 
     /// Request a sub-flow inside an established tunnel at its source
-    /// broker. Bursts of these from one or many sources reach the
-    /// destination's mailbox together, where their signatures are
-    /// verified as one parallel batch
-    /// ([`crate::node::BbNode::recv_tunnel_flows`]).
+    /// broker. Bursts of these from one or many sources land on the
+    /// tunnel's shard together, where their signatures are verified as
+    /// one parallel batch ([`crate::node::BbNode::recv_tunnel_flows`]).
     pub fn tunnel_flow(
         &self,
         domain: &str,
@@ -383,19 +308,15 @@ impl ActorMesh {
         rate_bps: u64,
         requestor: qos_crypto::DistinguishedName,
     ) {
-        let h = &self.actors[domain];
-        let _ = h.tx.send(ActorMsg::TunnelFlow {
-            tunnel,
-            flow,
-            rate_bps,
-            requestor: Box::new(requestor),
-        });
+        self.actors[domain]
+            .sharded
+            .dispatch_tunnel_flow(tunnel, flow, rate_bps, requestor);
     }
 
-    /// Broadcast a wall-clock update.
+    /// Broadcast a wall-clock update, ordered with inbound frames.
     pub fn set_time(&self, now: Timestamp) {
         for h in self.actors.values() {
-            let _ = h.tx.send(ActorMsg::SetTime(now));
+            let _ = h.ingress_tx.send(IngressMsg::SetTime(now));
         }
     }
 
@@ -414,18 +335,24 @@ impl ActorMesh {
         out
     }
 
-    /// Stop all actors and return the nodes.
+    /// Stop all brokers and return one node per domain (its ledger and
+    /// counters are the ones every shard shared).
     pub fn shutdown(mut self) -> HashMap<String, BbNode> {
+        // Stop every ingress thread first so no new frames reach the
+        // shards, then drain and join the shards themselves.
         for h in self.actors.values() {
-            let _ = h.tx.send(ActorMsg::Shutdown);
+            let _ = h.ingress_tx.send(IngressMsg::Shutdown);
+        }
+        for h in self.actors.values_mut() {
+            if let Some(join) = h.ingress_join.take() {
+                let _ = join.join();
+            }
         }
         let mut nodes = HashMap::new();
-        for (domain, mut h) in self.actors.drain() {
-            if let Some(join) = h.join.take() {
-                if let Ok((node, _)) = join.join() {
-                    nodes.insert(domain, node);
-                }
-            }
+        for (domain, h) in self.actors.drain() {
+            let sharded = Arc::into_inner(h.sharded)
+                .expect("ingress joined; mesh holds the only other handle");
+            nodes.insert(domain, sharded.shutdown());
         }
         nodes
     }
@@ -439,62 +366,12 @@ impl ActorMesh {
 /// so later verification never re-encodes the nest. `None` means the
 /// frame was tampered with, replayed, or from an unknown peer.
 fn open_frame(
-    channels: &mut HashMap<String, SecureChannel>,
+    opens: &mut HashMap<String, OpenHalf>,
     from: &str,
-    sealed: crate::channel::Sealed,
-    ins: &ActorInstruments,
+    sealed: Sealed,
 ) -> Option<SignalMessage> {
-    let opened = (|| {
-        let ch = channels.get_mut(from)?;
-        let bytes = ch.open(sealed).ok()?;
-        let shared: std::sync::Arc<[u8]> = bytes.into();
-        qos_wire::from_bytes_shared::<SignalMessage>(&shared).ok()
-    })();
-    match &opened {
-        Some(_) => ins.frames_opened.inc(),
-        None => ins.frames_rejected.inc(),
-    }
-    opened
-}
-
-fn drain_completions(
-    node: &mut BbNode,
-    dom: &str,
-    tx: &Sender<(String, Completion)>,
-    submitted_ns: &mut HashMap<RarId, u64>,
-    ins: &ActorInstruments,
-) {
-    for c in node.take_completions() {
-        if ins.live {
-            if let Completion::Reservation { rar_id, .. } = &c {
-                if let Some(t0) = submitted_ns.remove(rar_id) {
-                    ins.completion_latency
-                        .observe(StdClock::now().saturating_sub(t0));
-                }
-            }
-        }
-        let _ = tx.send((dom.to_string(), c));
-    }
-}
-
-fn route_out(
-    from: &str,
-    out: Vec<(String, SignalMessage)>,
-    channels: &mut HashMap<String, SecureChannel>,
-    peers: &HashMap<String, Sender<ActorMsg>>,
-    ins: &ActorInstruments,
-) {
-    for (to, msg) in out {
-        let to = to.strip_prefix("user:").unwrap_or(&to).to_string();
-        let (Some(ch), Some(tx)) = (channels.get_mut(&to), peers.get(&to)) else {
-            continue;
-        };
-        let sealed = ch.seal(qos_wire::to_bytes(&msg));
-        ins.frames_sealed.inc();
-        let _ = tx.send(ActorMsg::Frame {
-            from: from.to_string(),
-            sealed,
-            enqueued_ns: StdClock::now(),
-        });
-    }
+    let half = opens.get_mut(from)?;
+    let bytes = half.open(sealed).ok()?;
+    let shared: std::sync::Arc<[u8]> = bytes.into();
+    qos_wire::from_bytes_shared::<SignalMessage>(&shared).ok()
 }

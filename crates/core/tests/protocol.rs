@@ -471,7 +471,7 @@ fn billing_chain_recorded_at_source() {
     mesh.submit_in(SimDuration::ZERO, "domain-a", rar, cert);
     mesh.run_until_idle();
     assert!(approval_of(&mesh, "domain-a", rar_id).is_ok());
-    let invoices = mesh.node("domain-a").core().billing().invoices();
+    let invoices = mesh.node("domain-a").core().invoices();
     assert!(!invoices.is_empty());
     // Alice pays the source domain.
     assert_eq!(invoices[0].payer, "Alice");

@@ -154,6 +154,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "scheduling into the past")]
+    #[cfg(debug_assertions)] // the guard is a debug_assert
     fn past_scheduling_panics_in_debug() {
         let mut s = Scheduler::new();
         s.schedule_at(SimTime(100), 1u32);

@@ -129,8 +129,10 @@ pub(crate) fn json_escape(s: &str) -> String {
 ///   "metrics":[{"labels":{"domain":"a"},"value":5}]}]}
 /// ```
 ///
-/// Histogram metrics carry `count`, `sum`, `mean`, `p50`, `p95`, `p99`
-/// instead of `value`. Ordering is deterministic (same walk as
+/// Histogram metrics carry `count`, `sum`, `min`, `mean`, `max`, `p50`,
+/// `p95`, `p99` instead of `value`. `min`/`max` are the raw extreme
+/// observations; the percentiles resolve to log-linear bucket upper
+/// bounds. Ordering is deterministic (same walk as
 /// [`render_prometheus`]).
 pub fn snapshot_json(registry: &Registry) -> String {
     let fams = registry.families.lock().expect("registry poisoned");
@@ -156,10 +158,12 @@ pub fn snapshot_json(registry: &Registry) -> String {
                 MetricCell::Histogram(h) => {
                     let hh = h.handle();
                     format!(
-                        "\"count\":{},\"sum\":{},\"mean\":{:.3},\"p50\":{},\"p95\":{},\"p99\":{}",
+                        "\"count\":{},\"sum\":{},\"min\":{},\"mean\":{:.3},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}",
                         hh.count(),
                         hh.sum(),
+                        hh.min(),
                         hh.mean(),
+                        hh.max(),
                         hh.quantile(0.50),
                         hh.quantile(0.95),
                         hh.quantile(0.99)

@@ -112,13 +112,19 @@ impl Gauge {
     }
 }
 
-/// Shared storage of one histogram: fixed log-linear buckets plus sum
-/// and count, all relaxed atomics.
+/// Shared storage of one histogram: fixed log-linear buckets plus sum,
+/// count, and exact min/max, all relaxed atomics.
 #[derive(Debug)]
 pub struct HistogramCore {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    /// Exact smallest observation (`u64::MAX` until the first one), so
+    /// snapshots can report raw extremes alongside the bucketed
+    /// percentiles, which only resolve to a bucket's upper bound.
+    min: AtomicU64,
+    /// Exact largest observation (0 until the first one).
+    max: AtomicU64,
 }
 
 impl Default for HistogramCore {
@@ -127,6 +133,8 @@ impl Default for HistogramCore {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
         }
     }
 }
@@ -191,6 +199,8 @@ impl Histogram {
             h.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
             h.count.fetch_add(1, Ordering::Relaxed);
             h.sum.fetch_add(v, Ordering::Relaxed);
+            h.min.fetch_min(v, Ordering::Relaxed);
+            h.max.fetch_max(v, Ordering::Relaxed);
         }
     }
 
@@ -204,6 +214,23 @@ impl Histogram {
     /// Sum of observations.
     pub fn sum(&self) -> u64 {
         self.0.as_ref().map_or(0, |h| h.sum.load(Ordering::Relaxed))
+    }
+
+    /// Exact smallest observation (0 when empty) — unlike the
+    /// percentiles, this is the raw value, not a bucket bound.
+    pub fn min(&self) -> u64 {
+        let Some(h) = &self.0 else {
+            return 0;
+        };
+        if h.count.load(Ordering::Relaxed) == 0 {
+            return 0;
+        }
+        h.min.load(Ordering::Relaxed)
+    }
+
+    /// Exact largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.max.load(Ordering::Relaxed))
     }
 
     /// Mean observation (0 when empty).
@@ -593,6 +620,27 @@ mod tests {
         // p99 rank 99 → value 99 → bucket 96..=103.
         assert_eq!(h.p99(), 103);
         assert_eq!(h.quantile(1.0), 103);
+        // Raw extremes are exact, unlike the bucketed percentiles.
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn histogram_extremes_track_raw_values() {
+        let reg = Registry::new();
+        let h = reg.histogram("raw_ns", "h", &[]);
+        // Empty: both read 0, not the u64::MAX sentinel.
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        h.observe(1_000_003);
+        assert_eq!(h.min(), 1_000_003);
+        assert_eq!(h.max(), 1_000_003);
+        h.observe(17);
+        h.observe(2_000_000_011);
+        // Exact, even though both land inside wide log-linear buckets.
+        assert_eq!(h.min(), 17);
+        assert_eq!(h.max(), 2_000_000_011);
+        assert!(h.quantile(1.0) >= h.max());
     }
 
     #[test]

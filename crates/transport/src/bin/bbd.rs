@@ -37,6 +37,7 @@ struct Args {
     metrics: bool,
     no_resume: bool,
     cache_size: Option<usize>,
+    shards: Option<usize>,
 }
 
 const USAGE: &str = "bbd — bandwidth-broker daemon over TCP
@@ -45,7 +46,7 @@ USAGE:
     bbd --index I [--chain N] [--listen ADDR]
         [--peer DOMAIN=ADDR]... [--accept DOMAIN]...
         [--submit K] [--run-secs S] [--metrics]
-        [--no-resume] [--cache-size N]
+        [--no-resume] [--cache-size N] [--shards N]
 
 OPTIONS:
     --chain N          domains in the deterministic chain scenario (default 3)
@@ -62,6 +63,8 @@ OPTIONS:
                        mesh must agree on this flag
     --cache-size N     signature-verification cache capacity (entries;
                        0 disables the cache, default 4096)
+    --shards N         admission shards hosting this broker (clamped to
+                       at least 1; default min(4, available cores))
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -76,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
         metrics: false,
         no_resume: false,
         cache_size: None,
+        shards: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -103,6 +107,9 @@ fn parse_args() -> Result<Args, String> {
             "--no-resume" => args.no_resume = true,
             "--cache-size" => {
                 args.cache_size = Some(value("--cache-size")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--shards" => {
+                args.shards = Some(value("--shards")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -188,6 +195,10 @@ fn main() -> ExitCode {
             telemetry,
             options: TransportOptions {
                 resume: !args.no_resume,
+                shards: args
+                    .shards
+                    .unwrap_or_else(qos_core::runtime::default_shards)
+                    .max(1),
                 ..TransportOptions::default()
             },
         },

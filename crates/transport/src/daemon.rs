@@ -1,43 +1,46 @@
-//! The broker daemon: one [`BbNode`] behind real sockets.
+//! The broker daemon: one domain's admission shards behind real sockets.
 //!
-//! A [`BrokerDaemon`] hosts a broker's protocol state machine on its own
-//! thread and connects it to peered daemons over TCP:
+//! A [`BrokerDaemon`] hosts a broker as an N-way [`ShardedNode`]
+//! (DESIGN.md §D11) and connects it to peered daemons through a single
+//! [reactor](crate::reactor) thread:
 //!
-//! * an **accept loop** admits inbound connections, runs the responder
-//!   half of the [`NetHandshake`](qos_core::channel::NetHandshake), and
-//!   refuses certificates for any domain the SLA does not pin;
-//! * a **connector** per outbound link dials the peer, runs the
-//!   initiator half, and on any disconnect retries under exponential
-//!   [`Backoff`], counting reconnects;
-//! * a **writer** per link drains that link's bounded [`OutQueue`],
-//!   sealing each plaintext frame at write time so frames that waited
-//!   out a reconnect are MAC'd under the new session's sequence space.
-//!   A frame whose write fails is pushed back to the queue front —
-//!   an approved reservation never evaporates because a socket died;
-//! * a **reader** per live session opens sealed frames in arrival order
-//!   and feeds the decoded signalling messages to the node thread,
-//!   which runs the same dispatch loop (including tunnel-flow batch
-//!   coalescing) as the in-process actor runtime.
+//! * the **reactor** owns every socket non-blocking under one
+//!   `epoll`-backed poll — the accept listener, each peering link, frame
+//!   decode and seal, write coalescing, and the reconnect backoff
+//!   timers. Decoded signalling messages go straight into the shards;
+//! * **admission shards** partition the broker's protocol state by
+//!   reservation, so independent reservations verify and admit in
+//!   parallel while the shared striped ledger keeps committed bandwidth
+//!   exact. Shard workers steal from each other's ingress queues when
+//!   load skews;
+//! * shard outputs come back through each link's bounded [`OutQueue`]
+//!   (plaintext; sealing happens at write time, so frames that wait out
+//!   a reconnect are MAC'd under the new session's sequence space), and
+//!   the sink rings the reactor's waker.
+//!
+//! The old daemon ran one node thread plus three threads per link
+//! (connector, writer, reader). This one runs one reactor thread plus
+//! `shards` worker threads regardless of link count, with handshakes on
+//! short-lived offload threads.
 
-use crate::backoff::Backoff;
 use crate::error::TransportError;
 use crate::queue::{OutQueue, OverflowPolicy, PushOutcome};
-use crate::resume::{ResumeTicket, TicketIssuer};
-use crate::session::{
-    establish_initiator_resumable, establish_responder_resumable, HandshakeKind, Session,
-};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use qos_core::channel::{ChannelIdentity, PeerPin};
+use crate::reactor::{broker_pin, Ctrl, Reactor, ReactorConfig, TOKEN_WAKER};
+use crate::resume::TicketIssuer;
+use crossbeam::channel::{unbounded, Sender};
+use mio::{Poll, Waker};
+use qos_core::channel::ChannelIdentity;
 use qos_core::envelope::SignedRar;
 use qos_core::messages::SignalMessage;
 use qos_core::node::{BbNode, Completion};
 use qos_core::rar::RarId;
+use qos_core::shard::{ShardSink, ShardedNode};
 use qos_crypto::{Certificate, DistinguishedName, PublicKey, Timestamp};
-use qos_telemetry::{Counter, Gauge, Histogram, StdClock, Telemetry, TraceId};
-use std::collections::{HashMap, VecDeque};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use qos_telemetry::{Counter, Gauge, Histogram, StdClock, Telemetry};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -67,6 +70,9 @@ pub struct TransportOptions {
     pub ticket_ttl_secs: u64,
     /// Bound on outstanding tickets held by this daemon's issuer.
     pub ticket_cap: usize,
+    /// Admission shards hosting the broker (at least 1; see `--shards`
+    /// on `bbd`). Defaults to `min(4, available cores)`.
+    pub shards: usize,
 }
 
 impl Default for TransportOptions {
@@ -81,6 +87,7 @@ impl Default for TransportOptions {
             resume: true,
             ticket_ttl_secs: 3600,
             ticket_cap: 1024,
+            shards: qos_core::runtime::default_shards(),
         }
     }
 }
@@ -105,152 +112,22 @@ pub struct DaemonConfig {
     pub options: TransportOptions,
 }
 
-enum NodeMsg {
-    Peer {
-        from: String,
-        msg: Box<SignalMessage>,
-        enqueued_ns: u64,
-    },
-    Submit {
-        rar: Box<SignedRar>,
-        user_cert: Box<Certificate>,
-        enqueued_ns: u64,
-    },
-    TunnelFlow {
-        tunnel: RarId,
-        flow: u64,
-        rate_bps: u64,
-        requestor: Box<DistinguishedName>,
-    },
-    SetTime(Timestamp),
-    Shutdown,
-}
-
-/// The session slot of one link: at most one live session, plus the
-/// closed flag that tells every thread of the link to wind down.
-struct SessionSlot {
-    state: Mutex<SlotState>,
-    cv: Condvar,
-}
-
-struct SlotState {
-    session: Option<Arc<Session>>,
-    closed: bool,
-}
-
-impl SessionSlot {
-    fn new() -> Self {
-        Self {
-            state: Mutex::new(SlotState {
-                session: None,
-                closed: false,
-            }),
-            cv: Condvar::new(),
-        }
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, SlotState> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
-    }
-
-    /// Install a fresh session, returning the one it displaced (the
-    /// caller shuts it down). `None` result + `false` means the slot is
-    /// closed and the new session must be discarded.
-    fn install(&self, session: Arc<Session>) -> (bool, Option<Arc<Session>>) {
-        let mut g = self.lock();
-        if g.closed {
-            return (false, None);
-        }
-        let old = g.session.replace(session);
-        self.cv.notify_all();
-        (true, old)
-    }
-
-    /// Clear the slot if it still holds exactly `session`.
-    fn clear_if(&self, session: &Arc<Session>) {
-        let mut g = self.lock();
-        if g.session.as_ref().is_some_and(|s| Arc::ptr_eq(s, session)) {
-            g.session = None;
-            self.cv.notify_all();
-        }
-    }
-
-    /// The current session, if any.
-    fn current(&self) -> Option<Arc<Session>> {
-        self.lock().session.clone()
-    }
-
-    /// Remove and return the current session without closing the slot
-    /// (used by [`BrokerDaemon::kill_connections`]).
-    fn take(&self) -> Option<Arc<Session>> {
-        let mut g = self.lock();
-        let s = g.session.take();
-        self.cv.notify_all();
-        s
-    }
-
-    /// Block until a session is installed; `None` means the slot closed.
-    fn wait_session(&self) -> Option<Arc<Session>> {
-        let mut g = self.lock();
-        loop {
-            if g.closed {
-                return None;
-            }
-            if let Some(s) = &g.session {
-                return Some(Arc::clone(s));
-            }
-            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
-        }
-    }
-
-    fn is_closed(&self) -> bool {
-        self.lock().closed
-    }
-
-    /// Close the slot and return any live session for teardown.
-    fn close(&self) -> Option<Arc<Session>> {
-        let mut g = self.lock();
-        g.closed = true;
-        let s = g.session.take();
-        self.cv.notify_all();
-        s
-    }
-
-    /// Sleep up to `d`, waking early if the slot closes.
-    fn sleep_interruptible(&self, d: Duration) {
-        let deadline = Instant::now() + d;
-        let mut g = self.lock();
-        while !g.closed {
-            let now = Instant::now();
-            if now >= deadline {
-                return;
-            }
-            let (ng, _) = self
-                .cv
-                .wait_timeout(g, deadline - now)
-                .unwrap_or_else(|e| e.into_inner());
-            g = ng;
-        }
-    }
-}
-
-/// How many queued frames one vectored socket write may carry.
-const MAX_WRITE_BATCH: usize = 64;
-
 /// Per-link transport instruments (no-ops without a registry).
-struct LinkInstruments {
-    frames_sent: Counter,
-    frames_received: Counter,
-    bytes_sent: Counter,
-    bytes_received: Counter,
-    reconnects: Counter,
-    resumed: Counter,
-    dropped: Counter,
-    rejected: Counter,
-    handshake_ns: Histogram,
-    outq_depth: Gauge,
-    write_batch_frames: Histogram,
-    writes_coalesced: Counter,
+pub(crate) struct LinkInstruments {
+    pub(crate) frames_sent: Counter,
+    pub(crate) frames_received: Counter,
+    pub(crate) bytes_sent: Counter,
+    pub(crate) bytes_received: Counter,
+    pub(crate) reconnects: Counter,
+    pub(crate) resumed: Counter,
+    pub(crate) dropped: Counter,
+    pub(crate) rejected: Counter,
+    pub(crate) handshake_ns: Histogram,
+    pub(crate) outq_depth: Gauge,
+    pub(crate) write_batch_frames: Histogram,
+    pub(crate) writes_coalesced: Counter,
+    pub(crate) retransmits: Counter,
+    pub(crate) dup_frames: Counter,
 }
 
 impl LinkInstruments {
@@ -317,36 +194,93 @@ impl LinkInstruments {
                 "Socket writes that carried more than one frame",
                 l,
             ),
+            retransmits: telemetry.counter(
+                "transport_frames_retransmitted_total",
+                "Accepted-but-unacknowledged frames re-queued when a connection died",
+                l,
+            ),
+            dup_frames: telemetry.counter(
+                "transport_frames_duplicate_total",
+                "Inbound retransmits skipped by delivery index",
+                l,
+            ),
         }
     }
 }
 
-/// One peering link's shared state.
-struct Link {
-    queue: Arc<OutQueue>,
-    slot: Arc<SessionSlot>,
+/// One peering link's shared state (written by the shard sink, read and
+/// written by the reactor).
+pub(crate) struct Link {
+    pub(crate) queue: Arc<OutQueue>,
     /// Set once the first session is up; later sessions count as
     /// reconnects.
-    established: AtomicBool,
-    ins: LinkInstruments,
+    pub(crate) established: AtomicBool,
+    /// A session is currently live on this link.
+    pub(crate) connected: AtomicBool,
+    /// Delivery indices, the unacked retransmit window, and the
+    /// receive-side dedupe watermark (survives reconnects).
+    pub(crate) reliable: crate::reactor::LinkReliability,
+    pub(crate) ins: LinkInstruments,
 }
 
-/// A broker daemon: one [`BbNode`] served over TCP peering links.
+/// The shard sink for the TCP fabric: outputs go to link queues
+/// (plaintext — the reactor seals at write time), completions to the
+/// daemon owner's channel. Called with a shard's node lock held, so it
+/// must never dispatch back into the shards.
+struct TcpSink {
+    domain: String,
+    links: Arc<HashMap<String, Link>>,
+    completion_tx: Sender<(String, Completion)>,
+    waker: Arc<Waker>,
+}
+
+impl ShardSink for TcpSink {
+    fn deliver(&self, to: &str, msg: SignalMessage) {
+        let to = to.strip_prefix("user:").unwrap_or(to);
+        let Some(link) = self.links.get(to) else {
+            return;
+        };
+        // Index assignment and enqueue stay under one lock so queue
+        // order equals index order — the receiver's dedupe watermark
+        // relies on it. A `Block`ed push holds the lock, but only other
+        // sinks contend here; the reactor never takes `tx`.
+        let outcome = {
+            let mut tx = link.reliable.tx.lock().unwrap_or_else(|e| e.into_inner());
+            let index = *tx;
+            *tx += 1;
+            link.reliable.note_assigned(*tx);
+            link.queue.push(crate::reactor::data_frame(index, &msg))
+        };
+        match outcome {
+            PushOutcome::Queued => {}
+            PushOutcome::DroppedNewest | PushOutcome::DroppedOldest => link.ins.dropped.inc(),
+            PushOutcome::Closed => {}
+        }
+        link.ins.outq_depth.record_max(link.queue.len() as i64);
+        let _ = self.waker.wake();
+    }
+
+    fn complete(&self, completion: Completion) {
+        let _ = self.completion_tx.send((self.domain.clone(), completion));
+    }
+}
+
+/// A broker daemon: one sharded broker served over TCP peering links.
 pub struct BrokerDaemon {
     domain: String,
-    node_tx: Sender<NodeMsg>,
-    node_join: Option<JoinHandle<BbNode>>,
+    sharded: Arc<ShardedNode>,
     links: Arc<HashMap<String, Link>>,
-    stop: Arc<AtomicBool>,
-    threads: Vec<JoinHandle<()>>,
-    inbound: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    ctrl_tx: Sender<Ctrl>,
+    waker: Arc<Waker>,
+    reactor_join: Option<JoinHandle<()>>,
+    hs_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     local_addr: SocketAddr,
 }
 
 impl BrokerDaemon {
-    /// Bring the daemon up: spawns the node thread, the accept loop, and
-    /// per-link connector/writer threads. Returns immediately; links
-    /// come up asynchronously (see [`BrokerDaemon::wait_connected`]).
+    /// Bring the daemon up: spawns the shard workers and the reactor
+    /// thread. Returns immediately; links come up asynchronously (see
+    /// [`BrokerDaemon::wait_connected`]).
     pub fn start(node: BbNode, config: DaemonConfig) -> Result<Self, TransportError> {
         let DaemonConfig {
             identity,
@@ -360,7 +294,6 @@ impl BrokerDaemon {
         } = config;
         let domain = node.domain().to_string();
         let local_addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
         let identity = Arc::new(identity);
         // The process-wide signature-verification cache serves every
         // handshake and envelope check this daemon performs; surface its
@@ -385,90 +318,71 @@ impl BrokerDaemon {
                 peer,
                 Link {
                     queue: Arc::new(OutQueue::new(options.queue_capacity, options.overflow)),
-                    slot: Arc::new(SessionSlot::new()),
                     established: AtomicBool::new(false),
+                    connected: AtomicBool::new(false),
+                    reliable: crate::reactor::LinkReliability::new(),
                     ins,
                 },
             );
         }
         let links = Arc::new(links);
 
-        let (node_tx, node_rx) = unbounded();
-        let node_join = spawn_node_thread(
-            node,
-            node_rx,
-            Arc::clone(&links),
+        let poll = Poll::new()?;
+        let waker = Arc::new(Waker::new(&poll, TOKEN_WAKER)?);
+
+        let sink = TcpSink {
+            domain: domain.clone(),
+            links: Arc::clone(&links),
             completion_tx,
+            waker: Arc::clone(&waker),
+        };
+        let sharded = Arc::new(ShardedNode::new(
+            node,
+            options.shards,
+            Arc::new(sink),
             &telemetry,
-            &domain,
-        );
+        ));
 
-        let mut threads = Vec::new();
-
-        // Writers: one per link, dialed or accepted.
-        for (peer, link) in links.iter() {
-            threads.push(spawn_writer(
-                Arc::clone(&links),
-                peer.clone(),
-                Arc::clone(&link.queue),
-                Arc::clone(&link.slot),
-            ));
-        }
-
-        // Connectors: one per dialed peer.
-        for (peer, addr) in &connect_to {
-            let link = &links[peer];
-            threads.push(spawn_connector(
-                Arc::clone(&links),
-                peer.clone(),
-                *addr,
-                Arc::clone(&identity),
-                PeerPin {
-                    ca_key,
-                    dn: DistinguishedName::broker(peer),
-                },
-                Arc::clone(&link.slot),
-                node_tx.clone(),
-                options.clone(),
-            ));
-        }
-
-        // Accept loop, if anyone dials us.
-        let inbound = Arc::new(Mutex::new(Vec::new()));
-        if !accept_from.is_empty() {
-            let pins: HashMap<String, PeerPin> = accept_from
-                .iter()
-                .map(|p| {
-                    (
-                        p.clone(),
-                        PeerPin {
-                            ca_key,
-                            dn: DistinguishedName::broker(p),
-                        },
-                    )
-                })
-                .collect();
-            threads.push(spawn_acceptor(
-                listener,
-                Arc::clone(&identity),
-                pins,
-                Arc::clone(&links),
-                node_tx.clone(),
-                Arc::clone(&stop),
-                Arc::clone(&inbound),
-                options.clone(),
-                issuer,
-            ));
-        }
+        let (ctrl_tx, ctrl_rx) = unbounded();
+        let hs_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept_pins: HashMap<_, _> = accept_from
+            .iter()
+            .map(|p| (p.clone(), broker_pin(ca_key, p)))
+            .collect();
+        let dials: HashMap<_, _> = connect_to
+            .iter()
+            .map(|(p, addr)| (p.clone(), (*addr, broker_pin(ca_key, p))))
+            .collect();
+        let reactor = Reactor::new(ReactorConfig {
+            domain: domain.clone(),
+            poll,
+            waker: Arc::clone(&waker),
+            listener: Some(listener),
+            identity,
+            accept_pins,
+            connect_to: dials,
+            links: Arc::clone(&links),
+            sharded: Arc::clone(&sharded),
+            options,
+            issuer,
+            ctrl_tx: ctrl_tx.clone(),
+            ctrl_rx,
+            hs_threads: Arc::clone(&hs_threads),
+            telemetry,
+        });
+        let reactor_join = std::thread::Builder::new()
+            .name(format!("bb-reactor-{domain}"))
+            .spawn(move || reactor.run())
+            .expect("spawn reactor thread");
 
         Ok(Self {
             domain,
-            node_tx,
-            node_join: Some(node_join),
+            sharded,
             links,
-            stop,
-            threads,
-            inbound,
+            ctrl_tx,
+            waker,
+            reactor_join: Some(reactor_join),
+            hs_threads,
             local_addr,
         })
     }
@@ -485,27 +399,17 @@ impl BrokerDaemon {
 
     /// Submit a user request to the hosted broker.
     pub fn submit(&self, rar: SignedRar, user_cert: Certificate) {
-        let _ = self.node_tx.send(NodeMsg::Submit {
-            rar: Box::new(rar),
-            user_cert: Box::new(user_cert),
-            enqueued_ns: StdClock::now(),
-        });
+        self.sharded
+            .dispatch_submit(rar, user_cert, StdClock::now());
     }
 
     /// Submit a burst of user requests back-to-back (pipelined: no
-    /// per-request wait). The whole burst lands in the node mailbox in
-    /// one sweep, so the dispatch loop coalesces the signature checks
-    /// into batch equations and the writers coalesce the outbound
-    /// frames into vectored socket writes.
+    /// per-request wait). The burst is grouped per shard in one sweep,
+    /// so each shard coalesces its share of the signature checks into
+    /// batch equations and the reactor coalesces the outbound frames
+    /// into large socket writes.
     pub fn submit_all(&self, requests: Vec<(SignedRar, Certificate)>) {
-        let enqueued_ns = StdClock::now();
-        for (rar, user_cert) in requests {
-            let _ = self.node_tx.send(NodeMsg::Submit {
-                rar: Box::new(rar),
-                user_cert: Box::new(user_cert),
-                enqueued_ns,
-            });
-        }
+        self.sharded.dispatch_submit_all(requests);
     }
 
     /// Request a sub-flow inside an established tunnel.
@@ -516,24 +420,20 @@ impl BrokerDaemon {
         rate_bps: u64,
         requestor: DistinguishedName,
     ) {
-        let _ = self.node_tx.send(NodeMsg::TunnelFlow {
-            tunnel,
-            flow,
-            rate_bps,
-            requestor: Box::new(requestor),
-        });
+        self.sharded
+            .dispatch_tunnel_flow(tunnel, flow, rate_bps, requestor);
     }
 
-    /// Advance the broker's wall clock.
+    /// Advance the broker's wall clock (all shards).
     pub fn set_time(&self, now: Timestamp) {
-        let _ = self.node_tx.send(NodeMsg::SetTime(now));
+        self.sharded.set_time(now);
     }
 
     /// Number of links with a live session.
     pub fn connected_peers(&self) -> usize {
         self.links
             .values()
-            .filter(|l| l.slot.current().is_some())
+            .filter(|l| l.connected.load(std::sync::atomic::Ordering::SeqCst))
             .count()
     }
 
@@ -551,532 +451,36 @@ impl BrokerDaemon {
         }
     }
 
-    /// Sever every live session (simulating network failure). Dialed
-    /// links recover through the connector's backoff loop; accepted
-    /// links recover when the peer redials.
+    /// Sever every live session (simulating network failure). The
+    /// plaintext of any frame the sockets did not fully accept returns
+    /// to its queue; dialed links redial immediately, accepted links
+    /// recover when the peer redials.
     pub fn kill_connections(&self) {
-        for link in self.links.values() {
-            if let Some(s) = link.slot.take() {
-                s.shutdown();
-            }
-        }
+        let _ = self.ctrl_tx.send(Ctrl::Kill);
+        let _ = self.waker.wake();
     }
 
     /// Stop everything and hand the broker node back.
     pub fn shutdown(mut self) -> BbNode {
-        self.stop.store(true, Ordering::SeqCst);
-        let _ = self.node_tx.send(NodeMsg::Shutdown);
+        let _ = self.ctrl_tx.send(Ctrl::Shutdown);
+        let _ = self.waker.wake();
+        if let Some(j) = self.reactor_join.take() {
+            let _ = j.join();
+        }
+        // Unblock any shard worker waiting on a full link queue, then
+        // drain and join the shards.
         for link in self.links.values() {
             link.queue.close();
-            if let Some(s) = link.slot.close() {
-                s.shutdown();
-            }
         }
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
-        let handles: Vec<_> = {
-            let mut g = self.inbound.lock().unwrap_or_else(|e| e.into_inner());
+        let handshakes: Vec<_> = {
+            let mut g = self.hs_threads.lock().unwrap_or_else(|e| e.into_inner());
             g.drain(..).collect()
         };
-        for t in handles {
+        for t in handshakes {
             let _ = t.join();
         }
-        self.node_join
-            .take()
-            .expect("node thread handle")
-            .join()
-            .expect("node thread")
-    }
-}
-
-/// The broker's dispatch loop — the daemon-side mirror of the actor
-/// runtime's, with outbound messages routed to link queues instead of
-/// in-process mailboxes.
-fn spawn_node_thread(
-    mut node: BbNode,
-    rx: Receiver<NodeMsg>,
-    links: Arc<HashMap<String, Link>>,
-    completion_tx: Sender<(String, Completion)>,
-    telemetry: &Telemetry,
-    domain: &str,
-) -> JoinHandle<BbNode> {
-    let dom = domain.to_string();
-    let dl: &[(&str, &str)] = &[("domain", domain)];
-    let mailbox_depth = telemetry.gauge(
-        "bb_mailbox_depth_peak",
-        "Peak number of messages waiting in the daemon's node mailbox",
-        dl,
-    );
-    let completion_latency = telemetry.histogram(
-        "bb_completion_latency_ns",
-        "Submit-to-completion latency at the source broker",
-        dl,
-    );
-    let live = telemetry.is_enabled();
-    std::thread::spawn(move || {
-        let mut pending: VecDeque<NodeMsg> = VecDeque::new();
-        let mut submitted_ns: HashMap<RarId, u64> = HashMap::new();
-        loop {
-            if live {
-                mailbox_depth.record_max(pending.len() as i64 + rx.len() as i64);
-            }
-            let work = match pending.pop_front() {
-                Some(w) => w,
-                None => match rx.recv() {
-                    Ok(m) => m,
-                    Err(_) => break,
-                },
-            };
-            let (from, msg, enqueued_ns) = match work {
-                NodeMsg::SetTime(t) => {
-                    node.set_time(t);
-                    continue;
-                }
-                NodeMsg::Shutdown => break,
-                NodeMsg::Submit {
-                    rar,
-                    user_cert,
-                    enqueued_ns,
-                } => {
-                    // Coalesce a burst of user submissions so their
-                    // certificate and request signatures verify through
-                    // one batch equation; any other message ends the
-                    // sweep and keeps its place via `pending`.
-                    let mut burst = vec![(rar, user_cert, enqueued_ns)];
-                    while let Ok(raw) = rx.try_recv() {
-                        match raw {
-                            NodeMsg::Submit {
-                                rar,
-                                user_cert,
-                                enqueued_ns,
-                            } => burst.push((rar, user_cert, enqueued_ns)),
-                            other => {
-                                pending.push_back(other);
-                                break;
-                            }
-                        }
-                    }
-                    let batch: Vec<(SignedRar, Certificate)> = burst
-                        .into_iter()
-                        .map(|(rar, user_cert, t0)| {
-                            let spec = rar.res_spec();
-                            let (rar_id, trace) = (
-                                spec.rar_id,
-                                TraceId::mint(&spec.source_domain, spec.rar_id.0),
-                            );
-                            if live {
-                                submitted_ns.insert(rar_id, t0);
-                            }
-                            node.record_queue_wait(trace, rar_id, t0);
-                            (*rar, *user_cert)
-                        })
-                        .collect();
-                    let out = node.submit_batch(batch);
-                    route_out(out, &links);
-                    drain_completions(
-                        &mut node,
-                        &dom,
-                        &completion_tx,
-                        &mut submitted_ns,
-                        live,
-                        &completion_latency,
-                    );
-                    continue;
-                }
-                NodeMsg::TunnelFlow {
-                    tunnel,
-                    flow,
-                    rate_bps,
-                    requestor,
-                } => {
-                    match node.request_tunnel_flow(tunnel, flow, rate_bps, *requestor) {
-                        Ok(out) => route_out(out, &links),
-                        Err(e) => {
-                            let _ = completion_tx.send((
-                                dom.clone(),
-                                Completion::TunnelFlow {
-                                    tunnel,
-                                    flow,
-                                    accepted: false,
-                                    reason: e.to_string(),
-                                },
-                            ));
-                        }
-                    }
-                    drain_completions(
-                        &mut node,
-                        &dom,
-                        &completion_tx,
-                        &mut submitted_ns,
-                        live,
-                        &completion_latency,
-                    );
-                    continue;
-                }
-                NodeMsg::Peer {
-                    from,
-                    msg,
-                    enqueued_ns,
-                } => (from, *msg, enqueued_ns),
-            };
-            if let Some(trace) = msg.trace_id() {
-                node.record_queue_wait(trace, msg.rar_id(), enqueued_ns);
-            }
-            let out = match msg {
-                SignalMessage::TunnelFlow(t) => {
-                    // Coalesce queued tunnel sub-flow requests into one
-                    // batch whose signatures verify on the worker pool;
-                    // other messages keep their arrival order via
-                    // `pending`.
-                    let mut batch = vec![(from, t)];
-                    while let Ok(raw) = rx.try_recv() {
-                        match raw {
-                            NodeMsg::Peer {
-                                from: f2,
-                                msg: m2,
-                                enqueued_ns,
-                            } => match *m2 {
-                                SignalMessage::TunnelFlow(t2) => batch.push((f2, t2)),
-                                other => pending.push_back(NodeMsg::Peer {
-                                    from: f2,
-                                    msg: Box::new(other),
-                                    enqueued_ns,
-                                }),
-                            },
-                            other => {
-                                pending.push_back(other);
-                                break;
-                            }
-                        }
-                    }
-                    node.recv_tunnel_flows(batch)
-                }
-                SignalMessage::Request(r) => {
-                    // Same coalescing for peer reservation requests: a
-                    // burst arriving across concurrent links verifies
-                    // through one batch equation in `recv_requests`.
-                    let mut batch = vec![(from, r)];
-                    while let Ok(raw) = rx.try_recv() {
-                        match raw {
-                            NodeMsg::Peer {
-                                from: f2,
-                                msg: m2,
-                                enqueued_ns,
-                            } => {
-                                if matches!(&*m2, SignalMessage::Request(_)) {
-                                    if let Some(trace) = m2.trace_id() {
-                                        node.record_queue_wait(trace, m2.rar_id(), enqueued_ns);
-                                    }
-                                    if let SignalMessage::Request(r2) = *m2 {
-                                        batch.push((f2, r2));
-                                    }
-                                } else {
-                                    pending.push_back(NodeMsg::Peer {
-                                        from: f2,
-                                        msg: m2,
-                                        enqueued_ns,
-                                    });
-                                }
-                            }
-                            other => {
-                                pending.push_back(other);
-                                break;
-                            }
-                        }
-                    }
-                    node.recv_requests(batch)
-                }
-                other => node.recv(&from, other),
-            };
-            route_out(out, &links);
-            drain_completions(
-                &mut node,
-                &dom,
-                &completion_tx,
-                &mut submitted_ns,
-                live,
-                &completion_latency,
-            );
-        }
-        node
-    })
-}
-
-/// Queue outbound messages on their links' bounded queues (plaintext;
-/// sealing happens at write time).
-fn route_out(out: Vec<(String, SignalMessage)>, links: &HashMap<String, Link>) {
-    for (to, msg) in out {
-        let to = to.strip_prefix("user:").unwrap_or(&to);
-        let Some(link) = links.get(to) else {
-            continue;
-        };
-        match link.queue.push(qos_wire::to_bytes(&msg)) {
-            PushOutcome::Queued => {}
-            PushOutcome::DroppedNewest | PushOutcome::DroppedOldest => link.ins.dropped.inc(),
-            PushOutcome::Closed => {}
-        }
-        link.ins.outq_depth.record_max(link.queue.len() as i64);
-    }
-}
-
-fn drain_completions(
-    node: &mut BbNode,
-    dom: &str,
-    tx: &Sender<(String, Completion)>,
-    submitted_ns: &mut HashMap<RarId, u64>,
-    live: bool,
-    completion_latency: &Histogram,
-) {
-    for c in node.take_completions() {
-        if live {
-            if let Completion::Reservation { rar_id, .. } = &c {
-                if let Some(t0) = submitted_ns.remove(rar_id) {
-                    completion_latency.observe(StdClock::now().saturating_sub(t0));
-                }
-            }
-        }
-        let _ = tx.send((dom.to_string(), c));
-    }
-}
-
-/// Drain one link's queue into whatever session is live, coalescing
-/// everything already queued (up to [`MAX_WRITE_BATCH`] frames) into one
-/// vectored socket write. When a write fails mid-batch, the frames the
-/// socket fully accepted stay gone (the peer may have processed them —
-/// retransmitting would double-deliver) and the unsent tail returns to
-/// the queue front in order.
-fn spawn_writer(
-    links: Arc<HashMap<String, Link>>,
-    peer: String,
-    queue: Arc<OutQueue>,
-    slot: Arc<SessionSlot>,
-) -> JoinHandle<()> {
-    std::thread::spawn(move || {
-        let ins = &links[&peer].ins;
-        while let Some(mut batch) = queue.pop_batch(MAX_WRITE_BATCH) {
-            let Some(session) = slot.wait_session() else {
-                break;
-            };
-            match session.send_batch(&batch) {
-                Ok(n) => {
-                    ins.frames_sent.add(batch.len() as u64);
-                    ins.bytes_sent.add(n as u64);
-                    ins.write_batch_frames.observe(batch.len() as u64);
-                    if batch.len() > 1 {
-                        ins.writes_coalesced.inc();
-                    }
-                }
-                Err((sent, _)) => {
-                    ins.frames_sent.add(sent as u64);
-                    for frame in batch.drain(sent..).rev() {
-                        queue.push_front(frame);
-                    }
-                    slot.clear_if(&session);
-                    session.shutdown();
-                }
-            }
-        }
-    })
-}
-
-/// Dial-side link driver: connect, handshake, then run the read loop
-/// until the session dies; repeat under backoff for as long as the slot
-/// is open.
-#[allow(clippy::too_many_arguments)]
-fn spawn_connector(
-    links: Arc<HashMap<String, Link>>,
-    peer: String,
-    addr: SocketAddr,
-    identity: Arc<ChannelIdentity>,
-    pin: PeerPin,
-    slot: Arc<SessionSlot>,
-    node_tx: Sender<NodeMsg>,
-    options: TransportOptions,
-) -> JoinHandle<()> {
-    std::thread::spawn(move || {
-        let mut backoff = Backoff::new(options.backoff_base, options.backoff_cap);
-        // The cached resumption ticket for this link, replaced on every
-        // full handshake and dropped on any connection error (the next
-        // attempt then runs the full handshake and earns a fresh one).
-        let mut cached: Option<ResumeTicket> = None;
-        while !slot.is_closed() {
-            let outcome = TcpStream::connect(addr)
-                .map_err(TransportError::from)
-                .and_then(|s| {
-                    let t0 = StdClock::now();
-                    let established = establish_initiator_resumable(
-                        s,
-                        &identity,
-                        &pin,
-                        options.now,
-                        options.max_frame,
-                        options.resume,
-                        cached.as_ref(),
-                    )?;
-                    links[&peer]
-                        .ins
-                        .handshake_ns
-                        .observe(StdClock::now().saturating_sub(t0));
-                    Ok(established)
-                });
-            match outcome {
-                Ok((session, kind, fresh_ticket)) => {
-                    let link = &links[&peer];
-                    if link.established.swap(true, Ordering::SeqCst) {
-                        link.ins.reconnects.inc();
-                    }
-                    if kind == HandshakeKind::Resumed {
-                        link.ins.resumed.inc();
-                    }
-                    if let Some(t) = fresh_ticket {
-                        cached = Some(t);
-                    }
-                    // A healthy handshake — full or resumed — always
-                    // re-arms the backoff at its base delay, so one
-                    // long-flapping stretch never inflates the delay of
-                    // the *next* outage.
-                    backoff.reset();
-                    let session = Arc::new(session);
-                    let (installed, old) = slot.install(Arc::clone(&session));
-                    if let Some(old) = old {
-                        old.shutdown();
-                    }
-                    if !installed {
-                        session.shutdown();
-                        break;
-                    }
-                    read_loop(&session, &links, &node_tx);
-                    slot.clear_if(&session);
-                    session.shutdown();
-                }
-                Err(_) => {
-                    cached = None;
-                    slot.sleep_interruptible(backoff.next_delay());
-                }
-            }
-        }
-    })
-}
-
-/// Accept-side driver: admit inbound connections, run the responder
-/// handshake, attach each authenticated session to its link, and hand
-/// the read loop to a dedicated thread.
-#[allow(clippy::too_many_arguments)]
-fn spawn_acceptor(
-    listener: TcpListener,
-    identity: Arc<ChannelIdentity>,
-    pins: HashMap<String, PeerPin>,
-    links: Arc<HashMap<String, Link>>,
-    node_tx: Sender<NodeMsg>,
-    stop: Arc<AtomicBool>,
-    inbound: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    options: TransportOptions,
-    issuer: Option<Arc<TicketIssuer>>,
-) -> JoinHandle<()> {
-    std::thread::spawn(move || {
-        listener
-            .set_nonblocking(true)
-            .expect("nonblocking accept loop");
-        while !stop.load(Ordering::SeqCst) {
-            let stream = match listener.accept() {
-                Ok((s, _)) => s,
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
-                    continue;
-                }
-                Err(_) => {
-                    std::thread::sleep(Duration::from_millis(5));
-                    continue;
-                }
-            };
-            if stream.set_nonblocking(false).is_err() {
-                continue;
-            }
-            // The handshake is bounded by the session read timeout, so a
-            // stalled dialer cannot wedge the accept loop for long; doing
-            // it inline keeps the thread count flat under churn.
-            let t0 = StdClock::now();
-            let Ok((session, kind)) = establish_responder_resumable(
-                stream,
-                &identity,
-                &pins,
-                options.now,
-                options.max_frame,
-                issuer.as_deref(),
-            ) else {
-                continue;
-            };
-            let Some(link) = links.get(session.peer()) else {
-                session.shutdown();
-                continue;
-            };
-            link.ins
-                .handshake_ns
-                .observe(StdClock::now().saturating_sub(t0));
-            if link.established.swap(true, Ordering::SeqCst) {
-                link.ins.reconnects.inc();
-            }
-            if kind == HandshakeKind::Resumed {
-                link.ins.resumed.inc();
-            }
-            let session = Arc::new(session);
-            let (installed, old) = link.slot.install(Arc::clone(&session));
-            if let Some(old) = old {
-                old.shutdown();
-            }
-            if !installed {
-                session.shutdown();
-                continue;
-            }
-            let slot = Arc::clone(&link.slot);
-            let links2 = Arc::clone(&links);
-            let tx = node_tx.clone();
-            let handle = std::thread::spawn(move || {
-                read_loop(&session, &links2, &tx);
-                slot.clear_if(&session);
-                session.shutdown();
-            });
-            inbound
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push(handle);
-        }
-    })
-}
-
-/// Open sealed frames in arrival order and feed the decoded signalling
-/// messages to the node thread. Returns when the session dies; any MAC,
-/// ordering, or decode failure is terminal for the session (sequence
-/// state cannot be resynchronised mid-stream).
-fn read_loop(session: &Session, links: &HashMap<String, Link>, node_tx: &Sender<NodeMsg>) {
-    let ins = &links[session.peer()].ins;
-    loop {
-        match session.recv() {
-            Ok(Some((bytes, n))) => {
-                ins.frames_received.inc();
-                ins.bytes_received.add(n as u64);
-                let shared: Arc<[u8]> = bytes.into();
-                match qos_wire::from_bytes_shared::<SignalMessage>(&shared) {
-                    Ok(msg) => {
-                        let _ = node_tx.send(NodeMsg::Peer {
-                            from: session.peer().to_string(),
-                            msg: Box::new(msg),
-                            enqueued_ns: StdClock::now(),
-                        });
-                    }
-                    Err(_) => {
-                        ins.rejected.inc();
-                        return;
-                    }
-                }
-            }
-            Ok(None) => return,
-            Err(TransportError::Channel(_)) | Err(TransportError::Wire(_)) => {
-                ins.rejected.inc();
-                return;
-            }
-            Err(_) => return,
-        }
+        let sharded = Arc::into_inner(self.sharded)
+            .expect("reactor joined; no other handles to the sharded node");
+        sharded.shutdown()
     }
 }

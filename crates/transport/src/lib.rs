@@ -18,8 +18,11 @@
 //! * [`queue`] — bounded per-peer outbound queues with an explicit
 //!   backpressure/overflow policy;
 //! * [`backoff`] — deterministic exponential reconnect backoff;
-//! * [`daemon`] — [`BrokerDaemon`]: one `BbNode` behind an accept loop,
-//!   per-link connectors, writers, and readers;
+//! * [`reactor`] — the event loop: every socket non-blocking under one
+//!   `epoll`-backed poll, with reconnect timers as poll deadlines and
+//!   handshakes on short-lived offload threads;
+//! * [`daemon`] — [`BrokerDaemon`]: one domain's admission shards
+//!   ([`ShardedNode`](qos_core::shard::ShardedNode)) behind the reactor;
 //! * [`mesh`] — [`TcpMesh`]: the `ActorMesh` surface over loopback
 //!   daemons, so existing scenarios run unchanged over TCP.
 //!
@@ -33,6 +36,7 @@ pub mod frame;
 pub mod mesh;
 pub mod proto;
 pub mod queue;
+pub mod reactor;
 pub mod resume;
 pub mod session;
 

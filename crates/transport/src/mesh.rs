@@ -59,6 +59,12 @@ impl TcpMesh {
         self.options = options;
     }
 
+    /// Set the admission shard count hosted by each daemon (clamped to
+    /// at least 1). Call before [`TcpMesh::spawn`].
+    pub fn set_shards(&mut self, shards: usize) {
+        self.options.shards = shards.max(1);
+    }
+
     /// Spawn each broker of `nodes` as a daemon on `127.0.0.1:0` and
     /// wire the `links` (pairs of domain names; the first member dials
     /// the second). Blocks until every link's session is established.

@@ -138,6 +138,23 @@ impl OutQueue {
         }
     }
 
+    /// Dequeue up to `max` frames in FIFO order without blocking — the
+    /// reactor's drain path. An empty vec means nothing is queued right
+    /// now; `None` means the queue was closed.
+    pub fn try_pop_batch(&self, max: usize) -> Option<Vec<Vec<u8>>> {
+        assert!(max > 0, "a zero-frame batch cannot make progress");
+        let mut g = self.lock();
+        if g.closed {
+            return None;
+        }
+        let n = g.q.len().min(max);
+        let batch: Vec<Vec<u8>> = g.q.drain(..n).collect();
+        if n > 0 {
+            self.cv.notify_all();
+        }
+        Some(batch)
+    }
+
     /// Frames currently queued.
     pub fn len(&self) -> usize {
         self.lock().q.len()

@@ -1,0 +1,985 @@
+//! The daemon's event loop: every socket non-blocking under one
+//! `epoll`-backed [`mio::Poll`] (vendored stand-in; see `vendor/mio`).
+//!
+//! One reactor thread per daemon owns the listener, every peering
+//! socket, frame decode ([`FrameDecoder`]) and frame seal
+//! ([`SealHalf`]/[`OpenHalf`]), and the connector retry timers. Decoded
+//! signalling messages are dispatched into the domain's
+//! [`ShardedNode`]; shard workers hand outputs back through the link
+//! [`OutQueue`]s and ring the reactor's [`Waker`].
+//!
+//! Where the old thread-per-link daemon had a connector thread
+//! (blocking dial and backoff sleep), a writer thread (blocking queue
+//! pop and blocking socket write), and a reader thread per session,
+//! the reactor multiplexes all of it:
+//!
+//! * **reconnect backoff** is a deadline (`retry_at`) that bounds the
+//!   poll timeout — no sleeping threads;
+//! * **writes** seal at write time into a per-connection buffer whose
+//!   un-flushed tail is tracked frame-by-frame, and every data frame
+//!   carries a per-link delivery index ([`LinkReliability`]): frames
+//!   the socket accepted are retained until the peer's cumulative ack
+//!   covers them (acceptance is not delivery — a peer killed mid-burst
+//!   loses whatever sat unread in its kernel buffer), and when a
+//!   connection dies both the unacknowledged and the unsent plaintext
+//!   re-queue at the front of the link queue in order. The receiver
+//!   skips retransmits it already processed by index, so a reservation
+//!   neither evaporates nor double-delivers across reconnects;
+//! * **handshakes** stay blocking (they are short, bounded by their own
+//!   timeout, and involve multi-round-trip protocol logic) but run on
+//!   short-lived offload threads that report back through the control
+//!   channel and the waker, so the reactor never blocks on one.
+
+use crate::backoff::Backoff;
+use crate::daemon::{Link, TransportOptions};
+use crate::frame::FrameDecoder;
+use crate::proto::PeerMsg;
+use crate::resume::{ResumeTicket, TicketIssuer};
+use crate::session::{
+    establish_initiator_resumable, establish_responder_resumable, HandshakeKind, Session,
+};
+use crossbeam::channel::{Receiver, Sender};
+use mio::{Events, Interest, Poll, Token, Waker};
+use qos_core::channel::{ChannelIdentity, OpenHalf, PeerPin, SealHalf};
+use qos_core::messages::SignalMessage;
+use qos_core::shard::ShardedNode;
+use qos_crypto::DistinguishedName;
+use qos_telemetry::{Counter, StdClock, Telemetry};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Token of the accept listener.
+const TOKEN_LISTENER: Token = Token(0);
+/// Token of the cross-thread waker (the daemon builds the [`Waker`]
+/// before handing the poll to the reactor).
+pub(crate) const TOKEN_WAKER: Token = Token(1);
+/// First token handed to a peer connection.
+const TOKEN_BASE: usize = 2;
+
+/// How many queued frames one seal sweep takes per link per iteration.
+const MAX_WRITE_BATCH: usize = 64;
+/// Stop sealing new frames into a connection whose un-flushed buffer is
+/// already this large; the link queue keeps the rest (backpressure).
+const OUTBUF_HIGH_WATER: usize = 256 * 1024;
+/// Reads per readiness event before yielding to other connections
+/// (level-triggered polling re-reports leftover data immediately).
+const MAX_READS_PER_EVENT: usize = 16;
+
+/// Sealed-plaintext tag: a signalling payload carrying its per-link
+/// delivery index (`[tag][u64 index][message]`).
+const FRAME_DATA: u8 = 0;
+/// Sealed-plaintext tag: cumulative delivery ack (`[tag][u64 rx_next]`)
+/// — every data frame with a lower index reached the peer's shards.
+const FRAME_ACK: u8 = 1;
+/// Sealed-plaintext tag: session-start sync
+/// (`[tag][u64 tx_next][u64 rx_next]`) — lets a receiver follow a peer
+/// whose counters went backwards (process restart) instead of treating
+/// its fresh frames as duplicates.
+const FRAME_SYNC: u8 = 2;
+
+/// Per-link reliable-delivery state, surviving connections. Socket
+/// acceptance is not delivery: a peer killed mid-burst loses whatever
+/// sat unread in its kernel buffer, so accepted frames are retained
+/// until the peer's cumulative ack covers them and are re-queued when a
+/// connection dies. The receiver drops what it already processed by
+/// delivery index.
+pub(crate) struct LinkReliability {
+    /// Index assigned to the next enqueued data frame. Assignment and
+    /// enqueue share this lock (sink side) so queue order equals index
+    /// order; the reactor never takes it.
+    pub(crate) tx: Mutex<u64>,
+    /// Lock-free mirror of `tx` for the reactor's session-start sync
+    /// (reading a value one assignment ahead is safe: an index the
+    /// peer has seen was necessarily assigned first).
+    tx_hwm: std::sync::atomic::AtomicU64,
+    /// Accepted-but-unacknowledged frames, in index order.
+    unacked: Mutex<Unacked>,
+    /// Next data-frame index expected from the peer; lower indices are
+    /// retransmits of frames already handed to the shards.
+    rx_next: std::sync::atomic::AtomicU64,
+}
+
+struct Unacked {
+    /// Peer's cumulative ack: every index below it is delivered.
+    acked: u64,
+    frames: VecDeque<(u64, Vec<u8>)>,
+}
+
+impl LinkReliability {
+    pub(crate) fn new() -> Self {
+        Self {
+            tx: Mutex::new(0),
+            tx_hwm: std::sync::atomic::AtomicU64::new(0),
+            unacked: Mutex::new(Unacked {
+                acked: 0,
+                frames: VecDeque::new(),
+            }),
+            rx_next: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Record the post-assignment `tx` value (called under the `tx`
+    /// lock by the sink).
+    pub(crate) fn note_assigned(&self, next: u64) {
+        use std::sync::atomic::Ordering::SeqCst;
+        self.tx_hwm.store(next, SeqCst);
+    }
+
+    /// Apply a cumulative ack: drop every retained frame below it.
+    fn note_ack(&self, acked_to: u64) {
+        let mut un = self.unacked.lock().unwrap_or_else(|e| e.into_inner());
+        if acked_to > un.acked {
+            un.acked = acked_to;
+            while un.frames.front().is_some_and(|(i, _)| *i < acked_to) {
+                un.frames.pop_front();
+            }
+        }
+    }
+
+    /// Retain a fully-accepted data frame until the peer acks it.
+    fn retain_accepted(&self, index: u64, plaintext: Vec<u8>) {
+        let mut un = self.unacked.lock().unwrap_or_else(|e| e.into_inner());
+        if index >= un.acked && un.frames.back().is_none_or(|(i, _)| *i < index) {
+            un.frames.push_back((index, plaintext));
+        }
+    }
+
+    /// Take every retained frame for retransmission (connection died).
+    fn drain_unacked(&self) -> Vec<Vec<u8>> {
+        let mut un = self.unacked.lock().unwrap_or_else(|e| e.into_inner());
+        un.frames.drain(..).map(|(_, p)| p).collect()
+    }
+}
+
+/// Frame a signalling message with its per-link delivery index.
+pub(crate) fn data_frame(index: u64, msg: &SignalMessage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + 128);
+    out.push(FRAME_DATA);
+    out.extend_from_slice(&index.to_le_bytes());
+    qos_wire::encode_into(msg, &mut out);
+    out
+}
+
+fn ack_frame(rx_next: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    out.push(FRAME_ACK);
+    out.extend_from_slice(&rx_next.to_le_bytes());
+    out
+}
+
+fn sync_frame(tx_next: u64, rx_next: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17);
+    out.push(FRAME_SYNC);
+    out.extend_from_slice(&tx_next.to_le_bytes());
+    out.extend_from_slice(&rx_next.to_le_bytes());
+    out
+}
+
+fn le_u64(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes.try_into().expect("8-byte slice"))
+}
+
+/// Control messages into the reactor (paired with a waker ring).
+pub(crate) enum Ctrl {
+    /// A handshake offload thread finished establishing a session.
+    Established {
+        session: Box<Session>,
+        kind: HandshakeKind,
+        /// Fresh resumption ticket (dial-side full handshakes only).
+        ticket: Option<ResumeTicket>,
+        dialed: bool,
+        handshake_ns: u64,
+    },
+    /// A dial attempt failed (connect or handshake).
+    DialFailed { peer: String },
+    /// Sever every live connection (fault injection).
+    Kill,
+    /// Exit the event loop.
+    Shutdown,
+}
+
+/// One sealed-but-not-fully-flushed frame in a connection's out buffer.
+struct Inflight {
+    /// Offset into `outbuf` one past this frame's last byte.
+    end: usize,
+    /// Sealed body bytes (without the length header), for byte counters.
+    body_len: usize,
+    /// The plaintext, kept until the socket fully accepts the frame so
+    /// a dead connection can re-queue it.
+    plaintext: Vec<u8>,
+}
+
+/// One live peering connection owned by the reactor.
+struct Conn {
+    peer: String,
+    stream: TcpStream,
+    fd: RawFd,
+    seal: SealHalf,
+    open: OpenHalf,
+    decoder: FrameDecoder,
+    outbuf: Vec<u8>,
+    /// Prefix of `outbuf` the socket has accepted.
+    written: usize,
+    inflight: VecDeque<Inflight>,
+    want_write: bool,
+    dialed: bool,
+}
+
+/// Dial-side state for one outbound link.
+struct DialState {
+    addr: SocketAddr,
+    pin: PeerPin,
+    backoff: Backoff,
+    /// Cached resumption ticket, replaced on every full handshake and
+    /// dropped on any connection error.
+    ticket: Option<ResumeTicket>,
+    /// A dial/handshake attempt is in flight on an offload thread.
+    connecting: bool,
+    /// Do not dial again before this instant (backoff after a failure).
+    retry_at: Option<Instant>,
+}
+
+/// Everything the reactor needs to run; built by
+/// [`BrokerDaemon::start`](crate::daemon::BrokerDaemon::start).
+pub(crate) struct ReactorConfig {
+    pub domain: String,
+    pub poll: Poll,
+    pub waker: Arc<Waker>,
+    pub listener: Option<TcpListener>,
+    pub identity: Arc<ChannelIdentity>,
+    /// Accept-side pins (expected dialing peers).
+    pub accept_pins: HashMap<String, PeerPin>,
+    /// Dial-side targets: peer domain → (address, pin).
+    pub connect_to: HashMap<String, (SocketAddr, PeerPin)>,
+    pub links: Arc<HashMap<String, Link>>,
+    pub sharded: Arc<ShardedNode>,
+    pub options: TransportOptions,
+    pub issuer: Option<Arc<TicketIssuer>>,
+    pub ctrl_tx: Sender<Ctrl>,
+    pub ctrl_rx: Receiver<Ctrl>,
+    /// Handshake offload threads, joined by daemon shutdown.
+    pub hs_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    pub telemetry: Telemetry,
+}
+
+pub(crate) struct Reactor {
+    poll: Poll,
+    waker: Arc<Waker>,
+    listener: Option<TcpListener>,
+    identity: Arc<ChannelIdentity>,
+    accept_pins: Arc<HashMap<String, PeerPin>>,
+    links: Arc<HashMap<String, Link>>,
+    sharded: Arc<ShardedNode>,
+    options: TransportOptions,
+    issuer: Option<Arc<TicketIssuer>>,
+    ctrl_tx: Sender<Ctrl>,
+    ctrl_rx: Receiver<Ctrl>,
+    hs_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    dials: HashMap<String, DialState>,
+    conns: HashMap<usize, Conn>,
+    by_peer: HashMap<String, usize>,
+    next_token: usize,
+    scratch: Vec<u8>,
+    wakeups: Counter,
+    ready_events: Counter,
+}
+
+impl Reactor {
+    pub(crate) fn new(config: ReactorConfig) -> Self {
+        let ReactorConfig {
+            domain,
+            poll,
+            waker,
+            listener,
+            identity,
+            accept_pins,
+            connect_to,
+            links,
+            sharded,
+            options,
+            issuer,
+            ctrl_tx,
+            ctrl_rx,
+            hs_threads,
+            telemetry,
+        } = config;
+        let dials = connect_to
+            .into_iter()
+            .map(|(peer, (addr, pin))| {
+                (
+                    peer,
+                    DialState {
+                        addr,
+                        pin,
+                        backoff: Backoff::new(options.backoff_base, options.backoff_cap),
+                        ticket: None,
+                        connecting: false,
+                        retry_at: None,
+                    },
+                )
+            })
+            .collect();
+        let dl: &[(&str, &str)] = &[("domain", &domain)];
+        let wakeups = telemetry.counter(
+            "reactor_wakeups_total",
+            "Times the reactor's poll returned (events, timer, or waker)",
+            dl,
+        );
+        let ready_events = telemetry.counter(
+            "reactor_ready_events_total",
+            "Readiness events delivered to the reactor",
+            dl,
+        );
+        Self {
+            poll,
+            waker,
+            listener,
+            identity,
+            accept_pins: Arc::new(accept_pins),
+            links,
+            sharded,
+            options,
+            issuer,
+            ctrl_tx,
+            ctrl_rx,
+            hs_threads,
+            dials,
+            conns: HashMap::new(),
+            by_peer: HashMap::new(),
+            next_token: TOKEN_BASE,
+            scratch: Vec::new(),
+            wakeups,
+            ready_events,
+        }
+    }
+
+    /// The event loop. Returns when a [`Ctrl::Shutdown`] arrives.
+    pub(crate) fn run(mut self) {
+        if let Some(listener) = &self.listener {
+            listener
+                .set_nonblocking(true)
+                .expect("nonblocking accept listener");
+            self.poll
+                .register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)
+                .expect("register listener");
+        }
+        let mut events = Events::with_capacity(256);
+        loop {
+            // 1. Control: installed sessions, dial failures, kill/stop.
+            while let Ok(ctrl) = self.ctrl_rx.try_recv() {
+                match ctrl {
+                    Ctrl::Established {
+                        session,
+                        kind,
+                        ticket,
+                        dialed,
+                        handshake_ns,
+                    } => self.install(*session, kind, ticket, dialed, handshake_ns),
+                    Ctrl::DialFailed { peer } => {
+                        if let Some(d) = self.dials.get_mut(&peer) {
+                            d.connecting = false;
+                            d.ticket = None;
+                            d.retry_at = Some(Instant::now() + d.backoff.next_delay());
+                        }
+                    }
+                    Ctrl::Kill => self.kill_all(),
+                    Ctrl::Shutdown => return,
+                }
+            }
+            // 2. Dial timers.
+            self.fire_dials();
+            // 3. Seal queued outbound frames and flush.
+            self.sweep_outbound();
+            // 4. Wait for readiness, a retry deadline, or the waker.
+            let timeout = self.next_deadline();
+            if self.poll.poll(&mut events, timeout).is_err() {
+                continue;
+            }
+            self.wakeups.inc();
+            self.ready_events.add(events.len() as u64);
+            // 5. I/O.
+            let mut dead: Vec<usize> = Vec::new();
+            for ev in events.iter() {
+                match ev.token() {
+                    TOKEN_WAKER => self.waker.drain(),
+                    TOKEN_LISTENER => self.accept_ready(),
+                    Token(t) => {
+                        if !self.conns.contains_key(&t) {
+                            continue; // stale event for a killed conn
+                        }
+                        let mut alive = true;
+                        if ev.is_readable() {
+                            alive = self.conn_read(t);
+                        }
+                        if alive && ev.is_writable() {
+                            alive = self.conn_flush(t);
+                        }
+                        if !alive {
+                            dead.push(t);
+                        }
+                    }
+                }
+            }
+            for t in dead {
+                self.kill_conn(t);
+            }
+        }
+    }
+
+    /// Soonest dial-retry deadline, as a poll timeout.
+    fn next_deadline(&self) -> Option<Duration> {
+        let now = Instant::now();
+        self.dials
+            .values()
+            .filter(|d| !d.connecting)
+            .filter_map(|d| d.retry_at)
+            .map(|at| at.saturating_duration_since(now))
+            .min()
+    }
+
+    /// Launch a handshake offload thread for every dial-side link that
+    /// is unconnected, not mid-attempt, and past its backoff deadline.
+    fn fire_dials(&mut self) {
+        let now = Instant::now();
+        let due: Vec<String> = self
+            .dials
+            .iter()
+            .filter(|(peer, d)| {
+                !d.connecting
+                    && !self.by_peer.contains_key(*peer)
+                    && d.retry_at.is_none_or(|at| at <= now)
+            })
+            .map(|(peer, _)| peer.clone())
+            .collect();
+        for peer in due {
+            self.spawn_dial(&peer);
+        }
+    }
+
+    fn spawn_dial(&mut self, peer: &str) {
+        let Some(d) = self.dials.get_mut(peer) else {
+            return;
+        };
+        d.connecting = true;
+        d.retry_at = None;
+        let addr = d.addr;
+        let pin = d.pin.clone();
+        let ticket = d.ticket.clone();
+        let identity = Arc::clone(&self.identity);
+        let options = self.options.clone();
+        let ctrl = self.ctrl_tx.clone();
+        let waker = Arc::clone(&self.waker);
+        let peer = peer.to_string();
+        let handle = std::thread::spawn(move || {
+            let outcome = TcpStream::connect(addr).ok().and_then(|s| {
+                let t0 = StdClock::now();
+                establish_initiator_resumable(
+                    s,
+                    &identity,
+                    &pin,
+                    options.now,
+                    options.max_frame,
+                    options.resume,
+                    ticket.as_ref(),
+                )
+                .ok()
+                .map(|(session, kind, fresh)| (session, kind, fresh, t0))
+            });
+            let msg = match outcome {
+                Some((session, kind, fresh, t0)) => Ctrl::Established {
+                    session: Box::new(session),
+                    kind,
+                    ticket: fresh,
+                    dialed: true,
+                    handshake_ns: StdClock::now().saturating_sub(t0),
+                },
+                None => Ctrl::DialFailed { peer },
+            };
+            let _ = ctrl.send(msg);
+            let _ = waker.wake();
+        });
+        self.track(handle);
+    }
+
+    /// Accept every pending inbound connection and offload its responder
+    /// handshake.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            let stream = match listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            };
+            let identity = Arc::clone(&self.identity);
+            let pins = Arc::clone(&self.accept_pins);
+            let issuer = self.issuer.clone();
+            let options = self.options.clone();
+            let ctrl = self.ctrl_tx.clone();
+            let waker = Arc::clone(&self.waker);
+            let handle = std::thread::spawn(move || {
+                // The handshake protocol is blocking; accepted sockets
+                // do not inherit the listener's non-blocking flag, but
+                // make it explicit.
+                if stream.set_nonblocking(false).is_err() {
+                    return;
+                }
+                let t0 = StdClock::now();
+                if let Ok((session, kind)) = establish_responder_resumable(
+                    stream,
+                    &identity,
+                    &pins,
+                    options.now,
+                    options.max_frame,
+                    issuer.as_deref(),
+                ) {
+                    let _ = ctrl.send(Ctrl::Established {
+                        session: Box::new(session),
+                        kind,
+                        ticket: None,
+                        dialed: false,
+                        handshake_ns: StdClock::now().saturating_sub(t0),
+                    });
+                    let _ = waker.wake();
+                }
+            });
+            self.track(handle);
+        }
+    }
+
+    /// Remember a handshake offload thread (reaping finished ones so a
+    /// long-flapping link cannot accumulate handles without bound).
+    fn track(&self, handle: JoinHandle<()>) {
+        let mut g = self.hs_threads.lock().unwrap_or_else(|e| e.into_inner());
+        g.retain(|h| !h.is_finished());
+        g.push(handle);
+    }
+
+    /// Take ownership of an established session: split it into raw
+    /// parts, go non-blocking, and register with the poll.
+    fn install(
+        &mut self,
+        session: Session,
+        kind: HandshakeKind,
+        ticket: Option<ResumeTicket>,
+        dialed: bool,
+        handshake_ns: u64,
+    ) {
+        let peer = session.peer().to_string();
+        let Some(link) = self.links.get(&peer) else {
+            session.shutdown();
+            return;
+        };
+        link.ins.handshake_ns.observe(handshake_ns);
+        if link
+            .established
+            .swap(true, std::sync::atomic::Ordering::SeqCst)
+        {
+            link.ins.reconnects.inc();
+        }
+        if kind == HandshakeKind::Resumed {
+            link.ins.resumed.inc();
+        }
+        if dialed {
+            if let Some(d) = self.dials.get_mut(&peer) {
+                d.connecting = false;
+                d.retry_at = None;
+                d.backoff.reset();
+                if let Some(t) = ticket {
+                    d.ticket = Some(t);
+                }
+            }
+        }
+        // A crossed dial/accept or a stale socket: the newest session
+        // wins, the old one dies with its unsent frames re-queued.
+        if let Some(&old) = self.by_peer.get(&peer) {
+            self.kill_conn(old);
+        }
+        let (stream, peer, seal, open) = session.into_parts();
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let fd = stream.as_raw_fd();
+        let token = self.next_token;
+        self.next_token += 1;
+        if self
+            .poll
+            .register(fd, Token(token), Interest::READABLE)
+            .is_err()
+        {
+            return;
+        }
+        self.conns.insert(
+            token,
+            Conn {
+                peer: peer.clone(),
+                stream,
+                fd,
+                seal,
+                open,
+                decoder: FrameDecoder::new(self.options.max_frame),
+                outbuf: Vec::new(),
+                written: 0,
+                inflight: VecDeque::new(),
+                want_write: false,
+                dialed,
+            },
+        );
+        self.by_peer.insert(peer.clone(), token);
+        if let Some(link) = self.links.get(&peer) {
+            link.connected
+                .store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+        // First frame of every session: sync our delivery counters so
+        // the peer can tell a retransmitting reconnect from a restarted
+        // process, and prune its retransmit window.
+        use std::sync::atomic::Ordering::SeqCst;
+        let (tx_next, rx_next) = {
+            let rel = &self.links[&peer].reliable;
+            (rel.tx_hwm.load(SeqCst), rel.rx_next.load(SeqCst))
+        };
+        if !self.queue_control(token, sync_frame(tx_next, rx_next)) {
+            self.kill_conn(token);
+        }
+    }
+
+    /// Tear one connection down: re-queue the plaintext of every frame
+    /// the socket did not fully accept (front of the link queue, in
+    /// order), and put a dial-side link back on the connector path
+    /// immediately.
+    fn kill_conn(&mut self, token: usize) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let _ = self.poll.deregister(conn.fd);
+        if self.by_peer.get(&conn.peer) == Some(&token) {
+            self.by_peer.remove(&conn.peer);
+        }
+        if let Some(link) = self.links.get(&conn.peer) {
+            link.connected
+                .store(false, std::sync::atomic::Ordering::SeqCst);
+            // Retransmit set, oldest first: every accepted frame the
+            // peer has not acknowledged (it may have died before
+            // reading it out of its kernel buffer), then every data
+            // frame the socket did not fully accept. The peer skips
+            // what it already processed by delivery index. Control
+            // frames (acks/syncs) are per-session and die here.
+            let written = conn.written;
+            let mut requeue: Vec<Vec<u8>> = link.reliable.drain_unacked();
+            link.ins.retransmits.add(requeue.len() as u64);
+            requeue.extend(
+                conn.inflight
+                    .into_iter()
+                    .filter(|f| f.end > written && f.plaintext.first() == Some(&FRAME_DATA))
+                    .map(|f| f.plaintext),
+            );
+            for plaintext in requeue.into_iter().rev() {
+                link.queue.push_front(plaintext);
+            }
+        }
+        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        if conn.dialed {
+            // An established link that died redials at once; backoff
+            // only grows while attempts themselves fail.
+            if let Some(d) = self.dials.get_mut(&conn.peer) {
+                if !d.connecting {
+                    d.retry_at = Some(Instant::now());
+                }
+            }
+        }
+    }
+
+    fn kill_all(&mut self) {
+        let tokens: Vec<usize> = self.conns.keys().copied().collect();
+        for t in tokens {
+            self.kill_conn(t);
+        }
+    }
+
+    /// Drain readable data, decode frames, open them in arrival order,
+    /// and dispatch the signalling messages into the shards. Returns
+    /// false when the connection must die (EOF, I/O error, MAC/ordering
+    /// failure, or protocol violation).
+    fn conn_read(&mut self, token: usize) -> bool {
+        let peer = self.conns[&token].peer.clone();
+        let mut msgs: Vec<SignalMessage> = Vec::new();
+        let mut data_frames = 0usize;
+        let mut alive = self.read_frames(token, &mut msgs, &mut data_frames);
+        if !msgs.is_empty() {
+            // One grouped dispatch per read sweep: the shard queues see
+            // contiguous runs and the doorbell rings once, not once per
+            // frame.
+            self.sharded.dispatch_peer_all(&peer, msgs, StdClock::now());
+        }
+        if alive && data_frames > 0 {
+            // One cumulative ack per sweep (duplicates included, so a
+            // retransmitting peer prunes its window).
+            let rx_next = self.links[&peer]
+                .reliable
+                .rx_next
+                .load(std::sync::atomic::Ordering::SeqCst);
+            alive = self.queue_control(token, ack_frame(rx_next));
+        }
+        alive
+    }
+
+    /// Drain the socket and decode every complete frame into `msgs`.
+    /// Returns false when the connection is dead (EOF, I/O error, or a
+    /// protocol violation); frames decoded before the failure are still
+    /// delivered by the caller. `data_frames` counts data frames seen
+    /// (duplicates included) so the caller knows to ack.
+    fn read_frames(
+        &mut self,
+        token: usize,
+        msgs: &mut Vec<SignalMessage>,
+        data_frames: &mut usize,
+    ) -> bool {
+        let mut buf = [0u8; 64 * 1024];
+        for _ in 0..MAX_READS_PER_EVENT {
+            let conn = self.conns.get_mut(&token).expect("conn_read on live conn");
+            let n = match conn.stream.read(&mut buf) {
+                Ok(0) => return false,
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            };
+            conn.decoder.push(&buf[..n]);
+            loop {
+                let conn = self.conns.get_mut(&token).expect("conn_read on live conn");
+                let frame = match conn.decoder.next_frame() {
+                    Ok(Some(f)) => f,
+                    Ok(None) => break,
+                    Err(_) => return false,
+                };
+                let ins = &self.links[&conn.peer].ins;
+                ins.frames_received.inc();
+                ins.bytes_received.add(frame.len() as u64);
+                let opened = match qos_wire::from_bytes::<PeerMsg>(&frame) {
+                    Ok(PeerMsg::Frame(sealed)) => conn.open.open(sealed),
+                    // Handshake message on an established session, or
+                    // garbage: terminal either way.
+                    _ => {
+                        ins.rejected.inc();
+                        return false;
+                    }
+                };
+                let Ok(mut plain) = opened else {
+                    ins.rejected.inc();
+                    return false;
+                };
+                // Reliability wrapper: [tag][u64]... — see FRAME_*.
+                if plain.len() < 9 {
+                    ins.rejected.inc();
+                    return false;
+                }
+                use std::sync::atomic::Ordering::SeqCst;
+                let rel = &self.links[&conn.peer].reliable;
+                match plain[0] {
+                    FRAME_ACK => {
+                        rel.note_ack(le_u64(&plain[1..9]));
+                        continue;
+                    }
+                    FRAME_SYNC => {
+                        if plain.len() < 17 {
+                            ins.rejected.inc();
+                            return false;
+                        }
+                        let peer_tx = le_u64(&plain[1..9]);
+                        rel.note_ack(le_u64(&plain[9..17]));
+                        // A peer whose send counter went backwards lost
+                        // its link state (restart): follow it down, or
+                        // its fresh frames would be skipped as dups.
+                        if peer_tx < rel.rx_next.load(SeqCst) {
+                            rel.rx_next.store(peer_tx, SeqCst);
+                        }
+                        continue;
+                    }
+                    FRAME_DATA => {
+                        *data_frames += 1;
+                        let index = le_u64(&plain[1..9]);
+                        // Retransmit of a frame already handed to the
+                        // shards: drop it (index gaps from overflow
+                        // drops are fine — the watermark just jumps).
+                        if index < rel.rx_next.load(SeqCst) {
+                            ins.dup_frames.inc();
+                            continue;
+                        }
+                        rel.rx_next.store(index + 1, SeqCst);
+                        plain.drain(..9);
+                    }
+                    _ => {
+                        ins.rejected.inc();
+                        return false;
+                    }
+                }
+                let shared: Arc<[u8]> = plain.into();
+                let Ok(msg) = qos_wire::from_bytes_shared::<SignalMessage>(&shared) else {
+                    ins.rejected.inc();
+                    return false;
+                };
+                msgs.push(msg);
+            }
+            if n < buf.len() {
+                return true; // short read: the socket is drained
+            }
+        }
+        true // cap reached; level-triggered poll re-reports the rest
+    }
+
+    /// Seal every waiting outbound frame (up to the buffer high-water
+    /// mark) link by link, then flush.
+    fn sweep_outbound(&mut self) {
+        let targets: Vec<(String, usize)> =
+            self.by_peer.iter().map(|(p, &t)| (p.clone(), t)).collect();
+        for (peer, token) in targets {
+            let mut alive = true;
+            loop {
+                // Seal one batch; all borrows end before the flush call.
+                let sealed_any = {
+                    let link = &self.links[&peer];
+                    let Some(conn) = self.conns.get_mut(&token) else {
+                        break;
+                    };
+                    if conn.outbuf.len() - conn.written >= OUTBUF_HIGH_WATER {
+                        break;
+                    }
+                    let Some(batch) = link.queue.try_pop_batch(MAX_WRITE_BATCH) else {
+                        break; // queue closed (daemon shutting down)
+                    };
+                    if batch.is_empty() {
+                        break;
+                    }
+                    link.ins.write_batch_frames.observe(batch.len() as u64);
+                    if batch.len() > 1 {
+                        link.ins.writes_coalesced.inc();
+                    }
+                    for plaintext in batch {
+                        let sealed = conn.seal.seal(plaintext.clone());
+                        self.scratch.clear();
+                        qos_wire::encode_into(&PeerMsg::Frame(sealed), &mut self.scratch);
+                        if self.scratch.len() > self.options.max_frame {
+                            // Cannot happen for protocol messages; never
+                            // put an oversized frame on the wire.
+                            link.ins.dropped.inc();
+                            continue;
+                        }
+                        conn.outbuf
+                            .extend_from_slice(&(self.scratch.len() as u32).to_le_bytes());
+                        conn.outbuf.extend_from_slice(&self.scratch);
+                        conn.inflight.push_back(Inflight {
+                            end: conn.outbuf.len(),
+                            body_len: self.scratch.len(),
+                            plaintext,
+                        });
+                    }
+                    true
+                };
+                if sealed_any && !self.conn_flush(token) {
+                    alive = false;
+                    break;
+                }
+            }
+            if alive && !self.conn_flush(token) {
+                alive = false;
+            }
+            if !alive {
+                self.kill_conn(token);
+            }
+        }
+    }
+
+    /// Seal a control frame (ack/sync) straight into the connection's
+    /// out buffer and flush. Control frames skip the link queue, carry
+    /// no delivery index, and are never retransmitted. Returns false
+    /// when the connection must die.
+    fn queue_control(&mut self, token: usize, plaintext: Vec<u8>) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return true;
+        };
+        let sealed = conn.seal.seal(plaintext.clone());
+        self.scratch.clear();
+        qos_wire::encode_into(&PeerMsg::Frame(sealed), &mut self.scratch);
+        conn.outbuf
+            .extend_from_slice(&(self.scratch.len() as u32).to_le_bytes());
+        conn.outbuf.extend_from_slice(&self.scratch);
+        conn.inflight.push_back(Inflight {
+            end: conn.outbuf.len(),
+            body_len: self.scratch.len(),
+            plaintext,
+        });
+        self.conn_flush(token)
+    }
+
+    /// Push buffered bytes into the socket until it would block, then
+    /// account fully-accepted frames and settle write interest. Returns
+    /// false when the connection must die.
+    fn conn_flush(&mut self, token: usize) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return true;
+        };
+        while conn.written < conn.outbuf.len() {
+            match conn.stream.write(&conn.outbuf[conn.written..]) {
+                Ok(0) => return false,
+                Ok(n) => conn.written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        let link = &self.links[&conn.peer];
+        let ins = &link.ins;
+        while let Some(front) = conn.inflight.front() {
+            if front.end > conn.written {
+                break;
+            }
+            ins.frames_sent.inc();
+            ins.bytes_sent.add(front.body_len as u64);
+            let frame = conn.inflight.pop_front().expect("front exists");
+            // Socket acceptance is not delivery: retain data plaintext
+            // until the peer's cumulative ack covers its index.
+            if frame.plaintext.first() == Some(&FRAME_DATA) {
+                let index = le_u64(&frame.plaintext[1..9]);
+                link.reliable.retain_accepted(index, frame.plaintext);
+            }
+        }
+        if conn.written == conn.outbuf.len() {
+            conn.outbuf.clear();
+            conn.written = 0;
+            debug_assert!(conn.inflight.is_empty());
+        }
+        let want_write = conn.written < conn.outbuf.len();
+        if want_write != conn.want_write {
+            let interest = if want_write {
+                Interest::READABLE | Interest::WRITABLE
+            } else {
+                Interest::READABLE
+            };
+            if self
+                .poll
+                .reregister(conn.fd, Token(token), interest)
+                .is_err()
+            {
+                return false;
+            }
+            conn.want_write = want_write;
+        }
+        true
+    }
+}
+
+/// The SLA pin for one peer broker domain (shared by dial and accept
+/// link construction in the daemon).
+pub(crate) fn broker_pin(ca_key: qos_crypto::PublicKey, peer: &str) -> PeerPin {
+    PeerPin {
+        ca_key,
+        dn: DistinguishedName::broker(peer),
+    }
+}

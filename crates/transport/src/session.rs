@@ -173,6 +173,23 @@ impl Session {
     pub fn shutdown(&self) {
         let _ = self.stream.shutdown(Shutdown::Both);
     }
+
+    /// Dismantle the session into its raw parts for a non-blocking
+    /// reactor: the socket, the authenticated peer domain, and the two
+    /// cipher halves with their sequence state intact. The reactor then
+    /// owns framing and sealing itself (via
+    /// [`FrameDecoder`](crate::frame::FrameDecoder) and the halves)
+    /// instead of the blocking [`Session::send_batch`]/[`Session::recv`]
+    /// calls.
+    pub fn into_parts(self) -> (TcpStream, String, SealHalf, OpenHalf) {
+        let seal = self
+            .seal
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .half;
+        let open = self.open.into_inner().unwrap_or_else(|e| e.into_inner());
+        (self.stream, self.peer, seal, open)
+    }
 }
 
 fn with_handshake_timeout<T>(

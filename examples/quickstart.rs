@@ -67,7 +67,7 @@ fn main() {
     }
 
     println!("\ntransitive billing recorded at the source:");
-    for invoice in mesh.node("domain-a").core().billing().invoices() {
+    for invoice in mesh.node("domain-a").core().invoices() {
         println!("  {invoice}");
     }
 }

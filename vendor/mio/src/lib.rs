@@ -1,0 +1,397 @@
+//! Vendored minimal stand-in for the `mio` crate (offline build).
+//!
+//! The build environment has no route to a crates.io mirror, so this
+//! crate provides exactly the readiness-polling subset `qos-transport`'s
+//! reactor uses, over raw Linux `epoll(7)` + `eventfd(2)` through
+//! `extern "C"` declarations (libc is already linked by `std`; no libc
+//! *crate* is needed). Differences from real mio, all deliberate:
+//!
+//! * **Level-triggered only.** Real mio is edge-triggered; the reactor
+//!   here re-arms interest explicitly, and level-triggered polling makes
+//!   "you forgot to finish draining" a non-bug instead of a hang.
+//! * **Registration takes a [`RawFd`]**, not an `event::Source` — the
+//!   caller keeps ownership of its `TcpStream`s/`TcpListener`s and just
+//!   hands the descriptor over.
+//! * Linux-only (`epoll`); the workspace's CI and dev targets are Linux.
+//!
+//! The public names ([`Poll`], [`Events`], [`Token`], [`Interest`],
+//! [`Waker`]) mirror real mio so a future swap back is mechanical.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+// Linux syscall wrappers from the C runtime std already links.
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// `struct epoll_event`. On x86-64 the kernel ABI packs it to avoid a
+/// 4-byte hole; other architectures use natural alignment.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// Associates readiness events with the registration they belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Which readiness a registration asks for. Combine with `|`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u32);
+
+impl Interest {
+    /// Readable readiness (includes peer half-close via `EPOLLRDHUP`).
+    pub const READABLE: Interest = Interest(EPOLLIN | EPOLLRDHUP);
+    /// Writable readiness.
+    pub const WRITABLE: Interest = Interest(EPOLLOUT);
+
+    fn bits(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+/// One readiness event out of [`Poll::poll`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    events: u32,
+    token: Token,
+}
+
+impl Event {
+    /// The token the ready registration was made with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Readable (data, EOF, or peer half-close — a read will not block).
+    pub fn is_readable(&self) -> bool {
+        self.events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0
+    }
+
+    /// Writable.
+    pub fn is_writable(&self) -> bool {
+        self.events & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0
+    }
+
+    /// Error condition on the descriptor.
+    pub fn is_error(&self) -> bool {
+        self.events & EPOLLERR != 0
+    }
+
+    /// Hangup: the peer closed, or both halves are shut down.
+    pub fn is_hup(&self) -> bool {
+        self.events & (EPOLLHUP | EPOLLRDHUP) != 0
+    }
+}
+
+/// A buffer of readiness events filled by [`Poll::poll`].
+pub struct Events {
+    buf: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer that can carry up to `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            buf: vec![EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Events delivered by the last poll.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|e| Event {
+            events: e.events,
+            token: Token(e.data as usize),
+        })
+    }
+
+    /// Number of events delivered by the last poll.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the last poll delivered nothing (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+fn last_os_error() -> io::Error {
+    io::Error::last_os_error()
+}
+
+/// A readiness queue over `epoll`.
+#[derive(Debug)]
+pub struct Poll {
+    epfd: RawFd,
+}
+
+impl Poll {
+    /// A fresh epoll instance.
+    pub fn new() -> io::Result<Poll> {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(last_os_error());
+        }
+        Ok(Poll { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: Token, interests: Option<Interest>) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interests.map_or(0, Interest::bits),
+            data: token.0 as u64,
+        };
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Start polling `fd` (level-triggered) for `interests`.
+    pub fn register(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, Some(interests))
+    }
+
+    /// Change an existing registration's token or interests.
+    pub fn reregister(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, Some(interests))
+    }
+
+    /// Stop polling `fd`.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, Token(0), None)
+    }
+
+    /// Block until at least one registration is ready, `timeout` passes
+    /// (`None` = forever), or a [`Waker`] fires. Returns the number of
+    /// events delivered into `events`.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: i32 = match timeout {
+            // Round up so a 100µs deadline cannot spin at timeout 0.
+            Some(d) => d
+                .as_millis()
+                .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0))
+                .min(i32::MAX as u128) as i32,
+            None => -1,
+        };
+        loop {
+            let rc = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    events.buf.as_mut_ptr(),
+                    events.buf.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if rc < 0 {
+                let e = last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(e);
+            }
+            events.len = rc as usize;
+            return Ok(events.len);
+        }
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        unsafe { close(self.epfd) };
+    }
+}
+
+/// Wakes a [`Poll`] from any thread, via `eventfd`. The waker is
+/// registered like any other source and surfaces as a readable event
+/// with its token; [`Waker::wake`] coalesces (N wakes before a poll
+/// deliver one event).
+#[derive(Debug)]
+pub struct Waker {
+    efd: RawFd,
+}
+
+impl Waker {
+    /// Create an eventfd and register it with `poll` under `token`.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        let efd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if efd < 0 {
+            return Err(last_os_error());
+        }
+        poll.register(efd, token, Interest::READABLE)?;
+        Ok(Waker { efd })
+    }
+
+    /// Make the next (or current) poll return immediately.
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        let rc = unsafe { write(self.efd, (&one as *const u64).cast(), 8) };
+        // EAGAIN means the counter is saturated — the poll side is
+        // already guaranteed to wake, so that is success.
+        if rc < 0 && last_os_error().kind() != io::ErrorKind::WouldBlock {
+            return Err(last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Drain the eventfd counter after its readable event was seen, so
+    /// level-triggered polling stops reporting it.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        unsafe { read(self.efd, buf.as_mut_ptr(), 8) };
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe { close(self.efd) };
+    }
+}
+
+// Safety: the wrapped descriptors are plain ints used through thread-safe
+// syscalls (epoll_ctl/epoll_wait/write are safe to call concurrently).
+unsafe impl Send for Poll {}
+unsafe impl Sync for Poll {}
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Instant;
+
+    const A: Token = Token(7);
+    const W: Token = Token(99);
+
+    #[test]
+    fn waker_wakes_a_blocked_poll() {
+        let mut poll = Poll::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(&poll, W).unwrap());
+        let w2 = std::sync::Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            w2.wake().unwrap();
+        });
+        let mut events = Events::with_capacity(8);
+        let t0 = Instant::now();
+        poll.poll(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "woke via waker, not timeout"
+        );
+        assert_eq!(events.iter().next().unwrap().token(), W);
+        waker.drain();
+        t.join().unwrap();
+        // Drained: the next poll times out instead of re-reporting.
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn socket_readability_is_reported_with_its_token() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poll = Poll::new().unwrap();
+        poll.register(server.as_raw_fd(), A, Interest::READABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Nothing to read yet.
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        client.write_all(b"ping").unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token(), A);
+        assert!(ev.is_readable());
+
+        let mut buf = [0u8; 8];
+        assert_eq!(server.read(&mut buf).unwrap(), 4);
+
+        // Level-triggered: drained socket stops reporting readable.
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        poll.deregister(server.as_raw_fd()).unwrap();
+        client.write_all(b"more").unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty(), "deregistered fd reports nothing");
+    }
+
+    #[test]
+    fn write_interest_toggles_via_reregister() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (_server, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+
+        let mut poll = Poll::new().unwrap();
+        poll.register(client.as_raw_fd(), A, Interest::READABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "no write interest yet");
+
+        poll.reregister(
+            client.as_raw_fd(),
+            A,
+            Interest::READABLE | Interest::WRITABLE,
+        )
+        .unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().next().unwrap();
+        assert!(ev.is_writable(), "idle socket is writable");
+    }
+}
