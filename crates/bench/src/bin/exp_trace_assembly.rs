@@ -1,0 +1,352 @@
+//! EXP-TRACE — cross-process trace assembly over the admin plane.
+//!
+//! Three `bbd` processes host the fig2 chain (domain-a → domain-b →
+//! domain-c) with `--admin` enabled. The source submits one
+//! reservation, then this harness scrapes `/flight.tsv` from all three
+//! admin endpoints — three independent processes, three independent
+//! clocks — and reassembles the request's hop-by-hop timeline from the
+//! exported spans alone:
+//!
+//! 1. every process's spans for the deterministic [`TraceId`] are
+//!    collected (the id is minted from signed fields, so all three
+//!    processes agree on it without coordination);
+//! 2. the hop sequence is rebuilt **causally** — start at the domain
+//!    holding the `submit` span, follow each `forward` span's detail
+//!    (the next peer domain) to that domain's `recv_request`, and stop
+//!    at the domain with no outgoing forward — because per-process
+//!    monotonic clocks share no epoch, so sorting across processes by
+//!    timestamp would be meaningless;
+//! 3. the assembled hop sequence is gated against the destination's
+//!    `verified_signer_path` flight event: the cryptographically
+//!    recovered envelope nest, journaled at verification time. The
+//!    observable timeline must match the verified signer path hop for
+//!    hop, across process boundaries.
+//!
+//! Exit code is non-zero on any mismatch; CI runs this as a gate.
+//! Artifacts: `EXP_trace_assembly.txt` (the assembled timeline).
+
+use qos_telemetry::TraceId;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// One span scraped from a process's `/flight.tsv`.
+#[derive(Debug, Clone)]
+struct ScrapedSpan {
+    domain: String,
+    kind: String,
+    detail: String,
+}
+
+/// A non-span flight event we care about (the `path` family).
+#[derive(Debug, Clone)]
+struct ScrapedPath {
+    domain: String,
+    detail: String,
+}
+
+fn free_port() -> u16 {
+    // Bind-then-drop: the OS hands out a free port; the tiny window
+    // before bbd rebinds it is acceptable for a loopback harness.
+    let l = TcpListener::bind("127.0.0.1:0").expect("bind probe");
+    l.local_addr().expect("probe addr").port()
+}
+
+/// Minimal blocking HTTP/1.1 GET against a loopback admin endpoint.
+fn http_get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("write {addr}{path}: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read {addr}{path}: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("no header/body split from {addr}{path}"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line from {addr}{path}"))?;
+    Ok((status, body.to_string()))
+}
+
+fn wait_healthy(addr: &str, deadline: Instant) -> Result<(), String> {
+    loop {
+        if let Ok((200, _)) = http_get(addr, "/healthz") {
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("{addr} not healthy before deadline"));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// Parse `/flight.tsv`: spans for `trace` plus any `path` events.
+fn parse_flight_tsv(body: &str, trace_hex: &str) -> (Vec<ScrapedSpan>, Vec<ScrapedPath>) {
+    let mut spans = Vec::new();
+    let mut paths = Vec::new();
+    for line in body.lines().skip(1) {
+        let cols: Vec<&str> = line.split('\t').collect();
+        // family seq ts_ns wall_s domain trace request label detail start_ns end_ns
+        if cols.len() < 11 || cols[5] != trace_hex {
+            continue;
+        }
+        match cols[0] {
+            "span" => spans.push(ScrapedSpan {
+                domain: cols[4].to_string(),
+                kind: cols[7].to_string(),
+                detail: cols[8].to_string(),
+            }),
+            "path" => paths.push(ScrapedPath {
+                domain: cols[4].to_string(),
+                detail: cols[8].to_string(),
+            }),
+            _ => {}
+        }
+    }
+    (spans, paths)
+}
+
+struct Guard(Vec<Child>);
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        for c in &mut self.0 {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+fn main() {
+    let bbd = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .join("bbd");
+    if !bbd.exists() {
+        eprintln!(
+            "EXP-TRACE: bbd binary not found at {} (build it first)",
+            bbd.display()
+        );
+        std::process::exit(2);
+    }
+
+    let listen: Vec<u16> = (0..3).map(|_| free_port()).collect();
+    let admin: Vec<u16> = (0..3).map(|_| free_port()).collect();
+    let listen_addr = |i: usize| format!("127.0.0.1:{}", listen[i]);
+    let admin_addr = |i: usize| format!("127.0.0.1:{}", admin[i]);
+
+    // Destination first, then transit, then source: each process's dial
+    // target is already listening when it comes up.
+    let spawn = |args: &[String]| {
+        Command::new(&bbd)
+            .args(args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn bbd")
+    };
+    let common = |i: usize| {
+        vec![
+            "--chain".into(),
+            "3".into(),
+            "--index".into(),
+            i.to_string(),
+            "--listen".into(),
+            listen_addr(i),
+            "--admin".into(),
+            admin_addr(i),
+        ]
+    };
+    let mut args_c = common(2);
+    args_c.extend([
+        "--accept".into(),
+        "domain-b".into(),
+        "--run-secs".into(),
+        "60".into(),
+    ]);
+    let mut args_b = common(1);
+    args_b.extend([
+        "--peer".into(),
+        format!("domain-c={}", listen_addr(2)),
+        "--accept".into(),
+        "domain-a".into(),
+        "--run-secs".into(),
+        "60".into(),
+    ]);
+    let mut args_a = common(0);
+    args_a.extend([
+        "--peer".into(),
+        format!("domain-b={}", listen_addr(1)),
+        "--submit".into(),
+        "1".into(),
+        "--linger-secs".into(),
+        "60".into(),
+    ]);
+    let mut guard = Guard(Vec::new());
+    guard.0.push(spawn(&args_c));
+    guard.0.push(spawn(&args_b));
+    guard.0.push(spawn(&args_a));
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    for i in 0..3 {
+        if let Err(e) = wait_healthy(&admin_addr(i), deadline) {
+            eprintln!("EXP-TRACE: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // The submitted reservation: the scenario's rar ids are sequential
+    // from 1, so the single --submit request is rar 1 — every process
+    // mints the same trace id from the same signed fields.
+    let trace = TraceId::mint("domain-a", 1);
+    let trace_hex = format!("{trace}");
+
+    // Wait until the source has recorded the request's completion span.
+    loop {
+        let (status, body) = match http_get(&admin_addr(0), "/flight.tsv") {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("EXP-TRACE: scraping source: {e}");
+                std::process::exit(1);
+            }
+        };
+        if status == 200 {
+            let (spans, _) = parse_flight_tsv(&body, &trace_hex);
+            if spans.iter().any(|s| s.kind == "complete") {
+                break;
+            }
+        }
+        if Instant::now() >= deadline {
+            eprintln!("EXP-TRACE: source never recorded a complete span for {trace_hex}");
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // Scrape all three processes.
+    let mut spans_by_domain: HashMap<String, Vec<ScrapedSpan>> = HashMap::new();
+    let mut path_events: Vec<ScrapedPath> = Vec::new();
+    for i in 0..3 {
+        let (status, body) = match http_get(&admin_addr(i), "/flight.tsv") {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("EXP-TRACE: scraping process {i}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if status != 200 {
+            eprintln!("EXP-TRACE: /flight.tsv from process {i} returned {status}");
+            std::process::exit(1);
+        }
+        let (spans, paths) = parse_flight_tsv(&body, &trace_hex);
+        for s in spans {
+            spans_by_domain.entry(s.domain.clone()).or_default().push(s);
+        }
+        path_events.extend(paths);
+    }
+
+    // Causal hop reconstruction: per-process clocks share no epoch, so
+    // the chain is followed through forward links, never sorted by time.
+    let Some(source) = spans_by_domain
+        .iter()
+        .find(|(_, spans)| spans.iter().any(|s| s.kind == "submit"))
+        .map(|(d, _)| d.clone())
+    else {
+        eprintln!("EXP-TRACE: no submit span found in any process");
+        std::process::exit(1);
+    };
+    let mut hops = vec![source.clone()];
+    let mut here = source;
+    loop {
+        let spans = &spans_by_domain[&here];
+        let Some(next) = spans
+            .iter()
+            .find(|s| s.kind == "forward" && !s.detail.starts_with("user:"))
+            .map(|s| s.detail.clone())
+        else {
+            break; // no outgoing forward: `here` is the destination
+        };
+        let Some(next_spans) = spans_by_domain.get(&next) else {
+            eprintln!("EXP-TRACE: forward names {next} but no spans were scraped from it");
+            std::process::exit(1);
+        };
+        if !next_spans.iter().any(|s| s.kind == "recv_request") {
+            eprintln!("EXP-TRACE: {next} has spans but no recv_request — broken causal chain");
+            std::process::exit(1);
+        }
+        hops.push(next.clone());
+        here = next;
+    }
+    let destination = hops.last().expect("at least the source").clone();
+    if !spans_by_domain[&destination]
+        .iter()
+        .any(|s| s.kind == "verify_envelope")
+    {
+        eprintln!("EXP-TRACE: destination {destination} recorded no verify_envelope span");
+        std::process::exit(1);
+    }
+
+    // The gate: the assembled hop sequence must equal the broker hops of
+    // the cryptographically recovered signer path, journaled by the
+    // destination at verification time.
+    let Some(path) = path_events.iter().find(|p| p.domain == destination) else {
+        eprintln!("EXP-TRACE: destination {destination} journaled no verified_signer_path event");
+        std::process::exit(1);
+    };
+    // The signer path holds every broker that *wrapped* the envelope —
+    // the source and each transit. The destination verifies the nest
+    // but signs nothing into it, so it appears as the journaling
+    // domain, not as a path entry: the expected hop sequence is the
+    // path's broker hops plus the destination itself.
+    let mut verified_hops: Vec<String> = path
+        .detail
+        .split(',')
+        .filter_map(|e| e.strip_prefix("BB@"))
+        .map(str::to_string)
+        .collect();
+    verified_hops.push(path.domain.clone());
+    let report = format!(
+        "EXP-TRACE cross-process trace assembly\n\
+         trace             {trace_hex}\n\
+         assembled hops    {}\n\
+         verified path     {}  (from {})\n\
+         spans per domain  {}\n",
+        hops.join(" -> "),
+        verified_hops.join(" -> "),
+        path.domain,
+        {
+            let mut counts: Vec<String> = spans_by_domain
+                .iter()
+                .map(|(d, s)| format!("{d}:{}", s.len()))
+                .collect();
+            counts.sort();
+            counts.join(" ")
+        }
+    );
+    print!("{report}");
+    let _ = std::fs::write("EXP_trace_assembly.txt", &report);
+
+    if hops != verified_hops {
+        eprintln!(
+            "EXP-TRACE: FAIL — assembled hops [{}] do not match the verified signer path [{}]",
+            hops.join(" -> "),
+            verified_hops.join(" -> ")
+        );
+        std::process::exit(1);
+    }
+    println!("EXP-TRACE: PASS — span timeline matches the verified signer path hop for hop");
+}

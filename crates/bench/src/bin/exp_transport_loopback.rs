@@ -241,6 +241,8 @@ struct ThroughputResult {
     max_us: f64,
     p50_us: f64,
     p99_us: f64,
+    p999_us: f64,
+    count: u64,
     granted: usize,
 }
 
@@ -285,8 +287,106 @@ fn throughput_run(fabric: Fabric, shards: usize, registry: &Arc<Registry>) -> Th
         max_us: latency.max() as f64 / 1e3,
         p50_us: latency.p50() as f64 / 1e3,
         p99_us: latency.p99() as f64 / 1e3,
+        p999_us: latency.p999() as f64 / 1e3,
+        count: latency.count(),
         granted,
     }
+}
+
+/// Minimal blocking HTTP/1.1 GET against a daemon's loopback admin
+/// endpoint; returns the status code.
+fn admin_get(addr: std::net::SocketAddr, path: &str) -> Option<u16> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .ok()?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: bbd\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .ok()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).ok()?;
+    let text = String::from_utf8_lossy(&raw);
+    text.split_whitespace().nth(1).and_then(|s| s.parse().ok())
+}
+
+/// One TCP burst run with the admin plane optionally enabled and a
+/// 10 Hz `/metrics` scraper hitting every daemon while the burst is in
+/// flight. Returns requests/second.
+fn admin_overhead_run(shards: usize, admin: bool) -> f64 {
+    let registry = Registry::new();
+    let telemetry = Telemetry::with_registry(Arc::clone(&registry));
+    let mut s = build_chain(ChainOptions {
+        sla_rate_bps: 1000 * MBPS,
+        telemetry: telemetry.clone(),
+        ..ChainOptions::default()
+    });
+    let domains = s.domains.clone();
+    let mut rars = Vec::new();
+    for i in 0..THROUGHPUT_REQUESTS {
+        let spec = s.spec("alice", 1000 + i, MBPS, Timestamp(0), 3600);
+        rars.push(s.users["alice"].sign_request(spec, &s.nodes[0]));
+    }
+    let cert = s.users["alice"].cert.clone();
+
+    let ids = identities(&s);
+    let links = chain_links(&s);
+    let ca_key = s.ca_key;
+    let nodes = std::mem::take(&mut s.nodes);
+    let mut mesh = TcpMesh::new();
+    mesh.set_telemetry(telemetry.clone());
+    mesh.set_shards(shards);
+    mesh.set_admin(admin);
+    mesh.spawn(nodes, ids, &links, ca_key)
+        .expect("loopback mesh comes up");
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scraper = admin.then(|| {
+        let addrs: Vec<std::net::SocketAddr> =
+            domains.iter().filter_map(|d| mesh.admin_addr(d)).collect();
+        // One synchronous scrape up front so every route (and its
+        // lazily-resolved counter family) is exercised before timing.
+        for &a in &addrs {
+            assert_eq!(admin_get(a, "/metrics"), Some(200), "admin warm-up scrape");
+        }
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                for &a in &addrs {
+                    let _ = admin_get(a, "/metrics");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        })
+    });
+
+    let t0 = Instant::now();
+    mesh.submit_all(
+        "domain-a",
+        rars.into_iter().map(|rar| (rar, cert.clone())).collect(),
+    );
+    let completions = mesh.wait_completions(THROUGHPUT_REQUESTS as usize);
+    let elapsed = t0.elapsed();
+    assert_eq!(completions.len(), THROUGHPUT_REQUESTS as usize);
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    if let Some(h) = scraper {
+        let _ = h.join();
+    }
+    mesh.shutdown();
+    THROUGHPUT_REQUESTS as f64 / elapsed.as_secs_f64()
+}
+
+/// Maximum tolerated throughput loss from a live 10 Hz admin scraper,
+/// percent, on hosts with a spare core for the scraper
+/// (`EXP_ADMIN_MAX_OVERHEAD_PCT`; 0 disables the gate). When
+/// cores <= shards the enforced bound is tripled — see the gate site.
+fn admin_max_overhead_pct() -> f64 {
+    std::env::var("EXP_ADMIN_MAX_OVERHEAD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0)
 }
 
 fn main() {
@@ -358,7 +458,7 @@ fn main() {
         "reservation burst ({THROUGHPUT_REQUESTS} requests, 3-domain chain, {} core(s)):",
         cores()
     );
-    let widths = [20, 7, 10, 9, 9, 9, 9, 9, 9, 9];
+    let widths = [20, 7, 10, 9, 9, 9, 9, 9, 9, 9, 7, 9];
     table_header(
         &[
             "fabric",
@@ -370,6 +470,8 @@ fn main() {
             "max(µs)",
             "p50(µs)",
             "p99(µs)",
+            "p999(µs)",
+            "count",
             "granted",
         ],
         &widths,
@@ -393,6 +495,8 @@ fn main() {
                     format!("{:.1}", r.max_us),
                     format!("{:.1}", r.p50_us),
                     format!("{:.1}", r.p99_us),
+                    format!("{:.1}", r.p999_us),
+                    r.count.to_string(),
                     format!("{}/{}", r.granted, THROUGHPUT_REQUESTS),
                 ],
                 &widths,
@@ -410,6 +514,8 @@ fn main() {
                     .field("max_us", r.max_us)
                     .field("p50_us", r.p50_us)
                     .field("p99_us", r.p99_us)
+                    .field("p999_us", r.p999_us)
+                    .field("count", r.count)
                     .field("granted", r.granted as u64),
             );
             if fabric == Fabric::Tcp && shards == gate_shards {
@@ -418,6 +524,46 @@ fn main() {
             }
         }
     }
+
+    // Part 3 — observation cost: the same TCP burst with the admin
+    // plane up and a 10 Hz /metrics scraper hitting every daemon,
+    // against the plain run. Both sides take the best of three so a
+    // scheduler hiccup in a single run cannot fail the gate.
+    println!("\nadmin-plane overhead ({gate_shards} shard(s), 10 Hz /metrics scraper):");
+    let best = |admin: bool| {
+        (0..3)
+            .map(|_| admin_overhead_run(gate_shards, admin))
+            .fold(0.0f64, f64::max)
+    };
+    let base_rps = best(false);
+    let scraped_rps = best(true);
+    let overhead_pct = ((base_rps - scraped_rps) / base_rps * 100.0).max(0.0);
+    let widths3 = [26, 12, 13];
+    table_header(&["configuration", "req/s", "overhead(%)"], &widths3);
+    table_row(
+        &[
+            "no admin plane".to_string(),
+            format!("{base_rps:.0}"),
+            "-".to_string(),
+        ],
+        &widths3,
+    );
+    table_row(
+        &[
+            "admin + 10 Hz scraper".to_string(),
+            format!("{scraped_rps:.0}"),
+            format!("{overhead_pct:.1}"),
+        ],
+        &widths3,
+    );
+    artifact.push(
+        Row::new()
+            .field("section", "admin_overhead")
+            .field("shards", gate_shards as u64)
+            .field("base_req_per_sec", base_rps)
+            .field("scraped_req_per_sec", scraped_rps)
+            .field("overhead_pct", overhead_pct),
+    );
 
     match artifact.write("BENCH_transport.json") {
         Ok(()) => println!("\nwrote BENCH_transport.json"),
@@ -455,9 +601,26 @@ fn main() {
         );
         std::process::exit(1);
     }
+    // The overhead bound is CPU-scaled the same way the floor is: on a
+    // host with a spare core the scraper and the admin connections ride
+    // it and the strict bound applies, but when cores <= shards every
+    // scrape steals cycles from the admission pipeline itself and the
+    // single-core run-to-run variance (~±10%) swamps a 5% bound, so the
+    // oversubscribed regime gets 3× headroom. The strict bound is what
+    // CI-class multi-core hosts enforce.
+    let max_overhead = admin_max_overhead_pct() * if cores() <= gate_shards { 3.0 } else { 1.0 };
+    if max_overhead > 0.0 && overhead_pct > max_overhead {
+        eprintln!(
+            "\nFAIL: a 10 Hz admin scraper cost {overhead_pct:.1}% throughput \
+             ({base_rps:.0} -> {scraped_rps:.0} req/s), above the {max_overhead:.0}% \
+             bound (EXP_ADMIN_MAX_OVERHEAD_PCT, tripled when cores <= shards)"
+        );
+        std::process::exit(1);
+    }
     println!(
         "\nexpected: identical verdicts and committed bandwidth across every\n\
          fabric/shard/cache configuration; TCP adds per-hop socket+seal\n\
-         overhead, and shards buy admission throughput up to the core count."
+         overhead, shards buy admission throughput up to the core count,\n\
+         and a live 10 Hz admin scraper costs within {max_overhead:.0}% of it."
     );
 }

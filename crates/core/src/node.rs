@@ -33,7 +33,8 @@ use qos_net::{FlowId, LinkId, NodeId};
 use qos_policy::request::VerifiedCapability;
 use qos_policy::{Assertion, AttributeSet, GroupServer, PolicyServer, ReservationOracle, Value};
 use qos_telemetry::{
-    Clock, Counter, Gauge, Histogram, Span, SpanKind, StdClock, Telemetry, TraceId, Tracer,
+    Clock, Counter, EventFamily, FlightEvent, Gauge, Histogram, Span, SpanKind, StdClock,
+    Telemetry, TraceId, Tracer,
 };
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -544,7 +545,7 @@ impl BbNode {
         if !self.tracer.is_enabled() {
             return;
         }
-        self.tracer.record(Span {
+        let span = Span {
             trace,
             request: request.0,
             domain: self.domain.clone(),
@@ -553,7 +554,15 @@ impl BbNode {
             start_ns,
             end_ns,
             wall_s: self.now.0,
-        });
+        };
+        // Span export: completed spans also land in the flight recorder
+        // (tagged by the same deterministic TraceId), which is what the
+        // admin plane's `/flight` and `/trace/<id>` serve and what
+        // `exp_trace_assembly` reassembles across processes.
+        if let Some(flight) = self.telemetry.flight() {
+            flight.record_span(&span);
+        }
+        self.tracer.record(span);
     }
 
     /// Audit an event and keep the eviction gauge current.
@@ -1164,6 +1173,31 @@ impl BbNode {
         // chain must match it hop for hop (see `verified_signer_path`).
         self.verified_paths
             .insert(rar_id, verified.signer_path.clone());
+        // Journal the recovered path so a remote scraper can compare the
+        // cross-process span timeline against the cryptographic ground
+        // truth without reaching into this process (exp_trace_assembly).
+        if let Some(flight) = self.telemetry.flight() {
+            let path = verified
+                .signer_path
+                .iter()
+                .map(|dn| match dn.common_name() {
+                    Some("BB") => format!("BB@{}", dn.org_unit().unwrap_or("?")),
+                    other => other.unwrap_or("?").to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            flight.record(
+                FlightEvent::new(
+                    EventFamily::Path,
+                    self.domain.clone(),
+                    "verified_signer_path",
+                )
+                .trace(trace)
+                .request(rar_id.0)
+                .detail(path)
+                .wall(self.now.0),
+            );
+        }
 
         let caps = self.verify_capability_chain(&rar)?;
         let attachments = self.check_policy(&spec, &caps, &verified.attachments, trace)?;
@@ -1818,6 +1852,22 @@ impl BbNode {
             self.instruments.admission_held.inc();
         } else {
             self.instruments.admission_refused.inc();
+        }
+        // Admission verdicts are first-class flight events (not just
+        // spans): they journal even when tracing is off, and a refusal
+        // burst is one of the recorder's anomaly-dump triggers.
+        if let Some(flight) = self.telemetry.flight() {
+            flight.record(
+                FlightEvent::new(
+                    EventFamily::Admission,
+                    self.domain.clone(),
+                    if result.is_ok() { "held" } else { "refused" },
+                )
+                .trace(trace)
+                .request(rar_id.0)
+                .detail(format!("rate {rate_bps} bps"))
+                .wall(self.now.0),
+            );
         }
         self.audit_event(AuditEvent::Admission {
             rar_id,

@@ -29,7 +29,10 @@ use crate::messages::SignalMessage;
 use crate::node::{BbNode, Completion};
 use crate::rar::RarId;
 use qos_crypto::{Certificate, DistinguishedName, Timestamp};
-use qos_telemetry::{Counter, Gauge, Histogram, StdClock, Telemetry, TraceId};
+use qos_telemetry::{
+    Counter, EventFamily, FlightEvent, FlightRecorder, Gauge, Histogram, StdClock, Telemetry,
+    TraceId,
+};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -141,6 +144,15 @@ struct Inner {
     /// `steals[victim][thief]` — pre-resolved so every pair renders
     /// (at zero) from the first exposition.
     steals: Vec<Vec<Counter>>,
+    /// Accumulated time each shard spent processing batches
+    /// (`shard_busy_ns_total{shard}`) — the admin plane's `/shards`
+    /// busy gauge reads these cells.
+    busy: Vec<Counter>,
+    /// Accumulated time each *worker* spent parked on the doorbell
+    /// (`shard_idle_ns_total{worker}`).
+    idle: Vec<Counter>,
+    /// Flight recorder for shard-steal events, when one is attached.
+    flight: Option<Arc<FlightRecorder>>,
     completion_latency: Histogram,
     mailbox_peak: Gauge,
     live: bool,
@@ -207,12 +219,37 @@ impl ShardedNode {
                     .collect()
             })
             .collect();
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(shards);
+        let worker_count = shards.min(cores).max(1);
+        let busy = (0..shards)
+            .map(|i| {
+                telemetry.counter(
+                    "shard_busy_ns_total",
+                    "Accumulated time a shard's queue was being drained and processed",
+                    &[("domain", &domain), ("shard", &i.to_string())],
+                )
+            })
+            .collect();
+        let idle = (0..worker_count)
+            .map(|i| {
+                telemetry.counter(
+                    "shard_idle_ns_total",
+                    "Accumulated time a shard worker spent parked waiting for work",
+                    &[("domain", &domain), ("worker", &i.to_string())],
+                )
+            })
+            .collect();
         let inner = Arc::new(Inner {
             shards: shard_vec,
             bell: (Mutex::new(0), Condvar::new()),
             stop: AtomicBool::new(false),
             sink,
             steals,
+            busy,
+            idle,
+            flight: telemetry.flight().cloned(),
             completion_latency: telemetry.histogram(
                 "bb_completion_latency_ns",
                 "Submit-to-completion latency at the source broker",
@@ -226,10 +263,7 @@ impl ShardedNode {
             live: telemetry.is_enabled(),
             domain,
         });
-        let cores = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(shards);
-        let workers = (0..shards.min(cores).max(1))
+        let workers = (0..worker_count)
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
@@ -407,6 +441,36 @@ impl ShardedNode {
         self.inner.shards.iter().map(|s| lock(&s.queue).len()).sum()
     }
 
+    /// Current queue depth of each shard (the `/healthz` vital sign).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| lock(&s.queue).len())
+            .collect()
+    }
+
+    /// Per-shard runtime stats for the admin plane's `/shards` route:
+    /// `(queue depth, busy ns, batches stolen from this shard)`. Busy
+    /// and steal figures read the shard's metric cells, so they are 0
+    /// when no registry is installed.
+    pub fn shard_stats(&self) -> Vec<(usize, u64, u64)> {
+        self.inner
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let stolen: u64 = self.inner.steals[i].iter().map(Counter::get).sum();
+                (lock(&s.queue).len(), self.inner.busy[i].get(), stolen)
+            })
+            .collect()
+    }
+
+    /// Per-worker accumulated idle (doorbell-parked) nanoseconds.
+    pub fn worker_idle_ns(&self) -> Vec<u64> {
+        self.inner.idle.iter().map(Counter::get).collect()
+    }
+
     /// Stop the workers (after draining every queue) and hand back one
     /// replica — its ledger and counters are the shared ones, so
     /// admission state reads identically from any shard.
@@ -454,9 +518,13 @@ fn worker_loop(inner: &Inner, me: usize) {
         if !did_work {
             let (m, cv) = &inner.bell;
             let g = lock(m);
+            let parked = StdClock::now();
             let _ = cv
                 .wait_timeout(g, Duration::from_millis(10))
                 .unwrap_or_else(|e| e.into_inner());
+            if inner.live {
+                inner.idle[me].add(StdClock::now().saturating_sub(parked));
+            }
         }
     }
 }
@@ -490,10 +558,26 @@ fn run_shard(inner: &Inner, shard_idx: usize, worker: usize, try_only: bool) -> 
     if batch.is_empty() {
         return false;
     }
-    if try_only && inner.live {
-        inner.steals[shard_idx][worker].inc();
+    if try_only {
+        if inner.live {
+            inner.steals[shard_idx][worker].inc();
+        }
+        if let Some(flight) = &inner.flight {
+            flight.record(
+                FlightEvent::new(
+                    EventFamily::ShardSteal,
+                    inner.domain.clone(),
+                    format!("shard-{shard_idx}"),
+                )
+                .detail(format!("{} msgs stolen by worker {worker}", batch.len())),
+            );
+        }
     }
+    let t0 = if inner.live { StdClock::now() } else { 0 };
     process_batch(inner, &mut state, batch);
+    if inner.live {
+        inner.busy[shard_idx].add(StdClock::now().saturating_sub(t0));
+    }
     true
 }
 

@@ -1,0 +1,150 @@
+//! Minimal dependency-free HTTP/1.1 plumbing for the admin plane.
+//!
+//! The admin endpoint is a diagnostics surface, not a web server: every
+//! connection carries one `GET`, the response always closes the
+//! connection (`Connection: close`), and the parser only needs to
+//! recognise a complete request head in an incrementally-filled buffer.
+//! Keeping the protocol layer here (transport-agnostic, pure functions
+//! over byte slices) lets the reactor treat admin sockets as plain
+//! buffered connections and lets tests exercise parsing without
+//! sockets.
+
+/// Upper bound on a request head — beyond this the connection is
+/// rejected rather than buffered further.
+pub const MAX_REQUEST_HEAD: usize = 8 * 1024;
+
+/// A parsed request line (headers are read past but ignored — no admin
+/// route depends on them).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method (`GET` for every supported route).
+    pub method: String,
+    /// Request path with any `?query` suffix stripped.
+    pub path: String,
+}
+
+/// Why a buffer could not be parsed as a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line is not `METHOD SP PATH SP HTTP/1.x`.
+    Malformed,
+    /// The head exceeded [`MAX_REQUEST_HEAD`] without terminating.
+    HeadTooLarge,
+}
+
+/// Try to parse a complete request head out of `buf`.
+///
+/// Returns `Ok(None)` while the head is still incomplete (read more),
+/// `Ok(Some(request))` once the terminating blank line has arrived, and
+/// `Err` for malformed or oversized heads (close the connection).
+pub fn parse_request(buf: &[u8]) -> Result<Option<HttpRequest>, HttpError> {
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n");
+    let Some(head_end) = head_end else {
+        if buf.len() > MAX_REQUEST_HEAD {
+            return Err(HttpError::HeadTooLarge);
+        }
+        return Ok(None);
+    };
+    if head_end > MAX_REQUEST_HEAD {
+        return Err(HttpError::HeadTooLarge);
+    }
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| HttpError::Malformed)?;
+    let request_line = head.lines().next().ok_or(HttpError::Malformed)?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().filter(|m| !m.is_empty());
+    let target = parts.next().filter(|t| t.starts_with('/'));
+    let version = parts.next().filter(|v| v.starts_with("HTTP/1."));
+    let (Some(method), Some(target), Some(_)) = (method, target, version) else {
+        return Err(HttpError::Malformed);
+    };
+    let path = target.split('?').next().unwrap_or(target);
+    Ok(Some(HttpRequest {
+        method: method.to_string(),
+        path: path.to_string(),
+    }))
+}
+
+/// Reason phrase for the status codes the admin plane emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Render a full one-shot response (`Connection: close`, exact
+/// `Content-Length`).
+pub fn render_response(status: u16, content_type: &str, body: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 128);
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            status_text(status),
+            body.len()
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Content types used by the admin routes.
+pub mod content_type {
+    /// Prometheus text exposition.
+    pub const PROMETHEUS: &str = "text/plain; version=0.0.4";
+    /// JSON documents.
+    pub const JSON: &str = "application/json";
+    /// Plain text (TSV dumps, errors).
+    pub const TEXT: &str = "text/plain";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_complete_get() {
+        let req = parse_request(b"GET /metrics?x=1 HTTP/1.1\r\nHost: h\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+    }
+
+    #[test]
+    fn incomplete_head_waits_for_more() {
+        assert_eq!(parse_request(b"GET /metrics HTTP/1.1\r\nHost:"), Ok(None));
+        assert_eq!(parse_request(b""), Ok(None));
+    }
+
+    #[test]
+    fn malformed_and_oversized_heads_are_rejected() {
+        assert_eq!(
+            parse_request(b"NOT-HTTP\r\n\r\n"),
+            Err(HttpError::Malformed)
+        );
+        assert_eq!(
+            parse_request(b"GET nopath HTTP/1.1\r\n\r\n"),
+            Err(HttpError::Malformed)
+        );
+        let huge = vec![b'a'; MAX_REQUEST_HEAD + 16];
+        assert_eq!(parse_request(&huge), Err(HttpError::HeadTooLarge));
+    }
+
+    #[test]
+    fn response_has_exact_content_length_and_closes() {
+        let resp = render_response(200, content_type::JSON, "{\"ok\":true}");
+        let text = String::from_utf8(resp).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        let err =
+            String::from_utf8(render_response(404, content_type::TEXT, "no such route\n")).unwrap();
+        assert!(err.starts_with("HTTP/1.1 404 Not Found\r\n"));
+    }
+}

@@ -106,7 +106,7 @@ pub fn render_prometheus(registry: &Registry) -> String {
 }
 
 /// Escape a string for inclusion in JSON output.
-pub(crate) fn json_escape(s: &str) -> String {
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -130,7 +130,7 @@ pub(crate) fn json_escape(s: &str) -> String {
 /// ```
 ///
 /// Histogram metrics carry `count`, `sum`, `min`, `mean`, `max`, `p50`,
-/// `p95`, `p99` instead of `value`. `min`/`max` are the raw extreme
+/// `p95`, `p99`, `p999` instead of `value`. `min`/`max` are the raw extreme
 /// observations; the percentiles resolve to log-linear bucket upper
 /// bounds. Ordering is deterministic (same walk as
 /// [`render_prometheus`]).
@@ -158,7 +158,7 @@ pub fn snapshot_json(registry: &Registry) -> String {
                 MetricCell::Histogram(h) => {
                     let hh = h.handle();
                     format!(
-                        "\"count\":{},\"sum\":{},\"min\":{},\"mean\":{:.3},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}",
+                        "\"count\":{},\"sum\":{},\"min\":{},\"mean\":{:.3},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{}",
                         hh.count(),
                         hh.sum(),
                         hh.min(),
@@ -166,7 +166,8 @@ pub fn snapshot_json(registry: &Registry) -> String {
                         hh.max(),
                         hh.quantile(0.50),
                         hh.quantile(0.95),
-                        hh.quantile(0.99)
+                        hh.quantile(0.99),
+                        hh.quantile(0.999)
                     )
                 }
             };
@@ -263,6 +264,8 @@ mod tests {
         assert!(out.contains("\"labels\":{\"domain\":\"a\"},\"value\":2"));
         assert!(out.contains("\"count\":100,\"sum\":5050"));
         assert!(out.contains("\"p95\":95"));
+        // p999 rank ceil(0.999*100)=100 → value 100 → bucket bound 103.
+        assert!(out.contains("\"p999\":103"));
     }
 
     #[test]

@@ -18,19 +18,33 @@
 //!   for their `BENCH_*.json`/`METRICS_*.json` files (one code path
 //!   instead of hand-rolled serializers).
 //!
+//! Two live-introspection pillars sit on top (DESIGN.md §D12):
+//!
+//! * [`recorder`] — the [`FlightRecorder`], a lock-free bounded ring of
+//!   structured runtime events with per-family sequence numbers and
+//!   drop accounting, dumpable on demand or automatically on anomaly.
+//! * [`admin`] — dependency-free HTTP/1.1 request parsing and response
+//!   rendering for the reactor-hosted admin endpoint (`/metrics`,
+//!   `/healthz`, `/flight`…); the routes themselves live next to the
+//!   runtime state they expose, in `qos-transport`.
+//!
 //! Timings come from the [`Clock`] abstraction: [`StdClock`] reads the
 //! process-wide monotonic clock (one shared epoch, so spans from
 //! different broker threads align), and [`ManualClock`] is driven by the
 //! DES scheduler so virtual-time simulations produce the same telemetry.
 
+pub mod admin;
 pub mod artifact;
 pub mod clock;
 pub mod expo;
 pub mod metrics;
+pub mod recorder;
 pub mod trace;
 
+pub use admin::{parse_request, render_response, HttpError, HttpRequest};
 pub use artifact::{Artifact, Row};
 pub use clock::{Clock, ManualClock, StdClock};
-pub use expo::{render_prometheus, snapshot_json};
+pub use expo::{json_escape, render_prometheus, snapshot_json};
 pub use metrics::{Counter, Gauge, Histogram, MetricKind, Registry, Telemetry};
+pub use recorder::{EventFamily, FlightEvent, FlightRecorder, FLIGHT_DEFAULT_CAPACITY};
 pub use trace::{render_timeline, Span, SpanKind, TraceId, Tracer};

@@ -281,6 +281,12 @@ impl Histogram {
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
+
+    /// 99.9th-percentile upper bound — the tail the admin plane and the
+    /// EXP-TCP tables report beyond p99.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
 }
 
 /// One metric's storage inside a family.
@@ -467,39 +473,60 @@ impl Registry {
     }
 }
 
-/// An optional registry: the handle every instrumented subsystem holds.
+/// An optional registry (plus an optional flight recorder): the handle
+/// every instrumented subsystem holds.
 ///
 /// [`Telemetry::disabled`] (also `Default`) makes every resolution
 /// return a detached no-op instrument — the uninstrumented fast path
-/// costs one `None` check per operation and allocates nothing.
+/// costs one `None` check per operation and allocates nothing. A
+/// [`FlightRecorder`] attached via [`Telemetry::with_flight`] rides the
+/// same handle, so event producers reach the recorder through the
+/// `Telemetry` they already hold instead of a second plumbing path.
 #[derive(Clone, Default, Debug)]
-pub struct Telemetry(Option<Arc<Registry>>);
+pub struct Telemetry {
+    registry: Option<Arc<Registry>>,
+    flight: Option<Arc<crate::recorder::FlightRecorder>>,
+}
 
 impl Telemetry {
     /// No registry: every instrument resolved through this handle is a
     /// no-op.
     pub fn disabled() -> Self {
-        Telemetry(None)
+        Telemetry::default()
     }
 
     /// Route instruments into `registry`.
     pub fn with_registry(registry: Arc<Registry>) -> Self {
-        Telemetry(Some(registry))
+        Telemetry {
+            registry: Some(registry),
+            flight: None,
+        }
+    }
+
+    /// Attach a flight recorder (builder-style).
+    pub fn with_flight(mut self, flight: Arc<crate::recorder::FlightRecorder>) -> Self {
+        self.flight = Some(flight);
+        self
     }
 
     /// The installed registry, if any.
     pub fn registry(&self) -> Option<&Arc<Registry>> {
-        self.0.as_ref()
+        self.registry.as_ref()
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<&Arc<crate::recorder::FlightRecorder>> {
+        self.flight.as_ref()
     }
 
     /// Is a registry installed?
     pub fn is_enabled(&self) -> bool {
-        self.0.is_some()
+        self.registry.is_some()
     }
 
     /// Resolve a counter (no-op handle when disabled).
     pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
-        self.0
+        self.registry
             .as_ref()
             .map_or_else(Counter::noop, |r| r.counter(name, help, labels))
     }
@@ -512,21 +539,21 @@ impl Telemetry {
         labels: &[(&str, &str)],
         cell: Arc<AtomicU64>,
     ) -> Counter {
-        self.0.as_ref().map_or_else(Counter::noop, |r| {
+        self.registry.as_ref().map_or_else(Counter::noop, |r| {
             r.register_counter(name, help, labels, cell)
         })
     }
 
     /// Resolve a gauge (no-op handle when disabled).
     pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
-        self.0
+        self.registry
             .as_ref()
             .map_or_else(Gauge::noop, |r| r.gauge(name, help, labels))
     }
 
     /// Resolve a histogram (no-op handle when disabled).
     pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
-        self.0
+        self.registry
             .as_ref()
             .map_or_else(Histogram::noop, |r| r.histogram(name, help, labels))
     }

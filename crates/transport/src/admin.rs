@@ -1,0 +1,219 @@
+//! Admin-plane routes: the runtime state behind each HTTP endpoint.
+//!
+//! The HTTP mechanics (request parsing, response rendering) live in
+//! `qos_telemetry::admin`; this module is the *routing table*, placed
+//! in `qos-transport` because the interesting answers — shard queue
+//! depths, link states, reactor vitals — live next to the daemon. The
+//! reactor calls [`AdminState::respond`] with a parsed request and
+//! writes the returned bytes back on the admin connection; every route
+//! is a read-only snapshot, so serving one costs the data path nothing
+//! but the reactor sweep it rides in.
+//!
+//! | route           | body                                            |
+//! |-----------------|-------------------------------------------------|
+//! | `/metrics`      | Prometheus text exposition of the registry      |
+//! | `/metrics.json` | the same registry as a JSON snapshot            |
+//! | `/healthz`      | liveness: reactor heartbeat + shard queue depths|
+//! | `/shards`       | per-shard queue depth, busy ns, stolen batches  |
+//! | `/trace/<id>`   | flight events for one 16-hex-digit trace id     |
+//! | `/flight`       | full flight-recorder dump (JSON)                |
+//! | `/flight.tsv`   | the same dump, tab-separated                    |
+
+use crate::daemon::Link;
+use crate::reactor::ReactorStatus;
+use qos_core::shard::ShardedNode;
+use qos_telemetry::admin::{content_type, render_response, HttpRequest};
+use qos_telemetry::{render_prometheus, snapshot_json, FlightRecorder, Registry, TraceId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A reactor is considered stalled (503 on `/healthz`) when its last
+/// sweep heartbeat is older than this.
+const HEALTHZ_STALL_NS: u64 = 5_000_000_000;
+
+/// Everything the admin routes read. Built by the daemon, owned by the
+/// reactor; every field is a shared handle onto live runtime state.
+pub(crate) struct AdminState {
+    pub(crate) domain: String,
+    pub(crate) registry: Option<Arc<Registry>>,
+    pub(crate) flight: Option<Arc<FlightRecorder>>,
+    pub(crate) sharded: Arc<ShardedNode>,
+    pub(crate) links: Arc<HashMap<String, Link>>,
+    pub(crate) status: Arc<ReactorStatus>,
+}
+
+impl AdminState {
+    /// Serve one request: returns the full response bytes and the
+    /// endpoint label used by the `admin_requests_total` counter.
+    pub(crate) fn respond(&self, req: &HttpRequest) -> (Vec<u8>, &'static str) {
+        if req.method != "GET" {
+            return (
+                render_response(405, content_type::TEXT, "admin endpoints are GET-only\n"),
+                "other",
+            );
+        }
+        match req.path.as_str() {
+            "/metrics" => match &self.registry {
+                Some(r) => (
+                    render_response(200, content_type::PROMETHEUS, &render_prometheus(r)),
+                    "metrics",
+                ),
+                None => (self.no_registry(), "metrics"),
+            },
+            "/metrics.json" => match &self.registry {
+                Some(r) => (
+                    render_response(200, content_type::JSON, &snapshot_json(r)),
+                    "metrics_json",
+                ),
+                None => (self.no_registry(), "metrics_json"),
+            },
+            "/healthz" => (self.healthz(), "healthz"),
+            "/shards" => (self.shards(), "shards"),
+            "/flight" => match &self.flight {
+                Some(f) => (
+                    render_response(200, content_type::JSON, &f.dump_json()),
+                    "flight",
+                ),
+                None => (self.no_recorder(), "flight"),
+            },
+            "/flight.tsv" => match &self.flight {
+                Some(f) => (
+                    render_response(200, content_type::TEXT, &f.dump_tsv()),
+                    "flight_tsv",
+                ),
+                None => (self.no_recorder(), "flight_tsv"),
+            },
+            path => {
+                if let Some(id) = path.strip_prefix("/trace/") {
+                    (self.trace(id), "trace")
+                } else {
+                    (
+                        render_response(
+                            404,
+                            content_type::TEXT,
+                            "routes: /metrics /metrics.json /healthz /shards /trace/<id> /flight /flight.tsv\n",
+                        ),
+                        "other",
+                    )
+                }
+            }
+        }
+    }
+
+    fn no_registry(&self) -> Vec<u8> {
+        render_response(
+            503,
+            content_type::TEXT,
+            "no metrics registry installed (start bbd with --metrics or --admin)\n",
+        )
+    }
+
+    fn no_recorder(&self) -> Vec<u8> {
+        render_response(
+            503,
+            content_type::TEXT,
+            "no flight recorder installed (start bbd with --admin)\n",
+        )
+    }
+
+    /// Liveness vitals: the reactor's poll-loop heartbeat (age of the
+    /// last sweep) and the shard ingress queue depths. 503 when the
+    /// heartbeat is stale — a wedged reactor that somehow still accepts
+    /// admin traffic must not look healthy.
+    fn healthz(&self) -> Vec<u8> {
+        let age_ns = self.status.heartbeat_age_ns();
+        let stalled = age_ns > HEALTHZ_STALL_NS;
+        let depths = self.sharded.queue_depths();
+        let connected = self
+            .links
+            .values()
+            .filter(|l| l.connected.load(std::sync::atomic::Ordering::SeqCst))
+            .count();
+        let body = format!(
+            "{{\"status\":\"{}\",\"domain\":\"{}\",\"reactor\":{{\"heartbeat_age_ms\":{},\"sweeps\":{},\"stalls\":{},\"max_sweep_us\":{}}},\"shards\":{},\"shard_queue_depths\":[{}],\"links\":{},\"connected_peers\":{}}}\n",
+            if stalled { "stalled" } else { "ok" },
+            self.domain,
+            age_ns / 1_000_000,
+            self.status.sweeps(),
+            self.status.stalls(),
+            self.status.max_sweep_ns() / 1_000,
+            self.sharded.shards(),
+            depths
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+            self.links.len(),
+            connected,
+        );
+        render_response(if stalled { 503 } else { 200 }, content_type::JSON, &body)
+    }
+
+    /// Per-shard runtime picture: ingress queue depth, accumulated busy
+    /// time, and how many batches other workers stole from the shard.
+    fn shards(&self) -> Vec<u8> {
+        let idle = self.sharded.worker_idle_ns();
+        let shards = self
+            .sharded
+            .shard_stats()
+            .into_iter()
+            .enumerate()
+            .map(|(i, (depth, busy_ns, stolen))| {
+                format!(
+                    "{{\"shard\":{i},\"queue_depth\":{depth},\"busy_ns\":{busy_ns},\"stolen_batches\":{stolen}}}"
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let workers = idle
+            .into_iter()
+            .enumerate()
+            .map(|(i, ns)| format!("{{\"worker\":{i},\"idle_ns\":{ns}}}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let body = format!(
+            "{{\"domain\":\"{}\",\"shards\":[{shards}],\"workers\":[{workers}]}}\n",
+            self.domain
+        );
+        render_response(200, content_type::JSON, &body)
+    }
+
+    /// Flight events for one trace, by its 16-hex-digit id (the form
+    /// `TraceId` renders as — exactly what `/flight` dumps carry).
+    fn trace(&self, id: &str) -> Vec<u8> {
+        let Some(flight) = &self.flight else {
+            return self.no_recorder();
+        };
+        let Ok(raw) = u64::from_str_radix(id, 16) else {
+            return render_response(
+                400,
+                content_type::TEXT,
+                "trace id must be the 16-hex-digit form spans carry\n",
+            );
+        };
+        let events = flight
+            .events_for_trace(TraceId(raw))
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"family\":\"{}\",\"seq\":{},\"ts_ns\":{},\"domain\":\"{}\",\"label\":\"{}\",\"detail\":\"{}\",\"start_ns\":{},\"end_ns\":{}}}",
+                    e.family.as_str(),
+                    e.seq,
+                    e.ts_ns,
+                    qos_telemetry::json_escape(&e.domain),
+                    qos_telemetry::json_escape(&e.label),
+                    qos_telemetry::json_escape(&e.detail),
+                    e.start_ns,
+                    e.end_ns
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let body = format!(
+            "{{\"trace\":\"{}\",\"domain\":\"{}\",\"events\":[{events}]}}\n",
+            TraceId(raw),
+            self.domain,
+        );
+        render_response(200, content_type::JSON, &body)
+    }
+}

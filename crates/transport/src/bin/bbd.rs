@@ -17,7 +17,10 @@ use qos_core::channel::ChannelIdentity;
 use qos_core::node::Completion;
 use qos_core::scenario::{build_chain, ChainOptions};
 use qos_crypto::{KeyPair, Timestamp};
-use qos_telemetry::{snapshot_json, Registry, Telemetry};
+use qos_telemetry::{
+    render_prometheus, snapshot_json, EventFamily, FlightRecorder, Registry, Telemetry,
+    FLIGHT_DEFAULT_CAPACITY,
+};
 use qos_transport::{BrokerDaemon, DaemonConfig, TransportOptions};
 use std::net::{SocketAddr, TcpListener};
 use std::process::ExitCode;
@@ -25,6 +28,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 const MBPS: u64 = 1_000_000;
+
+/// Anomaly rule: this many admission refusals inside one second is a
+/// denial burst (dumps the flight recorder).
+const DENIAL_BURST_THRESHOLD: u64 = 8;
+/// Anomaly rule: this many reconnects inside one second is a reconnect
+/// storm.
+const RECONNECT_STORM_THRESHOLD: u64 = 5;
 
 struct Args {
     chain: usize,
@@ -34,7 +44,9 @@ struct Args {
     accepts: Vec<String>,
     submit: u64,
     run_secs: Option<u64>,
+    linger_secs: Option<u64>,
     metrics: bool,
+    admin: Option<String>,
     no_resume: bool,
     cache_size: Option<usize>,
     shards: Option<usize>,
@@ -45,7 +57,8 @@ const USAGE: &str = "bbd — bandwidth-broker daemon over TCP
 USAGE:
     bbd --index I [--chain N] [--listen ADDR]
         [--peer DOMAIN=ADDR]... [--accept DOMAIN]...
-        [--submit K] [--run-secs S] [--metrics]
+        [--submit K] [--run-secs S] [--linger-secs S]
+        [--metrics] [--admin ADDR]
         [--no-resume] [--cache-size N] [--shards N]
 
 OPTIONS:
@@ -57,7 +70,16 @@ OPTIONS:
     --submit K         submit K reservations of 5 Mb/s from alice, wait for
                        their completions, then exit (source domain only)
     --run-secs S       exit after S seconds instead of running forever
-    --metrics          print a metrics snapshot (JSON) before exiting
+    --linger-secs S    after --submit completions, keep serving S seconds
+                       before exiting (lets admin-plane scrapers collect)
+    --metrics          print a metrics snapshot (JSON) and write a
+                       Prometheus exposition (METRICS_bbd.prom) at exit
+    --admin ADDR       serve the introspection plane at ADDR on the
+                       reactor: /metrics /metrics.json /healthz /shards
+                       /trace/<id> /flight /flight.tsv. Implies a metrics
+                       registry, per-RAR trace spans, and a flight
+                       recorder with anomaly monitors (denial bursts,
+                       reconnect storms dump FLIGHT_<domain>_anomaly.json)
     --no-resume        disable session-resumption tickets (every reconnect
                        runs the full signature handshake); all daemons of a
                        mesh must agree on this flag
@@ -76,7 +98,9 @@ fn parse_args() -> Result<Args, String> {
         accepts: Vec::new(),
         submit: 0,
         run_secs: None,
+        linger_secs: None,
         metrics: false,
+        admin: None,
         no_resume: false,
         cache_size: None,
         shards: None,
@@ -103,7 +127,15 @@ fn parse_args() -> Result<Args, String> {
             "--run-secs" => {
                 args.run_secs = Some(value("--run-secs")?.parse().map_err(|e| format!("{e}"))?)
             }
+            "--linger-secs" => {
+                args.linger_secs = Some(
+                    value("--linger-secs")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
             "--metrics" => args.metrics = true,
+            "--admin" => args.admin = Some(value("--admin")?),
             "--no-resume" => args.no_resume = true,
             "--cache-size" => {
                 args.cache_size = Some(value("--cache-size")?.parse().map_err(|e| format!("{e}"))?)
@@ -139,14 +171,58 @@ fn main() -> ExitCode {
         }
     };
 
+    // Telemetry comes up before the chain so the broker nodes themselves
+    // are instrumented, not just the transport around them. `--admin`
+    // implies the full introspection plane: registry, per-RAR trace
+    // spans, and a flight recorder.
+    let registry = (args.metrics || args.admin.is_some()).then(Registry::new);
+    let flight = args
+        .admin
+        .is_some()
+        .then(|| FlightRecorder::new(FLIGHT_DEFAULT_CAPACITY));
+    let mut telemetry = match &registry {
+        Some(r) => Telemetry::with_registry(Arc::clone(r)),
+        None => Telemetry::disabled(),
+    };
+    if let Some(f) = &flight {
+        telemetry = telemetry.with_flight(Arc::clone(f));
+    }
+
     // The same seeds in every process: certificates and SLAs agree
     // across daemons with no shared state.
     let mut s = build_chain(ChainOptions {
         domains: args.chain,
         sla_rate_bps: 1000 * MBPS,
+        telemetry: telemetry.clone(),
+        tracing: args.admin.is_some(),
         ..ChainOptions::default()
     });
     let domain = s.domains[args.index].clone();
+
+    if let Some(f) = &flight {
+        // Anomaly rules: a burst of refusals or a storm of reconnects
+        // dumps the flight recorder to disk, capturing the events that
+        // led up to it before the ring overwrites them.
+        f.monitor(
+            EventFamily::Admission,
+            Some("refused"),
+            DENIAL_BURST_THRESHOLD,
+            1_000_000_000,
+        );
+        f.monitor(
+            EventFamily::Reconnect,
+            None,
+            RECONNECT_STORM_THRESHOLD,
+            1_000_000_000,
+        );
+        let dump_domain = domain.clone();
+        f.set_anomaly_hook(move |reason, recorder| {
+            let path = format!("FLIGHT_{dump_domain}_anomaly.json");
+            if std::fs::write(&path, recorder.dump_json()).is_ok() {
+                eprintln!("bbd: anomaly ({reason}); flight recorder dumped to {path}");
+            }
+        });
+    }
 
     // Sign submissions against the source node before it moves into the
     // daemon.
@@ -175,11 +251,15 @@ fn main() -> ExitCode {
         qos_crypto::vcache::set_capacity(cap);
     }
 
-    let registry = Registry::new();
-    let telemetry = if args.metrics {
-        Telemetry::with_registry(Arc::clone(&registry))
-    } else {
-        Telemetry::disabled()
+    let admin_listener = match &args.admin {
+        Some(addr) => match TcpListener::bind(addr) {
+            Ok(l) => Some(l),
+            Err(e) => {
+                eprintln!("bbd: cannot bind admin listener on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
     };
 
     let (completion_tx, completion_rx) = crossbeam::channel::unbounded();
@@ -201,6 +281,7 @@ fn main() -> ExitCode {
                     .max(1),
                 ..TransportOptions::default()
             },
+            admin: admin_listener,
         },
     ) {
         Ok(d) => d,
@@ -210,6 +291,9 @@ fn main() -> ExitCode {
         }
     };
     println!("bbd: {domain} listening on {}", daemon.local_addr());
+    if let Some(admin) = daemon.admin_addr() {
+        println!("bbd: {domain} admin plane on http://{admin}");
+    }
 
     if !args.peers.is_empty() {
         if daemon.wait_connected(Duration::from_secs(30)) {
@@ -252,6 +336,11 @@ fn main() -> ExitCode {
                 }
             }
         }
+        if let Some(secs) = args.linger_secs {
+            // Keep the daemon (and its admin plane) up so external
+            // scrapers can collect spans from the completed run.
+            std::thread::sleep(Duration::from_secs(secs));
+        }
     } else {
         match args.run_secs {
             Some(secs) => std::thread::sleep(Duration::from_secs(secs)),
@@ -264,7 +353,15 @@ fn main() -> ExitCode {
 
     daemon.shutdown();
     if args.metrics {
-        println!("{}", snapshot_json(&registry));
+        if let Some(registry) = &registry {
+            println!("{}", snapshot_json(registry));
+            // The same registry in Prometheus text exposition, next to
+            // the process (scrape-file form of the /metrics endpoint).
+            let prom = "METRICS_bbd.prom";
+            if let Err(e) = std::fs::write(prom, render_prometheus(registry)) {
+                eprintln!("bbd: could not write {prom}: {e}");
+            }
+        }
     }
     if failed > 0 {
         ExitCode::FAILURE

@@ -23,9 +23,10 @@
 //! `shards` worker threads regardless of link count, with handshakes on
 //! short-lived offload threads.
 
+use crate::admin::AdminState;
 use crate::error::TransportError;
 use crate::queue::{OutQueue, OverflowPolicy, PushOutcome};
-use crate::reactor::{broker_pin, Ctrl, Reactor, ReactorConfig, TOKEN_WAKER};
+use crate::reactor::{broker_pin, Ctrl, Reactor, ReactorConfig, ReactorStatus, TOKEN_WAKER};
 use crate::resume::TicketIssuer;
 use crossbeam::channel::{unbounded, Sender};
 use mio::{Poll, Waker};
@@ -110,6 +111,10 @@ pub struct DaemonConfig {
     pub telemetry: Telemetry,
     /// Transport tuning.
     pub options: TransportOptions,
+    /// Already-bound listener for the admin plane (`/metrics`,
+    /// `/healthz`, `/flight`, ...), served by the reactor itself.
+    /// `None` disables the admin endpoint.
+    pub admin: Option<TcpListener>,
 }
 
 /// Per-link transport instruments (no-ops without a registry).
@@ -275,6 +280,7 @@ pub struct BrokerDaemon {
     reactor_join: Option<JoinHandle<()>>,
     hs_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     local_addr: SocketAddr,
+    admin_addr: Option<SocketAddr>,
 }
 
 impl BrokerDaemon {
@@ -291,9 +297,11 @@ impl BrokerDaemon {
             completion_tx,
             telemetry,
             options,
+            admin,
         } = config;
         let domain = node.domain().to_string();
         let local_addr = listener.local_addr()?;
+        let admin_addr = admin.as_ref().and_then(|l| l.local_addr().ok());
         let identity = Arc::new(identity);
         // The process-wide signature-verification cache serves every
         // handshake and envelope check this daemon performs; surface its
@@ -353,6 +361,21 @@ impl BrokerDaemon {
             .iter()
             .map(|(p, addr)| (p.clone(), (*addr, broker_pin(ca_key, p))))
             .collect();
+        // The admin plane reads live runtime state: the same shard
+        // handles the workers drain and the same link map the reactor
+        // writes. The reactor serves it between I/O sweeps.
+        let status = ReactorStatus::new();
+        let admin = admin.map(|admin_listener| {
+            let state = Arc::new(AdminState {
+                domain: domain.clone(),
+                registry: telemetry.registry().cloned(),
+                flight: telemetry.flight().cloned(),
+                sharded: Arc::clone(&sharded),
+                links: Arc::clone(&links),
+                status: Arc::clone(&status),
+            });
+            (admin_listener, state)
+        });
         let reactor = Reactor::new(ReactorConfig {
             domain: domain.clone(),
             poll,
@@ -369,6 +392,8 @@ impl BrokerDaemon {
             ctrl_rx,
             hs_threads: Arc::clone(&hs_threads),
             telemetry,
+            admin,
+            status,
         });
         let reactor_join = std::thread::Builder::new()
             .name(format!("bb-reactor-{domain}"))
@@ -384,6 +409,7 @@ impl BrokerDaemon {
             reactor_join: Some(reactor_join),
             hs_threads,
             local_addr,
+            admin_addr,
         })
     }
 
@@ -395,6 +421,11 @@ impl BrokerDaemon {
     /// The address inbound peers dial.
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The admin-plane address (when started with an admin listener).
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_addr
     }
 
     /// Submit a user request to the hosted broker.

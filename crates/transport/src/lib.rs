@@ -23,12 +23,16 @@
 //!   handshakes on short-lived offload threads;
 //! * [`daemon`] — [`BrokerDaemon`]: one domain's admission shards
 //!   ([`ShardedNode`](qos_core::shard::ShardedNode)) behind the reactor;
+//! * [`admin`] — the introspection plane (DESIGN.md §D12): the routing
+//!   table behind the reactor-hosted HTTP admin listener (`/metrics`,
+//!   `/healthz`, `/shards`, `/trace/<id>`, `/flight`);
 //! * [`mesh`] — [`TcpMesh`]: the `ActorMesh` surface over loopback
 //!   daemons, so existing scenarios run unchanged over TCP.
 //!
 //! The `bbd` binary (in `src/bin/bbd.rs`) hosts one daemon per process
 //! for the multi-process loopback demo in the README.
 
+pub mod admin;
 pub mod backoff;
 pub mod daemon;
 pub mod error;

@@ -26,6 +26,7 @@ pub struct TcpMesh {
     completion_tx: Sender<(String, Completion)>,
     telemetry: Telemetry,
     options: TransportOptions,
+    admin: bool,
 }
 
 impl Default for TcpMesh {
@@ -44,6 +45,7 @@ impl TcpMesh {
             completion_tx,
             telemetry: Telemetry::disabled(),
             options: TransportOptions::default(),
+            admin: false,
         }
     }
 
@@ -63,6 +65,18 @@ impl TcpMesh {
     /// at least 1). Call before [`TcpMesh::spawn`].
     pub fn set_shards(&mut self, shards: usize) {
         self.options.shards = shards.max(1);
+    }
+
+    /// Give every daemon an admin-plane listener on `127.0.0.1:0`
+    /// (addresses via [`TcpMesh::admin_addr`]). Call before
+    /// [`TcpMesh::spawn`].
+    pub fn set_admin(&mut self, admin: bool) {
+        self.admin = admin;
+    }
+
+    /// The admin-plane address of `domain`'s daemon, when enabled.
+    pub fn admin_addr(&self, domain: &str) -> Option<SocketAddr> {
+        self.daemons.get(domain).and_then(|d| d.admin_addr())
     }
 
     /// Spawn each broker of `nodes` as a daemon on `127.0.0.1:0` and
@@ -111,6 +125,11 @@ impl TcpMesh {
                     completion_tx: self.completion_tx.clone(),
                     telemetry: self.telemetry.clone(),
                     options: self.options.clone(),
+                    admin: if self.admin {
+                        Some(TcpListener::bind("127.0.0.1:0")?)
+                    } else {
+                        None
+                    },
                 },
             )?;
             self.daemons.insert(domain, daemon);

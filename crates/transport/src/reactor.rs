@@ -30,6 +30,7 @@
 //!   short-lived offload threads that report back through the control
 //!   channel and the waker, so the reactor never blocks on one.
 
+use crate::admin::AdminState;
 use crate::backoff::Backoff;
 use crate::daemon::{Link, TransportOptions};
 use crate::frame::FrameDecoder;
@@ -44,11 +45,15 @@ use qos_core::channel::{ChannelIdentity, OpenHalf, PeerPin, SealHalf};
 use qos_core::messages::SignalMessage;
 use qos_core::shard::ShardedNode;
 use qos_crypto::DistinguishedName;
-use qos_telemetry::{Counter, StdClock, Telemetry};
+use qos_telemetry::admin::{parse_request, render_response, HttpError};
+use qos_telemetry::{
+    Counter, EventFamily, FlightEvent, FlightRecorder, Histogram, StdClock, Telemetry,
+};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -58,8 +63,15 @@ const TOKEN_LISTENER: Token = Token(0);
 /// Token of the cross-thread waker (the daemon builds the [`Waker`]
 /// before handing the poll to the reactor).
 pub(crate) const TOKEN_WAKER: Token = Token(1);
-/// First token handed to a peer connection.
-const TOKEN_BASE: usize = 2;
+/// Token of the admin-plane listener (`bbd --admin`).
+const TOKEN_ADMIN: Token = Token(2);
+/// First token handed to a peer or admin connection.
+const TOKEN_BASE: usize = 3;
+
+/// A single poll-to-poll sweep longer than this counts as a reactor
+/// stall: something held the event loop (`reactor_stall_total`, plus an
+/// anomaly event in the flight recorder).
+const REACTOR_STALL_NS: u64 = 250_000_000;
 
 /// How many queued frames one seal sweep takes per link per iteration.
 const MAX_WRITE_BATCH: usize = 64;
@@ -244,6 +256,82 @@ struct DialState {
     retry_at: Option<Instant>,
 }
 
+/// The reactor's self-observation vitals, shared with the admin plane:
+/// a heartbeat (monotonic timestamp of the last completed poll) plus
+/// sweep/stall counters. `/healthz` reads these to tell a live event
+/// loop from a wedged one — which is exactly the situation where the
+/// metrics pipeline itself may be silent.
+pub(crate) struct ReactorStatus {
+    /// Monotonic ns ([`StdClock`]) of the most recent poll return.
+    last_beat_ns: AtomicU64,
+    sweeps: AtomicU64,
+    stalls: AtomicU64,
+    max_sweep_ns: AtomicU64,
+}
+
+impl ReactorStatus {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            last_beat_ns: AtomicU64::new(StdClock::now()),
+            sweeps: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            max_sweep_ns: AtomicU64::new(0),
+        })
+    }
+
+    /// Stamp the heartbeat (poll returned; the loop is alive).
+    fn beat(&self) {
+        use std::sync::atomic::Ordering::SeqCst;
+        self.last_beat_ns.store(StdClock::now(), SeqCst);
+    }
+
+    /// Account one completed sweep; returns true when it stalled.
+    fn note_sweep(&self, dur_ns: u64) -> bool {
+        use std::sync::atomic::Ordering::SeqCst;
+        self.sweeps.fetch_add(1, SeqCst);
+        self.max_sweep_ns.fetch_max(dur_ns, SeqCst);
+        let stalled = dur_ns >= REACTOR_STALL_NS;
+        if stalled {
+            self.stalls.fetch_add(1, SeqCst);
+        }
+        stalled
+    }
+
+    /// Nanoseconds since the last poll return. Grows without bound for
+    /// a wedged reactor — the `/healthz` staleness signal.
+    pub(crate) fn heartbeat_age_ns(&self) -> u64 {
+        use std::sync::atomic::Ordering::SeqCst;
+        StdClock::now().saturating_sub(self.last_beat_ns.load(SeqCst))
+    }
+
+    pub(crate) fn sweeps(&self) -> u64 {
+        self.sweeps.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    pub(crate) fn stalls(&self) -> u64 {
+        self.stalls.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    pub(crate) fn max_sweep_ns(&self) -> u64 {
+        self.max_sweep_ns.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+/// One admin-plane HTTP connection: plain text, one GET, one response,
+/// close. Admin sockets share the reactor's token space and poll with
+/// the peering connections — observability rides the same event loop it
+/// observes, so there is no second thread to wedge independently.
+struct AdminConn {
+    stream: TcpStream,
+    fd: RawFd,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    written: usize,
+    /// A response has been rendered; once flushed, the conn closes.
+    responded: bool,
+    want_write: bool,
+}
+
 /// Everything the reactor needs to run; built by
 /// [`BrokerDaemon::start`](crate::daemon::BrokerDaemon::start).
 pub(crate) struct ReactorConfig {
@@ -265,9 +353,14 @@ pub(crate) struct ReactorConfig {
     /// Handshake offload threads, joined by daemon shutdown.
     pub hs_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     pub telemetry: Telemetry,
+    /// Admin-plane listener and routing state (`bbd --admin`).
+    pub admin: Option<(TcpListener, Arc<AdminState>)>,
+    /// Poll-loop vitals shared with `/healthz`.
+    pub status: Arc<ReactorStatus>,
 }
 
 pub(crate) struct Reactor {
+    domain: String,
     poll: Poll,
     waker: Arc<Waker>,
     listener: Option<TcpListener>,
@@ -287,6 +380,14 @@ pub(crate) struct Reactor {
     scratch: Vec<u8>,
     wakeups: Counter,
     ready_events: Counter,
+    telemetry: Telemetry,
+    flight: Option<Arc<FlightRecorder>>,
+    admin_listener: Option<TcpListener>,
+    admin_state: Option<Arc<AdminState>>,
+    admin_conns: HashMap<usize, AdminConn>,
+    status: Arc<ReactorStatus>,
+    sweep_ns: Histogram,
+    stall_total: Counter,
 }
 
 impl Reactor {
@@ -307,6 +408,8 @@ impl Reactor {
             ctrl_rx,
             hs_threads,
             telemetry,
+            admin,
+            status,
         } = config;
         let dials = connect_to
             .into_iter()
@@ -335,7 +438,23 @@ impl Reactor {
             "Readiness events delivered to the reactor",
             dl,
         );
+        let sweep_ns = telemetry.histogram(
+            "reactor_sweep_ns",
+            "Duration of one reactor sweep (poll return to next poll)",
+            dl,
+        );
+        let stall_total = telemetry.counter(
+            "reactor_stall_total",
+            "Reactor sweeps that exceeded the stall threshold",
+            dl,
+        );
+        let flight = telemetry.flight().cloned();
+        let (admin_listener, admin_state) = match admin {
+            Some((l, s)) => (Some(l), Some(s)),
+            None => (None, None),
+        };
         Self {
+            domain,
             poll,
             waker,
             listener,
@@ -355,6 +474,14 @@ impl Reactor {
             scratch: Vec::new(),
             wakeups,
             ready_events,
+            telemetry,
+            flight,
+            admin_listener,
+            admin_state,
+            admin_conns: HashMap::new(),
+            status,
+            sweep_ns,
+            stall_total,
         }
     }
 
@@ -368,7 +495,20 @@ impl Reactor {
                 .register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)
                 .expect("register listener");
         }
+        if let Some(listener) = &self.admin_listener {
+            listener
+                .set_nonblocking(true)
+                .expect("nonblocking admin listener");
+            self.poll
+                .register(listener.as_raw_fd(), TOKEN_ADMIN, Interest::READABLE)
+                .expect("register admin listener");
+        }
         let mut events = Events::with_capacity(256);
+        // Start of the current sweep (the work between two poll calls).
+        // Timed into `reactor_sweep_ns`; a sweep past the stall
+        // threshold bumps `reactor_stall_total` and leaves an anomaly
+        // event in the flight recorder.
+        let mut sweep_started: Option<u64> = None;
         loop {
             // 1. Control: installed sessions, dial failures, kill/stop.
             while let Ok(ctrl) = self.ctrl_rx.try_recv() {
@@ -384,7 +524,26 @@ impl Reactor {
                         if let Some(d) = self.dials.get_mut(&peer) {
                             d.connecting = false;
                             d.ticket = None;
-                            d.retry_at = Some(Instant::now() + d.backoff.next_delay());
+                            let delay = d.backoff.next_delay();
+                            d.retry_at = Some(Instant::now() + delay);
+                            if let Some(flight) = &self.flight {
+                                flight.record(
+                                    FlightEvent::new(
+                                        EventFamily::HandshakeFail,
+                                        self.domain.clone(),
+                                        peer.clone(),
+                                    )
+                                    .detail("dial or initiator handshake failed"),
+                                );
+                                flight.record(
+                                    FlightEvent::new(
+                                        EventFamily::Backoff,
+                                        self.domain.clone(),
+                                        peer.clone(),
+                                    )
+                                    .detail(format!("retry in {} ms", delay.as_millis())),
+                                );
+                            }
                         }
                     }
                     Ctrl::Kill => self.kill_all(),
@@ -396,19 +555,34 @@ impl Reactor {
             // 3. Seal queued outbound frames and flush.
             self.sweep_outbound();
             // 4. Wait for readiness, a retry deadline, or the waker.
+            //    The sweep that just finished is timed here; the poll
+            //    wait itself (idle time) is not a stall.
+            if let Some(t0) = sweep_started.take() {
+                self.note_sweep(StdClock::now().saturating_sub(t0));
+            }
             let timeout = self.next_deadline();
             if self.poll.poll(&mut events, timeout).is_err() {
                 continue;
             }
+            self.status.beat();
+            sweep_started = Some(StdClock::now());
             self.wakeups.inc();
             self.ready_events.add(events.len() as u64);
             // 5. I/O.
             let mut dead: Vec<usize> = Vec::new();
+            let mut dead_admin: Vec<usize> = Vec::new();
             for ev in events.iter() {
                 match ev.token() {
                     TOKEN_WAKER => self.waker.drain(),
                     TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_ADMIN => self.accept_admin(),
                     Token(t) => {
+                        if self.admin_conns.contains_key(&t) {
+                            if !self.admin_io(t, ev.is_readable(), ev.is_writable()) {
+                                dead_admin.push(t);
+                            }
+                            continue;
+                        }
                         if !self.conns.contains_key(&t) {
                             continue; // stale event for a killed conn
                         }
@@ -428,6 +602,176 @@ impl Reactor {
             for t in dead {
                 self.kill_conn(t);
             }
+            for t in dead_admin {
+                self.kill_admin(t);
+            }
+        }
+    }
+
+    /// Account one completed poll-to-poll sweep: histogram always, and
+    /// on a stall bump the counter and leave an anomaly flight event so
+    /// `/flight` dumps show *when* the loop was held, not just that it
+    /// happened.
+    fn note_sweep(&self, dur_ns: u64) {
+        self.sweep_ns.observe(dur_ns);
+        if self.status.note_sweep(dur_ns) {
+            self.stall_total.inc();
+            if let Some(flight) = &self.flight {
+                flight.record(
+                    FlightEvent::new(EventFamily::Anomaly, self.domain.clone(), "reactor_stall")
+                        .detail(format!(
+                            "sweep held the event loop {} ms",
+                            dur_ns / 1_000_000
+                        )),
+                );
+            }
+        }
+    }
+
+    /// Accept every pending admin connection. Admin sockets draw from
+    /// the same token space as peering connections; `admin_conns`
+    /// membership is what routes their events.
+    fn accept_admin(&mut self) {
+        loop {
+            let Some(listener) = &self.admin_listener else {
+                return;
+            };
+            let stream = match listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            };
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let fd = stream.as_raw_fd();
+            let token = self.next_token;
+            self.next_token += 1;
+            if self
+                .poll
+                .register(fd, Token(token), Interest::READABLE)
+                .is_err()
+            {
+                continue;
+            }
+            self.admin_conns.insert(
+                token,
+                AdminConn {
+                    stream,
+                    fd,
+                    inbuf: Vec::new(),
+                    outbuf: Vec::new(),
+                    written: 0,
+                    responded: false,
+                    want_write: false,
+                },
+            );
+        }
+    }
+
+    /// Drive one admin connection: read until the request head is
+    /// complete, render the route's response, flush, close. Returns
+    /// false when the connection is finished (served or broken).
+    fn admin_io(&mut self, token: usize, readable: bool, writable: bool) -> bool {
+        let Some(conn) = self.admin_conns.get_mut(&token) else {
+            return false;
+        };
+        if readable && !conn.responded {
+            let mut buf = [0u8; 4096];
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => return false, // peer gone before a request
+                    Ok(n) => {
+                        conn.inbuf.extend_from_slice(&buf[..n]);
+                        if conn.inbuf.len() >= qos_telemetry::admin::MAX_REQUEST_HEAD {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return false,
+                }
+            }
+            match parse_request(&conn.inbuf) {
+                Ok(None) => {} // head incomplete; wait for more bytes
+                Ok(Some(req)) => {
+                    let (response, endpoint) = match &self.admin_state {
+                        Some(state) => state.respond(&req),
+                        None => (
+                            render_response(
+                                503,
+                                qos_telemetry::admin::content_type::TEXT,
+                                "admin plane not configured\n",
+                            ),
+                            "other",
+                        ),
+                    };
+                    conn.outbuf = response;
+                    conn.responded = true;
+                    self.telemetry
+                        .counter(
+                            "admin_requests_total",
+                            "Admin-plane HTTP requests served, by endpoint",
+                            &[("domain", &self.domain), ("endpoint", endpoint)],
+                        )
+                        .inc();
+                }
+                Err(err) => {
+                    let body = match err {
+                        HttpError::HeadTooLarge => "request head too large\n",
+                        HttpError::Malformed => "malformed HTTP request\n",
+                    };
+                    conn.outbuf =
+                        render_response(400, qos_telemetry::admin::content_type::TEXT, body);
+                    conn.responded = true;
+                }
+            }
+        }
+        let _ = writable; // flush is attempted whenever we get here
+        self.admin_flush(token)
+    }
+
+    /// Flush an admin connection's response. Returns false once fully
+    /// flushed (close it) or on error; true while bytes remain pending.
+    fn admin_flush(&mut self, token: usize) -> bool {
+        let Some(conn) = self.admin_conns.get_mut(&token) else {
+            return false;
+        };
+        while conn.written < conn.outbuf.len() {
+            match conn.stream.write(&conn.outbuf[conn.written..]) {
+                Ok(0) => return false,
+                Ok(n) => conn.written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if conn.responded && conn.written == conn.outbuf.len() {
+            return false; // response fully flushed: one-shot, close
+        }
+        let want_write = conn.written < conn.outbuf.len();
+        if want_write != conn.want_write {
+            let interest = if want_write {
+                Interest::READABLE | Interest::WRITABLE
+            } else {
+                Interest::READABLE
+            };
+            if self
+                .poll
+                .reregister(conn.fd, Token(token), interest)
+                .is_err()
+            {
+                return false;
+            }
+            conn.want_write = want_write;
+        }
+        true
+    }
+
+    fn kill_admin(&mut self, token: usize) {
+        if let Some(conn) = self.admin_conns.remove(&token) {
+            let _ = self.poll.deregister(conn.fd);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
         }
     }
 
@@ -524,6 +868,8 @@ impl Reactor {
             let options = self.options.clone();
             let ctrl = self.ctrl_tx.clone();
             let waker = Arc::clone(&self.waker);
+            let flight = self.flight.clone();
+            let domain = self.domain.clone();
             let handle = std::thread::spawn(move || {
                 // The handshake protocol is blocking; accepted sockets
                 // do not inherit the listener's non-blocking flag, but
@@ -532,7 +878,7 @@ impl Reactor {
                     return;
                 }
                 let t0 = StdClock::now();
-                if let Ok((session, kind)) = establish_responder_resumable(
+                match establish_responder_resumable(
                     stream,
                     &identity,
                     &pins,
@@ -540,14 +886,27 @@ impl Reactor {
                     options.max_frame,
                     issuer.as_deref(),
                 ) {
-                    let _ = ctrl.send(Ctrl::Established {
-                        session: Box::new(session),
-                        kind,
-                        ticket: None,
-                        dialed: false,
-                        handshake_ns: StdClock::now().saturating_sub(t0),
-                    });
-                    let _ = waker.wake();
+                    Ok((session, kind)) => {
+                        let _ = ctrl.send(Ctrl::Established {
+                            session: Box::new(session),
+                            kind,
+                            ticket: None,
+                            dialed: false,
+                            handshake_ns: StdClock::now().saturating_sub(t0),
+                        });
+                        let _ = waker.wake();
+                    }
+                    Err(_) => {
+                        // The dialer retries; record the refusal here so
+                        // a storm of bad handshakes is visible from the
+                        // accept side too.
+                        if let Some(flight) = &flight {
+                            flight.record(
+                                FlightEvent::new(EventFamily::HandshakeFail, domain, "accept")
+                                    .detail("responder handshake failed"),
+                            );
+                        }
+                    }
                 }
             });
             self.track(handle);
@@ -583,6 +942,15 @@ impl Reactor {
             .swap(true, std::sync::atomic::Ordering::SeqCst)
         {
             link.ins.reconnects.inc();
+            if let Some(flight) = &self.flight {
+                flight.record(
+                    FlightEvent::new(EventFamily::Reconnect, self.domain.clone(), peer.clone())
+                        .detail(match kind {
+                            HandshakeKind::Resumed => "resumed handshake",
+                            HandshakeKind::Full => "full handshake",
+                        }),
+                );
+            }
         }
         if kind == HandshakeKind::Resumed {
             link.ins.resumed.inc();
@@ -674,6 +1042,18 @@ impl Reactor {
             let written = conn.written;
             let mut requeue: Vec<Vec<u8>> = link.reliable.drain_unacked();
             link.ins.retransmits.add(requeue.len() as u64);
+            if !requeue.is_empty() {
+                if let Some(flight) = &self.flight {
+                    flight.record(
+                        FlightEvent::new(
+                            EventFamily::Retransmit,
+                            self.domain.clone(),
+                            conn.peer.clone(),
+                        )
+                        .detail(format!("{} unacked frames re-queued", requeue.len())),
+                    );
+                }
+            }
             requeue.extend(
                 conn.inflight
                     .into_iter()
@@ -810,6 +1190,16 @@ impl Reactor {
                         // drops are fine — the watermark just jumps).
                         if index < rel.rx_next.load(SeqCst) {
                             ins.dup_frames.inc();
+                            if let Some(flight) = &self.flight {
+                                flight.record(
+                                    FlightEvent::new(
+                                        EventFamily::DuplicateDrop,
+                                        self.domain.clone(),
+                                        conn.peer.clone(),
+                                    )
+                                    .detail(format!("retransmit of delivered frame {index}")),
+                                );
+                            }
                             continue;
                         }
                         rel.rx_next.store(index + 1, SeqCst);

@@ -217,6 +217,7 @@ fn backoff_resets_after_successful_handshake() {
                 completion_tx: tx.clone(),
                 telemetry: qos_telemetry::Telemetry::disabled(),
                 options: options.clone(),
+                admin: None,
             },
         )
         .unwrap()
@@ -238,6 +239,7 @@ fn backoff_resets_after_successful_handshake() {
             completion_tx: tx.clone(),
             telemetry: qos_telemetry::Telemetry::disabled(),
             options: options.clone(),
+            admin: None,
         },
     )
     .unwrap();
@@ -267,6 +269,7 @@ fn backoff_resets_after_successful_handshake() {
             completion_tx: tx.clone(),
             telemetry: qos_telemetry::Telemetry::disabled(),
             options: options.clone(),
+            admin: None,
         },
     )
     .unwrap();
@@ -292,6 +295,7 @@ fn backoff_resets_after_successful_handshake() {
             completion_tx: tx.clone(),
             telemetry: qos_telemetry::Telemetry::disabled(),
             options: options.clone(),
+            admin: None,
         },
     )
     .unwrap();

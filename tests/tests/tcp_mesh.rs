@@ -8,7 +8,7 @@ use qos_core::channel::ChannelIdentity;
 use qos_core::node::Completion;
 use qos_core::runtime::ActorMesh;
 use qos_crypto::{KeyPair, Timestamp};
-use qos_telemetry::{Registry, Telemetry};
+use qos_telemetry::{FlightRecorder, Registry, Telemetry, TraceId, FLIGHT_DEFAULT_CAPACITY};
 use qos_transport::TcpMesh;
 use std::collections::HashMap;
 use std::time::Duration;
@@ -120,6 +120,147 @@ fn tcp_outcome(deny_at: Option<usize>) -> (bool, Vec<(String, u64)>) {
         |m| m.wait_completions(1),
         |m| m.shutdown(),
     )
+}
+
+/// Minimal blocking HTTP/1.1 GET against a daemon's admin endpoint.
+fn admin_get(addr: std::net::SocketAddr, path: &str) -> Option<(u16, String)> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: bbd\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .ok()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).ok()?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text.split_once("\r\n\r\n")?;
+    let status: u16 = head.split_whitespace().nth(1)?.parse().ok()?;
+    Some((status, body.to_string()))
+}
+
+/// Like [`tcp_outcome`], but observed: every daemon hosts its admin
+/// plane, request tracing and the flight recorder are on, and a 10 Hz
+/// scraper hits `/metrics` on all three daemons throughout the run.
+fn tcp_admin_outcome(deny_at: Option<usize>) -> (bool, Vec<(String, u64)>) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let registry = Registry::new();
+    let telemetry = Telemetry::with_registry(registry)
+        .with_flight(FlightRecorder::new(FLIGHT_DEFAULT_CAPACITY));
+    let mut policies = HashMap::new();
+    if let Some(i) = deny_at {
+        policies.insert(
+            i,
+            format!(r#"return deny "domain {i} refuses this reservation""#),
+        );
+    }
+    let mut s = build_chain(ChainOptions {
+        policies,
+        telemetry: telemetry.clone(),
+        tracing: true,
+        ..ChainOptions::default()
+    });
+    let domains = s.domains.clone();
+    let spec = s.spec("alice", 7, 10 * MBPS, Timestamp(0), 3600);
+    let trace = TraceId::mint(&domains[0], spec.rar_id.0);
+    let rar = s.users["alice"].sign_request(spec, &s.nodes[0]);
+    let cert = s.users["alice"].cert.clone();
+
+    let ids = identities(&s);
+    let links: Vec<(String, String)> = s
+        .domains
+        .windows(2)
+        .map(|w| (w[0].clone(), w[1].clone()))
+        .collect();
+    let ca_key = s.ca_key;
+    let mut mesh = TcpMesh::new();
+    mesh.set_telemetry(telemetry);
+    mesh.set_admin(true);
+    mesh.spawn(std::mem::take(&mut s.nodes), ids, &links, ca_key)
+        .expect("loopback mesh comes up");
+    let admin_addrs: Vec<std::net::SocketAddr> = domains
+        .iter()
+        .map(|d| mesh.admin_addr(d).expect("admin plane enabled"))
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        let addrs = admin_addrs.clone();
+        std::thread::spawn(move || {
+            let mut scrapes = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                for addr in &addrs {
+                    let (status, body) = admin_get(*addr, "/metrics").expect("scrape /metrics");
+                    assert_eq!(status, 200, "scrape of {addr} failed");
+                    assert!(
+                        body.contains("# TYPE"),
+                        "exposition from {addr} lacks TYPE lines"
+                    );
+                    scrapes += 1;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            scrapes
+        })
+    };
+
+    mesh.submit(&domains[0], rar, cert);
+    let completions = mesh.wait_completions(1);
+    assert_eq!(completions.len(), 1, "one reservation, one completion");
+    let granted = matches!(
+        completions[0].1,
+        Completion::Reservation { result: Ok(_), .. }
+    );
+
+    // The plane answers while the fabric is live: every daemon reports
+    // healthy, and the recorder can replay the request's span timeline.
+    for addr in &admin_addrs {
+        let (status, _) = admin_get(*addr, "/healthz").expect("healthz");
+        assert_eq!(status, 200, "{addr} reported unhealthy");
+    }
+    let (status, body) = admin_get(admin_addrs[0], &format!("/trace/{trace}")).expect("trace dump");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains(r#""label":"submit""#),
+        "trace dump lacks the submit span: {body}"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().expect("scraper thread survived the run");
+    assert!(
+        scrapes >= domains.len(),
+        "scraper never completed a full pass"
+    );
+
+    let nodes = mesh.shutdown();
+    let per_domain = domains
+        .iter()
+        .map(|d| (d.clone(), nodes[d].core().available_bw_at(Timestamp(10))))
+        .collect();
+    (granted, per_domain)
+}
+
+#[test]
+fn fig2_outcomes_unchanged_under_metrics_scraping() {
+    // Observation must not perturb admission: the fig2 cases produce
+    // byte-identical verdicts and committed bandwidth whether or not
+    // the admin plane is up with a concurrent 10 Hz scraper.
+    for deny_at in [None, Some(1), Some(2)] {
+        let (granted_plain, state_plain) = tcp_outcome(deny_at);
+        let (granted_scraped, state_scraped) = tcp_admin_outcome(deny_at);
+        assert_eq!(
+            granted_plain, granted_scraped,
+            "admission verdict diverged under scraping for deny_at={deny_at:?}"
+        );
+        assert_eq!(
+            state_plain, state_scraped,
+            "committed bandwidth diverged under scraping for deny_at={deny_at:?}"
+        );
+    }
 }
 
 #[test]
