@@ -188,6 +188,45 @@ impl BrokerCore {
     pub fn reservation_active_at(&self, id: ReservationId, t: Timestamp) -> bool {
         self.book.reservation_active_at(id, t)
     }
+
+    // --- Durable-ledger surface (DESIGN.md §D13) --------------------
+
+    /// Attach the durable ledger store (after recovery replay).
+    pub fn set_store(&self, store: qos_storage::SharedStore) {
+        self.book.set_store(store);
+    }
+
+    /// The attached ledger store, if any.
+    pub fn store(&self) -> Option<qos_storage::SharedStore> {
+        self.book.store()
+    }
+
+    /// Replay one recovered WAL record (idempotent, forgiving).
+    pub fn restore_record(&self, record: &qos_storage::LedgerRecord) {
+        self.book.restore_record(record);
+    }
+
+    /// Restore reservations + invoices from a recovered snapshot.
+    pub fn restore_snapshot(&self, snapshot: &qos_storage::LedgerSnapshot) {
+        self.book.restore_snapshot(snapshot);
+    }
+
+    /// Export this layer's contribution to a snapshot captured at WAL
+    /// sequence `seq`.
+    pub fn export_snapshot(&self, seq: u64) -> qos_storage::LedgerSnapshot {
+        self.book.export_snapshot(seq)
+    }
+
+    /// Canonical digest of the active reservation set + invoices (what
+    /// the kill -9 recovery gate compares).
+    pub fn ledger_digest(&self) -> [u8; 32] {
+        self.book.ledger_digest()
+    }
+
+    /// `(active, committed, invoices, committed_bps_at_t)` summary.
+    pub fn ledger_summary(&self, t: Timestamp) -> (u64, u64, u64, u64) {
+        self.book.ledger_summary(t)
+    }
 }
 
 #[cfg(test)]

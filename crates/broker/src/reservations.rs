@@ -291,6 +291,37 @@ impl ReservationTable {
         self.usage_at(t)
     }
 
+    /// Force-apply a recovered reservation without admission checks
+    /// (DESIGN.md §D13). Replay rebuilds state that *was already
+    /// admitted* before a crash, so capacity math must not re-gate it;
+    /// overwriting an existing entry makes replay after a snapshot
+    /// idempotent.
+    pub fn restore(
+        &mut self,
+        id: ReservationId,
+        interval: Interval,
+        rate_bps: u64,
+        state: ResState,
+    ) {
+        self.entries.insert(
+            id,
+            Entry {
+                interval,
+                rate_bps,
+                state,
+            },
+        );
+    }
+
+    /// Force a recovered state transition. Unknown ids are ignored —
+    /// the matching hold record can legitimately be missing when it sat
+    /// in an un-fsynced batch the crash discarded.
+    pub fn restore_state(&mut self, id: ReservationId, state: ResState) {
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.state = state;
+        }
+    }
+
     /// Iterate non-released reservations.
     pub fn iter_active(
         &self,

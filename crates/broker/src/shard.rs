@@ -32,7 +32,12 @@ use crate::billing::{BillingLedger, Invoice};
 use crate::broker::{BrokerError, PathSegment};
 use crate::reservations::{AdmissionError, Interval, ResState, ReservationId, ReservationTable};
 use crate::sla::Sla;
+use qos_crypto::sha256::Sha256;
 use qos_crypto::Timestamp;
+use qos_storage::{
+    LedgerRecord, LedgerSnapshot, SharedStore, SnapInvoice, SnapReservation, STATE_COMMITTED,
+    STATE_HELD,
+};
 use qos_telemetry::{Counter, Telemetry};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
@@ -77,6 +82,10 @@ pub struct SlaBook {
     meta: [Mutex<HashMap<ReservationId, ResMeta>>; LEDGER_STRIPES],
     billing: Mutex<BillingLedger>,
     counters: RwLock<CoreCounters>,
+    /// The durable ledger store (DESIGN.md §D13). Shared by every shard
+    /// of the domain through this book, so striped appends land in one
+    /// WAL regardless of which shard admitted.
+    store: RwLock<Option<SharedStore>>,
 }
 
 impl SlaBook {
@@ -92,6 +101,26 @@ impl SlaBook {
             meta: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             billing: Mutex::new(BillingLedger::new()),
             counters: RwLock::new(CoreCounters::default()),
+            store: RwLock::new(None),
+        }
+    }
+
+    /// Attach the durable ledger store. Every admission verdict, hold,
+    /// commit, release and billing settlement from here on appends a
+    /// record — attach *after* recovery replay so replay itself is not
+    /// re-logged.
+    pub fn set_store(&self, store: SharedStore) {
+        *self.store.write().unwrap_or_else(|e| e.into_inner()) = Some(store);
+    }
+
+    /// The attached store, if any.
+    pub fn store(&self) -> Option<SharedStore> {
+        self.store.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    fn append_record(&self, record: LedgerRecord) {
+        if let Some(store) = self.store() {
+            store.append(&record);
         }
     }
 
@@ -201,7 +230,16 @@ impl SlaBook {
     }
 
     pub(crate) fn record_invoice(&self, invoice: Invoice) {
+        // Mutation before append: a snapshot capturing seq S must
+        // already reflect every record ≤ S (see `LedgerSnapshot`).
+        let record = LedgerRecord::Invoice {
+            payer: invoice.payer.clone(),
+            payee: invoice.payee.clone(),
+            reservation: invoice.reservation,
+            amount: invoice.amount,
+        };
         lock(&self.billing).record(invoice);
+        self.append_record(record);
     }
 
     pub(crate) fn invoices(&self) -> Vec<Invoice> {
@@ -219,10 +257,24 @@ impl SlaBook {
         rate_bps: u64,
         segment: PathSegment,
     ) -> Result<(), BrokerError> {
+        let (ingress, egress) = (segment.ingress_peer.clone(), segment.egress_peer.clone());
         let result = self.hold_inner(id, interval, rate_bps, segment);
         match &result {
-            Ok(()) => self.counter(|c| &c.holds_ok).inc(),
-            Err(_) => self.counter(|c| &c.holds_refused).inc(),
+            Ok(()) => {
+                self.counter(|c| &c.holds_ok).inc();
+                self.append_record(LedgerRecord::Hold {
+                    id: id.0,
+                    start: interval.start.0,
+                    end: interval.end.0,
+                    rate_bps,
+                    ingress,
+                    egress,
+                });
+            }
+            Err(_) => {
+                self.counter(|c| &c.holds_refused).inc();
+                self.append_record(LedgerRecord::Deny { id: id.0, rate_bps });
+            }
         }
         result
     }
@@ -332,6 +384,7 @@ impl SlaBook {
         let result = self.for_each_table(id, |t, id| t.commit(id));
         if result.is_ok() {
             self.counter(|c| &c.commits).inc();
+            self.append_record(LedgerRecord::Commit { id: id.0 });
         }
         result
     }
@@ -340,6 +393,7 @@ impl SlaBook {
         let result = self.for_each_table(id, |t, id| t.release(id));
         if result.is_ok() {
             self.counter(|c| &c.releases).inc();
+            self.append_record(LedgerRecord::Release { id: id.0 });
         }
         result
     }
@@ -366,6 +420,236 @@ impl SlaBook {
 
     pub(crate) fn reservation_active_at(&self, id: ReservationId, t: Timestamp) -> bool {
         lock(&self.local).active_at(id, t)
+    }
+
+    // ------------------------------------------------------------------
+    // Durable-ledger recovery and export (DESIGN.md §D13). Restores
+    // force-apply without admission math — replay rebuilds state that
+    // was already admitted before a crash — and are idempotent, because
+    // a snapshot may reflect records sequenced after its capture point.
+    // ------------------------------------------------------------------
+
+    /// Replay one recovered WAL record. Forgiving: transitions whose
+    /// hold record sat in an un-fsynced batch the crash discarded are
+    /// ignored, and ticket records belong to the transport layer.
+    pub fn restore_record(&self, record: &LedgerRecord) {
+        match record {
+            LedgerRecord::Hold {
+                id,
+                start,
+                end,
+                rate_bps,
+                ingress,
+                egress,
+            } => self.restore_reservation(&SnapReservation {
+                id: *id,
+                start: *start,
+                end: *end,
+                rate_bps: *rate_bps,
+                state: STATE_HELD,
+                ingress: ingress.clone(),
+                egress: egress.clone(),
+            }),
+            LedgerRecord::Deny { .. } => {}
+            LedgerRecord::Commit { id } => {
+                self.restore_transition(ReservationId(*id), ResState::Committed)
+            }
+            LedgerRecord::Release { id } => {
+                self.restore_transition(ReservationId(*id), ResState::Released)
+            }
+            LedgerRecord::Invoice {
+                payer,
+                payee,
+                reservation,
+                amount,
+            } => self.restore_invoice(&SnapInvoice {
+                payer: payer.clone(),
+                payee: payee.clone(),
+                reservation: *reservation,
+                amount: *amount,
+            }),
+            LedgerRecord::TicketKey { .. } | LedgerRecord::TicketIssued { .. } => {}
+        }
+    }
+
+    /// Force one reservation back into every table it crossed.
+    pub fn restore_reservation(&self, snap: &SnapReservation) {
+        let id = ReservationId(snap.id);
+        let interval = Interval::new(Timestamp(snap.start), Timestamp(snap.end));
+        let state = if snap.state == STATE_COMMITTED {
+            ResState::Committed
+        } else {
+            ResState::Held
+        };
+        let segment = PathSegment {
+            ingress_peer: snap.ingress.clone(),
+            egress_peer: snap.egress.clone(),
+        };
+        if let Some(peer) = &segment.ingress_peer {
+            if let Some(t) = self.ingress_table(peer) {
+                lock(&t).restore(id, interval, snap.rate_bps, state);
+            }
+        }
+        lock(&self.local).restore(id, interval, snap.rate_bps, state);
+        if let Some(peer) = &segment.egress_peer {
+            if let Some(t) = self.egress_table(peer) {
+                lock(&t).restore(id, interval, snap.rate_bps, state);
+            }
+        }
+        lock(self.meta_stripe(id)).insert(
+            id,
+            ResMeta {
+                interval,
+                rate_bps: snap.rate_bps,
+                segment,
+            },
+        );
+    }
+
+    fn restore_transition(&self, id: ReservationId, state: ResState) {
+        let Some(meta) = lock(self.meta_stripe(id)).get(&id).cloned() else {
+            return;
+        };
+        if let Some(peer) = &meta.segment.ingress_peer {
+            if let Some(t) = self.ingress_table(peer) {
+                lock(&t).restore_state(id, state);
+            }
+        }
+        lock(&self.local).restore_state(id, state);
+        if let Some(peer) = &meta.segment.egress_peer {
+            if let Some(t) = self.egress_table(peer) {
+                lock(&t).restore_state(id, state);
+            }
+        }
+    }
+
+    /// Re-record one recovered invoice, skipping exact duplicates — the
+    /// one restore that is not naturally idempotent, because billing is
+    /// append-only and `(payer, payee, reservation)` settles once.
+    pub fn restore_invoice(&self, snap: &SnapInvoice) {
+        let invoice = Invoice {
+            payer: snap.payer.clone(),
+            payee: snap.payee.clone(),
+            reservation: snap.reservation,
+            amount: snap.amount,
+        };
+        let mut billing = lock(&self.billing);
+        if billing.invoices().contains(&invoice) {
+            return;
+        }
+        billing.record(invoice);
+    }
+
+    /// Restore everything a snapshot carries for this layer
+    /// (reservations + invoices; tickets belong to the transport).
+    pub fn restore_snapshot(&self, snapshot: &LedgerSnapshot) {
+        for r in &snapshot.reservations {
+            self.restore_reservation(r);
+        }
+        for i in &snapshot.invoices {
+            self.restore_invoice(i);
+        }
+    }
+
+    /// Flatten the live (non-released) reservation set into snapshot
+    /// rows, in id order.
+    pub fn export_reservations(&self) -> Vec<SnapReservation> {
+        let rows: Vec<_> = {
+            let local = lock(&self.local);
+            local.iter_active().collect()
+        };
+        rows.into_iter()
+            .map(|(id, interval, rate_bps, state)| {
+                let segment = lock(self.meta_stripe(id))
+                    .get(&id)
+                    .map(|m| m.segment.clone())
+                    .unwrap_or_default();
+                SnapReservation {
+                    id: id.0,
+                    start: interval.start.0,
+                    end: interval.end.0,
+                    rate_bps,
+                    state: if state == ResState::Committed {
+                        STATE_COMMITTED
+                    } else {
+                        STATE_HELD
+                    },
+                    ingress: segment.ingress_peer,
+                    egress: segment.egress_peer,
+                }
+            })
+            .collect()
+    }
+
+    /// Invoices in canonical (sorted) order — replay order and live
+    /// order may differ, so snapshots and digests always sort.
+    pub fn export_invoices(&self) -> Vec<SnapInvoice> {
+        let mut out: Vec<SnapInvoice> = lock(&self.billing)
+            .invoices()
+            .iter()
+            .map(|i| SnapInvoice {
+                payer: i.payer.clone(),
+                payee: i.payee.clone(),
+                reservation: i.reservation,
+                amount: i.amount,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            (&a.payer, &a.payee, a.reservation, a.amount).cmp(&(
+                &b.payer,
+                &b.payee,
+                b.reservation,
+                b.amount,
+            ))
+        });
+        out
+    }
+
+    /// Everything this layer contributes to a snapshot captured at
+    /// WAL sequence `seq`.
+    pub fn export_snapshot(&self, seq: u64) -> LedgerSnapshot {
+        LedgerSnapshot {
+            seq,
+            ticket_key: None,
+            reservations: self.export_reservations(),
+            invoices: self.export_invoices(),
+            tickets: Vec::new(),
+        }
+    }
+
+    /// SHA-256 over the canonical encoding of the active reservation
+    /// set and sorted invoices. The kill -9 recovery gate asserts this
+    /// is byte-identical between a killed-and-restarted broker and a
+    /// never-killed control run.
+    pub fn ledger_digest(&self) -> [u8; 32] {
+        let mut h = Sha256::new();
+        for r in self.export_reservations() {
+            h.update(&qos_wire::to_bytes(&r));
+        }
+        for i in self.export_invoices() {
+            h.update(&qos_wire::to_bytes(&i));
+        }
+        h.finalize()
+    }
+
+    /// `(active, committed, invoices, committed_bps_at_t)` — the
+    /// `/storage` admin endpoint's ledger summary line.
+    pub fn ledger_summary(&self, t: Timestamp) -> (u64, u64, u64, u64) {
+        let (mut active, mut committed, mut committed_bps) = (0u64, 0u64, 0u64);
+        {
+            let local = lock(&self.local);
+            for (_, interval, rate, state) in local.iter_active() {
+                active += 1;
+                if state == ResState::Committed {
+                    committed += 1;
+                    if interval.contains(t) {
+                        committed_bps += rate;
+                    }
+                }
+            }
+        }
+        let invoices = lock(&self.billing).invoices().len() as u64;
+        (active, committed, invoices, committed_bps)
     }
 }
 

@@ -89,7 +89,7 @@ pub use drive::Mesh;
 pub use envelope::{RarLayer, SignedRar};
 pub use error::CoreError;
 pub use messages::{Approval, Denial, SignalMessage};
-pub use node::{BbConfig, BbNode, Completion, EdgeBinding, NodeCounters};
+pub use node::{BbConfig, BbNode, Completion, EdgeBinding, NodeCounters, RecoveredTickets};
 pub use rar::{RarId, ResSpec};
 pub use runtime::ActorMesh;
 pub use shard::{shard_of, ShardMsg, ShardSink, ShardedNode};

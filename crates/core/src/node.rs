@@ -32,6 +32,7 @@ use qos_net::conditioner::{ExcessTreatment, TrafficProfile};
 use qos_net::{FlowId, LinkId, NodeId};
 use qos_policy::request::VerifiedCapability;
 use qos_policy::{Assertion, AttributeSet, GroupServer, PolicyServer, ReservationOracle, Value};
+use qos_storage::{LedgerRecord, LedgerSnapshot, Recovered, SharedStore, SnapTicket};
 use qos_telemetry::{
     Clock, Counter, EventFamily, FlightEvent, Gauge, Histogram, Span, SpanKind, StdClock,
     Telemetry, TraceId, Tracer,
@@ -209,6 +210,10 @@ impl ReservationOracle for CpuOracle<'_> {
     }
 }
 
+/// Hook that lets a higher layer (the transport's ticket issuer) fold
+/// its own state into every exported ledger snapshot.
+pub type SnapshotExtra = Arc<dyn Fn(&mut LedgerSnapshot) + Send + Sync>;
+
 /// One domain's bandwidth broker.
 pub struct BbNode {
     domain: String,
@@ -238,6 +243,29 @@ pub struct BbNode {
     tracer: Tracer,
     clock: Arc<dyn Clock>,
     verified_paths: HashMap<RarId, Vec<DistinguishedName>>,
+    /// Augments ledger snapshots with transport-layer state (resumption
+    /// tickets) — installed by the daemon, shared across shard replicas.
+    snapshot_extra: Option<SnapshotExtra>,
+    /// Ticket state found during recovery replay, parked here until the
+    /// transport layer collects it with [`BbNode::take_recovered_tickets`].
+    recovered_tickets: RecoveredTickets,
+}
+
+/// Transport-layer ticket state recovered from the durable ledger: the
+/// persisted issuer key plus every live issued-ticket entry.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveredTickets {
+    /// The ticket-issuer key (32 bytes) persisted at first startup.
+    pub key: Option<Vec<u8>>,
+    /// Authoritative server-side entries for issued tickets.
+    pub tickets: Vec<SnapTicket>,
+}
+
+impl RecoveredTickets {
+    /// True when recovery found no ticket state.
+    pub fn is_empty(&self) -> bool {
+        self.key.is_none() && self.tickets.is_empty()
+    }
 }
 
 impl BbNode {
@@ -281,6 +309,8 @@ impl BbNode {
             tracer,
             clock: Arc::new(StdClock),
             verified_paths: HashMap::new(),
+            snapshot_extra: None,
+            recovered_tickets: RecoveredTickets::default(),
         };
         node.install_telemetry(config.telemetry);
         node
@@ -309,6 +339,11 @@ impl BbNode {
     /// Advance the broker's wall clock.
     pub fn set_time(&mut self, now: Timestamp) {
         self.now = now;
+    }
+
+    /// The broker's current wall clock.
+    pub fn time(&self) -> Timestamp {
+        self.now
     }
 
     /// Register a peering: the SLA's pinned certificate plus (for
@@ -586,6 +621,126 @@ impl BbNode {
     /// Resource-core access (experiments inspect admission state).
     pub fn core(&self) -> &BrokerCore {
         &self.core
+    }
+
+    // ------------------------------------------------------------------
+    // Durable ledger (DESIGN.md §D13)
+    // ------------------------------------------------------------------
+
+    /// Attach the durable ledger store. Call *after*
+    /// [`recover_from`](BbNode::recover_from), so replay is not
+    /// re-logged; shard replicas share the store through the
+    /// [`BrokerCore`] ledger.
+    pub fn attach_store(&self, store: SharedStore) {
+        self.core.set_store(store);
+    }
+
+    /// The attached ledger store, if any.
+    pub fn store(&self) -> Option<SharedStore> {
+        self.core.store()
+    }
+
+    /// Install a hook that augments exported snapshots with state owned
+    /// by a higher layer (the transport's resumption tickets).
+    pub fn set_snapshot_extra(&mut self, extra: SnapshotExtra) {
+        self.snapshot_extra = Some(extra);
+    }
+
+    /// Replay recovered state: snapshot first, then WAL records above
+    /// the snapshot's sequence, in sequence order. Ticket records are
+    /// parked for [`take_recovered_tickets`](BbNode::take_recovered_tickets);
+    /// everything else force-applies through the broker's restore APIs.
+    /// Returns the replay duration in nanoseconds (callers report it to
+    /// the store via `note_recovery_ns`).
+    pub fn recover_from(&mut self, recovered: &Recovered) -> u64 {
+        let started = self.clock.now_ns();
+        if let Some(flight) = self.telemetry.flight() {
+            flight.record(
+                FlightEvent::new(EventFamily::Storage, self.domain.clone(), "recovery_begin")
+                    .detail(format!(
+                        "snapshot_seq {} records {}",
+                        recovered.snapshot.as_ref().map(|s| s.seq).unwrap_or(0),
+                        recovered.records.len()
+                    )),
+            );
+        }
+        let mut skip = 0;
+        if let Some(snapshot) = &recovered.snapshot {
+            skip = snapshot.seq;
+            self.core.restore_snapshot(snapshot);
+            if let Some(key) = &snapshot.ticket_key {
+                self.recovered_tickets.key = Some(key.clone());
+            }
+            self.recovered_tickets
+                .tickets
+                .extend(snapshot.tickets.iter().cloned());
+        }
+        let mut replayed = 0u64;
+        for (seq, record) in &recovered.records {
+            if *seq <= skip {
+                continue;
+            }
+            replayed += 1;
+            match record {
+                LedgerRecord::TicketKey { key } => {
+                    self.recovered_tickets.key = Some(key.clone());
+                }
+                LedgerRecord::TicketIssued {
+                    id,
+                    master,
+                    expires,
+                    peer_cert,
+                } => self.recovered_tickets.tickets.push(SnapTicket {
+                    id: id.clone(),
+                    master: master.clone(),
+                    expires: *expires,
+                    peer_cert: peer_cert.clone(),
+                }),
+                _ => self.core.restore_record(record),
+            }
+        }
+        let elapsed = self.clock.now_ns().saturating_sub(started);
+        if let Some(flight) = self.telemetry.flight() {
+            flight.record(
+                FlightEvent::new(EventFamily::Storage, self.domain.clone(), "recovery_end")
+                    .detail(format!("replayed {replayed} records"))
+                    .window(started, started + elapsed),
+            );
+        }
+        elapsed
+    }
+
+    /// Collect ticket state found during recovery (the daemon rebuilds
+    /// its `TicketIssuer` from this before sharding the node).
+    pub fn take_recovered_tickets(&mut self) -> RecoveredTickets {
+        std::mem::take(&mut self.recovered_tickets)
+    }
+
+    /// Export and durably write a snapshot now (graceful shutdown, or
+    /// when the store asks via `should_snapshot`). The sequence point is
+    /// captured *before* exporting state, so every record at or below it
+    /// is reflected in the export (see `LedgerSnapshot`).
+    pub fn snapshot_now(&self) {
+        let Some(store) = self.core.store() else {
+            return;
+        };
+        let seq = store.next_seq().saturating_sub(1);
+        let mut snapshot = self.core.export_snapshot(seq);
+        if let Some(extra) = &self.snapshot_extra {
+            extra(&mut snapshot);
+        }
+        store.write_snapshot(&snapshot);
+    }
+
+    /// Periodic-snapshot check, riding the commit path: cheap when no
+    /// store is attached or the write interval hasn't elapsed.
+    fn maybe_snapshot(&self) {
+        if let Some(store) = self.core.store() {
+            if store.should_snapshot() {
+                drop(store);
+                self.snapshot_now();
+            }
+        }
     }
 
     /// Remaining aggregate in a source-side tunnel.
@@ -1914,6 +2069,7 @@ impl BbNode {
                 });
             }
         }
+        self.maybe_snapshot();
     }
 
     /// Verify the capability chain carried by the envelope (if any) and
@@ -2139,6 +2295,8 @@ impl BbNode {
             tracer,
             clock: Arc::clone(&self.clock),
             verified_paths: HashMap::new(),
+            snapshot_extra: self.snapshot_extra.clone(),
+            recovered_tickets: RecoveredTickets::default(),
         }
     }
 }

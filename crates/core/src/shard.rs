@@ -471,6 +471,16 @@ impl ShardedNode {
         self.inner.idle.iter().map(Counter::get).collect()
     }
 
+    /// Run `f` against shard 0's node. The ledger (`BrokerCore`), store
+    /// and counters are shared across replicas, so any shard answers
+    /// domain-wide questions — the admin plane's `/storage` route reads
+    /// ledger digests and store vitals through this without stopping
+    /// the workers. Briefly blocks shard 0's message processing.
+    pub fn with_node<R>(&self, f: impl FnOnce(&BbNode) -> R) -> R {
+        let state = lock(&self.inner.shards[0].state);
+        f(&state.node)
+    }
+
     /// Stop the workers (after draining every queue) and hand back one
     /// replica — its ledger and counters are the shared ones, so
     /// admission state reads identically from any shard.

@@ -40,7 +40,7 @@ use crate::trace::{Span, TraceId};
 pub const FLIGHT_DEFAULT_CAPACITY: usize = 4096;
 
 /// Number of event families (fixed — per-family counters are arrays).
-pub const FAMILY_COUNT: usize = 10;
+pub const FAMILY_COUNT: usize = 11;
 
 /// The kind of runtime event a [`FlightEvent`] records. Families are
 /// the unit of sequence numbering and drop accounting.
@@ -64,6 +64,9 @@ pub enum EventFamily {
     Backoff,
     /// A handshake (full or resumed) failed outright.
     HandshakeFail,
+    /// Durable-ledger lifecycle: append stalls, fsync latency spikes,
+    /// snapshots, recovery begin/end (DESIGN.md §D13).
+    Storage,
     /// The recorder itself flagged an anomaly (burst thresholds).
     Anomaly,
 }
@@ -80,6 +83,7 @@ impl EventFamily {
         EventFamily::ShardSteal,
         EventFamily::Backoff,
         EventFamily::HandshakeFail,
+        EventFamily::Storage,
         EventFamily::Anomaly,
     ];
 
@@ -95,6 +99,7 @@ impl EventFamily {
             EventFamily::ShardSteal => "shard_steal",
             EventFamily::Backoff => "backoff",
             EventFamily::HandshakeFail => "handshake_fail",
+            EventFamily::Storage => "storage",
             EventFamily::Anomaly => "anomaly",
         }
     }

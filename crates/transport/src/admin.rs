@@ -18,10 +18,12 @@
 //! | `/trace/<id>`   | flight events for one 16-hex-digit trace id     |
 //! | `/flight`       | full flight-recorder dump (JSON)                |
 //! | `/flight.tsv`   | the same dump, tab-separated                    |
+//! | `/storage`      | durable-ledger vitals: WAL/snapshot/recovery    |
 
 use crate::daemon::Link;
 use crate::reactor::ReactorStatus;
 use qos_core::shard::ShardedNode;
+use qos_storage::SharedStore;
 use qos_telemetry::admin::{content_type, render_response, HttpRequest};
 use qos_telemetry::{render_prometheus, snapshot_json, FlightRecorder, Registry, TraceId};
 use std::collections::HashMap;
@@ -40,6 +42,7 @@ pub(crate) struct AdminState {
     pub(crate) sharded: Arc<ShardedNode>,
     pub(crate) links: Arc<HashMap<String, Link>>,
     pub(crate) status: Arc<ReactorStatus>,
+    pub(crate) store: Option<SharedStore>,
 }
 
 impl AdminState {
@@ -69,6 +72,7 @@ impl AdminState {
             },
             "/healthz" => (self.healthz(), "healthz"),
             "/shards" => (self.shards(), "shards"),
+            "/storage" => (self.storage(), "storage"),
             "/flight" => match &self.flight {
                 Some(f) => (
                     render_response(200, content_type::JSON, &f.dump_json()),
@@ -91,7 +95,7 @@ impl AdminState {
                         render_response(
                             404,
                             content_type::TEXT,
-                            "routes: /metrics /metrics.json /healthz /shards /trace/<id> /flight /flight.tsv\n",
+                            "routes: /metrics /metrics.json /healthz /shards /storage /trace/<id> /flight /flight.tsv\n",
                         ),
                         "other",
                     )
@@ -114,6 +118,34 @@ impl AdminState {
             content_type::TEXT,
             "no flight recorder installed (start bbd with --admin)\n",
         )
+    }
+
+    /// Durable-ledger vitals: store counters plus a live summary and
+    /// the canonical SHA-256 digest of the reservation/invoice state —
+    /// the value the crash-recovery gate compares across restarts.
+    fn storage(&self) -> Vec<u8> {
+        let Some(store) = &self.store else {
+            return render_response(
+                503,
+                content_type::TEXT,
+                "no ledger store attached (start bbd with --data-dir DIR)\n",
+            );
+        };
+        let stats = store.stats();
+        let (digest, active, committed, invoices, committed_bps) = self.sharded.with_node(|node| {
+            let (active, committed, invoices, committed_bps) =
+                node.core().ledger_summary(node.time());
+            let digest = node.core().ledger_digest();
+            (digest, active, committed, invoices, committed_bps)
+        });
+        let hex: String = digest.iter().map(|b| format!("{b:02x}")).collect();
+        let body = format!(
+            "{{\"store\":{},\"ledger\":{{\"digest\":\"{hex}\",\"active\":{active},\
+             \"committed\":{committed},\"invoices\":{invoices},\
+             \"committed_bps\":{committed_bps}}}}}\n",
+            stats.to_json()
+        );
+        render_response(200, content_type::JSON, &body)
     }
 
     /// Liveness vitals: the reactor's poll-loop heartbeat (age of the

@@ -17,6 +17,7 @@ use qos_core::channel::ChannelIdentity;
 use qos_core::node::Completion;
 use qos_core::scenario::{build_chain, ChainOptions};
 use qos_crypto::{KeyPair, Timestamp};
+use qos_storage::{FileStore, FileStoreOptions, MemStore, SharedStore};
 use qos_telemetry::{
     render_prometheus, snapshot_json, EventFamily, FlightRecorder, Registry, Telemetry,
     FLIGHT_DEFAULT_CAPACITY,
@@ -35,6 +36,54 @@ const DENIAL_BURST_THRESHOLD: u64 = 8;
 /// Anomaly rule: this many reconnects inside one second is a reconnect
 /// storm.
 const RECONNECT_STORM_THRESHOLD: u64 = 5;
+/// Anomaly rule: this many `fsync_spike` events inside one second means
+/// the WAL device has stalled badly enough to dump the flight recorder.
+const FSYNC_SPIKE_THRESHOLD: u64 = 10;
+
+/// Minimal signal plumbing: SIGINT/SIGTERM flip an atomic that the main
+/// thread's wait loops poll, so the daemon can flush the WAL and cut a
+/// final snapshot instead of dying with buffered records. Hand-rolled
+/// `signal(2)` FFI because the workspace deliberately has no libc crate;
+/// an async-signal-safe store is all the handler does.
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    #[cfg(unix)]
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    #[cfg(unix)]
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+
+    pub fn stopped() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+/// Sleep up to `secs`, polling the stop flag so signals interrupt the
+/// wait within ~100ms. Returns early when a signal arrived.
+fn sleep_interruptible(secs: u64) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(secs);
+    while std::time::Instant::now() < deadline && !sig::stopped() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
 
 struct Args {
     chain: usize,
@@ -43,6 +92,7 @@ struct Args {
     peers: Vec<(String, SocketAddr)>,
     accepts: Vec<String>,
     submit: u64,
+    submit_from: u64,
     run_secs: Option<u64>,
     linger_secs: Option<u64>,
     metrics: bool,
@@ -50,6 +100,7 @@ struct Args {
     no_resume: bool,
     cache_size: Option<usize>,
     shards: Option<usize>,
+    data_dir: Option<String>,
 }
 
 const USAGE: &str = "bbd — bandwidth-broker daemon over TCP
@@ -57,8 +108,8 @@ const USAGE: &str = "bbd — bandwidth-broker daemon over TCP
 USAGE:
     bbd --index I [--chain N] [--listen ADDR]
         [--peer DOMAIN=ADDR]... [--accept DOMAIN]...
-        [--submit K] [--run-secs S] [--linger-secs S]
-        [--metrics] [--admin ADDR]
+        [--submit K] [--submit-from N] [--run-secs S] [--linger-secs S]
+        [--metrics] [--admin ADDR] [--data-dir DIR]
         [--no-resume] [--cache-size N] [--shards N]
 
 OPTIONS:
@@ -69,6 +120,9 @@ OPTIONS:
     --accept D         expect an inbound connection from domain D (repeatable)
     --submit K         submit K reservations of 5 Mb/s from alice, wait for
                        their completions, then exit (source domain only)
+    --submit-from N    offset the submitted reservation ids by N, so a
+                       restarted source can submit a second wave without
+                       colliding with ids already in the ledger
     --run-secs S       exit after S seconds instead of running forever
     --linger-secs S    after --submit completions, keep serving S seconds
                        before exiting (lets admin-plane scrapers collect)
@@ -79,7 +133,13 @@ OPTIONS:
                        /trace/<id> /flight /flight.tsv. Implies a metrics
                        registry, per-RAR trace spans, and a flight
                        recorder with anomaly monitors (denial bursts,
-                       reconnect storms dump FLIGHT_<domain>_anomaly.json)
+                       reconnect storms, and fsync stalls dump
+                       FLIGHT_<domain>_anomaly.json)
+    --data-dir DIR     durable reservation ledger (DESIGN.md §D13): append
+                       every admission verdict to a write-ahead log under
+                       DIR, replay it at startup, and cut a final snapshot
+                       on SIGINT/SIGTERM. Without this flag the ledger is
+                       an in-memory no-op store (counters only)
     --no-resume        disable session-resumption tickets (every reconnect
                        runs the full signature handshake); all daemons of a
                        mesh must agree on this flag
@@ -97,6 +157,7 @@ fn parse_args() -> Result<Args, String> {
         peers: Vec::new(),
         accepts: Vec::new(),
         submit: 0,
+        submit_from: 0,
         run_secs: None,
         linger_secs: None,
         metrics: false,
@@ -104,6 +165,7 @@ fn parse_args() -> Result<Args, String> {
         no_resume: false,
         cache_size: None,
         shards: None,
+        data_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -124,6 +186,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--accept" => args.accepts.push(value("--accept")?),
             "--submit" => args.submit = value("--submit")?.parse().map_err(|e| format!("{e}"))?,
+            "--submit-from" => {
+                args.submit_from = value("--submit-from")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
             "--run-secs" => {
                 args.run_secs = Some(value("--run-secs")?.parse().map_err(|e| format!("{e}"))?)
             }
@@ -136,6 +203,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--metrics" => args.metrics = true,
             "--admin" => args.admin = Some(value("--admin")?),
+            "--data-dir" => args.data_dir = Some(value("--data-dir")?),
             "--no-resume" => args.no_resume = true,
             "--cache-size" => {
                 args.cache_size = Some(value("--cache-size")?.parse().map_err(|e| format!("{e}"))?)
@@ -170,6 +238,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    sig::install();
 
     // Telemetry comes up before the chain so the broker nodes themselves
     // are instrumented, not just the transport around them. `--admin`
@@ -215,6 +284,12 @@ fn main() -> ExitCode {
             RECONNECT_STORM_THRESHOLD,
             1_000_000_000,
         );
+        f.monitor(
+            EventFamily::Storage,
+            Some("fsync_spike"),
+            FSYNC_SPIKE_THRESHOLD,
+            1_000_000_000,
+        );
         let dump_domain = domain.clone();
         f.set_anomaly_hook(move |reason, recorder| {
             let path = format!("FLIGHT_{dump_domain}_anomaly.json");
@@ -225,15 +300,59 @@ fn main() -> ExitCode {
     }
 
     // Sign submissions against the source node before it moves into the
-    // daemon.
+    // daemon. `--submit-from` offsets the ids so a restarted source can
+    // push a second wave on top of a recovered ledger: the reservation
+    // id downstream brokers key their ledgers on is the scenario's rar
+    // id, so the counter must skip past the ids the first life used —
+    // a durable transit broker remembers them and would deny the wave
+    // as duplicates.
+    for _ in 0..args.submit_from {
+        s.next_rar_id();
+    }
     let mut rars = Vec::new();
     for i in 0..args.submit {
-        let spec = s.spec("alice", 1000 + i, 5 * MBPS, Timestamp(0), 3600);
+        let spec = s.spec(
+            "alice",
+            1000 + args.submit_from + i,
+            5 * MBPS,
+            Timestamp(0),
+            3600,
+        );
         rars.push(s.users["alice"].sign_request(spec, &s.nodes[args.index]));
     }
     let user_cert = s.users["alice"].cert.clone();
 
-    let node = s.nodes.remove(args.index);
+    let mut node = s.nodes.remove(args.index);
+
+    // The durable reservation ledger (DESIGN.md §D13). `--data-dir`
+    // selects the segmented WAL + snapshot store; otherwise a MemStore
+    // keeps the same append path live at in-memory cost so the two
+    // configurations stay directly comparable.
+    let store: SharedStore = match &args.data_dir {
+        Some(dir) => match FileStore::open(dir, FileStoreOptions::default()) {
+            Ok(fs) => Arc::new(fs),
+            Err(e) => {
+                eprintln!("bbd: cannot open data dir {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Arc::new(MemStore::default()),
+    };
+    store.set_telemetry(&telemetry, &domain);
+    let recovered = store.take_recovered();
+    if !recovered.is_empty() {
+        let snapshot_seq = recovered.snapshot.as_ref().map(|sn| sn.seq).unwrap_or(0);
+        let replay_ns = node.recover_from(&recovered);
+        store.note_recovery_ns(replay_ns);
+        println!(
+            "bbd: {domain} recovered {} WAL records on top of snapshot seq {} in {} us",
+            recovered.records.len(),
+            snapshot_seq,
+            replay_ns / 1_000,
+        );
+    }
+    // Attach only after replay: recovery must not re-journal itself.
+    node.attach_store(Arc::clone(&store));
     let identity = ChannelIdentity {
         key: KeyPair::from_seed(format!("bb-{domain}").as_bytes()),
         cert: node.cert().clone(),
@@ -339,19 +458,29 @@ fn main() -> ExitCode {
         if let Some(secs) = args.linger_secs {
             // Keep the daemon (and its admin plane) up so external
             // scrapers can collect spans from the completed run.
-            std::thread::sleep(Duration::from_secs(secs));
+            sleep_interruptible(secs);
         }
     } else {
         match args.run_secs {
-            Some(secs) => std::thread::sleep(Duration::from_secs(secs)),
-            None => loop {
-                // Serve until killed.
-                std::thread::sleep(Duration::from_secs(3600));
-            },
+            Some(secs) => sleep_interruptible(secs),
+            None => {
+                // Serve until signalled (or killed outright).
+                while !sig::stopped() {
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
         }
     }
 
-    daemon.shutdown();
+    if sig::stopped() {
+        println!("bbd: {domain} shutting down on signal");
+    }
+    // Graceful teardown: stop the daemon, cut a final snapshot (which
+    // folds in live ticket state via the snapshot hook), and fsync
+    // whatever the group-commit stripes still hold.
+    let node = daemon.shutdown();
+    node.snapshot_now();
+    store.flush();
     if args.metrics {
         if let Some(registry) = &registry {
             println!("{}", snapshot_json(registry));

@@ -287,7 +287,7 @@ impl BrokerDaemon {
     /// Bring the daemon up: spawns the shard workers and the reactor
     /// thread. Returns immediately; links come up asynchronously (see
     /// [`BrokerDaemon::wait_connected`]).
-    pub fn start(node: BbNode, config: DaemonConfig) -> Result<Self, TransportError> {
+    pub fn start(mut node: BbNode, config: DaemonConfig) -> Result<Self, TransportError> {
         let DaemonConfig {
             identity,
             ca_key,
@@ -307,12 +307,52 @@ impl BrokerDaemon {
         // handshake and envelope check this daemon performs; surface its
         // counters through this daemon's registry.
         qos_core::install_verify_cache_telemetry(&telemetry);
+        // Ticket state survives a restart when a durable ledger is
+        // attached (DESIGN.md §D13): reuse the journalled MAC key and
+        // re-seat every recovered entry, so peers resume zero-Schnorr
+        // across the crash. On a fresh data dir the new key is
+        // journalled before any ticket can reference it.
+        let recovered_tickets = node.take_recovered_tickets();
+        let store = node.store();
         let issuer = options.resume.then(|| {
-            Arc::new(TicketIssuer::new(
-                options.ticket_ttl_secs,
-                options.ticket_cap,
-            ))
+            let recovered_key = recovered_tickets
+                .key
+                .as_deref()
+                .and_then(|k| <[u8; 32]>::try_from(k).ok());
+            let issuer = match recovered_key {
+                Some(key) => Arc::new(TicketIssuer::with_key(
+                    key,
+                    options.ticket_ttl_secs,
+                    options.ticket_cap,
+                )),
+                None => {
+                    let issuer = Arc::new(TicketIssuer::new(
+                        options.ticket_ttl_secs,
+                        options.ticket_cap,
+                    ));
+                    if let Some(store) = &store {
+                        store.append(&qos_storage::LedgerRecord::TicketKey {
+                            key: issuer.key_bytes(),
+                        });
+                    }
+                    issuer
+                }
+            };
+            issuer.restore_tickets(&recovered_tickets.tickets);
+            if let Some(store) = &store {
+                issuer.set_store(Arc::clone(store));
+            }
+            issuer
         });
+        if let Some(issuer) = &issuer {
+            // Fold live ticket state into every snapshot the node cuts,
+            // so ticket durability survives WAL segment pruning.
+            let hook_issuer = Arc::clone(issuer);
+            node.set_snapshot_extra(Arc::new(move |snap| {
+                snap.ticket_key = Some(hook_issuer.key_bytes());
+                snap.tickets = hook_issuer.export_tickets();
+            }));
+        }
 
         // One link record per peer, dialed or accepted.
         let mut links = HashMap::new();
@@ -373,6 +413,7 @@ impl BrokerDaemon {
                 sharded: Arc::clone(&sharded),
                 links: Arc::clone(&links),
                 status: Arc::clone(&status),
+                store: store.clone(),
             });
             (admin_listener, state)
         });

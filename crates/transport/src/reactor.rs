@@ -523,7 +523,12 @@ impl Reactor {
                     Ctrl::DialFailed { peer } => {
                         if let Some(d) = self.dials.get_mut(&peer) {
                             d.connecting = false;
-                            d.ticket = None;
+                            // Keep the cached resumption ticket: a dial
+                            // failure says nothing about its validity,
+                            // and an acceptor restarted from a durable
+                            // data dir (DESIGN.md §D13) still honours
+                            // it. A stale ticket merely downgrades the
+                            // next successful dial to a full handshake.
                             let delay = d.backoff.next_delay();
                             d.retry_at = Some(Instant::now() + delay);
                             if let Some(flight) = &self.flight {

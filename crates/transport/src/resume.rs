@@ -17,14 +17,18 @@
 //! store: redeeming an unknown, expired, or evicted id fails and the
 //! connection falls back to a full handshake. Tickets are multi-use
 //! within their lifetime — every resumption mixes fresh nonces, so key
-//! material never repeats — and the store never leaves the process, so a
-//! restarted acceptor simply re-issues tickets from its next full
-//! handshake.
+//! material never repeats. By default the store never leaves the
+//! process, so a restarted acceptor simply re-issues tickets from its
+//! next full handshake; when a durable ledger is attached
+//! ([`TicketIssuer::set_store`], DESIGN.md §D13) the MAC key and every
+//! issued entry are journalled, and a restarted acceptor keeps honouring
+//! outstanding tickets — reconnects across a crash stay zero-Schnorr.
 //!
 //! [`SecureChannel::resumption_secret`]: qos_core::channel::SecureChannel::resumption_secret
 
 use qos_crypto::sha256::{hmac_sha256, Digest, Sha256, DIGEST_LEN};
 use qos_crypto::{Certificate, Timestamp};
+use qos_storage::{LedgerRecord, SharedStore, SnapTicket};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -100,6 +104,7 @@ pub struct TicketIssuer {
     cap: usize,
     counter: AtomicU64,
     store: Mutex<HashMap<[u8; TICKET_ID_LEN], TicketEntry>>,
+    ledger: Mutex<Option<SharedStore>>,
 }
 
 impl TicketIssuer {
@@ -123,7 +128,70 @@ impl TicketIssuer {
             cap: cap.max(1),
             counter: AtomicU64::new(1),
             store: Mutex::new(HashMap::new()),
+            ledger: Mutex::new(None),
         }
+    }
+
+    /// The MAC key, for persisting via the durable ledger so a restarted
+    /// acceptor validates tickets it issued before the crash.
+    pub fn key_bytes(&self) -> Vec<u8> {
+        self.key.to_vec()
+    }
+
+    /// Attach the durable ledger. Every subsequently issued ticket is
+    /// appended as a [`LedgerRecord::TicketIssued`] record; the caller is
+    /// responsible for journalling the key itself (once, at first boot).
+    pub fn set_store(&self, store: SharedStore) {
+        *self.ledger.lock().unwrap() = Some(store);
+    }
+
+    /// Re-insert ticket entries recovered from the ledger. Malformed
+    /// entries (wrong id/master length, undecodable certificate) are
+    /// skipped — their holders fall back to a full handshake. The
+    /// capacity bound is enforced afterwards, newest-expiry entries win.
+    pub fn restore_tickets(&self, tickets: &[SnapTicket]) {
+        let mut store = self.store.lock().unwrap();
+        for t in tickets {
+            let (Ok(id), Ok(master)) = (
+                <[u8; TICKET_ID_LEN]>::try_from(t.id.as_slice()),
+                <Digest>::try_from(t.master.as_slice()),
+            ) else {
+                continue;
+            };
+            let Ok(peer_cert) = qos_wire::from_bytes::<Certificate>(&t.peer_cert) else {
+                continue;
+            };
+            store.insert(
+                id,
+                TicketEntry {
+                    master,
+                    peer_cert,
+                    expires: Timestamp(t.expires),
+                },
+            );
+        }
+        while store.len() > self.cap {
+            let Some(oldest) = store.iter().min_by_key(|(_, e)| e.expires).map(|(k, _)| *k) else {
+                break;
+            };
+            store.remove(&oldest);
+        }
+    }
+
+    /// Export live entries for a snapshot, id-ordered for determinism.
+    pub fn export_tickets(&self) -> Vec<SnapTicket> {
+        let store = self.store.lock().unwrap();
+        let mut out: Vec<SnapTicket> = store
+            .iter()
+            .map(|(id, e)| SnapTicket {
+                id: id.to_vec(),
+                master: e.master.to_vec(),
+                expires: e.expires.0,
+                peer_cert: qos_wire::to_bytes(&e.peer_cert),
+            })
+            .collect();
+        out.sort_by(|a, b| a.id.cmp(&b.id));
+        out
     }
 
     /// Number of outstanding (unexpired or not-yet-swept) tickets.
@@ -147,14 +215,24 @@ impl TicketIssuer {
     /// Issue a ticket binding `master` and the authenticated
     /// `peer_cert`. Returns the opaque bytes to send to the initiator.
     pub fn issue(&self, master: Digest, peer_cert: Certificate, now: Timestamp) -> Vec<u8> {
-        let n = self.counter.fetch_add(1, Ordering::Relaxed);
-        let mut h = Sha256::new();
-        h.update(&self.key);
-        h.update(b"ticket-id");
-        h.update(&n.to_le_bytes());
-        let digest = h.finalize();
-        let mut id = [0u8; TICKET_ID_LEN];
-        id.copy_from_slice(&digest[..TICKET_ID_LEN]);
+        let mut store = self.store.lock().unwrap();
+        // Ids are derived from a monotone counter that restarts at 1, so
+        // after ledger recovery a fresh id can collide with a recovered
+        // entry; skip forward until it doesn't (overwriting would orphan
+        // the earlier ticket's holder).
+        let id = loop {
+            let n = self.counter.fetch_add(1, Ordering::Relaxed);
+            let mut h = Sha256::new();
+            h.update(&self.key);
+            h.update(b"ticket-id");
+            h.update(&n.to_le_bytes());
+            let digest = h.finalize();
+            let mut id = [0u8; TICKET_ID_LEN];
+            id.copy_from_slice(&digest[..TICKET_ID_LEN]);
+            if !store.contains_key(&id) {
+                break id;
+            }
+        };
 
         let expires = now.0.saturating_add(self.ttl_secs);
         let mac = self.ticket_mac(&id, expires);
@@ -163,7 +241,6 @@ impl TicketIssuer {
         ticket.extend_from_slice(&expires.to_le_bytes());
         ticket.extend_from_slice(&mac);
 
-        let mut store = self.store.lock().unwrap();
         if store.len() >= self.cap {
             // Drop expired entries first; if the store is still full the
             // soonest-to-expire ticket goes (its holder falls back to a
@@ -181,10 +258,19 @@ impl TicketIssuer {
             id,
             TicketEntry {
                 master,
-                peer_cert,
+                peer_cert: peer_cert.clone(),
                 expires: Timestamp(expires),
             },
         );
+        drop(store);
+        if let Some(ledger) = self.ledger.lock().unwrap().as_ref() {
+            ledger.append(&LedgerRecord::TicketIssued {
+                id: id.to_vec(),
+                master: master.to_vec(),
+                expires,
+                peer_cert: qos_wire::to_bytes(&peer_cert),
+            });
+        }
         ticket
     }
 
@@ -281,6 +367,45 @@ mod tests {
         assert!(issuer
             .redeem(tickets.last().unwrap(), Timestamp(10))
             .is_some());
+    }
+
+    #[test]
+    fn export_restore_round_trips_across_issuers() {
+        let issuer = TicketIssuer::with_key([7; 32], 60, 8);
+        let ticket = issuer.issue([1; 32], cert(), Timestamp(100));
+        let exported = issuer.export_tickets();
+        assert_eq!(exported.len(), 1);
+        // A fresh issuer with the same key honours the recovered entry.
+        let restarted = TicketIssuer::with_key([7; 32], 60, 8);
+        restarted.restore_tickets(&exported);
+        let (master, c) = restarted.redeem(&ticket, Timestamp(120)).unwrap();
+        assert_eq!(master, [1; 32]);
+        assert_eq!(c.tbs.subject, DistinguishedName::broker("alpha"));
+        // The restarted issuer's counter also restarts, so its first
+        // fresh id would collide with the recovered one; issue() must
+        // skip past it instead of orphaning the old ticket's holder.
+        let t2 = restarted.issue([2; 32], cert(), Timestamp(120));
+        assert_ne!(t2[..TICKET_ID_LEN], ticket[..TICKET_ID_LEN]);
+        assert!(restarted.redeem(&ticket, Timestamp(130)).is_some());
+        assert!(restarted.redeem(&t2, Timestamp(130)).is_some());
+    }
+
+    #[test]
+    fn restore_skips_malformed_entries() {
+        let issuer = TicketIssuer::with_key([7; 32], 60, 8);
+        issuer.restore_tickets(&[SnapTicket {
+            id: vec![1; 3], // wrong length
+            master: vec![2; 32],
+            expires: 100,
+            peer_cert: qos_wire::to_bytes(&cert()),
+        }]);
+        issuer.restore_tickets(&[SnapTicket {
+            id: vec![1; TICKET_ID_LEN],
+            master: vec![2; 32],
+            expires: 100,
+            peer_cert: vec![0xff; 4], // undecodable certificate
+        }]);
+        assert!(issuer.is_empty());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use qos_core::channel::{ChannelIdentity, PeerPin};
 use qos_core::node::Completion;
 use qos_core::scenario::{build_chain, ChainOptions};
 use qos_crypto::{CertificateAuthority, DistinguishedName, KeyPair, Timestamp, Validity};
+use qos_storage::{FileStore, FileStoreOptions, SharedStore};
 use qos_transport::{
     establish_initiator_resumable, establish_responder_resumable, BrokerDaemon, DaemonConfig,
     HandshakeKind, ResumeTicket, Session, TicketIssuer, TransportOptions, MAX_FRAME_LEN,
@@ -311,4 +312,142 @@ fn backoff_resets_after_successful_handshake() {
 
     daemon_a.shutdown();
     daemon_b.shutdown();
+}
+
+/// ISSUE 8 satellite: the ticket issuer's MAC key and every issued
+/// entry are journalled through the durable ledger, so a daemon
+/// restarted from its data dir keeps honouring tickets issued before
+/// the restart — the initiator's reconnect is a *resumed* handshake
+/// costing zero Schnorr operations, even though the acceptor process
+/// state was rebuilt from disk.
+#[test]
+fn resume_survives_daemon_restart_via_durable_ledger() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    let dir = std::env::temp_dir().join(format!("qos-resume-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut s = build_chain(ChainOptions {
+        domains: 2,
+        ..ChainOptions::default()
+    });
+    let node_b = s.nodes.remove(1);
+    let node_a = s.nodes.remove(0);
+    let (dom_a, dom_b) = (s.domains[0].clone(), s.domains[1].clone());
+    let cert_a = node_a.cert().clone();
+    let cert_b = node_b.cert().clone();
+    let ca_key = s.ca_key;
+
+    let options = TransportOptions {
+        backoff_base: Duration::from_millis(25),
+        backoff_cap: Duration::from_secs(5),
+        ..TransportOptions::default()
+    };
+    let (tx, _rx) = crossbeam::channel::unbounded::<(String, Completion)>();
+
+    // B's first life: an empty data dir, so nothing to recover.
+    let store: SharedStore = Arc::new(FileStore::open(&dir, FileStoreOptions::default()).unwrap());
+    assert!(store.take_recovered().is_empty());
+    node_b.attach_store(Arc::clone(&store));
+    drop(store);
+
+    let daemon_b = BrokerDaemon::start(
+        node_b,
+        DaemonConfig {
+            identity: daemon_identity(&dom_b, cert_b.clone()),
+            ca_key,
+            listener: bind_addr("127.0.0.1:0".parse().unwrap()),
+            connect_to: HashMap::new(),
+            accept_from: vec![dom_a.clone()],
+            completion_tx: tx.clone(),
+            telemetry: qos_telemetry::Telemetry::disabled(),
+            options: options.clone(),
+            admin: None,
+        },
+    )
+    .unwrap();
+    let addr_b = daemon_b.local_addr();
+
+    let daemon_a = BrokerDaemon::start(
+        node_a,
+        DaemonConfig {
+            identity: daemon_identity(&dom_a, cert_a),
+            ca_key,
+            listener: bind_addr("127.0.0.1:0".parse().unwrap()),
+            connect_to: HashMap::from([(dom_b.clone(), addr_b)]),
+            accept_from: Vec::new(),
+            completion_tx: tx.clone(),
+            telemetry: qos_telemetry::Telemetry::disabled(),
+            options: options.clone(),
+            admin: None,
+        },
+    )
+    .unwrap();
+    // The full handshake issues A's ticket and journals it (plus the
+    // issuer key) through B's WAL.
+    assert!(daemon_a.wait_connected(Duration::from_secs(10)));
+
+    // B goes down; dropping its node drops the last store handle, which
+    // drains the group-commit buffers to disk.
+    let node_b = daemon_b.shutdown();
+    drop(node_b);
+    assert!(
+        wait_peers(&daemon_a, 0, Duration::from_secs(5)),
+        "A must notice the dead peer"
+    );
+
+    // B's second life: a *fresh* node rebuilt from the same seeds plus
+    // whatever the data dir holds. All fixture work (chain build signs
+    // certificates, recovery decodes the WAL) happens before the Schnorr
+    // counters are read.
+    let mut s2 = build_chain(ChainOptions {
+        domains: 2,
+        ..ChainOptions::default()
+    });
+    let mut node_b2 = s2.nodes.remove(1);
+    let store: SharedStore = Arc::new(FileStore::open(&dir, FileStoreOptions::default()).unwrap());
+    let recovered = store.take_recovered();
+    assert!(
+        !recovered.is_empty(),
+        "the first life must have journalled ticket state"
+    );
+    node_b2.recover_from(&recovered);
+    node_b2.attach_store(Arc::clone(&store));
+    drop(store);
+
+    let signs_before = qos_crypto::schnorr::sign_ops();
+    let verifies_before = qos_crypto::schnorr::verify_ops();
+    let daemon_b = BrokerDaemon::start(
+        node_b2,
+        DaemonConfig {
+            identity: daemon_identity(&dom_b, cert_b),
+            ca_key,
+            listener: bind_addr(addr_b),
+            connect_to: HashMap::new(),
+            accept_from: vec![dom_a.clone()],
+            completion_tx: tx.clone(),
+            telemetry: qos_telemetry::Telemetry::disabled(),
+            options,
+            admin: None,
+        },
+    )
+    .unwrap();
+    assert!(
+        wait_peers(&daemon_a, 1, Duration::from_secs(10)),
+        "A must reconnect to the restarted B"
+    );
+    assert_eq!(
+        qos_crypto::schnorr::sign_ops() - signs_before,
+        0,
+        "reconnect to a restarted acceptor must resume, not re-sign"
+    );
+    assert_eq!(
+        qos_crypto::schnorr::verify_ops() - verifies_before,
+        0,
+        "reconnect to a restarted acceptor must not verify signatures"
+    );
+
+    daemon_a.shutdown();
+    daemon_b.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
