@@ -4,6 +4,8 @@
 //! (DESIGN.md §7 maps them); the `table` helpers print aligned rows that
 //! EXPERIMENTS.md records verbatim.
 
+pub mod workload;
+
 use qos_core::drive::Mesh;
 use qos_core::scenario::Scenario;
 use qos_net::SimDuration;

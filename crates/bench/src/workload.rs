@@ -1,0 +1,213 @@
+//! Open-loop workload generation for the million-flow experiments.
+//!
+//! An *open-loop* driver decides arrival times from a stochastic process
+//! alone — it never waits for the system under test, so admission
+//! latency cannot throttle the offered load (the classic closed-loop
+//! measurement error). The process here is the standard telephony /
+//! WAN-flow model: Poisson arrivals whose rate follows a diurnal
+//! sinusoid, sampled by thinning, with bimodal exponential holding
+//! times (a churn class that expires within the run and a long-held
+//! class that accumulates).
+//!
+//! Everything is seeded: the same [`WorkloadOptions`] always produce
+//! the same event sequence, so EXP-M runs are reproducible.
+
+use rand::{Rng, ThreadRng};
+
+/// Parameters of the open-loop arrival process.
+#[derive(Debug, Clone)]
+pub struct WorkloadOptions {
+    /// Seed for every draw — same seed, same event sequence.
+    pub seed: u64,
+    /// Mean arrival rate λ (flows/s) averaged over a diurnal period.
+    pub base_rate_per_s: f64,
+    /// Diurnal modulation amplitude `a` in
+    /// `λ(t) = base · (1 + a·sin(2πt/period))`; 0 disables, must be < 1.
+    pub diurnal_amplitude: f64,
+    /// Diurnal period in seconds (86 400 = one day).
+    pub diurnal_period_s: f64,
+    /// Fraction of flows in the short-hold (churn) class.
+    pub churn_fraction: f64,
+    /// Mean holding time of the churn class (exponential), seconds.
+    pub short_hold_mean_s: f64,
+    /// Mean holding time of the long-held class (exponential), seconds.
+    /// Set far beyond the run horizon to model standing reservations.
+    pub long_hold_mean_s: f64,
+}
+
+impl Default for WorkloadOptions {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            base_rate_per_s: 20_000.0,
+            diurnal_amplitude: 0.5,
+            diurnal_period_s: 86_400.0,
+            churn_fraction: 0.3,
+            short_hold_mean_s: 5.0,
+            long_hold_mean_s: 1e7,
+        }
+    }
+}
+
+/// One sub-flow arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowEvent {
+    /// Arrival time (virtual seconds since the run started).
+    pub at_s: f64,
+    /// Monotonic flow number (0, 1, 2, …).
+    pub flow: u64,
+    /// Holding time: the flow releases at `at_s + hold_s`.
+    pub hold_s: f64,
+    /// Whether this flow came from the short-hold churn class.
+    pub churn: bool,
+}
+
+/// The seeded open-loop event stream; iterate to draw arrivals in time
+/// order, endlessly (callers bound by count or by virtual horizon).
+pub struct OpenLoopWorkload {
+    opts: WorkloadOptions,
+    rng: ThreadRng,
+    t_s: f64,
+    next_flow: u64,
+}
+
+impl OpenLoopWorkload {
+    /// A new stream at `t = 0`.
+    pub fn new(opts: WorkloadOptions) -> Self {
+        assert!(opts.base_rate_per_s > 0.0, "arrival rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&opts.diurnal_amplitude),
+            "diurnal amplitude must be in [0, 1)"
+        );
+        assert!(
+            (0.0..=1.0).contains(&opts.churn_fraction),
+            "churn fraction must be in [0, 1]"
+        );
+        let rng = ThreadRng::seed_from_u64(opts.seed);
+        Self {
+            opts,
+            rng,
+            t_s: 0.0,
+            next_flow: 0,
+        }
+    }
+
+    /// Instantaneous arrival rate λ(t).
+    pub fn rate_at(&self, t_s: f64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * t_s / self.opts.diurnal_period_s;
+        self.opts.base_rate_per_s * (1.0 + self.opts.diurnal_amplitude * phase.sin())
+    }
+
+    /// Exponential draw with the given mean (inverse-CDF sampling).
+    fn exponential(&mut self, mean_s: f64) -> f64 {
+        // random_f64 ∈ [0, 1); 1-u ∈ (0, 1] keeps ln() finite.
+        -(1.0 - self.rng.random_f64()).ln() * mean_s
+    }
+}
+
+impl Iterator for OpenLoopWorkload {
+    type Item = FlowEvent;
+
+    /// Next arrival by Lewis–Shedler thinning: candidate gaps are drawn
+    /// at the peak rate λ_max and each candidate is accepted with
+    /// probability λ(t)/λ_max, which realises the non-homogeneous
+    /// Poisson process exactly.
+    fn next(&mut self) -> Option<FlowEvent> {
+        let lambda_max = self.opts.base_rate_per_s * (1.0 + self.opts.diurnal_amplitude);
+        loop {
+            self.t_s += self.exponential(1.0 / lambda_max);
+            let accept = self.rng.random_f64() < self.rate_at(self.t_s) / lambda_max;
+            if !accept {
+                continue;
+            }
+            let churn = self.rng.random_f64() < self.opts.churn_fraction;
+            let mean = if churn {
+                self.opts.short_hold_mean_s
+            } else {
+                self.opts.long_hold_mean_s
+            };
+            let hold_s = self.exponential(mean);
+            let flow = self.next_flow;
+            self.next_flow += 1;
+            return Some(FlowEvent {
+                at_s: self.t_s,
+                flow,
+                hold_s,
+                churn,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> WorkloadOptions {
+        WorkloadOptions {
+            seed: 11,
+            base_rate_per_s: 1000.0,
+            diurnal_amplitude: 0.4,
+            diurnal_period_s: 600.0,
+            churn_fraction: 0.25,
+            short_hold_mean_s: 2.0,
+            long_hold_mean_s: 1e6,
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a: Vec<FlowEvent> = OpenLoopWorkload::new(opts()).take(500).collect();
+        let b: Vec<FlowEvent> = OpenLoopWorkload::new(opts()).take(500).collect();
+        assert_eq!(a, b);
+        let c: Vec<FlowEvent> = OpenLoopWorkload::new(WorkloadOptions { seed: 12, ..opts() })
+            .take(500)
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_rate_is_plausible() {
+        let events: Vec<FlowEvent> = OpenLoopWorkload::new(opts()).take(20_000).collect();
+        for w in events.windows(2) {
+            assert!(w[1].at_s >= w[0].at_s, "arrivals out of order");
+            assert_eq!(w[1].flow, w[0].flow + 1);
+        }
+        // 20k arrivals at ~1000/s should span roughly 20 virtual
+        // seconds; allow a generous band for the diurnal modulation.
+        let span = events.last().unwrap().at_s;
+        assert!(
+            (10.0..40.0).contains(&span),
+            "20k arrivals at 1000/s spanned {span}s"
+        );
+    }
+
+    #[test]
+    fn churn_fraction_and_holds_match_the_classes() {
+        let events: Vec<FlowEvent> = OpenLoopWorkload::new(opts()).take(20_000).collect();
+        let churn = events.iter().filter(|e| e.churn).count();
+        let frac = churn as f64 / events.len() as f64;
+        assert!((0.2..0.3).contains(&frac), "churn fraction {frac}");
+        let mean_short: f64 = events
+            .iter()
+            .filter(|e| e.churn)
+            .map(|e| e.hold_s)
+            .sum::<f64>()
+            / churn as f64;
+        assert!(
+            (1.5..2.5).contains(&mean_short),
+            "short-hold mean {mean_short}"
+        );
+        // Long holds dwarf the run horizon.
+        assert!(events.iter().filter(|e| !e.churn).all(|e| e.hold_s > 0.0));
+    }
+
+    #[test]
+    fn diurnal_rate_peaks_a_quarter_period_in() {
+        let w = OpenLoopWorkload::new(opts());
+        let peak = w.rate_at(150.0); // sin(π/2) = 1
+        let trough = w.rate_at(450.0); // sin(3π/2) = -1
+        assert!((peak - 1400.0).abs() < 1e-6);
+        assert!((trough - 600.0).abs() < 1e-6);
+    }
+}

@@ -10,8 +10,8 @@
 //! here to the data plane of `qos-net` (FIG4).
 
 use crate::envelope::SignedRar;
-use crate::messages::{DirectRequest, SignalMessage};
-use crate::node::{BbNode, Completion};
+use crate::messages::{DenialCode, DirectRequest, SignalMessage};
+use crate::node::{BbNode, Completion, PeerId};
 use crate::rar::RarId;
 use qos_crypto::{Certificate, DistinguishedName, Timestamp};
 use qos_net::des::Scheduler;
@@ -404,7 +404,7 @@ impl Mesh {
                                 tunnel,
                                 flow,
                                 accepted: false,
-                                reason: e.to_string(),
+                                reason: DenialCode::Other(e.to_string().into()),
                             },
                         )),
                     }
@@ -414,7 +414,7 @@ impl Mesh {
         processed
     }
 
-    fn after_dispatch(&mut self, domain: &str, out: Vec<(String, SignalMessage)>) {
+    fn after_dispatch(&mut self, domain: &str, out: Vec<(PeerId, SignalMessage)>) {
         let now = self.sched.now();
         // Collect completions and edge commands from the node.
         let (completions, cmds) = {
@@ -435,7 +435,7 @@ impl Mesh {
                 self.processing_delay + lat,
                 MeshEvent::Deliver {
                     from: domain.to_string(),
-                    to,
+                    to: to.to_string(),
                     msg,
                 },
             );

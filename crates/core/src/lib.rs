@@ -37,6 +37,7 @@ pub mod channel;
 pub mod drive;
 pub mod envelope;
 pub mod error;
+pub mod flowtable;
 pub mod messages;
 pub mod node;
 pub mod parallel;
@@ -88,8 +89,9 @@ pub fn install_verify_cache_telemetry(telemetry: &qos_telemetry::Telemetry) {
 pub use drive::Mesh;
 pub use envelope::{RarLayer, SignedRar};
 pub use error::CoreError;
-pub use messages::{Approval, Denial, SignalMessage};
-pub use node::{BbConfig, BbNode, Completion, EdgeBinding, NodeCounters, RecoveredTickets};
+pub use flowtable::{FlowTable, TimerWheel};
+pub use messages::{Approval, Denial, DenialCode, SignalMessage};
+pub use node::{BbConfig, BbNode, Completion, EdgeBinding, NodeCounters, PeerId, RecoveredTickets};
 pub use rar::{RarId, ResSpec};
 pub use runtime::ActorMesh;
 pub use shard::{shard_of, ShardMsg, ShardSink, ShardedNode};

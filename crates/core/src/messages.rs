@@ -243,10 +243,88 @@ impl TunnelFlowRequest {
 
     /// Verify under the source BB's key.
     pub fn verify(&self, pk: PublicKey) -> bool {
-        pk.verify(
-            &Self::payload(self.tunnel, self.flow, self.rate_bps, &self.requestor),
-            &self.signature,
-        )
+        pk.verify(&self.signed_payload(), &self.signature)
+    }
+
+    /// The canonical bytes [`Self::signature`] covers — what a batched
+    /// verifier ([`qos_crypto::verify_batch`]) feeds the combined
+    /// Schnorr equation.
+    pub fn signed_payload(&self) -> Vec<u8> {
+        Self::payload(self.tunnel, self.flow, self.rate_bps, &self.requestor)
+    }
+}
+
+/// Why a tunnel sub-flow request was refused. The fast path emits these
+/// as static codes — no `format!` per denial, nothing heap-allocated on
+/// the reply hot path. On the wire a code travels as the same
+/// length-prefixed string the old free-text `reason` field used, so the
+/// frame layout is unchanged; `Other` round-trips any string an older
+/// peer might still send.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum DenialCode {
+    /// Accepted — no denial (encodes as the empty string, exactly what
+    /// the old path put in `reason` on acceptance).
+    #[default]
+    None,
+    /// The destination has no such tunnel.
+    UnknownTunnel,
+    /// The request's source-BB signature did not verify.
+    BadSignature,
+    /// The destination's aggregate budget is exhausted.
+    Exhausted,
+    /// The source's aggregate budget (committed + in-flight) is
+    /// exhausted.
+    SourceExhausted,
+    /// The per-flow rate exceeds what a compact flow record can carry
+    /// ([`crate::flowtable::MAX_FLOW_RATE_BPS`]).
+    RateOverCap,
+    /// Free-text reason from a peer speaking the pre-code dialect.
+    Other(Box<str>),
+}
+
+impl DenialCode {
+    /// The stable wire string for this code.
+    pub fn as_str(&self) -> &str {
+        match self {
+            DenialCode::None => "",
+            DenialCode::UnknownTunnel => "unknown-tunnel",
+            DenialCode::BadSignature => "bad-signature",
+            DenialCode::Exhausted => "exhausted",
+            DenialCode::SourceExhausted => "source-exhausted",
+            DenialCode::RateOverCap => "rate-over-cap",
+            DenialCode::Other(s) => s,
+        }
+    }
+
+    /// Parse a wire string back into a code (unknown text → `Other`).
+    pub fn from_wire(s: &str) -> Self {
+        match s {
+            "" => DenialCode::None,
+            "unknown-tunnel" => DenialCode::UnknownTunnel,
+            "bad-signature" => DenialCode::BadSignature,
+            "exhausted" => DenialCode::Exhausted,
+            "source-exhausted" => DenialCode::SourceExhausted,
+            "rate-over-cap" => DenialCode::RateOverCap,
+            other => DenialCode::Other(other.into()),
+        }
+    }
+}
+
+impl std::fmt::Display for DenialCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl qos_wire::Encode for DenialCode {
+    fn encode(&self, w: &mut qos_wire::Writer) {
+        w.put_str(self.as_str());
+    }
+}
+
+impl qos_wire::Decode for DenialCode {
+    fn decode(r: &mut qos_wire::Reader<'_>) -> Result<Self, qos_wire::WireError> {
+        Ok(Self::from_wire(&r.get_str()?))
     }
 }
 
@@ -259,8 +337,8 @@ pub struct TunnelFlowReply {
     pub flow: u64,
     /// Whether the destination accepted.
     pub accepted: bool,
-    /// Reason on rejection.
-    pub reason: String,
+    /// Denial code on rejection ([`DenialCode::None`] on acceptance).
+    pub reason: DenialCode,
 }
 
 qos_wire::impl_wire_struct!(TunnelFlowReply {

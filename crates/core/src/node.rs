@@ -17,9 +17,10 @@
 use crate::audit::{AuditEvent, AuditLog};
 use crate::envelope::{RarLayer, SignedRar};
 use crate::error::CoreError;
+use crate::flowtable::{FlowTable, TimerWheel, EXPIRY_NEVER, MAX_FLOW_RATE_BPS};
 use crate::messages::{
-    Approval, Denial, DirectReply, DirectRequest, Release, SignalMessage, TunnelFlowRelease,
-    TunnelFlowReply, TunnelFlowRequest,
+    Approval, Denial, DenialCode, DirectReply, DirectRequest, Release, SignalMessage,
+    TunnelFlowRelease, TunnelFlowReply, TunnelFlowRequest,
 };
 use crate::rar::RarId;
 use crate::trust::{verify_rar, KeySource, VerifiedRar};
@@ -40,6 +41,12 @@ use qos_telemetry::{
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// An interned peer/domain address on broker outputs. Reply addresses
+/// on the tunnel fast path are reference-counted clones of the domain
+/// name learned at reservation time — no per-reply `String` allocation
+/// (DESIGN.md §D14).
+pub type PeerId = Arc<str>;
 
 /// Binding from this domain's broker to its data plane.
 #[derive(Debug, Clone, Default)]
@@ -70,8 +77,8 @@ pub enum Completion {
         flow: u64,
         /// Accepted by the destination?
         accepted: bool,
-        /// Reason on rejection.
-        reason: String,
+        /// Denial code on rejection ([`DenialCode::None`] on success).
+        reason: DenialCode,
     },
 }
 
@@ -141,6 +148,12 @@ struct NodeInstruments {
     completions_ok: Counter,
     completions_denied: Counter,
     audit_dropped: Gauge,
+    /// Tunnel fast path (DESIGN.md §D14): per-sub-flow admission time at
+    /// the destination, held-record occupancy across both tunnel ends,
+    /// and expiry-wheel sweeps.
+    flow_admit_ns: Histogram,
+    flow_table_occupancy: Gauge,
+    flow_expiry_sweeps: Counter,
 }
 
 struct Pending {
@@ -154,21 +167,35 @@ struct Pending {
     trace: TraceId,
 }
 
+/// Source end of an established tunnel. Per-flow state lives in compact
+/// [`FlowTable`]s (16 B records, no per-flow heap allocation) and the
+/// in-flight sum is a counter maintained incrementally — admission never
+/// iterates flows (the pre-§D14 path summed a `HashMap` per request).
 struct TunnelSrc {
-    dest_domain: String,
+    dest_domain: PeerId,
     dest_pk: PublicKey,
     aggregate_bps: u64,
     allocated_bps: u64,
+    /// Sum of rates awaiting a destination reply (≡ `pending_flows`
+    /// rate sum at all times).
+    pending_bps: u64,
     interval: Interval,
-    pending_flows: HashMap<u64, u64>, // flow -> rate awaiting reply
+    /// Flows awaiting the destination's reply; `expiry` carries the
+    /// requested hold tick ([`EXPIRY_NEVER`] = explicit release only).
+    pending_flows: FlowTable,
+    /// Accepted flows, so hold expiry and teardown know the rate to
+    /// return without the caller restating it.
+    held_flows: FlowTable,
 }
 
+/// Destination end of an established tunnel.
 struct TunnelDst {
     source_pk: PublicKey,
-    source_domain: String,
+    source_domain: PeerId,
     aggregate_bps: u64,
     allocated_bps: u64,
-    flows: HashMap<u64, u64>, // flow -> admitted rate
+    /// Admitted sub-flows (rate per flow id).
+    flows: FlowTable,
 }
 
 /// Per-domain broker configuration.
@@ -236,6 +263,11 @@ pub struct BbNode {
     direct_users: HashMap<DistinguishedName, PublicKey>,
     tunnels_src: HashMap<RarId, TunnelSrc>,
     tunnels_dst: HashMap<RarId, TunnelDst>,
+    /// Hold-expiry wheel over source-side held sub-flows (ticks are
+    /// seconds of broker wall clock). Entries are `(tunnel, flow)`;
+    /// cancellation is lazy — a fired entry whose flow is gone or whose
+    /// hold was extended is skipped against `held_flows`.
+    flow_expiry: TimerWheel<(RarId, u64)>,
     counters: CounterCells,
     audit: AuditLog,
     telemetry: Telemetry,
@@ -302,6 +334,7 @@ impl BbNode {
             direct_users: HashMap::new(),
             tunnels_src: HashMap::new(),
             tunnels_dst: HashMap::new(),
+            flow_expiry: TimerWheel::new(),
             counters: CounterCells::default(),
             audit,
             telemetry: Telemetry::disabled(),
@@ -501,6 +534,21 @@ impl BbNode {
                 audit_dropped: telemetry.gauge(
                     "bb_audit_dropped_events",
                     "Audit events evicted by the capacity bound",
+                    dl,
+                ),
+                flow_admit_ns: telemetry.histogram(
+                    "flow_admit_ns",
+                    "Tunnel sub-flow admission time at the destination (ns)",
+                    dl,
+                ),
+                flow_table_occupancy: telemetry.gauge(
+                    "flow_table_occupancy",
+                    "Held tunnel sub-flow records (source holds + destination admits)",
+                    dl,
+                ),
+                flow_expiry_sweeps: telemetry.counter(
+                    "flow_expiry_sweeps_total",
+                    "Hold-expiry wheel sweeps",
                     dl,
                 ),
             };
@@ -756,7 +804,7 @@ impl BbNode {
     pub fn tunnel_info(&self, tunnel: RarId) -> Option<(String, PublicKey, Interval, u64, u64)> {
         self.tunnels_src.get(&tunnel).map(|t| {
             (
-                t.dest_domain.clone(),
+                t.dest_domain.to_string(),
                 t.dest_pk,
                 t.interval,
                 t.aggregate_bps,
@@ -775,7 +823,7 @@ impl BbNode {
         &mut self,
         rar_u: SignedRar,
         user_cert: &Certificate,
-    ) -> Vec<(String, SignalMessage)> {
+    ) -> Vec<(PeerId, SignalMessage)> {
         self.submit_checked(rar_u, user_cert, false)
     }
 
@@ -790,7 +838,7 @@ impl BbNode {
     pub fn submit_batch(
         &mut self,
         batch: Vec<(SignedRar, Certificate)>,
-    ) -> Vec<(String, SignalMessage)> {
+    ) -> Vec<(PeerId, SignalMessage)> {
         if batch.len() < 2 {
             return batch
                 .into_iter()
@@ -841,7 +889,7 @@ impl BbNode {
         rar_u: SignedRar,
         user_cert: &Certificate,
         pre_verified: bool,
-    ) -> Vec<(String, SignalMessage)> {
+    ) -> Vec<(PeerId, SignalMessage)> {
         self.counters.add_rx(1);
         let spec = rar_u.res_spec();
         let rar_id = spec.rar_id;
@@ -865,7 +913,7 @@ impl BbNode {
                 };
                 self.span_at(trace, rar_id, SpanKind::Submit, "user request", t_sub, end);
                 for (peer, _) in &out {
-                    let peer = peer.clone();
+                    let peer = peer.to_string();
                     self.span_at(trace, rar_id, SpanKind::Forward, peer, end, end);
                 }
                 out
@@ -920,7 +968,7 @@ impl BbNode {
         user_cert: &Certificate,
         trace: TraceId,
         pre_verified: bool,
-    ) -> Result<Vec<(String, SignalMessage)>, CoreError> {
+    ) -> Result<Vec<(PeerId, SignalMessage)>, CoreError> {
         let spec = rar_u.res_spec().clone();
         let rar_id = spec.rar_id;
 
@@ -1033,7 +1081,7 @@ impl BbNode {
                 }
                 self.counters.add_signed(1);
                 self.counters.add_tx(1);
-                Ok(vec![(next, SignalMessage::Request(wrapped))])
+                Ok(vec![(next.into(), SignalMessage::Request(wrapped))])
             }
         }
     }
@@ -1044,7 +1092,7 @@ impl BbNode {
 
     /// Handle a message from peer `from` (already authenticated by the
     /// channel layer). Returns the messages to transmit.
-    pub fn recv(&mut self, from: &str, msg: SignalMessage) -> Vec<(String, SignalMessage)> {
+    pub fn recv(&mut self, from: &str, msg: SignalMessage) -> Vec<(PeerId, SignalMessage)> {
         self.counters.add_rx(1);
         let out = match msg {
             SignalMessage::Request(rar) => self.on_request(from, rar),
@@ -1065,30 +1113,50 @@ impl BbNode {
     /// per-flow admission inside an established aggregate, §7).
     ///
     /// Each request is signed by its tunnel's source BB, and the
-    /// signatures are over unrelated bytes — so they are checked
-    /// concurrently on the scoped worker pool before admission runs
+    /// signatures are over unrelated bytes — so the whole burst goes
+    /// through one Schnorr batch equation ([`qos_crypto::verify_batch`],
+    /// ~µs-amortized per signature) with per-item fallback for
+    /// attribution, like [`Self::recv_requests`]. Admission then runs
     /// serially against the shared aggregate budgets. Drivers that see
     /// several `TunnelFlow` messages queued (e.g. the actor runtime's
     /// mailbox) should prefer this over per-message [`Self::recv`].
     pub fn recv_tunnel_flows(
         &mut self,
         batch: Vec<(String, TunnelFlowRequest)>,
-    ) -> Vec<(String, SignalMessage)> {
+    ) -> Vec<(PeerId, SignalMessage)> {
         self.counters.add_rx(batch.len() as u64);
         // Resolve each request's pinned source-BB key first (cheap map
-        // lookups); the expensive signature checks then fan out.
-        let jobs: Vec<(Option<PublicKey>, &TunnelFlowRequest)> = batch
+        // lookups); unknown tunnels skip the batch and take the
+        // unknown-tunnel denial in `admit_tunnel_flow`.
+        let payloads: Vec<Option<(Vec<u8>, PublicKey, qos_crypto::Signature)>> = batch
             .iter()
             .map(|(_, req)| {
-                let pk = self.tunnels_dst.get(&req.tunnel).map(|t| t.source_pk);
-                (pk, req)
+                self.tunnels_dst
+                    .get(&req.tunnel)
+                    .map(|t| (req.signed_payload(), t.source_pk, req.signature))
             })
             .collect();
-        let verdicts =
-            crate::parallel::parallel_map(&jobs, |(pk, req)| pk.is_some_and(|pk| req.verify(pk)));
+        let jobs: Vec<(&[u8], PublicKey, qos_crypto::Signature)> = payloads
+            .iter()
+            .flatten()
+            .map(|(bytes, pk, sig)| (bytes.as_slice(), *pk, *sig))
+            .collect();
+        // Plain (uncached) batch equation: sub-flow signatures are
+        // one-shot — a distinct payload per flow — so the verdict cache
+        // would only add a digest + insertion per flow and evict entries
+        // that actually repeat (SLA envelopes).
+        let verdicts = if qos_crypto::verify_batch(&jobs) {
+            vec![true; jobs.len()]
+        } else {
+            crate::parallel::verify_each(&jobs)
+        };
         drop(jobs);
+        let known: Vec<bool> = payloads.iter().map(Option::is_some).collect();
+        drop(payloads);
+        let mut verdicts = verdicts.into_iter();
         let mut out = Vec::with_capacity(batch.len());
-        for ((from, req), ok) in batch.into_iter().zip(verdicts) {
+        for ((from, req), known) in batch.into_iter().zip(known) {
+            let ok = known && verdicts.next().unwrap_or(false);
             out.extend(self.admit_tunnel_flow(&from, req, ok));
         }
         self.counters.add_tx(out.len() as u64);
@@ -1105,7 +1173,7 @@ impl BbNode {
     pub fn recv_requests(
         &mut self,
         batch: Vec<(String, SignedRar)>,
-    ) -> Vec<(String, SignalMessage)> {
+    ) -> Vec<(PeerId, SignalMessage)> {
         if batch.len() < 2 {
             return batch
                 .into_iter()
@@ -1141,7 +1209,7 @@ impl BbNode {
         out
     }
 
-    fn on_request(&mut self, from: &str, rar: SignedRar) -> Vec<(String, SignalMessage)> {
+    fn on_request(&mut self, from: &str, rar: SignedRar) -> Vec<(PeerId, SignalMessage)> {
         self.on_request_checked(from, rar, false)
     }
 
@@ -1150,7 +1218,7 @@ impl BbNode {
         from: &str,
         rar: SignedRar,
         pre_verified: bool,
-    ) -> Vec<(String, SignalMessage)> {
+    ) -> Vec<(PeerId, SignalMessage)> {
         let rar_id = rar.res_spec().rar_id;
         match self.process_request(from, rar, pre_verified) {
             Ok(out) => out,
@@ -1171,7 +1239,7 @@ impl BbNode {
                         reason: other.to_string(),
                     },
                 };
-                vec![(from.to_string(), SignalMessage::Deny(denial))]
+                vec![(PeerId::from(from), SignalMessage::Deny(denial))]
             }
         }
     }
@@ -1181,7 +1249,7 @@ impl BbNode {
         from: &str,
         rar: SignedRar,
         pre_verified: bool,
-    ) -> Result<Vec<(String, SignalMessage)>, CoreError> {
+    ) -> Result<Vec<(PeerId, SignalMessage)>, CoreError> {
         // Re-derive the trace minted at the source edge: the spec's
         // signed fields are the same at every hop.
         let spec0 = rar.res_spec();
@@ -1236,7 +1304,7 @@ impl BbNode {
         spec: crate::rar::ResSpec,
         rar_id: RarId,
         trace: TraceId,
-    ) -> Result<Vec<(String, SignalMessage)>, CoreError> {
+    ) -> Result<Vec<(PeerId, SignalMessage)>, CoreError> {
         // SLA conformance + local policy. Transit domains check the
         // traffic profile against the SLA (the admission tables) and may
         // evaluate local policy over the accumulated information.
@@ -1287,7 +1355,7 @@ impl BbNode {
             self.span_at(trace, rar_id, SpanKind::Forward, next.clone(), end, end);
         }
         self.counters.add_signed(1);
-        Ok(vec![(next, SignalMessage::Request(wrapped))])
+        Ok(vec![(next.into(), SignalMessage::Request(wrapped))])
     }
 
     /// §6.3 destination domain.
@@ -1297,7 +1365,7 @@ impl BbNode {
         rar: SignedRar,
         peer_pk: PublicKey,
         trace: TraceId,
-    ) -> Result<Vec<(String, SignalMessage)>, CoreError> {
+    ) -> Result<Vec<(PeerId, SignalMessage)>, CoreError> {
         // Full transitive-trust verification of the nested envelope.
         let (timing, t_verify) = self.t0();
         let verified: VerifiedRar = verify_rar(
@@ -1393,16 +1461,16 @@ impl BbNode {
                 rar_id,
                 TunnelDst {
                     source_pk,
-                    source_domain: spec.source_domain.clone(),
+                    source_domain: spec.source_domain.as_str().into(),
                     aggregate_bps: spec.rate_bps,
                     allocated_bps: 0,
-                    flows: HashMap::new(),
+                    flows: FlowTable::new(),
                 },
             );
         }
 
         let approval = self.finalize_destination_approval(rar_id, attachments, trace);
-        Ok(vec![(from.to_string(), SignalMessage::Approve(approval))])
+        Ok(vec![(PeerId::from(from), SignalMessage::Approve(approval))])
     }
 
     /// Commit the destination's hold, emit edge config, sign the
@@ -1439,7 +1507,7 @@ impl BbNode {
         approval
     }
 
-    fn on_approve(&mut self, _from: &str, approval: Approval) -> Vec<(String, SignalMessage)> {
+    fn on_approve(&mut self, _from: &str, approval: Approval) -> Vec<(PeerId, SignalMessage)> {
         let rar_id = approval.rar_id;
         let Some(pending) = self.pending.get(&rar_id) else {
             return Vec::new(); // stale or duplicate
@@ -1493,7 +1561,7 @@ impl BbNode {
             );
         }
         match upstream {
-            Some(peer) => vec![(peer, SignalMessage::Approve(approval))],
+            Some(peer) => vec![(peer.into(), SignalMessage::Approve(approval))],
             None => {
                 // Source domain: the end-to-end reservation stands.
                 let (_, t_done) = self.t0();
@@ -1575,13 +1643,16 @@ impl BbNode {
                             dest_domain: approval
                                 .entries
                                 .first()
-                                .map(|e| e.domain.clone())
-                                .unwrap_or_default(),
+                                .map(|e| e.domain.as_str())
+                                .unwrap_or_default()
+                                .into(),
                             dest_pk: approval.dest_cert.tbs.subject_public_key,
                             aggregate_bps: p.rate_bps,
                             allocated_bps: 0,
+                            pending_bps: 0,
                             interval: p.interval,
-                            pending_flows: HashMap::new(),
+                            pending_flows: FlowTable::new(),
+                            held_flows: FlowTable::new(),
                         },
                     );
                 }
@@ -1591,7 +1662,7 @@ impl BbNode {
             .push(Completion::Reservation { rar_id, result });
     }
 
-    fn on_deny(&mut self, _from: &str, denial: Denial) -> Vec<(String, SignalMessage)> {
+    fn on_deny(&mut self, _from: &str, denial: Denial) -> Vec<(PeerId, SignalMessage)> {
         let rar_id = denial.rar_id;
         let Some(pending) = self.pending.remove(&rar_id) else {
             return Vec::new();
@@ -1608,7 +1679,7 @@ impl BbNode {
         // Roll back the two-phase hold.
         let _ = self.core.release(rar_id_to_reservation(rar_id));
         match pending.upstream {
-            Some(peer) => vec![(peer, SignalMessage::Deny(denial))],
+            Some(peer) => vec![(peer.into(), SignalMessage::Deny(denial))],
             None => {
                 self.instruments.completions_denied.inc();
                 self.completions.push(Completion::Reservation {
@@ -1652,7 +1723,7 @@ impl BbNode {
     pub fn initiate_release(
         &mut self,
         rar_id: RarId,
-    ) -> Result<Vec<(String, SignalMessage)>, CoreError> {
+    ) -> Result<Vec<(PeerId, SignalMessage)>, CoreError> {
         let pending = self
             .pending
             .get(&rar_id)
@@ -1665,7 +1736,7 @@ impl BbNode {
         Ok(self.release_locally_and_forward(rar_id, msg))
     }
 
-    fn on_release(&mut self, from: &str, release: Release) -> Vec<(String, SignalMessage)> {
+    fn on_release(&mut self, from: &str, release: Release) -> Vec<(PeerId, SignalMessage)> {
         // Only accept teardowns arriving from the upstream peer that the
         // reservation actually came through (the authenticated channel
         // vouches for `from`; the signature ties the message to the
@@ -1683,7 +1754,7 @@ impl BbNode {
         &mut self,
         rar_id: RarId,
         msg: Release,
-    ) -> Vec<(String, SignalMessage)> {
+    ) -> Vec<(PeerId, SignalMessage)> {
         let Some(pending) = self.pending.remove(&rar_id) else {
             return Vec::new();
         };
@@ -1692,6 +1763,17 @@ impl BbNode {
         self.span_at(pending.trace, rar_id, SpanKind::Release, "", t_rel, t_rel);
         self.audit_event(AuditEvent::Released { rar_id });
         let _ = self.core.release(rar_id_to_reservation(rar_id));
+        // A torn-down tunnel takes its per-flow state with it (the
+        // pre-§D14 path leaked both maps forever). Wheel entries for the
+        // source side go stale and are skipped on fire.
+        if let Some(t) = self.tunnels_src.remove(&rar_id) {
+            let held = t.held_flows.len() as i64;
+            self.instruments.flow_table_occupancy.add(-held);
+        }
+        if let Some(t) = self.tunnels_dst.remove(&rar_id) {
+            let held = t.flows.len() as i64;
+            self.instruments.flow_table_occupancy.add(-held);
+        }
         // Undo the edge configuration this reservation installed.
         if pending.upstream.is_none() && !pending.tunnel {
             if let Some(router) = self.edge.first_router {
@@ -1719,7 +1801,7 @@ impl BbNode {
             }
         }
         match &pending.segment.egress_peer {
-            Some(next) => vec![(next.clone(), SignalMessage::Release(msg))],
+            Some(next) => vec![(next.as_str().into(), SignalMessage::Release(msg))],
             None => Vec::new(),
         }
     }
@@ -1728,11 +1810,11 @@ impl BbNode {
     // Approach 1: source-domain-based signalling
     // ------------------------------------------------------------------
 
-    fn on_direct(&mut self, req: DirectRequest) -> Vec<(String, SignalMessage)> {
+    fn on_direct(&mut self, req: DirectRequest) -> Vec<(PeerId, SignalMessage)> {
         let spec = req.rar.res_spec().clone();
         let rar_id = spec.rar_id;
         let my_domain = self.domain.clone();
-        let reply_to = format!("user:{}", spec.source_domain);
+        let reply_to = PeerId::from(format!("user:{}", spec.source_domain));
         let reply = move |accepted: bool, reason: String| {
             vec![(
                 reply_to,
@@ -1808,20 +1890,56 @@ impl BbNode {
         flow: u64,
         rate_bps: u64,
         requestor: DistinguishedName,
-    ) -> Result<Vec<(String, SignalMessage)>, CoreError> {
+    ) -> Result<Vec<(PeerId, SignalMessage)>, CoreError> {
+        self.request_tunnel_flow_held(tunnel, flow, rate_bps, None, requestor)
+            .map_err(|code| match code {
+                DenialCode::UnknownTunnel => {
+                    CoreError::Tunnel(format!("unknown tunnel {tunnel:?}"))
+                }
+                _ => {
+                    let (used, agg) = self
+                        .tunnels_src
+                        .get(&tunnel)
+                        .map(|t| (t.allocated_bps + t.pending_bps, t.aggregate_bps))
+                        .unwrap_or_default();
+                    CoreError::Tunnel(format!(
+                        "tunnel {tunnel:?} exhausted: {used} of {agg} bps allocated"
+                    ))
+                }
+            })
+    }
+
+    /// [`Self::request_tunnel_flow`] with an optional hold: when
+    /// `hold_until` is set, the flow — if the destination accepts it —
+    /// is torn down automatically once [`Self::expire_tunnel_flows`]
+    /// passes that time, exactly as if [`Self::release_tunnel_flow`] had
+    /// been invoked. Denials come back as static [`DenialCode`]s — no
+    /// error-string formatting on the fast path.
+    pub fn request_tunnel_flow_held(
+        &mut self,
+        tunnel: RarId,
+        flow: u64,
+        rate_bps: u64,
+        hold_until: Option<Timestamp>,
+        requestor: DistinguishedName,
+    ) -> Result<Vec<(PeerId, SignalMessage)>, DenialCode> {
         let t = self
             .tunnels_src
             .get_mut(&tunnel)
-            .ok_or_else(|| CoreError::Tunnel(format!("unknown tunnel {tunnel:?}")))?;
-        let in_flight: u64 = t.pending_flows.values().sum();
-        if t.allocated_bps + in_flight + rate_bps > t.aggregate_bps {
-            return Err(CoreError::Tunnel(format!(
-                "tunnel {tunnel:?} exhausted: {} of {} bps allocated",
-                t.allocated_bps + in_flight,
-                t.aggregate_bps
-            )));
+            .ok_or(DenialCode::UnknownTunnel)?;
+        if t.allocated_bps + t.pending_bps + rate_bps > t.aggregate_bps {
+            return Err(DenialCode::SourceExhausted);
         }
-        t.pending_flows.insert(flow, rate_bps);
+        if rate_bps > MAX_FLOW_RATE_BPS {
+            return Err(DenialCode::RateOverCap);
+        }
+        let expiry = hold_until
+            .map(|ts| ts.0.min(u64::from(EXPIRY_NEVER - 1)) as u32)
+            .unwrap_or(EXPIRY_NEVER);
+        if let Some(old) = t.pending_flows.insert(flow, rate_bps as u32, expiry) {
+            t.pending_bps -= u64::from(old);
+        }
+        t.pending_bps += rate_bps;
         let dest = t.dest_domain.clone();
         let msg = TunnelFlowRequest::new(tunnel, flow, rate_bps, requestor, &self.key);
         self.counters.add_signed(1);
@@ -1833,7 +1951,7 @@ impl BbNode {
         &mut self,
         from: &str,
         req: TunnelFlowRequest,
-    ) -> Vec<(String, SignalMessage)> {
+    ) -> Vec<(PeerId, SignalMessage)> {
         // Authenticate the direct channel peer: the source BB's key was
         // learned through the introducer chain at reservation time.
         let signature_ok = self
@@ -1853,8 +1971,9 @@ impl BbNode {
         from: &str,
         req: TunnelFlowRequest,
         signature_ok: bool,
-    ) -> Vec<(String, SignalMessage)> {
-        let reply = |accepted: bool, reason: String, source: String| {
+    ) -> Vec<(PeerId, SignalMessage)> {
+        let (timing, t_start) = self.t0();
+        let reply = |accepted: bool, reason: DenialCode, source: PeerId| {
             vec![(
                 source,
                 SignalMessage::TunnelFlowReply(TunnelFlowReply {
@@ -1865,31 +1984,43 @@ impl BbNode {
                 }),
             )]
         };
-        let Some(t) = self.tunnels_dst.get_mut(&req.tunnel) else {
-            return reply(
-                false,
-                format!("unknown tunnel {:?}", req.tunnel),
-                from.to_string(),
-            );
+        let out = 'admit: {
+            let Some(t) = self.tunnels_dst.get_mut(&req.tunnel) else {
+                break 'admit reply(false, DenialCode::UnknownTunnel, PeerId::from(from));
+            };
+            // Interned at reservation time: the reply address is a
+            // refcount bump, not a String clone per sub-flow.
+            let source = t.source_domain.clone();
+            if !signature_ok {
+                break 'admit reply(false, DenialCode::BadSignature, source);
+            }
+            self.counters.add_verified(1);
+            if t.allocated_bps + req.rate_bps > t.aggregate_bps {
+                break 'admit reply(false, DenialCode::Exhausted, source);
+            }
+            if req.rate_bps > MAX_FLOW_RATE_BPS {
+                break 'admit reply(false, DenialCode::RateOverCap, source);
+            }
+            // Deliberate pre-§D14 quirk, kept for verdict equivalence: a
+            // duplicate admit replaces the record but still adds its full
+            // rate to the aggregate (the old `HashMap` path did exactly
+            // this).
+            t.allocated_bps += req.rate_bps;
+            if t.flows
+                .insert(req.flow, req.rate_bps as u32, EXPIRY_NEVER)
+                .is_none()
+            {
+                self.instruments.flow_table_occupancy.add(1);
+            }
+            reply(true, DenialCode::None, source)
         };
-        let source = t.source_domain.clone();
-        if !signature_ok {
-            return reply(false, "bad source-BB signature".into(), source);
+        if timing {
+            let end = self.clock.now_ns();
+            self.instruments
+                .flow_admit_ns
+                .observe(end.saturating_sub(t_start));
         }
-        self.counters.add_verified(1);
-        if t.allocated_bps + req.rate_bps > t.aggregate_bps {
-            return reply(
-                false,
-                format!(
-                    "tunnel exhausted at destination: {} of {} bps",
-                    t.allocated_bps, t.aggregate_bps
-                ),
-                source,
-            );
-        }
-        t.allocated_bps += req.rate_bps;
-        t.flows.insert(req.flow, req.rate_bps);
-        reply(true, String::new(), source)
+        out
     }
 
     /// Tear down one tunnel sub-flow (invoked at the source broker): the
@@ -1900,12 +2031,17 @@ impl BbNode {
         tunnel: RarId,
         flow: u64,
         rate_bps: u64,
-    ) -> Result<Vec<(String, SignalMessage)>, CoreError> {
+    ) -> Result<Vec<(PeerId, SignalMessage)>, CoreError> {
         let t = self
             .tunnels_src
             .get_mut(&tunnel)
             .ok_or_else(|| CoreError::Tunnel(format!("unknown tunnel {tunnel:?}")))?;
         t.allocated_bps = t.allocated_bps.saturating_sub(rate_bps);
+        if t.held_flows.remove(flow).is_some() {
+            // Any wheel entry for this flow is now stale; expiry skips it
+            // (lazy cancellation).
+            self.instruments.flow_table_occupancy.add(-1);
+        }
         let dest = t.dest_domain.clone();
         if let Some(router) = self.edge.first_router {
             self.edge_cmds.push(EdgeCommand::RemoveFlow {
@@ -1919,30 +2055,101 @@ impl BbNode {
         Ok(vec![(dest, SignalMessage::TunnelFlowRelease(msg))])
     }
 
-    fn on_tunnel_flow_release(&mut self, rel: TunnelFlowRelease) -> Vec<(String, SignalMessage)> {
+    /// Advance the hold-expiry wheel to `now` and tear down every
+    /// source-side held sub-flow whose hold has lapsed — aggregate
+    /// returned on both ends, per-flow classifier removed, signed
+    /// release sent to the destination, exactly as if
+    /// [`Self::release_tunnel_flow`] had been invoked. Cost is
+    /// O(ticks crossed + flows expired): the wheel never walks the
+    /// held-flow table. Drivers call this as wall time advances,
+    /// alongside [`Self::expire`].
+    pub fn expire_tunnel_flows(&mut self, now: Timestamp) -> Vec<(PeerId, SignalMessage)> {
+        let tick = now.0.min(u64::from(u32::MAX)) as u32;
+        if tick <= self.flow_expiry.now() {
+            return Vec::new();
+        }
+        self.instruments.flow_expiry_sweeps.inc();
+        let mut fired: Vec<(RarId, u64)> = Vec::new();
+        self.flow_expiry.advance(tick, |entry| fired.push(entry));
+        let mut out = Vec::with_capacity(fired.len());
+        for (tunnel, flow) in fired {
+            let Some(t) = self.tunnels_src.get_mut(&tunnel) else {
+                continue; // tunnel torn down since scheduling
+            };
+            let Some((rate, expiry)) = t.held_flows.get(flow) else {
+                continue; // released since scheduling
+            };
+            if expiry > tick {
+                continue; // re-admitted with a longer hold
+            }
+            t.held_flows.remove(flow);
+            t.allocated_bps = t.allocated_bps.saturating_sub(u64::from(rate));
+            self.instruments.flow_table_occupancy.add(-1);
+            if let Some(router) = self.edge.first_router {
+                self.edge_cmds.push(EdgeCommand::RemoveFlow {
+                    router,
+                    flow: FlowId(flow),
+                });
+            }
+            let msg = TunnelFlowRelease::new(tunnel, flow, &self.key);
+            self.counters.add_signed(1);
+            out.push((t.dest_domain.clone(), SignalMessage::TunnelFlowRelease(msg)));
+        }
+        self.counters.add_tx(out.len() as u64);
+        out
+    }
+
+    /// Held tunnel sub-flow state on this broker, as
+    /// `(records, resident_bytes)`: source-side pending + held flows,
+    /// destination-side admitted flows, and the expiry wheel's bucket
+    /// storage. EXP-T and EXP-M report exactly this accounting.
+    pub fn held_flow_stats(&self) -> (usize, usize) {
+        let mut records = 0usize;
+        let mut bytes = self.flow_expiry.resident_bytes();
+        for t in self.tunnels_src.values() {
+            records += t.pending_flows.len() + t.held_flows.len();
+            bytes += t.pending_flows.resident_bytes() + t.held_flows.resident_bytes();
+        }
+        for t in self.tunnels_dst.values() {
+            records += t.flows.len();
+            bytes += t.flows.resident_bytes();
+        }
+        (records, bytes)
+    }
+
+    fn on_tunnel_flow_release(&mut self, rel: TunnelFlowRelease) -> Vec<(PeerId, SignalMessage)> {
         if let Some(t) = self.tunnels_dst.get_mut(&rel.tunnel) {
             if rel.verify(t.source_pk) {
                 self.counters.add_verified(1);
-                if let Some(rate) = t.flows.remove(&rel.flow) {
-                    t.allocated_bps = t.allocated_bps.saturating_sub(rate);
+                if let Some((rate, _)) = t.flows.remove(rel.flow) {
+                    t.allocated_bps = t.allocated_bps.saturating_sub(u64::from(rate));
+                    self.instruments.flow_table_occupancy.add(-1);
                 }
             }
         }
         Vec::new()
     }
 
-    fn on_tunnel_flow_reply(&mut self, reply: TunnelFlowReply) -> Vec<(String, SignalMessage)> {
+    fn on_tunnel_flow_reply(&mut self, reply: TunnelFlowReply) -> Vec<(PeerId, SignalMessage)> {
         if let Some(t) = self.tunnels_src.get_mut(&reply.tunnel) {
-            if let Some(rate) = t.pending_flows.remove(&reply.flow) {
+            if let Some((rate, expiry)) = t.pending_flows.remove(reply.flow) {
+                t.pending_bps -= u64::from(rate);
                 if reply.accepted {
-                    t.allocated_bps += rate;
+                    t.allocated_bps += u64::from(rate);
+                    if t.held_flows.insert(reply.flow, rate, expiry).is_none() {
+                        self.instruments.flow_table_occupancy.add(1);
+                    }
+                    if expiry != EXPIRY_NEVER {
+                        self.flow_expiry
+                            .schedule(expiry, (reply.tunnel, reply.flow));
+                    }
                     // Per-flow classification at the source edge; transit
                     // policers were dimensioned by the aggregate already.
                     if let Some(router) = self.edge.first_router {
                         self.edge_cmds.push(EdgeCommand::InstallFlow {
                             router,
                             flow: FlowId(reply.flow),
-                            profile: TrafficProfile::with_default_burst(rate),
+                            profile: TrafficProfile::with_default_burst(u64::from(rate)),
                             excess: ExcessTreatment::Drop,
                         });
                     }
@@ -2288,6 +2495,7 @@ impl BbNode {
             direct_users: self.direct_users.clone(),
             tunnels_src: HashMap::new(),
             tunnels_dst: HashMap::new(),
+            flow_expiry: TimerWheel::new(),
             counters: self.counters.clone(),
             audit,
             telemetry: self.telemetry.clone(),

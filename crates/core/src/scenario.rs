@@ -18,6 +18,7 @@ use qos_crypto::{
 use qos_net::{Network, NodeId, SimDuration};
 use qos_policy::GroupServer;
 use qos_telemetry::Telemetry;
+use rand::{Rng, ThreadRng};
 use std::collections::HashMap;
 
 /// A permissive policy for domains whose admission is under test but
@@ -457,6 +458,349 @@ pub fn build_star(leaves: usize, opts: ChainOptions) -> Scenario {
     }
 }
 
+/// Options for [`build_as_graph`].
+pub struct AsGraphOptions {
+    /// Transit (backbone) domains, `transit-00`, `transit-01`, … (≥ 1).
+    pub transits: usize,
+    /// Stub (edge) domains, `stub-000`, `stub-001`, … (≥ 2).
+    pub stubs: usize,
+    /// Seed for every random draw — topology, SLA rates, capacities,
+    /// policy templates. The same seed always builds the same world.
+    pub seed: u64,
+    /// Fraction of stubs (0.0–1.0) that get a second, independent
+    /// transit uplink.
+    pub multihome_fraction: f64,
+    /// Baseline SLA rate: stub uplinks draw 1–4× this, transit trunks
+    /// 10–40×.
+    pub base_sla_rate_bps: u64,
+    /// Baseline local capacity: stubs draw 1–4× this, transits 8–16×.
+    pub local_capacity_bps: u64,
+    /// Capability communities to create, with the users granted each.
+    pub grants: Vec<(String, Vec<String>)>,
+    /// Users to create (Alice and David always exist).
+    pub extra_users: Vec<String>,
+    /// Trust-policy depth bound for all brokers.
+    pub trust_policy: TrustPolicy,
+    /// Metrics sink shared by all brokers (disabled by default).
+    pub telemetry: Telemetry,
+    /// Record per-RAR trace spans on every broker.
+    pub tracing: bool,
+    /// Enable the per-broker audit trail.
+    pub audit: bool,
+    /// Audit-trail eviction bound.
+    pub audit_capacity: usize,
+}
+
+impl Default for AsGraphOptions {
+    fn default() -> Self {
+        Self {
+            transits: 10,
+            stubs: 90,
+            seed: 0xA5_57AB,
+            multihome_fraction: 0.35,
+            base_sla_rate_bps: 200_000_000,
+            local_capacity_bps: 1_000_000_000,
+            grants: vec![("ESnet".to_string(), vec!["alice".to_string()])],
+            extra_users: vec![],
+            trust_policy: TrustPolicy::default(),
+            telemetry: Telemetry::disabled(),
+            tracing: false,
+            audit: false,
+            audit_capacity: 4096,
+        }
+    }
+}
+
+/// A seeded transit/stub AS graph: the scenario plus the structure the
+/// experiments need to pick tunnel endpoints and watch transit load.
+pub struct AsGraph {
+    /// The built world (domains list transits first, then stubs).
+    pub scenario: Scenario,
+    /// Transit domain names in index order.
+    pub transits: Vec<String>,
+    /// Stub domain names in index order.
+    pub stubs: Vec<String>,
+    /// Undirected peering edges `(a, b, sla_rate_bps)`; every edge is
+    /// installed as a both-direction SLA pair on both endpoints.
+    pub edges: Vec<(String, String, u64)>,
+}
+
+/// Build a seeded transit/stub AS graph: a preferential-attachment
+/// transit backbone, stubs homed (and fractionally multi-homed) onto it,
+/// heterogeneous per-edge SLA rates and per-domain capacities, a
+/// generated policy file per domain, and BFS shortest-path next-hop
+/// routes between every pair of domains.
+///
+/// Every generated policy grants `Network` reservations at or below
+/// 50 Mb/s regardless of template, so workloads that stay under that
+/// aggregate rate are policy-transparent; larger reservations exercise
+/// capability checks and time-of-day caps on a seeded subset of domains.
+pub fn build_as_graph(opts: AsGraphOptions) -> AsGraph {
+    assert!(opts.transits >= 1, "an AS graph needs at least one transit");
+    assert!(opts.stubs >= 2, "an AS graph needs at least two stubs");
+    let mut rng = ThreadRng::seed_from_u64(opts.seed);
+
+    let transits: Vec<String> = (0..opts.transits)
+        .map(|i| format!("transit-{i:02}"))
+        .collect();
+    let stubs: Vec<String> = (0..opts.stubs).map(|i| format!("stub-{i:03}")).collect();
+    let mut domains = transits.clone();
+    domains.extend(stubs.iter().cloned());
+    let n = domains.len();
+
+    // ---- Topology: undirected edges by domain index. -------------------
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut edges: Vec<(usize, usize, u64)> = Vec::new();
+    let add_edge = |adj: &mut Vec<Vec<usize>>,
+                    edges: &mut Vec<(usize, usize, u64)>,
+                    a: usize,
+                    b: usize,
+                    rate: u64| {
+        adj[a].push(b);
+        adj[b].push(a);
+        edges.push((a, b, rate));
+    };
+    let trunk_rate = |rng: &mut ThreadRng| opts.base_sla_rate_bps * (10 + rng.random_range(31));
+    let uplink_rate = |rng: &mut ThreadRng| opts.base_sla_rate_bps * (1 + rng.random_range(4));
+    // Pick one of the first `n` nodes proportionally to degree (+1 so
+    // isolated nodes stay reachable).
+    let weighted_pick = |adj: &[Vec<usize>], n: usize, rng: &mut ThreadRng| -> usize {
+        let total: u64 = adj[..n].iter().map(|l| l.len() as u64 + 1).sum();
+        let mut r = rng.random_range(total);
+        for (j, links) in adj[..n].iter().enumerate() {
+            let w = links.len() as u64 + 1;
+            if r < w {
+                return j;
+            }
+            r -= w;
+        }
+        n - 1
+    };
+
+    // Transit backbone: each new transit attaches to 1–2 existing ones,
+    // chosen proportionally to current degree (+1 so isolated transits
+    // stay reachable). Always connected by construction.
+    for i in 1..opts.transits {
+        let uplinks = (1 + rng.random_range(2) as usize).min(i);
+        let mut chosen: Vec<usize> = Vec::new();
+        while chosen.len() < uplinks {
+            let pick = weighted_pick(&adj, i, &mut rng);
+            if !chosen.contains(&pick) {
+                chosen.push(pick);
+                let rate = trunk_rate(&mut rng);
+                add_edge(&mut adj, &mut edges, i, pick, rate);
+            }
+        }
+    }
+
+    // Stubs: primary uplink chosen by transit degree; a seeded fraction
+    // gets a second, distinct uplink chosen uniformly.
+    for s in 0..opts.stubs {
+        let idx = opts.transits + s;
+        let primary = weighted_pick(&adj, opts.transits, &mut rng);
+        let rate = uplink_rate(&mut rng);
+        add_edge(&mut adj, &mut edges, idx, primary, rate);
+        if opts.transits > 1 && rng.random_f64() < opts.multihome_fraction {
+            let mut second = rng.random_range(opts.transits as u64) as usize;
+            if second == primary {
+                second = (second + 1) % opts.transits;
+            }
+            let rate = uplink_rate(&mut rng);
+            add_edge(&mut adj, &mut edges, idx, second, rate);
+        }
+    }
+
+    // ---- Identities. ---------------------------------------------------
+    let mut ca = CertificateAuthority::new(
+        DistinguishedName::authority("RootCA"),
+        KeyPair::from_seed(b"root-ca"),
+    );
+    let keys: Vec<KeyPair> = domains
+        .iter()
+        .map(|d| KeyPair::from_seed(format!("bb-{d}").as_bytes()))
+        .collect();
+    let certs: Vec<Certificate> = domains
+        .iter()
+        .zip(&keys)
+        .map(|(d, k)| {
+            ca.issue_identity(
+                DistinguishedName::broker(d),
+                k.public(),
+                Validity::unbounded(),
+            )
+        })
+        .collect();
+
+    let mut cas_keys = HashMap::new();
+    let mut cas_servers: HashMap<String, CommunityAuthorizationServer> = HashMap::new();
+    for (community, _) in &opts.grants {
+        let server = CommunityAuthorizationServer::new(
+            community,
+            KeyPair::from_seed(format!("cas-{community}").as_bytes()),
+        );
+        cas_keys.insert(community.clone(), server.public_key());
+        cas_servers.insert(community.clone(), server);
+    }
+    let mut user_names = vec!["alice".to_string(), "david".to_string()];
+    user_names.extend(opts.extra_users.iter().cloned());
+    let mut users = HashMap::new();
+    for name in &user_names {
+        let key = KeyPair::from_seed(format!("user-{name}").as_bytes());
+        let proxy = KeyPair::from_seed(format!("proxy-{name}").as_bytes());
+        let dn = DistinguishedName::user(&capitalize(name), "ANL");
+        let cert = ca.issue_identity(dn.clone(), key.public(), Validity::unbounded());
+        let mut capability = None;
+        for (community, granted) in &opts.grants {
+            if granted.contains(name) {
+                let server = cas_servers.get_mut(community).unwrap();
+                capability = Some(server.grant(
+                    &dn,
+                    proxy.public(),
+                    vec![format!("{community}:member")],
+                    Validity::unbounded(),
+                ));
+            }
+        }
+        users.insert(
+            name.clone(),
+            UserIdentity {
+                key,
+                cert,
+                dn,
+                proxy,
+                capability,
+            },
+        );
+    }
+
+    // ---- Brokers: policy, capacity, peerings, routes. ------------------
+    let mut nodes = Vec::new();
+    for i in 0..n {
+        let is_transit = i < opts.transits;
+        let policy = as_graph_policy(&domains[i], is_transit, &mut rng);
+        let capacity = if is_transit {
+            opts.local_capacity_bps * (8 + rng.random_range(9))
+        } else {
+            opts.local_capacity_bps * (1 + rng.random_range(4))
+        };
+        let groups = GroupServer::new(
+            &format!("groups-{}", domains[i]),
+            KeyPair::from_seed(format!("gs-{}", domains[i]).as_bytes()),
+        );
+        let node = BbNode::new(BbConfig {
+            domain: domains[i].clone(),
+            key: keys[i].clone(),
+            cert: certs[i].clone(),
+            policy_src: policy,
+            groups,
+            local_capacity_bps: capacity,
+            trust_policy: opts.trust_policy,
+            cas_keys: cas_keys.clone(),
+            user_ca: ca.public_key(),
+            telemetry: opts.telemetry.clone(),
+            tracing: opts.tracing,
+            audit: opts.audit,
+            audit_capacity: opts.audit_capacity,
+        });
+        nodes.push(node);
+    }
+    let mk_sla = |up: usize, down: usize, rate: u64| Sla {
+        upstream: domains[up].clone(),
+        downstream: domains[down].clone(),
+        sls: Sls::strict(rate),
+        peer_cert: certs[up].clone(),
+        ca_cert: certs[up].clone(),
+        price_per_mbps_sec: 1,
+    };
+    for &(a, b, rate) in &edges {
+        nodes[a].add_peer(
+            certs[b].clone(),
+            Some(mk_sla(b, a, rate)),
+            Some(mk_sla(a, b, rate)),
+        );
+        nodes[b].add_peer(
+            certs[a].clone(),
+            Some(mk_sla(a, b, rate)),
+            Some(mk_sla(b, a, rate)),
+        );
+    }
+
+    // BFS shortest-path next hops from every source. `first_hop[d]` is
+    // the neighbor of the source on one shortest path to `d`.
+    for src in 0..n {
+        let mut first_hop: Vec<Option<usize>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[src] = true;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    first_hop[v] = if u == src { Some(v) } else { first_hop[u] };
+                    queue.push_back(v);
+                }
+            }
+        }
+        for (d, hop) in first_hop.iter().enumerate() {
+            if let Some(h) = hop {
+                nodes[src].add_route(&domains[d], &domains[*h]);
+            }
+        }
+    }
+
+    let scenario = Scenario {
+        ca_key: ca.public_key(),
+        cas_keys,
+        domains,
+        nodes,
+        users,
+        next_rar: 0,
+    };
+    let named_edges = edges
+        .iter()
+        .map(|&(a, b, r)| (scenario.domains[a].clone(), scenario.domains[b].clone(), r))
+        .collect();
+    AsGraph {
+        scenario,
+        transits,
+        stubs,
+        edges: named_edges,
+    }
+}
+
+/// One of four seeded policy templates for an AS-graph domain. Every
+/// template grants `Network` reservations at or below 50 Mb/s.
+fn as_graph_policy(domain: &str, is_transit: bool, rng: &mut ThreadRng) -> String {
+    match rng.random_range(4) {
+        0 => PERMIT_ALL.to_string(),
+        1 => format!(
+            "# {domain}: barred-user policy\n\
+             if User = Mallory {{ return deny \"{domain}: user is barred\" }}\n\
+             return grant\n"
+        ),
+        2 if is_transit => format!(
+            "# {domain}: transit rate tiering\n\
+             if BW <= 50Mb/s {{ return grant }}\n\
+             if Issued_by(Capability) = ESnet {{ return grant }}\n\
+             return deny \"{domain}: above 50Mb/s requires an ESnet capability\"\n"
+        ),
+        2 => format!(
+            "# {domain}: stub access policy\n\
+             if Reservation_Type = Network {{ return grant }}\n\
+             return deny \"{domain}: only network reservations\"\n"
+        ),
+        _ => format!(
+            "# {domain}: business-hours tiering\n\
+             if Time > 8am and Time < 5pm {{\n\
+                 if BW <= 50Mb/s {{ return grant }}\n\
+                 return deny \"{domain}: business-hours cap is 50Mb/s\"\n\
+             }}\n\
+             return grant\n"
+        ),
+    }
+}
+
 fn capitalize(s: &str) -> String {
     let mut c = s.chars();
     match c.next() {
@@ -632,6 +976,51 @@ mod tests {
         assert_eq!(s.domains.len(), 4);
         assert!(names.contains_key("edge-b"));
         assert!(net.first_router(names["alice"], names["charlie"]).is_some());
+    }
+
+    #[test]
+    fn as_graph_is_connected_and_deterministic() {
+        let opts = || AsGraphOptions {
+            transits: 6,
+            stubs: 30,
+            seed: 42,
+            ..AsGraphOptions::default()
+        };
+        let g = build_as_graph(opts());
+        assert_eq!(g.scenario.domains.len(), 36);
+        assert_eq!(g.transits.len(), 6);
+        assert_eq!(g.stubs.len(), 30);
+        // Every node can route to every other domain (BFS covered the
+        // whole graph, i.e. the topology is connected).
+        for node in &g.scenario.nodes {
+            for d in &g.scenario.domains {
+                if d != node.domain() {
+                    assert!(
+                        node.route_towards(d).is_some(),
+                        "{} has no route to {d}",
+                        node.domain()
+                    );
+                }
+            }
+        }
+        // Stubs only peer with transits; their next hop anywhere is a
+        // transit.
+        for s in &g.stubs {
+            let node = g.scenario.nodes.iter().find(|n| n.domain() == s).unwrap();
+            let hop = node.route_towards(&g.stubs[0]);
+            if let Some(h) = hop {
+                if &h != s {
+                    assert!(h.starts_with("transit-"), "{s} routes via {h}");
+                }
+            }
+        }
+        // Same seed, same world.
+        let h = build_as_graph(opts());
+        assert_eq!(g.edges, h.edges);
+        assert_eq!(g.scenario.domains, h.scenario.domains);
+        // Different seed, different wiring (overwhelmingly likely).
+        let k = build_as_graph(AsGraphOptions { seed: 43, ..opts() });
+        assert_ne!(g.edges, k.edges);
     }
 
     #[test]

@@ -653,7 +653,7 @@ fn process_batch(inner: &Inner, state: &mut ShardState, batch: Vec<ShardMsg>) {
                         tunnel,
                         flow,
                         accepted: false,
-                        reason: e.to_string(),
+                        reason: crate::messages::DenialCode::Other(e.to_string().into()),
                     });
                     continue;
                 }

@@ -748,7 +748,7 @@ fn batched_ingress_matches_serial_processing() {
 
     // Forward the surviving requests to the next hop, again batched
     // versus serial, plus one request from an unpinned peer (denied).
-    let reqs = |out: &[(String, SignalMessage)]| -> Vec<(String, qos_core::SignedRar)> {
+    let reqs = |out: &[(qos_core::PeerId, SignalMessage)]| -> Vec<(String, qos_core::SignedRar)> {
         let rar_of = |m: &SignalMessage| match m {
             SignalMessage::Request(r) => r.clone(),
             other => panic!("unexpected {other:?}"),
@@ -769,7 +769,7 @@ fn batched_ingress_matches_serial_processing() {
     assert!(
         serial_b_out
             .iter()
-            .any(|(to, m)| to == "nowhere" && matches!(m, SignalMessage::Deny(_))),
+            .any(|(to, m)| to.as_ref() == "nowhere" && matches!(m, SignalMessage::Deny(_))),
         "unpinned peer gets a denial"
     );
     assert_eq!(serial.nodes[1].counters(), batched.nodes[1].counters());

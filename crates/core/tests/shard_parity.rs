@@ -71,13 +71,13 @@ fn drive_plain(registry: &Arc<Registry>) -> (Vec<Completion>, HashMap<String, Bb
     let mut completions = Vec::new();
     let mut queue: VecDeque<(String, String, SignalMessage)> = VecDeque::new();
     let route = |node: &mut BbNode,
-                 out: Vec<(String, SignalMessage)>,
+                 out: Vec<(qos_core::PeerId, SignalMessage)>,
                  queue: &mut VecDeque<(String, String, SignalMessage)>,
                  completions: &mut Vec<Completion>| {
         let from = node.domain().to_string();
         for (to, msg) in out {
             if !to.starts_with("user:") {
-                queue.push_back((from.clone(), to, msg));
+                queue.push_back((from.clone(), to.to_string(), msg));
             }
         }
         completions.extend(node.take_completions());

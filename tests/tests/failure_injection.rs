@@ -50,14 +50,14 @@ fn transit_tampering_is_caught_at_destination() {
         .node_mut("domain-b")
         .recv("domain-a", SignalMessage::Request(forwarded));
     assert!(
-        matches!(out_genuine.first(), Some((to, SignalMessage::Request(_))) if to == "domain-c"),
+        matches!(out_genuine.first(), Some((to, SignalMessage::Request(_))) if to.as_ref() == "domain-c"),
         "genuine envelope forwards: {out_genuine:?}"
     );
     let out_tampered = mesh
         .node_mut("domain-b")
         .recv("domain-a", SignalMessage::Request(tampered));
     assert!(
-        matches!(out_tampered.first(), Some((to, SignalMessage::Deny(_))) if to == "domain-a"),
+        matches!(out_tampered.first(), Some((to, SignalMessage::Deny(_))) if to.as_ref() == "domain-a"),
         "tampered envelope must bounce: {out_tampered:?}"
     );
 }
