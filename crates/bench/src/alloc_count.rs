@@ -1,0 +1,76 @@
+//! A counting global allocator for the EXP-ALLOC gates (DESIGN.md §D15).
+//!
+//! [`CountingAlloc`] wraps [`std::alloc::System`] and bumps process-wide
+//! counters on every `alloc`/`alloc_zeroed`/`realloc`. The experiment
+//! binary that wants counting installs it itself:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: qos_bench::alloc_count::CountingAlloc = CountingAlloc::new();
+//! ```
+//!
+//! The `#[global_allocator]` attribute deliberately lives in the binary,
+//! not here — installing a counting allocator from the library would
+//! perturb every other experiment in the crate. The counters cover every
+//! thread in the process, so a per-operation measurement must drive the
+//! path under test single-threaded with no background threads running,
+//! and difference the counters around the measured loop.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Allocation events since process start (allocs + zeroed allocs +
+/// reallocs; frees are not counted — the gate is on allocation churn).
+pub fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Bytes requested across all counted allocation events.
+pub fn allocated_bytes() -> u64 {
+    BYTES.load(Ordering::Relaxed)
+}
+
+/// System allocator wrapper that counts allocation events.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// Const constructor for the `#[global_allocator]` static.
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: delegates every operation to `System`; the counter updates
+// are lock-free atomics and never allocate.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}

@@ -1,0 +1,724 @@
+//! EXP-ALLOC — the zero-alloc warm admission path (D15), measured with
+//! a counting global allocator.
+//!
+//! Three claims, each a hard gate (non-zero exit on failure, CI
+//! enforces):
+//!
+//! 1. **Allocation churn** — a warm full-RAR admission round trip
+//!    (pooled frame decode → borrowed `SealedRef` parse →
+//!    `open_in_place` → borrowed `EnvelopeRef` → reply-cache replay →
+//!    `seal_in_place` + hand-rolled frame encode) allocates at most
+//!    8 allocations per operation under the counting allocator
+//!    (override with `EXP_ALLOC_MAX_ALLOCS`; `0` disables). The cold
+//!    legacy path (owned frame `Vec`s, owned `PeerMsg`/`SignalMessage`
+//!    decode, full verification) is measured alongside for contrast.
+//! 2. **Latency** — warm depth-8 envelope verification must stay
+//!    strictly better than the committed `BENCH_warm.json` baseline
+//!    (5.62 µs; override with `EXP_ALLOC_BASELINE_US`, `0` disables).
+//!    The baseline is the pre-D15 committed value, deliberately not
+//!    re-read from disk: `exp_warm_path` rewrites the file earlier in
+//!    the same CI job, which would make a file-based comparison
+//!    circular.
+//! 3. **Transparency** — fig2 multi-domain verdicts and per-domain
+//!    committed bandwidth are identical across {actor, TCP} ×
+//!    {pooled, legacy decode} × {caches on, off}: buffer pooling and
+//!    borrowed decode must never change an admission outcome.
+//!
+//! Besides the table, the run emits `BENCH_alloc.json` and
+//! `METRICS_alloc_path.{prom,json}`; the metrics snapshot carries the
+//! `buffer_pool_chunks_in_use` and `buffer_pool_fallbacks_total`
+//! families CI greps for.
+
+use qos_bench::alloc_count::{self, CountingAlloc};
+use qos_bench::{experiment_registry, table_header, table_row, write_metrics_snapshot};
+use qos_broker::Interval;
+use qos_core::channel::{handshake, ChannelIdentity, PeerPin, SealedRef};
+use qos_core::envelope::SignedRar;
+use qos_core::envelope_ref::EnvelopeRef;
+use qos_core::messages::SignalMessage;
+use qos_core::node::Completion;
+use qos_core::runtime::ActorMesh;
+use qos_core::scenario::{build_chain, ChainOptions, Scenario};
+use qos_core::trust::{verify_rar, KeySource};
+use qos_core::{RarId, ResSpec};
+use qos_crypto::sha256::Digest;
+use qos_crypto::{
+    CertificateAuthority, DistinguishedName, KeyPair, Timestamp, TrustPolicy, Validity,
+};
+use qos_policy::AttributeSet;
+use qos_telemetry::{Artifact, Row};
+use qos_transport::{
+    write_frame, FrameDecoder, PeerMsg, PooledFrameDecoder, TcpMesh, MAX_FRAME_LEN,
+};
+use qos_wire::BufferPool;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Every allocation in the process (all threads) is counted; the gated
+/// loops therefore run single-threaded with no meshes alive.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+const MBPS: u64 = 1_000_000;
+const ENVELOPE_HOPS: usize = 8;
+const VERIFY_REPS: usize = 100;
+const VERIFY_PASSES: usize = 5;
+/// Reliability-header data tag (`reactor::FRAME_DATA`).
+const FRAME_DATA: u8 = 0;
+const RELIABILITY_HEADER: usize = 9;
+const WARM_WARMUP: usize = 200;
+const WARM_OPS: usize = 20_000;
+const COLD_WARMUP: usize = 8;
+const COLD_OPS: usize = 32;
+
+/// Warm admissions may allocate at most this much per operation. The
+/// path is designed to be allocation-free in steady state; the bound
+/// leaves headroom for incidental churn (hash-map resizes, cache
+/// bookkeeping) without letting a per-op allocation regression through.
+const DEFAULT_MAX_ALLOCS: f64 = 8.0;
+/// `BENCH_warm.json` warm_us as committed before the D15 zero-alloc
+/// work landed.
+const DEFAULT_BASELINE_WARM_US: f64 = 5.62;
+
+fn max_allocs() -> f64 {
+    std::env::var("EXP_ALLOC_MAX_ALLOCS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_MAX_ALLOCS)
+}
+
+fn baseline_us() -> f64 {
+    std::env::var("EXP_ALLOC_BASELINE_US")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_BASELINE_WARM_US)
+}
+
+/// Size every steady-state memo for `capacity == 0` (everything off) or
+/// any other value (verify cache at `capacity`, envelope memo at its
+/// default) — same knob as `exp_warm_path`.
+fn set_cache_capacities(capacity: usize) {
+    qos_crypto::vcache::set_capacity(capacity);
+    qos_core::trust::set_rar_memo_capacity(if capacity == 0 {
+        0
+    } else {
+        qos_core::trust::RAR_MEMO_DEFAULT_CAPACITY
+    });
+}
+
+fn domain(i: usize) -> String {
+    format!("domain-{i:02}")
+}
+
+/// Append `[frame len u32][tag 2][payload len u32][payload][seq u64][mac]`
+/// — the canonical `PeerMsg::Frame` encoding behind the transport's
+/// length prefix, hand-rolled so the send side allocates nothing. The
+/// transport pins this layout byte-for-byte
+/// (`hand_encoded_frame_matches_canonical_encoding`).
+fn append_sealed_frame(out: &mut Vec<u8>, payload: &[u8], seq: u64, mac: &Digest) {
+    let msg_len = 1 + 4 + payload.len() + 8 + mac.len();
+    out.extend_from_slice(&(msg_len as u32).to_le_bytes());
+    out.push(2); // PeerMsg::Frame tag
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(mac);
+}
+
+fn broker_identity(ca: &mut CertificateAuthority, name: &str) -> ChannelIdentity {
+    let key = KeyPair::from_seed(name.as_bytes());
+    let cert = ca.issue_identity(
+        DistinguishedName::broker(name),
+        key.public(),
+        Validity::unbounded(),
+    );
+    ChannelIdentity { key, cert }
+}
+
+/// Build the depth-`hops` nested envelope of EXP-S and time `reps`
+/// destination verifications, returning µs per verification (same
+/// construction as `exp_warm_path`, so the number is comparable to the
+/// committed baseline).
+fn envelope_verify_us(hops: usize, reps: usize) -> f64 {
+    let mut ca = CertificateAuthority::new(
+        DistinguishedName::authority("CA"),
+        KeyPair::from_seed(b"ca"),
+    );
+    let user = KeyPair::from_seed(b"alice");
+    let user_cert = ca.issue_identity(
+        DistinguishedName::user("Alice", "ANL"),
+        user.public(),
+        Validity::unbounded(),
+    );
+    let keys: Vec<KeyPair> = (0..hops)
+        .map(|i| KeyPair::from_seed(domain(i).as_bytes()))
+        .collect();
+    let certs: Vec<_> = (0..hops)
+        .map(|i| {
+            ca.issue_identity(
+                DistinguishedName::broker(&domain(i)),
+                keys[i].public(),
+                Validity::unbounded(),
+            )
+        })
+        .collect();
+    let spec = ResSpec::new(
+        RarId(1),
+        DistinguishedName::user("Alice", "ANL"),
+        &domain(0),
+        &domain(hops),
+        7,
+        10_000_000,
+        Interval::starting_at(Timestamp(0), 3600),
+    );
+    let mut rar =
+        SignedRar::user_request(spec, DistinguishedName::broker(&domain(0)), vec![], &user);
+    let mut upstream = user_cert;
+    for i in 0..hops {
+        rar = SignedRar::wrap(
+            rar,
+            upstream,
+            Some(DistinguishedName::broker(&domain(i + 1))),
+            vec![],
+            AttributeSet::new(),
+            DistinguishedName::broker(&domain(i)),
+            &keys[i],
+        );
+        upstream = certs[i].clone();
+    }
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        verify_rar(
+            &rar,
+            keys[hops - 1].public(),
+            &DistinguishedName::broker(&domain(hops)),
+            TrustPolicy {
+                max_chain_depth: 64,
+            },
+            Timestamp(0),
+            &KeySource::Introducers,
+        )
+        .unwrap();
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / reps as f64
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Fabric {
+    Actor,
+    Tcp,
+}
+
+impl Fabric {
+    fn name(self) -> &'static str {
+        match self {
+            Fabric::Actor => "actor",
+            Fabric::Tcp => "tcp",
+        }
+    }
+}
+
+fn identities(s: &Scenario) -> HashMap<String, ChannelIdentity> {
+    s.nodes
+        .iter()
+        .map(|n| {
+            (
+                n.domain().to_string(),
+                ChannelIdentity {
+                    key: KeyPair::from_seed(format!("bb-{}", n.domain()).as_bytes()),
+                    cert: n.cert().clone(),
+                },
+            )
+        })
+        .collect()
+}
+
+/// One fig2 case: (granted, per-domain available bandwidth). `pooled`
+/// toggles the transport's decode path through the same
+/// `QOS_POOLED_DECODE` switch operators use; the actor fabric has no
+/// sockets, so there the flag only proves the grid stays uniform.
+fn fig2_case(
+    fabric: Fabric,
+    deny_at: Option<usize>,
+    cache_capacity: usize,
+    pooled: bool,
+) -> (bool, Vec<(String, u64)>) {
+    std::env::set_var("QOS_POOLED_DECODE", if pooled { "1" } else { "0" });
+    set_cache_capacities(cache_capacity);
+    let mut policies = HashMap::new();
+    if let Some(i) = deny_at {
+        policies.insert(
+            i,
+            format!(r#"return deny "domain {i} refuses this reservation""#),
+        );
+    }
+    let mut s = build_chain(ChainOptions {
+        policies,
+        ..ChainOptions::default()
+    });
+    let domains = s.domains.clone();
+    let spec = s.spec("alice", 7, 10 * MBPS, Timestamp(0), 3600);
+    let rar = s.users["alice"].sign_request(spec, &s.nodes[0]);
+    let cert = s.users["alice"].cert.clone();
+    let ids = identities(&s);
+    let links: Vec<(String, String)> = s
+        .domains
+        .windows(2)
+        .map(|w| (w[0].clone(), w[1].clone()))
+        .collect();
+    let ca_key = s.ca_key;
+    let nodes = std::mem::take(&mut s.nodes);
+
+    let (granted, nodes) = match fabric {
+        Fabric::Actor => {
+            let mut m = ActorMesh::new();
+            m.spawn(nodes, ids, &links, ca_key);
+            m.submit("domain-a", rar, cert);
+            let completions = m.wait_completions(1);
+            let granted = matches!(
+                completions.first(),
+                Some((_, Completion::Reservation { result: Ok(_), .. }))
+            );
+            (granted, m.shutdown())
+        }
+        Fabric::Tcp => {
+            let mut m = TcpMesh::new();
+            m.spawn(nodes, ids, &links, ca_key)
+                .expect("loopback mesh comes up");
+            m.submit("domain-a", rar, cert);
+            let completions = m.wait_completions(1);
+            let granted = matches!(
+                completions.first(),
+                Some((_, Completion::Reservation { result: Ok(_), .. }))
+            );
+            (granted, m.shutdown())
+        }
+    };
+    let state = domains
+        .iter()
+        .map(|d| (d.clone(), nodes[d].core().available_bw_at(Timestamp(10))))
+        .collect();
+    (granted, state)
+}
+
+fn main() {
+    println!("EXP-ALLOC: zero-alloc warm admission path (counting allocator)\n");
+    let (registry, telemetry) = experiment_registry();
+    qos_core::install_verify_cache_telemetry(&telemetry);
+    let mut artifact = Artifact::new(
+        "exp_alloc_path",
+        "mixed (allocs/op; us; verdicts)",
+        "D15 zero-alloc hot path: allocations per admission on the cold legacy \
+         path vs the warm pooled/borrowed/in-place path, warm depth-8 envelope \
+         verification vs the committed baseline, and fig2 parity across \
+         fabric x decode x cache configurations (hard gates, non-zero exit on \
+         failure)",
+    );
+    let mut failures: Vec<String> = Vec::new();
+
+    // ---- Part 1: allocations per admission round trip ----------------
+    //
+    // Single-threaded, in-process: the same bytes a socket would carry
+    // are driven through the exact decode → open → admit → seal
+    // pipeline the reactor runs, with no reactor threads alive so the
+    // process-wide allocation counters isolate the path under test.
+    println!("admission round trip (reliability header + sealed frame + admit):");
+    let widths = [10, 14, 14, 12];
+    table_header(&["path", "allocs/op", "bytes/op", "ns/op"], &widths);
+
+    set_cache_capacities(4096);
+    let mut s = build_chain(ChainOptions {
+        sla_rate_bps: 1000 * MBPS,
+        ..ChainOptions::default()
+    });
+    let cert = s.users["alice"].cert.clone();
+
+    // Secure channels standing in for the b↔c link: one pair for the
+    // cold loop, one for the warm loop (independent sequence spaces).
+    let mut chan_ca = CertificateAuthority::new(
+        DistinguishedName::authority("chan-CA"),
+        KeyPair::from_seed(b"chan-ca"),
+    );
+    let ca_key = chan_ca.public_key();
+    let ident_b = broker_identity(&mut chan_ca, "domain-b");
+    let ident_c = broker_identity(&mut chan_ca, "domain-c");
+    let pin = |name: &str| PeerPin {
+        ca_key,
+        dn: DistinguishedName::broker(name),
+    };
+    let link = |nonce: u64| {
+        let (client, server) = handshake(
+            &ident_b,
+            &ident_c,
+            &pin("domain-c"),
+            &pin("domain-b"),
+            nonce,
+            Timestamp::ZERO,
+        )
+        .expect("channel handshake");
+        let (client_seal, _client_open) = client.split();
+        let (server_seal, server_open) = server.split();
+        (client_seal, server_seal, server_open)
+    };
+    let (mut cold_seal, mut cold_reply_seal, mut cold_open) = link(1);
+    let (mut warm_seal, mut warm_reply_seal, mut warm_open) = link(2);
+
+    // Cold inputs: distinct reservations, each forwarded a → b so the
+    // destination sees the realistic transit-wrapped envelope.
+    let mut cold_msgs: Vec<SignalMessage> = Vec::new();
+    for i in 0..(COLD_WARMUP + COLD_OPS) as u64 {
+        let spec = s.spec("alice", 1000 + i, MBPS, Timestamp(0), 3600);
+        let rar = s.users["alice"].sign_request(spec, &s.nodes[0]);
+        let out_a = s.nodes[0].submit_batch(vec![(rar, cert.clone())]);
+        let out_b = s.nodes[1].recv("domain-a", out_a[0].1.clone());
+        cold_msgs.push(out_b[0].1.clone());
+    }
+
+    // Cold loop: the legacy path — owned frame Vec, owned PeerMsg and
+    // SignalMessage decode, full envelope verification in recv().
+    let mut cold_dec = FrameDecoder::new(MAX_FRAME_LEN);
+    let (cold_allocs, cold_bytes, cold_ns) = {
+        let mut a0 = 0u64;
+        let mut b0 = 0u64;
+        let mut t0 = Instant::now();
+        for (i, msg) in cold_msgs.iter().enumerate() {
+            if i == COLD_WARMUP {
+                a0 = alloc_count::allocations();
+                b0 = alloc_count::allocated_bytes();
+                t0 = Instant::now();
+            }
+            let msg_bytes = qos_wire::to_bytes(msg);
+            let mut plain = Vec::with_capacity(RELIABILITY_HEADER + msg_bytes.len());
+            plain.push(FRAME_DATA);
+            plain.extend_from_slice(&(i as u64).to_le_bytes());
+            plain.extend_from_slice(&msg_bytes);
+            let sealed = cold_seal.seal(plain);
+            let peer_bytes = qos_wire::to_bytes(&PeerMsg::Frame(sealed));
+            let mut stream = Vec::new();
+            write_frame(&mut stream, &peer_bytes, MAX_FRAME_LEN).unwrap();
+
+            cold_dec.push(&stream);
+            let body = cold_dec.next_frame().unwrap().expect("one whole frame");
+            let PeerMsg::Frame(sealed) = qos_wire::from_bytes::<PeerMsg>(&body).unwrap() else {
+                panic!("expected a sealed frame");
+            };
+            let opened = cold_open.open(sealed).unwrap();
+            let shared: Arc<[u8]> = opened[RELIABILITY_HEADER..].to_vec().into();
+            let msg: SignalMessage = qos_wire::from_bytes_shared(&shared).unwrap();
+            let replies = s.nodes[2].recv("domain-b", msg);
+            assert!(
+                matches!(replies.first(), Some((_, SignalMessage::Approve(_)))),
+                "cold admission approves"
+            );
+            for (_to, reply) in replies {
+                let reply_bytes = qos_wire::to_bytes(&reply);
+                let mut reply_plain = Vec::with_capacity(RELIABILITY_HEADER + reply_bytes.len());
+                reply_plain.push(FRAME_DATA);
+                reply_plain.extend_from_slice(&(i as u64).to_le_bytes());
+                reply_plain.extend_from_slice(&reply_bytes);
+                let sealed_reply = cold_reply_seal.seal(reply_plain);
+                let reply_peer = qos_wire::to_bytes(&PeerMsg::Frame(sealed_reply));
+                let mut out = Vec::new();
+                write_frame(&mut out, &reply_peer, MAX_FRAME_LEN).unwrap();
+                std::hint::black_box(out.len());
+            }
+        }
+        (
+            alloc_count::allocations() - a0,
+            alloc_count::allocated_bytes() - b0,
+            t0.elapsed().as_nanos() as u64,
+        )
+    };
+    let cold_allocs_per_op = cold_allocs as f64 / COLD_OPS as f64;
+    let cold_bytes_per_op = cold_bytes as f64 / COLD_OPS as f64;
+    let cold_ns_per_op = cold_ns as f64 / COLD_OPS as f64;
+
+    // Warm input: one reservation admitted cold once, so the
+    // destination's reply cache holds the verdict the warm loop
+    // replays.
+    let spec = s.spec("alice", 7, 10 * MBPS, Timestamp(0), 3600);
+    let rar = s.users["alice"].sign_request(spec, &s.nodes[0]);
+    let out_a = s.nodes[0].submit_batch(vec![(rar, cert.clone())]);
+    let out_b = s.nodes[1].recv("domain-a", out_a[0].1.clone());
+    let (_, fwd_b) = &out_b[0];
+    let req_bytes = qos_wire::to_bytes(fwd_b);
+    let out_c = s.nodes[2].recv("domain-b", fwd_b.clone());
+    assert!(
+        matches!(out_c.first(), Some((_, SignalMessage::Approve(_)))),
+        "warm seed admission approves"
+    );
+
+    // Warm loop: pooled decode, borrowed parse, in-place MAC, replayed
+    // verdict, in-place reply seal — every buffer reused across ops.
+    let node = &mut s.nodes[2];
+    let pool = BufferPool::new(4);
+    let mut warm_dec = PooledFrameDecoder::new(MAX_FRAME_LEN, pool.clone());
+    let mut plain_scratch: Vec<u8> = Vec::new();
+    let mut wire_scratch: Vec<u8> = Vec::new();
+    let mut reply_scratch: Vec<u8> = Vec::new();
+    let mut reply_plain: Vec<u8> = Vec::new();
+    let mut out_scratch: Vec<u8> = Vec::new();
+    let mut a0 = 0u64;
+    let mut b0 = 0u64;
+    let mut t0 = Instant::now();
+    for iter in 0..(WARM_WARMUP + WARM_OPS) as u64 {
+        if iter == WARM_WARMUP as u64 {
+            a0 = alloc_count::allocations();
+            b0 = alloc_count::allocated_bytes();
+            t0 = Instant::now();
+        }
+        // Client: reliability header + request bytes, sealed in place,
+        // framed by hand into the reused wire buffer.
+        plain_scratch.clear();
+        plain_scratch.push(FRAME_DATA);
+        plain_scratch.extend_from_slice(&iter.to_le_bytes());
+        plain_scratch.extend_from_slice(&req_bytes);
+        let (seq, mac) = warm_seal.seal_in_place(&plain_scratch);
+        wire_scratch.clear();
+        append_sealed_frame(&mut wire_scratch, &plain_scratch, seq, &mac);
+
+        // Server: pooled decode → borrowed SealedRef → in-place open →
+        // borrowed envelope → replayed verdict → in-place reply seal.
+        warm_dec.push(&wire_scratch);
+        let frame = warm_dec.next_frame().unwrap().expect("one whole frame");
+        let mut r = qos_wire::Reader::new(frame.bytes());
+        assert_eq!(r.get_u8().unwrap(), 2, "PeerMsg::Frame tag");
+        let sealed = SealedRef::parse(&mut r).unwrap();
+        r.finish().unwrap();
+        warm_open
+            .open_in_place(sealed.payload, sealed.seq, &sealed.mac)
+            .unwrap();
+        let body = &sealed.payload[RELIABILITY_HEADER..];
+        let env = EnvelopeRef::parse(body).unwrap().expect("request envelope");
+        reply_scratch.clear();
+        let to = node
+            .revalidate_request("domain-b", &env, &mut reply_scratch)
+            .expect("warm replay hits the reply cache");
+        debug_assert_eq!(to.as_ref(), "domain-b");
+        reply_plain.clear();
+        reply_plain.push(FRAME_DATA);
+        reply_plain.extend_from_slice(&iter.to_le_bytes());
+        reply_plain.extend_from_slice(&reply_scratch);
+        let (reply_seq, reply_mac) = warm_reply_seal.seal_in_place(&reply_plain);
+        out_scratch.clear();
+        append_sealed_frame(&mut out_scratch, &reply_plain, reply_seq, &reply_mac);
+        std::hint::black_box(out_scratch.len());
+    }
+    let warm_allocs = alloc_count::allocations() - a0;
+    let warm_bytes = alloc_count::allocated_bytes() - b0;
+    let warm_ns = t0.elapsed().as_nanos() as u64;
+    let warm_allocs_per_op = warm_allocs as f64 / WARM_OPS as f64;
+    let warm_bytes_per_op = warm_bytes as f64 / WARM_OPS as f64;
+    let warm_ns_per_op = warm_ns as f64 / WARM_OPS as f64;
+    let (cache_hits, cache_misses, _) = node.reply_cache_stats();
+    let pool_fallbacks = pool.fallbacks();
+
+    table_row(
+        &[
+            "cold".to_string(),
+            format!("{cold_allocs_per_op:.2}"),
+            format!("{cold_bytes_per_op:.0}"),
+            format!("{cold_ns_per_op:.0}"),
+        ],
+        &widths,
+    );
+    table_row(
+        &[
+            "warm".to_string(),
+            format!("{warm_allocs_per_op:.4}"),
+            format!("{warm_bytes_per_op:.1}"),
+            format!("{warm_ns_per_op:.0}"),
+        ],
+        &widths,
+    );
+    println!(
+        "  reply cache: {cache_hits} hits / {cache_misses} misses; \
+         pool fallbacks: {pool_fallbacks}"
+    );
+    artifact.push(
+        Row::new()
+            .field("section", "alloc_per_op")
+            .field("cold_allocs_per_op", cold_allocs_per_op)
+            .field("cold_bytes_per_op", cold_bytes_per_op)
+            .field("cold_ns_per_op", cold_ns_per_op)
+            .field("warm_allocs_per_op", warm_allocs_per_op)
+            .field("warm_bytes_per_op", warm_bytes_per_op)
+            .field("warm_ns_per_op", warm_ns_per_op)
+            .field("warm_ops", WARM_OPS)
+            .field("pool_fallbacks", pool_fallbacks),
+    );
+    let bound = max_allocs();
+    if bound > 0.0 && warm_allocs_per_op > bound {
+        failures.push(format!(
+            "warm admission allocates {warm_allocs_per_op:.4} allocations/op, above \
+             the {bound:.0} bound (override with EXP_ALLOC_MAX_ALLOCS)"
+        ));
+    }
+    if pool_fallbacks != 0 {
+        failures.push(format!(
+            "warm loop fell back to owned buffers {pool_fallbacks} times; the pooled \
+             decoder must stay on pooled chunks"
+        ));
+    }
+
+    // ---- Part 2: warm depth-8 verification vs committed baseline -----
+    println!(
+        "\ndepth-{ENVELOPE_HOPS} envelope verification ({VERIFY_PASSES}x{VERIFY_REPS} reps, min):"
+    );
+    let widths = [14, 16, 10];
+    table_header(&["warm(µs)", "baseline(µs)", "margin"], &widths);
+    set_cache_capacities(qos_crypto::vcache::DEFAULT_CAPACITY);
+    envelope_verify_us(ENVELOPE_HOPS, 1); // untimed pass fills the caches
+    let mut verify_warm_us = f64::INFINITY;
+    for _ in 0..VERIFY_PASSES {
+        verify_warm_us = verify_warm_us.min(envelope_verify_us(ENVELOPE_HOPS, VERIFY_REPS));
+    }
+    let baseline = baseline_us();
+    let margin = if baseline > 0.0 {
+        baseline / verify_warm_us
+    } else {
+        1.0
+    };
+    table_row(
+        &[
+            format!("{verify_warm_us:.2}"),
+            format!("{baseline:.2}"),
+            format!("{margin:.2}x"),
+        ],
+        &widths,
+    );
+    artifact.push(
+        Row::new()
+            .field("section", "envelope_verify")
+            .field("hops", ENVELOPE_HOPS)
+            .field("warm_us", verify_warm_us)
+            .field("baseline_us", baseline),
+    );
+    if baseline > 0.0 && verify_warm_us >= baseline {
+        failures.push(format!(
+            "warm depth-{ENVELOPE_HOPS} verification ({verify_warm_us:.2}µs) is not \
+             strictly better than the committed baseline ({baseline:.2}µs; override \
+             with EXP_ALLOC_BASELINE_US)"
+        ));
+    }
+
+    // ---- Part 3: fig2 parity across fabric × decode × caches ---------
+    println!("\nfig2 parity (fabric × decode × caches):");
+    let widths = [22, 10, 10, 10, 8];
+    table_header(&["case", "fabric", "decode", "caches", "verdict"], &widths);
+    let mut diverged = false;
+    for (label, deny_at) in [
+        ("all domains accept", None),
+        ("domain-b denies", Some(1)),
+        ("domain-c denies", Some(2)),
+    ] {
+        let mut outcomes = Vec::new();
+        for fabric in [Fabric::Actor, Fabric::Tcp] {
+            for (decode, pooled) in [("pooled", true), ("legacy", false)] {
+                for (caches, capacity) in [("off", 0usize), ("on", 4096)] {
+                    let (granted, state) = fig2_case(fabric, deny_at, capacity, pooled);
+                    table_row(
+                        &[
+                            label.to_string(),
+                            fabric.name().to_string(),
+                            decode.to_string(),
+                            caches.to_string(),
+                            if granted { "GRANT" } else { "DENY" }.to_string(),
+                        ],
+                        &widths,
+                    );
+                    artifact.push(
+                        Row::new()
+                            .field("section", "fig2_parity")
+                            .field("case", label)
+                            .field("fabric", fabric.name())
+                            .field("decode", decode)
+                            .field("caches", caches)
+                            .field("granted", granted.to_string()),
+                    );
+                    outcomes.push((granted, state));
+                }
+            }
+        }
+        if outcomes.windows(2).any(|w| w[0] != w[1]) {
+            diverged = true;
+        }
+    }
+    std::env::remove_var("QOS_POOLED_DECODE");
+    set_cache_capacities(qos_crypto::vcache::DEFAULT_CAPACITY);
+    if diverged {
+        failures.push(
+            "fig2 admission outcomes diverged across fabric/decode/cache configurations".into(),
+        );
+    }
+
+    // ---- Part 4: live mesh run for the pool metric families ----------
+    println!("\npooled mesh run (metrics snapshot):");
+    let mut s = build_chain(ChainOptions {
+        sla_rate_bps: 1000 * MBPS,
+        telemetry: telemetry.clone(),
+        ..ChainOptions::default()
+    });
+    let mut rars = Vec::new();
+    for i in 0..8u64 {
+        let spec = s.spec("alice", 2000 + i, 5 * MBPS, Timestamp(0), 3600);
+        rars.push(s.users["alice"].sign_request(spec, &s.nodes[0]));
+    }
+    let cert = s.users["alice"].cert.clone();
+    let ids = identities(&s);
+    let links: Vec<(String, String)> = s
+        .domains
+        .windows(2)
+        .map(|w| (w[0].clone(), w[1].clone()))
+        .collect();
+    let ca_key = s.ca_key;
+    let nodes = std::mem::take(&mut s.nodes);
+    let mut mesh = TcpMesh::new();
+    mesh.set_telemetry(telemetry.clone());
+    mesh.spawn(nodes, ids, &links, ca_key)
+        .expect("loopback mesh comes up");
+    let n = rars.len();
+    mesh.submit_all(
+        "domain-a",
+        rars.into_iter().map(|r| (r, cert.clone())).collect(),
+    );
+    mesh.wait_completions(n);
+    mesh.shutdown();
+    let mesh_fallbacks: u64 = ["domain-a", "domain-b", "domain-c"]
+        .iter()
+        .map(|d| {
+            registry
+                .counter_value("buffer_pool_fallbacks_total", &[("domain", d)])
+                .unwrap_or(0)
+        })
+        .sum();
+    println!("  mesh pool fallbacks across domains: {mesh_fallbacks}");
+    artifact.push(
+        Row::new()
+            .field("section", "pooled_mesh")
+            .field("mesh_pool_fallbacks", mesh_fallbacks),
+    );
+
+    println!();
+    match artifact.write("BENCH_alloc.json") {
+        Ok(()) => println!("wrote BENCH_alloc.json"),
+        Err(e) => eprintln!("warning: could not write BENCH_alloc.json: {e}"),
+    }
+    write_metrics_snapshot("alloc_path", &registry);
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("\nFAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "\nexpected: a warm admission round trip runs from socket bytes to a\n\
+         sealed verdict without allocating — pooled chunks absorb the reads,\n\
+         borrowed views replace owned decodes, MACs verify in place, and the\n\
+         reply replays from the per-peer cache; pooling never changes a\n\
+         verdict or a committed byte."
+    );
+}

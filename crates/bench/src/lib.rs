@@ -4,6 +4,7 @@
 //! (DESIGN.md §7 maps them); the `table` helpers print aligned rows that
 //! EXPERIMENTS.md records verbatim.
 
+pub mod alloc_count;
 pub mod workload;
 
 use qos_core::drive::Mesh;

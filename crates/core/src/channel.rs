@@ -13,6 +13,10 @@
 //! derived session key with strict sequence numbers), and **certificate
 //! learning** (each side ends the handshake holding the peer's
 //! certificate — the raw material of the key-introducer web of trust).
+// Zero-alloc hot-path module (DESIGN.md §D15): the dedicated CI lint
+// step loads .clippy-hotpath/clippy.toml, under which this attribute
+// rejects un-annotated Vec::new / slice::to_vec in this module.
+#![deny(clippy::disallowed_methods)]
 
 use crate::error::CoreError;
 use qos_crypto::sha256::{hmac_sha256, Digest, Sha256, DIGEST_LEN};
@@ -167,6 +171,8 @@ fn transcript_hash(cert_i: &Certificate, cert_r: &Certificate, nonce: u64) -> Ve
     h.update(&qos_wire::to_bytes(cert_i));
     h.update(&qos_wire::to_bytes(cert_r));
     h.update(&nonce.to_le_bytes());
+    // Handshake-time only — never on the sealed-frame hot path.
+    #[allow(clippy::disallowed_methods)]
     h.finalize().to_vec()
 }
 
@@ -290,12 +296,30 @@ impl SecureChannel {
 }
 
 /// MAC over one channel message: `HMAC(key, direction ‖ seq ‖ payload)`.
+///
+/// RFC 2104 run with incremental hash updates (D15): byte-identical to
+/// `hmac_sha256(key, direction ‖ seq ‖ payload)` without materializing
+/// the concatenation, so sealing and opening are allocation-free — the
+/// payload is hashed wherever it already lives.
 fn mac_message(key: &Digest, direction: u8, seq: u64, payload: &[u8]) -> Digest {
-    let mut data = Vec::with_capacity(payload.len() + 9);
-    data.push(direction);
-    data.extend_from_slice(&seq.to_le_bytes());
-    data.extend_from_slice(payload);
-    hmac_sha256(key, &data)
+    let mut k = [0u8; 64];
+    k[..DIGEST_LEN].copy_from_slice(key);
+    let mut ipad = [0x36u8; 64];
+    let mut opad = [0x5cu8; 64];
+    for i in 0..64 {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(&[direction]);
+    inner.update(&seq.to_le_bytes());
+    inner.update(payload);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
 }
 
 /// Per-direction MAC key: `HMAC(session_key, label ‖ direction)`.
@@ -319,7 +343,7 @@ pub struct SealHalf {
 impl SealHalf {
     /// Seal an outgoing payload.
     pub fn seal(&mut self, payload: Vec<u8>) -> Sealed {
-        let (seq, mac) = self.seal_detached(&payload);
+        let (seq, mac) = self.seal_in_place(&payload);
         Sealed { payload, seq, mac }
     }
 
@@ -327,6 +351,14 @@ impl SealHalf {
     /// ownership — the zero-copy path for callers that encode the
     /// payload bytes straight into a scratch buffer.
     pub fn seal_detached(&mut self, payload: &[u8]) -> (u64, Digest) {
+        self.seal_in_place(payload)
+    }
+
+    /// Seal `payload` where it already lives (D15): the MAC is computed
+    /// over the slice with no plaintext copy and no allocation. The
+    /// copying [`SealHalf::seal`] delegates here. The caller writes the
+    /// `Sealed` wire framing around the bytes it already holds.
+    pub fn seal_in_place(&mut self, payload: &[u8]) -> (u64, Digest) {
         let seq = self.seq;
         self.seq += 1;
         (seq, mac_message(&self.key, self.direction, seq, payload))
@@ -351,23 +383,68 @@ pub struct OpenHalf {
 impl OpenHalf {
     /// Open an incoming message: verifies the MAC and strict ordering.
     pub fn open(&mut self, msg: Sealed) -> Result<Vec<u8>, CoreError> {
-        let expect = mac_message(&self.key, self.direction, msg.seq, &msg.payload);
-        if !ct_eq(&expect, &msg.mac) {
+        self.open_in_place(&msg.payload, msg.seq, &msg.mac)?;
+        Ok(msg.payload)
+    }
+
+    /// Verify a sealed message where its bytes already live (D15): the
+    /// MAC is checked over the payload slice (e.g. a view into a pooled
+    /// read chunk) with no plaintext copy, then the strict sequence
+    /// check runs. On success the caller keeps using its slice as the
+    /// authenticated plaintext. The copying [`OpenHalf::open`] delegates
+    /// here.
+    pub fn open_in_place(
+        &mut self,
+        payload: &[u8],
+        seq: u64,
+        mac: &Digest,
+    ) -> Result<(), CoreError> {
+        let expect = mac_message(&self.key, self.direction, seq, payload);
+        if !ct_eq(&expect, mac) {
             return Err(CoreError::Channel("MAC verification failed".into()));
         }
-        if msg.seq != self.seq {
+        if seq != self.seq {
             return Err(CoreError::Channel(format!(
                 "out-of-order message: expected seq {}, got {}",
-                self.seq, msg.seq
+                self.seq, seq
             )));
         }
         self.seq += 1;
-        Ok(msg.payload)
+        Ok(())
     }
 
     /// Next sequence number expected.
     pub fn next_seq(&self) -> u64 {
         self.seq
+    }
+}
+
+/// Borrowed view of a [`Sealed`] message parsed straight from frame
+/// bytes (D15) — the zero-copy sibling of decoding `Sealed` through
+/// [`qos_wire::Decode`]. The payload stays a slice into the receive
+/// buffer; only the fixed-size seq and MAC are copied out.
+#[derive(Debug, Clone, Copy)]
+pub struct SealedRef<'a> {
+    /// The MACed payload, borrowed from the receive buffer.
+    pub payload: &'a [u8],
+    /// Channel sequence number.
+    pub seq: u64,
+    /// The transmitted MAC.
+    pub mac: Digest,
+}
+
+impl<'a> SealedRef<'a> {
+    /// Parse the canonical `Sealed` encoding from `r` without copying
+    /// the payload. Accepts exactly the bytes [`Sealed`]'s decoder
+    /// accepts.
+    pub fn parse(r: &mut qos_wire::Reader<'a>) -> Result<Self, qos_wire::WireError> {
+        let payload = r.get_bytes_ref()?;
+        let seq = r.get_u64()?;
+        let mut mac = [0u8; DIGEST_LEN];
+        for b in mac.iter_mut() {
+            *b = r.get_u8()?;
+        }
+        Ok(SealedRef { payload, seq, mac })
     }
 }
 
@@ -504,6 +581,8 @@ fn net_transcript(
     h.update(&qos_wire::to_bytes(cert_r));
     h.update(&nonce_i.to_le_bytes());
     h.update(&nonce_r.to_le_bytes());
+    // Handshake-time only — never on the sealed-frame hot path.
+    #[allow(clippy::disallowed_methods)]
     h.finalize().to_vec()
 }
 
@@ -819,6 +898,77 @@ mod tests {
             mac,
         };
         assert_eq!(o1.open(msg).unwrap(), payload);
+    }
+
+    #[test]
+    fn incremental_mac_matches_concatenated_hmac() {
+        // mac_message must stay byte-identical to
+        // HMAC(key, direction ‖ seq ‖ payload) over the materialized
+        // concatenation — in-place sealing must not change the wire MAC.
+        for (direction, seq, payload) in [
+            (0u8, 0u64, &b""[..]),
+            (1, 1, b"x"),
+            (0, u64::MAX, &[0xAB; 4096][..]),
+        ] {
+            let key = qos_crypto::sha256::sha256(payload);
+            let mut concat = Vec::with_capacity(payload.len() + 9);
+            concat.push(direction);
+            concat.extend_from_slice(&seq.to_le_bytes());
+            concat.extend_from_slice(payload);
+            assert_eq!(
+                mac_message(&key, direction, seq, payload),
+                hmac_sha256(&key, &concat)
+            );
+        }
+    }
+
+    #[test]
+    fn in_place_seal_open_matches_copying_api() {
+        let f = fix();
+        let (a1, b1) = net_handshake(&f).unwrap();
+        let (mut s1, _) = a1.split();
+        let (_, mut o1) = b1.split();
+        for i in 0..4u8 {
+            let payload = vec![i; 64 + i as usize];
+            let (seq, mac) = s1.seal_in_place(&payload);
+            assert_eq!(seq, i as u64);
+            // Verify without ever owning the payload.
+            o1.open_in_place(&payload, seq, &mac).unwrap();
+        }
+        // The two halves stay in lockstep with the copying API.
+        let msg = s1.seal(b"owned".to_vec());
+        assert_eq!(o1.open(msg).unwrap(), b"owned");
+    }
+
+    #[test]
+    fn open_in_place_rejects_bad_mac_and_replay() {
+        let f = fix();
+        let (a1, b1) = net_handshake(&f).unwrap();
+        let (mut s1, _) = a1.split();
+        let (_, mut o1) = b1.split();
+        let payload = b"frame".to_vec();
+        let (seq, mac) = s1.seal_in_place(&payload);
+        let mut bad = mac;
+        bad[0] ^= 1;
+        assert!(o1.open_in_place(&payload, seq, &bad).is_err());
+        o1.open_in_place(&payload, seq, &mac).unwrap();
+        // Replaying the same seq must fail the ordering check.
+        assert!(o1.open_in_place(&payload, seq, &mac).is_err());
+    }
+
+    #[test]
+    fn sealed_ref_parses_canonical_sealed_bytes() {
+        let f = fix();
+        let (a1, _) = net_handshake(&f).unwrap();
+        let (mut s1, _) = a1.split();
+        let msg = s1.seal(b"borrowed view".to_vec());
+        let bytes = qos_wire::to_bytes(&msg);
+        let mut r = qos_wire::Reader::new(&bytes);
+        let sref = SealedRef::parse(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(sref.payload, &msg.payload[..]);
+        assert_eq!(sref.seq, msg.seq);
+        assert_eq!(sref.mac, msg.mac);
     }
 
     #[test]

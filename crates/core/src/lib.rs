@@ -36,6 +36,7 @@ pub mod audit;
 pub mod channel;
 pub mod drive;
 pub mod envelope;
+pub mod envelope_ref;
 pub mod error;
 pub mod flowtable;
 pub mod messages;

@@ -25,9 +25,10 @@ use crate::messages::{
 use crate::rar::RarId;
 use crate::trust::{verify_rar, KeySource, VerifiedRar};
 use qos_broker::{BrokerCore, EdgeCommand, Interval, PathSegment, ReservationId, Sla};
+use qos_crypto::sha256::{sha256, Digest};
 use qos_crypto::{
-    Certificate, DelegationChain, DistinguishedName, KeyPair, PublicKey, Restriction, Timestamp,
-    TrustPolicy, Validity,
+    Certificate, DelegationChain, DistinguishedName, KeyPair, PublicKey, Restriction, Signature,
+    Timestamp, TrustPolicy, Validity,
 };
 use qos_net::conditioner::{ExcessTreatment, TrafficProfile};
 use qos_net::{FlowId, LinkId, NodeId};
@@ -167,6 +168,132 @@ struct Pending {
     trace: TraceId,
 }
 
+/// Default bound on cached warm-path replies per node.
+pub const REPLY_CACHE_DEFAULT_CAPACITY: usize = 1024;
+
+/// One remembered single-message reply to a byte-identical `Request`
+/// envelope (DESIGN.md §D15).
+struct CachedReply {
+    /// Outer envelope signature — the digest key covers the layer bytes
+    /// only, so a hit additionally requires signature equality (same
+    /// discipline as the RAR memo).
+    sig: Signature,
+    /// The peer the original request arrived from.
+    from: PeerId,
+    /// Where the reply went.
+    to: PeerId,
+    /// Request id, for release-time invalidation.
+    rar_id: RarId,
+    /// Broker clock at decision time — a hit requires the same instant,
+    /// so state drift across clock ticks can never replay a stale
+    /// verdict (the memo key makes the same choice).
+    now: Timestamp,
+    /// The encoded `SignalMessage` reply.
+    bytes: Vec<u8>,
+    stamp: u64,
+}
+
+/// Per-node warm-path reply cache (DESIGN.md §D15): signalling retries
+/// and two-phase re-sends deliver byte-identical `Request` envelopes in
+/// the steady state. Replaying the recorded reply is not only
+/// allocation-free — it also makes retried requests genuinely
+/// idempotent (the slow path re-runs hold/forward bookkeeping).
+///
+/// Only `Approve` and forwarded-`Request` replies are cached; denials
+/// always re-run the full path, because a deny verdict (capacity, cost)
+/// can legitimately flip once other traffic releases. Entries for a
+/// reservation are dropped the moment its `Release` is seen.
+struct ReplyCache {
+    map: HashMap<Digest, CachedReply>,
+    by_rar: HashMap<RarId, Vec<Digest>>,
+    tick: u64,
+    cap: usize,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+    evictions: Arc<AtomicU64>,
+}
+
+impl Default for ReplyCache {
+    fn default() -> Self {
+        ReplyCache {
+            map: HashMap::new(),
+            by_rar: HashMap::new(),
+            tick: 0,
+            cap: REPLY_CACHE_DEFAULT_CAPACITY,
+            hits: Arc::new(AtomicU64::new(0)),
+            misses: Arc::new(AtomicU64::new(0)),
+            evictions: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+impl ReplyCache {
+    fn probe(
+        &mut self,
+        key: &Digest,
+        sig: Signature,
+        from: &str,
+        now: Timestamp,
+    ) -> Option<(PeerId, &[u8])> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some(e) if e.sig == sig && e.from.as_ref() == from && e.now == now => {
+                e.stamp = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((e.to.clone(), &e.bytes))
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: Digest, entry: CachedReply) {
+        self.tick += 1;
+        let tick = self.tick;
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+            {
+                self.remove_key(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.by_rar.entry(entry.rar_id).or_default().push(key);
+        self.map.insert(
+            key,
+            CachedReply {
+                stamp: tick,
+                ..entry
+            },
+        );
+    }
+
+    fn remove_key(&mut self, key: &Digest) {
+        if let Some(e) = self.map.remove(key) {
+            if let Some(keys) = self.by_rar.get_mut(&e.rar_id) {
+                keys.retain(|k| k != key);
+                if keys.is_empty() {
+                    self.by_rar.remove(&e.rar_id);
+                }
+            }
+        }
+    }
+
+    fn invalidate_rar(&mut self, rar_id: RarId) {
+        if let Some(keys) = self.by_rar.remove(&rar_id) {
+            for k in keys {
+                self.map.remove(&k);
+            }
+        }
+    }
+}
+
 /// Source end of an established tunnel. Per-flow state lives in compact
 /// [`FlowTable`]s (16 B records, no per-flow heap allocation) and the
 /// in-flight sum is a counter maintained incrementally — admission never
@@ -275,6 +402,7 @@ pub struct BbNode {
     tracer: Tracer,
     clock: Arc<dyn Clock>,
     verified_paths: HashMap<RarId, Vec<DistinguishedName>>,
+    replies: ReplyCache,
     /// Augments ledger snapshots with transport-layer state (resumption
     /// tickets) — installed by the daemon, shared across shard replicas.
     snapshot_extra: Option<SnapshotExtra>,
@@ -342,6 +470,7 @@ impl BbNode {
             tracer,
             clock: Arc::new(StdClock),
             verified_paths: HashMap::new(),
+            replies: ReplyCache::default(),
             snapshot_extra: None,
             recovered_tickets: RecoveredTickets::default(),
         };
@@ -489,6 +618,27 @@ impl BbNode {
                 "Signatures verified (envelope layers, approvals, capabilities)",
                 dl,
                 self.counters.verified.clone(),
+            );
+            // Warm-path reply cache (D15) — per-node, so the series
+            // carries the domain label alongside the cache name.
+            let rl: &[(&str, &str)] = &[("cache", "reply"), ("domain", &d)];
+            telemetry.register_counter(
+                "cache_hits_total",
+                "Memoization cache hits, by cache",
+                rl,
+                self.replies.hits.clone(),
+            );
+            telemetry.register_counter(
+                "cache_misses_total",
+                "Memoization cache misses, by cache",
+                rl,
+                self.replies.misses.clone(),
+            );
+            telemetry.register_counter(
+                "cache_evictions_total",
+                "Memoization cache evictions, by cache",
+                rl,
+                self.replies.evictions.clone(),
             );
             self.instruments = NodeInstruments {
                 verify_ns: telemetry.histogram(
@@ -1213,6 +1363,58 @@ impl BbNode {
         self.on_request_checked(from, rar, false)
     }
 
+    /// Warm-path replay (DESIGN.md §D15): if `env` is byte-identical to
+    /// a `Request` this node already answered — same envelope bytes,
+    /// same outer signature, same peer, same clock instant — append the
+    /// recorded reply's encoded `SignalMessage` to `out` and return its
+    /// destination, with zero owned decoding and zero state mutation.
+    /// `None` sends the caller down the normal owned-decode path.
+    pub fn revalidate_request(
+        &mut self,
+        from: &str,
+        env: &crate::envelope_ref::EnvelopeRef<'_>,
+        out: &mut Vec<u8>,
+    ) -> Option<PeerId> {
+        if self.replies.cap == 0 {
+            return None;
+        }
+        let key = sha256(env.layer_bytes());
+        let now = self.now;
+        let hit = match self.replies.probe(&key, env.signature(), from, now) {
+            Some((to, bytes)) => {
+                out.extend_from_slice(bytes);
+                Some(to)
+            }
+            None => None,
+        };
+        if hit.is_some() {
+            // The replay is a real message in and a real message out —
+            // the traffic counters must not diverge from the slow path.
+            self.counters.add_rx(1);
+            self.counters.add_tx(1);
+        }
+        hit
+    }
+
+    /// Resize the warm-path reply cache. `0` disables it entirely (the
+    /// D10 "caches off" ablation); shrinking drops all entries.
+    pub fn set_reply_cache_capacity(&mut self, cap: usize) {
+        self.replies.cap = cap;
+        if self.replies.map.len() > cap {
+            self.replies.map.clear();
+            self.replies.by_rar.clear();
+        }
+    }
+
+    /// `(hits, misses, evictions)` of the warm-path reply cache.
+    pub fn reply_cache_stats(&self) -> (u64, u64, u64) {
+        (
+            self.replies.hits.load(Ordering::Relaxed),
+            self.replies.misses.load(Ordering::Relaxed),
+            self.replies.evictions.load(Ordering::Relaxed),
+        )
+    }
+
     fn on_request_checked(
         &mut self,
         from: &str,
@@ -1220,8 +1422,33 @@ impl BbNode {
         pre_verified: bool,
     ) -> Vec<(PeerId, SignalMessage)> {
         let rar_id = rar.res_spec().rar_id;
+        // Remember enough to cache the reply before the envelope is
+        // consumed; the digest is skipped entirely when the cache is off.
+        let cache_key = (self.replies.cap > 0).then(|| sha256(rar.layer_bytes()));
+        let sig = rar.signature();
         match self.process_request(from, rar, pre_verified) {
-            Ok(out) => out,
+            Ok(out) => {
+                if let (Some(key), [(to, msg)]) = (cache_key, &out[..]) {
+                    // Approvals and transit forwards replay safely (the
+                    // hold they describe is already in place); denials
+                    // never do — see [`ReplyCache`].
+                    if matches!(msg, SignalMessage::Approve(_) | SignalMessage::Request(_)) {
+                        self.replies.insert(
+                            key,
+                            CachedReply {
+                                sig,
+                                from: PeerId::from(from),
+                                to: to.clone(),
+                                rar_id,
+                                now: self.now,
+                                bytes: qos_wire::to_bytes(msg),
+                                stamp: 0,
+                            },
+                        );
+                    }
+                }
+                out
+            }
             Err(e) => {
                 let denial = match e {
                     CoreError::Denied {
@@ -1755,6 +1982,9 @@ impl BbNode {
         rar_id: RarId,
         msg: Release,
     ) -> Vec<(PeerId, SignalMessage)> {
+        // A released reservation's cached approve/forward must never
+        // replay (DESIGN.md §D15).
+        self.replies.invalidate_rar(rar_id);
         let Some(pending) = self.pending.remove(&rar_id) else {
             return Vec::new();
         };
@@ -2503,6 +2733,17 @@ impl BbNode {
             tracer,
             clock: Arc::clone(&self.clock),
             verified_paths: HashMap::new(),
+            // Fresh map (requests are pinned per replica) but shared
+            // counter cells, like every other instrument.
+            replies: ReplyCache {
+                map: HashMap::new(),
+                by_rar: HashMap::new(),
+                tick: 0,
+                cap: self.replies.cap,
+                hits: Arc::clone(&self.replies.hits),
+                misses: Arc::clone(&self.replies.misses),
+                evictions: Arc::clone(&self.replies.evictions),
+            },
             snapshot_extra: self.snapshot_extra.clone(),
             recovered_tickets: RecoveredTickets::default(),
         }

@@ -22,7 +22,7 @@
 use crate::envelope::{RarLayer, SignedRar};
 use crate::error::CoreError;
 use crate::rar::ResSpec;
-use qos_crypto::sha256::{sha256, Digest};
+use qos_crypto::sha256::{sha256, Digest, Sha256};
 use qos_crypto::{
     Certificate, CertificateDirectory, DistinguishedName, PublicKey, Signature, Timestamp,
     TrustPolicy,
@@ -162,15 +162,24 @@ fn memo_key(
     policy: TrustPolicy,
     now: Timestamp,
 ) -> Digest {
-    let outer = sha256(rar.layer_bytes());
-    let dn = qos_wire::to_bytes(self_dn);
-    let mut feed = Vec::with_capacity(outer.len() + dn.len() + 24);
-    feed.extend_from_slice(&outer);
-    feed.extend_from_slice(&outer_pk.0.to_le_bytes());
-    feed.extend_from_slice(&dn);
-    feed.extend_from_slice(&(policy.max_chain_depth as u64).to_le_bytes());
-    feed.extend_from_slice(&now.0.to_le_bytes());
-    sha256(&feed)
+    // Incremental feed (D15): hashes the same byte sequence the old
+    // concatenated buffer held — layer digest ‖ pk ‖ canonical DN
+    // encoding ‖ depth bound ‖ clock — without materializing it, so the
+    // memo fast path itself is allocation-free.
+    let mut h = Sha256::new();
+    h.update(&sha256(rar.layer_bytes()));
+    h.update(&outer_pk.0.to_le_bytes());
+    let comps = self_dn.components();
+    h.update(&(comps.len() as u32).to_le_bytes());
+    for c in comps {
+        h.update(&(c.attr.len() as u32).to_le_bytes());
+        h.update(c.attr.as_bytes());
+        h.update(&(c.value.len() as u32).to_le_bytes());
+        h.update(c.value.as_bytes());
+    }
+    h.update(&(policy.max_chain_depth as u64).to_le_bytes());
+    h.update(&now.0.to_le_bytes());
+    h.finalize()
 }
 
 fn memo_lookup(key: &Digest, sig: &Signature) -> Option<VerifiedRar> {
@@ -487,6 +496,28 @@ mod tests {
             );
         }
         rar
+    }
+
+    #[test]
+    fn incremental_memo_key_matches_concatenated_feed() {
+        // The incremental memo_key must keep producing the digest the
+        // original concatenated-buffer implementation produced — cached
+        // verdicts survive the refactor.
+        let mut f = fix();
+        let rar = build(&mut f, 2);
+        let pk = f.bb[1].public();
+        let dn = DistinguishedName::broker("domain-c");
+        let policy = TrustPolicy::default();
+        let now = Timestamp(7);
+        let outer = sha256(rar.layer_bytes());
+        let dn_bytes = qos_wire::to_bytes(&dn);
+        let mut feed = Vec::new();
+        feed.extend_from_slice(&outer);
+        feed.extend_from_slice(&pk.0.to_le_bytes());
+        feed.extend_from_slice(&dn_bytes);
+        feed.extend_from_slice(&(policy.max_chain_depth as u64).to_le_bytes());
+        feed.extend_from_slice(&now.0.to_le_bytes());
+        assert_eq!(memo_key(&rar, pk, &dn, policy, now), sha256(&feed));
     }
 
     #[test]

@@ -774,3 +774,68 @@ fn batched_ingress_matches_serial_processing() {
     );
     assert_eq!(serial.nodes[1].counters(), batched.nodes[1].counters());
 }
+
+#[test]
+fn warm_replay_returns_identical_reply_without_decoding() {
+    use qos_core::envelope_ref::EnvelopeRef;
+    use qos_core::messages::SignalMessage;
+
+    let mut s = build_chain(ChainOptions::default()); // a → b → c
+    let spec = s.spec("alice", 7, 10 * MBPS, Timestamp(0), 3600);
+    let rar = s.users["alice"].sign_request(spec, &s.nodes[0]);
+    let cert = s.users["alice"].cert.clone();
+
+    // Source wraps and forwards to b.
+    let out_a = s.nodes[0].submit_batch(vec![(rar, cert)]);
+    assert_eq!(out_a.len(), 1);
+    let (to_b, fwd_a) = &out_a[0];
+    assert_eq!(to_b.as_ref(), "domain-b");
+    let wire_a = qos_wire::to_bytes(fwd_a);
+
+    // Transit b forwards to c (cold path — populates the reply cache).
+    let out_b = s.nodes[1].recv("domain-a", fwd_a.clone());
+    assert_eq!(out_b.len(), 1);
+    let (to_c, fwd_b) = &out_b[0];
+    assert_eq!(to_c.as_ref(), "domain-c");
+    let wire_b = qos_wire::to_bytes(fwd_b);
+
+    // Destination c approves (cold path — populates the reply cache).
+    let out_c = s.nodes[2].recv("domain-b", fwd_b.clone());
+    assert_eq!(out_c.len(), 1);
+    let (back, approve) = &out_c[0];
+    assert_eq!(back.as_ref(), "domain-b");
+    assert!(matches!(approve, SignalMessage::Approve(_)));
+
+    // Byte-identical retries replay from the cache: same destination,
+    // byte-identical reply, zero owned decoding.
+    let env_b = EnvelopeRef::parse(&wire_a).unwrap().expect("request");
+    let mut scratch = Vec::new();
+    let to = s.nodes[1]
+        .revalidate_request("domain-a", &env_b, &mut scratch)
+        .expect("transit forward replays");
+    assert_eq!(to.as_ref(), "domain-c");
+    assert_eq!(scratch, wire_b, "replayed forward is byte-identical");
+
+    let env_c = EnvelopeRef::parse(&wire_b).unwrap().expect("request");
+    scratch.clear();
+    let to = s.nodes[2]
+        .revalidate_request("domain-b", &env_c, &mut scratch)
+        .expect("destination approve replays");
+    assert_eq!(to.as_ref(), "domain-b");
+    assert_eq!(scratch, qos_wire::to_bytes(approve));
+
+    // Wrong peer or unknown envelope: miss, caller takes the slow path.
+    scratch.clear();
+    assert!(s.nodes[2]
+        .revalidate_request("domain-x", &env_c, &mut scratch)
+        .is_none());
+    assert!(scratch.is_empty());
+
+    // Capacity 0 disables the cache entirely.
+    s.nodes[1].set_reply_cache_capacity(0);
+    assert!(s.nodes[1]
+        .revalidate_request("domain-a", &env_b, &mut scratch)
+        .is_none());
+    let (hits, misses, _) = s.nodes[2].reply_cache_stats();
+    assert!(hits >= 1 && misses >= 1);
+}

@@ -117,6 +117,10 @@ struct Writer {
     segment_bytes: u64,
     segment_max_seq: u64,
     sealed: Vec<Sealed>,
+    /// Drain scratch: swapped with each stripe's buffer during a group
+    /// commit so buffer capacity circulates between the stripes and the
+    /// drain instead of being reallocated every batch.
+    drain_buf: Vec<u8>,
 }
 
 /// Flight-recorder and gauge hooks adopted via `set_telemetry`.
@@ -242,6 +246,7 @@ impl FileStore {
                 segment_bytes: SEGMENT_MAGIC.len() as u64,
                 segment_max_seq: 0,
                 sealed,
+                drain_buf: Vec::new(),
             }),
             stop: AtomicBool::new(false),
             signal: (Mutex::new(()), Condvar::new()),
@@ -298,23 +303,30 @@ impl LedgerStore for FileStore {
 
     fn append(&self, record: &LedgerRecord) -> u64 {
         let inner = &self.inner;
-        let payload = qos_wire::to_bytes(record);
         let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
         let seq_bytes = seq.to_le_bytes();
-        let mut crc = Crc32::new();
-        crc.update(&seq_bytes);
-        crc.update(&payload);
-        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
-        frame.extend_from_slice(&seq_bytes);
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc.finalize().to_le_bytes());
-        frame.extend_from_slice(&payload);
-        let frame_len = frame.len() as u64;
 
+        // Encode straight into the stripe buffer behind a header
+        // placeholder, then patch len + CRC once the payload size is
+        // known — no per-append payload or frame allocation; the stripe
+        // buffers amortise to their group-commit batch size.
+        let frame_len;
         {
             let mut stripe = lock(&inner.stripes[(seq as usize) % STRIPES]);
-            stripe.buf.extend_from_slice(&frame);
+            let start = stripe.buf.len();
+            stripe.buf.extend_from_slice(&seq_bytes);
+            stripe.buf.extend_from_slice(&[0u8; 8]); // len + crc, patched below
+            qos_wire::encode_into(record, &mut stripe.buf);
+            let payload_len = stripe.buf.len() - start - FRAME_HEADER_LEN;
+            let mut crc = Crc32::new();
+            crc.update(&seq_bytes);
+            crc.update(&stripe.buf[start + FRAME_HEADER_LEN..]);
+            let len_bytes = (payload_len as u32).to_le_bytes();
+            let crc_bytes = crc.finalize().to_le_bytes();
+            stripe.buf[start + 8..start + 12].copy_from_slice(&len_bytes);
+            stripe.buf[start + 12..start + 16].copy_from_slice(&crc_bytes);
             stripe.max_seq = stripe.max_seq.max(seq);
+            frame_len = (FRAME_HEADER_LEN + payload_len) as u64;
         }
         inner.appends.fetch_add(1, Ordering::Relaxed);
         inner.appends_since_snapshot.fetch_add(1, Ordering::Relaxed);
@@ -519,22 +531,27 @@ impl Inner {
     /// [`FileStore::flush`] returning means *its* records are durable.
     fn drain_and_sync(&self) {
         let mut w = lock(&self.writer);
+        let w = &mut *w;
         let mut total = 0u64;
         let mut max_seq = 0u64;
         let mut wrote_err = false;
         for stripe in &self.stripes {
-            let (buf, stripe_max) = {
+            let stripe_max = {
                 let mut s = lock(stripe);
-                (std::mem::take(&mut s.buf), std::mem::take(&mut s.max_seq))
+                if s.buf.is_empty() {
+                    continue;
+                }
+                // Hand the stripe the (cleared) scratch and take its
+                // batch: capacities circulate, nothing is reallocated.
+                std::mem::swap(&mut s.buf, &mut w.drain_buf);
+                std::mem::take(&mut s.max_seq)
             };
-            if buf.is_empty() {
-                continue;
-            }
-            total += buf.len() as u64;
+            total += w.drain_buf.len() as u64;
             max_seq = max_seq.max(stripe_max);
-            if w.file.write_all(&buf).is_err() {
+            if w.file.write_all(&w.drain_buf).is_err() {
                 wrote_err = true;
             }
+            w.drain_buf.clear();
         }
         if total == 0 {
             return;
@@ -562,7 +579,7 @@ impl Inner {
             );
         }
 
-        if w.segment_bytes >= self.opts.segment_bytes && self.rotate(&mut w).is_err() {
+        if w.segment_bytes >= self.opts.segment_bytes && self.rotate(w).is_err() {
             self.io_errors.fetch_add(1, Ordering::Relaxed);
         }
     }

@@ -77,18 +77,25 @@ pub fn status_text(status: u16) -> &'static str {
 }
 
 /// Render a full one-shot response (`Connection: close`, exact
-/// `Content-Length`).
-pub fn render_response(status: u16, content_type: &str, body: &str) -> Vec<u8> {
-    let mut out = Vec::with_capacity(body.len() + 128);
-    out.extend_from_slice(
-        format!(
-            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-            status_text(status),
-            body.len()
-        )
-        .as_bytes(),
+/// `Content-Length`) by appending to a caller-owned buffer, so a
+/// long-lived server (the reactor's admin plane) can recycle one
+/// response buffer across scrapes instead of allocating per request.
+pub fn render_response_into(out: &mut Vec<u8>, status: u16, content_type: &str, body: &str) {
+    use std::io::Write as _;
+    out.reserve(body.len() + 128);
+    let _ = write!(
+        out,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_text(status),
+        body.len()
     );
     out.extend_from_slice(body.as_bytes());
+}
+
+/// Render a full one-shot response into a fresh buffer.
+pub fn render_response(status: u16, content_type: &str, body: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 128);
+    render_response_into(&mut out, status, content_type, body);
     out
 }
 

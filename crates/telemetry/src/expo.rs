@@ -6,65 +6,96 @@
 //! the order subsystems resolved their instruments. That determinism is
 //! what lets CI diff metric snapshots and tests assert on exact output.
 
+use std::fmt::Write as _;
 use std::sync::atomic::Ordering;
 
 use crate::metrics::{bucket_bound, MetricCell, MetricKind, Registry, HISTOGRAM_BUCKETS};
 
-/// Escape a HELP string: backslash and newline.
-fn escape_help(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('\n', "\\n")
+/// Append a HELP string, escaping backslash and newline.
+fn write_escaped_help(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
 }
 
-/// Escape a label value: backslash, double-quote, newline.
-fn escape_label(s: &str) -> String {
-    s.replace('\\', "\\\\")
-        .replace('"', "\\\"")
-        .replace('\n', "\\n")
+/// Append a label value, escaping backslash, double-quote, newline.
+fn write_escaped_label(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
 }
 
-/// Render a label set (already sorted by name), with an optional extra
-/// `le` label appended for histogram buckets.
-fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
-    let mut parts: Vec<String> = labels
-        .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
-        .collect();
+/// Append a label set (already sorted by name), with an optional extra
+/// `le` label for histogram buckets. Empty sets render as nothing.
+fn write_labels(out: &mut String, labels: &[(String, String)], le: Option<&str>) {
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        write_escaped_label(out, v);
+        out.push('"');
+    }
     if let Some(le) = le {
-        parts.push(format!("le=\"{le}\""));
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        out.push_str(le);
+        out.push('"');
     }
-    if parts.is_empty() {
-        String::new()
-    } else {
-        format!("{{{}}}", parts.join(","))
-    }
+    out.push('}');
 }
 
-/// Render the whole registry in the Prometheus text exposition format.
+/// Render the registry in the Prometheus text exposition format by
+/// appending to a caller-owned buffer — the admin plane's `/metrics`
+/// route recycles one render buffer across scrapes (DESIGN.md §D15)
+/// rather than building a fresh string per request.
 ///
 /// Histogram buckets are cumulative with log-linear `le` bounds; only
 /// buckets up to the highest non-empty one are emitted (plus `+Inf`),
 /// keeping 496-bucket families readable.
-pub fn render_prometheus(registry: &Registry) -> String {
+pub fn render_prometheus_into(registry: &Registry, out: &mut String) {
     let fams = registry.families.lock().expect("registry poisoned");
-    let mut out = String::new();
+    let mut le_scratch = String::new();
     for (name, fam) in fams.iter() {
-        out.push_str(&format!("# HELP {name} {}\n", escape_help(&fam.help)));
-        out.push_str(&format!("# TYPE {name} {}\n", fam.kind.as_str()));
+        out.push_str("# HELP ");
+        out.push_str(name);
+        out.push(' ');
+        write_escaped_help(out, &fam.help);
+        out.push('\n');
+        out.push_str("# TYPE ");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(fam.kind.as_str());
+        out.push('\n');
         for (labels, cell) in &fam.metrics {
             match cell {
                 MetricCell::Counter(c) => {
-                    out.push_str(&format!(
-                        "{name}{} {}\n",
-                        render_labels(labels, None),
-                        c.load(Ordering::Relaxed)
-                    ));
+                    out.push_str(name);
+                    write_labels(out, labels, None);
+                    let _ = writeln!(out, " {}", c.load(Ordering::Relaxed));
                 }
                 MetricCell::Gauge(g) => {
-                    out.push_str(&format!(
-                        "{name}{} {}\n",
-                        render_labels(labels, None),
-                        g.load(Ordering::Relaxed)
-                    ));
+                    out.push_str(name);
+                    write_labels(out, labels, None);
+                    let _ = writeln!(out, " {}", g.load(Ordering::Relaxed));
                 }
                 MetricCell::Histogram(h) => {
                     let (counts, count, sum) = h.snapshot();
@@ -73,35 +104,43 @@ pub fn render_prometheus(registry: &Registry) -> String {
                     if let Some(top) = top {
                         for (i, &c) in counts.iter().enumerate().take(top + 1) {
                             cum += c;
-                            let le = if i >= HISTOGRAM_BUCKETS - 1 {
-                                "+Inf".to_string()
+                            le_scratch.clear();
+                            if i >= HISTOGRAM_BUCKETS - 1 {
+                                le_scratch.push_str("+Inf");
                             } else {
-                                bucket_bound(i).to_string()
-                            };
-                            out.push_str(&format!(
-                                "{name}_bucket{} {cum}\n",
-                                render_labels(labels, Some(&le))
-                            ));
+                                let _ = write!(le_scratch, "{}", bucket_bound(i));
+                            }
+                            out.push_str(name);
+                            out.push_str("_bucket");
+                            write_labels(out, labels, Some(&le_scratch));
+                            let _ = writeln!(out, " {cum}");
                         }
                     }
                     if top.is_none_or(|t| t < HISTOGRAM_BUCKETS - 1) {
-                        out.push_str(&format!(
-                            "{name}_bucket{} {cum}\n",
-                            render_labels(labels, Some("+Inf"))
-                        ));
+                        out.push_str(name);
+                        out.push_str("_bucket");
+                        write_labels(out, labels, Some("+Inf"));
+                        let _ = writeln!(out, " {cum}");
                     }
-                    out.push_str(&format!(
-                        "{name}_sum{} {sum}\n",
-                        render_labels(labels, None)
-                    ));
-                    out.push_str(&format!(
-                        "{name}_count{} {count}\n",
-                        render_labels(labels, None)
-                    ));
+                    out.push_str(name);
+                    out.push_str("_sum");
+                    write_labels(out, labels, None);
+                    let _ = writeln!(out, " {sum}");
+                    out.push_str(name);
+                    out.push_str("_count");
+                    write_labels(out, labels, None);
+                    let _ = writeln!(out, " {count}");
                 }
             }
         }
     }
+}
+
+/// Render the whole registry in the Prometheus text exposition format
+/// as a fresh string. See [`render_prometheus_into`].
+pub fn render_prometheus(registry: &Registry) -> String {
+    let mut out = String::new();
+    render_prometheus_into(registry, &mut out);
     out
 }
 

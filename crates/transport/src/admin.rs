@@ -24,8 +24,8 @@ use crate::daemon::Link;
 use crate::reactor::ReactorStatus;
 use qos_core::shard::ShardedNode;
 use qos_storage::SharedStore;
-use qos_telemetry::admin::{content_type, render_response, HttpRequest};
-use qos_telemetry::{render_prometheus, snapshot_json, FlightRecorder, Registry, TraceId};
+use qos_telemetry::admin::{content_type, render_response_into, HttpRequest};
+use qos_telemetry::{render_prometheus_into, snapshot_json, FlightRecorder, Registry, TraceId};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -46,86 +46,127 @@ pub(crate) struct AdminState {
 }
 
 impl AdminState {
-    /// Serve one request: returns the full response bytes and the
+    /// Serve one request into caller-owned buffers and return the
     /// endpoint label used by the `admin_requests_total` counter.
-    pub(crate) fn respond(&self, req: &HttpRequest) -> (Vec<u8>, &'static str) {
+    ///
+    /// `body` is a render scratch (the `/metrics` exposition lands here
+    /// before the response head is known) and `out` receives the full
+    /// response bytes; the reactor recycles both across scrapes so a
+    /// steady scrape loop allocates nothing once the buffers have grown
+    /// to the exposition size (DESIGN.md §D15 satellite).
+    pub(crate) fn respond_into(
+        &self,
+        req: &HttpRequest,
+        body: &mut String,
+        out: &mut Vec<u8>,
+    ) -> &'static str {
+        body.clear();
+        out.clear();
         if req.method != "GET" {
-            return (
-                render_response(405, content_type::TEXT, "admin endpoints are GET-only\n"),
-                "other",
+            render_response_into(
+                out,
+                405,
+                content_type::TEXT,
+                "admin endpoints are GET-only\n",
             );
+            return "other";
         }
         match req.path.as_str() {
             "/metrics" => match &self.registry {
-                Some(r) => (
-                    render_response(200, content_type::PROMETHEUS, &render_prometheus(r)),
-                    "metrics",
-                ),
-                None => (self.no_registry(), "metrics"),
+                Some(r) => {
+                    render_prometheus_into(r, body);
+                    render_response_into(out, 200, content_type::PROMETHEUS, body);
+                    "metrics"
+                }
+                None => {
+                    self.no_registry(out);
+                    "metrics"
+                }
             },
             "/metrics.json" => match &self.registry {
-                Some(r) => (
-                    render_response(200, content_type::JSON, &snapshot_json(r)),
-                    "metrics_json",
-                ),
-                None => (self.no_registry(), "metrics_json"),
+                Some(r) => {
+                    render_response_into(out, 200, content_type::JSON, &snapshot_json(r));
+                    "metrics_json"
+                }
+                None => {
+                    self.no_registry(out);
+                    "metrics_json"
+                }
             },
-            "/healthz" => (self.healthz(), "healthz"),
-            "/shards" => (self.shards(), "shards"),
-            "/storage" => (self.storage(), "storage"),
+            "/healthz" => {
+                self.healthz(out);
+                "healthz"
+            }
+            "/shards" => {
+                self.shards(out);
+                "shards"
+            }
+            "/storage" => {
+                self.storage(out);
+                "storage"
+            }
             "/flight" => match &self.flight {
-                Some(f) => (
-                    render_response(200, content_type::JSON, &f.dump_json()),
-                    "flight",
-                ),
-                None => (self.no_recorder(), "flight"),
+                Some(f) => {
+                    render_response_into(out, 200, content_type::JSON, &f.dump_json());
+                    "flight"
+                }
+                None => {
+                    self.no_recorder(out);
+                    "flight"
+                }
             },
             "/flight.tsv" => match &self.flight {
-                Some(f) => (
-                    render_response(200, content_type::TEXT, &f.dump_tsv()),
-                    "flight_tsv",
-                ),
-                None => (self.no_recorder(), "flight_tsv"),
+                Some(f) => {
+                    render_response_into(out, 200, content_type::TEXT, &f.dump_tsv());
+                    "flight_tsv"
+                }
+                None => {
+                    self.no_recorder(out);
+                    "flight_tsv"
+                }
             },
             path => {
                 if let Some(id) = path.strip_prefix("/trace/") {
-                    (self.trace(id), "trace")
+                    self.trace(id, out);
+                    "trace"
                 } else {
-                    (
-                        render_response(
-                            404,
-                            content_type::TEXT,
-                            "routes: /metrics /metrics.json /healthz /shards /storage /trace/<id> /flight /flight.tsv\n",
-                        ),
-                        "other",
-                    )
+                    render_response_into(
+                        out,
+                        404,
+                        content_type::TEXT,
+                        "routes: /metrics /metrics.json /healthz /shards /storage /trace/<id> /flight /flight.tsv\n",
+                    );
+                    "other"
                 }
             }
         }
     }
 
-    fn no_registry(&self) -> Vec<u8> {
-        render_response(
+    fn no_registry(&self, out: &mut Vec<u8>) {
+        render_response_into(
+            out,
             503,
             content_type::TEXT,
             "no metrics registry installed (start bbd with --metrics or --admin)\n",
-        )
+        );
     }
 
-    fn no_recorder(&self) -> Vec<u8> {
-        render_response(
+    fn no_recorder(&self, out: &mut Vec<u8>) {
+        render_response_into(
+            out,
             503,
             content_type::TEXT,
             "no flight recorder installed (start bbd with --admin)\n",
-        )
+        );
     }
 
     /// Durable-ledger vitals: store counters plus a live summary and
     /// the canonical SHA-256 digest of the reservation/invoice state —
     /// the value the crash-recovery gate compares across restarts.
-    fn storage(&self) -> Vec<u8> {
+    fn storage(&self, out: &mut Vec<u8>) {
         let Some(store) = &self.store else {
-            return render_response(
+            return render_response_into(
+                out,
                 503,
                 content_type::TEXT,
                 "no ledger store attached (start bbd with --data-dir DIR)\n",
@@ -145,14 +186,14 @@ impl AdminState {
              \"committed_bps\":{committed_bps}}}}}\n",
             stats.to_json()
         );
-        render_response(200, content_type::JSON, &body)
+        render_response_into(out, 200, content_type::JSON, &body);
     }
 
     /// Liveness vitals: the reactor's poll-loop heartbeat (age of the
     /// last sweep) and the shard ingress queue depths. 503 when the
     /// heartbeat is stale — a wedged reactor that somehow still accepts
     /// admin traffic must not look healthy.
-    fn healthz(&self) -> Vec<u8> {
+    fn healthz(&self, out: &mut Vec<u8>) {
         let age_ns = self.status.heartbeat_age_ns();
         let stalled = age_ns > HEALTHZ_STALL_NS;
         let depths = self.sharded.queue_depths();
@@ -178,12 +219,17 @@ impl AdminState {
             self.links.len(),
             connected,
         );
-        render_response(if stalled { 503 } else { 200 }, content_type::JSON, &body)
+        render_response_into(
+            out,
+            if stalled { 503 } else { 200 },
+            content_type::JSON,
+            &body,
+        );
     }
 
     /// Per-shard runtime picture: ingress queue depth, accumulated busy
     /// time, and how many batches other workers stole from the shard.
-    fn shards(&self) -> Vec<u8> {
+    fn shards(&self, out: &mut Vec<u8>) {
         let idle = self.sharded.worker_idle_ns();
         let shards = self
             .sharded
@@ -207,17 +253,18 @@ impl AdminState {
             "{{\"domain\":\"{}\",\"shards\":[{shards}],\"workers\":[{workers}]}}\n",
             self.domain
         );
-        render_response(200, content_type::JSON, &body)
+        render_response_into(out, 200, content_type::JSON, &body);
     }
 
     /// Flight events for one trace, by its 16-hex-digit id (the form
     /// `TraceId` renders as — exactly what `/flight` dumps carry).
-    fn trace(&self, id: &str) -> Vec<u8> {
+    fn trace(&self, id: &str, out: &mut Vec<u8>) {
         let Some(flight) = &self.flight else {
-            return self.no_recorder();
+            return self.no_recorder(out);
         };
         let Ok(raw) = u64::from_str_radix(id, 16) else {
-            return render_response(
+            return render_response_into(
+                out,
                 400,
                 content_type::TEXT,
                 "trace id must be the 16-hex-digit form spans carry\n",
@@ -246,6 +293,6 @@ impl AdminState {
             TraceId(raw),
             self.domain,
         );
-        render_response(200, content_type::JSON, &body)
+        render_response_into(out, 200, content_type::JSON, &body);
     }
 }

@@ -74,6 +74,23 @@ pub struct TransportOptions {
     /// Admission shards hosting the broker (at least 1; see `--shards`
     /// on `bbd`). Defaults to `min(4, available cores)`.
     pub shards: usize,
+    /// Decode inbound frames through the pooled zero-copy path
+    /// (DESIGN.md §D15): socket reads land directly in pooled chunks,
+    /// frames are borrowed slices, and byte-identical request retries
+    /// replay their cached verdict without re-decoding. The legacy
+    /// owned-`Vec` decoder remains behind `false` (or
+    /// `QOS_POOLED_DECODE=0`) for A/B comparison; both paths accept the
+    /// same wire bytes and produce the same verdicts.
+    pub pooled_decode: bool,
+}
+
+/// Environment override for [`TransportOptions::pooled_decode`]:
+/// `QOS_POOLED_DECODE=0` forces the legacy decoder, `=1` the pooled one.
+fn pooled_decode_default() -> bool {
+    match std::env::var("QOS_POOLED_DECODE") {
+        Ok(v) => v != "0",
+        Err(_) => true,
+    }
 }
 
 impl Default for TransportOptions {
@@ -89,6 +106,7 @@ impl Default for TransportOptions {
             ticket_ttl_secs: 3600,
             ticket_cap: 1024,
             shards: qos_core::runtime::default_shards(),
+            pooled_decode: pooled_decode_default(),
         }
     }
 }

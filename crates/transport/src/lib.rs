@@ -47,7 +47,9 @@ pub mod session;
 pub use backoff::Backoff;
 pub use daemon::{BrokerDaemon, DaemonConfig, TransportOptions};
 pub use error::TransportError;
-pub use frame::{read_frame, write_frame, FrameDecoder, FrameError, MAX_FRAME_LEN};
+pub use frame::{
+    read_frame, write_frame, FrameDecoder, FrameError, PooledFrameDecoder, MAX_FRAME_LEN,
+};
 pub use mesh::TcpMesh;
 pub use proto::PeerMsg;
 pub use queue::{OutQueue, OverflowPolicy, PushOutcome};

@@ -7,6 +7,10 @@
 //! [`SecureChannel`](qos_core::channel::SecureChannel) end verifies
 //! before the payload is decoded as a
 //! [`SignalMessage`](qos_core::SignalMessage).
+// Zero-alloc hot-path module (DESIGN.md §D15): the dedicated CI lint
+// step loads .clippy-hotpath/clippy.toml, under which this attribute
+// rejects un-annotated Vec::new / slice::to_vec in this module.
+#![deny(clippy::disallowed_methods)]
 
 use qos_core::channel::Sealed;
 use qos_crypto::{Certificate, Signature};
@@ -67,6 +71,27 @@ qos_wire::impl_wire_enum!(PeerMsg {
     5 => Ticket { ticket },
 });
 
+/// Wire tag of [`PeerMsg::Frame`] (for the hand-rolled hot-path encode).
+const FRAME_TAG: u8 = 2;
+
+/// Append the canonical encoding of `PeerMsg::Frame(Sealed { payload,
+/// seq, mac })` to `out` without materialising a `Sealed` (DESIGN.md
+/// §D15: the write path seals in place, so the payload is borrowed and
+/// never copied into an owned message). Byte-identical to
+/// `qos_wire::encode_into(&PeerMsg::Frame(..), out)` — pinned by test.
+pub(crate) fn encode_sealed_frame_into(
+    out: &mut Vec<u8>,
+    payload: &[u8],
+    seq: u64,
+    mac: &[u8; 32],
+) {
+    out.push(FRAME_TAG);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(mac);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,6 +105,25 @@ mod tests {
         });
         let bytes = qos_wire::to_bytes(&msg);
         assert_eq!(qos_wire::from_bytes::<PeerMsg>(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn hand_encoded_frame_matches_canonical_encoding() {
+        for (payload, seq) in [
+            (Vec::new(), 0u64),
+            (vec![1, 2, 3, 4], 9),
+            (vec![0xAB; 4096], u64::MAX),
+        ] {
+            let mac = [0x5Au8; 32];
+            let canonical = qos_wire::to_bytes(&PeerMsg::Frame(Sealed {
+                payload: payload.clone(),
+                seq,
+                mac,
+            }));
+            let mut hand = Vec::new();
+            encode_sealed_frame_into(&mut hand, &payload, seq, &mac);
+            assert_eq!(hand, canonical);
+        }
     }
 
     #[test]

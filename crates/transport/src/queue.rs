@@ -14,6 +14,10 @@
 //!   [`DropOldest`](OverflowPolicy::DropOldest) — load-shedding modes
 //!   for telemetry-style traffic where stale frames have no value.
 //!   Every shed frame is counted.
+// Zero-alloc hot-path module (DESIGN.md §D15): the dedicated CI lint
+// step loads .clippy-hotpath/clippy.toml, under which this attribute
+// rejects un-annotated Vec::new / slice::to_vec in this module.
+#![deny(clippy::disallowed_methods)]
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard};
@@ -97,6 +101,33 @@ impl OutQueue {
                     self.cv.notify_all();
                     return PushOutcome::DroppedOldest;
                 }
+            }
+        }
+    }
+
+    /// Enqueue without ever waiting: a full queue under
+    /// [`OverflowPolicy::Block`] returns `None` instead of blocking.
+    /// For producers that are also this queue's consumer (the reactor's
+    /// warm-path replay, DESIGN.md §D15), where a blocking push would
+    /// deadlock; such callers fall back to the normal dispatch path.
+    pub fn try_push(&self, frame: Vec<u8>) -> Option<PushOutcome> {
+        let mut g = self.lock();
+        if g.closed {
+            return Some(PushOutcome::Closed);
+        }
+        if g.q.len() < self.capacity {
+            g.q.push_back(frame);
+            self.cv.notify_all();
+            return Some(PushOutcome::Queued);
+        }
+        match self.policy {
+            OverflowPolicy::Block => None,
+            OverflowPolicy::DropNewest => Some(PushOutcome::DroppedNewest),
+            OverflowPolicy::DropOldest => {
+                g.q.pop_front();
+                g.q.push_back(frame);
+                self.cv.notify_all();
+                Some(PushOutcome::DroppedOldest)
             }
         }
     }

@@ -33,22 +33,24 @@
 use crate::admin::AdminState;
 use crate::backoff::Backoff;
 use crate::daemon::{Link, TransportOptions};
-use crate::frame::FrameDecoder;
-use crate::proto::PeerMsg;
+use crate::frame::{FrameDecoder, PooledFrameDecoder};
+use crate::proto::{encode_sealed_frame_into, PeerMsg};
 use crate::resume::{ResumeTicket, TicketIssuer};
 use crate::session::{
     establish_initiator_resumable, establish_responder_resumable, HandshakeKind, Session,
 };
 use crossbeam::channel::{Receiver, Sender};
 use mio::{Events, Interest, Poll, Token, Waker};
-use qos_core::channel::{ChannelIdentity, OpenHalf, PeerPin, SealHalf};
+use qos_core::channel::{ChannelIdentity, OpenHalf, PeerPin, SealHalf, SealedRef};
+use qos_core::envelope_ref::EnvelopeRef;
 use qos_core::messages::SignalMessage;
 use qos_core::shard::ShardedNode;
 use qos_crypto::DistinguishedName;
-use qos_telemetry::admin::{parse_request, render_response, HttpError};
+use qos_telemetry::admin::{parse_request, render_response_into, HttpError};
 use qos_telemetry::{
-    Counter, EventFamily, FlightEvent, FlightRecorder, Histogram, StdClock, Telemetry,
+    Counter, EventFamily, FlightEvent, FlightRecorder, Gauge, Histogram, StdClock, Telemetry,
 };
+use qos_wire::BufferPool;
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -93,6 +95,45 @@ const FRAME_ACK: u8 = 1;
 /// whose counters went backwards (process restart) instead of treating
 /// its fresh frames as duplicates.
 const FRAME_SYNC: u8 = 2;
+
+/// Wire tag of [`PeerMsg::Frame`] — the only message kind legal on an
+/// established session; the pooled read path peeks it before the
+/// borrowed [`SealedRef`] parse.
+const PEER_FRAME_TAG: u8 = 2;
+/// Wire tag of `SignalMessage::Request` — the warm-path replay trigger.
+const REQUEST_TAG: u8 = 0;
+
+/// Queue a warm-path reply's already-encoded bytes on `link` exactly as
+/// the shard sink would: delivery-index assignment and enqueue happen
+/// under the `tx` lock so queue order equals index order. Returns false
+/// — without consuming an index — when the queue is full under the
+/// `Block` policy; the caller falls back to normal dispatch instead of
+/// blocking the reactor on a queue only the reactor drains.
+fn warm_deliver(link: &Link, reply: &[u8]) -> bool {
+    use crate::queue::PushOutcome;
+    let outcome = {
+        let mut tx = link.reliable.tx.lock().unwrap_or_else(|e| e.into_inner());
+        let index = *tx;
+        let mut frame = Vec::with_capacity(9 + reply.len());
+        frame.push(FRAME_DATA);
+        frame.extend_from_slice(&index.to_le_bytes());
+        frame.extend_from_slice(reply);
+        match link.queue.try_push(frame) {
+            Some(outcome) => {
+                *tx += 1;
+                link.reliable.note_assigned(*tx);
+                outcome
+            }
+            None => return false,
+        }
+    };
+    match outcome {
+        PushOutcome::Queued | PushOutcome::Closed => {}
+        PushOutcome::DroppedNewest | PushOutcome::DroppedOldest => link.ins.dropped.inc(),
+    }
+    link.ins.outq_depth.record_max(link.queue.len() as i64);
+    true
+}
 
 /// Per-link reliable-delivery state, surviving connections. Socket
 /// acceptance is not delivery: a peer killed mid-burst loses whatever
@@ -234,6 +275,9 @@ struct Conn {
     seal: SealHalf,
     open: OpenHalf,
     decoder: FrameDecoder,
+    /// The zero-copy decode path (DESIGN.md §D15); `None` runs the
+    /// legacy owned-`Vec` decoder above instead.
+    pooled: Option<PooledFrameDecoder>,
     outbuf: Vec<u8>,
     /// Prefix of `outbuf` the socket has accepted.
     written: usize,
@@ -378,6 +422,15 @@ pub(crate) struct Reactor {
     by_peer: HashMap<String, usize>,
     next_token: usize,
     scratch: Vec<u8>,
+    /// Reusable buffer warm-path replays render their cached reply into.
+    reply_scratch: Vec<u8>,
+    /// Reactor-scoped chunk pool feeding every connection's
+    /// [`PooledFrameDecoder`].
+    pool: BufferPool,
+    pool_in_use: Gauge,
+    pool_fallbacks: Counter,
+    /// Pool fallback count already published to `pool_fallbacks`.
+    pool_fallbacks_seen: u64,
     wakeups: Counter,
     ready_events: Counter,
     telemetry: Telemetry,
@@ -385,6 +438,12 @@ pub(crate) struct Reactor {
     admin_listener: Option<TcpListener>,
     admin_state: Option<Arc<AdminState>>,
     admin_conns: HashMap<usize, AdminConn>,
+    /// Response buffer recycled from closed admin connections into new
+    /// ones, so a steady scrape loop stops allocating per request.
+    admin_spare: Vec<u8>,
+    /// Scratch the `/metrics` exposition body renders into, reused
+    /// across scrapes.
+    admin_body: String,
     status: Arc<ReactorStatus>,
     sweep_ns: Histogram,
     stall_total: Counter,
@@ -448,6 +507,20 @@ impl Reactor {
             "Reactor sweeps that exceeded the stall threshold",
             dl,
         );
+        // One chunk per live connection in steady state, with headroom
+        // for a straddling partial frame per link; exhaustion is safe
+        // (owned-buffer fallback) and counted.
+        let pool = BufferPool::new(links.len() * 2 + 4);
+        let pool_in_use = telemetry.gauge(
+            "buffer_pool_chunks_in_use",
+            "Pooled read chunks currently handed out to connection decoders",
+            dl,
+        );
+        let pool_fallbacks = telemetry.counter(
+            "buffer_pool_fallbacks_total",
+            "Owned-buffer fallbacks (pool exhausted or frame larger than a chunk)",
+            dl,
+        );
         let flight = telemetry.flight().cloned();
         let (admin_listener, admin_state) = match admin {
             Some((l, s)) => (Some(l), Some(s)),
@@ -472,6 +545,11 @@ impl Reactor {
             by_peer: HashMap::new(),
             next_token: TOKEN_BASE,
             scratch: Vec::new(),
+            reply_scratch: Vec::new(),
+            pool,
+            pool_in_use,
+            pool_fallbacks,
+            pool_fallbacks_seen: 0,
             wakeups,
             ready_events,
             telemetry,
@@ -479,6 +557,8 @@ impl Reactor {
             admin_listener,
             admin_state,
             admin_conns: HashMap::new(),
+            admin_spare: Vec::new(),
+            admin_body: String::new(),
             status,
             sweep_ns,
             stall_total,
@@ -565,6 +645,7 @@ impl Reactor {
             if let Some(t0) = sweep_started.take() {
                 self.note_sweep(StdClock::now().saturating_sub(t0));
             }
+            self.publish_pool_metrics();
             let timeout = self.next_deadline();
             if self.poll.poll(&mut events, timeout).is_err() {
                 continue;
@@ -610,6 +691,19 @@ impl Reactor {
             for t in dead_admin {
                 self.kill_admin(t);
             }
+        }
+    }
+
+    /// Mirror the buffer pool's internal counters into the registry
+    /// (once per sweep — the pool itself stays telemetry-free so
+    /// `qos_wire` keeps zero dependencies).
+    fn publish_pool_metrics(&mut self) {
+        self.pool_in_use.set(self.pool.chunks_in_use() as i64);
+        let fallbacks = self.pool.fallbacks();
+        if fallbacks > self.pool_fallbacks_seen {
+            self.pool_fallbacks
+                .add(fallbacks - self.pool_fallbacks_seen);
+            self.pool_fallbacks_seen = fallbacks;
         }
     }
 
@@ -665,7 +759,7 @@ impl Reactor {
                     stream,
                     fd,
                     inbuf: Vec::new(),
-                    outbuf: Vec::new(),
+                    outbuf: std::mem::take(&mut self.admin_spare),
                     written: 0,
                     responded: false,
                     want_write: false,
@@ -700,18 +794,21 @@ impl Reactor {
             match parse_request(&conn.inbuf) {
                 Ok(None) => {} // head incomplete; wait for more bytes
                 Ok(Some(req)) => {
-                    let (response, endpoint) = match &self.admin_state {
-                        Some(state) => state.respond(&req),
-                        None => (
-                            render_response(
+                    let endpoint = match &self.admin_state {
+                        Some(state) => {
+                            state.respond_into(&req, &mut self.admin_body, &mut conn.outbuf)
+                        }
+                        None => {
+                            conn.outbuf.clear();
+                            render_response_into(
+                                &mut conn.outbuf,
                                 503,
                                 qos_telemetry::admin::content_type::TEXT,
                                 "admin plane not configured\n",
-                            ),
-                            "other",
-                        ),
+                            );
+                            "other"
+                        }
                     };
-                    conn.outbuf = response;
                     conn.responded = true;
                     self.telemetry
                         .counter(
@@ -726,8 +823,13 @@ impl Reactor {
                         HttpError::HeadTooLarge => "request head too large\n",
                         HttpError::Malformed => "malformed HTTP request\n",
                     };
-                    conn.outbuf =
-                        render_response(400, qos_telemetry::admin::content_type::TEXT, body);
+                    conn.outbuf.clear();
+                    render_response_into(
+                        &mut conn.outbuf,
+                        400,
+                        qos_telemetry::admin::content_type::TEXT,
+                        body,
+                    );
                     conn.responded = true;
                 }
             }
@@ -774,9 +876,14 @@ impl Reactor {
     }
 
     fn kill_admin(&mut self, token: usize) {
-        if let Some(conn) = self.admin_conns.remove(&token) {
+        if let Some(mut conn) = self.admin_conns.remove(&token) {
             let _ = self.poll.deregister(conn.fd);
             let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            // Recycle the grown response buffer for the next scrape.
+            if conn.outbuf.capacity() > self.admin_spare.capacity() {
+                conn.outbuf.clear();
+                self.admin_spare = conn.outbuf;
+            }
         }
     }
 
@@ -998,6 +1105,10 @@ impl Reactor {
                 seal,
                 open,
                 decoder: FrameDecoder::new(self.options.max_frame),
+                pooled: self
+                    .options
+                    .pooled_decode
+                    .then(|| PooledFrameDecoder::new(self.options.max_frame, self.pool.clone())),
                 outbuf: Vec::new(),
                 written: 0,
                 inflight: VecDeque::new(),
@@ -1093,20 +1204,26 @@ impl Reactor {
     /// false when the connection must die (EOF, I/O error, MAC/ordering
     /// failure, or protocol violation).
     fn conn_read(&mut self, token: usize) -> bool {
-        let peer = self.conns[&token].peer.clone();
         let mut msgs: Vec<SignalMessage> = Vec::new();
         let mut data_frames = 0usize;
-        let mut alive = self.read_frames(token, &mut msgs, &mut data_frames);
+        let pooled = self.conns[&token].pooled.is_some();
+        let mut alive = if pooled {
+            self.read_frames_pooled(token, &mut msgs, &mut data_frames)
+        } else {
+            self.read_frames(token, &mut msgs, &mut data_frames)
+        };
         if !msgs.is_empty() {
             // One grouped dispatch per read sweep: the shard queues see
             // contiguous runs and the doorbell rings once, not once per
-            // frame.
+            // frame. (A warm-replay-only sweep leaves `msgs` empty and
+            // allocates nothing here.)
+            let peer = self.conns[&token].peer.clone();
             self.sharded.dispatch_peer_all(&peer, msgs, StdClock::now());
         }
         if alive && data_frames > 0 {
             // One cumulative ack per sweep (duplicates included, so a
             // retransmitting peer prunes its window).
-            let rx_next = self.links[&peer]
+            let rx_next = self.links[self.conns[&token].peer.as_str()]
                 .reliable
                 .rx_next
                 .load(std::sync::atomic::Ordering::SeqCst);
@@ -1229,6 +1346,169 @@ impl Reactor {
         true // cap reached; level-triggered poll re-reports the rest
     }
 
+    /// Zero-copy variant of [`Reactor::read_frames`] (DESIGN.md §D15):
+    /// the socket reads directly into a pooled chunk, each completed
+    /// frame is a borrowed slice, the `PeerMsg::Frame` wrapper parses by
+    /// reference ([`SealedRef`]), the MAC verifies in place, and a
+    /// byte-identical `Request` retry is answered straight from the
+    /// owning shard's reply cache without materialising an owned
+    /// message. Only messages that miss the warm path are copied out
+    /// (they must outlive this sweep to cross the shard queues). Accepts
+    /// exactly the bytes the legacy path accepts and yields the same
+    /// verdicts — pinned by the borrowed-≡-owned property tests.
+    fn read_frames_pooled(
+        &mut self,
+        token: usize,
+        msgs: &mut Vec<SignalMessage>,
+        data_frames: &mut usize,
+    ) -> bool {
+        use std::sync::atomic::Ordering::SeqCst;
+        let Self {
+            conns,
+            links,
+            sharded,
+            reply_scratch,
+            flight,
+            domain,
+            ..
+        } = self;
+        let conn = conns.get_mut(&token).expect("conn_read on live conn");
+        let link = &links[conn.peer.as_str()];
+        let peer = &conn.peer;
+        let open = &mut conn.open;
+        let stream = &mut conn.stream;
+        let dec = conn.pooled.as_mut().expect("pooled decode enabled");
+        for _ in 0..MAX_READS_PER_EVENT {
+            let writable = dec.writable();
+            let cap = writable.len();
+            let n = match stream.read(writable) {
+                Ok(0) => return false,
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            };
+            dec.advance(n);
+            loop {
+                let frame = match dec.next_frame() {
+                    Ok(Some(f)) => f,
+                    Ok(None) => break,
+                    Err(_) => return false,
+                };
+                let ins = &link.ins;
+                ins.frames_received.inc();
+                ins.bytes_received.add(frame.len() as u64);
+                // Borrowed PeerMsg parse: an established session only
+                // ever carries `Frame`; anything else is terminal.
+                let mut r = qos_wire::Reader::new(frame.bytes());
+                let sealed = match r.get_u8() {
+                    Ok(PEER_FRAME_TAG) => {
+                        match SealedRef::parse(&mut r).and_then(|s| r.finish().map(|()| s)) {
+                            Ok(s) => s,
+                            Err(_) => {
+                                ins.rejected.inc();
+                                return false;
+                            }
+                        }
+                    }
+                    _ => {
+                        ins.rejected.inc();
+                        return false;
+                    }
+                };
+                if open
+                    .open_in_place(sealed.payload, sealed.seq, &sealed.mac)
+                    .is_err()
+                {
+                    ins.rejected.inc();
+                    return false;
+                }
+                let plain = sealed.payload;
+                // Reliability wrapper: [tag][u64]... — see FRAME_*.
+                if plain.len() < 9 {
+                    ins.rejected.inc();
+                    return false;
+                }
+                let rel = &link.reliable;
+                let body = match plain[0] {
+                    FRAME_ACK => {
+                        rel.note_ack(le_u64(&plain[1..9]));
+                        continue;
+                    }
+                    FRAME_SYNC => {
+                        if plain.len() < 17 {
+                            ins.rejected.inc();
+                            return false;
+                        }
+                        let peer_tx = le_u64(&plain[1..9]);
+                        rel.note_ack(le_u64(&plain[9..17]));
+                        if peer_tx < rel.rx_next.load(SeqCst) {
+                            rel.rx_next.store(peer_tx, SeqCst);
+                        }
+                        continue;
+                    }
+                    FRAME_DATA => {
+                        *data_frames += 1;
+                        let index = le_u64(&plain[1..9]);
+                        if index < rel.rx_next.load(SeqCst) {
+                            ins.dup_frames.inc();
+                            if let Some(flight) = flight {
+                                flight.record(
+                                    FlightEvent::new(
+                                        EventFamily::DuplicateDrop,
+                                        domain.clone(),
+                                        peer.clone(),
+                                    )
+                                    .detail(format!("retransmit of delivered frame {index}")),
+                                );
+                            }
+                            continue;
+                        }
+                        rel.rx_next.store(index + 1, SeqCst);
+                        &plain[9..]
+                    }
+                    _ => {
+                        ins.rejected.inc();
+                        return false;
+                    }
+                };
+                // Warm-path replay: a byte-identical retry of a request
+                // this node already answered is served from the owning
+                // shard's reply cache — no owned decode, no signature
+                // work, no shard round trip. Only attempted when no
+                // earlier message of this sweep is still waiting for
+                // dispatch (replaying ahead of it could reorder).
+                if msgs.is_empty() && body.first() == Some(&REQUEST_TAG) {
+                    if let Ok(Some(env)) = EnvelopeRef::parse(body) {
+                        reply_scratch.clear();
+                        if let Some(to) = sharded.try_revalidate(peer, &env, reply_scratch) {
+                            let to = to.strip_prefix("user:").unwrap_or(&to);
+                            match links.get(to) {
+                                // A full queue falls through to normal
+                                // dispatch below — the reactor must never
+                                // block on a queue it drains itself.
+                                Some(out) if warm_deliver(out, reply_scratch) => continue,
+                                Some(_) => {}
+                                // No link: the sink would drop it too.
+                                None => continue,
+                            }
+                        }
+                    }
+                }
+                let shared: Arc<[u8]> = body.into();
+                let Ok(msg) = qos_wire::from_bytes_shared::<SignalMessage>(&shared) else {
+                    ins.rejected.inc();
+                    return false;
+                };
+                msgs.push(msg);
+            }
+            if n < cap {
+                return true; // short read: the socket is drained
+            }
+        }
+        true // cap reached; level-triggered poll re-reports the rest
+    }
+
     /// Seal every waiting outbound frame (up to the buffer high-water
     /// mark) link by link, then flush.
     fn sweep_outbound(&mut self) {
@@ -1257,9 +1537,13 @@ impl Reactor {
                         link.ins.writes_coalesced.inc();
                     }
                     for plaintext in batch {
-                        let sealed = conn.seal.seal(plaintext.clone());
+                        // In-place seal (DESIGN.md §D15): MAC over the
+                        // queued plaintext where it lies, wire framing
+                        // hand-encoded around it — no plaintext clone,
+                        // no owned `Sealed`.
+                        let (seq, mac) = conn.seal.seal_in_place(&plaintext);
                         self.scratch.clear();
-                        qos_wire::encode_into(&PeerMsg::Frame(sealed), &mut self.scratch);
+                        encode_sealed_frame_into(&mut self.scratch, &plaintext, seq, &mac);
                         if self.scratch.len() > self.options.max_frame {
                             // Cannot happen for protocol messages; never
                             // put an oversized frame on the wire.
@@ -1299,9 +1583,9 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(&token) else {
             return true;
         };
-        let sealed = conn.seal.seal(plaintext.clone());
+        let (seq, mac) = conn.seal.seal_in_place(&plaintext);
         self.scratch.clear();
-        qos_wire::encode_into(&PeerMsg::Frame(sealed), &mut self.scratch);
+        encode_sealed_frame_into(&mut self.scratch, &plaintext, seq, &mac);
         conn.outbuf
             .extend_from_slice(&(self.scratch.len() as u32).to_le_bytes());
         conn.outbuf.extend_from_slice(&self.scratch);

@@ -116,9 +116,12 @@ impl Session {
         st.scratch.clear();
         st.ranges.clear();
         for f in frames {
-            let sealed = st.half.seal(f.as_ref().to_vec());
+            // In-place seal (DESIGN.md §D15): MAC over the caller's
+            // bytes where they lie, wire framing hand-encoded around
+            // them — no per-frame plaintext copy.
+            let (seq, mac) = st.half.seal_in_place(f.as_ref());
             let start = st.scratch.len();
-            qos_wire::encode_into(&PeerMsg::Frame(sealed), &mut st.scratch);
+            crate::proto::encode_sealed_frame_into(&mut st.scratch, f.as_ref(), seq, &mac);
             st.ranges.push((start, st.scratch.len()));
         }
         let bodies: Vec<&[u8]> = st.ranges.iter().map(|&(a, b)| &st.scratch[a..b]).collect();

@@ -3,11 +3,12 @@
 //! without panics.
 
 use proptest::prelude::*;
-use qos_core::channel::Sealed;
+use qos_core::channel::{Sealed, SealedRef};
 use qos_transport::{
-    read_frame, write_frame, FrameDecoder, OutQueue, OverflowPolicy, PeerMsg, PushOutcome,
-    MAX_FRAME_LEN,
+    read_frame, write_frame, FrameDecoder, OutQueue, OverflowPolicy, PeerMsg, PooledFrameDecoder,
+    PushOutcome, MAX_FRAME_LEN,
 };
+use qos_wire::BufferPool;
 use std::collections::VecDeque;
 
 fn arb_sealed() -> impl Strategy<Value = Sealed> {
@@ -31,6 +32,34 @@ fn encode_stream(frames: &[Sealed]) -> Vec<u8> {
         write_frame(&mut out, &body, MAX_FRAME_LEN).unwrap();
     }
     out
+}
+
+/// Decode an entire stream with the legacy owned decoder, feeding it in
+/// `chunk`-byte pieces and draining after each piece.
+fn decode_owned(stream: &[u8], chunk: usize) -> (Vec<Vec<u8>>, bool) {
+    let mut d = FrameDecoder::new(MAX_FRAME_LEN);
+    let mut got = Vec::new();
+    for piece in stream.chunks(chunk) {
+        d.push(piece);
+        while let Some(f) = d.next_frame().unwrap() {
+            got.push(f);
+        }
+    }
+    (got, d.is_idle())
+}
+
+/// Decode the same stream with the pooled borrowed decoder under the
+/// same segmentation.
+fn decode_pooled(stream: &[u8], chunk: usize, pool: &BufferPool) -> (Vec<Vec<u8>>, bool) {
+    let mut d = PooledFrameDecoder::new(MAX_FRAME_LEN, pool.clone());
+    let mut got = Vec::new();
+    for piece in stream.chunks(chunk) {
+        d.push(piece);
+        while let Some(f) = d.next_frame().unwrap() {
+            got.push(f.bytes().to_vec());
+        }
+    }
+    (got, d.is_idle())
 }
 
 proptest! {
@@ -185,5 +214,97 @@ proptest! {
             prop_assert_eq!(q.pop_batch(3).unwrap(), want);
         }
         prop_assert!(q.is_empty());
+    }
+
+    /// Borrowed (pooled) decode ≡ owned decode over arbitrary
+    /// segmentation: the same frames in the same order, and the two
+    /// decoders agree on whether a partial frame is pending at EOF.
+    #[test]
+    fn pooled_decode_matches_owned_any_chunking(
+        frames in proptest::collection::vec(arb_sealed(), 1..6),
+        chunk in 1usize..64,
+    ) {
+        let stream = encode_stream(&frames);
+        let pool = BufferPool::new(4);
+        prop_assert_eq!(decode_pooled(&stream, chunk, &pool), decode_owned(&stream, chunk));
+        prop_assert_eq!(pool.chunks_in_use(), 0, "decoder dropped, chunk returned");
+    }
+
+    /// An exhausted pool engages the owned fallback: every frame is
+    /// delivered un-pooled, the fallback counter moves, and the decoded
+    /// stream is still byte-identical to the legacy decoder's.
+    #[test]
+    fn pool_exhaustion_fallback_matches_owned(
+        frames in proptest::collection::vec(arb_sealed(), 1..6),
+        chunk in 1usize..64,
+    ) {
+        let pool = BufferPool::new(1);
+        let _hog = pool.acquire().unwrap(); // starve the decoder
+        let before = pool.fallbacks();
+        let stream = encode_stream(&frames);
+        let mut d = PooledFrameDecoder::new(MAX_FRAME_LEN, pool.clone());
+        let mut got = Vec::new();
+        for piece in stream.chunks(chunk) {
+            d.push(piece);
+            while let Some(f) = d.next_frame().unwrap() {
+                prop_assert!(!f.is_pooled());
+                got.push(f.bytes().to_vec());
+            }
+        }
+        prop_assert!(d.fallback_active());
+        prop_assert!(pool.fallbacks() > before);
+        prop_assert_eq!((got, d.is_idle()), decode_owned(&stream, chunk));
+    }
+
+    /// The borrowed `SealedRef` parse agrees field-for-field with the
+    /// owned `PeerMsg` decode on every valid frame encoding, including
+    /// the trailing-bytes check (`Reader::finish`).
+    #[test]
+    fn sealed_ref_parse_matches_owned_decode(s in arb_sealed()) {
+        let bytes = qos_wire::to_bytes(&PeerMsg::Frame(s.clone()));
+        let mut r = qos_wire::Reader::new(&bytes);
+        prop_assert_eq!(r.get_u8().unwrap(), 2, "PeerMsg::Frame wire tag");
+        let sr = SealedRef::parse(&mut r).unwrap();
+        r.finish().unwrap();
+        prop_assert_eq!(sr.payload, &s.payload[..]);
+        prop_assert_eq!(sr.seq, s.seq);
+        prop_assert_eq!(sr.mac, s.mac);
+    }
+
+    /// Arbitrary garbage through the borrowed parse chain never panics.
+    #[test]
+    fn sealed_ref_never_panics_on_garbage(
+        garbage in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mut r = qos_wire::Reader::new(&garbage);
+        let _ = r
+            .get_u8()
+            .and_then(|_| SealedRef::parse(&mut r))
+            .and_then(|s| r.finish().map(|()| s.seq));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Frames big enough that several span a pooled 64 KiB chunk
+    /// boundary (compaction shifts the partial frame to the chunk front
+    /// between reads) decode identically to the owned decoder.
+    #[test]
+    fn chunk_boundary_spans_match_owned(
+        sizes in proptest::collection::vec(
+            (qos_wire::POOL_CHUNK_SIZE / 4)..(qos_wire::POOL_CHUNK_SIZE / 2),
+            3..7,
+        ),
+        fill in any::<u8>(),
+        read in 512usize..16_384,
+    ) {
+        let mut stream = Vec::new();
+        for (i, len) in sizes.iter().enumerate() {
+            let body = vec![fill.wrapping_add(i as u8); *len];
+            write_frame(&mut stream, &body, MAX_FRAME_LEN).unwrap();
+        }
+        let pool = BufferPool::new(2);
+        prop_assert_eq!(decode_pooled(&stream, read, &pool), decode_owned(&stream, read));
     }
 }

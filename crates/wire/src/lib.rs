@@ -33,14 +33,21 @@
 //! assert_eq!(from_bytes::<Request>(&bytes).unwrap(), r);
 //! ```
 
+// Zero-alloc hot-path crate (DESIGN.md §D15): the dedicated CI lint
+// step loads .clippy-hotpath/clippy.toml, under which this attribute
+// rejects un-annotated Vec::new / slice::to_vec anywhere in qos-wire.
+#![deny(clippy::disallowed_methods)]
+
 mod error;
 mod impls;
 mod macros;
+mod pool;
 mod reader;
 mod shared;
 mod writer;
 
 pub use error::WireError;
+pub use pool::{BufferPool, FrameRef, PoolChunk, POOL_CHUNK_SIZE};
 pub use reader::Reader;
 pub use shared::SharedBytes;
 pub use writer::Writer;

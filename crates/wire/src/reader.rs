@@ -142,17 +142,36 @@ impl<'a> Reader<'a> {
     /// The length is validated against the remaining input *before*
     /// allocating, so hostile length prefixes cannot exhaust memory.
     pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        // The deliberate owned fallback behind `get_bytes_ref`.
+        #[allow(clippy::disallowed_methods)]
+        Ok(self.get_bytes_ref()?.to_vec())
+    }
+
+    /// Borrowed view of `u32`-length-prefixed bytes — the zero-copy
+    /// sibling of [`Reader::get_bytes`] for hot-path decoders (D15).
+    pub fn get_bytes_ref(&mut self) -> Result<&'a [u8], WireError> {
         let len = self.get_u32()? as usize;
         if len > self.max_value_len || len > self.remaining() {
             return Err(WireError::LengthOverflow(len as u64));
         }
-        Ok(self.take(len)?.to_vec())
+        self.take(len)
     }
 
     /// Read a `u32`-length-prefixed UTF-8 string.
     pub fn get_str(&mut self) -> Result<String, WireError> {
-        let bytes = self.get_bytes()?;
-        String::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8)
+        Ok(self.get_str_ref()?.to_string())
+    }
+
+    /// Borrowed view of a `u32`-length-prefixed UTF-8 string — the
+    /// zero-copy sibling of [`Reader::get_str`].
+    pub fn get_str_ref(&mut self) -> Result<&'a str, WireError> {
+        let bytes = self.get_bytes_ref()?;
+        std::str::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    /// Skip `n` bytes without looking at them (borrowed skip-parsers).
+    pub fn skip(&mut self, n: usize) -> Result<(), WireError> {
+        self.take(n).map(|_| ())
     }
 
     /// Read a sequence length prefix, validated against a conservative

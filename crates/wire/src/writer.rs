@@ -12,6 +12,8 @@ pub struct Writer {
 impl Writer {
     /// Create an empty writer.
     pub fn new() -> Self {
+        // Construction-time; encode paths reuse writers/scratches.
+        #[allow(clippy::disallowed_methods)]
         Self { buf: Vec::new() }
     }
 
